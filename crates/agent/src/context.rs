@@ -1,0 +1,146 @@
+//! The execution context handed to evaluation clients.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use chronos_json::Value;
+use chronos_util::Id;
+
+/// Files attached to the result zip: `(name, bytes)` pairs.
+type Attachments = Vec<(String, Vec<u8>)>;
+
+/// Shared state between the evaluation client (producing progress, logs and
+/// attachments) and the agent's heartbeat thread (shipping them to Chronos
+/// Control while the benchmark runs).
+#[derive(Clone)]
+pub struct JobContext {
+    /// The job being executed.
+    pub job_id: Id,
+    /// The job's concrete parameters.
+    pub parameters: Value,
+    progress: Arc<AtomicU8>,
+    pending_logs: Arc<Mutex<String>>,
+    attachments: Arc<Mutex<Attachments>>,
+}
+
+impl JobContext {
+    /// Creates a context for `job_id` with `parameters`.
+    pub fn new(job_id: Id, parameters: Value) -> Self {
+        JobContext {
+            job_id,
+            parameters,
+            progress: Arc::new(AtomicU8::new(0)),
+            pending_logs: Arc::new(Mutex::new(String::new())),
+            attachments: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Reads a string parameter.
+    pub fn param_str(&self, name: &str) -> Option<String> {
+        self.parameters.get(name).and_then(Value::as_str).map(str::to_string)
+    }
+
+    /// Reads an integer parameter.
+    pub fn param_i64(&self, name: &str) -> Option<i64> {
+        self.parameters.get(name).and_then(Value::as_i64)
+    }
+
+    /// Reads a float parameter.
+    pub fn param_f64(&self, name: &str) -> Option<f64> {
+        self.parameters.get(name).and_then(Value::as_f64)
+    }
+
+    /// Reads a boolean parameter.
+    pub fn param_bool(&self, name: &str) -> Option<bool> {
+        self.parameters.get(name).and_then(Value::as_bool)
+    }
+
+    /// Updates the job progress (0..=100); shipped with the next heartbeat.
+    pub fn set_progress(&self, percent: u8) {
+        self.progress.store(percent.min(100), Ordering::Relaxed);
+    }
+
+    /// Current progress.
+    pub fn progress(&self) -> u8 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Appends a log line; shipped with the next heartbeat flush.
+    pub fn log(&self, message: impl AsRef<str>) {
+        let mut logs = self.pending_logs.lock();
+        logs.push_str(message.as_ref());
+        if !message.as_ref().ends_with('\n') {
+            logs.push('\n');
+        }
+    }
+
+    /// Takes (and clears) the buffered log output.
+    pub fn take_logs(&self) -> String {
+        std::mem::take(&mut *self.pending_logs.lock())
+    }
+
+    /// Attaches a file to the result zip (e.g. raw measurements).
+    pub fn attach(&self, name: &str, bytes: Vec<u8>) {
+        self.attachments.lock().push((name.to_string(), bytes));
+    }
+
+    /// Takes all attachments.
+    pub fn take_attachments(&self) -> Attachments {
+        std::mem::take(&mut *self.attachments.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+
+    fn ctx() -> JobContext {
+        JobContext::new(
+            Id::generate(),
+            obj! {"engine" => "mmapv1", "threads" => 4, "ratio" => 0.5, "flag" => true},
+        )
+    }
+
+    #[test]
+    fn typed_parameter_accessors() {
+        let c = ctx();
+        assert_eq!(c.param_str("engine").as_deref(), Some("mmapv1"));
+        assert_eq!(c.param_i64("threads"), Some(4));
+        assert_eq!(c.param_f64("ratio"), Some(0.5));
+        assert_eq!(c.param_bool("flag"), Some(true));
+        assert_eq!(c.param_str("missing"), None);
+        assert_eq!(c.param_i64("engine"), None);
+    }
+
+    #[test]
+    fn progress_is_clamped_and_shared() {
+        let c = ctx();
+        let clone = c.clone();
+        c.set_progress(250);
+        assert_eq!(clone.progress(), 100);
+        c.set_progress(42);
+        assert_eq!(clone.progress(), 42);
+    }
+
+    #[test]
+    fn logs_buffer_and_drain() {
+        let c = ctx();
+        c.log("line one");
+        c.log("line two\n");
+        assert_eq!(c.take_logs(), "line one\nline two\n");
+        assert_eq!(c.take_logs(), "", "drained");
+    }
+
+    #[test]
+    fn attachments_collect() {
+        let c = ctx();
+        c.attach("raw.csv", b"a,b\n1,2\n".to_vec());
+        let files = c.take_attachments();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].0, "raw.csv");
+        assert!(c.take_attachments().is_empty());
+    }
+}

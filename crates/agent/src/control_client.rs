@@ -1,0 +1,202 @@
+//! The REST client agents use to talk to Chronos Control.
+
+use std::fmt;
+
+use chronos_http::{Client, Status};
+use chronos_json::{obj, Value};
+use chronos_util::encode::base64_encode;
+use chronos_util::retry::Backoff;
+use chronos_util::Id;
+
+/// Errors the agent surfaces.
+#[derive(Debug)]
+pub enum AgentError {
+    /// The HTTP transport failed after retries.
+    Transport(String),
+    /// Chronos Control rejected the request.
+    Api { status: u16, message: String },
+    /// The evaluation client reported a failure.
+    Evaluation(String),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Transport(m) => write!(f, "transport error: {m}"),
+            AgentError::Api { status, message } => write!(f, "api error {status}: {message}"),
+            AgentError::Evaluation(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// A job claimed from Chronos Control.
+#[derive(Debug, Clone)]
+pub struct ClaimedJob {
+    /// Job id.
+    pub id: Id,
+    /// The evaluation the job belongs to.
+    pub evaluation_id: Id,
+    /// Concrete parameters for this point of the evaluation space.
+    pub parameters: Value,
+    /// Which attempt this is (1-based).
+    pub attempts: u32,
+}
+
+/// A thin, retrying client over the v1 agent endpoints.
+pub struct ControlClient {
+    http: Client,
+    backoff: Backoff,
+    base_url: String,
+    token: String,
+}
+
+impl ControlClient {
+    /// Connects to Chronos Control at `base_url` with a session token
+    /// (obtain one via [`ControlClient::login`]).
+    pub fn new(base_url: &str, token: &str) -> Self {
+        let http = Client::new(base_url);
+        http.set_default_header(crate::runtime::TOKEN_HEADER, token);
+        ControlClient {
+            http,
+            backoff: Backoff::default(),
+            base_url: base_url.to_string(),
+            token: token.to_string(),
+        }
+    }
+
+    /// A second client sharing the same endpoint and session (fresh
+    /// connection) — used by the heartbeat thread.
+    pub fn shallow_clone(&self) -> Self {
+        Self::new(&self.base_url, &self.token).with_backoff(self.backoff.clone())
+    }
+
+    /// Logs in and returns a ready client.
+    pub fn login(base_url: &str, username: &str, password: &str) -> Result<Self, AgentError> {
+        let http = Client::new(base_url);
+        let response = http
+            .post_json("/api/v1/login", &obj! {"username" => username, "password" => password})
+            .map_err(|e| AgentError::Transport(e.to_string()))?;
+        if !response.status.is_success() {
+            return Err(api_error(&response));
+        }
+        let token = response
+            .json_body()
+            .ok()
+            .and_then(|v| v.get("token").and_then(Value::as_str).map(str::to_string))
+            .ok_or_else(|| AgentError::Transport("login response missing token".into()))?;
+        Ok(Self::new(base_url, &token))
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    fn post(&self, path: &str, body: &Value) -> Result<chronos_http::Response, AgentError> {
+        self.backoff
+            .run(|_| self.http.post_json(path, body))
+            .map_err(|e| AgentError::Transport(e.to_string()))
+    }
+
+    /// Claims the next scheduled job for `deployment_id`, if any.
+    pub fn claim(&self, deployment_id: Id) -> Result<Option<ClaimedJob>, AgentError> {
+        let response =
+            self.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.to_base32()})?;
+        if response.status == Status::NO_CONTENT {
+            return Ok(None);
+        }
+        if !response.status.is_success() {
+            return Err(api_error(&response));
+        }
+        let doc = response
+            .json_body()
+            .map_err(|e| AgentError::Transport(format!("bad claim body: {e}")))?;
+        let id = parse_id(&doc, "id")?;
+        let evaluation_id = parse_id(&doc, "evaluation_id")?;
+        Ok(Some(ClaimedJob {
+            id,
+            evaluation_id,
+            parameters: doc.get("parameters").cloned().unwrap_or(Value::Null),
+            attempts: doc.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
+        }))
+    }
+
+    /// Sends a heartbeat with the current progress.
+    pub fn heartbeat(&self, job: Id, progress: u8) -> Result<(), AgentError> {
+        let response = self.post(
+            &format!("/api/v1/agent/jobs/{}/heartbeat", job.to_base32()),
+            &obj! {"progress" => progress as i64},
+        )?;
+        ok_or_api(&response)
+    }
+
+    /// Ships buffered log output.
+    pub fn append_log(&self, job: Id, text: &str) -> Result<(), AgentError> {
+        let response = self
+            .backoff
+            .run(|_| {
+                self.http.post_bytes(
+                    &format!("/api/v1/agent/jobs/{}/log", job.to_base32()),
+                    "text/plain; charset=utf-8",
+                    text.as_bytes().to_vec(),
+                )
+            })
+            .map_err(|e| AgentError::Transport(e.to_string()))?;
+        ok_or_api(&response)
+    }
+
+    /// Uploads the result (measurement JSON + zip archive) and finishes the
+    /// job.
+    pub fn upload_result(&self, job: Id, data: &Value, archive: &[u8]) -> Result<Id, AgentError> {
+        let body = obj! {
+            "data" => data.clone(),
+            "archive_b64" => base64_encode(archive),
+        };
+        let response = self.post(&format!("/api/v1/agent/jobs/{}/result", job.to_base32()), &body)?;
+        if !response.status.is_success() {
+            return Err(api_error(&response));
+        }
+        let doc = response
+            .json_body()
+            .map_err(|e| AgentError::Transport(format!("bad result body: {e}")))?;
+        parse_id(&doc, "id")
+    }
+
+    /// Reports the job as failed.
+    pub fn fail(&self, job: Id, reason: &str) -> Result<(), AgentError> {
+        let response = self.post(
+            &format!("/api/v1/agent/jobs/{}/fail", job.to_base32()),
+            &obj! {"reason" => reason},
+        )?;
+        ok_or_api(&response)
+    }
+}
+
+fn ok_or_api(response: &chronos_http::Response) -> Result<(), AgentError> {
+    if response.status.is_success() {
+        Ok(())
+    } else {
+        Err(api_error(response))
+    }
+}
+
+fn api_error(response: &chronos_http::Response) -> AgentError {
+    let message = response
+        .json_body()
+        .ok()
+        .and_then(|v| {
+            v.pointer("/error/message").and_then(Value::as_str).map(str::to_string)
+        })
+        .unwrap_or_else(|| String::from_utf8_lossy(&response.body).into_owned());
+    AgentError::Api { status: response.status.0, message }
+}
+
+fn parse_id(doc: &Value, field: &str) -> Result<Id, AgentError> {
+    doc.get(field)
+        .and_then(Value::as_str)
+        .and_then(|s| Id::parse_base32(s).ok())
+        .ok_or_else(|| AgentError::Transport(format!("response missing id field {field:?}")))
+}

@@ -1,0 +1,339 @@
+//! The demo evaluation client: benchmarks the `minidoc` document store.
+//!
+//! This is the reproduction of the paper's "MongoDB Chronos agent": the
+//! evaluation client behind the demo that "allows to create short running
+//! evaluations for the two MongoDB deployments and to directly analyze the
+//! results in the Chronos Web UI" (§3). It understands the parameters of
+//! the bundled `minidoc` system definition:
+//!
+//! | parameter | type | meaning |
+//! |---|---|---|
+//! | `engine` | checkbox `wiredtiger`/`mmapv1` | storage engine under test |
+//! | `threads` | interval | concurrent client threads |
+//! | `workload` | checkbox `a`..`f` | YCSB core workload |
+//! | `record_count` | value | records loaded before measuring |
+//! | `operation_count` | value | operations in the measured phase |
+//! | `field_length` | value | bytes per document field |
+//! | `compression` | boolean | block compression (wiredTiger only) |
+//!
+//! Lifecycle mapping (paper §1): *set-up* opens the database and bulk-loads
+//! the benchmark data; *warm-up* runs a read pass to fill caches; *execute*
+//! drives the operation mix from `threads` client threads, recording
+//! latencies per operation type; the result document carries the merged
+//! [`chronos_metrics::RunSummary`] plus engine statistics.
+
+use chronos_json::Value;
+use chronos_metrics::{Recorder, RunSummary};
+use chronos_util::pool::scoped_indexed;
+use chronos_workload::{CoreWorkload, Operation, WorkloadRunner, WorkloadSpec};
+use minidoc::{Database, DbConfig, EngineKind};
+
+use crate::context::JobContext;
+use crate::runtime::EvaluationClient;
+
+const COLLECTION: &str = "usertable";
+
+/// The bundled minidoc evaluation client.
+#[derive(Default)]
+pub struct DocstoreClient {
+    state: Option<RunState>,
+}
+
+struct RunState {
+    db: Database,
+    runner: WorkloadRunner,
+    threads: usize,
+    /// Temp data directory for durable runs (removed on tear-down).
+    data_dir: Option<std::path::PathBuf>,
+}
+
+impl DocstoreClient {
+    /// Creates an idle client (state is built per job in `set_up`).
+    pub fn new() -> Self {
+        DocstoreClient::default()
+    }
+
+    fn parse_config(ctx: &JobContext) -> Result<(DbConfig, WorkloadSpec, usize), String> {
+        let engine = match ctx.param_str("engine").as_deref() {
+            Some(name) => EngineKind::parse(name)
+                .ok_or_else(|| format!("unknown engine {name:?}"))?,
+            None => EngineKind::WiredTiger,
+        };
+        // `durability` parameter: run against a real data directory with
+        // synced journals/WAL (the demo's disk-bound configuration) instead
+        // of fully in memory.
+        let mut db_config = if ctx.param_bool("durability").unwrap_or(false) {
+            let dir = std::env::temp_dir().join(format!(
+                "minidoc-job-{}-{}",
+                std::process::id(),
+                ctx.job_id
+            ));
+            DbConfig::at_dir(engine, dir)
+        } else {
+            DbConfig::in_memory(engine)
+        };
+        if let Some(compression) = ctx.param_bool("compression") {
+            db_config = db_config.with_compression(compression && engine == EngineKind::WiredTiger);
+        }
+        let workload = match ctx.param_str("workload").as_deref() {
+            Some(w) => {
+                CoreWorkload::parse(w).ok_or_else(|| format!("unknown workload {w:?}"))?
+            }
+            None => CoreWorkload::A,
+        };
+        let mut spec = WorkloadSpec::core(workload);
+        if let Some(n) = ctx.param_i64("record_count") {
+            spec.record_count = n.max(1) as u64;
+        }
+        if let Some(n) = ctx.param_i64("operation_count") {
+            spec.operation_count = n.max(0) as u64;
+        }
+        if let Some(n) = ctx.param_i64("field_length") {
+            spec.field_length = n.max(1) as usize;
+        }
+        if let Some(n) = ctx.param_i64("field_count") {
+            spec.field_count = n.max(1) as usize;
+        }
+        if let Some(seed) = ctx.param_i64("seed") {
+            spec.seed = seed as u64;
+        }
+        if let Some(c) = ctx.param_f64("compressibility") {
+            spec.compressibility = c.clamp(0.0, 1.0);
+        }
+        let threads = ctx.param_i64("threads").unwrap_or(1).max(1) as usize;
+        Ok((db_config, spec, threads))
+    }
+}
+
+/// Converts workload field lists into a minidoc document.
+fn fields_to_doc(fields: &[(String, String)]) -> Value {
+    let mut map = chronos_json::Map::with_capacity(fields.len());
+    for (name, value) in fields {
+        map.insert(name.clone(), Value::from(value.as_str()));
+    }
+    Value::Object(map)
+}
+
+/// Executes one operation against the store, returning an error string on
+/// unexpected outcomes (read of a loaded key returning nothing, etc.).
+fn apply(db: &Database, op: &Operation) -> Result<(), String> {
+    let coll = db.collection(COLLECTION);
+    match op {
+        Operation::Read { key } => match coll.get(key) {
+            Ok(Some(_)) => Ok(()),
+            Ok(None) => Err(format!("read miss for {key}")),
+            Err(e) => Err(e.to_string()),
+        },
+        Operation::Update { key, fields } => {
+            coll.update(key, &fields_to_doc(fields)).map_err(|e| e.to_string())
+        }
+        Operation::Insert { key, fields } => {
+            coll.insert(key, &fields_to_doc(fields)).map_err(|e| e.to_string())
+        }
+        Operation::Scan { start_key, count } => coll
+            .scan(start_key, *count as usize)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Operation::ReadModifyWrite { key, fields } => {
+            let current = coll.get(key).map_err(|e| e.to_string())?;
+            match current {
+                Some(mut doc) => {
+                    for (name, value) in fields {
+                        doc.set(name.as_str(), value.as_str());
+                    }
+                    coll.update(key, &doc).map_err(|e| e.to_string())
+                }
+                None => Err(format!("rmw miss for {key}")),
+            }
+        }
+    }
+}
+
+impl EvaluationClient for DocstoreClient {
+    fn name(&self) -> &str {
+        "minidoc-ycsb"
+    }
+
+    fn set_up(&mut self, ctx: &JobContext) -> Result<(), String> {
+        let (db_config, spec, threads) = Self::parse_config(ctx)?;
+        let engine = db_config.engine;
+        ctx.log(format!(
+            "set_up: engine={engine} threads={threads} records={} ops={}",
+            spec.record_count, spec.operation_count
+        ));
+        let data_dir = db_config.data_dir.clone();
+        let db = Database::open(db_config).map_err(|e| e.to_string())?;
+        let runner = WorkloadRunner::new(spec)?;
+        // Load phase: bulk-ingest the benchmark data from all threads.
+        let load_errors: usize = scoped_indexed(threads, |t| {
+            let mut errors = 0;
+            for op in runner.load_partition(t, threads) {
+                if apply(&db, &op).is_err() {
+                    errors += 1;
+                }
+            }
+            errors
+        })
+        .into_iter()
+        .sum();
+        if load_errors > 0 {
+            return Err(format!("{load_errors} errors during data load"));
+        }
+        ctx.log(format!(
+            "set_up: loaded {} records into '{COLLECTION}'",
+            db.collection(COLLECTION).count()
+        ));
+        ctx.set_progress(10);
+        self.state = Some(RunState { db, runner, threads, data_dir });
+        Ok(())
+    }
+
+    fn warm_up(&mut self, ctx: &JobContext) -> Result<(), String> {
+        let state = self.state.as_ref().ok_or("warm_up before set_up")?;
+        // Touch a slice of the keyspace to fill caches/buffers.
+        let spec = state.runner.spec();
+        let coll = state.db.collection(COLLECTION);
+        let sample = (spec.record_count / 10).clamp(1, 1_000);
+        for i in 0..sample {
+            let key = spec.key_for(i * spec.record_count / sample % spec.record_count);
+            let _ = coll.get(&key);
+        }
+        ctx.log(format!("warm_up: touched {sample} records"));
+        ctx.set_progress(15);
+        Ok(())
+    }
+
+    fn execute(&mut self, ctx: &JobContext) -> Result<Value, String> {
+        let state = self.state.as_ref().ok_or("execute before set_up")?;
+        let threads = state.threads;
+        let total_ops = state.runner.spec().operation_count.max(1);
+        let summaries: Vec<RunSummary> = scoped_indexed(threads, |t| {
+            let mut recorder = Recorder::new();
+            let mut done = 0u64;
+            for op in state.runner.stream(t, threads) {
+                let kind = op.kind();
+                let _ = recorder.time(kind, || apply(&state.db, &op));
+                done += 1;
+                if done.is_multiple_of(512) && t == 0 {
+                    // Progress: 15% after warm-up, 100% at completion.
+                    let frac =
+                        (done * threads as u64).min(total_ops) as f64 / total_ops as f64;
+                    ctx.set_progress(15 + (frac * 84.0) as u8);
+                }
+            }
+            recorder.into_summary()
+        });
+        let merged = RunSummary::merge_all(summaries);
+        ctx.log(format!(
+            "execute: {} ops in {} ms ({:.0} ops/s), {} errors",
+            merged.total_ops(),
+            merged.wall_millis,
+            merged.throughput_ops_per_sec(),
+            merged.total_errors()
+        ));
+        let mut data = merged.to_json();
+        data.set("engine_stats", state.db.stats().to_json());
+        data.set("threads", threads as i64);
+        // Attach the raw per-second series as a CSV for offline analysis.
+        let series = merged.throughput_series();
+        let mut csv = String::from("second,ops\n");
+        for (i, rate) in series.rates_per_second().iter().enumerate() {
+            csv.push_str(&format!("{i},{rate}\n"));
+        }
+        ctx.attach("throughput.csv", csv.into_bytes());
+        Ok(data)
+    }
+
+    fn tear_down(&mut self, ctx: &JobContext) {
+        if let Some(state) = self.state.take() {
+            let data_dir = state.data_dir.clone();
+            drop(state);
+            if let Some(dir) = data_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            ctx.log("tear_down: dropped database");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+    use chronos_util::Id;
+
+    fn ctx(params: Value) -> JobContext {
+        JobContext::new(Id::generate(), params)
+    }
+
+    fn small_params(engine: &str) -> Value {
+        obj! {
+            "engine" => engine,
+            "threads" => 2,
+            "workload" => "a",
+            "record_count" => 200,
+            "operation_count" => 500,
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_produces_measurements() {
+        for engine in ["wiredtiger", "mmapv1"] {
+            let mut client = DocstoreClient::new();
+            let ctx = ctx(small_params(engine));
+            client.set_up(&ctx).unwrap();
+            client.warm_up(&ctx).unwrap();
+            let data = client.execute(&ctx).unwrap();
+            client.tear_down(&ctx);
+            assert_eq!(data.pointer("/total_ops").and_then(Value::as_u64), Some(500));
+            assert_eq!(data.pointer("/total_errors").and_then(Value::as_u64), Some(0));
+            assert!(data.pointer("/throughput_ops_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+            assert!(data.pointer("/operations/read/latency_micros/p99").is_some());
+            assert_eq!(
+                data.pointer("/engine_stats/documents").and_then(Value::as_u64),
+                Some(200)
+            );
+            let attachments = ctx.take_attachments();
+            assert!(attachments.iter().any(|(n, _)| n == "throughput.csv"));
+        }
+    }
+
+    #[test]
+    fn unknown_engine_rejected_in_setup() {
+        let mut client = DocstoreClient::new();
+        let ctx = ctx(obj! {"engine" => "rocksdb"});
+        assert!(client.set_up(&ctx).unwrap_err().contains("unknown engine"));
+    }
+
+    #[test]
+    fn execute_without_setup_fails() {
+        let mut client = DocstoreClient::new();
+        let ctx = ctx(obj! {});
+        assert!(client.execute(&ctx).is_err());
+    }
+
+    #[test]
+    fn workload_e_scans_run() {
+        let mut client = DocstoreClient::new();
+        let ctx = ctx(obj! {
+            "engine" => "wiredtiger",
+            "threads" => 1,
+            "workload" => "e",
+            "record_count" => 100,
+            "operation_count" => 200,
+        });
+        client.set_up(&ctx).unwrap();
+        let data = client.execute(&ctx).unwrap();
+        assert!(data.pointer("/operations/scan/latency_micros/count").and_then(Value::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn defaults_apply_when_parameters_missing() {
+        let mut client = DocstoreClient::new();
+        let ctx = ctx(obj! {"record_count" => 50, "operation_count" => 100});
+        client.set_up(&ctx).unwrap();
+        let data = client.execute(&ctx).unwrap();
+        assert_eq!(data.pointer("/threads").and_then(Value::as_i64), Some(1));
+        client.tear_down(&ctx);
+    }
+}

@@ -1,0 +1,32 @@
+//! # chronos-agent — the Chronos Agent library
+//!
+//! The Rust counterpart of the paper's Java agent library (§2.2): "clients
+//! or client libraries connecting to Chronos' REST API that perform or
+//! trigger the actual evaluation workload."
+//!
+//! As in the paper, "integrating the Chronos Agent library into an existing
+//! evaluation client is the only part which requires programming [...] the
+//! agent library already provides an interface with all necessary methods
+//! to be implemented": implement [`EvaluationClient`] (set-up → warm-up →
+//! execute → tear-down) and hand it to a [`ChronosAgent`]; the agent does
+//! everything else — job polling, heartbeats, progress updates, periodic
+//! log shipping, basic-metrics capture and the result upload ("a JSON and a
+//! zip file"), with HTTP or a NAS-style local directory as the result sink.
+//!
+//! [`DocstoreClient`] is the bundled evaluation client for the paper's
+//! demo: it benchmarks the [`minidoc`] document store (wiredTiger-like vs
+//! mmapv1-like engines) under a YCSB-style workload.
+
+mod context;
+mod control_client;
+mod docstore_client;
+mod runtime;
+mod tpcc_client;
+mod sink;
+
+pub use context::JobContext;
+pub use control_client::{AgentError, ClaimedJob, ControlClient};
+pub use docstore_client::DocstoreClient;
+pub use tpcc_client::TpccClient;
+pub use runtime::{AgentConfig, ChronosAgent, EvaluationClient};
+pub use sink::{HttpSink, LocalDirSink, ResultSink};

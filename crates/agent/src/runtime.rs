@@ -1,0 +1,238 @@
+//! The agent runtime: claim → run lifecycle → upload, with heartbeats.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+use chronos_zip::ZipWriter;
+
+use crate::context::JobContext;
+use crate::control_client::{AgentError, ClaimedJob, ControlClient};
+use crate::sink::{HttpSink, ResultSink};
+
+/// Header carrying the session token (shared with the server crate).
+pub(crate) const TOKEN_HEADER: &str = "X-Chronos-Token";
+
+/// The interface an evaluation client implements (paper §2.2: "the agent
+/// library already provides an interface with all necessary methods to be
+/// implemented" — "this usually narrows down to calling already existing
+/// methods of the evaluation client").
+pub trait EvaluationClient: Send {
+    /// A short client name (appears in logs and the result document).
+    fn name(&self) -> &str;
+
+    /// Prepares the SuE for this job's parameters: configuration, benchmark
+    /// data generation and ingestion (paper §1, step one).
+    fn set_up(&mut self, ctx: &JobContext) -> Result<(), String>;
+
+    /// Warm-up phase "filling internal buffers, to make sure that the
+    /// behavior of the SuE reflects a realistic use" (§1, step two).
+    fn warm_up(&mut self, _ctx: &JobContext) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The actual evaluation run (§1, step three). Returns the measurement
+    /// document for analysis within Chronos Control.
+    fn execute(&mut self, ctx: &JobContext) -> Result<Value, String>;
+
+    /// Cleanup after the run (always called, also after failures).
+    fn tear_down(&mut self, _ctx: &JobContext) {}
+}
+
+/// Agent configuration.
+pub struct AgentConfig {
+    /// The deployment this agent executes jobs for.
+    pub deployment_id: Id,
+    /// Interval between heartbeats / log flushes while a job runs.
+    pub heartbeat_interval: Duration,
+    /// Interval between claim attempts when the queue is empty.
+    pub poll_interval: Duration,
+    /// Where result archives go.
+    pub sink: Box<dyn ResultSink>,
+}
+
+impl AgentConfig {
+    /// Defaults: 1 s heartbeats, 250 ms polling, inline HTTP sink.
+    pub fn new(deployment_id: Id) -> Self {
+        AgentConfig {
+            deployment_id,
+            heartbeat_interval: Duration::from_millis(1000),
+            poll_interval: Duration::from_millis(250),
+            sink: Box::new(HttpSink),
+        }
+    }
+}
+
+/// The agent runtime driving one [`EvaluationClient`].
+pub struct ChronosAgent<C: EvaluationClient> {
+    client: ControlClient,
+    config: AgentConfig,
+    evaluation_client: C,
+}
+
+impl<C: EvaluationClient> ChronosAgent<C> {
+    /// Creates an agent.
+    pub fn new(client: ControlClient, config: AgentConfig, evaluation_client: C) -> Self {
+        ChronosAgent { client, config, evaluation_client }
+    }
+
+    /// Claims and executes one job. Returns `Ok(false)` when no job was
+    /// available, `Ok(true)` after completing one (successfully or by
+    /// reporting its failure to Chronos Control).
+    pub fn run_once(&mut self) -> Result<bool, AgentError> {
+        let Some(job) = self.client.claim(self.config.deployment_id)? else {
+            return Ok(false);
+        };
+        self.execute_job(job)?;
+        Ok(true)
+    }
+
+    /// Runs until the queue stays empty for `idle_for`.
+    pub fn run_until_idle(&mut self, idle_for: Duration) -> Result<u64, AgentError> {
+        let mut completed = 0;
+        let mut idle_since = Instant::now();
+        loop {
+            if self.run_once()? {
+                completed += 1;
+                idle_since = Instant::now();
+            } else {
+                if idle_since.elapsed() >= idle_for {
+                    return Ok(completed);
+                }
+                std::thread::sleep(self.config.poll_interval);
+            }
+        }
+    }
+
+    fn execute_job(&mut self, job: ClaimedJob) -> Result<(), AgentError> {
+        let ctx = JobContext::new(job.id, job.parameters.clone());
+        ctx.log(format!(
+            "agent: starting {} (attempt {}) with parameters {}",
+            self.evaluation_client.name(),
+            job.attempts,
+            job.parameters
+        ));
+
+        // Heartbeat thread: ships progress + buffered logs periodically.
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let ctx = ctx.clone();
+            let stop = Arc::clone(&stop);
+            let client = self.client_clone()?;
+            let interval = self.config.heartbeat_interval;
+            std::thread::Builder::new()
+                .name("chronos-agent-heartbeat".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let _ = client.heartbeat(ctx.job_id, ctx.progress());
+                        let logs = ctx.take_logs();
+                        if !logs.is_empty() {
+                            let _ = client.append_log(ctx.job_id, &logs);
+                        }
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("failed to spawn heartbeat thread")
+        };
+
+        let outcome = self.run_lifecycle(&ctx);
+
+        stop.store(true, Ordering::SeqCst);
+        let _ = heartbeat.join();
+        // Final log flush.
+        let logs = ctx.take_logs();
+        if !logs.is_empty() {
+            let _ = self.client.append_log(ctx.job_id, &logs);
+        }
+
+        match outcome {
+            Ok(data) => {
+                let archive = build_archive(&ctx, &data);
+                self.config.sink.deliver(&self.client, ctx.job_id, &data, &archive)?;
+                Ok(())
+            }
+            Err(reason) => {
+                self.client.fail(ctx.job_id, &reason)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// set-up → warm-up → execute → tear-down, timing each phase and
+    /// catching panics so a crashing benchmark fails only its job.
+    fn run_lifecycle(&mut self, ctx: &JobContext) -> Result<Value, String> {
+        let run = |label: &str,
+                   ctx: &JobContext,
+                   f: &mut dyn FnMut(&JobContext) -> Result<(), String>|
+         -> Result<u64, String> {
+            let start = Instant::now();
+            ctx.log(format!("agent: phase {label}"));
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                Ok(Ok(())) => Ok(start.elapsed().as_millis() as u64),
+                Ok(Err(e)) => Err(format!("{label} failed: {e}")),
+                Err(panic) => Err(format!("{label} panicked: {}", panic_message(&panic))),
+            }
+        };
+
+        let client = &mut self.evaluation_client;
+        let result = (|| {
+            let setup_ms = run("set_up", ctx, &mut |c| client.set_up(c))?;
+            let warmup_ms = run("warm_up", ctx, &mut |c| client.warm_up(c))?;
+            let execute_start = Instant::now();
+            ctx.log("agent: phase execute");
+            let mut data =
+                match std::panic::catch_unwind(AssertUnwindSafe(|| client.execute(ctx))) {
+                    Ok(Ok(data)) => data,
+                    Ok(Err(e)) => return Err(format!("execute failed: {e}")),
+                    Err(panic) => {
+                        return Err(format!("execute panicked: {}", panic_message(&panic)))
+                    }
+                };
+            let execute_ms = execute_start.elapsed().as_millis() as u64;
+            // Basic metrics the library measures on its own (paper §2.2).
+            data.set(
+                "agent",
+                obj! {
+                    "client" => client.name(),
+                    "setup_millis" => setup_ms,
+                    "warmup_millis" => warmup_ms,
+                    "execute_millis" => execute_ms,
+                },
+            );
+            ctx.set_progress(100);
+            Ok(data)
+        })();
+        self.evaluation_client.tear_down(ctx);
+        result
+    }
+
+    /// The heartbeat thread needs its own connection; tokens are reusable,
+    /// so we rebuild a client from the same transport settings.
+    fn client_clone(&self) -> Result<ControlClient, AgentError> {
+        Ok(self.client.shallow_clone())
+    }
+}
+
+/// Builds the result zip: every attachment plus a pretty-printed copy of the
+/// measurement document for offline analysis.
+fn build_archive(ctx: &JobContext, data: &Value) -> Vec<u8> {
+    let mut zip = ZipWriter::new();
+    let _ = zip.add_file("result.json", data.to_pretty_string().as_bytes());
+    for (name, bytes) in ctx.take_attachments() {
+        let _ = zip.add_file(&name, &bytes);
+    }
+    zip.finish()
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}

@@ -1,0 +1,96 @@
+//! Result sinks.
+//!
+//! The paper's agent library uploads results "via HTTP or FTP. The latter
+//! allows to use a different server or a NAS for storing the results which
+//! also reduces the load and storage requirements on the Chronos Control
+//! server" (§2.2). [`ResultSink`] is that choice point: [`HttpSink`] sends
+//! the zip inline with the result upload; [`LocalDirSink`] writes it to a
+//! mounted directory (the NAS/FTP substitute) and only a reference travels
+//! to Chronos Control.
+
+use std::path::PathBuf;
+
+use chronos_json::Value;
+use chronos_util::Id;
+
+use crate::control_client::{AgentError, ControlClient};
+
+/// Where the result archive ends up.
+pub trait ResultSink: Send + Sync {
+    /// Delivers the result; returns the result id Chronos Control assigned.
+    fn deliver(
+        &self,
+        client: &ControlClient,
+        job: Id,
+        data: &Value,
+        archive: &[u8],
+    ) -> Result<Id, AgentError>;
+}
+
+/// Inline HTTP upload (the default).
+#[derive(Debug, Default)]
+pub struct HttpSink;
+
+impl ResultSink for HttpSink {
+    fn deliver(
+        &self,
+        client: &ControlClient,
+        job: Id,
+        data: &Value,
+        archive: &[u8],
+    ) -> Result<Id, AgentError> {
+        client.upload_result(job, data, archive)
+    }
+}
+
+/// Writes the archive to a local directory (NAS mount) and uploads only the
+/// measurement JSON (with a `archive_ref` pointer) to Chronos Control.
+#[derive(Debug)]
+pub struct LocalDirSink {
+    dir: PathBuf,
+}
+
+impl LocalDirSink {
+    /// Creates a sink writing into `dir` (created on first use).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LocalDirSink { dir: dir.into() }
+    }
+
+    /// The path the archive for `job` is written to.
+    pub fn archive_path(&self, job: Id) -> PathBuf {
+        self.dir.join(format!("{}.zip", job.to_base32()))
+    }
+}
+
+impl ResultSink for LocalDirSink {
+    fn deliver(
+        &self,
+        client: &ControlClient,
+        job: Id,
+        data: &Value,
+        archive: &[u8],
+    ) -> Result<Id, AgentError> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| AgentError::Transport(format!("cannot create sink dir: {e}")))?;
+        let path = self.archive_path(job);
+        std::fs::write(&path, archive)
+            .map_err(|e| AgentError::Transport(format!("cannot write archive: {e}")))?;
+        let mut data = data.clone();
+        data.set("archive_ref", path.display().to_string());
+        client.upload_result(job, &data, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_sink_paths_are_per_job() {
+        let sink = LocalDirSink::new("/tmp/results");
+        let a = sink.archive_path(Id::generate());
+        let b = sink.archive_path(Id::generate());
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().ends_with(".zip"));
+    }
+}

@@ -1,0 +1,91 @@
+//! E5 — Chronos Control itself: evaluation-space expansion, job claiming,
+//! and metadata-store recovery. Requirement (ii)/(iii) machinery must stay
+//! cheap relative to the benchmarks it orchestrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_core::auth::Role;
+use chronos_core::params::{ParamAssignments, ParamDef, ParamType};
+use chronos_core::store::MetadataStore;
+use chronos_core::ChronosControl;
+use chronos_json::{obj, Value};
+
+/// Builds a control instance with a system whose space has `points` points.
+fn control_with_space(points: i64) -> (ChronosControl, chronos_util::Id, chronos_util::Id) {
+    let control = ChronosControl::in_memory();
+    let owner = control.create_user("bench", "pw", Role::Member).unwrap();
+    let system = control
+        .register_system(
+            "sut",
+            "",
+            vec![ParamDef::new(
+                "p",
+                "",
+                ParamType::Interval { min: 1, max: points.max(1), step: 1 },
+                Value::from(1),
+            )
+            .unwrap()],
+            vec![],
+        )
+        .unwrap();
+    let deployment = control.create_deployment(system.id, "bench", "1").unwrap();
+    let project = control.create_project("bench", "", owner.id).unwrap();
+    let experiment = control
+        .create_experiment(project.id, system.id, "e", "", ParamAssignments::new().sweep_all("p"))
+        .unwrap();
+    (control, experiment.id, deployment.id)
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_space_expansion");
+    group.sample_size(10);
+    for points in [10i64, 100, 1000] {
+        group.throughput(Throughput::Elements(points as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(points), &points, |b, &points| {
+            let (control, experiment_id, _) = control_with_space(points);
+            b.iter(|| control.create_evaluation(experiment_id).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_claim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_job_claim");
+    group.sample_size(10);
+    group.bench_function("claim_one_of_100", |b| {
+        b.iter_batched(
+            || {
+                let (control, experiment_id, deployment_id) = control_with_space(100);
+                control.create_evaluation(experiment_id).unwrap();
+                (control, deployment_id)
+            },
+            |(control, deployment_id)| control.claim_next_job(deployment_id).unwrap().unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_store_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_store_recovery");
+    group.sample_size(10);
+    let path = std::env::temp_dir().join(format!("chronos-bench-recovery-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let store = MetadataStore::open(&path).unwrap();
+        for i in 0..2_000 {
+            store
+                .put("job", &format!("job{i:06}"), obj! {"state" => "finished", "i" => i})
+                .unwrap();
+        }
+    }
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("replay_2000_entities", |b| {
+        b.iter(|| MetadataStore::open(&path).unwrap().count("job"));
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion, bench_claim, bench_store_recovery);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4 — document size sensitivity: YCSB-A per engine across field lengths
+//! (in-memory; isolates the update path's copy/compress/pad costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_bench::{run_docstore, RunConfig};
+
+const RECORDS: i64 = 250;
+const OPS: i64 = 2_000;
+
+fn bench_docsize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_docsize_inmemory");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    for field_length in [64i64, 256, 1024] {
+        for engine in ["wiredtiger", "mmapv1"] {
+            group.bench_with_input(
+                BenchmarkId::new(engine, field_length),
+                &field_length,
+                |b, &field_length| {
+                    b.iter(|| {
+                        run_docstore(&RunConfig {
+                            engine,
+                            threads: 2,
+                            field_length,
+                            durability: false,
+                            record_count: RECORDS,
+                            operation_count: OPS,
+                            ..RunConfig::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_docsize);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E3 — bulk load: the workflow's benchmark-data ingestion step, per engine
+//! and compression setting (in-memory, isolating the CPU/storage path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_json::obj;
+use chronos_workload::{Operation, WorkloadRunner, WorkloadSpec};
+use minidoc::{Database, DbConfig, EngineKind};
+
+const RECORDS: u64 = 2_000;
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_bulk_load");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(RECORDS));
+    for (label, engine, compression) in [
+        ("wiredtiger_compress", EngineKind::WiredTiger, true),
+        ("wiredtiger_raw", EngineKind::WiredTiger, false),
+        ("mmapv1", EngineKind::MmapV1, false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            let spec = WorkloadSpec { record_count: RECORDS, ..WorkloadSpec::default() };
+            let runner = WorkloadRunner::new(spec).unwrap();
+            let load: Vec<Operation> = runner.load_partition(0, 1);
+            b.iter(|| {
+                let db = Database::open(
+                    DbConfig::in_memory(engine).with_compression(compression),
+                )
+                .unwrap();
+                let coll = db.collection("usertable");
+                for op in &load {
+                    if let Operation::Insert { key, fields } = op {
+                        let mut doc = obj! {};
+                        for (name, value) in fields {
+                            doc.set(name.as_str(), value.as_str());
+                        }
+                        coll.insert(key, &doc).unwrap();
+                    }
+                }
+                db.stats().stored_bytes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load);
+criterion_main!(benches);

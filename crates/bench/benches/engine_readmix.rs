@@ -1,0 +1,47 @@
+//! E2 — read-mix sensitivity: YCSB A (update-heavy), B (read-mostly) and
+//! C (read-only) per engine at 4 client threads, durable configuration.
+//! The engines' gap should shrink as the write fraction goes to zero.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_bench::{run_docstore, RunConfig};
+
+const RECORDS: i64 = 500;
+
+fn bench_readmix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_readmix_durable");
+    group.sample_size(10);
+    for workload in ["a", "b", "c"] {
+        // Read-heavy mixes run far faster per op; scale ops so each
+        // iteration stays measurable.
+        let ops: i64 = match workload {
+            "a" => 2_000,
+            "b" => 8_000,
+            _ => 16_000,
+        };
+        group.throughput(Throughput::Elements(ops as u64));
+        for engine in ["wiredtiger", "mmapv1"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ycsb_{workload}"), engine),
+                &engine,
+                |b, &engine| {
+                    b.iter(|| {
+                        run_docstore(&RunConfig {
+                            engine,
+                            threads: 4,
+                            workload,
+                            durability: true,
+                            record_count: RECORDS,
+                            operation_count: ops,
+                            ..RunConfig::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_readmix);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 — the demo headline under Criterion: YCSB-A throughput per engine and
+//! client thread count, durable configuration.
+//!
+//! One Criterion iteration = one complete evaluation-client run (load +
+//! measured phase), so `throughput` here is elements = operations per
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_bench::{run_docstore, RunConfig};
+
+const RECORDS: i64 = 500;
+const OPS: i64 = 2_000;
+
+fn bench_engine_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_ycsb_a_durable");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(OPS as u64));
+    for engine in ["wiredtiger", "mmapv1"] {
+        for threads in [1i64, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(engine, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        run_docstore(&RunConfig {
+                            engine,
+                            threads,
+                            durability: true,
+                            record_count: RECORDS,
+                            operation_count: OPS,
+                            ..RunConfig::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_threads);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E6 — the result pipeline: every job result is "a JSON and a zip file"
+//! (paper §2.1), shipped base64-encoded over the REST API. These benches
+//! cover each stage of that path on a realistic result document.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use chronos_bench::{run_docstore, RunConfig};
+use chronos_util::encode::{base64_decode, base64_encode};
+use chronos_zip::{ZipArchive, ZipWriter};
+
+/// A realistic measurement document (a real merged RunSummary).
+fn result_document() -> chronos_json::Value {
+    let outcome = run_docstore(&RunConfig {
+        record_count: 300,
+        operation_count: 1_000,
+        ..RunConfig::default()
+    });
+    let _ = outcome;
+    // Re-run through the client to get the full document shape.
+    use chronos_agent::EvaluationClient;
+    let mut client = chronos_agent::DocstoreClient::new();
+    let ctx = chronos_agent::JobContext::new(
+        chronos_util::Id::generate(),
+        RunConfig { record_count: 300, operation_count: 1_000, ..RunConfig::default() }
+            .to_params(),
+    );
+    client.set_up(&ctx).unwrap();
+    let data = client.execute(&ctx).unwrap();
+    client.tear_down(&ctx);
+    data
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let document = result_document();
+    let text = document.to_string();
+    let bytes = text.clone().into_bytes();
+
+    let mut group = c.benchmark_group("e6_result_pipeline");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    group.bench_function("json_serialize", |b| b.iter(|| document.to_string()));
+    group.bench_function("json_parse", |b| b.iter(|| chronos_json::parse(&text).unwrap()));
+    group.bench_function("json_pretty", |b| b.iter(|| document.to_pretty_string()));
+    group.bench_function("zip_pack", |b| {
+        b.iter(|| {
+            let mut w = ZipWriter::new();
+            w.add_file("result.json", &bytes).unwrap();
+            w.finish()
+        })
+    });
+    let archive = {
+        let mut w = ZipWriter::new();
+        w.add_file("result.json", &bytes).unwrap();
+        w.finish()
+    };
+    group.bench_function("zip_unpack", |b| {
+        b.iter(|| ZipArchive::parse(&archive).unwrap().read("result.json").unwrap())
+    });
+    group.bench_function("base64_encode", |b| b.iter(|| base64_encode(&bytes)));
+    let encoded = base64_encode(&bytes);
+    group.bench_function("base64_decode", |b| b.iter(|| base64_decode(&encoded).unwrap()));
+    group.bench_function("pointer_lookup", |b| {
+        b.iter(|| {
+            document
+                .pointer("/operations/read/latency_micros/p99")
+                .and_then(chronos_json::Value::as_u64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7 — tpcc-lite under Criterion: one iteration = one measured transaction
+//! phase (the population is loaded once per engine outside the timing
+//! loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chronos_agent::{EvaluationClient, JobContext, TpccClient};
+use chronos_util::Id;
+
+const TRANSACTIONS: i64 = 500;
+
+fn bench_tpcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_tpcc_lite");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRANSACTIONS as u64));
+    for engine in ["wiredtiger", "mmapv1"] {
+        group.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &engine| {
+            b.iter(|| {
+                let mut client = TpccClient::new();
+                let ctx = JobContext::new(
+                    Id::generate(),
+                    chronos_json::obj! {
+                        "engine" => engine,
+                        "threads" => 2,
+                        "warehouses" => 1,
+                        "transaction_count" => TRANSACTIONS,
+                    },
+                );
+                client.set_up(&ctx).unwrap();
+                let data = client.execute(&ctx).unwrap();
+                client.tear_down(&ctx);
+                data
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcc);
+criterion_main!(benches);

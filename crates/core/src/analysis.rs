@@ -1,0 +1,456 @@
+//! Result analysis (paper Fig. 3d and requirement *(vi)*).
+//!
+//! Analysis turns an evaluation's per-job result documents into plottable
+//! series: the experiment's swept parameters become the x axis and the
+//! series split, the chart's `value_path` pointer selects the measurement.
+//! A tabular summary and cross-series comparisons (who wins, by what
+//! factor) are derived from the same data.
+
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+
+use crate::charts::{ChartData, ChartSpec};
+use crate::control::ChronosControl;
+use crate::error::{CoreError, CoreResult};
+use crate::model::JobState;
+
+/// One analyzable data point: a finished job's parameters + measurements.
+#[derive(Debug, Clone)]
+pub struct ResultPoint {
+    /// Job id.
+    pub job_id: Id,
+    /// The job's concrete parameters.
+    pub parameters: Value,
+    /// The uploaded measurement document.
+    pub data: Value,
+}
+
+/// Collects the finished jobs of an evaluation as result points.
+pub fn collect_points(
+    control: &ChronosControl,
+    evaluation_id: Id,
+) -> CoreResult<Vec<ResultPoint>> {
+    let jobs = control.list_jobs(evaluation_id)?;
+    let mut points = Vec::new();
+    for job in jobs {
+        if job.state != JobState::Finished {
+            continue;
+        }
+        if let Some(result) = control.result_for_job(job.id)? {
+            points.push(ResultPoint {
+                job_id: job.id,
+                parameters: job.parameters.clone(),
+                data: result.data,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Renders one parameter value as a stable label.
+fn param_label(value: Option<&Value>) -> String {
+    match value {
+        None | Some(Value::Null) => "-".to_string(),
+        Some(Value::String(s)) => s.clone(),
+        Some(other) => other.to_string(),
+    }
+}
+
+/// Sorts labels numerically when they all parse as numbers, else
+/// lexicographically (thread counts must order 1, 2, 10 — not 1, 10, 2).
+fn sort_labels(labels: &mut Vec<String>) {
+    let all_numeric = labels.iter().all(|l| l.parse::<f64>().is_ok());
+    if all_numeric {
+        labels.sort_by(|a, b| {
+            a.parse::<f64>()
+                .unwrap_or(0.0)
+                .partial_cmp(&b.parse::<f64>().unwrap_or(0.0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    } else {
+        labels.sort();
+    }
+    labels.dedup();
+}
+
+/// Builds the [`ChartData`] for `spec` from an evaluation's results.
+///
+/// Multiple points landing in the same (x, series) cell are averaged —
+/// repeated evaluations of the same experiment refine the measurement.
+pub fn chart_data(
+    control: &ChronosControl,
+    evaluation_id: Id,
+    spec: &ChartSpec,
+) -> CoreResult<ChartData> {
+    let points = collect_points(control, evaluation_id)?;
+    chart_data_from_points(&points, spec)
+}
+
+/// [`chart_data`] over pre-collected points (used by archives and tests).
+pub fn chart_data_from_points(points: &[ResultPoint], spec: &ChartSpec) -> CoreResult<ChartData> {
+    let mut x_labels: Vec<String> = points
+        .iter()
+        .map(|p| param_label(p.parameters.get(&spec.x_param)))
+        .collect();
+    sort_labels(&mut x_labels);
+    let mut series_names: Vec<String> = match &spec.series_param {
+        Some(param) => {
+            let mut names: Vec<String> =
+                points.iter().map(|p| param_label(p.parameters.get(param))).collect();
+            names.sort();
+            names.dedup();
+            names
+        }
+        None => vec![spec.y_label.clone()],
+    };
+    if series_names.is_empty() {
+        series_names.push(spec.y_label.clone());
+    }
+    // (series, x) -> (sum, count)
+    let mut cells: Vec<Vec<(f64, u32)>> = vec![vec![(0.0, 0); x_labels.len()]; series_names.len()];
+    for point in points {
+        let x = param_label(point.parameters.get(&spec.x_param));
+        let series = match &spec.series_param {
+            Some(param) => param_label(point.parameters.get(param)),
+            None => spec.y_label.clone(),
+        };
+        let Some(value) = point.data.pointer(&spec.value_path).and_then(Value::as_f64) else {
+            continue;
+        };
+        let (Some(xi), Some(si)) = (
+            x_labels.iter().position(|l| *l == x),
+            series_names.iter().position(|s| *s == series),
+        ) else {
+            continue;
+        };
+        cells[si][xi].0 += value;
+        cells[si][xi].1 += 1;
+    }
+    let series = series_names
+        .into_iter()
+        .zip(cells)
+        .map(|(name, row)| {
+            let values = row
+                .into_iter()
+                .map(|(sum, n)| if n == 0 { None } else { Some(sum / n as f64) })
+                .collect();
+            (name, values)
+        })
+        .collect();
+    Ok(ChartData { x_labels, series })
+}
+
+/// A tabular summary of an evaluation: one row per finished job with its
+/// parameters and the standard metrics found in the result document.
+pub fn summary_table(control: &ChronosControl, evaluation_id: Id) -> CoreResult<Value> {
+    let points = collect_points(control, evaluation_id)?;
+    let rows: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            obj! {
+                "job_id" => p.job_id.to_base32(),
+                "parameters" => p.parameters.clone(),
+                "metrics" => standard_metrics(&p.data),
+            }
+        })
+        .collect();
+    Ok(obj! {
+        "evaluation_id" => evaluation_id.to_base32(),
+        "rows" => Value::Array(rows),
+    })
+}
+
+/// Extracts the standard metrics (requirement *(vi)*: "standard metrics for
+/// measurements (e.g., execution time)") from a result document, tolerating
+/// missing fields.
+pub fn standard_metrics(data: &Value) -> Value {
+    let mut metrics = obj! {};
+    for (label, pointer) in [
+        ("execution_time_millis", "/wall_millis"),
+        ("throughput_ops_per_sec", "/throughput_ops_per_sec"),
+        ("total_ops", "/total_ops"),
+        ("total_errors", "/total_errors"),
+        ("read_latency_p99_micros", "/operations/read/latency_micros/p99"),
+        ("update_latency_p99_micros", "/operations/update/latency_micros/p99"),
+    ] {
+        if let Some(v) = data.pointer(pointer) {
+            metrics.set(label, v.clone());
+        }
+    }
+    metrics
+}
+
+/// Compares two series of a chart: per-x ratio `a / b` and the overall
+/// winner. This is the "who wins, by what factor" readout of the demo.
+pub fn compare_series(data: &ChartData, series_a: &str, series_b: &str) -> CoreResult<Value> {
+    let find = |name: &str| {
+        data.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ys)| ys)
+            .ok_or_else(|| CoreError::Invalid(format!("no series {name:?}")))
+    };
+    let a = find(series_a)?;
+    let b = find(series_b)?;
+    let mut ratios = Vec::new();
+    let mut a_wins = 0usize;
+    let mut comparisons = 0usize;
+    for (i, label) in data.x_labels.iter().enumerate() {
+        let Some(va) = a.get(i).copied().flatten() else { continue };
+        let Some(vb) = b.get(i).copied().flatten() else { continue };
+        if vb == 0.0 {
+            continue;
+        }
+        comparisons += 1;
+        if va > vb {
+            a_wins += 1;
+        }
+        ratios.push(obj! {
+            "x" => label.as_str(),
+            "ratio" => va / vb,
+        });
+    }
+    Ok(obj! {
+        "a" => series_a,
+        "b" => series_b,
+        "comparisons" => comparisons,
+        "a_wins" => a_wins,
+        "ratios" => Value::Array(ratios),
+    })
+}
+
+/// Escapes one CSV cell (RFC 4180 quoting).
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders an evaluation's finished jobs as CSV: one row per job, columns
+/// for every parameter (union across jobs, sorted) followed by the standard
+/// metrics. The export analysts pull into spreadsheets/R.
+pub fn summary_csv(control: &ChronosControl, evaluation_id: Id) -> CoreResult<String> {
+    let points = collect_points(control, evaluation_id)?;
+    // Column union over parameters.
+    let mut param_columns: Vec<String> = Vec::new();
+    for point in &points {
+        if let Some(map) = point.parameters.as_object() {
+            for key in map.keys() {
+                if !param_columns.iter().any(|c| c == key) {
+                    param_columns.push(key.to_string());
+                }
+            }
+        }
+    }
+    param_columns.sort();
+    const METRIC_COLUMNS: [(&str, &str); 6] = [
+        ("execution_time_millis", "/wall_millis"),
+        ("throughput_ops_per_sec", "/throughput_ops_per_sec"),
+        ("total_ops", "/total_ops"),
+        ("total_errors", "/total_errors"),
+        ("read_latency_p99_micros", "/operations/read/latency_micros/p99"),
+        ("update_latency_p99_micros", "/operations/update/latency_micros/p99"),
+    ];
+    let mut out = String::from("job_id");
+    for column in &param_columns {
+        out.push(',');
+        out.push_str(&csv_cell(column));
+    }
+    for (label, _) in METRIC_COLUMNS {
+        out.push(',');
+        out.push_str(label);
+    }
+    out.push('\n');
+    for point in &points {
+        out.push_str(&point.job_id.to_base32());
+        for column in &param_columns {
+            out.push(',');
+            let cell = match point.parameters.get(column) {
+                None | Some(Value::Null) => String::new(),
+                Some(Value::String(s)) => s.clone(),
+                Some(other) => other.to_string(),
+            };
+            out.push_str(&csv_cell(&cell));
+        }
+        for (_, pointer) in METRIC_COLUMNS {
+            out.push(',');
+            if let Some(v) = point.data.pointer(pointer) {
+                match v {
+                    Value::String(s) => out.push_str(&csv_cell(s)),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Performance trend of an experiment across its successive evaluations
+/// (paper §3: re-running evaluations "for the quality assurance monitoring
+/// the performance of an SuE over subsequent change sets").
+///
+/// For each evaluation (in creation order) the mean of `value_path` over
+/// its finished jobs is computed; consecutive evaluations are compared and
+/// drops beyond `regression_threshold` (e.g. `0.1` = 10%) are flagged.
+/// Higher values are assumed better (throughput-style metrics); pass a
+/// latency path through [`compare_series`] semantics by negating offline.
+pub fn experiment_trend(
+    control: &ChronosControl,
+    experiment_id: Id,
+    value_path: &str,
+    regression_threshold: f64,
+) -> CoreResult<Value> {
+    let evaluations = control.list_evaluations(Some(experiment_id));
+    let mut runs: Vec<Value> = Vec::new();
+    let mut previous: Option<f64> = None;
+    let mut regressions = 0usize;
+    for evaluation in &evaluations {
+        let points = collect_points(control, evaluation.id)?;
+        let values: Vec<f64> = points
+            .iter()
+            .filter_map(|p| p.data.pointer(value_path).and_then(Value::as_f64))
+            .collect();
+        if values.is_empty() {
+            continue; // evaluation has no finished results yet
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let change = previous.map(|prev| if prev == 0.0 { 0.0 } else { (mean - prev) / prev });
+        let regressed = change.map(|c| c < -regression_threshold).unwrap_or(false);
+        if regressed {
+            regressions += 1;
+        }
+        runs.push(obj! {
+            "evaluation_id" => evaluation.id.to_base32(),
+            "created_at" => evaluation.created_at,
+            "jobs_measured" => values.len(),
+            "mean" => mean,
+            "change" => change.map(Value::from).unwrap_or(Value::Null),
+            "regressed" => regressed,
+        });
+        previous = Some(mean);
+    }
+    Ok(obj! {
+        "experiment_id" => experiment_id.to_base32(),
+        "value_path" => value_path,
+        "regression_threshold" => regression_threshold,
+        "runs" => Value::Array(runs),
+        "regressions" => regressions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<ResultPoint> {
+        let mut out = Vec::new();
+        for (engine, threads, tp) in [
+            ("wiredtiger", 1, 100.0),
+            ("wiredtiger", 2, 190.0),
+            ("wiredtiger", 10, 800.0),
+            ("mmapv1", 1, 95.0),
+            ("mmapv1", 2, 120.0),
+            ("mmapv1", 10, 130.0),
+        ] {
+            out.push(ResultPoint {
+                job_id: Id::generate(),
+                parameters: obj! {"engine" => engine, "threads" => threads},
+                data: obj! {"throughput_ops_per_sec" => tp},
+            });
+        }
+        out
+    }
+
+    fn spec() -> ChartSpec {
+        ChartSpec {
+            kind: "line".into(),
+            title: "tp".into(),
+            x_param: "threads".into(),
+            series_param: Some("engine".into()),
+            value_path: "/throughput_ops_per_sec".into(),
+            y_label: "ops/s".into(),
+        }
+    }
+
+    #[test]
+    fn chart_data_builds_series() {
+        let data = chart_data_from_points(&points(), &spec()).unwrap();
+        assert_eq!(data.x_labels, vec!["1", "2", "10"], "numeric x sort");
+        assert_eq!(data.series.len(), 2);
+        assert_eq!(data.series[0].0, "mmapv1");
+        assert_eq!(data.series[1].0, "wiredtiger");
+        assert_eq!(data.series[1].1, vec![Some(100.0), Some(190.0), Some(800.0)]);
+    }
+
+    #[test]
+    fn duplicate_cells_are_averaged() {
+        let mut pts = points();
+        pts.push(ResultPoint {
+            job_id: Id::generate(),
+            parameters: obj! {"engine" => "mmapv1", "threads" => 1},
+            data: obj! {"throughput_ops_per_sec" => 105.0},
+        });
+        let data = chart_data_from_points(&pts, &spec()).unwrap();
+        let mmap = &data.series[0].1;
+        assert_eq!(mmap[0], Some(100.0)); // (95 + 105) / 2
+    }
+
+    #[test]
+    fn missing_measurements_are_none() {
+        let mut pts = points();
+        pts.remove(2); // drop wiredtiger@10
+        let data = chart_data_from_points(&pts, &spec()).unwrap();
+        let wt = &data.series[1].1;
+        assert_eq!(wt[2], None);
+    }
+
+    #[test]
+    fn no_series_param_uses_single_series() {
+        let mut s = spec();
+        s.series_param = None;
+        let data = chart_data_from_points(&points(), &s).unwrap();
+        assert_eq!(data.series.len(), 1);
+        assert_eq!(data.series[0].0, "ops/s");
+        // Cross-engine points at the same x are averaged into the one series.
+        assert_eq!(data.series[0].1[0], Some(97.5));
+    }
+
+    #[test]
+    fn non_numeric_labels_sort_lexicographically() {
+        let mut s = spec();
+        s.x_param = "engine".into();
+        s.series_param = None;
+        let data = chart_data_from_points(&points(), &s).unwrap();
+        assert_eq!(data.x_labels, vec!["mmapv1", "wiredtiger"]);
+    }
+
+    #[test]
+    fn comparison_reports_winner_and_factors() {
+        let data = chart_data_from_points(&points(), &spec()).unwrap();
+        let cmp = compare_series(&data, "wiredtiger", "mmapv1").unwrap();
+        assert_eq!(cmp.get("comparisons").and_then(Value::as_i64), Some(3));
+        assert_eq!(cmp.get("a_wins").and_then(Value::as_i64), Some(3));
+        let r10 = cmp.pointer("/ratios/2/ratio").and_then(Value::as_f64).unwrap();
+        assert!((r10 - 800.0 / 130.0).abs() < 1e-9);
+        assert!(compare_series(&data, "wiredtiger", "rocksdb").is_err());
+    }
+
+    #[test]
+    fn standard_metrics_extraction() {
+        let data = obj! {
+            "wall_millis" => 2000,
+            "throughput_ops_per_sec" => 500.0,
+            "total_ops" => 1000,
+            "operations" => obj! {
+                "read" => obj! {"latency_micros" => obj! {"p99" => 420}},
+            },
+        };
+        let metrics = standard_metrics(&data);
+        assert_eq!(metrics.get("execution_time_millis").and_then(Value::as_i64), Some(2000));
+        assert_eq!(metrics.get("read_latency_p99_micros").and_then(Value::as_i64), Some(420));
+        assert!(metrics.get("update_latency_p99_micros").is_none());
+    }
+}

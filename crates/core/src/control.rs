@@ -1,0 +1,1009 @@
+//! `ChronosControl` — the heart of the toolkit (paper Fig. 1).
+//!
+//! Owns the metadata store, the session table, the clock and the scheduling
+//! policy, and exposes every workflow of the paper as a method:
+//! registering systems, configuring deployments, creating projects and
+//! experiments, expanding experiments into evaluations and jobs, the agent
+//! protocol (claim / heartbeat / log / finish / fail), abort and
+//! reschedule, failure detection, archiving and analysis.
+
+use std::sync::Arc;
+
+use chronos_json::Value;
+use chronos_util::{Clock, Id, SystemClock};
+
+use crate::auth::{Role, SessionManager, User};
+use crate::error::{CoreError, CoreResult};
+use crate::model::{
+    Deployment, Evaluation, Experiment, Job, JobResult, JobState, Project, System,
+};
+use crate::params::ParamAssignments;
+use crate::scheduler::{EvaluationStatus, SchedulerConfig};
+use crate::store::MetadataStore;
+
+const KIND_USER: &str = "user";
+const KIND_SYSTEM: &str = "system";
+const KIND_DEPLOYMENT: &str = "deployment";
+const KIND_PROJECT: &str = "project";
+const KIND_EXPERIMENT: &str = "experiment";
+const KIND_EVALUATION: &str = "evaluation";
+const KIND_JOB: &str = "job";
+const KIND_RESULT: &str = "result";
+
+/// The Chronos Control core.
+pub struct ChronosControl {
+    store: MetadataStore,
+    sessions: SessionManager,
+    clock: Arc<dyn Clock>,
+    config: SchedulerConfig,
+    /// Serializes read-modify-write cycles on entities (claims, state
+    /// transitions) so concurrent agents never double-claim a job.
+    write_lock: parking_lot::Mutex<()>,
+}
+
+impl ChronosControl {
+    /// An in-memory control instance with the real clock.
+    pub fn in_memory() -> Self {
+        Self::new(MetadataStore::in_memory(), Arc::new(SystemClock), SchedulerConfig::default())
+    }
+
+    /// Full construction.
+    pub fn new(store: MetadataStore, clock: Arc<dyn Clock>, config: SchedulerConfig) -> Self {
+        ChronosControl {
+            store,
+            sessions: SessionManager::new(),
+            clock,
+            config,
+            write_lock: parking_lot::Mutex::new(()),
+        }
+    }
+
+    /// The scheduling policy in force.
+    pub fn scheduler_config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Current time from the control clock.
+    pub fn now(&self) -> u64 {
+        self.clock.now_millis()
+    }
+
+    // ----- users & sessions ------------------------------------------------
+
+    /// Creates a user; usernames are unique.
+    pub fn create_user(&self, username: &str, password: &str, role: Role) -> CoreResult<User> {
+        if username.is_empty() {
+            return Err(CoreError::Invalid("username cannot be empty".into()));
+        }
+        let _guard = self.write_lock.lock();
+        if self.find_user(username).is_some() {
+            return Err(CoreError::Conflict(format!("user {username:?} already exists")));
+        }
+        let user = User::new(username, password, role, self.now());
+        self.store.put(KIND_USER, &user.id.to_base32(), user.to_json())?;
+        Ok(user)
+    }
+
+    /// Looks a user up by name.
+    pub fn find_user(&self, username: &str) -> Option<User> {
+        self.store
+            .list(KIND_USER)
+            .iter()
+            .filter_map(|v| User::from_json(v).ok())
+            .find(|u| u.username == username)
+    }
+
+    /// Fetches a user by id.
+    pub fn get_user(&self, id: Id) -> CoreResult<User> {
+        self.store
+            .get(KIND_USER, &id.to_base32())
+            .and_then(|v| User::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("user", id))
+    }
+
+    /// Verifies credentials and opens a session; returns the bearer token.
+    pub fn login(&self, username: &str, password: &str) -> CoreResult<String> {
+        let user = self
+            .find_user(username)
+            .filter(|u| u.verify_password(password))
+            .ok_or_else(|| CoreError::Forbidden("bad credentials".into()))?;
+        Ok(self.sessions.create(user.id, &*self.clock))
+    }
+
+    /// Resolves a bearer token to its user.
+    pub fn authenticate(&self, token: &str) -> CoreResult<User> {
+        let user_id = self
+            .sessions
+            .resolve(token, &*self.clock)
+            .ok_or_else(|| CoreError::Forbidden("invalid or expired session".into()))?;
+        self.get_user(user_id)
+    }
+
+    /// Terminates a session.
+    pub fn logout(&self, token: &str) -> bool {
+        self.sessions.revoke(token)
+    }
+
+    // ----- systems & deployments -------------------------------------------
+
+    /// Registers a system under evaluation (paper Fig. 2).
+    pub fn register_system(
+        &self,
+        name: &str,
+        description: &str,
+        parameters: Vec<crate::params::ParamDef>,
+        charts: Vec<crate::charts::ChartSpec>,
+    ) -> CoreResult<System> {
+        if name.is_empty() {
+            return Err(CoreError::Invalid("system name cannot be empty".into()));
+        }
+        let _guard = self.write_lock.lock();
+        if self.find_system(name).is_some() {
+            return Err(CoreError::Conflict(format!("system {name:?} already exists")));
+        }
+        let system = System {
+            id: Id::generate(),
+            name: name.to_string(),
+            description: description.to_string(),
+            parameters,
+            charts,
+            created_at: self.now(),
+        };
+        self.store.put(KIND_SYSTEM, &system.id.to_base32(), system.to_json())?;
+        Ok(system)
+    }
+
+    /// Registers a system from a JSON definition document — the
+    /// "provide a path to a git or mercurial repository" workflow (§3),
+    /// with the repository's definition file supplied directly.
+    pub fn register_system_from_definition(&self, definition: &Value) -> CoreResult<System> {
+        let name = definition
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| CoreError::Invalid("system definition needs a name".into()))?;
+        let description = definition.get("description").and_then(Value::as_str).unwrap_or("");
+        let parameters = definition
+            .get("parameters")
+            .and_then(Value::as_array)
+            .map(|items| items.iter().map(crate::params::ParamDef::from_json).collect())
+            .transpose()?
+            .unwrap_or_default();
+        let charts = definition
+            .get("charts")
+            .and_then(Value::as_array)
+            .map(|items| items.iter().map(crate::charts::ChartSpec::from_json).collect())
+            .transpose()?
+            .unwrap_or_default();
+        self.register_system(name, description, parameters, charts)
+    }
+
+    /// Looks a system up by name.
+    pub fn find_system(&self, name: &str) -> Option<System> {
+        self.store
+            .list(KIND_SYSTEM)
+            .iter()
+            .filter_map(|v| System::from_json(v).ok())
+            .find(|s| s.name == name)
+    }
+
+    /// Fetches a system by id.
+    pub fn get_system(&self, id: Id) -> CoreResult<System> {
+        self.store
+            .get(KIND_SYSTEM, &id.to_base32())
+            .and_then(|v| System::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("system", id))
+    }
+
+    /// All systems.
+    pub fn list_systems(&self) -> Vec<System> {
+        self.store
+            .list(KIND_SYSTEM)
+            .iter()
+            .filter_map(|v| System::from_json(v).ok())
+            .collect()
+    }
+
+    /// Creates a deployment of a system.
+    pub fn create_deployment(
+        &self,
+        system_id: Id,
+        environment: &str,
+        version: &str,
+    ) -> CoreResult<Deployment> {
+        self.get_system(system_id)?;
+        let deployment = Deployment {
+            id: Id::generate(),
+            system_id,
+            environment: environment.to_string(),
+            version: version.to_string(),
+            active: true,
+            created_at: self.now(),
+        };
+        self.store.put(KIND_DEPLOYMENT, &deployment.id.to_base32(), deployment.to_json())?;
+        Ok(deployment)
+    }
+
+    /// Fetches a deployment.
+    pub fn get_deployment(&self, id: Id) -> CoreResult<Deployment> {
+        self.store
+            .get(KIND_DEPLOYMENT, &id.to_base32())
+            .and_then(|v| Deployment::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("deployment", id))
+    }
+
+    /// Deployments of a system (all systems when `system_id` is `None`).
+    pub fn list_deployments(&self, system_id: Option<Id>) -> Vec<Deployment> {
+        self.store
+            .list(KIND_DEPLOYMENT)
+            .iter()
+            .filter_map(|v| Deployment::from_json(v).ok())
+            .filter(|d| system_id.map(|s| d.system_id == s).unwrap_or(true))
+            .collect()
+    }
+
+    /// Activates/deactivates a deployment.
+    pub fn set_deployment_active(&self, id: Id, active: bool) -> CoreResult<Deployment> {
+        let _guard = self.write_lock.lock();
+        let mut deployment = self.get_deployment(id)?;
+        deployment.active = active;
+        self.store.put(KIND_DEPLOYMENT, &id.to_base32(), deployment.to_json())?;
+        Ok(deployment)
+    }
+
+    // ----- projects ---------------------------------------------------------
+
+    /// Creates a project owned by `owner`.
+    pub fn create_project(&self, name: &str, description: &str, owner: Id) -> CoreResult<Project> {
+        if name.is_empty() {
+            return Err(CoreError::Invalid("project name cannot be empty".into()));
+        }
+        let project = Project {
+            id: Id::generate(),
+            name: name.to_string(),
+            description: description.to_string(),
+            members: vec![owner],
+            archived: false,
+            created_at: self.now(),
+        };
+        self.store.put(KIND_PROJECT, &project.id.to_base32(), project.to_json())?;
+        Ok(project)
+    }
+
+    /// Fetches a project.
+    pub fn get_project(&self, id: Id) -> CoreResult<Project> {
+        self.store
+            .get(KIND_PROJECT, &id.to_base32())
+            .and_then(|v| Project::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("project", id))
+    }
+
+    /// All projects (the API layer filters by membership).
+    pub fn list_projects(&self) -> Vec<Project> {
+        self.store
+            .list(KIND_PROJECT)
+            .iter()
+            .filter_map(|v| Project::from_json(v).ok())
+            .collect()
+    }
+
+    /// Adds a member to a project.
+    pub fn add_project_member(&self, project_id: Id, user_id: Id) -> CoreResult<Project> {
+        self.get_user(user_id)?;
+        let _guard = self.write_lock.lock();
+        let mut project = self.get_project(project_id)?;
+        if !project.members.contains(&user_id) {
+            project.members.push(user_id);
+            self.store.put(KIND_PROJECT, &project_id.to_base32(), project.to_json())?;
+        }
+        Ok(project)
+    }
+
+    /// Enforces project membership (admins see everything).
+    pub fn require_project_access(&self, project_id: Id, user: &User) -> CoreResult<Project> {
+        let project = self.get_project(project_id)?;
+        if user.role.can_admin() || project.members.contains(&user.id) {
+            Ok(project)
+        } else {
+            Err(CoreError::Forbidden(format!(
+                "user {} is not a member of project {}",
+                user.username, project.name
+            )))
+        }
+    }
+
+    /// Archives a project (makes it and its experiments read-only).
+    pub fn archive_project(&self, project_id: Id) -> CoreResult<Project> {
+        let _guard = self.write_lock.lock();
+        let mut project = self.get_project(project_id)?;
+        project.archived = true;
+        self.store.put(KIND_PROJECT, &project_id.to_base32(), project.to_json())?;
+        Ok(project)
+    }
+
+    // ----- experiments -------------------------------------------------------
+
+    /// Creates an experiment; the assignments are validated by a dry-run
+    /// expansion against the system's schema (paper Fig. 3a).
+    pub fn create_experiment(
+        &self,
+        project_id: Id,
+        system_id: Id,
+        name: &str,
+        description: &str,
+        assignments: ParamAssignments,
+    ) -> CoreResult<Experiment> {
+        let project = self.get_project(project_id)?;
+        if project.archived {
+            return Err(CoreError::Conflict("project is archived".into()));
+        }
+        let system = self.get_system(system_id)?;
+        assignments.expand(&system.parameters)?; // validation
+        let experiment = Experiment {
+            id: Id::generate(),
+            project_id,
+            system_id,
+            name: name.to_string(),
+            description: description.to_string(),
+            assignments,
+            archived: false,
+            created_at: self.now(),
+        };
+        self.store.put(KIND_EXPERIMENT, &experiment.id.to_base32(), experiment.to_json())?;
+        Ok(experiment)
+    }
+
+    /// Fetches an experiment.
+    pub fn get_experiment(&self, id: Id) -> CoreResult<Experiment> {
+        self.store
+            .get(KIND_EXPERIMENT, &id.to_base32())
+            .and_then(|v| Experiment::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("experiment", id))
+    }
+
+    /// Experiments of a project (all when `None`).
+    pub fn list_experiments(&self, project_id: Option<Id>) -> Vec<Experiment> {
+        self.store
+            .list(KIND_EXPERIMENT)
+            .iter()
+            .filter_map(|v| Experiment::from_json(v).ok())
+            .filter(|e| project_id.map(|p| e.project_id == p).unwrap_or(true))
+            .collect()
+    }
+
+    /// Archives an experiment.
+    pub fn archive_experiment(&self, id: Id) -> CoreResult<Experiment> {
+        let _guard = self.write_lock.lock();
+        let mut experiment = self.get_experiment(id)?;
+        experiment.archived = true;
+        self.store.put(KIND_EXPERIMENT, &id.to_base32(), experiment.to_json())?;
+        Ok(experiment)
+    }
+
+    // ----- evaluations & jobs -------------------------------------------------
+
+    /// Runs an experiment: expands its parameter space and creates an
+    /// evaluation with one scheduled job per point (paper §2.1). This is
+    /// also the entry point for build-bot triggers (§2.2).
+    pub fn create_evaluation(&self, experiment_id: Id) -> CoreResult<Evaluation> {
+        let experiment = self.get_experiment(experiment_id)?;
+        if experiment.archived {
+            return Err(CoreError::Conflict("experiment is archived".into()));
+        }
+        let system = self.get_system(experiment.system_id)?;
+        let points = experiment.assignments.expand(&system.parameters)?;
+        let now = self.now();
+        let jobs: Vec<Job> = points
+            .into_iter()
+            .map(|parameters| Job::new(Id::generate(), system.id, parameters, now))
+            .collect();
+        let evaluation = Evaluation {
+            id: Id::generate(),
+            experiment_id,
+            job_ids: jobs.iter().map(|j| j.id).collect(),
+            swept_params: experiment.assignments.swept_names(&system.parameters),
+            created_at: now,
+        };
+        let _guard = self.write_lock.lock();
+        for mut job in jobs {
+            job.evaluation_id = evaluation.id;
+            self.store.put(KIND_JOB, &job.id.to_base32(), job.to_json())?;
+        }
+        self.store.put(KIND_EVALUATION, &evaluation.id.to_base32(), evaluation.to_json())?;
+        Ok(evaluation)
+    }
+
+    /// Fetches an evaluation.
+    pub fn get_evaluation(&self, id: Id) -> CoreResult<Evaluation> {
+        self.store
+            .get(KIND_EVALUATION, &id.to_base32())
+            .and_then(|v| Evaluation::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("evaluation", id))
+    }
+
+    /// Evaluations of an experiment (all when `None`).
+    pub fn list_evaluations(&self, experiment_id: Option<Id>) -> Vec<Evaluation> {
+        self.store
+            .list(KIND_EVALUATION)
+            .iter()
+            .filter_map(|v| Evaluation::from_json(v).ok())
+            .filter(|e| experiment_id.map(|x| e.experiment_id == x).unwrap_or(true))
+            .collect()
+    }
+
+    /// The state roll-up of an evaluation (paper Fig. 3b).
+    pub fn evaluation_status(&self, id: Id) -> CoreResult<EvaluationStatus> {
+        let evaluation = self.get_evaluation(id)?;
+        let mut status = EvaluationStatus::default();
+        for job_id in &evaluation.job_ids {
+            match self.get_job(*job_id)?.state {
+                JobState::Scheduled => status.scheduled += 1,
+                JobState::Running => status.running += 1,
+                JobState::Finished => status.finished += 1,
+                JobState::Aborted => status.aborted += 1,
+                JobState::Failed => status.failed += 1,
+            }
+        }
+        Ok(status)
+    }
+
+    /// Fetches a job.
+    pub fn get_job(&self, id: Id) -> CoreResult<Job> {
+        self.store
+            .get(KIND_JOB, &id.to_base32())
+            .and_then(|v| Job::from_json(&v).ok())
+            .ok_or_else(|| CoreError::not_found("job", id))
+    }
+
+    /// Jobs of an evaluation, in creation order.
+    pub fn list_jobs(&self, evaluation_id: Id) -> CoreResult<Vec<Job>> {
+        let evaluation = self.get_evaluation(evaluation_id)?;
+        evaluation.job_ids.iter().map(|id| self.get_job(*id)).collect()
+    }
+
+    fn save_job(&self, job: &Job) -> CoreResult<()> {
+        self.store.put(KIND_JOB, &job.id.to_base32(), job.to_json())
+    }
+
+    /// Agent protocol: claims the oldest scheduled job for the system that
+    /// `deployment_id` deploys. Atomic: two agents never claim the same job.
+    pub fn claim_next_job(&self, deployment_id: Id) -> CoreResult<Option<Job>> {
+        let deployment = self.get_deployment(deployment_id)?;
+        if !deployment.active {
+            return Err(CoreError::Conflict("deployment is inactive".into()));
+        }
+        let _guard = self.write_lock.lock();
+        // Job ids are time-ordered, so store order = creation order.
+        for id in self.store.ids(KIND_JOB) {
+            let Some(doc) = self.store.get(KIND_JOB, &id) else { continue };
+            let Ok(mut job) = Job::from_json(&doc) else { continue };
+            if job.state == JobState::Scheduled && job.system_id == deployment.system_id {
+                let now = self.now();
+                job.transition(
+                    JobState::Running,
+                    now,
+                    &format!("claimed by deployment {} ({})", deployment.id, deployment.environment),
+                )?;
+                job.deployment_id = Some(deployment_id);
+                job.heartbeat_at = Some(now);
+                job.attempts += 1;
+                self.save_job(&job)?;
+                return Ok(Some(job));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Agent protocol: heartbeat with optional progress update.
+    pub fn heartbeat(&self, job_id: Id, progress: Option<u8>) -> CoreResult<Job> {
+        let _guard = self.write_lock.lock();
+        let mut job = self.get_job(job_id)?;
+        if job.state != JobState::Running {
+            return Err(CoreError::Conflict(format!(
+                "job {job_id} is {}, not running",
+                job.state
+            )));
+        }
+        job.heartbeat_at = Some(self.now());
+        if let Some(p) = progress {
+            job.progress = p.min(100);
+        }
+        self.save_job(&job)?;
+        Ok(job)
+    }
+
+    /// Agent protocol: appends log output (paper §2.2: "the agent
+    /// periodically sends the output of the logger to Chronos Control").
+    pub fn append_log(&self, job_id: Id, text: &str) -> CoreResult<()> {
+        let _guard = self.write_lock.lock();
+        let mut job = self.get_job(job_id)?;
+        job.log.push_str(text);
+        if !text.ends_with('\n') {
+            job.log.push('\n');
+        }
+        self.save_job(&job)
+    }
+
+    /// Agent protocol: uploads the result ("a JSON and a zip file") and
+    /// finishes the job.
+    pub fn finish_job(&self, job_id: Id, data: Value, archive: Vec<u8>) -> CoreResult<JobResult> {
+        let _guard = self.write_lock.lock();
+        let mut job = self.get_job(job_id)?;
+        let now = self.now();
+        job.transition(JobState::Finished, now, "result uploaded")?;
+        job.progress = 100;
+        let result = JobResult { id: Id::generate(), job_id, data, archive, created_at: now };
+        let mut stored = result.to_json();
+        stored.set(
+            "archive_b64",
+            chronos_util::encode::base64_encode(&result.archive),
+        );
+        self.store.put(KIND_RESULT, &result.id.to_base32(), stored)?;
+        job.result_id = Some(result.id);
+        self.save_job(&job)?;
+        Ok(result)
+    }
+
+    /// Agent protocol: reports a failure. Auto-reschedules when policy
+    /// allows (requirement *(iii)*).
+    pub fn fail_job(&self, job_id: Id, reason: &str) -> CoreResult<Job> {
+        let _guard = self.write_lock.lock();
+        self.fail_job_locked(job_id, reason)
+    }
+
+    fn fail_job_locked(&self, job_id: Id, reason: &str) -> CoreResult<Job> {
+        let mut job = self.get_job(job_id)?;
+        let now = self.now();
+        job.transition(JobState::Failed, now, reason)?;
+        job.failure = Some(reason.to_string());
+        job.heartbeat_at = None;
+        if self.config.may_auto_reschedule(job.attempts) {
+            job.transition(
+                JobState::Scheduled,
+                now,
+                &format!("automatically re-scheduled (attempt {} of {})", job.attempts + 1, self.config.max_attempts),
+            )?;
+            job.deployment_id = None;
+            job.progress = 0;
+        }
+        self.save_job(&job)?;
+        Ok(job)
+    }
+
+    /// Aborts a scheduled or running job (paper Fig. 3c).
+    pub fn abort_job(&self, job_id: Id) -> CoreResult<Job> {
+        let _guard = self.write_lock.lock();
+        let mut job = self.get_job(job_id)?;
+        job.transition(JobState::Aborted, self.now(), "aborted by user")?;
+        self.save_job(&job)?;
+        Ok(job)
+    }
+
+    /// Manually re-schedules a failed job (paper Fig. 3c).
+    pub fn reschedule_job(&self, job_id: Id) -> CoreResult<Job> {
+        let _guard = self.write_lock.lock();
+        let mut job = self.get_job(job_id)?;
+        job.transition(JobState::Scheduled, self.now(), "re-scheduled by user")?;
+        job.deployment_id = None;
+        job.progress = 0;
+        job.failure = None;
+        self.save_job(&job)?;
+        Ok(job)
+    }
+
+    /// Failure detection sweep: fails every running job whose heartbeat
+    /// lease expired. Returns the affected job ids. Call periodically.
+    pub fn check_timeouts(&self) -> CoreResult<Vec<Id>> {
+        let now = self.now();
+        let mut timed_out = Vec::new();
+        let candidates: Vec<Id> = {
+            let _guard = self.write_lock.lock();
+            self.store
+                .ids(KIND_JOB)
+                .iter()
+                .filter_map(|id| self.store.get(KIND_JOB, id))
+                .filter_map(|doc| Job::from_json(&doc).ok())
+                .filter(|job| {
+                    job.state == JobState::Running
+                        && self.config.lease_expired(job.heartbeat_at, now)
+                })
+                .map(|job| job.id)
+                .collect()
+        };
+        for job_id in candidates {
+            let _guard = self.write_lock.lock();
+            // Re-check under the lock (the agent may have heartbeat since).
+            let job = self.get_job(job_id)?;
+            if job.state == JobState::Running && self.config.lease_expired(job.heartbeat_at, now)
+            {
+                self.fail_job_locked(
+                    job_id,
+                    &format!(
+                        "heartbeat timeout after {} ms",
+                        self.config.heartbeat_timeout_millis
+                    ),
+                )?;
+                timed_out.push(job_id);
+            }
+        }
+        Ok(timed_out)
+    }
+
+    /// Fetches a result by id, decoding the stored archive.
+    pub fn get_result(&self, id: Id) -> CoreResult<JobResult> {
+        let doc = self
+            .store
+            .get(KIND_RESULT, &id.to_base32())
+            .ok_or_else(|| CoreError::not_found("result", id))?;
+        let archive = doc
+            .get("archive_b64")
+            .and_then(Value::as_str)
+            .and_then(chronos_util::encode::base64_decode)
+            .unwrap_or_default();
+        Ok(JobResult {
+            id,
+            job_id: crate::model::parse_id(&doc, "job_id")?,
+            data: doc.get("data").cloned().unwrap_or(Value::Null),
+            archive,
+            created_at: doc.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+
+    /// The result of a job, if it has one.
+    pub fn result_for_job(&self, job_id: Id) -> CoreResult<Option<JobResult>> {
+        match self.get_job(job_id)?.result_id {
+            Some(result_id) => Ok(Some(self.get_result(result_id)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Compacts the metadata log (jobs accumulate log/timeline rewrites).
+    pub fn compact_store(&self) -> CoreResult<()> {
+        self.store.compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charts::ChartSpec;
+    use crate::params::{ParamDef, ParamType};
+    use chronos_json::obj;
+    use chronos_util::MockClock;
+
+    fn control_with_clock() -> (ChronosControl, MockClock) {
+        let clock = MockClock::new(1_000_000);
+        let control = ChronosControl::new(
+            MetadataStore::in_memory(),
+            Arc::new(clock.clone()),
+            SchedulerConfig {
+                heartbeat_timeout_millis: 10_000,
+                max_attempts: 2,
+                auto_reschedule: true,
+            },
+        );
+        (control, clock)
+    }
+
+    fn demo_system(control: &ChronosControl) -> System {
+        control
+            .register_system(
+                "minidoc",
+                "embedded document store",
+                vec![
+                    ParamDef::new(
+                        "engine",
+                        "storage engine",
+                        ParamType::Checkbox {
+                            options: vec!["wiredtiger".into(), "mmapv1".into()],
+                        },
+                        Value::from("wiredtiger"),
+                    )
+                    .unwrap(),
+                    ParamDef::new(
+                        "threads",
+                        "client threads",
+                        ParamType::Interval { min: 1, max: 16, step: 1 },
+                        Value::from(1),
+                    )
+                    .unwrap(),
+                ],
+                vec![ChartSpec {
+                    kind: "line".into(),
+                    title: "Throughput".into(),
+                    x_param: "threads".into(),
+                    series_param: Some("engine".into()),
+                    value_path: "/throughput_ops_per_sec".into(),
+                    y_label: "ops/s".into(),
+                }],
+            )
+            .unwrap()
+    }
+
+    /// Builds the full demo object graph and returns (control, clock,
+    /// evaluation with 4 jobs, deployment).
+    fn demo_evaluation() -> (ChronosControl, MockClock, Evaluation, Deployment) {
+        let (control, clock) = control_with_clock();
+        let system = demo_system(&control);
+        let deployment = control.create_deployment(system.id, "node-a", "1.0").unwrap();
+        let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+        let project = control.create_project("demo", "", owner.id).unwrap();
+        let experiment = control
+            .create_experiment(
+                project.id,
+                system.id,
+                "engines",
+                "",
+                ParamAssignments::new()
+                    .sweep_all("engine")
+                    .sweep("threads", vec![Value::from(1), Value::from(2)]),
+            )
+            .unwrap();
+        let evaluation = control.create_evaluation(experiment.id).unwrap();
+        (control, clock, evaluation, deployment)
+    }
+
+    #[test]
+    fn user_lifecycle_and_sessions() {
+        let (control, _clock) = control_with_clock();
+        let user = control.create_user("ada", "pw", Role::Member).unwrap();
+        assert!(matches!(
+            control.create_user("ada", "other", Role::Viewer),
+            Err(CoreError::Conflict(_))
+        ));
+        assert!(control.login("ada", "wrong").is_err());
+        let token = control.login("ada", "pw").unwrap();
+        assert_eq!(control.authenticate(&token).unwrap().id, user.id);
+        assert!(control.logout(&token));
+        assert!(control.authenticate(&token).is_err());
+    }
+
+    #[test]
+    fn system_registration_and_duplicates() {
+        let (control, _clock) = control_with_clock();
+        let system = demo_system(&control);
+        assert!(control.register_system("minidoc", "", vec![], vec![]).is_err());
+        assert_eq!(control.find_system("minidoc").unwrap().id, system.id);
+        assert_eq!(control.list_systems().len(), 1);
+        assert_eq!(control.get_system(system.id).unwrap().charts.len(), 1);
+    }
+
+    #[test]
+    fn system_from_definition_document() {
+        let (control, _clock) = control_with_clock();
+        let definition = obj! {
+            "name" => "postgres",
+            "description" => "relational db",
+            "parameters" => chronos_json::arr![
+                obj! {"name" => "fsync", "type" => "boolean", "default" => true}
+            ],
+            "charts" => chronos_json::arr![],
+        };
+        let system = control.register_system_from_definition(&definition).unwrap();
+        assert_eq!(system.parameters.len(), 1);
+        assert_eq!(system.parameters[0].name, "fsync");
+    }
+
+    #[test]
+    fn evaluation_expansion_creates_jobs() {
+        let (control, _clock, evaluation, _deployment) = demo_evaluation();
+        assert_eq!(evaluation.job_ids.len(), 4); // 2 engines x 2 thread counts
+        assert_eq!(evaluation.swept_params, vec!["engine", "threads"]);
+        let jobs = control.list_jobs(evaluation.id).unwrap();
+        assert!(jobs.iter().all(|j| j.state == JobState::Scheduled));
+        let status = control.evaluation_status(evaluation.id).unwrap();
+        assert_eq!(status.scheduled, 4);
+        assert!(!status.is_settled());
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_ordered() {
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        let mut claimed = Vec::new();
+        while let Some(job) = control.claim_next_job(deployment.id).unwrap() {
+            assert_eq!(job.state, JobState::Running);
+            assert_eq!(job.deployment_id, Some(deployment.id));
+            assert_eq!(job.attempts, 1);
+            claimed.push(job.id);
+        }
+        assert_eq!(claimed.len(), 4);
+        // Creation order preserved.
+        assert_eq!(claimed, control.get_evaluation(evaluation.id).unwrap().job_ids);
+        assert!(control.claim_next_job(deployment.id).unwrap().is_none());
+    }
+
+    #[test]
+    fn inactive_deployment_cannot_claim() {
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        control.set_deployment_active(deployment.id, false).unwrap();
+        assert!(matches!(
+            control.claim_next_job(deployment.id),
+            Err(CoreError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn deployment_only_claims_its_system() {
+        let (control, _clock, _evaluation, _deployment) = demo_evaluation();
+        let other = control.register_system("otherdb", "", vec![], vec![]).unwrap();
+        let other_deployment = control.create_deployment(other.id, "node-b", "1").unwrap();
+        assert!(control.claim_next_job(other_deployment.id).unwrap().is_none());
+    }
+
+    #[test]
+    fn full_job_lifecycle_with_result() {
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        control.heartbeat(job.id, Some(50)).unwrap();
+        control.append_log(job.id, "loading 1000 records").unwrap();
+        control.append_log(job.id, "running transactions\n").unwrap();
+        let result = control
+            .finish_job(job.id, obj! {"throughput_ops_per_sec" => 1234.5}, b"PK\x05\x06zip".to_vec())
+            .unwrap();
+        let job = control.get_job(job.id).unwrap();
+        assert_eq!(job.state, JobState::Finished);
+        assert_eq!(job.progress, 100);
+        assert_eq!(job.result_id, Some(result.id));
+        assert_eq!(job.log, "loading 1000 records\nrunning transactions\n");
+        assert!(job.timeline.iter().any(|e| e.kind == "finished"));
+        let fetched = control.result_for_job(job.id).unwrap().unwrap();
+        assert_eq!(fetched.archive, b"PK\x05\x06zip");
+        assert_eq!(
+            fetched.data.get("throughput_ops_per_sec").and_then(Value::as_f64),
+            Some(1234.5)
+        );
+    }
+
+    #[test]
+    fn failure_auto_reschedules_until_attempts_exhausted() {
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        // Attempt 1 fails -> auto rescheduled.
+        let failed = control.fail_job(job.id, "agent crashed").unwrap();
+        assert_eq!(failed.state, JobState::Scheduled);
+        assert_eq!(failed.attempts, 1);
+        // Claim again (attempt 2) and fail: max_attempts=2 -> stays failed.
+        let again = control.claim_next_job(deployment.id).unwrap().unwrap();
+        assert_eq!(again.id, job.id, "rescheduled job is claimed first (oldest)");
+        let failed = control.fail_job(job.id, "agent crashed again").unwrap();
+        assert_eq!(failed.state, JobState::Failed);
+        assert_eq!(failed.failure.as_deref(), Some("agent crashed again"));
+        // Manual reschedule still possible.
+        let rescheduled = control.reschedule_job(job.id).unwrap();
+        assert_eq!(rescheduled.state, JobState::Scheduled);
+        assert!(rescheduled.failure.is_none());
+    }
+
+    #[test]
+    fn heartbeat_timeout_detection() {
+        let (control, clock, _evaluation, deployment) = demo_evaluation();
+        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        // Within the lease: nothing happens.
+        clock.advance_millis(5_000);
+        assert!(control.check_timeouts().unwrap().is_empty());
+        control.heartbeat(job.id, None).unwrap();
+        // Lease expires.
+        clock.advance_millis(10_001);
+        let timed_out = control.check_timeouts().unwrap();
+        assert_eq!(timed_out, vec![job.id]);
+        let job = control.get_job(job.id).unwrap();
+        // Auto-rescheduled after the timeout failure.
+        assert_eq!(job.state, JobState::Scheduled);
+        assert!(job.timeline.iter().any(|e| e.message.contains("heartbeat timeout")));
+    }
+
+    #[test]
+    fn abort_semantics() {
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        let jobs = control.list_jobs(evaluation.id).unwrap();
+        // Abort a scheduled job.
+        control.abort_job(jobs[3].id).unwrap();
+        assert_eq!(control.get_job(jobs[3].id).unwrap().state, JobState::Aborted);
+        // Abort a running job.
+        let running = control.claim_next_job(deployment.id).unwrap().unwrap();
+        control.abort_job(running.id).unwrap();
+        // Aborting a finished job fails.
+        let next = control.claim_next_job(deployment.id).unwrap().unwrap();
+        control.finish_job(next.id, obj! {}, vec![]).unwrap();
+        assert!(matches!(control.abort_job(next.id), Err(CoreError::Conflict(_))));
+        // Heartbeat on an aborted job fails.
+        assert!(control.heartbeat(running.id, None).is_err());
+    }
+
+    #[test]
+    fn project_access_control() {
+        let (control, _clock) = control_with_clock();
+        let owner = control.create_user("owner", "pw", Role::Member).unwrap();
+        let outsider = control.create_user("outsider", "pw", Role::Member).unwrap();
+        let admin = control.create_user("root", "pw", Role::Admin).unwrap();
+        let project = control.create_project("private", "", owner.id).unwrap();
+        assert!(control.require_project_access(project.id, &owner).is_ok());
+        assert!(control.require_project_access(project.id, &outsider).is_err());
+        assert!(control.require_project_access(project.id, &admin).is_ok());
+        control.add_project_member(project.id, outsider.id).unwrap();
+        assert!(control.require_project_access(project.id, &outsider).is_ok());
+    }
+
+    #[test]
+    fn archived_entities_are_frozen() {
+        let (control, _clock, _evaluation, _deployment) = demo_evaluation();
+        let project = &control.list_projects()[0];
+        let experiment = &control.list_experiments(Some(project.id))[0];
+        control.archive_experiment(experiment.id).unwrap();
+        assert!(matches!(
+            control.create_evaluation(experiment.id),
+            Err(CoreError::Conflict(_))
+        ));
+        control.archive_project(project.id).unwrap();
+        let system = control.find_system("minidoc").unwrap();
+        assert!(matches!(
+            control.create_experiment(project.id, system.id, "x", "", ParamAssignments::new()),
+            Err(CoreError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_claims_never_collide() {
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        let control = Arc::new(control);
+        let claimed: Vec<Option<Id>> = chronos_util::pool::scoped_indexed(8, |_| {
+            control.claim_next_job(deployment.id).unwrap().map(|j| j.id)
+        });
+        let got: Vec<Id> = claimed.into_iter().flatten().collect();
+        let unique: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(unique.len(), got.len(), "double-claimed a job");
+        assert_eq!(got.len(), evaluation.job_ids.len().min(8));
+    }
+
+    #[test]
+    fn control_state_survives_restart() {
+        let path = std::env::temp_dir().join(format!(
+            "chronos-control-restart-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock);
+        let (system_id, evaluation_id, job_id);
+        {
+            let control = ChronosControl::new(
+                MetadataStore::open(&path).unwrap(),
+                Arc::clone(&clock),
+                SchedulerConfig::default(),
+            );
+            let system = demo_system(&control);
+            system_id = system.id;
+            let deployment = control.create_deployment(system.id, "n", "1").unwrap();
+            let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+            let project = control.create_project("p", "", owner.id).unwrap();
+            let experiment = control
+                .create_experiment(
+                    project.id,
+                    system.id,
+                    "e",
+                    "",
+                    ParamAssignments::new().fix("threads", 2),
+                )
+                .unwrap();
+            let evaluation = control.create_evaluation(experiment.id).unwrap();
+            evaluation_id = evaluation.id;
+            let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+            job_id = job.id;
+            control.append_log(job.id, "halfway there").unwrap();
+        }
+        {
+            let control = ChronosControl::new(
+                MetadataStore::open(&path).unwrap(),
+                clock,
+                SchedulerConfig::default(),
+            );
+            assert_eq!(control.get_system(system_id).unwrap().name, "minidoc");
+            assert_eq!(control.get_evaluation(evaluation_id).unwrap().job_ids.len(), 1);
+            let job = control.get_job(job_id).unwrap();
+            assert_eq!(job.state, JobState::Running);
+            assert!(job.log.contains("halfway there"));
+            // The restarted control can fail the orphaned job via timeout.
+            let timed_out = control.check_timeouts().unwrap();
+            assert!(timed_out.is_empty() || timed_out == vec![job_id]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,731 @@
+//! The Chronos data model (paper §2.1).
+//!
+//! > "The data model of Chronos contains projects, experiments,
+//! > evaluations, jobs, systems, and deployments."
+//!
+//! Every entity carries a sortable [`Id`], timestamps, and a JSON
+//! round-trip so the [`store`](crate::store) can persist it and the REST
+//! API can serve it.
+
+use chronos_json::{obj, Map, Value};
+use chronos_util::Id;
+
+use crate::error::{CoreError, CoreResult};
+use crate::params::{ParamAssignments, ParamDef};
+
+/// A system under evaluation, with its parameter schema and chart config
+/// (paper Fig. 2: "Configuration of a System").
+#[derive(Debug, Clone, PartialEq)]
+pub struct System {
+    /// Unique id.
+    pub id: Id,
+    /// Unique human-readable name (e.g. `"minidoc"`).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Declared parameters.
+    pub parameters: Vec<ParamDef>,
+    /// Chart definitions rendered on the result page (see
+    /// [`charts`](crate::charts)).
+    pub charts: Vec<crate::charts::ChartSpec>,
+    /// Creation time (unix millis).
+    pub created_at: u64,
+}
+
+impl System {
+    /// JSON shape served by `GET /systems/:id` and accepted on registration.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "parameters" => Value::Array(self.parameters.iter().map(ParamDef::to_json).collect()),
+            "charts" => Value::Array(self.charts.iter().map(|c| c.to_json()).collect()),
+            "created_at" => self.created_at,
+        }
+    }
+
+    /// Parses [`System::to_json`] output.
+    pub fn from_json(value: &Value) -> CoreResult<System> {
+        Ok(System {
+            id: parse_id(value, "id")?,
+            name: require_str(value, "name")?,
+            description: opt_str(value, "description"),
+            parameters: value
+                .get("parameters")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().map(ParamDef::from_json).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            charts: value
+                .get("charts")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().map(crate::charts::ChartSpec::from_json).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A deployment: one reachable instance of a system in an environment
+/// (paper §2.1 — parallelism comes from multiple identical deployments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Unique id.
+    pub id: Id,
+    /// The system this deploys.
+    pub system_id: Id,
+    /// Environment label (e.g. `"node-a"`, `"staging"`).
+    pub environment: String,
+    /// Version of the deployed system.
+    pub version: String,
+    /// Whether the deployment currently accepts jobs.
+    pub active: bool,
+    /// Creation time.
+    pub created_at: u64,
+}
+
+impl Deployment {
+    /// JSON shape.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "system_id" => self.system_id.to_base32(),
+            "environment" => self.environment.as_str(),
+            "version" => self.version.as_str(),
+            "active" => self.active,
+            "created_at" => self.created_at,
+        }
+    }
+
+    /// Parses [`Deployment::to_json`] output.
+    pub fn from_json(value: &Value) -> CoreResult<Deployment> {
+        Ok(Deployment {
+            id: parse_id(value, "id")?,
+            system_id: parse_id(value, "system_id")?,
+            environment: opt_str(value, "environment"),
+            version: opt_str(value, "version"),
+            active: value.get("active").and_then(Value::as_bool).unwrap_or(true),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A project: the collaboration and access-control unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Project {
+    /// Unique id.
+    pub id: Id,
+    /// Project name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Member user ids; members see all experiments and results.
+    pub members: Vec<Id>,
+    /// Archived projects are read-only.
+    pub archived: bool,
+    /// Creation time.
+    pub created_at: u64,
+}
+
+impl Project {
+    /// JSON shape.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "members" => Value::Array(self.members.iter().map(|m| Value::from(m.to_base32())).collect()),
+            "archived" => self.archived,
+            "created_at" => self.created_at,
+        }
+    }
+
+    /// Parses [`Project::to_json`] output.
+    pub fn from_json(value: &Value) -> CoreResult<Project> {
+        let members = value
+            .get("members")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|m| {
+                        m.as_str()
+                            .and_then(|s| Id::parse_base32(s).ok())
+                            .ok_or_else(|| CoreError::Invalid("bad member id".into()))
+                    })
+                    .collect::<CoreResult<Vec<_>>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Project {
+            id: parse_id(value, "id")?,
+            name: require_str(value, "name")?,
+            description: opt_str(value, "description"),
+            members,
+            archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// An experiment: "the definition of an evaluation with all its parameters;
+/// when executed, it results in the creation of an evaluation."
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Unique id.
+    pub id: Id,
+    /// Owning project.
+    pub project_id: Id,
+    /// System under evaluation.
+    pub system_id: Id,
+    /// Experiment name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Parameter assignments (fixed values and sweeps).
+    pub assignments: ParamAssignments,
+    /// Archived experiments cannot spawn new evaluations.
+    pub archived: bool,
+    /// Creation time.
+    pub created_at: u64,
+}
+
+impl Experiment {
+    /// JSON shape.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "project_id" => self.project_id.to_base32(),
+            "system_id" => self.system_id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "parameters" => self.assignments.to_json(),
+            "archived" => self.archived,
+            "created_at" => self.created_at,
+        }
+    }
+
+    /// Parses [`Experiment::to_json`] output.
+    pub fn from_json(value: &Value) -> CoreResult<Experiment> {
+        Ok(Experiment {
+            id: parse_id(value, "id")?,
+            project_id: parse_id(value, "project_id")?,
+            system_id: parse_id(value, "system_id")?,
+            name: require_str(value, "name")?,
+            description: opt_str(value, "description"),
+            assignments: value
+                .get("parameters")
+                .map(ParamAssignments::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// An evaluation: one run of an experiment, consisting of jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Unique id.
+    pub id: Id,
+    /// The experiment this runs.
+    pub experiment_id: Id,
+    /// Ids of this evaluation's jobs.
+    pub job_ids: Vec<Id>,
+    /// Names of the swept parameters (analysis axes).
+    pub swept_params: Vec<String>,
+    /// Creation time.
+    pub created_at: u64,
+}
+
+impl Evaluation {
+    /// JSON shape.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "experiment_id" => self.experiment_id.to_base32(),
+            "job_ids" => Value::Array(self.job_ids.iter().map(|j| Value::from(j.to_base32())).collect()),
+            "swept_params" => Value::Array(self.swept_params.iter().map(|s| Value::from(s.as_str())).collect()),
+            "created_at" => self.created_at,
+        }
+    }
+
+    /// Parses [`Evaluation::to_json`] output.
+    pub fn from_json(value: &Value) -> CoreResult<Evaluation> {
+        let job_ids = value
+            .get("job_ids")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|j| {
+                        j.as_str()
+                            .and_then(|s| Id::parse_base32(s).ok())
+                            .ok_or_else(|| CoreError::Invalid("bad job id".into()))
+                    })
+                    .collect::<CoreResult<Vec<_>>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Evaluation {
+            id: parse_id(value, "id")?,
+            experiment_id: parse_id(value, "experiment_id")?,
+            job_ids,
+            swept_params: value
+                .get("swept_params")
+                .and_then(Value::as_array)
+                .map(|items| {
+                    items.iter().filter_map(Value::as_str).map(str::to_string).collect()
+                })
+                .unwrap_or_default(),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// Job lifecycle states (paper §2.1): "scheduled, running, finished,
+/// aborted, or failed. Jobs which are in the status scheduled or running can
+/// be aborted and those which are failed can be re-scheduled."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Waiting for an agent.
+    Scheduled,
+    /// Claimed by an agent and executing.
+    Running,
+    /// Completed with a result.
+    Finished,
+    /// Cancelled by a user.
+    Aborted,
+    /// Crashed, errored, or timed out.
+    Failed,
+}
+
+impl JobState {
+    /// The lowercase state name used in the API.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Scheduled => "scheduled",
+            JobState::Running => "running",
+            JobState::Finished => "finished",
+            JobState::Aborted => "aborted",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses the lowercase state name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "scheduled" => Some(JobState::Scheduled),
+            "running" => Some(JobState::Running),
+            "finished" => Some(JobState::Finished),
+            "aborted" => Some(JobState::Aborted),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// Whether a transition to `next` is legal.
+    pub fn can_transition_to(&self, next: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, next),
+            (Scheduled, Running)
+                | (Scheduled, Aborted)
+                | (Running, Finished)
+                | (Running, Failed)
+                | (Running, Aborted)
+                | (Failed, Scheduled)
+        )
+    }
+
+    /// Terminal states cannot progress (except `Failed`, via reschedule).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Finished | JobState::Aborted)
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A timeline event on a job (paper Fig. 3c: "The timeline shows all events
+/// associated with this job").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// When it happened (unix millis).
+    pub at: u64,
+    /// Short machine-readable kind (`created`, `claimed`, `finished`, ...).
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl TimelineEvent {
+    /// JSON shape.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "at" => self.at,
+            "time" => chronos_util::clock::format_timestamp(self.at),
+            "kind" => self.kind.as_str(),
+            "message" => self.message.as_str(),
+        }
+    }
+}
+
+/// A job: "a subset of an evaluation, e.g., the run of a benchmark for a
+/// specific set of parameters."
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Unique id.
+    pub id: Id,
+    /// Owning evaluation.
+    pub evaluation_id: Id,
+    /// The system this job runs against.
+    pub system_id: Id,
+    /// Concrete parameter values for this point of the evaluation space.
+    pub parameters: Value,
+    /// Current state.
+    pub state: JobState,
+    /// Deployment the job is (or was) assigned to.
+    pub deployment_id: Option<Id>,
+    /// Progress 0..=100 (reported by the agent).
+    pub progress: u8,
+    /// Log output streamed by the agent.
+    pub log: String,
+    /// Timeline of state changes and notable events.
+    pub timeline: Vec<TimelineEvent>,
+    /// Last agent heartbeat (unix millis), while running.
+    pub heartbeat_at: Option<u64>,
+    /// How many times this job has been (re)scheduled.
+    pub attempts: u32,
+    /// The result id once finished.
+    pub result_id: Option<Id>,
+    /// Failure reason when failed.
+    pub failure: Option<String>,
+    /// Creation time.
+    pub created_at: u64,
+}
+
+impl Job {
+    /// Creates a scheduled job.
+    pub fn new(evaluation_id: Id, system_id: Id, parameters: Value, now: u64) -> Job {
+        Job {
+            id: Id::generate(),
+            evaluation_id,
+            system_id,
+            parameters,
+            state: JobState::Scheduled,
+            deployment_id: None,
+            progress: 0,
+            log: String::new(),
+            timeline: vec![TimelineEvent {
+                at: now,
+                kind: "created".into(),
+                message: "job created and scheduled".into(),
+            }],
+            heartbeat_at: None,
+            attempts: 0,
+            result_id: None,
+            failure: None,
+            created_at: now,
+        }
+    }
+
+    /// Records a timeline event.
+    pub fn record(&mut self, now: u64, kind: &str, message: impl Into<String>) {
+        self.timeline.push(TimelineEvent { at: now, kind: kind.into(), message: message.into() });
+    }
+
+    /// Applies a state transition, enforcing the lifecycle.
+    pub fn transition(&mut self, next: JobState, now: u64, message: &str) -> CoreResult<()> {
+        if !self.state.can_transition_to(next) {
+            return Err(CoreError::Conflict(format!(
+                "job {} cannot go from {} to {}",
+                self.id, self.state, next
+            )));
+        }
+        self.state = next;
+        self.record(now, next.as_str(), message);
+        Ok(())
+    }
+
+    /// JSON shape (full detail; listings use a trimmed view server-side).
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("id".into(), Value::from(self.id.to_base32()));
+        map.insert("evaluation_id".into(), Value::from(self.evaluation_id.to_base32()));
+        map.insert("system_id".into(), Value::from(self.system_id.to_base32()));
+        map.insert("parameters".into(), self.parameters.clone());
+        map.insert("state".into(), Value::from(self.state.as_str()));
+        map.insert(
+            "deployment_id".into(),
+            Value::from(self.deployment_id.map(|d| d.to_base32())),
+        );
+        map.insert("progress".into(), Value::from(self.progress as i64));
+        map.insert("log".into(), Value::from(self.log.as_str()));
+        map.insert(
+            "timeline".into(),
+            Value::Array(self.timeline.iter().map(TimelineEvent::to_json).collect()),
+        );
+        map.insert("heartbeat_at".into(), Value::from(self.heartbeat_at));
+        map.insert("attempts".into(), Value::from(self.attempts as i64));
+        map.insert("result_id".into(), Value::from(self.result_id.map(|r| r.to_base32())));
+        map.insert("failure".into(), Value::from(self.failure.clone()));
+        map.insert("created_at".into(), Value::from(self.created_at));
+        Value::Object(map)
+    }
+
+    /// Parses [`Job::to_json`] output (timeline event times only; the
+    /// rendered `time` strings are ignored).
+    pub fn from_json(value: &Value) -> CoreResult<Job> {
+        let state = value
+            .get("state")
+            .and_then(Value::as_str)
+            .and_then(JobState::parse)
+            .ok_or_else(|| CoreError::Invalid("job needs a valid state".into()))?;
+        let timeline = value
+            .get("timeline")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|e| TimelineEvent {
+                        at: e.get("at").and_then(Value::as_u64).unwrap_or(0),
+                        kind: opt_str(e, "kind"),
+                        message: opt_str(e, "message"),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Job {
+            id: parse_id(value, "id")?,
+            evaluation_id: parse_id(value, "evaluation_id")?,
+            system_id: parse_id(value, "system_id")?,
+            parameters: value.get("parameters").cloned().unwrap_or(Value::Null),
+            state,
+            deployment_id: opt_id(value, "deployment_id")?,
+            progress: value.get("progress").and_then(Value::as_u64).unwrap_or(0) as u8,
+            log: opt_str(value, "log"),
+            timeline,
+            heartbeat_at: value.get("heartbeat_at").and_then(Value::as_u64),
+            attempts: value.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+            result_id: opt_id(value, "result_id")?,
+            failure: value.get("failure").and_then(Value::as_str).map(str::to_string),
+            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A result: "a JSON and a zip file" (paper §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Unique id.
+    pub id: Id,
+    /// The job that produced it.
+    pub job_id: Id,
+    /// The measurement document used for analysis within Chronos Control.
+    pub data: Value,
+    /// The supplementary zip archive (raw logs, extra files).
+    pub archive: Vec<u8>,
+    /// Upload time.
+    pub created_at: u64,
+}
+
+impl JobResult {
+    /// JSON shape — the archive is referenced by size, downloadable via its
+    /// own endpoint.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "job_id" => self.job_id.to_base32(),
+            "data" => self.data.clone(),
+            "archive_bytes" => self.archive.len(),
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+pub(crate) fn parse_id(value: &Value, field: &str) -> CoreResult<Id> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .and_then(|s| Id::parse_base32(s).ok())
+        .ok_or_else(|| CoreError::Invalid(format!("missing or invalid id field {field:?}")))
+}
+
+pub(crate) fn opt_id(value: &Value, field: &str) -> CoreResult<Option<Id>> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| CoreError::Invalid(format!("field {field:?} must be a string")))?;
+            Id::parse_base32(s)
+                .map(Some)
+                .map_err(|_| CoreError::Invalid(format!("bad id in {field:?}")))
+        }
+    }
+}
+
+pub(crate) fn require_str(value: &Value, field: &str) -> CoreResult<String> {
+    value
+        .get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| CoreError::Invalid(format!("missing field {field:?}")))
+}
+
+pub(crate) fn opt_str(value: &Value, field: &str) -> String {
+    value.get(field).and_then(Value::as_str).unwrap_or("").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ParamAssignments, ParamType};
+
+    #[test]
+    fn job_state_machine() {
+        use JobState::*;
+        assert!(Scheduled.can_transition_to(Running));
+        assert!(Scheduled.can_transition_to(Aborted));
+        assert!(!Scheduled.can_transition_to(Finished));
+        assert!(Running.can_transition_to(Finished));
+        assert!(Running.can_transition_to(Failed));
+        assert!(Running.can_transition_to(Aborted));
+        assert!(!Running.can_transition_to(Scheduled));
+        assert!(Failed.can_transition_to(Scheduled), "failed jobs can be re-scheduled");
+        assert!(!Finished.can_transition_to(Running));
+        assert!(!Aborted.can_transition_to(Scheduled));
+        assert!(Finished.is_terminal());
+        assert!(Aborted.is_terminal());
+        assert!(!Failed.is_terminal());
+    }
+
+    #[test]
+    fn job_transition_records_timeline() {
+        let mut job = Job::new(Id::generate(), Id::generate(), obj! {"threads" => 4}, 1000);
+        job.transition(JobState::Running, 2000, "claimed by agent-1").unwrap();
+        job.transition(JobState::Finished, 3000, "result uploaded").unwrap();
+        assert_eq!(job.timeline.len(), 3);
+        assert_eq!(job.timeline[1].kind, "running");
+        assert_eq!(job.timeline[2].at, 3000);
+        // Illegal transition refused and not recorded.
+        assert!(job.transition(JobState::Running, 4000, "no").is_err());
+        assert_eq!(job.timeline.len(), 3);
+    }
+
+    #[test]
+    fn job_json_roundtrip() {
+        let mut job = Job::new(Id::generate(), Id::generate(), obj! {"threads" => 4}, 1000);
+        job.transition(JobState::Running, 2000, "claimed").unwrap();
+        job.deployment_id = Some(Id::generate());
+        job.progress = 42;
+        job.log = "line1\nline2\n".into();
+        job.heartbeat_at = Some(2500);
+        let parsed = Job::from_json(&job.to_json()).unwrap();
+        assert_eq!(parsed, job);
+    }
+
+    #[test]
+    fn system_json_roundtrip() {
+        let system = System {
+            id: Id::generate(),
+            name: "minidoc".into(),
+            description: "embedded doc store".into(),
+            parameters: vec![crate::params::ParamDef::new(
+                "threads",
+                "client threads",
+                ParamType::Interval { min: 1, max: 8, step: 1 },
+                Value::from(1),
+            )
+            .unwrap()],
+            charts: vec![],
+            created_at: 1234,
+        };
+        assert_eq!(System::from_json(&system.to_json()).unwrap(), system);
+    }
+
+    #[test]
+    fn experiment_json_roundtrip() {
+        let experiment = Experiment {
+            id: Id::generate(),
+            project_id: Id::generate(),
+            system_id: Id::generate(),
+            name: "engine shootout".into(),
+            description: "".into(),
+            assignments: ParamAssignments::new().fix("threads", 4),
+            archived: false,
+            created_at: 5,
+        };
+        assert_eq!(Experiment::from_json(&experiment.to_json()).unwrap(), experiment);
+    }
+
+    #[test]
+    fn project_and_deployment_roundtrip() {
+        let project = Project {
+            id: Id::generate(),
+            name: "p".into(),
+            description: "d".into(),
+            members: vec![Id::generate(), Id::generate()],
+            archived: true,
+            created_at: 9,
+        };
+        assert_eq!(Project::from_json(&project.to_json()).unwrap(), project);
+        let deployment = Deployment {
+            id: Id::generate(),
+            system_id: Id::generate(),
+            environment: "node-a".into(),
+            version: "1.2.3".into(),
+            active: true,
+            created_at: 8,
+        };
+        assert_eq!(Deployment::from_json(&deployment.to_json()).unwrap(), deployment);
+    }
+
+    #[test]
+    fn evaluation_roundtrip() {
+        let evaluation = Evaluation {
+            id: Id::generate(),
+            experiment_id: Id::generate(),
+            job_ids: vec![Id::generate(), Id::generate()],
+            swept_params: vec!["engine".into(), "threads".into()],
+            created_at: 7,
+        };
+        assert_eq!(Evaluation::from_json(&evaluation.to_json()).unwrap(), evaluation);
+    }
+
+    #[test]
+    fn state_name_roundtrip() {
+        for s in [
+            JobState::Scheduled,
+            JobState::Running,
+            JobState::Finished,
+            JobState::Aborted,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobState::parse("paused"), None);
+    }
+
+    #[test]
+    fn result_json_reports_archive_size() {
+        let result = JobResult {
+            id: Id::generate(),
+            job_id: Id::generate(),
+            data: obj! {"tp" => 100},
+            archive: vec![0u8; 1234],
+            created_at: 1,
+        };
+        assert_eq!(
+            result.to_json().get("archive_bytes").and_then(Value::as_u64),
+            Some(1234)
+        );
+    }
+}

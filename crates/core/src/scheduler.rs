@@ -1,0 +1,143 @@
+//! Scheduling and reliability policy.
+//!
+//! Requirements *(ii)* and *(iii)* of the paper: support parallel execution
+//! across multiple identical deployments, and keep long-running evaluations
+//! alive through automated failure handling and recovery of failed runs.
+//!
+//! The mechanism: agents *claim* scheduled jobs for the system their
+//! deployment runs (pull-based, so any number of identical deployments
+//! drains the same queue in parallel); running jobs carry a heartbeat lease;
+//! [`SchedulerConfig::heartbeat_timeout_millis`] without a heartbeat marks a
+//! job failed; failed jobs are automatically re-scheduled up to
+//! [`SchedulerConfig::max_attempts`].
+
+/// Reliability and scheduling tunables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// A running job whose last heartbeat is older than this is failed.
+    pub heartbeat_timeout_millis: u64,
+    /// Total attempts (first run + automatic re-schedules) before a job
+    /// stays failed and waits for manual rescheduling.
+    pub max_attempts: u32,
+    /// Whether timed-out/failed jobs are re-scheduled automatically.
+    pub auto_reschedule: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            heartbeat_timeout_millis: 30_000,
+            max_attempts: 3,
+            auto_reschedule: true,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Whether a job with `attempts` completed attempts may be re-scheduled
+    /// automatically.
+    pub fn may_auto_reschedule(&self, attempts: u32) -> bool {
+        self.auto_reschedule && attempts < self.max_attempts
+    }
+
+    /// Whether a running job's lease has expired.
+    pub fn lease_expired(&self, heartbeat_at: Option<u64>, now: u64) -> bool {
+        match heartbeat_at {
+            Some(at) => now.saturating_sub(at) > self.heartbeat_timeout_millis,
+            None => true, // running with no heartbeat at all: stale claim
+        }
+    }
+}
+
+/// Roll-up of an evaluation's job states (paper Fig. 3b).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvaluationStatus {
+    /// Jobs waiting for an agent.
+    pub scheduled: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs completed with results.
+    pub finished: usize,
+    /// Jobs aborted by users.
+    pub aborted: usize,
+    /// Jobs in the failed state.
+    pub failed: usize,
+}
+
+impl EvaluationStatus {
+    /// Total jobs.
+    pub fn total(&self) -> usize {
+        self.scheduled + self.running + self.finished + self.aborted + self.failed
+    }
+
+    /// Whether no further progress will happen without intervention.
+    pub fn is_settled(&self) -> bool {
+        self.scheduled == 0 && self.running == 0
+    }
+
+    /// Completed fraction in percent (finished + aborted count as settled).
+    pub fn progress_percent(&self) -> u8 {
+        let total = self.total();
+        if total == 0 {
+            return 100;
+        }
+        ((self.finished + self.aborted + self.failed) * 100 / total) as u8
+    }
+
+    /// JSON shape served on the evaluation detail endpoint.
+    pub fn to_json(&self) -> chronos_json::Value {
+        chronos_json::obj! {
+            "scheduled" => self.scheduled,
+            "running" => self.running,
+            "finished" => self.finished,
+            "aborted" => self.aborted,
+            "failed" => self.failed,
+            "total" => self.total(),
+            "settled" => self.is_settled(),
+            "progress_percent" => self.progress_percent() as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expiry() {
+        let config = SchedulerConfig { heartbeat_timeout_millis: 1_000, ..Default::default() };
+        assert!(!config.lease_expired(Some(500), 1_000));
+        assert!(!config.lease_expired(Some(500), 1_500));
+        assert!(config.lease_expired(Some(500), 1_501));
+        assert!(config.lease_expired(None, 0), "running without heartbeat is stale");
+    }
+
+    #[test]
+    fn auto_reschedule_respects_attempts() {
+        let config = SchedulerConfig { max_attempts: 3, ..Default::default() };
+        assert!(config.may_auto_reschedule(0));
+        assert!(config.may_auto_reschedule(2));
+        assert!(!config.may_auto_reschedule(3));
+        let off = SchedulerConfig { auto_reschedule: false, ..Default::default() };
+        assert!(!off.may_auto_reschedule(0));
+    }
+
+    #[test]
+    fn status_rollup() {
+        let status = EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 };
+        assert_eq!(status.total(), 7);
+        assert!(!status.is_settled());
+        assert_eq!(status.progress_percent() as usize, 4 * 100 / 7);
+        let done = EvaluationStatus { finished: 4, ..Default::default() };
+        assert!(done.is_settled());
+        assert_eq!(done.progress_percent(), 100);
+        assert_eq!(EvaluationStatus::default().progress_percent(), 100);
+    }
+
+    #[test]
+    fn status_json() {
+        let j = EvaluationStatus { running: 1, ..Default::default() }.to_json();
+        assert_eq!(j.get("running").and_then(chronos_json::Value::as_i64), Some(1));
+        assert_eq!(j.get("settled").and_then(chronos_json::Value::as_bool), Some(false));
+    }
+}

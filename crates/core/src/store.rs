@@ -1,0 +1,311 @@
+//! The embedded metadata store behind Chronos Control.
+//!
+//! The original Chronos Control keeps its entities in MySQL/MariaDB; this
+//! reproduction embeds a small log-structured document store instead: all
+//! entities live in memory (kind → id → JSON document) and every mutation is
+//! appended to a JSON-lines log. Re-opening the store replays the log —
+//! including after a crash mid-append (the torn tail is discarded) — which
+//! is what lets Chronos Control itself be restarted under long-running
+//! evaluations (requirement *(iii)*).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use chronos_json::{obj, Value};
+
+use crate::error::{CoreError, CoreResult};
+
+struct Inner {
+    kinds: BTreeMap<String, BTreeMap<String, Value>>,
+    log: Option<File>,
+    log_path: Option<PathBuf>,
+    log_records: u64,
+}
+
+/// A persistent (or in-memory) document store keyed by `(kind, id)`.
+pub struct MetadataStore {
+    inner: Mutex<Inner>,
+}
+
+impl MetadataStore {
+    /// A purely in-memory store (tests, benches).
+    pub fn in_memory() -> Self {
+        MetadataStore {
+            inner: Mutex::new(Inner {
+                kinds: BTreeMap::new(),
+                log: None,
+                log_path: None,
+                log_records: 0,
+            }),
+        }
+    }
+
+    /// Opens a store logged at `path`, replaying any existing log.
+    pub fn open(path: &Path) -> CoreResult<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut kinds: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut records = 0u64;
+        match File::open(path) {
+            Ok(file) => {
+                for line in BufReader::new(file).lines() {
+                    let Ok(line) = line else { break };
+                    let Ok(entry) = chronos_json::parse(&line) else {
+                        break; // torn tail after a crash: stop replay
+                    };
+                    records += 1;
+                    apply(&mut kinds, &entry);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let log = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(MetadataStore {
+            inner: Mutex::new(Inner {
+                kinds,
+                log: Some(log),
+                log_path: Some(path.to_path_buf()),
+                log_records: records,
+            }),
+        })
+    }
+
+    /// Stores (inserting or replacing) a document.
+    pub fn put(&self, kind: &str, id: &str, document: Value) -> CoreResult<()> {
+        let mut inner = self.inner.lock();
+        let entry = obj! {
+            "op" => "put",
+            "kind" => kind,
+            "id" => id,
+            "doc" => document.clone(),
+        };
+        append(&mut inner, &entry)?;
+        inner.kinds.entry(kind.to_string()).or_default().insert(id.to_string(), document);
+        Ok(())
+    }
+
+    /// Fetches a document.
+    pub fn get(&self, kind: &str, id: &str) -> Option<Value> {
+        self.inner.lock().kinds.get(kind).and_then(|m| m.get(id)).cloned()
+    }
+
+    /// Deletes a document; returns whether it existed.
+    pub fn delete(&self, kind: &str, id: &str) -> CoreResult<bool> {
+        let mut inner = self.inner.lock();
+        let existed =
+            inner.kinds.get_mut(kind).map(|m| m.remove(id).is_some()).unwrap_or(false);
+        if existed {
+            let entry = obj! { "op" => "delete", "kind" => kind, "id" => id };
+            append(&mut inner, &entry)?;
+        }
+        Ok(existed)
+    }
+
+    /// All documents of a kind, in id order.
+    pub fn list(&self, kind: &str) -> Vec<Value> {
+        self.inner
+            .lock()
+            .kinds
+            .get(kind)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All ids of a kind, in order.
+    pub fn ids(&self, kind: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .kinds
+            .get(kind)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of documents of a kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.inner.lock().kinds.get(kind).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// Log records appended since the store was created/opened (monotone;
+    /// used to decide when to [`compact`](MetadataStore::compact)).
+    pub fn log_records(&self) -> u64 {
+        self.inner.lock().log_records
+    }
+
+    /// Rewrites the log to contain exactly the live documents.
+    pub fn compact(&self) -> CoreResult<()> {
+        let mut inner = self.inner.lock();
+        let Some(path) = inner.log_path.clone() else { return Ok(()) };
+        let tmp = path.with_extension("compact-tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            for (kind, docs) in &inner.kinds {
+                for (id, doc) in docs {
+                    let entry = obj! {
+                        "op" => "put",
+                        "kind" => kind.as_str(),
+                        "id" => id.as_str(),
+                        "doc" => doc.clone(),
+                    };
+                    writeln!(out, "{entry}")?;
+                }
+            }
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        inner.log = Some(OpenOptions::new().append(true).open(&path)?);
+        inner.log_records = inner.kinds.values().map(BTreeMap::len).sum::<usize>() as u64;
+        Ok(())
+    }
+}
+
+fn apply(kinds: &mut BTreeMap<String, BTreeMap<String, Value>>, entry: &Value) {
+    let op = entry.get("op").and_then(Value::as_str).unwrap_or("");
+    let Some(kind) = entry.get("kind").and_then(Value::as_str) else { return };
+    let Some(id) = entry.get("id").and_then(Value::as_str) else { return };
+    match op {
+        "put" => {
+            if let Some(doc) = entry.get("doc") {
+                kinds.entry(kind.to_string()).or_default().insert(id.to_string(), doc.clone());
+            }
+        }
+        "delete" => {
+            if let Some(m) = kinds.get_mut(kind) {
+                m.remove(id);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn append(inner: &mut Inner, entry: &Value) -> CoreResult<()> {
+    inner.log_records += 1;
+    if let Some(log) = &mut inner.log {
+        writeln!(log, "{entry}").map_err(|e| CoreError::Storage(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("chronos-store-{}-{name}.log", std::process::id()))
+    }
+
+    #[test]
+    fn in_memory_crud() {
+        let store = MetadataStore::in_memory();
+        store.put("job", "j1", obj! {"state" => "scheduled"}).unwrap();
+        store.put("job", "j2", obj! {"state" => "running"}).unwrap();
+        assert_eq!(store.count("job"), 2);
+        assert_eq!(
+            store.get("job", "j1").unwrap().get("state").and_then(Value::as_str),
+            Some("scheduled")
+        );
+        store.put("job", "j1", obj! {"state" => "finished"}).unwrap();
+        assert_eq!(
+            store.get("job", "j1").unwrap().get("state").and_then(Value::as_str),
+            Some("finished")
+        );
+        assert!(store.delete("job", "j1").unwrap());
+        assert!(!store.delete("job", "j1").unwrap());
+        assert_eq!(store.count("job"), 1);
+        assert!(store.get("nope", "x").is_none());
+        assert_eq!(store.ids("job"), vec!["j2"]);
+    }
+
+    #[test]
+    fn list_is_id_ordered() {
+        let store = MetadataStore::in_memory();
+        for id in ["c", "a", "b"] {
+            store.put("k", id, obj! {"id" => id}).unwrap();
+        }
+        let names: Vec<String> = store
+            .list("k")
+            .iter()
+            .map(|d| d.get("id").and_then(Value::as_str).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            store.put("project", "p1", obj! {"name" => "demo"}).unwrap();
+            store.put("project", "p2", obj! {"name" => "other"}).unwrap();
+            store.delete("project", "p2").unwrap();
+        }
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            assert_eq!(store.count("project"), 1);
+            assert_eq!(
+                store.get("project", "p1").unwrap().get("name").and_then(Value::as_str),
+                Some("demo")
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            store.put("k", "a", obj! {"v" => 1}).unwrap();
+            store.put("k", "b", obj! {"v" => 2}).unwrap();
+        }
+        // Chop bytes off the final line.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let store = MetadataStore::open(&path).unwrap();
+        assert_eq!(store.count("k"), 1);
+        assert!(store.get("k", "a").is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_state() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            for i in 0..50 {
+                store.put("k", "hot", obj! {"v" => i}).unwrap();
+            }
+            assert_eq!(store.log_records(), 50);
+            store.compact().unwrap();
+            assert_eq!(store.log_records(), 1);
+            // Still writable after compaction.
+            store.put("k", "other", obj! {"v" => 99}).unwrap();
+        }
+        let size = std::fs::metadata(&path).unwrap().len();
+        assert!(size < 200, "compacted log should be tiny, was {size}");
+        let store = MetadataStore::open(&path).unwrap();
+        assert_eq!(store.get("k", "hot").unwrap().get("v").and_then(Value::as_i64), Some(49));
+        assert_eq!(store.get("k", "other").unwrap().get("v").and_then(Value::as_i64), Some(99));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kinds_are_isolated() {
+        let store = MetadataStore::in_memory();
+        store.put("a", "x", obj! {"v" => 1}).unwrap();
+        store.put("b", "x", obj! {"v" => 2}).unwrap();
+        assert_eq!(store.get("a", "x").unwrap().get("v").and_then(Value::as_i64), Some(1));
+        assert_eq!(store.get("b", "x").unwrap().get("v").and_then(Value::as_i64), Some(2));
+        store.delete("a", "x").unwrap();
+        assert!(store.get("b", "x").is_some());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for Chronos Control invariants:
+//!
+//! * evaluation-space expansion size and contents,
+//! * the job state machine under arbitrary operation sequences,
+//! * metadata-store consistency against a model.
+
+use std::collections::BTreeMap;
+
+use chronos_core::model::{Job, JobState};
+use chronos_core::params::{ParamAssignments, ParamDef, ParamType};
+use chronos_core::store::MetadataStore;
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = (i64, i64, i64)> {
+    (0i64..50, 1i64..20, 1i64..7).prop_map(|(min, span, step)| (min, min + span, step))
+}
+
+proptest! {
+    /// Expansion size equals the product of the per-axis point counts, every
+    /// point validates against the schema, and all points are distinct.
+    #[test]
+    fn expansion_size_and_validity(
+        (min, max, step) in arb_interval(),
+        options in prop::collection::btree_set("[a-z]{1,6}", 1..5),
+        sweep_bool in any::<bool>(),
+    ) {
+        let options: Vec<String> = options.into_iter().collect();
+        let schema = vec![
+            ParamDef::new(
+                "n", "", ParamType::Interval { min, max, step }, Value::from(min),
+            ).unwrap(),
+            ParamDef::new(
+                "choice", "",
+                ParamType::Checkbox { options: options.clone() },
+                Value::from(options[0].as_str()),
+            ).unwrap(),
+            ParamDef::new("flag", "", ParamType::Boolean, Value::Bool(false)).unwrap(),
+        ];
+        let mut assignments = ParamAssignments::new().sweep_all("n").sweep_all("choice");
+        if sweep_bool {
+            assignments = assignments.sweep_all("flag");
+        }
+        let points = assignments.expand(&schema).unwrap();
+        let interval_points = (max - min) / step + 1;
+        let expected = interval_points as usize
+            * options.len()
+            * if sweep_bool { 2 } else { 1 };
+        prop_assert_eq!(points.len(), expected);
+        let mut seen = std::collections::HashSet::new();
+        for point in &points {
+            for def in &schema {
+                let value = point.get(&def.name).expect("every parameter present");
+                def.param_type.validate_value(value).unwrap();
+            }
+            prop_assert!(seen.insert(point.to_string()), "duplicate point {point}");
+        }
+    }
+
+    /// The job state machine never reaches an illegal state, no matter the
+    /// operation sequence; terminal states stay terminal (except failed →
+    /// scheduled).
+    #[test]
+    fn job_state_machine_is_closed(transitions in prop::collection::vec(0u8..5, 1..40)) {
+        let mut job = Job::new(Id::generate(), Id::generate(), obj! {}, 0);
+        let mut now = 1u64;
+        for t in transitions {
+            let target = match t {
+                0 => JobState::Scheduled,
+                1 => JobState::Running,
+                2 => JobState::Finished,
+                3 => JobState::Aborted,
+                _ => JobState::Failed,
+            };
+            let before = job.state;
+            let timeline_before = job.timeline.len();
+            let result = job.transition(target, now, "fuzz");
+            match result {
+                Ok(()) => {
+                    prop_assert!(before.can_transition_to(target));
+                    prop_assert_eq!(job.state, target);
+                    prop_assert_eq!(job.timeline.len(), timeline_before + 1);
+                }
+                Err(_) => {
+                    prop_assert!(!before.can_transition_to(target));
+                    prop_assert_eq!(job.state, before, "failed transition must not change state");
+                    prop_assert_eq!(job.timeline.len(), timeline_before);
+                }
+            }
+            now += 1;
+        }
+        // From any reachable state, the set of legal moves matches the spec.
+        for target in [JobState::Scheduled, JobState::Running, JobState::Finished] {
+            let legal = job.state.can_transition_to(target);
+            let mut probe = job.clone();
+            prop_assert_eq!(probe.transition(target, now, "probe").is_ok(), legal);
+        }
+    }
+
+    /// The metadata store behaves like a map, including across a reopen.
+    #[test]
+    fn store_matches_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                ("[a-c]", "[a-z]{1,4}", any::<i64>()).prop_map(|(k, i, v)| (k, i, Some(v))),
+                ("[a-c]", "[a-z]{1,4}").prop_map(|(k, i)| (k, i, None)),
+            ],
+            1..60,
+        )
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "chronos-store-prop-{}-{:x}.log",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        let mut model: BTreeMap<(String, String), i64> = BTreeMap::new();
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            for (kind, id, op) in &ops {
+                match op {
+                    Some(v) => {
+                        store.put(kind, id, obj! {"v" => *v}).unwrap();
+                        model.insert((kind.clone(), id.clone()), *v);
+                    }
+                    None => {
+                        let existed = store.delete(kind, id).unwrap();
+                        prop_assert_eq!(
+                            existed,
+                            model.remove(&(kind.clone(), id.clone())).is_some()
+                        );
+                    }
+                }
+            }
+        }
+        // Reopen and compare the full contents.
+        let store = MetadataStore::open(&path).unwrap();
+        for ((kind, id), v) in &model {
+            let doc = store.get(kind, id).expect("present after reopen");
+            prop_assert_eq!(doc.get("v").and_then(Value::as_i64), Some(*v));
+        }
+        for kind in ["a", "b", "c"] {
+            let expected = model.keys().filter(|(k, _)| k == kind).count();
+            prop_assert_eq!(store.count(kind), expected);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

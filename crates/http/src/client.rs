@@ -1,0 +1,309 @@
+//! Blocking HTTP/1.1 client.
+//!
+//! Chronos Agents are "clients [...] connecting to Chronos' REST API"
+//! (paper §2.2); this client is their transport. It keeps one persistent
+//! connection per [`Client`] (reconnecting transparently when the server
+//! closes it) and supports JSON and binary request bodies.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use chronos_json::Value;
+
+use crate::types::{Headers, Method, Request, Response, Status};
+
+/// Errors produced by the HTTP client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The base URL could not be parsed (`http://host:port` expected).
+    BadUrl(String),
+    /// Connection or socket I/O failed.
+    Io(std::io::Error),
+    /// The response could not be parsed.
+    BadResponse(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "invalid URL: {u}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking HTTP client bound to one base URL.
+pub struct Client {
+    host: String,
+    authority: String,
+    timeout: Duration,
+    connection: Mutex<Option<BufReader<TcpStream>>>,
+    default_headers: Mutex<Headers>,
+}
+
+impl Client {
+    /// Creates a client for `base_url` (`http://host:port`).
+    pub fn new(base_url: &str) -> Self {
+        let authority = base_url
+            .strip_prefix("http://")
+            .unwrap_or(base_url)
+            .trim_end_matches('/')
+            .to_string();
+        Client {
+            host: authority.clone(),
+            authority,
+            timeout: Duration::from_secs(30),
+            connection: Mutex::new(None),
+            default_headers: Mutex::new(Headers::new()),
+        }
+    }
+
+    /// Overrides the socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Adds a header sent with every request (e.g. a session token).
+    pub fn set_default_header(&self, name: &str, value: &str) {
+        self.default_headers.lock().set(name, value);
+    }
+
+    /// Sends `GET path`.
+    pub fn get(&self, path: &str) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Get, path))
+    }
+
+    /// Sends `DELETE path`.
+    pub fn delete(&self, path: &str) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Delete, path))
+    }
+
+    /// Sends `POST path` with a JSON body.
+    pub fn post_json(&self, path: &str, body: &Value) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Post, path).with_json(body))
+    }
+
+    /// Sends `PUT path` with a JSON body.
+    pub fn put_json(&self, path: &str, body: &Value) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Put, path).with_json(body))
+    }
+
+    /// Sends `POST path` with a binary body.
+    pub fn post_bytes(
+        &self,
+        path: &str,
+        content_type: &str,
+        body: Vec<u8>,
+    ) -> Result<Response, ClientError> {
+        self.send(Request::new(Method::Post, path).with_body(content_type, body))
+    }
+
+    /// Sends an arbitrary request, transparently reconnecting once if the
+    /// pooled connection has gone stale.
+    pub fn send(&self, request: Request) -> Result<Response, ClientError> {
+        let mut guard = self.connection.lock();
+        if guard.is_some() {
+            // Reuse the pooled connection; on failure, retry on a fresh one
+            // (the server may have closed an idle keep-alive connection).
+            let conn = guard.take().expect("checked above");
+            match self.send_on(conn, &request) {
+                Ok((response, conn)) => {
+                    *guard = conn;
+                    return Ok(response);
+                }
+                Err(_) => { /* fall through to reconnect */ }
+            }
+        }
+        let conn = self.connect()?;
+        let (response, conn) = self.send_on(conn, &request)?;
+        *guard = conn;
+        Ok(response)
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(&self.authority)
+            .map_err(|_| ClientError::BadUrl(format!("cannot connect to {}", self.authority)))?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(BufReader::new(stream))
+    }
+
+    /// Writes the request and reads the response on `conn`. Returns the
+    /// connection back for reuse unless the server asked to close it.
+    fn send_on(
+        &self,
+        mut conn: BufReader<TcpStream>,
+        request: &Request,
+    ) -> Result<(Response, Option<BufReader<TcpStream>>), ClientError> {
+        let target = if request.query.is_empty() {
+            request.path.clone()
+        } else {
+            format!("{}?{}", request.path, request.query)
+        };
+        let mut head = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", request.method, target, self.host);
+        for (name, value) in self.default_headers.lock().iter() {
+            if request.headers.get(name).is_none() {
+                head.push_str(&format!("{name}: {value}\r\n"));
+            }
+        }
+        for (name, value) in request.headers.iter() {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", request.body.len()));
+        {
+            let stream = conn.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&request.body)?;
+            stream.flush()?;
+        }
+        let (response, keep_alive) = read_response(&mut conn)?;
+        Ok((response, if keep_alive { Some(conn) } else { None }))
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(Response, bool), ClientError> {
+    let mut status_line = String::new();
+    let n = reader.read_line(&mut status_line)?;
+    if n == 0 {
+        return Err(ClientError::BadResponse("connection closed".to_string()));
+    }
+    let mut parts = status_line.trim_end().splitn(3, ' ');
+    let _version = parts.next().unwrap_or_default();
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line {status_line:?}")))?;
+    let mut headers = Headers::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::BadResponse("truncated headers".to_string()));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.add(name.trim(), value.trim());
+        }
+    }
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    let keep_alive = !headers
+        .get("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    Ok((Response { status: Status(code), headers, body }, keep_alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use chronos_json::obj;
+
+    #[test]
+    fn default_headers_are_sent_and_overridable() {
+        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
+            Response::text(
+                Status::OK,
+                req.headers.get("x-token").unwrap_or("absent").to_string(),
+            )
+        })
+        .unwrap();
+        let client = Client::new(&server.base_url());
+        let r = client.get("/a").unwrap();
+        assert_eq!(r.body, b"absent");
+        client.set_default_header("X-Token", "s3cret");
+        let r = client.get("/a").unwrap();
+        assert_eq!(r.body, b"s3cret");
+        // Per-request header wins over the default.
+        let mut req = Request::new(Method::Get, "/a");
+        req.headers.set("X-Token", "override");
+        let r = client.send(req).unwrap();
+        assert_eq!(r.body, b"override");
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let server = Server::new().workers(2).serve("127.0.0.1:0", |_| {
+            Response::text(Status::OK, "one")
+        })
+        .unwrap();
+        let addr = server.addr();
+        let client = Client::new(&format!("http://{addr}"));
+        assert_eq!(client.get("/x").unwrap().body, b"one");
+        drop(server);
+        // Rebind on the same port (racy in general; retry a few times).
+        let mut second = None;
+        for _ in 0..20 {
+            match Server::new().workers(2).serve(&addr.to_string(), |_| {
+                Response::text(Status::OK, "two")
+            }) {
+                Ok(s) => {
+                    second = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        let Some(_second) = second else {
+            return; // port not reusable fast enough on this host; skip
+        };
+        assert_eq!(client.get("/x").unwrap().body, b"two");
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // Port 1 is essentially never listening.
+        let client = Client::new("http://127.0.0.1:1");
+        assert!(client.get("/x").is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
+            Response::bytes(Status::OK, "application/octet-stream", req.body)
+        })
+        .unwrap();
+        let client = Client::new(&server.base_url());
+        let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
+        let resp = client
+            .post_bytes("/echo", "application/octet-stream", payload.clone())
+            .unwrap();
+        assert_eq!(resp.body, payload);
+    }
+
+    #[test]
+    fn json_roundtrip_via_put() {
+        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
+            Response::json(&req.json().unwrap())
+        })
+        .unwrap();
+        let client = Client::new(&server.base_url());
+        let doc = obj! { "nested" => obj! { "k" => 1.5 } };
+        let resp = client.put_json("/doc", &doc).unwrap();
+        assert_eq!(resp.json_body().unwrap(), doc);
+    }
+}

@@ -1,0 +1,27 @@
+//! Minimal HTTP/1.1 stack for Chronos.
+//!
+//! Chronos Control "offers a RESTful web service" (paper, §2.2) that both
+//! agents and workflow integrations (e.g. build bots) call; the original
+//! runs on Apache + PHP. This crate is the Rust substitute: a small,
+//! dependency-free HTTP/1.1 implementation with exactly the features the
+//! REST API needs —
+//!
+//! * [`Server`] — blocking accept loop on a thread pool, keep-alive,
+//!   `Content-Length` bodies, graceful shutdown;
+//! * [`Router`] — method + path-pattern dispatch with `:param` captures,
+//!   the backbone of the versioned API;
+//! * [`Client`] — a blocking client used by Chronos Agents (job polling,
+//!   log upload, result upload) and by integration tests;
+//! * [`Request`] / [`Response`] — message types with JSON body helpers;
+//! * [`url`] — percent-encoding and query-string parsing.
+
+pub mod client;
+pub mod router;
+pub mod server;
+pub mod types;
+pub mod url;
+
+pub use client::{Client, ClientError};
+pub use router::{RouteParams, Router};
+pub use server::{Server, ServerHandle};
+pub use types::{Headers, Method, Request, Response, Status};

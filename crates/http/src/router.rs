@@ -1,0 +1,265 @@
+//! Method + path-pattern routing.
+//!
+//! The Chronos REST API is versioned (paper §2.2: "the API is versioned
+//! [... so] new clients [can] use the newly developed features while other
+//! clients still use older versions"), so route tables are built per version
+//! prefix and mounted side by side on one server.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::types::{Method, Request, Response, Status};
+
+/// Captured `:name` path parameters.
+#[derive(Debug, Clone, Default)]
+pub struct RouteParams {
+    params: HashMap<String, String>,
+}
+
+impl RouteParams {
+    /// The captured value for `:name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// The captured value, or a `400`-style error message.
+    pub fn require(&self, name: &str) -> Result<&str, Response> {
+        self.get(name).ok_or_else(|| {
+            Response::error(Status::BAD_REQUEST, format!("missing path parameter :{name}"))
+        })
+    }
+}
+
+type Handler = Arc<dyn Fn(&Request, &RouteParams) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+    /// `*rest`: matches the remainder of the path (including slashes).
+    Wildcard(String),
+}
+
+/// A routing table mapping `(method, path pattern)` to handlers.
+///
+/// Patterns are `/`-separated; a segment starting with `:` captures one
+/// segment, `*` captures the whole remainder:
+///
+/// ```
+/// use chronos_http::{Router, Request, Response, Method, Status};
+/// let mut router = Router::new();
+/// router.get("/api/v1/jobs/:id", |_req, params| {
+///     Response::text(Status::OK, format!("job {}", params.get("id").unwrap()))
+/// });
+/// let req = Request::new(Method::Get, "/api/v1/jobs/42");
+/// assert_eq!(router.dispatch(&req).body, b"job 42");
+/// ```
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a handler for `method` + `pattern`.
+    pub fn add<F>(&mut self, method: Method, pattern: &str, handler: F)
+    where
+        F: Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Wildcard(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+    }
+
+    /// Shorthand for [`Router::add`] with `GET`.
+    pub fn get<F>(&mut self, pattern: &str, handler: F)
+    where
+        F: Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Get, pattern, handler);
+    }
+
+    /// Shorthand for [`Router::add`] with `POST`.
+    pub fn post<F>(&mut self, pattern: &str, handler: F)
+    where
+        F: Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Post, pattern, handler);
+    }
+
+    /// Shorthand for [`Router::add`] with `PUT`.
+    pub fn put<F>(&mut self, pattern: &str, handler: F)
+    where
+        F: Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Put, pattern, handler);
+    }
+
+    /// Shorthand for [`Router::add`] with `DELETE`.
+    pub fn delete<F>(&mut self, pattern: &str, handler: F)
+    where
+        F: Fn(&Request, &RouteParams) -> Response + Send + Sync + 'static,
+    {
+        self.add(Method::Delete, pattern, handler);
+    }
+
+    fn match_route(&self, route: &Route, path: &str) -> Option<RouteParams> {
+        let mut params = RouteParams::default();
+        let mut parts = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).peekable();
+        let mut segs = route.segments.iter().peekable();
+        loop {
+            match (segs.next(), parts.peek().copied()) {
+                (None, None) => return Some(params),
+                (None, Some(_)) => return None,
+                (Some(Segment::Wildcard(name)), _) => {
+                    let rest: Vec<&str> = parts.collect();
+                    params.params.insert(name.clone(), rest.join("/"));
+                    return Some(params);
+                }
+                (Some(_), None) => return None,
+                (Some(Segment::Literal(lit)), Some(part)) => {
+                    if lit != part {
+                        return None;
+                    }
+                    parts.next();
+                }
+                (Some(Segment::Param(name)), Some(part)) => {
+                    params
+                        .params
+                        .insert(name.clone(), crate::url::decode_component(part));
+                    parts.next();
+                }
+            }
+        }
+    }
+
+    /// Routes a request to its handler. Returns `404` when no pattern
+    /// matches and `405` when a pattern matches with a different method.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = self.match_route(route, &request.path) {
+                if route.method == request.method {
+                    return (route.handler)(request, &params);
+                }
+                path_matched = true;
+            }
+        }
+        if path_matched {
+            Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed")
+        } else {
+            Response::error(Status::NOT_FOUND, format!("no route for {}", request.path))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: Method, path: &str) -> Request {
+        Request::new(method, path)
+    }
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/api/v1/jobs", |_, _| Response::text(Status::OK, "list"));
+        r.get("/api/v1/jobs/:id", |_, p| {
+            Response::text(Status::OK, format!("job:{}", p.get("id").unwrap()))
+        });
+        r.post("/api/v1/jobs/:id/abort", |_, p| {
+            Response::text(Status::OK, format!("abort:{}", p.get("id").unwrap()))
+        });
+        r.get("/files/*path", |_, p| {
+            Response::text(Status::OK, format!("file:{}", p.get("path").unwrap()))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_and_param_routes() {
+        let r = router();
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs")).body, b"list");
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/42")).body, b"job:42");
+        assert_eq!(
+            r.dispatch(&req(Method::Post, "/api/v1/jobs/42/abort")).body,
+            b"abort:42"
+        );
+    }
+
+    #[test]
+    fn params_are_decoded() {
+        let r = router();
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/a%20b")).body, b"job:a b");
+    }
+
+    #[test]
+    fn wildcard_captures_remainder() {
+        let r = router();
+        assert_eq!(
+            r.dispatch(&req(Method::Get, "/files/a/b/c.txt")).body,
+            b"file:a/b/c.txt"
+        );
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let r = router();
+        assert_eq!(r.dispatch(&req(Method::Get, "/nope")).status, Status::NOT_FOUND);
+        assert_eq!(
+            r.dispatch(&req(Method::Delete, "/api/v1/jobs")).status,
+            Status::METHOD_NOT_ALLOWED
+        );
+    }
+
+    #[test]
+    fn trailing_slash_is_ignored() {
+        let r = router();
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/")).body, b"list");
+    }
+
+    #[test]
+    fn longer_paths_do_not_match_shorter_patterns() {
+        let r = router();
+        assert_eq!(
+            r.dispatch(&req(Method::Get, "/api/v1/jobs/42/extra")).status,
+            Status::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn first_matching_route_wins() {
+        let mut r = Router::new();
+        r.get("/x/:a", |_, _| Response::text(Status::OK, "param"));
+        r.get("/x/lit", |_, _| Response::text(Status::OK, "literal"));
+        // Registration order decides: the param route was added first.
+        assert_eq!(r.dispatch(&req(Method::Get, "/x/lit")).body, b"param");
+    }
+
+    #[test]
+    fn require_reports_missing_params() {
+        let p = RouteParams::default();
+        assert!(p.require("id").is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! Blocking HTTP/1.1 server on a thread pool.
+//!
+//! Handles exactly what the Chronos REST API needs: persistent connections,
+//! `Content-Length` bodies (both directions), a body size cap for untrusted
+//! uploads, and graceful shutdown so integration tests can tear servers
+//! down deterministically.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos_util::ThreadPool;
+
+use crate::types::{Headers, Method, Request, Response, Status};
+
+/// Maximum accepted request body (64 MiB — result zips can be large).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Maximum length of the request line plus headers.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Per-connection socket timeout. Kept short so idle keep-alive connections
+/// re-check the shutdown flag frequently; `read_request` treats a timeout on
+/// an idle connection as "no request yet", not an error.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The server configuration and entry point.
+pub struct Server {
+    workers: usize,
+}
+
+/// A handle to a running server: address introspection and shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Server {
+    /// Creates a server with a default worker count (2× CPUs, min 4).
+    pub fn new() -> Self {
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Server { workers: (cpus * 2).max(4) }
+    }
+
+    /// Overrides the worker thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving `handler` on background threads. Returns immediately.
+    pub fn serve<F>(self, addr: &str, handler: F) -> std::io::Result<ServerHandle>
+    where
+        F: Fn(Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+        let pool = ThreadPool::with_name(self.workers, "chronos-http");
+        let shutdown_accept = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("chronos-http-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown_accept.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let handler = Arc::clone(&handler);
+                    let shutdown = Arc::clone(&shutdown_accept);
+                    pool.execute(move || handle_connection(stream, &*handler, &shutdown));
+                }
+                // Pool drops here, joining all in-flight requests.
+            })
+            .expect("failed to spawn accept thread");
+        Ok(ServerHandle { addr: local_addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL of the server, e.g. `http://127.0.0.1:8080`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Signals shutdown and joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection<F>(stream: TcpStream, handler: &F, shutdown: &AtomicBool)
+where
+    F: Fn(Request) -> Response,
+{
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let peer = stream.peer_addr().ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let (request, keep_alive) = match read_request(&mut reader) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => break, // clean EOF between requests
+            Err(ReadError::Idle) => continue, // no request yet; re-check shutdown
+            Err(ReadError::BadRequest(msg)) => {
+                let resp = Response::error(Status::BAD_REQUEST, msg);
+                let _ = write_response(&mut stream, &resp, false, Method::Get);
+                break;
+            }
+            Err(ReadError::TooLarge) => {
+                let resp = Response::error(Status::PAYLOAD_TOO_LARGE, "request too large");
+                let _ = write_response(&mut stream, &resp, false, Method::Get);
+                break;
+            }
+            Err(ReadError::Io) => break,
+        };
+        let method = request.method;
+        let response = handler(request);
+        if write_response(&mut stream, &response, keep_alive, method).is_err() {
+            break;
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = peer; // reserved for access logging
+}
+
+enum ReadError {
+    BadRequest(String),
+    TooLarge,
+    Io,
+    /// The connection is idle (read timed out before any bytes arrived).
+    Idle,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Retries after socket timeouts (the short [`IO_TIMEOUT`] is a polling
+/// interval, not a deadline). ~30 s of inactivity mid-message gives up.
+const MAX_STALLS: u32 = 60;
+
+/// Reads one line, tolerating timeouts while data is still arriving.
+/// `read_until` semantics guarantee partially read bytes stay in `line`.
+fn read_line_retry(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<usize, ReadError> {
+    let start = line.len();
+    let mut stalls = 0;
+    loop {
+        match reader.read_line(line) {
+            Ok(0) if line.len() == start => return Ok(0),
+            Ok(_) => return Ok(line.len() - start),
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    return Err(ReadError::Io);
+                }
+            }
+            Err(_) => return Err(ReadError::Io),
+        }
+    }
+}
+
+/// Fills `buf` completely, tolerating timeouts while data keeps arriving.
+fn read_full(reader: &mut BufReader<TcpStream>, buf: &mut [u8]) -> Result<(), ReadError> {
+    let mut filled = 0;
+    let mut stalls = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ReadError::Io),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    return Err(ReadError::Io);
+                }
+            }
+            Err(_) => return Err(ReadError::Io),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// cleanly before sending another request; `Err(Idle)` means nothing has
+/// arrived yet (caller should re-check the shutdown flag and poll again).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<Option<(Request, bool)>, ReadError> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) && line.is_empty() => return Err(ReadError::Idle),
+        Err(e) if is_timeout(&e) => {
+            // Partial request line: wait for the rest.
+            read_line_retry(reader, &mut line)?;
+        }
+        Err(_) => return Err(ReadError::Io),
+    }
+    let request_line = line.trim_end();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| ReadError::BadRequest(format!("bad method in {request_line:?}")))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("missing request target".to_string()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!("unsupported version {version}")));
+    }
+    let http10 = version == "HTTP/1.0";
+
+    let mut headers = Headers::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut header_line = String::new();
+        match read_line_retry(reader, &mut header_line)? {
+            0 => return Err(ReadError::Io),
+            n => head_bytes += n,
+        }
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        match trimmed.split_once(':') {
+            Some((name, value)) => headers.add(name.trim(), value.trim()),
+            None => {
+                return Err(ReadError::BadRequest(format!("malformed header {trimmed:?}")))
+            }
+        }
+    }
+
+    let content_length = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::BadRequest("bad content-length".to_string()))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(ReadError::BadRequest("chunked requests not supported".to_string()));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        read_full(reader, &mut body)?;
+    }
+
+    let keep_alive = match headers.get("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => !http10,
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let request = Request {
+        method,
+        path: crate::url::decode_path(path),
+        query: query.to_string(),
+        headers,
+        body,
+    };
+    Ok(Some((request, keep_alive)))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+    method: Method,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status.0,
+        response.status.reason()
+    );
+    for (name, value) in response.headers.iter() {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if method != Method::Head {
+        stream.write_all(&response.body)?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use chronos_json::obj;
+
+    fn echo_server() -> ServerHandle {
+        Server::new().workers(4).serve("127.0.0.1:0", |req| {
+            let doc = obj! {
+                "method" => req.method.as_str(),
+                "path" => req.path.clone(),
+                "query" => req.query.clone(),
+                "body_len" => req.body.len(),
+            };
+            Response::json(&doc)
+        }).expect("bind")
+    }
+
+    #[test]
+    fn serves_requests() {
+        let server = echo_server();
+        let client = Client::new(&server.base_url());
+        let resp = client.get("/hello?x=1").unwrap();
+        assert_eq!(resp.status, Status::OK);
+        let j = resp.json_body().unwrap();
+        assert_eq!(j.get("method").and_then(|v| v.as_str()), Some("GET"));
+        assert_eq!(j.get("path").and_then(|v| v.as_str()), Some("/hello"));
+        assert_eq!(j.get("query").and_then(|v| v.as_str()), Some("x=1"));
+    }
+
+    #[test]
+    fn posts_bodies() {
+        let server = echo_server();
+        let client = Client::new(&server.base_url());
+        let resp = client.post_json("/submit", &obj! {"k" => "v"}).unwrap();
+        let j = resp.json_body().unwrap();
+        assert_eq!(j.get("body_len").and_then(|v| v.as_u64()), Some(9)); // {"k":"v"}
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = echo_server();
+        let client = Client::new(&server.base_url());
+        // Multiple sequential requests through one client exercise keep-alive.
+        for i in 0..5 {
+            let resp = client.get(&format!("/req/{i}")).unwrap();
+            assert!(resp.status.is_success());
+        }
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let url = server.base_url();
+        let results = chronos_util::pool::scoped_indexed(8, |i| {
+            let client = Client::new(&url);
+            let resp = client.get(&format!("/thread/{i}")).unwrap();
+            resp.status.is_success()
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn shutdown_stops_server() {
+        let mut server = echo_server();
+        let url = server.base_url();
+        server.shutdown();
+        let client = Client::new(&url);
+        // After shutdown either connection or request fails.
+        assert!(client.get("/x").is_err() || !client.get("/x").unwrap().status.is_success());
+    }
+
+    #[test]
+    fn rejects_oversized_content_length_header() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut buf = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut buf).unwrap();
+        assert!(buf.contains("413"), "got {buf}");
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut buf).unwrap();
+        assert!(buf.contains("400"), "got {buf}");
+    }
+}

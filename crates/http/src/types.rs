@@ -1,0 +1,343 @@
+//! HTTP message types.
+
+use std::fmt;
+
+use chronos_json::Value;
+
+/// HTTP request methods supported by the Chronos REST API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Resource retrieval.
+    Get,
+    /// Resource creation / RPC-style actions.
+    Post,
+    /// Full resource replacement or state transitions.
+    Put,
+    /// Partial update.
+    Patch,
+    /// Resource removal.
+    Delete,
+    /// Headers-only retrieval.
+    Head,
+}
+
+impl Method {
+    /// Parses a request-line method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "PATCH" => Some(Method::Patch),
+            "DELETE" => Some(Method::Delete),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+
+    /// The canonical token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Patch => "PATCH",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP response status codes used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    pub const OK: Status = Status(200);
+    pub const CREATED: Status = Status(201);
+    pub const NO_CONTENT: Status = Status(204);
+    pub const BAD_REQUEST: Status = Status(400);
+    pub const UNAUTHORIZED: Status = Status(401);
+    pub const FORBIDDEN: Status = Status(403);
+    pub const NOT_FOUND: Status = Status(404);
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    pub const CONFLICT: Status = Status(409);
+    pub const GONE: Status = Status(410);
+    pub const PAYLOAD_TOO_LARGE: Status = Status(413);
+    pub const UNPROCESSABLE: Status = Status(422);
+    pub const INTERNAL_ERROR: Status = Status(500);
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// The standard reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            410 => "Gone",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An ordered, case-insensitive header multimap.
+#[derive(Debug, Clone, Default)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// First value for `name` (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Appends a header.
+    pub fn add(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replaces all values of `name` with one value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(k, _)| !k.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// Iterates all `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path (no query string).
+    pub path: String,
+    /// Raw query string (without `?`), empty if none.
+    pub query: String,
+    /// Request headers.
+    pub headers: Headers,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Builds a request with an empty body (client side).
+    pub fn new(method: Method, path: impl Into<String>) -> Self {
+        let full: String = path.into();
+        let (path, query) = match full.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (full, String::new()),
+        };
+        Request { method, path, query, headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// Sets a JSON body (and `Content-Type`).
+    pub fn with_json(mut self, value: &Value) -> Self {
+        self.body = value.to_string().into_bytes();
+        self.headers.set("Content-Type", "application/json");
+        self
+    }
+
+    /// Sets a raw body with the given content type.
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Self {
+        self.headers.set("Content-Type", content_type);
+        self.body = body;
+        self
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Value, chronos_json::ParseError> {
+        let text = String::from_utf8_lossy(&self.body);
+        chronos_json::parse(&text)
+    }
+
+    /// Parsed query-string parameters (decoded).
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        crate::url::parse_query(&self.query)
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        self.query_params().into_iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Response headers.
+    pub headers: Headers,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn status(status: Status) -> Self {
+        Response { status, headers: Headers::new(), body: Vec::new() }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(value: &Value) -> Self {
+        Self::json_status(Status::OK, value)
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json_status(status: Status, value: &Value) -> Self {
+        let mut r = Response::status(status);
+        r.headers.set("Content-Type", "application/json");
+        r.body = value.to_string().into_bytes();
+        r
+    }
+
+    /// A plain-text response.
+    pub fn text(status: Status, text: impl Into<String>) -> Self {
+        let mut r = Response::status(status);
+        r.headers.set("Content-Type", "text/plain; charset=utf-8");
+        r.body = text.into().into_bytes();
+        r
+    }
+
+    /// A binary response with explicit content type.
+    pub fn bytes(status: Status, content_type: &str, body: Vec<u8>) -> Self {
+        let mut r = Response::status(status);
+        r.headers.set("Content-Type", content_type);
+        r.body = body;
+        r
+    }
+
+    /// The standard error shape used across the API:
+    /// `{"error": {"code": ..., "message": ...}}`.
+    pub fn error(status: Status, message: impl Into<String>) -> Self {
+        let value = chronos_json::obj! {
+            "error" => chronos_json::obj! {
+                "code" => status.0 as i64,
+                "message" => message.into(),
+            },
+        };
+        Self::json_status(status, &value)
+    }
+
+    /// Parses the body as JSON.
+    pub fn json_body(&self) -> Result<Value, chronos_json::ParseError> {
+        chronos_json::parse(&String::from_utf8_lossy(&self.body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+
+    #[test]
+    fn method_parse_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Patch, Method::Delete, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(Status::OK.is_success());
+        assert!(Status::CREATED.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status::NOT_FOUND.reason(), "Not Found");
+        assert_eq!(Status(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.add("Content-Type", "application/json");
+        assert_eq!(h.get("content-type"), Some("application/json"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("application/json"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn headers_set_replaces() {
+        let mut h = Headers::new();
+        h.add("X-A", "1");
+        h.add("x-a", "2");
+        h.set("X-A", "3");
+        assert_eq!(h.get("x-a"), Some("3"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn request_splits_query() {
+        let r = Request::new(Method::Get, "/api/v1/jobs?status=failed&limit=10");
+        assert_eq!(r.path, "/api/v1/jobs");
+        assert_eq!(r.query_param("status").as_deref(), Some("failed"));
+        assert_eq!(r.query_param("limit").as_deref(), Some("10"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn json_bodies_roundtrip() {
+        let doc = obj! { "a" => 1 };
+        let req = Request::new(Method::Post, "/x").with_json(&doc);
+        assert_eq!(req.headers.get("content-type"), Some("application/json"));
+        assert_eq!(req.json().unwrap(), doc);
+        let resp = Response::json(&doc);
+        assert_eq!(resp.json_body().unwrap(), doc);
+    }
+
+    #[test]
+    fn error_shape() {
+        let r = Response::error(Status::CONFLICT, "already running");
+        let j = r.json_body().unwrap();
+        assert_eq!(j.pointer("/error/code").and_then(|v| v.as_i64()), Some(409));
+        assert_eq!(
+            j.pointer("/error/message").and_then(|v| v.as_str()),
+            Some("already running")
+        );
+    }
+}

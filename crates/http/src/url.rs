@@ -1,0 +1,143 @@
+//! Percent-encoding and query-string handling.
+
+/// Percent-encodes a path segment or query component (RFC 3986 unreserved
+/// characters pass through; everything else is `%XX`-encoded).
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decodes a component. `+` decodes to a space (form encoding).
+/// Malformed escapes pass through literally rather than erroring — the REST
+/// API treats them as opaque text.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let hi = (h[0] as char).to_digit(16)?;
+                    let lo = (h[1] as char).to_digit(16)?;
+                    Some(((hi << 4) | lo) as u8)
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-decodes a request path, preserving `/` separators and treating
+/// `+` literally (plus-as-space only applies to form-encoded queries).
+pub fn decode_path(path: &str) -> String {
+    path.split('/')
+        .map(|seg| decode_component(&seg.replace('+', "%2B")))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses `a=1&b=two` into decoded pairs. Keys without `=` get empty values.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    if query.is_empty() {
+        return Vec::new();
+    }
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(part), String::new()),
+        })
+        .collect()
+}
+
+/// Builds a query string from pairs, encoding both sides.
+pub fn build_query(pairs: &[(&str, &str)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", encode_component(k), encode_component(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_unreserved_passthrough() {
+        assert_eq!(encode_component("AZaz09-_.~"), "AZaz09-_.~");
+    }
+
+    #[test]
+    fn encode_specials() {
+        assert_eq!(encode_component("a b/c?d&e=f"), "a%20b%2Fc%3Fd%26e%3Df");
+        assert_eq!(encode_component("é"), "%C3%A9");
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for s in ["hello world", "a/b?c=d&e", "üñîçødé 😀", ""] {
+            assert_eq!(decode_component(&encode_component(s)), s);
+        }
+    }
+
+    #[test]
+    fn decode_plus_as_space() {
+        assert_eq!(decode_component("a+b"), "a b");
+    }
+
+    #[test]
+    fn decode_tolerates_malformed_escapes() {
+        assert_eq!(decode_component("100%"), "100%");
+        assert_eq!(decode_component("%zz"), "%zz");
+        assert_eq!(decode_component("%4"), "%4");
+    }
+
+    #[test]
+    fn parse_query_pairs() {
+        let pairs = parse_query("a=1&b=two+words&flag&empty=");
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), "two words".into()),
+                ("flag".into(), "".into()),
+                ("empty".into(), "".into()),
+            ]
+        );
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn build_query_encodes() {
+        assert_eq!(build_query(&[("a", "1"), ("q", "x y")]), "a=1&q=x%20y");
+    }
+}

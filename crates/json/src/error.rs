@@ -1,0 +1,60 @@
+//! Parse error reporting with line/column positions.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// A malformed literal (`true`/`false`/`null` misspelled).
+    BadLiteral,
+    /// A malformed number.
+    BadNumber,
+    /// A malformed string escape sequence.
+    BadEscape,
+    /// An unpaired UTF-16 surrogate in a `\u` escape.
+    BadSurrogate,
+    /// A raw control character inside a string.
+    ControlChar(u8),
+    /// Nesting exceeded the configured depth limit.
+    TooDeep(usize),
+    /// Valid JSON value followed by trailing non-whitespace input.
+    TrailingData,
+}
+
+/// A parse error with the byte offset, line and column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Error classification.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match &self.kind {
+            ParseErrorKind::UnexpectedEof => "unexpected end of input".to_string(),
+            ParseErrorKind::UnexpectedChar(c) => format!("unexpected character {c:?}"),
+            ParseErrorKind::BadLiteral => "malformed literal".to_string(),
+            ParseErrorKind::BadNumber => "malformed number".to_string(),
+            ParseErrorKind::BadEscape => "malformed string escape".to_string(),
+            ParseErrorKind::BadSurrogate => "unpaired UTF-16 surrogate".to_string(),
+            ParseErrorKind::ControlChar(b) => {
+                format!("raw control character 0x{b:02x} in string")
+            }
+            ParseErrorKind::TooDeep(limit) => format!("nesting exceeds depth limit {limit}"),
+            ParseErrorKind::TrailingData => "trailing data after value".to_string(),
+        };
+        write!(f, "{} at line {} column {}", what, self.line, self.column)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,91 @@
+//! Self-contained JSON support for Chronos.
+//!
+//! In Chronos, JSON is load-bearing: every REST request and response body is
+//! JSON, every job result is "a JSON and a zip file" (paper, §2.1), system
+//! definitions and parameter schemas are JSON documents, and the metadata
+//! store persists its log in JSON. This crate implements the whole format
+//! from scratch so the toolkit has no external serialization dependency:
+//!
+//! * [`Value`] — the document model (null, bool, number, string, array,
+//!   object with stable insertion order).
+//! * [`parse`](fn@parse) — a strict recursive-descent parser with a
+//!   configurable depth limit and precise error positions.
+//! * [`Value::to_string`] / [`Value::to_pretty_string`] — compact and
+//!   indented writers that round-trip every value.
+//! * [`Value::pointer`] — RFC 6901 JSON-Pointer lookup used by the analysis
+//!   layer to pull series out of result documents.
+//!
+//! The [`obj!`] and [`arr!`] macros build documents ergonomically:
+//!
+//! ```
+//! use chronos_json::{obj, arr, Value};
+//! let doc = obj! {
+//!     "system" => "minidoc",
+//!     "threads" => 8,
+//!     "engines" => arr!["wiredtiger", "mmapv1"],
+//! };
+//! assert_eq!(doc.pointer("/engines/1").and_then(Value::as_str), Some("mmapv1"));
+//! ```
+
+mod error;
+mod number;
+mod parse;
+mod path;
+mod value;
+mod write;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use number::Number;
+pub use parse::{parse, parse_with_limit, DEFAULT_DEPTH_LIMIT};
+pub use value::{Map, Value};
+
+/// Builds a [`Value::Object`] from `key => value` pairs.
+#[macro_export]
+macro_rules! obj {
+    () => { $crate::Value::Object($crate::Map::new()) };
+    ($($key:expr => $val:expr),+ $(,)?) => {{
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )+
+        $crate::Value::Object(map)
+    }};
+}
+
+/// Builds a [`Value::Array`] from a list of values.
+#[macro_export]
+macro_rules! arr {
+    () => { $crate::Value::Array(Vec::new()) };
+    ($($val:expr),+ $(,)?) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($val) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::Value;
+
+    #[test]
+    fn obj_macro_builds_object() {
+        let v = obj! { "a" => 1, "b" => true, "c" => "x" };
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+    }
+
+    #[test]
+    fn arr_macro_builds_array() {
+        let v = arr![1, 2, 3];
+        assert_eq!(v.as_array().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn empty_macros() {
+        assert_eq!(obj! {}.to_string(), "{}");
+        assert_eq!(arr![].to_string(), "[]");
+    }
+
+    #[test]
+    fn nested_macros() {
+        let v = obj! { "rows" => arr![obj! {"x" => 1}, obj! {"x" => 2}] };
+        assert_eq!(v.pointer("/rows/1/x").and_then(Value::as_i64), Some(2));
+    }
+}

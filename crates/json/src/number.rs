@@ -1,0 +1,151 @@
+//! JSON number semantics.
+//!
+//! Chronos results mix integer counts (operations executed, thread counts)
+//! with floating-point measurements (latencies, throughput). To avoid silent
+//! precision loss on large counters, integers and floats are kept distinct:
+//! a number parsed without a fraction or exponent stays an `i64` as long as
+//! it fits.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A JSON number: either an exact 64-bit integer or an IEEE double.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer that fits in `i64` exactly.
+    Int(i64),
+    /// Any other finite double. (JSON has no NaN/Infinity; constructors
+    /// normalize non-finite input to null at the [`Value`](crate::Value)
+    /// level.)
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `i64` if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The value as `u64` if exactly representable and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// True when the number is stored as an integer.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.partial_cmp(b),
+            _ => self.as_f64().partial_cmp(&other.as_f64()),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(v) => {
+                // `{}` on f64 never prints NaN/inf here (constructors forbid
+                // them) and prints shortest round-trip form. Ensure a decimal
+                // marker so the value re-parses as a float.
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number::Int(v)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        let n = Number::Int(42);
+        assert_eq!(n.as_i64(), Some(42));
+        assert_eq!(n.as_u64(), Some(42));
+        assert_eq!(n.as_f64(), 42.0);
+        assert!(n.is_int());
+    }
+
+    #[test]
+    fn negative_int_has_no_u64() {
+        assert_eq!(Number::Int(-1).as_u64(), None);
+        assert_eq!(Number::Int(-1).as_i64(), Some(-1));
+    }
+
+    #[test]
+    fn whole_float_converts_to_int() {
+        assert_eq!(Number::Float(7.0).as_i64(), Some(7));
+        assert_eq!(Number::Float(7.5).as_i64(), None);
+        assert_eq!(Number::Float(1e30).as_i64(), None);
+    }
+
+    #[test]
+    fn display_int_vs_float() {
+        assert_eq!(Number::Int(5).to_string(), "5");
+        assert_eq!(Number::Float(5.0).to_string(), "5.0");
+        assert_eq!(Number::Float(2.5).to_string(), "2.5");
+        assert_eq!(Number::Int(i64::MIN).to_string(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn cross_type_equality() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Number::Int(2) < Number::Float(2.5));
+        assert!(Number::Float(-1.0) < Number::Int(0));
+    }
+}

@@ -1,0 +1,412 @@
+//! Strict recursive-descent JSON parser.
+//!
+//! Accepts exactly RFC 8259 JSON: no comments, no trailing commas, no
+//! unquoted keys, no NaN/Infinity literals. The parser enforces a nesting
+//! depth limit so untrusted result uploads cannot overflow the stack of the
+//! Chronos Control server.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::number::Number;
+use crate::value::{Map, Value};
+
+/// Default maximum nesting depth for arrays/objects.
+pub const DEFAULT_DEPTH_LIMIT: usize = 128;
+
+/// Parses a complete JSON document with the default depth limit.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    parse_with_limit(input, DEFAULT_DEPTH_LIMIT)
+}
+
+/// Parses a complete JSON document with an explicit depth limit.
+pub fn parse_with_limit(input: &str, depth_limit: usize) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth_limit };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error(ParseErrorKind::TrailingData));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth_limit: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        self.error_at(kind, self.pos)
+    }
+
+    fn error_at(&self, kind: ParseErrorKind, offset: usize) -> ParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..offset.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError { kind, offset, line, column: col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => {
+                Err(self.error_at(ParseErrorKind::UnexpectedChar(b as char), self.pos - 1))
+            }
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > self.depth_limit {
+            return Err(self.error(ParseErrorKind::TooDeep(self.depth_limit)));
+        }
+        match self.peek() {
+            None => Err(self.error(ParseErrorKind::UnexpectedEof)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.error(ParseErrorKind::UnexpectedChar(b as char))),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error_at(ParseErrorKind::BadLiteral, start))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(b) => {
+                    return Err(
+                        self.error_at(ParseErrorKind::UnexpectedChar(b as char), self.pos - 1)
+                    )
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(match self.peek() {
+                    Some(b) => self.error(ParseErrorKind::UnexpectedChar(b as char)),
+                    None => self.error(ParseErrorKind::UnexpectedEof),
+                });
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(b) => {
+                    return Err(
+                        self.error_at(ParseErrorKind::UnexpectedChar(b as char), self.pos - 1)
+                    )
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes at once.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is &str, so this slice is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.parse_escape(&mut out)?,
+                Some(b) if b < 0x20 => {
+                    return Err(self.error_at(ParseErrorKind::ControlChar(b), self.pos - 1))
+                }
+                Some(_) => unreachable!("fast path consumed plain bytes"),
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let at = self.pos - 1;
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{0008}'),
+            Some(b'f') => out.push('\u{000C}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let hi = self.parse_hex4(at)?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must be followed by \uXXXX low surrogate.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.error_at(ParseErrorKind::BadSurrogate, at));
+                    }
+                    let lo = self.parse_hex4(at)?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.error_at(ParseErrorKind::BadSurrogate, at));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    out.push(char::from_u32(cp).expect("valid supplementary code point"));
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.error_at(ParseErrorKind::BadSurrogate, at));
+                } else {
+                    out.push(char::from_u32(hi).expect("valid BMP code point"));
+                }
+            }
+            Some(_) => return Err(self.error_at(ParseErrorKind::BadEscape, at)),
+            None => return Err(self.error(ParseErrorKind::UnexpectedEof)),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self, err_at: usize) -> Result<u32, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error_at(ParseErrorKind::BadEscape, err_at))?;
+            v = (v << 4) | digit;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one digit, or a nonzero digit followed by digits.
+        match self.bump() {
+            Some(b'0') => {}
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error_at(ParseErrorKind::BadNumber, start)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error_at(ParseErrorKind::BadNumber, start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error_at(ParseErrorKind::BadNumber, start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            // Integer out of i64 range: fall through to f64.
+        }
+        let f: f64 =
+            text.parse().map_err(|_| self.error_at(ParseErrorKind::BadNumber, start))?;
+        if f.is_finite() {
+            Ok(Value::Number(Number::Float(f)))
+        } else {
+            Err(self.error_at(ParseErrorKind::BadNumber, start))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(s: &str) -> Value {
+        parse(s).unwrap_or_else(|e| panic!("{s:?} should parse: {e}"))
+    }
+
+    fn err_kind(s: &str) -> ParseErrorKind {
+        parse(s).expect_err(&format!("{s:?} should fail")).kind
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(ok("null"), Value::Null);
+        assert_eq!(ok("true"), Value::Bool(true));
+        assert_eq!(ok("false"), Value::Bool(false));
+        assert_eq!(ok("0"), Value::from(0));
+        assert_eq!(ok("-12"), Value::from(-12));
+        assert_eq!(ok("3.25"), Value::from(3.25));
+        assert_eq!(ok("1e3"), Value::from(1000.0));
+        assert_eq!(ok("2E-2"), Value::from(0.02));
+        assert_eq!(ok("\"hi\""), Value::from("hi"));
+    }
+
+    #[test]
+    fn integer_vs_float_detection() {
+        assert!(matches!(ok("7"), Value::Number(Number::Int(7))));
+        assert!(matches!(ok("7.0"), Value::Number(Number::Float(_))));
+        assert!(matches!(ok("7e0"), Value::Number(Number::Float(_))));
+    }
+
+    #[test]
+    fn big_integers_degrade_to_float() {
+        assert_eq!(ok("9223372036854775807").as_i64(), Some(i64::MAX));
+        let too_big = ok("9223372036854775808");
+        assert!(matches!(too_big, Value::Number(Number::Float(_))));
+    }
+
+    #[test]
+    fn parses_containers() {
+        let v = ok(r#"{"a": [1, 2, {"b": null}], "c": "d"}"#);
+        assert_eq!(v.pointer("/a/2/b"), Some(&Value::Null));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("d"));
+        assert_eq!(ok("[]"), Value::Array(vec![]));
+        assert_eq!(ok("{}"), Value::Object(Map::new()));
+        assert_eq!(ok(" [ 1 , 2 ] "), Value::Array(vec![Value::from(1), Value::from(2)]));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        assert_eq!(ok(r#""\" \\ \/ \b \f \n \r \t""#).as_str().unwrap(), "\" \\ / \u{8} \u{c} \n \r \t");
+        assert_eq!(ok(r#""A""#).as_str().unwrap(), "A");
+        assert_eq!(ok(r#""é""#).as_str().unwrap(), "é");
+        assert_eq!(ok(r#""😀""#).as_str().unwrap(), "😀");
+    }
+
+    #[test]
+    fn parses_raw_utf8() {
+        assert_eq!(ok("\"héllo wörld 😀\"").as_str().unwrap(), "héllo wörld 😀");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(err_kind(""), ParseErrorKind::UnexpectedEof);
+        assert_eq!(err_kind("tru"), ParseErrorKind::BadLiteral);
+        assert_eq!(err_kind("nul"), ParseErrorKind::BadLiteral);
+        assert_eq!(err_kind("01"), ParseErrorKind::TrailingData);
+        assert_eq!(err_kind("1."), ParseErrorKind::BadNumber);
+        assert_eq!(err_kind("-"), ParseErrorKind::BadNumber);
+        assert_eq!(err_kind("1e"), ParseErrorKind::BadNumber);
+        assert_eq!(err_kind("[1,]"), ParseErrorKind::UnexpectedChar(']'));
+        assert_eq!(err_kind("[1 2]"), ParseErrorKind::UnexpectedChar('2'));
+        assert_eq!(err_kind("{\"a\" 1}"), ParseErrorKind::UnexpectedChar('1'));
+        assert_eq!(err_kind("{a: 1}"), ParseErrorKind::UnexpectedChar('a'));
+        assert_eq!(err_kind("\"abc"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(err_kind("[1, 2"), ParseErrorKind::UnexpectedEof);
+        assert_eq!(err_kind("1 2"), ParseErrorKind::TrailingData);
+        assert_eq!(err_kind(r#""\q""#), ParseErrorKind::BadEscape);
+        assert_eq!(err_kind(r#""\uZZZZ""#), ParseErrorKind::BadEscape);
+        assert_eq!(err_kind(r#""\uD800""#), ParseErrorKind::BadSurrogate);
+        assert_eq!(err_kind(r#""\uDC00""#), ParseErrorKind::BadSurrogate);
+        assert_eq!(err_kind("\"a\x01b\""), ParseErrorKind::ControlChar(1));
+    }
+
+    #[test]
+    fn reports_positions() {
+        let e = parse("{\n  \"a\": x\n}").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 8));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(matches!(parse(&deep).unwrap_err().kind, ParseErrorKind::TooDeep(_)));
+        assert!(parse_with_limit(&deep, 300).is_ok());
+        let shallow = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&shallow).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last_value() {
+        let v = ok(r#"{"a": 1, "a": 2}"#);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! RFC 6901 JSON Pointer lookup.
+//!
+//! The Chronos analysis layer addresses measurements inside result documents
+//! with pointers like `/metrics/latency/p99`; agents use them to declare
+//! which fields a chart should plot.
+
+use crate::value::Value;
+
+impl Value {
+    /// Resolves an RFC 6901 JSON Pointer against this value.
+    ///
+    /// The empty string resolves to the value itself. Tokens are separated by
+    /// `/`; `~1` unescapes to `/` and `~0` to `~`. Array tokens must be
+    /// canonical base-10 indexes (no leading zeros, no `-`).
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        let mut current = self;
+        for raw in pointer[1..].split('/') {
+            let token = unescape(raw);
+            current = match current {
+                Value::Object(map) => map.get(&token)?,
+                Value::Array(items) => items.get(parse_index(&token)?)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// Mutable variant of [`Value::pointer`].
+    pub fn pointer_mut(&mut self, pointer: &str) -> Option<&mut Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        let mut current = self;
+        for raw in pointer[1..].split('/') {
+            let token = unescape(raw);
+            current = match current {
+                Value::Object(map) => map.get_mut(&token)?,
+                Value::Array(items) => {
+                    let idx = parse_index(&token)?;
+                    items.get_mut(idx)?
+                }
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+}
+
+fn unescape(token: &str) -> String {
+    if !token.contains('~') {
+        return token.to_string();
+    }
+    token.replace("~1", "/").replace("~0", "~")
+}
+
+fn parse_index(token: &str) -> Option<usize> {
+    if token.is_empty() || (token.len() > 1 && token.starts_with('0')) {
+        return None;
+    }
+    token.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Value};
+
+    fn doc() -> Value {
+        // The RFC 6901 example document.
+        parse(
+            r#"{
+            "foo": ["bar", "baz"],
+            "": 0,
+            "a/b": 1,
+            "c%d": 2,
+            "e^f": 3,
+            "g|h": 4,
+            "i\\j": 5,
+            "k\"l": 6,
+            " ": 7,
+            "m~n": 8
+        }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rfc6901_examples() {
+        let d = doc();
+        assert_eq!(d.pointer(""), Some(&d));
+        assert_eq!(d.pointer("/foo/0").and_then(Value::as_str), Some("bar"));
+        assert_eq!(d.pointer("/").and_then(Value::as_i64), Some(0));
+        assert_eq!(d.pointer("/a~1b").and_then(Value::as_i64), Some(1));
+        assert_eq!(d.pointer("/c%d").and_then(Value::as_i64), Some(2));
+        assert_eq!(d.pointer("/i\\j").and_then(Value::as_i64), Some(5));
+        assert_eq!(d.pointer("/ ").and_then(Value::as_i64), Some(7));
+        assert_eq!(d.pointer("/m~0n").and_then(Value::as_i64), Some(8));
+    }
+
+    #[test]
+    fn missing_paths_return_none() {
+        let d = doc();
+        assert_eq!(d.pointer("/nope"), None);
+        assert_eq!(d.pointer("/foo/7"), None);
+        assert_eq!(d.pointer("/foo/0/deeper"), None);
+        assert_eq!(d.pointer("no-slash"), None);
+    }
+
+    #[test]
+    fn array_indexes_must_be_canonical() {
+        let d = doc();
+        assert_eq!(d.pointer("/foo/00"), None);
+        assert_eq!(d.pointer("/foo/-"), None);
+        assert_eq!(d.pointer("/foo/1").and_then(Value::as_str), Some("baz"));
+    }
+
+    #[test]
+    fn pointer_mut_allows_updates() {
+        let mut d = doc();
+        *d.pointer_mut("/foo/0").unwrap() = Value::from("patched");
+        assert_eq!(d.pointer("/foo/0").and_then(Value::as_str), Some("patched"));
+        assert!(d.pointer_mut("/missing").is_none());
+    }
+}

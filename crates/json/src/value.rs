@@ -1,0 +1,417 @@
+//! The JSON document model.
+
+use std::fmt;
+
+use crate::Number;
+
+/// An object map preserving insertion order.
+///
+/// Chronos system definitions and result documents are written by humans and
+/// read back by humans (and diffed in archives), so key order must survive a
+/// parse/serialize round trip. The map is a vector of pairs with linear key
+/// lookup — Chronos objects are small (tens of keys), where a vector beats a
+/// hash map and keeps ordering for free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Creates an empty map with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Map { entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Inserts or replaces a key, returning the previous value if any.
+    /// Replacement keeps the key's original position.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (exact integer or double).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with stable key order.
+    Object(Map),
+}
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The array payload, mutably.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The object payload, mutably.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Array element lookup; `None` for non-arrays and out-of-range indexes.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(index))
+    }
+
+    /// Sets `key` on an object value. Converts `Null` into an empty object
+    /// first; returns `false` (and does nothing) for other non-object values.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> bool {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                m.insert(key.to_string(), value.into());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Serializes to compact JSON. (Also available via `Display`.)
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        crate::write::write_compact(self)
+    }
+
+    /// Serializes to pretty-printed JSON with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        crate::write::write_pretty(self)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::write_compact(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(Number::Int(v))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Number(Number::Int(v as i64))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::Int(v as i64))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::Float(v as f64)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        // JSON cannot represent NaN/Infinity; map them to null so writers
+        // never emit invalid documents.
+        if v.is_finite() {
+            Value::Number(Number::Float(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Number> for Value {
+    fn from(v: Number) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::from(1));
+        m.insert("a".into(), Value::from(2));
+        m.insert("m".into(), Value::from(3));
+        let keys: Vec<_> = m.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::from(1));
+        m.insert("b".into(), Value::from(2));
+        let old = m.insert("a".into(), Value::from(9));
+        assert_eq!(old, Some(Value::from(1)));
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(m.get("a"), Some(&Value::from(9)));
+    }
+
+    #[test]
+    fn map_remove() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::from(1));
+        assert_eq!(m.remove("a"), Some(Value::from(1)));
+        assert_eq!(m.remove("a"), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = Value::from("text");
+        assert!(v.as_bool().is_none());
+        assert!(v.as_i64().is_none());
+        assert!(v.as_array().is_none());
+        assert!(v.as_object().is_none());
+        assert_eq!(v.as_str(), Some("text"));
+        assert_eq!(v.type_name(), "string");
+    }
+
+    #[test]
+    fn from_u64_preserves_large_values() {
+        let small = Value::from(42u64);
+        assert_eq!(small.as_i64(), Some(42));
+        let huge = Value::from(u64::MAX);
+        assert!(huge.as_f64().unwrap() > 1e19);
+    }
+
+    #[test]
+    fn from_f64_maps_nonfinite_to_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert!(Value::from(f64::INFINITY).is_null());
+        assert!(!Value::from(1.5).is_null());
+    }
+
+    #[test]
+    fn set_on_null_creates_object() {
+        let mut v = Value::Null;
+        assert!(v.set("k", 1));
+        assert_eq!(v.get("k").and_then(Value::as_i64), Some(1));
+        let mut s = Value::from("x");
+        assert!(!s.set("k", 1));
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Value::from(Some(5i64)), Value::from(5));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+}

@@ -1,0 +1,151 @@
+//! Compact and pretty JSON writers.
+
+use crate::value::Value;
+
+/// Serializes `value` as compact JSON (no whitespace).
+pub fn write_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes `value` as pretty JSON with two-space indentation.
+pub fn write_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes a JSON string literal, escaping per RFC 8259.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{arr, obj, parse, Value};
+
+    #[test]
+    fn compact_output() {
+        let v = obj! { "a" => 1, "b" => arr![true, Value::Null], "c" => "x\ny" };
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null],"c":"x\ny"}"#);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = obj! { "a" => 1, "b" => arr![2] };
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v = obj! { "a" => obj! {}, "b" => arr![] };
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": {},\n  \"b\": []\n}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::from("\u{0001}\u{001F}");
+        assert_eq!(v.to_string(), "\"\\u0001\\u001f\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v = Value::from("héllo 😀");
+        assert_eq!(v.to_string(), "\"héllo 😀\"");
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = Value::from(2.0);
+        let reparsed = parse(&v.to_string()).unwrap();
+        assert!(matches!(reparsed, Value::Number(crate::Number::Float(_))));
+    }
+
+    #[test]
+    fn compact_roundtrips() {
+        let docs = [
+            r#"{"jobs":[{"id":"j1","state":"finished","metrics":{"tp":1234.5,"p99":0.75}}]}"#,
+            r#"[[[]],{},{"":""},-0.5,1e-7]"#,
+            "\"\\u0000\"",
+        ];
+        for doc in docs {
+            let v = parse(doc).unwrap();
+            assert_eq!(parse(&v.to_string()).unwrap(), v, "roundtrip failed for {doc}");
+            assert_eq!(parse(&v.to_pretty_string()).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the JSON substrate: any value the model can
+//! represent must serialize to text that parses back to an equal value, in
+//! both compact and pretty form.
+
+use chronos_json::{parse, Map, Number, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        // Finite floats only; JSON has no NaN/Infinity.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(|f| Value::Number(Number::Float(f))),
+        ".*".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::vec((".*", inner), 0..8).prop_map(|pairs| {
+                let mut map = Map::new();
+                for (k, v) in pairs {
+                    map.insert(k, v);
+                }
+                Value::Object(map)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(v in arb_value()) {
+        let text = v.to_string();
+        let back = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_roundtrip(v in arb_value()) {
+        let text = v.to_pretty_string();
+        let back = parse(&text).expect("pretty output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_never_panics(s in ".*") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parse_json_like_never_panics(s in r#"[\[\]{}",:0-9eE+\-. \\unltrfabcd]*"#) {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn pointer_finds_every_object_field(
+        keys in prop::collection::hash_set("[a-z]{1,8}", 1..6),
+    ) {
+        let mut map = Map::new();
+        for (i, k) in keys.iter().enumerate() {
+            map.insert(k.clone(), Value::from(i as i64));
+        }
+        let v = Value::Object(map);
+        for k in &keys {
+            let ptr = format!("/{k}");
+            prop_assert!(v.pointer(&ptr).is_some());
+        }
+    }
+}

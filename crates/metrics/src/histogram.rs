@@ -1,0 +1,303 @@
+//! Log-bucketed latency histogram.
+//!
+//! Values (nanoseconds, microseconds — any u64 unit) are assigned to buckets
+//! whose width grows geometrically: each power-of-two range is split into
+//! `1 << precision_bits` linear sub-buckets, bounding the relative
+//! quantization error at `2^-precision_bits`. With the default 7 precision
+//! bits the error is < 0.79% and the whole histogram is ~64 KiB — cheap
+//! enough that every worker thread records into its own histogram and the
+//! recorder merges them at the end (no cross-thread contention on the
+//! benchmark hot path, which matters for experiment E1's thread sweep).
+
+use chronos_json::{obj, Value};
+
+const SUB_BUCKET_BITS: u32 = 7;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 128
+/// Number of power-of-two ranges needed to cover u64.
+const RANGES: usize = 64 - SUB_BUCKET_BITS as usize + 1;
+
+/// A mergeable log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; RANGES * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros();
+        if msb < SUB_BUCKET_BITS {
+            // Values below 2^SUB_BUCKET_BITS map 1:1 into the first range.
+            return value as usize;
+        }
+        let range = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let shift = range as u32;
+        let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+        range * SUB_BUCKETS + sub
+    }
+
+    /// Lowest value that maps to `index`'s bucket (bucket representative).
+    fn bucket_low(index: usize) -> u64 {
+        let range = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if range == 0 {
+            return sub;
+        }
+        // Range r >= 1 covers [2^(bits+r-1), 2^(bits+r)); stored sub-bucket
+        // values keep the implicit high bit (sub in [SUB_BUCKETS/2, SUB_BUCKETS)),
+        // so the representative is simply `sub << r`.
+        sub << range
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `count` identical observations.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        self.counts[Self::bucket_index(value)] += count;
+        self.total += count;
+        self.sum += value as u128 * count as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` (0.0 ..= 1.0), with the histogram's bounded
+    /// relative error. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to observed extremes so p0/p100 are exact.
+                return Self::bucket_low(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience percentile accessor (`p` in 0..=100).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Summarizes the histogram as a JSON object with the standard Chronos
+    /// latency fields (values in the unit that was recorded).
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "count" => self.count(),
+            "min" => self.min(),
+            "mean" => self.mean(),
+            "p50" => self.quantile(0.50),
+            "p90" => self.quantile(0.90),
+            "p95" => self.quantile(0.95),
+            "p99" => self.quantile(0.99),
+            "p999" => self.quantile(0.999),
+            "max" => self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 99);
+        // Rank convention: quantile(q) = value at rank ceil(q*n), so the
+        // median of 0..=99 is the 50th observation, value 49.
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_values_have_bounded_error() {
+        let mut h = Histogram::new();
+        let values = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000];
+        for &v in &values {
+            h.record(v);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let q = (i as f64 + 1.0) / values.len() as f64;
+            let got = h.quantile(q) as f64;
+            let err = (got - v as f64).abs() / v as f64;
+            assert!(err < 0.01, "value {v}: got {got}, relative error {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotonic() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 37 % 1_000_000);
+        }
+        let mut last = 0;
+        for p in 0..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        h.record(99_999_999);
+        assert_eq!(h.quantile(0.0), 12_345.max(h.min()));
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 99_999_999);
+        assert!(h.quantile(1.0) <= 99_999_999);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for i in 0..1_000u64 {
+            let v = i * i % 500_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(a.percentile(p), combined.percentile(p));
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(777, 5);
+        let mut b = Histogram::new();
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn json_summary_has_standard_fields() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let j = h.to_json();
+        for field in ["count", "min", "mean", "p50", "p90", "p95", "p99", "p999", "max"] {
+            assert!(j.get(field).is_some(), "missing {field}");
+        }
+        assert_eq!(j.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn handles_u64_extremes_without_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let _ = h.quantile(0.99);
+    }
+}

@@ -1,0 +1,23 @@
+//! Measurement infrastructure for Chronos agents.
+//!
+//! The paper (§2.2) notes that the agent library "already measures basic
+//! metrics which are returned to Chronos Control along with the results".
+//! This crate is that measurement library:
+//!
+//! * [`Histogram`] — a log-bucketed latency histogram (HDR-style: bounded
+//!   relative error, constant memory, mergeable across worker threads).
+//! * [`Timeseries`] — fixed-window throughput over the run, powering the
+//!   progress/throughput plots of the result page.
+//! * [`Recorder`] / [`RunSummary`] — per-operation-type collection during a
+//!   benchmark run and the JSON summary uploaded with every job result.
+//!
+//! All types convert to [`chronos_json::Value`] so agents can embed them
+//! directly in result documents.
+
+mod histogram;
+mod recorder;
+mod timeseries;
+
+pub use histogram::Histogram;
+pub use recorder::{OpStats, Recorder, RunSummary};
+pub use timeseries::Timeseries;

@@ -1,0 +1,170 @@
+//! Fixed-window throughput time series.
+//!
+//! The job detail page (paper Fig. 3c) shows run progress over time; agents
+//! feed it by bucketing completed operations into fixed windows and
+//! reporting the series with the result. Windows are indexed from the start
+//! of the run, so merging series from concurrent worker threads is a
+//! per-window addition.
+
+use chronos_json::{arr, obj, Value};
+
+/// Counts events into fixed windows offset from a run start time.
+#[derive(Debug, Clone)]
+pub struct Timeseries {
+    window_millis: u64,
+    counts: Vec<u64>,
+}
+
+impl Timeseries {
+    /// Creates a series with the given window width in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `window_millis` is zero.
+    pub fn new(window_millis: u64) -> Self {
+        assert!(window_millis > 0, "window width must be positive");
+        Timeseries { window_millis, counts: Vec::new() }
+    }
+
+    /// Window width in milliseconds.
+    pub fn window_millis(&self) -> u64 {
+        self.window_millis
+    }
+
+    /// Records `count` events at `elapsed_millis` since the run started.
+    pub fn record_at(&mut self, elapsed_millis: u64, count: u64) {
+        let idx = (elapsed_millis / self.window_millis) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += count;
+    }
+
+    /// Number of windows with data (including interior zero windows).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total events across all windows.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events in window `idx`.
+    pub fn count_at(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Per-window throughput in events/second.
+    pub fn rates_per_second(&self) -> Vec<f64> {
+        let scale = 1000.0 / self.window_millis as f64;
+        self.counts.iter().map(|&c| c as f64 * scale).collect()
+    }
+
+    /// Merges another series (same window width) into this one.
+    ///
+    /// # Panics
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &Timeseries) {
+        assert_eq!(
+            self.window_millis, other.window_millis,
+            "cannot merge series with different window widths"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// JSON rendering: `{window_millis, counts: [...]}`.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "window_millis" => self.window_millis,
+            "counts" => Value::Array(self.counts.iter().map(|&c| Value::from(c)).collect()),
+            "rates_per_second" => {
+                let mut rates = arr![];
+                if let Value::Array(items) = &mut rates {
+                    items.extend(self.rates_per_second().into_iter().map(Value::from));
+                }
+                rates
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_windows() {
+        let mut ts = Timeseries::new(1000);
+        ts.record_at(0, 1);
+        ts.record_at(999, 1);
+        ts.record_at(1000, 1);
+        ts.record_at(5500, 2);
+        assert_eq!(ts.len(), 6);
+        assert_eq!(ts.count_at(0), 2);
+        assert_eq!(ts.count_at(1), 1);
+        assert_eq!(ts.count_at(4), 0);
+        assert_eq!(ts.count_at(5), 2);
+        assert_eq!(ts.total(), 5);
+    }
+
+    #[test]
+    fn rates_scale_with_window() {
+        let mut ts = Timeseries::new(500);
+        ts.record_at(0, 100);
+        assert_eq!(ts.rates_per_second()[0], 200.0);
+    }
+
+    #[test]
+    fn merge_adds_windows() {
+        let mut a = Timeseries::new(1000);
+        a.record_at(0, 5);
+        let mut b = Timeseries::new(1000);
+        b.record_at(0, 3);
+        b.record_at(2500, 7);
+        a.merge(&b);
+        assert_eq!(a.count_at(0), 8);
+        assert_eq!(a.count_at(2), 7);
+        assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = Timeseries::new(1000);
+        a.merge(&Timeseries::new(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_window_rejected() {
+        let _ = Timeseries::new(0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut ts = Timeseries::new(1000);
+        ts.record_at(100, 4);
+        let j = ts.to_json();
+        assert_eq!(j.pointer("/window_millis").and_then(Value::as_u64), Some(1000));
+        assert_eq!(j.pointer("/counts/0").and_then(Value::as_u64), Some(4));
+        assert_eq!(j.pointer("/rates_per_second/0").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = Timeseries::new(100);
+        assert!(ts.is_empty());
+        assert_eq!(ts.total(), 0);
+        assert!(ts.rates_per_second().is_empty());
+    }
+}

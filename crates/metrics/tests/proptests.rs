@@ -1,0 +1,79 @@
+//! Property tests for histogram invariants: bounded relative error,
+//! monotonic quantiles, merge-equals-combined.
+
+use chronos_metrics::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantile_relative_error_is_bounded(values in prop::collection::vec(1u64..u64::MAX / 2, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let approx = h.quantile(q) as f64;
+            // 2^-7 sub-bucket precision => < 1.6% error including rank rounding slack.
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.016 + 1.0,
+                "q={q}: approx={approx}, exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_monotonic(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn count_and_mean_are_exact(values in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact_mean = sum as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+//! Compact binary document encoding (BSON's role in MongoDB).
+//!
+//! Documents are JSON objects; on disk they are encoded with one-byte type
+//! tags and LEB128 length prefixes. The encoding is self-delimiting, so
+//! records can be concatenated into extents/pages without separators.
+
+use chronos_json::{Map, Number, Value};
+
+use crate::error::{DbError, DbResult};
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STRING: u8 = 5;
+const TAG_ARRAY: u8 = 6;
+const TAG_OBJECT: u8 = 7;
+
+/// Encodes a document. The top level must be a JSON object (as in MongoDB).
+pub fn encode(document: &Value) -> DbResult<Vec<u8>> {
+    if !matches!(document, Value::Object(_)) {
+        return Err(DbError::BadDocument(format!(
+            "top-level value must be an object, got {}",
+            document.type_name()
+        )));
+    }
+    let mut out = Vec::with_capacity(64);
+    encode_value(document, &mut out);
+    Ok(out)
+}
+
+/// Decodes a document previously produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> DbResult<Value> {
+    let mut pos = 0;
+    let value = decode_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(DbError::Corrupt(format!(
+            "trailing bytes after document ({} of {})",
+            pos,
+            bytes.len()
+        )));
+    }
+    Ok(value)
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Number(Number::Int(i)) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Number(Number::Float(f)) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            encode_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            encode_varint(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(map) => {
+            out.push(TAG_OBJECT);
+            encode_varint(map.len() as u64, out);
+            for (key, val) in map.iter() {
+                encode_varint(key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+fn decode_value(bytes: &[u8], pos: &mut usize) -> DbResult<Value> {
+    let tag = *bytes.get(*pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => {
+            let raw = take(bytes, pos, 8)?;
+            Ok(Value::Number(Number::Int(i64::from_le_bytes(raw.try_into().unwrap()))))
+        }
+        TAG_FLOAT => {
+            let raw = take(bytes, pos, 8)?;
+            Ok(Value::Number(Number::Float(f64::from_le_bytes(raw.try_into().unwrap()))))
+        }
+        TAG_STRING => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let raw = take(bytes, pos, len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| DbError::Corrupt("invalid UTF-8 in string".into()))?;
+            Ok(Value::String(s.to_string()))
+        }
+        TAG_ARRAY => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("array length exceeds input".into()));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_value(bytes, pos)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("object length exceeds input".into()));
+            }
+            let mut map = Map::with_capacity(count);
+            for _ in 0..count {
+                let key_len = decode_varint(bytes, pos)? as usize;
+                let raw = take(bytes, pos, key_len)?;
+                let key = std::str::from_utf8(raw)
+                    .map_err(|_| DbError::Corrupt("invalid UTF-8 in key".into()))?
+                    .to_string();
+                let val = decode_value(bytes, pos)?;
+                map.insert(key, val);
+            }
+            Ok(Value::Object(map))
+        }
+        other => Err(DbError::Corrupt(format!("unknown type tag {other}"))),
+    }
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, len: usize) -> DbResult<&'a [u8]> {
+    let slice = bytes
+        .get(*pos..*pos + len)
+        .ok_or_else(|| DbError::Corrupt("truncated payload".into()))?;
+    *pos += len;
+    Ok(slice)
+}
+
+/// LEB128 unsigned varint.
+pub fn encode_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 unsigned varint decoder.
+pub fn decode_varint(bytes: &[u8], pos: &mut usize) -> DbResult<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| DbError::Corrupt("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DbError::Corrupt("varint overflow".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::{arr, obj};
+
+    #[test]
+    fn roundtrip_typical_document() {
+        let document = obj! {
+            "name" => "ada",
+            "age" => 36,
+            "score" => 99.5,
+            "tags" => arr!["a", "b"],
+            "nested" => obj! {"deep" => obj! {"x" => Value::Null}},
+            "flag" => true,
+        };
+        let bytes = encode(&document).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), document);
+    }
+
+    #[test]
+    fn roundtrip_preserves_key_order() {
+        let document = obj! {"z" => 1, "a" => 2, "m" => 3};
+        let decoded = decode(&encode(&document).unwrap()).unwrap();
+        let keys: Vec<&str> = decoded.as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn top_level_must_be_object() {
+        assert!(matches!(encode(&Value::from(1)), Err(DbError::BadDocument(_))));
+        assert!(matches!(encode(&arr![1]), Err(DbError::BadDocument(_))));
+        assert!(encode(&obj! {}).is_ok());
+    }
+
+    #[test]
+    fn extreme_numbers_roundtrip() {
+        let document = obj! {
+            "max" => i64::MAX,
+            "min" => i64::MIN,
+            "tiny" => 1e-300,
+            "huge" => 1e300,
+            "negzero" => -0.0,
+        };
+        assert_eq!(decode(&encode(&document).unwrap()).unwrap(), document);
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let document = obj! {"emoji 😀" => "héllo wörld 😀"};
+        assert_eq!(decode(&encode(&document).unwrap()).unwrap(), document);
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt() {
+        let bytes = encode(&obj! {"k" => "value"}).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(DbError::Corrupt(_))),
+                "prefix of length {cut} should be corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = encode(&obj! {"k" => 1}).unwrap();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        assert!(matches!(decode(&[99]), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Object claiming u64::MAX entries must not attempt an allocation.
+        let mut bytes = vec![TAG_OBJECT];
+        encode_varint(u64::MAX, &mut bytes);
+        assert!(matches!(decode(&bytes), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            encode_varint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

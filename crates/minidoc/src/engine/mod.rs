@@ -1,0 +1,216 @@
+//! The storage-engine abstraction and its two implementations.
+//!
+//! MongoDB's pluggable storage API is what made the paper's demo possible
+//! (same database, two engines, one flag); [`StorageEngine`] plays that role
+//! here. Engines store opaque record bytes under binary keys, per named
+//! collection, with ordered scans.
+
+pub mod mmapv1;
+pub mod wiredtiger;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::DbResult;
+
+/// Which storage engine a database uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The wiredTiger-like engine: record-level concurrency, compression,
+    /// WAL + checkpoints.
+    WiredTiger,
+    /// The mmapv1-like engine: collection-level locking, in-place updates
+    /// with power-of-2 padding, journal.
+    MmapV1,
+}
+
+impl EngineKind {
+    /// Parses the lowercase engine name used in experiment parameters.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "wiredtiger" | "wiredTiger" => Some(EngineKind::WiredTiger),
+            "mmapv1" => Some(EngineKind::MmapV1),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::WiredTiger => "wiredtiger",
+            EngineKind::MmapV1 => "mmapv1",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Live documents across all collections.
+    pub documents: u64,
+    /// Sum of encoded document sizes (what the user stored).
+    pub logical_bytes: u64,
+    /// Bytes the engine actually keeps (padding, compression, slot
+    /// overhead included).
+    pub stored_bytes: u64,
+    /// Completed operations by type.
+    pub inserts: u64,
+    /// Completed updates.
+    pub updates: u64,
+    /// Completed deletes.
+    pub deletes: u64,
+    /// Completed point reads (hits and misses).
+    pub reads: u64,
+    /// Completed scans.
+    pub scans: u64,
+    /// Bytes appended to the WAL/journal.
+    pub wal_bytes: u64,
+    /// In-place updates (mmapv1: record fit its padding).
+    pub inplace_updates: u64,
+    /// Record moves (mmapv1: record outgrew its padding).
+    pub record_moves: u64,
+}
+
+impl EngineStats {
+    /// `stored_bytes / logical_bytes` (1.0 when empty).
+    pub fn storage_amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            1.0
+        } else {
+            self.stored_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// JSON rendering for result documents.
+    pub fn to_json(&self) -> chronos_json::Value {
+        chronos_json::obj! {
+            "documents" => self.documents,
+            "logical_bytes" => self.logical_bytes,
+            "stored_bytes" => self.stored_bytes,
+            "storage_amplification" => self.storage_amplification(),
+            "inserts" => self.inserts,
+            "updates" => self.updates,
+            "deletes" => self.deletes,
+            "reads" => self.reads,
+            "scans" => self.scans,
+            "wal_bytes" => self.wal_bytes,
+            "inplace_updates" => self.inplace_updates,
+            "record_moves" => self.record_moves,
+        }
+    }
+}
+
+/// Shared atomic counters engines update on their hot paths.
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub documents: AtomicU64,
+    pub logical_bytes: AtomicU64,
+    pub stored_bytes: AtomicU64,
+    pub inserts: AtomicU64,
+    pub updates: AtomicU64,
+    pub deletes: AtomicU64,
+    pub reads: AtomicU64,
+    pub scans: AtomicU64,
+    pub inplace_updates: AtomicU64,
+    pub record_moves: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn snapshot(&self, wal_bytes: u64) -> EngineStats {
+        EngineStats {
+            documents: self.documents.load(Ordering::Relaxed),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            stored_bytes: self.stored_bytes.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            wal_bytes,
+            inplace_updates: self.inplace_updates.load(Ordering::Relaxed),
+            record_moves: self.record_moves.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub(counter: &AtomicU64, delta: u64) {
+        counter.fetch_sub(delta, Ordering::Relaxed);
+    }
+}
+
+/// The storage-engine contract.
+///
+/// All methods are callable concurrently from many threads; the locking
+/// granularity is the engine's defining characteristic.
+pub trait StorageEngine: Send + Sync {
+    /// Inserts a new record; errors on duplicate key.
+    fn insert(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()>;
+
+    /// Fetches a record.
+    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>>;
+
+    /// Replaces an existing record; errors on missing key.
+    fn update(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()>;
+
+    /// Inserts or replaces a record.
+    fn upsert(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()>;
+
+    /// Removes a record; returns whether it existed.
+    fn delete(&self, collection: &str, key: &[u8]) -> DbResult<bool>;
+
+    /// Up to `limit` records with key ≥ `start_key`, in key order.
+    fn scan(&self, collection: &str, start_key: &[u8], limit: usize)
+        -> DbResult<Vec<(Vec<u8>, Vec<u8>)>>;
+
+    /// Number of records in `collection` (0 if it does not exist).
+    fn count(&self, collection: &str) -> u64;
+
+    /// Existing collection names, sorted.
+    fn collection_names(&self) -> Vec<String>;
+
+    /// Drops a collection (no-op if absent).
+    fn drop_collection(&self, collection: &str) -> DbResult<()>;
+
+    /// Point-in-time statistics.
+    fn stats(&self) -> EngineStats;
+
+    /// Flushes state so a re-open recovers without the log.
+    fn checkpoint(&self) -> DbResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_roundtrip() {
+        assert_eq!(EngineKind::parse("wiredtiger"), Some(EngineKind::WiredTiger));
+        assert_eq!(EngineKind::parse("wiredTiger"), Some(EngineKind::WiredTiger));
+        assert_eq!(EngineKind::parse("mmapv1"), Some(EngineKind::MmapV1));
+        assert_eq!(EngineKind::parse("rocks"), None);
+        assert_eq!(EngineKind::WiredTiger.to_string(), "wiredtiger");
+    }
+
+    #[test]
+    fn amplification_math() {
+        let stats = EngineStats { logical_bytes: 100, stored_bytes: 250, ..Default::default() };
+        assert_eq!(stats.storage_amplification(), 2.5);
+        assert_eq!(EngineStats::default().storage_amplification(), 1.0);
+    }
+
+    #[test]
+    fn stats_json_fields() {
+        let j = EngineStats::default().to_json();
+        for field in ["documents", "stored_bytes", "storage_amplification", "wal_bytes"] {
+            assert!(j.get(field).is_some(), "missing {field}");
+        }
+    }
+}

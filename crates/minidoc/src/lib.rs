@@ -1,0 +1,531 @@
+//! # minidoc — an embedded document store with pluggable storage engines
+//!
+//! The Chronos paper demonstrates the toolkit by comparatively evaluating
+//! two MongoDB storage engines, **wiredTiger** and **mmapv1**. Since a real
+//! MongoDB cannot be embedded in a pure-Rust reproduction, `minidoc` is the
+//! stand-in System under Evaluation: a document database whose two storage
+//! engines reproduce the *architectural* differences that the demo's results
+//! hinge on:
+//!
+//! | | [`WiredTigerEngine`](engine::wiredtiger::WiredTigerEngine) | [`MmapV1Engine`](engine::mmapv1::MmapV1Engine) |
+//! |---|---|---|
+//! | write concurrency | record-level (sharded latches) | **collection-level lock** |
+//! | update strategy | out-of-place into slotted pages | in-place with power-of-2 padding |
+//! | on-disk footprint | block compression (LZ+RLE) | padded raw records |
+//! | durability | write-ahead log + checkpoints | journal held under the collection lock |
+//!
+//! Under a YCSB-style mixed workload these mechanisms produce the same
+//! qualitative picture as the MongoDB demo: wiredTiger scales with client
+//! threads and wins clearly on write-heavy mixes; mmapv1 stays competitive
+//! on read-mostly workloads but plateaus under write concurrency and uses
+//! more storage.
+//!
+//! ```
+//! use minidoc::{Database, DbConfig, EngineKind};
+//! use chronos_json::obj;
+//!
+//! let db = Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap();
+//! let coll = db.collection("usertable");
+//! coll.insert("user1", &obj! {"name" => "ada", "visits" => 3}).unwrap();
+//! let doc = coll.get("user1").unwrap().unwrap();
+//! assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("ada"));
+//! ```
+
+pub mod compress;
+pub mod doc;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod update;
+pub mod wal;
+
+pub use engine::{EngineKind, EngineStats, StorageEngine};
+pub use error::{DbError, DbResult};
+pub use query::Filter;
+pub use update::{UpdateOp, UpdateSpec};
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use chronos_json::Value;
+use parking_lot::RwLock;
+
+use crate::index::{range_for, FieldIndex, RangeOp};
+use crate::query::lookup;
+
+/// All secondary indexes of a database: collection → field → index.
+type IndexMap = HashMap<String, HashMap<String, FieldIndex>>;
+
+/// Database configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Which storage engine to use.
+    pub engine: EngineKind,
+    /// Data directory; `None` runs fully in memory (no durability).
+    pub data_dir: Option<PathBuf>,
+    /// Enable block compression (wiredTiger-like engine only).
+    pub compression: bool,
+    /// Sync the WAL/journal on every commit group.
+    pub durable_writes: bool,
+    /// Number of latch shards for record-level locking (wiredTiger-like
+    /// engine). More shards = less contention.
+    pub latch_shards: usize,
+}
+
+impl DbConfig {
+    /// In-memory database with the given engine and engine-typical defaults
+    /// (compression on for wiredTiger, off for mmapv1).
+    pub fn in_memory(engine: EngineKind) -> Self {
+        DbConfig {
+            engine,
+            data_dir: None,
+            compression: engine == EngineKind::WiredTiger,
+            durable_writes: false,
+            latch_shards: 64,
+        }
+    }
+
+    /// Durable database rooted at `dir`.
+    pub fn at_dir(engine: EngineKind, dir: impl Into<PathBuf>) -> Self {
+        DbConfig { data_dir: Some(dir.into()), durable_writes: true, ..Self::in_memory(engine) }
+    }
+
+    /// Toggles compression.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+}
+
+/// An open document database.
+#[derive(Clone)]
+pub struct Database {
+    engine: Arc<dyn StorageEngine>,
+    kind: EngineKind,
+    indexes: Arc<RwLock<IndexMap>>,
+}
+
+impl Database {
+    /// Opens (and, for durable configs, recovers) a database.
+    pub fn open(config: DbConfig) -> DbResult<Self> {
+        let kind = config.engine;
+        let engine: Arc<dyn StorageEngine> = match kind {
+            EngineKind::WiredTiger => {
+                Arc::new(engine::wiredtiger::WiredTigerEngine::open(config)?)
+            }
+            EngineKind::MmapV1 => Arc::new(engine::mmapv1::MmapV1Engine::open(config)?),
+        };
+        Ok(Database { engine, kind, indexes: Arc::new(RwLock::new(HashMap::new())) })
+    }
+
+    /// The engine this database runs on.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// A handle to `name`'s collection (created lazily on first write).
+    pub fn collection(&self, name: &str) -> Collection {
+        Collection {
+            engine: Arc::clone(&self.engine),
+            name: name.to_string(),
+            indexes: Arc::clone(&self.indexes),
+        }
+    }
+
+    /// Names of all existing collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.engine.collection_names()
+    }
+
+    /// Drops a collection, its data and its indexes.
+    pub fn drop_collection(&self, name: &str) -> DbResult<()> {
+        self.indexes.write().remove(name);
+        self.engine.drop_collection(name)
+    }
+
+    /// Engine statistics (storage bytes, cache counters, lock waits).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Forces a checkpoint (flushes buffered state to the data dir).
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.engine.checkpoint()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database").field("engine", &self.kind).finish()
+    }
+}
+
+/// A handle to one collection.
+#[derive(Clone)]
+pub struct Collection {
+    engine: Arc<dyn StorageEngine>,
+    name: String,
+    indexes: Arc<RwLock<IndexMap>>,
+}
+
+impl Collection {
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts a new document. Fails with [`DbError::DuplicateKey`] if the
+    /// key exists.
+    pub fn insert(&self, key: &str, document: &Value) -> DbResult<()> {
+        let bytes = doc::encode(document)?;
+        self.engine.insert(&self.name, key.as_bytes(), &bytes)?;
+        self.index_document(key, None, Some(document));
+        Ok(())
+    }
+
+    /// Fetches a document by key.
+    pub fn get(&self, key: &str) -> DbResult<Option<Value>> {
+        match self.engine.get(&self.name, key.as_bytes())? {
+            Some(bytes) => Ok(Some(doc::decode(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Replaces an existing document. Fails with [`DbError::NotFound`] if
+    /// the key does not exist.
+    pub fn update(&self, key: &str, document: &Value) -> DbResult<()> {
+        let old = if self.has_indexes() { self.get(key)? } else { None };
+        let bytes = doc::encode(document)?;
+        self.engine.update(&self.name, key.as_bytes(), &bytes)?;
+        self.index_document(key, old.as_ref(), Some(document));
+        Ok(())
+    }
+
+    /// Inserts or replaces a document.
+    pub fn upsert(&self, key: &str, document: &Value) -> DbResult<()> {
+        let old = if self.has_indexes() { self.get(key)? } else { None };
+        let bytes = doc::encode(document)?;
+        self.engine.upsert(&self.name, key.as_bytes(), &bytes)?;
+        self.index_document(key, old.as_ref(), Some(document));
+        Ok(())
+    }
+
+    /// Deletes a document. Returns `true` if it existed.
+    pub fn delete(&self, key: &str) -> DbResult<bool> {
+        let old = if self.has_indexes() { self.get(key)? } else { None };
+        let existed = self.engine.delete(&self.name, key.as_bytes())?;
+        if existed {
+            self.index_document(key, old.as_ref(), None);
+        }
+        Ok(existed)
+    }
+
+    fn has_indexes(&self) -> bool {
+        self.indexes.read().get(&self.name).map(|m| !m.is_empty()).unwrap_or(false)
+    }
+
+    /// Applies an index delta for one document: removes `old`'s entries and
+    /// adds `new`'s, for every indexed field of this collection.
+    fn index_document(&self, key: &str, old: Option<&Value>, new: Option<&Value>) {
+        let mut indexes = self.indexes.write();
+        let Some(fields) = indexes.get_mut(&self.name) else { return };
+        for (field, index) in fields.iter_mut() {
+            if let Some(value) = old.and_then(|d| lookup(d, field)) {
+                index.remove(value, key.as_bytes());
+            }
+            if let Some(value) = new.and_then(|d| lookup(d, field)) {
+                index.insert(value, key.as_bytes());
+            }
+        }
+    }
+
+    /// Creates a single-field secondary index on `field` (dotted paths
+    /// allowed), backfilling it from the existing documents. Idempotent.
+    pub fn create_index(&self, field: &str) -> DbResult<()> {
+        {
+            let indexes = self.indexes.read();
+            if indexes.get(&self.name).map(|m| m.contains_key(field)).unwrap_or(false) {
+                return Ok(());
+            }
+        }
+        let mut index = FieldIndex::new();
+        let mut start: Vec<u8> = Vec::new();
+        const BATCH: usize = 1024;
+        loop {
+            let batch = self.engine.scan(&self.name, &start, BATCH)?;
+            let batch_len = batch.len();
+            for (key, bytes) in &batch {
+                let document = doc::decode(bytes)?;
+                if let Some(value) = lookup(&document, field) {
+                    index.insert(value, key);
+                }
+            }
+            if batch_len < BATCH {
+                break;
+            }
+            let mut next = batch.last().expect("non-empty batch").0.clone();
+            next.push(0);
+            start = next;
+        }
+        self.indexes
+            .write()
+            .entry(self.name.clone())
+            .or_default()
+            .insert(field.to_string(), index);
+        Ok(())
+    }
+
+    /// Drops the index on `field`. Returns whether it existed.
+    pub fn drop_index(&self, field: &str) -> bool {
+        self.indexes
+            .write()
+            .get_mut(&self.name)
+            .map(|m| m.remove(field).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Names of the indexed fields, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .indexes
+            .read()
+            .get(&self.name)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    /// The query planner: candidate document keys for `filter` from an
+    /// index, or `None` when no index applies (full scan required).
+    fn plan_candidates(&self, filter: &Filter) -> Option<Vec<Vec<u8>>> {
+        let indexes = self.indexes.read();
+        let fields = indexes.get(&self.name)?;
+        fn plan(fields: &HashMap<String, FieldIndex>, filter: &Filter) -> Option<Vec<Vec<u8>>> {
+            match filter {
+                Filter::Eq(field, operand) => {
+                    fields.get(field).map(|index| index.lookup_eq(operand))
+                }
+                Filter::Gt(field, operand) => lookup_range(fields, field, RangeOp::Gt, operand),
+                Filter::Gte(field, operand) => lookup_range(fields, field, RangeOp::Gte, operand),
+                Filter::Lt(field, operand) => lookup_range(fields, field, RangeOp::Lt, operand),
+                Filter::Lte(field, operand) => lookup_range(fields, field, RangeOp::Lte, operand),
+                // For conjunctions the first indexable branch prunes; the
+                // full filter still runs as a residual afterwards.
+                Filter::And(children) => children.iter().find_map(|c| plan(fields, c)),
+                _ => None,
+            }
+        }
+        fn lookup_range(
+            fields: &HashMap<String, FieldIndex>,
+            field: &str,
+            op: RangeOp,
+            operand: &Value,
+        ) -> Option<Vec<Vec<u8>>> {
+            let index = fields.get(field)?;
+            let (low, high) = range_for(op, operand)?;
+            Some(index.lookup_range(&low, &high))
+        }
+        plan(fields, filter)
+    }
+
+    /// Ordered scan: up to `limit` documents with keys ≥ `start_key`.
+    pub fn scan(&self, start_key: &str, limit: usize) -> DbResult<Vec<(String, Value)>> {
+        let raw = self.engine.scan(&self.name, start_key.as_bytes(), limit)?;
+        raw.into_iter()
+            .map(|(k, v)| {
+                let key = String::from_utf8_lossy(&k).into_owned();
+                Ok((key, doc::decode(&v)?))
+            })
+            .collect()
+    }
+
+    /// Number of documents.
+    pub fn count(&self) -> u64 {
+        self.engine.count(&self.name)
+    }
+
+    /// Filter evaluation: returns all `(key, document)` pairs matching
+    /// `filter`, in key order. Uses a secondary index when the filter (or a
+    /// conjunct of it) is an equality/range predicate on an indexed field;
+    /// falls back to a full collection scan otherwise.
+    pub fn find(&self, filter: &Filter) -> DbResult<Vec<(String, Value)>> {
+        if let Some(mut candidates) = self.plan_candidates(filter) {
+            candidates.sort();
+            candidates.dedup();
+            let mut out = Vec::with_capacity(candidates.len());
+            for key_bytes in candidates {
+                let key = String::from_utf8_lossy(&key_bytes).into_owned();
+                // The document may have changed since the index snapshot;
+                // re-check the full filter (residual predicate).
+                if let Some(document) = self.get(&key)? {
+                    if filter.matches(&document) {
+                        out.push((key, document));
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::new();
+        let mut start: Vec<u8> = Vec::new();
+        const BATCH: usize = 1024;
+        loop {
+            let batch = self.engine.scan(&self.name, &start, BATCH)?;
+            let batch_len = batch.len();
+            for (k, v) in &batch {
+                let document = doc::decode(v)?;
+                if filter.matches(&document) {
+                    out.push((String::from_utf8_lossy(k).into_owned(), document));
+                }
+            }
+            if batch_len < BATCH {
+                return Ok(out);
+            }
+            // Continue after the last key of this batch.
+            let mut next = batch.last().expect("non-empty batch").0.clone();
+            next.push(0);
+            start = next;
+        }
+    }
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collection").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+
+    fn both_engines() -> Vec<Database> {
+        vec![
+            Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap(),
+            Database::open(DbConfig::in_memory(EngineKind::MmapV1)).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn crud_roundtrip_on_both_engines() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            let doc = obj! {"a" => 1, "b" => "two"};
+            coll.insert("k1", &doc).unwrap();
+            assert_eq!(coll.get("k1").unwrap().unwrap(), doc);
+            assert_eq!(coll.get("missing").unwrap(), None);
+
+            let doc2 = obj! {"a" => 2};
+            coll.update("k1", &doc2).unwrap();
+            assert_eq!(coll.get("k1").unwrap().unwrap(), doc2);
+
+            assert!(coll.delete("k1").unwrap());
+            assert!(!coll.delete("k1").unwrap());
+            assert_eq!(coll.get("k1").unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn insert_duplicate_fails() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            coll.insert("k", &obj! {"v" => 1}).unwrap();
+            assert!(matches!(
+                coll.insert("k", &obj! {"v" => 2}),
+                Err(DbError::DuplicateKey(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn update_missing_fails_but_upsert_succeeds() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            assert!(matches!(coll.update("k", &obj! {}), Err(DbError::NotFound(_))));
+            coll.upsert("k", &obj! {"v" => 1}).unwrap();
+            coll.upsert("k", &obj! {"v" => 2}).unwrap();
+            assert_eq!(coll.get("k").unwrap().unwrap(), obj! {"v" => 2});
+        }
+    }
+
+    #[test]
+    fn scan_is_ordered(){
+        for db in both_engines() {
+            let coll = db.collection("t");
+            for i in [5u32, 1, 9, 3, 7] {
+                coll.insert(&format!("k{i}"), &obj! {"i" => i}).unwrap();
+            }
+            let rows = coll.scan("k3", 3).unwrap();
+            let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, vec!["k3", "k5", "k7"], "engine {:?}", db.engine_kind());
+        }
+    }
+
+    #[test]
+    fn count_and_collections() {
+        for db in both_engines() {
+            let coll = db.collection("a");
+            assert_eq!(coll.count(), 0);
+            coll.insert("x", &obj! {}).unwrap();
+            coll.insert("y", &obj! {}).unwrap();
+            assert_eq!(coll.count(), 2);
+            assert_eq!(db.collection_names(), vec!["a".to_string()]);
+            db.drop_collection("a").unwrap();
+            assert_eq!(db.collection("a").count(), 0);
+        }
+    }
+
+    #[test]
+    fn find_with_filter() {
+        for db in both_engines() {
+            let coll = db.collection("people");
+            coll.insert("p1", &obj! {"age" => 30, "city" => "basel"}).unwrap();
+            coll.insert("p2", &obj! {"age" => 20, "city" => "bern"}).unwrap();
+            coll.insert("p3", &obj! {"age" => 40, "city" => "basel"}).unwrap();
+            let hits = coll
+                .find(&Filter::and(vec![
+                    Filter::eq("city", "basel"),
+                    Filter::gt("age", 25),
+                ]))
+                .unwrap();
+            let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, vec!["p1", "p3"]);
+        }
+    }
+
+    #[test]
+    fn stats_track_documents() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            for i in 0..50 {
+                coll.insert(&format!("k{i:03}"), &obj! {"pad" => "x".repeat(200)}).unwrap();
+            }
+            let stats = db.stats();
+            assert_eq!(stats.documents, 50);
+            assert!(stats.logical_bytes > 0);
+            assert!(stats.stored_bytes > 0, "engine {:?}", db.engine_kind());
+        }
+    }
+
+    #[test]
+    fn wiredtiger_compression_shrinks_storage() {
+        let wt = Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap();
+        let mm = Database::open(DbConfig::in_memory(EngineKind::MmapV1)).unwrap();
+        for db in [&wt, &mm] {
+            let coll = db.collection("t");
+            for i in 0..200 {
+                // Highly compressible payloads.
+                coll.insert(&format!("k{i:05}"), &obj! {"data" => "ab".repeat(300)}).unwrap();
+            }
+        }
+        let wt_bytes = wt.stats().stored_bytes;
+        let mm_bytes = mm.stats().stored_bytes;
+        assert!(
+            wt_bytes * 2 < mm_bytes,
+            "wiredTiger ({wt_bytes}) should store far less than mmapv1 ({mm_bytes})"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Document filters (the query half of the MongoDB stand-in).
+//!
+//! Filters address fields by dotted path (`"address.city"`), compare with
+//! JSON-typed operands, and compose with and/or/not. Numeric comparisons are
+//! cross-type (`3 == 3.0`), string comparisons lexicographic — the same
+//! semantics the benchmark's verification queries rely on.
+
+use chronos_json::Value;
+
+/// A predicate over documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Field equals operand.
+    Eq(String, Value),
+    /// Field not-equal (also true when the field is missing).
+    Ne(String, Value),
+    /// Field strictly greater than operand.
+    Gt(String, Value),
+    /// Field greater-or-equal.
+    Gte(String, Value),
+    /// Field strictly less than operand.
+    Lt(String, Value),
+    /// Field less-or-equal.
+    Lte(String, Value),
+    /// Field exists (even if null).
+    Exists(String),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// Any sub-filter matches.
+    Or(Vec<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `field == value`.
+    pub fn eq(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Eq(field.to_string(), value.into())
+    }
+
+    /// `field != value`.
+    pub fn ne(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Ne(field.to_string(), value.into())
+    }
+
+    /// `field > value`.
+    pub fn gt(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Gt(field.to_string(), value.into())
+    }
+
+    /// `field >= value`.
+    pub fn gte(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Gte(field.to_string(), value.into())
+    }
+
+    /// `field < value`.
+    pub fn lt(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Lt(field.to_string(), value.into())
+    }
+
+    /// `field <= value`.
+    pub fn lte(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Lte(field.to_string(), value.into())
+    }
+
+    /// `field` exists.
+    pub fn exists(field: &str) -> Filter {
+        Filter::Exists(field.to_string())
+    }
+
+    /// Conjunction.
+    pub fn and(filters: Vec<Filter>) -> Filter {
+        Filter::And(filters)
+    }
+
+    /// Disjunction.
+    pub fn or(filters: Vec<Filter>) -> Filter {
+        Filter::Or(filters)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(filter: Filter) -> Filter {
+        Filter::Not(Box::new(filter))
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, document: &Value) -> bool {
+        match self {
+            Filter::Eq(field, operand) => {
+                lookup(document, field).map(|v| values_equal(v, operand)).unwrap_or(false)
+            }
+            Filter::Ne(field, operand) => {
+                lookup(document, field).map(|v| !values_equal(v, operand)).unwrap_or(true)
+            }
+            Filter::Gt(field, operand) => compare(document, field, operand)
+                .map(|o| o == std::cmp::Ordering::Greater)
+                .unwrap_or(false),
+            Filter::Gte(field, operand) => compare(document, field, operand)
+                .map(|o| o != std::cmp::Ordering::Less)
+                .unwrap_or(false),
+            Filter::Lt(field, operand) => compare(document, field, operand)
+                .map(|o| o == std::cmp::Ordering::Less)
+                .unwrap_or(false),
+            Filter::Lte(field, operand) => compare(document, field, operand)
+                .map(|o| o != std::cmp::Ordering::Greater)
+                .unwrap_or(false),
+            Filter::Exists(field) => lookup(document, field).is_some(),
+            Filter::And(filters) => filters.iter().all(|f| f.matches(document)),
+            Filter::Or(filters) => filters.iter().any(|f| f.matches(document)),
+            Filter::Not(filter) => !filter.matches(document),
+        }
+    }
+}
+
+/// Dotted-path field lookup.
+pub(crate) fn lookup<'a>(document: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut current = document;
+    for part in path.split('.') {
+        current = match current {
+            Value::Object(map) => map.get(part)?,
+            Value::Array(items) => items.get(part.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(current)
+}
+
+/// Cross-numeric-type equality; other types use structural equality.
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+fn compare(document: &Value, field: &str, operand: &Value) -> Option<std::cmp::Ordering> {
+    let value = lookup(document, field)?;
+    match (value, operand) {
+        (Value::String(a), Value::String(b)) => Some(a.cmp(b)),
+        _ => {
+            let a = value.as_f64()?;
+            let b = operand.as_f64()?;
+            a.partial_cmp(&b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::{arr, obj};
+
+    fn doc() -> Value {
+        obj! {
+            "name" => "ada",
+            "age" => 36,
+            "ratio" => 0.5,
+            "address" => obj! {"city" => "basel", "zip" => 4051},
+            "tags" => arr!["x", "y"],
+            "maybe" => Value::Null,
+        }
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        assert!(Filter::eq("name", "ada").matches(&doc()));
+        assert!(!Filter::eq("name", "bob").matches(&doc()));
+        assert!(Filter::ne("name", "bob").matches(&doc()));
+        assert!(Filter::ne("missing", 1).matches(&doc()), "missing fields are != anything");
+        assert!(!Filter::eq("missing", 1).matches(&doc()));
+    }
+
+    #[test]
+    fn numeric_comparisons_cross_type() {
+        assert!(Filter::eq("age", 36.0).matches(&doc()));
+        assert!(Filter::gt("age", 35).matches(&doc()));
+        assert!(Filter::gte("age", 36).matches(&doc()));
+        assert!(!Filter::gt("age", 36).matches(&doc()));
+        assert!(Filter::lt("ratio", 1).matches(&doc()));
+        assert!(Filter::lte("ratio", 0.5).matches(&doc()));
+    }
+
+    #[test]
+    fn string_comparisons_lexicographic() {
+        assert!(Filter::gt("name", "aaa").matches(&doc()));
+        assert!(Filter::lt("name", "zzz").matches(&doc()));
+    }
+
+    #[test]
+    fn dotted_paths_and_array_indexes() {
+        assert!(Filter::eq("address.city", "basel").matches(&doc()));
+        assert!(Filter::gt("address.zip", 4000).matches(&doc()));
+        assert!(Filter::eq("tags.0", "x").matches(&doc()));
+        assert!(!Filter::eq("tags.5", "x").matches(&doc()));
+        assert!(!Filter::eq("name.sub", 1).matches(&doc()), "scalar has no sub-fields");
+    }
+
+    #[test]
+    fn exists_counts_null() {
+        assert!(Filter::exists("maybe").matches(&doc()));
+        assert!(!Filter::exists("missing").matches(&doc()));
+        assert!(Filter::exists("address.city").matches(&doc()));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let d = doc();
+        assert!(Filter::and(vec![Filter::eq("name", "ada"), Filter::gt("age", 30)]).matches(&d));
+        assert!(!Filter::and(vec![Filter::eq("name", "ada"), Filter::gt("age", 40)]).matches(&d));
+        assert!(Filter::or(vec![Filter::eq("name", "bob"), Filter::gt("age", 30)]).matches(&d));
+        assert!(!Filter::or(vec![Filter::eq("name", "bob"), Filter::gt("age", 40)]).matches(&d));
+        assert!(Filter::not(Filter::eq("name", "bob")).matches(&d));
+        assert!(Filter::and(vec![]).matches(&d), "empty and = true");
+        assert!(!Filter::or(vec![]).matches(&d), "empty or = false");
+    }
+
+    #[test]
+    fn comparisons_on_incomparable_types_fail_closed() {
+        assert!(!Filter::gt("name", 5).matches(&doc()));
+        assert!(!Filter::lt("tags", 5).matches(&doc()));
+        assert!(!Filter::gt("missing", 5).matches(&doc()));
+    }
+}

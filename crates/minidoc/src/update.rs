@@ -1,0 +1,292 @@
+//! Partial-update operators (MongoDB's `$set`/`$inc`/`$unset`/`$push`).
+//!
+//! Full-document replacement (what YCSB's `update` does) is wasteful for
+//! small changes; the demo SuE supports the operator form real evaluation
+//! clients use. Operators apply to dotted paths and compose left-to-right
+//! within one [`UpdateSpec`].
+
+use chronos_json::{Map, Number, Value};
+
+use crate::error::{DbError, DbResult};
+
+/// One update operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Sets the field (creating intermediate objects along the path).
+    Set(String, Value),
+    /// Adds a delta to a numeric field (missing fields start at 0).
+    Inc(String, f64),
+    /// Removes the field (no-op when absent).
+    Unset(String),
+    /// Appends to an array field (missing fields become one-element arrays).
+    Push(String, Value),
+}
+
+/// An ordered list of update operators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateSpec {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        UpdateSpec::default()
+    }
+
+    /// Adds `$set field = value`.
+    pub fn set(mut self, field: &str, value: impl Into<Value>) -> Self {
+        self.ops.push(UpdateOp::Set(field.to_string(), value.into()));
+        self
+    }
+
+    /// Adds `$inc field += delta`.
+    pub fn inc(mut self, field: &str, delta: f64) -> Self {
+        self.ops.push(UpdateOp::Inc(field.to_string(), delta));
+        self
+    }
+
+    /// Adds `$unset field`.
+    pub fn unset(mut self, field: &str) -> Self {
+        self.ops.push(UpdateOp::Unset(field.to_string()));
+        self
+    }
+
+    /// Adds `$push field <- value`.
+    pub fn push(mut self, field: &str, value: impl Into<Value>) -> Self {
+        self.ops.push(UpdateOp::Push(field.to_string(), value.into()));
+        self
+    }
+
+    /// True when no operators were added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies all operators to `document` in order.
+    pub fn apply(&self, document: &mut Value) -> DbResult<()> {
+        for op in &self.ops {
+            match op {
+                UpdateOp::Set(path, value) => {
+                    *slot_for(document, path, true)? = value.clone();
+                }
+                UpdateOp::Inc(path, delta) => {
+                    let slot = slot_for(document, path, true)?;
+                    let current = if slot.is_null() {
+                        0.0
+                    } else {
+                        slot.as_f64().ok_or_else(|| {
+                            DbError::BadDocument(format!("$inc target {path:?} is not numeric"))
+                        })?
+                    };
+                    let next = current + delta;
+                    // Keep integers exact when both sides are integral.
+                    *slot = if next.fract() == 0.0 && next.abs() < i64::MAX as f64 {
+                        Value::Number(Number::Int(next as i64))
+                    } else {
+                        Value::from(next)
+                    };
+                }
+                UpdateOp::Unset(path) => {
+                    remove_path(document, path);
+                }
+                UpdateOp::Push(path, value) => {
+                    let slot = slot_for(document, path, true)?;
+                    match slot {
+                        Value::Array(items) => items.push(value.clone()),
+                        Value::Null => *slot = Value::Array(vec![value.clone()]),
+                        other => {
+                            return Err(DbError::BadDocument(format!(
+                                "$push target {path:?} is a {}",
+                                other.type_name()
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Navigates to (creating, when `create` is set) the slot at a dotted path.
+/// Missing intermediate objects are created; traversing through a scalar is
+/// an error.
+fn slot_for<'a>(document: &'a mut Value, path: &str, create: bool) -> DbResult<&'a mut Value> {
+    let mut current = document;
+    let parts: Vec<&str> = path.split('.').collect();
+    for (i, part) in parts.iter().enumerate() {
+        let last = i + 1 == parts.len();
+        match current {
+            Value::Object(map) => {
+                if !map.contains_key(part) {
+                    if !create {
+                        return Err(DbError::BadDocument(format!("missing path {path:?}")));
+                    }
+                    map.insert(part.to_string(), Value::Null);
+                }
+                let next = map.get_mut(part).expect("just ensured");
+                if !last && next.is_null() {
+                    *next = Value::Object(Map::new());
+                }
+                current = next;
+            }
+            other => {
+                return Err(DbError::BadDocument(format!(
+                    "cannot traverse {} at {part:?} in path {path:?}",
+                    other.type_name()
+                )))
+            }
+        }
+    }
+    Ok(current)
+}
+
+fn remove_path(document: &mut Value, path: &str) {
+    let Some((parent_path, leaf)) = path.rsplit_once('.') else {
+        if let Value::Object(map) = document {
+            map.remove(path);
+        }
+        return;
+    };
+    if let Ok(Value::Object(map)) = slot_for(document, parent_path, false) {
+        map.remove(leaf);
+    }
+}
+
+impl crate::Collection {
+    /// Applies update operators to an existing document (read-modify-write;
+    /// atomic per document under the engine's record/collection locking).
+    pub fn update_with(&self, key: &str, spec: &UpdateSpec) -> DbResult<()> {
+        let mut document = self
+            .get(key)?
+            .ok_or_else(|| DbError::NotFound(key.to_string()))?;
+        spec.apply(&mut document)?;
+        self.update(key, &document)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, DbConfig, EngineKind};
+    use chronos_json::{arr, obj};
+
+    fn doc() -> Value {
+        obj! {
+            "name" => "ada",
+            "visits" => 3,
+            "score" => 1.5,
+            "address" => obj! {"city" => "basel"},
+            "tags" => arr!["x"],
+        }
+    }
+
+    #[test]
+    fn set_existing_and_new_fields() {
+        let mut d = doc();
+        UpdateSpec::new()
+            .set("name", "grace")
+            .set("address.zip", 4051)
+            .set("brand.new.path", true)
+            .apply(&mut d)
+            .unwrap();
+        assert_eq!(d.get("name").and_then(Value::as_str), Some("grace"));
+        assert_eq!(d.pointer("/address/zip").and_then(Value::as_i64), Some(4051));
+        assert_eq!(d.pointer("/brand/new/path").and_then(Value::as_bool), Some(true));
+        assert_eq!(d.pointer("/address/city").and_then(Value::as_str), Some("basel"));
+    }
+
+    #[test]
+    fn inc_integers_stay_integers() {
+        let mut d = doc();
+        UpdateSpec::new().inc("visits", 2.0).inc("fresh", 5.0).inc("score", 0.25).apply(&mut d).unwrap();
+        assert!(matches!(d.get("visits"), Some(Value::Number(Number::Int(5)))));
+        assert!(matches!(d.get("fresh"), Some(Value::Number(Number::Int(5)))));
+        assert_eq!(d.get("score").and_then(Value::as_f64), Some(1.75));
+    }
+
+    #[test]
+    fn inc_non_numeric_fails() {
+        let mut d = doc();
+        assert!(matches!(
+            UpdateSpec::new().inc("name", 1.0).apply(&mut d),
+            Err(DbError::BadDocument(_))
+        ));
+    }
+
+    #[test]
+    fn unset_removes_fields() {
+        let mut d = doc();
+        UpdateSpec::new().unset("visits").unset("address.city").unset("ghost").apply(&mut d).unwrap();
+        assert!(d.get("visits").is_none());
+        assert!(d.pointer("/address/city").is_none());
+        assert!(d.get("address").is_some(), "parent object remains");
+    }
+
+    #[test]
+    fn push_appends_and_creates() {
+        let mut d = doc();
+        UpdateSpec::new().push("tags", "y").push("log", 1).apply(&mut d).unwrap();
+        assert_eq!(d.get("tags").and_then(Value::as_array).map(Vec::len), Some(2));
+        assert_eq!(d.pointer("/log/0").and_then(Value::as_i64), Some(1));
+        assert!(matches!(
+            UpdateSpec::new().push("name", "x").apply(&mut d),
+            Err(DbError::BadDocument(_))
+        ));
+    }
+
+    #[test]
+    fn traversal_through_scalar_fails() {
+        let mut d = doc();
+        assert!(matches!(
+            UpdateSpec::new().set("name.sub", 1).apply(&mut d),
+            Err(DbError::BadDocument(_))
+        ));
+    }
+
+    #[test]
+    fn operators_compose_in_order() {
+        let mut d = obj! {};
+        UpdateSpec::new()
+            .set("n", 10)
+            .inc("n", 5.0)
+            .set("n2", 0)
+            .unset("n2")
+            .apply(&mut d)
+            .unwrap();
+        assert_eq!(d.get("n").and_then(Value::as_i64), Some(15));
+        assert!(d.get("n2").is_none());
+    }
+
+    #[test]
+    fn update_with_against_both_engines() {
+        for engine in [EngineKind::WiredTiger, EngineKind::MmapV1] {
+            let db = Database::open(DbConfig::in_memory(engine)).unwrap();
+            let coll = db.collection("t");
+            coll.insert("k", &doc()).unwrap();
+            coll.update_with("k", &UpdateSpec::new().inc("visits", 1.0).set("name", "lin"))
+                .unwrap();
+            let d = coll.get("k").unwrap().unwrap();
+            assert_eq!(d.get("visits").and_then(Value::as_i64), Some(4));
+            assert_eq!(d.get("name").and_then(Value::as_str), Some("lin"));
+            // Missing key errors.
+            assert!(matches!(
+                coll.update_with("ghost", &UpdateSpec::new().set("a", 1)),
+                Err(DbError::NotFound(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn update_with_maintains_indexes() {
+        let db = Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap();
+        let coll = db.collection("t");
+        coll.create_index("visits").unwrap();
+        coll.insert("k", &doc()).unwrap();
+        coll.update_with("k", &UpdateSpec::new().inc("visits", 7.0)).unwrap();
+        let hits = coll.find(&crate::Filter::eq("visits", 10)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(coll.find(&crate::Filter::eq("visits", 3)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Write-ahead log / journal.
+//!
+//! Both storage engines persist mutations through this log format; they
+//! differ in *when* and *under which locks* they append (see the engine
+//! docs). A log record is `[u32 len][u32 crc32][payload]`; replay stops at
+//! the first truncated or corrupt record, which models recovery after a
+//! crash mid-append.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use chronos_util::encode::crc32;
+
+use crate::doc::{decode_varint, encode_varint};
+use crate::error::{DbError, DbResult};
+
+/// A logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or replace `key` in `collection`.
+    Put { collection: String, key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` from `collection`.
+    Delete { collection: String, key: Vec<u8> },
+    /// Remove a whole collection.
+    DropCollection { collection: String },
+}
+
+impl WalOp {
+    /// Serializes the operation payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            WalOp::Put { collection, key, value } => {
+                out.push(0);
+                put_bytes(&mut out, collection.as_bytes());
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+            }
+            WalOp::Delete { collection, key } => {
+                out.push(1);
+                put_bytes(&mut out, collection.as_bytes());
+                put_bytes(&mut out, key);
+            }
+            WalOp::DropCollection { collection } => {
+                out.push(2);
+                put_bytes(&mut out, collection.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`WalOp::encode`].
+    pub fn decode(bytes: &[u8]) -> DbResult<WalOp> {
+        let mut pos = 0;
+        let tag = *bytes.first().ok_or_else(|| DbError::Corrupt("empty wal op".into()))?;
+        pos += 1;
+        let op = match tag {
+            0 => {
+                let collection = get_string(bytes, &mut pos)?;
+                let key = get_bytes(bytes, &mut pos)?;
+                let value = get_bytes(bytes, &mut pos)?;
+                WalOp::Put { collection, key, value }
+            }
+            1 => {
+                let collection = get_string(bytes, &mut pos)?;
+                let key = get_bytes(bytes, &mut pos)?;
+                WalOp::Delete { collection, key }
+            }
+            2 => WalOp::DropCollection { collection: get_string(bytes, &mut pos)? },
+            other => return Err(DbError::Corrupt(format!("bad wal op tag {other}"))),
+        };
+        if pos != bytes.len() {
+            return Err(DbError::Corrupt("trailing bytes in wal op".into()));
+        }
+        Ok(op)
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    encode_varint(data.len() as u64, out);
+    out.extend_from_slice(data);
+}
+
+fn get_bytes(bytes: &[u8], pos: &mut usize) -> DbResult<Vec<u8>> {
+    let len = decode_varint(bytes, pos)? as usize;
+    let slice = bytes
+        .get(*pos..*pos + len)
+        .ok_or_else(|| DbError::Corrupt("truncated wal field".into()))?;
+    *pos += len;
+    Ok(slice.to_vec())
+}
+
+fn get_string(bytes: &[u8], pos: &mut usize) -> DbResult<String> {
+    String::from_utf8(get_bytes(bytes, pos)?)
+        .map_err(|_| DbError::Corrupt("non-UTF-8 collection name".into()))
+}
+
+/// When appended records are forced to stable storage.
+///
+/// The sync policy is where the two storage engines' durability designs
+/// diverge (and, on the write path, where their scalability diverges):
+/// the mmapv1-like journal syncs **every append while the caller holds the
+/// collection lock**; the wiredTiger-like WAL **group-commits** — appends
+/// accumulate and the (comparatively rare) fsync runs *outside* the log
+/// lock, so other threads keep working during the I/O stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync (in-memory or benchmark-only databases).
+    Never,
+    /// fsync inside every append.
+    EveryAppend,
+    /// Request an fsync after this many bytes have accumulated; the caller
+    /// performs it via [`Wal::take_sync_handle`], outside any other lock.
+    GroupCommit {
+        /// Bytes between sync requests.
+        batch_bytes: usize,
+    },
+}
+
+/// An append-only log file (or an in-memory buffer when no path is given,
+/// so in-memory databases still pay a realistic journaling cost).
+#[derive(Debug)]
+pub struct Wal {
+    file: Option<File>,
+    path: Option<PathBuf>,
+    /// In-memory sink used when there is no backing file.
+    buffer: Vec<u8>,
+    /// Total bytes appended since open.
+    pub appended_bytes: u64,
+    policy: SyncPolicy,
+    pending_since_sync: usize,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path`.
+    pub fn open(path: &Path, sync_on_append: bool) -> DbResult<Self> {
+        let policy = if sync_on_append { SyncPolicy::EveryAppend } else { SyncPolicy::Never };
+        Self::open_with_policy(path, policy)
+    }
+
+    /// Opens the log with an explicit [`SyncPolicy`].
+    pub fn open_with_policy(path: &Path, policy: SyncPolicy) -> DbResult<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            file: Some(file),
+            path: Some(path.to_path_buf()),
+            buffer: Vec::new(),
+            appended_bytes: 0,
+            policy,
+            pending_since_sync: 0,
+        })
+    }
+
+    /// An in-memory log (no durability, but the same write path cost).
+    pub fn in_memory() -> Self {
+        Wal {
+            file: None,
+            path: None,
+            buffer: Vec::new(),
+            appended_bytes: 0,
+            policy: SyncPolicy::Never,
+            pending_since_sync: 0,
+        }
+    }
+
+    /// For [`SyncPolicy::GroupCommit`]: when enough bytes have accumulated,
+    /// returns a handle the caller must `sync_data()` — **after releasing
+    /// the log lock** — and resets the accumulator.
+    pub fn take_sync_handle(&mut self) -> DbResult<Option<File>> {
+        let SyncPolicy::GroupCommit { batch_bytes } = self.policy else {
+            return Ok(None);
+        };
+        if self.pending_since_sync < batch_bytes {
+            return Ok(None);
+        }
+        self.pending_since_sync = 0;
+        match &self.file {
+            Some(file) => Ok(Some(file.try_clone()?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The backing file path (`None` for in-memory logs).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Frames an operation into its on-log record form (length + CRC +
+    /// payload). Framing is CPU work callers may do *outside* the log lock
+    /// — the wiredTiger-like engine does, the mmapv1-like engine does not;
+    /// that difference is part of the engines' contrasting write paths.
+    pub fn frame(op: &WalOp) -> Vec<u8> {
+        let payload = op.encode();
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record
+    }
+
+    /// Appends one operation record (framing inline).
+    pub fn append(&mut self, op: &WalOp) -> DbResult<()> {
+        let record = Self::frame(op);
+        self.append_framed(&record)
+    }
+
+    /// Appends a record previously produced by [`Wal::frame`].
+    pub fn append_framed(&mut self, record: &[u8]) -> DbResult<()> {
+        self.appended_bytes += record.len() as u64;
+        self.pending_since_sync += record.len();
+        match &mut self.file {
+            Some(file) => {
+                file.write_all(record)?;
+                if self.policy == SyncPolicy::EveryAppend {
+                    file.sync_data()?;
+                    self.pending_since_sync = 0;
+                }
+            }
+            None => {
+                self.buffer.extend_from_slice(record);
+                // Bound the in-memory sink; it only exists to model the cost.
+                if self.buffer.len() > 4 * 1024 * 1024 {
+                    self.buffer.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays all intact records from `path`. Stops silently at the first
+    /// torn/corrupt record (crash-consistent prefix semantics).
+    pub fn replay(path: &Path) -> DbResult<Vec<WalOp>> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut ops = Vec::new();
+        let mut pos = 0;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let Some(payload) = data.get(pos + 8..pos + 8 + len) else {
+                break; // torn tail
+            };
+            if crc32(payload) != crc {
+                break; // corrupt tail
+            }
+            match WalOp::decode(payload) {
+                Ok(op) => ops.push(op),
+                Err(_) => break,
+            }
+            pos += 8 + len;
+        }
+        Ok(ops)
+    }
+
+    /// Truncates the log (after a checkpoint made it redundant).
+    pub fn truncate(&mut self) -> DbResult<()> {
+        if let Some(path) = &self.path {
+            let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+            self.file = Some(OpenOptions::new().append(true).open(path)?);
+            drop(file);
+        } else {
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "minidoc-wal-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Put { collection: "c".into(), key: b"k1".to_vec(), value: b"v1".to_vec() },
+            WalOp::Delete { collection: "c".into(), key: b"k1".to_vec() },
+            WalOp::DropCollection { collection: "c".into() },
+        ]
+    }
+
+    #[test]
+    fn op_encode_roundtrip() {
+        for op in ops() {
+            assert_eq!(WalOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("replay");
+        let mut wal = Wal::open(&path, false).unwrap();
+        for op in ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap(), ops());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        assert!(Wal::replay(&tmp("missing")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path, false).unwrap();
+        for op in ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        // Truncate mid-record to simulate a crash during the last append.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, ops()[..2].to_vec());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::open(&path, false).unwrap();
+        for op in ops() {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the second record: first record survives.
+        let first_len =
+            u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize + 8;
+        data[first_len + 9] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, ops()[..1].to_vec());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_clears_log() {
+        let path = tmp("truncate");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&ops()[0]).unwrap();
+        wal.truncate().unwrap();
+        assert!(Wal::replay(&path).unwrap().is_empty());
+        // Appends after truncation still work.
+        wal.append(&ops()[1]).unwrap();
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap(), vec![ops()[1].clone()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_wal_tracks_bytes() {
+        let mut wal = Wal::in_memory();
+        wal.append(&ops()[0]).unwrap();
+        assert!(wal.appended_bytes > 0);
+        wal.truncate().unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! Secondary indexes: `find` through an index must always agree with the
+//! unindexed full scan, across both storage engines and arbitrary write
+//! sequences.
+
+use std::collections::BTreeMap;
+
+use chronos_json::{obj, Value};
+use minidoc::{Database, DbConfig, EngineKind, Filter};
+use proptest::prelude::*;
+
+fn both() -> Vec<Database> {
+    vec![
+        Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap(),
+        Database::open(DbConfig::in_memory(EngineKind::MmapV1)).unwrap(),
+    ]
+}
+
+#[test]
+fn index_accelerated_find_matches_scan() {
+    for db in both() {
+        let coll = db.collection("people");
+        for i in 0..200u32 {
+            coll.insert(
+                &format!("p{i:04}"),
+                &obj! {"age" => (i % 50) as i64, "city" => if i % 3 == 0 {"basel"} else {"bern"}},
+            )
+            .unwrap();
+        }
+        let filter =
+            Filter::and(vec![Filter::eq("city", "basel"), Filter::gte("age", 40)]);
+        let unindexed = coll.find(&filter).unwrap();
+        coll.create_index("city").unwrap();
+        coll.create_index("age").unwrap();
+        assert_eq!(coll.index_names(), vec!["age", "city"]);
+        let indexed = coll.find(&filter).unwrap();
+        assert_eq!(indexed, unindexed, "engine {:?}", db.engine_kind());
+        assert!(!indexed.is_empty());
+    }
+}
+
+#[test]
+fn index_stays_current_through_writes() {
+    for db in both() {
+        let coll = db.collection("t");
+        coll.create_index("v").unwrap();
+        coll.insert("a", &obj! {"v" => 1}).unwrap();
+        coll.insert("b", &obj! {"v" => 2}).unwrap();
+        assert_eq!(hit_keys(&coll, &Filter::eq("v", 1)), vec!["a"]);
+        // Update moves the document to a different index key.
+        coll.update("a", &obj! {"v" => 2}).unwrap();
+        assert!(hit_keys(&coll, &Filter::eq("v", 1)).is_empty());
+        assert_eq!(hit_keys(&coll, &Filter::eq("v", 2)), vec!["a", "b"]);
+        // Upsert of a new key lands in the index.
+        coll.upsert("c", &obj! {"v" => 2}).unwrap();
+        assert_eq!(hit_keys(&coll, &Filter::eq("v", 2)), vec!["a", "b", "c"]);
+        // Delete removes the entry.
+        coll.delete("b").unwrap();
+        assert_eq!(hit_keys(&coll, &Filter::eq("v", 2)), vec!["a", "c"]);
+        // Removing the indexed field on update drops the entry.
+        coll.update("c", &obj! {"other" => true}).unwrap();
+        assert_eq!(hit_keys(&coll, &Filter::eq("v", 2)), vec!["a"]);
+    }
+}
+
+#[test]
+fn dotted_path_indexes() {
+    for db in both() {
+        let coll = db.collection("t");
+        coll.insert("x", &obj! {"address" => obj! {"zip" => 4051}}).unwrap();
+        coll.insert("y", &obj! {"address" => obj! {"zip" => 8001}}).unwrap();
+        coll.create_index("address.zip").unwrap();
+        assert_eq!(hit_keys(&coll, &Filter::lt("address.zip", 5000)), vec!["x"]);
+    }
+}
+
+#[test]
+fn drop_index_falls_back_to_scan() {
+    let db = both().remove(0);
+    let coll = db.collection("t");
+    coll.insert("k", &obj! {"v" => 7}).unwrap();
+    coll.create_index("v").unwrap();
+    assert!(coll.drop_index("v"));
+    assert!(!coll.drop_index("v"));
+    assert_eq!(hit_keys(&coll, &Filter::eq("v", 7)), vec!["k"]);
+}
+
+#[test]
+fn create_index_is_idempotent_and_backfills() {
+    let db = both().remove(0);
+    let coll = db.collection("t");
+    for i in 0..50 {
+        coll.insert(&format!("k{i:02}"), &obj! {"v" => i % 5}).unwrap();
+    }
+    coll.create_index("v").unwrap();
+    coll.create_index("v").unwrap(); // second call is a no-op
+    assert_eq!(hit_keys(&coll, &Filter::eq("v", 3)).len(), 10);
+}
+
+fn hit_keys(coll: &minidoc::Collection, filter: &Filter) -> Vec<String> {
+    coll.find(filter).unwrap().into_iter().map(|(k, _)| k).collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(u8, i64),
+    Delete(u8),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Model test: after an arbitrary write sequence, every equality and
+    /// range query through the index equals the model's answer.
+    #[test]
+    fn indexed_queries_match_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (any::<u8>(), -20i64..20).prop_map(|(k, v)| Op::Upsert(k, v)),
+                any::<u8>().prop_map(Op::Delete),
+            ],
+            1..60,
+        ),
+        probe in -20i64..20,
+    ) {
+        let db = Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap();
+        let coll = db.collection("t");
+        coll.create_index("v").unwrap();
+        let mut model: BTreeMap<String, i64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Upsert(k, v) => {
+                    let key = format!("k{k:03}");
+                    coll.upsert(&key, &obj! {"v" => *v}).unwrap();
+                    model.insert(key, *v);
+                }
+                Op::Delete(k) => {
+                    let key = format!("k{k:03}");
+                    coll.delete(&key).unwrap();
+                    model.remove(&key);
+                }
+            }
+        }
+        let expect_eq: Vec<&String> =
+            model.iter().filter(|(_, &v)| v == probe).map(|(k, _)| k).collect();
+        let got_eq = hit_keys(&coll, &Filter::eq("v", probe));
+        prop_assert_eq!(got_eq.iter().collect::<Vec<_>>(), expect_eq);
+
+        let expect_gt: Vec<&String> =
+            model.iter().filter(|(_, &v)| v > probe).map(|(k, _)| k).collect();
+        let got_gt = hit_keys(&coll, &Filter::gt("v", probe));
+        prop_assert_eq!(got_gt.iter().collect::<Vec<_>>(), expect_gt);
+
+        let expect_lte: Vec<&String> =
+            model.iter().filter(|(_, &v)| v <= probe).map(|(k, _)| k).collect();
+        let got_lte = hit_keys(&coll, &Filter::lte("v", probe));
+        prop_assert_eq!(got_lte.iter().collect::<Vec<_>>(), expect_lte);
+
+        // Sanity: results identical with the index dropped.
+        let _ = Value::Null;
+        coll.drop_index("v");
+        prop_assert_eq!(hit_keys(&coll, &Filter::eq("v", probe)), got_eq);
+    }
+}

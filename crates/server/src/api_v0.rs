@@ -1,0 +1,64 @@
+//! The frozen legacy API: `/api/v0`.
+//!
+//! The paper (§2.2) makes API versioning a feature: "This allows new
+//! clients to simultaneously use the newly developed features while other
+//! clients still use older versions of the REST API." `v0` is the
+//! demonstration of that contract — a small read-only subset with the
+//! *original* field names (`status` instead of `state`, `percent` instead
+//! of `progress`) that keeps working unchanged next to `v1`.
+
+use std::sync::Arc;
+
+use chronos_core::{ChronosControl, CoreError};
+use chronos_json::obj;
+use chronos_http::{Response, Router};
+use chronos_util::Id;
+
+use crate::error_response;
+
+/// Mounts the frozen v0 routes.
+pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
+    router.get("/api/v0/version", |_req, _p| {
+        Response::json(&obj! {"version" => "v0", "deprecated" => true})
+    });
+
+    // v0 predates sessions: job status polling is unauthenticated (ids are
+    // unguessable 128-bit tokens), mirroring early Chronos deployments.
+    let control_ = Arc::clone(&control);
+    router.get("/api/v0/jobs/:id", move |_req, p| {
+        let result = (|| {
+            let id = p
+                .get("id")
+                .and_then(|s| Id::parse_base32(s).ok())
+                .ok_or_else(|| CoreError::Invalid("invalid job id".into()))?;
+            let job = control_.get_job(id)?;
+            // The v0 wire shape, kept bit-for-bit stable.
+            Ok(Response::json(&obj! {
+                "id" => job.id.to_base32(),
+                "status" => job.state.as_str(),
+                "percent" => job.progress as i64,
+                "evaluation" => job.evaluation_id.to_base32(),
+            }))
+        })();
+        result.unwrap_or_else(error_response)
+    });
+
+    let control_ = Arc::clone(&control);
+    router.get("/api/v0/evaluations/:id/status", move |_req, p| {
+        let result = (|| {
+            let id = p
+                .get("id")
+                .and_then(|s| Id::parse_base32(s).ok())
+                .ok_or_else(|| CoreError::Invalid("invalid evaluation id".into()))?;
+            let status = control_.evaluation_status(id)?;
+            Ok(Response::json(&obj! {
+                "id" => id.to_base32(),
+                "open" => status.scheduled + status.running,
+                "closed" => status.finished + status.aborted + status.failed,
+                "percent" => status.progress_percent() as i64,
+            }))
+        })();
+        result.unwrap_or_else(error_response)
+    });
+
+}

@@ -1,0 +1,645 @@
+//! The current API version: `/api/v1`.
+
+use std::sync::Arc;
+
+use chronos_core::analysis;
+use chronos_core::archive::archive_project;
+use chronos_core::auth::{Role, User};
+use chronos_core::params::ParamAssignments;
+use chronos_core::{ChronosControl, CoreError, CoreResult};
+use chronos_json::{obj, Value};
+use chronos_http::{Request, Response, RouteParams, Router, Status};
+use chronos_util::Id;
+
+use crate::error_response;
+
+/// Header carrying the session token.
+pub const TOKEN_HEADER: &str = "X-Chronos-Token";
+
+fn respond(result: CoreResult<Response>) -> Response {
+    result.unwrap_or_else(error_response)
+}
+
+fn authed(control: &ChronosControl, req: &Request) -> CoreResult<User> {
+    let token = req
+        .headers
+        .get(TOKEN_HEADER)
+        .or_else(|| {
+            req.headers
+                .get("Authorization")
+                .and_then(|v| v.strip_prefix("Bearer "))
+        })
+        .ok_or_else(|| CoreError::Forbidden("missing session token".into()))?;
+    control.authenticate(token)
+}
+
+fn writer(control: &ChronosControl, req: &Request) -> CoreResult<User> {
+    let user = authed(control, req)?;
+    if !user.role.can_write() {
+        return Err(CoreError::Forbidden("viewer role cannot modify".into()));
+    }
+    Ok(user)
+}
+
+fn admin(control: &ChronosControl, req: &Request) -> CoreResult<User> {
+    let user = authed(control, req)?;
+    if !user.role.can_admin() {
+        return Err(CoreError::Forbidden("admin role required".into()));
+    }
+    Ok(user)
+}
+
+fn body_json(req: &Request) -> CoreResult<Value> {
+    req.json().map_err(|e| CoreError::Invalid(format!("bad JSON body: {e}")))
+}
+
+fn param_id(params: &RouteParams, name: &str) -> CoreResult<Id> {
+    params
+        .get(name)
+        .and_then(|s| Id::parse_base32(s).ok())
+        .ok_or_else(|| CoreError::Invalid(format!("invalid :{name} id")))
+}
+
+fn str_field(body: &Value, field: &str) -> CoreResult<String> {
+    body.get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| CoreError::Invalid(format!("missing field {field:?}")))
+}
+
+/// A user document with the password hash redacted.
+fn user_json(user: &User) -> Value {
+    let mut j = user.to_json();
+    if let Some(map) = j.as_object_mut() {
+        map.remove("password_hash");
+    }
+    j
+}
+
+/// Mounts all v1 routes.
+pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
+    let c = &control;
+
+    router.get("/api/v1/version", |_req, _p| {
+        Response::json(&obj! {"version" => "v1", "service" => "chronos-control"})
+    });
+
+    // ----- auth -----
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/login", move |req, _p| {
+        respond((|| {
+            let body = body_json(req)?;
+            let token =
+                control_.login(&str_field(&body, "username")?, &str_field(&body, "password")?)?;
+            Ok(Response::json(&obj! {"token" => token}))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/logout", move |req, _p| {
+        let revoked = req
+            .headers
+            .get(TOKEN_HEADER)
+            .map(|t| control_.logout(t))
+            .unwrap_or(false);
+        Response::json(&obj! {"revoked" => revoked})
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/me", move |req, _p| {
+        respond(authed(&control_, req).map(|u| Response::json(&user_json(&u))))
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/users", move |req, _p| {
+        respond((|| {
+            admin(&control_, req)?;
+            let body = body_json(req)?;
+            let role = body
+                .get("role")
+                .and_then(Value::as_str)
+                .and_then(Role::parse)
+                .unwrap_or(Role::Member);
+            let user = control_.create_user(
+                &str_field(&body, "username")?,
+                &str_field(&body, "password")?,
+                role,
+            )?;
+            Ok(Response::json_status(Status::CREATED, &user_json(&user)))
+        })())
+    });
+
+    // ----- systems -----
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/systems", move |req, _p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let systems: Vec<Value> =
+                control_.list_systems().iter().map(|s| s.to_json()).collect();
+            Ok(Response::json(&Value::Array(systems)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/systems", move |req, _p| {
+        respond((|| {
+            admin(&control_, req)?;
+            let body = body_json(req)?;
+            let system = control_.register_system_from_definition(&body)?;
+            Ok(Response::json_status(Status::CREATED, &system.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/systems/:id", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let system = control_.get_system(param_id(p, "id")?)?;
+            Ok(Response::json(&system.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/systems/:id/deployments", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let deployments: Vec<Value> = control_
+                .list_deployments(Some(param_id(p, "id")?))
+                .iter()
+                .map(|d| d.to_json())
+                .collect();
+            Ok(Response::json(&Value::Array(deployments)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/systems/:id/deployments", move |req, p| {
+        respond((|| {
+            admin(&control_, req)?;
+            let body = body_json(req)?;
+            let deployment = control_.create_deployment(
+                param_id(p, "id")?,
+                body.get("environment").and_then(Value::as_str).unwrap_or("default"),
+                body.get("version").and_then(Value::as_str).unwrap_or(""),
+            )?;
+            Ok(Response::json_status(Status::CREATED, &deployment.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/deployments/:id/active", move |req, p| {
+        respond((|| {
+            admin(&control_, req)?;
+            let body = body_json(req)?;
+            let active = body
+                .get("active")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| CoreError::Invalid("missing boolean \"active\"".into()))?;
+            let deployment = control_.set_deployment_active(param_id(p, "id")?, active)?;
+            Ok(Response::json(&deployment.to_json()))
+        })())
+    });
+
+    // ----- projects -----
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/projects", move |req, _p| {
+        respond((|| {
+            let user = authed(&control_, req)?;
+            let projects: Vec<Value> = control_
+                .list_projects()
+                .iter()
+                .filter(|p| user.role.can_admin() || p.members.contains(&user.id))
+                .map(|p| p.to_json())
+                .collect();
+            Ok(Response::json(&Value::Array(projects)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/projects", move |req, _p| {
+        respond((|| {
+            let user = writer(&control_, req)?;
+            let body = body_json(req)?;
+            let project = control_.create_project(
+                &str_field(&body, "name")?,
+                body.get("description").and_then(Value::as_str).unwrap_or(""),
+                user.id,
+            )?;
+            Ok(Response::json_status(Status::CREATED, &project.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/projects/:id", move |req, p| {
+        respond((|| {
+            let user = authed(&control_, req)?;
+            let project = control_.require_project_access(param_id(p, "id")?, &user)?;
+            Ok(Response::json(&project.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/projects/:id/members", move |req, p| {
+        respond((|| {
+            let user = writer(&control_, req)?;
+            let project_id = param_id(p, "id")?;
+            control_.require_project_access(project_id, &user)?;
+            let body = body_json(req)?;
+            let member = Id::parse_base32(&str_field(&body, "user_id")?)
+                .map_err(|_| CoreError::Invalid("bad user_id".into()))?;
+            let project = control_.add_project_member(project_id, member)?;
+            Ok(Response::json(&project.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/projects/:id/archive", move |req, p| {
+        respond((|| {
+            let user = writer(&control_, req)?;
+            let project_id = param_id(p, "id")?;
+            control_.require_project_access(project_id, &user)?;
+            let project = control_.archive_project(project_id)?;
+            Ok(Response::json(&project.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/projects/:id/archive.zip", move |req, p| {
+        respond((|| {
+            let user = authed(&control_, req)?;
+            let project_id = param_id(p, "id")?;
+            control_.require_project_access(project_id, &user)?;
+            let bytes = archive_project(&control_, project_id)?;
+            Ok(Response::bytes(Status::OK, "application/zip", bytes))
+        })())
+    });
+
+    // ----- experiments -----
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/projects/:id/experiments", move |req, p| {
+        respond((|| {
+            let user = authed(&control_, req)?;
+            let project_id = param_id(p, "id")?;
+            control_.require_project_access(project_id, &user)?;
+            let experiments: Vec<Value> = control_
+                .list_experiments(Some(project_id))
+                .iter()
+                .map(|e| e.to_json())
+                .collect();
+            Ok(Response::json(&Value::Array(experiments)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/projects/:id/experiments", move |req, p| {
+        respond((|| {
+            let user = writer(&control_, req)?;
+            let project_id = param_id(p, "id")?;
+            control_.require_project_access(project_id, &user)?;
+            let body = body_json(req)?;
+            let system_id = Id::parse_base32(&str_field(&body, "system_id")?)
+                .map_err(|_| CoreError::Invalid("bad system_id".into()))?;
+            let assignments = body
+                .get("parameters")
+                .map(ParamAssignments::from_json)
+                .transpose()?
+                .unwrap_or_default();
+            let experiment = control_.create_experiment(
+                project_id,
+                system_id,
+                &str_field(&body, "name")?,
+                body.get("description").and_then(Value::as_str).unwrap_or(""),
+                assignments,
+            )?;
+            Ok(Response::json_status(Status::CREATED, &experiment.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/experiments/:id", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let experiment = control_.get_experiment(param_id(p, "id")?)?;
+            Ok(Response::json(&experiment.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/experiments/:id/archive", move |req, p| {
+        respond((|| {
+            writer(&control_, req)?;
+            let experiment = control_.archive_experiment(param_id(p, "id")?)?;
+            Ok(Response::json(&experiment.to_json()))
+        })())
+    });
+
+    // Performance trend across an experiment's evaluations (QA over
+    // subsequent change sets, paper §3).
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/experiments/:id/trend", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let value_path = req
+                .query_param("path")
+                .unwrap_or_else(|| "/throughput_ops_per_sec".to_string());
+            let threshold = req
+                .query_param("threshold")
+                .and_then(|t| t.parse::<f64>().ok())
+                .unwrap_or(0.10);
+            let trend =
+                analysis::experiment_trend(&control_, param_id(p, "id")?, &value_path, threshold)?;
+            Ok(Response::json(&trend))
+        })())
+    });
+
+    // ----- evaluations -----
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/experiments/:id/evaluations", move |req, p| {
+        respond((|| {
+            writer(&control_, req)?;
+            let evaluation = control_.create_evaluation(param_id(p, "id")?)?;
+            Ok(Response::json_status(Status::CREATED, &evaluation.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/experiments/:id/evaluations", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let evaluations: Vec<Value> = control_
+                .list_evaluations(Some(param_id(p, "id")?))
+                .iter()
+                .map(|e| e.to_json())
+                .collect();
+            Ok(Response::json(&Value::Array(evaluations)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/evaluations/:id", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let id = param_id(p, "id")?;
+            let evaluation = control_.get_evaluation(id)?;
+            let status = control_.evaluation_status(id)?;
+            let mut j = evaluation.to_json();
+            j.set("status", status.to_json());
+            Ok(Response::json(&j))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/evaluations/:id/jobs", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let jobs: Vec<Value> = control_
+                .list_jobs(param_id(p, "id")?)?
+                .iter()
+                .map(|j| {
+                    // Listing view: omit the potentially large log.
+                    let mut doc = j.to_json();
+                    if let Some(map) = doc.as_object_mut() {
+                        map.remove("log");
+                        map.remove("timeline");
+                    }
+                    doc
+                })
+                .collect();
+            Ok(Response::json(&Value::Array(jobs)))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/evaluations/:id/summary", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let summary = analysis::summary_table(&control_, param_id(p, "id")?)?;
+            Ok(Response::json(&summary))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/evaluations/:id/summary.csv", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let csv = analysis::summary_csv(&control_, param_id(p, "id")?)?;
+            Ok(Response::bytes(Status::OK, "text/csv; charset=utf-8", csv.into_bytes()))
+        })())
+    });
+
+    // Chart renders: /charts/:index.svg and .txt (paper Fig. 3d).
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/evaluations/:id/charts/:chart", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let evaluation_id = param_id(p, "id")?;
+            let chart_ref = p.get("chart").unwrap_or_default();
+            let (index_str, format) = chart_ref
+                .rsplit_once('.')
+                .ok_or_else(|| CoreError::Invalid("chart ref must be <index>.<svg|txt>".into()))?;
+            let index: usize = index_str
+                .parse()
+                .map_err(|_| CoreError::Invalid("bad chart index".into()))?;
+            let evaluation = control_.get_evaluation(evaluation_id)?;
+            let experiment = control_.get_experiment(evaluation.experiment_id)?;
+            let system = control_.get_system(experiment.system_id)?;
+            let spec = system
+                .charts
+                .get(index)
+                .ok_or_else(|| CoreError::not_found("chart", index))?;
+            let data = analysis::chart_data(&control_, evaluation_id, spec)?;
+            let registry = chronos_core::charts::ChartRegistry::with_builtins();
+            match format {
+                "svg" => Ok(Response::bytes(
+                    Status::OK,
+                    "image/svg+xml",
+                    registry.render_svg(spec, &data)?.into_bytes(),
+                )),
+                "txt" => Ok(Response::text(Status::OK, registry.render_ascii(spec, &data)?)),
+                other => Err(CoreError::Invalid(format!("unknown chart format {other:?}"))),
+            }
+        })())
+    });
+
+    // ----- jobs -----
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/jobs/:id", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let job = control_.get_job(param_id(p, "id")?)?;
+            Ok(Response::json(&job.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/jobs/:id/log", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let job = control_.get_job(param_id(p, "id")?)?;
+            Ok(Response::text(Status::OK, job.log))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/jobs/:id/abort", move |req, p| {
+        respond((|| {
+            writer(&control_, req)?;
+            let job = control_.abort_job(param_id(p, "id")?)?;
+            Ok(Response::json(&job.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/jobs/:id/reschedule", move |req, p| {
+        respond((|| {
+            writer(&control_, req)?;
+            let job = control_.reschedule_job(param_id(p, "id")?)?;
+            Ok(Response::json(&job.to_json()))
+        })())
+    });
+
+    // ----- agent protocol -----
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/agent/claim", move |req, _p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let body = body_json(req)?;
+            let deployment_id = Id::parse_base32(&str_field(&body, "deployment_id")?)
+                .map_err(|_| CoreError::Invalid("bad deployment_id".into()))?;
+            match control_.claim_next_job(deployment_id)? {
+                Some(job) => Ok(Response::json(&job.to_json())),
+                None => Ok(Response::status(Status::NO_CONTENT)),
+            }
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/agent/jobs/:id/heartbeat", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let body = body_json(req).unwrap_or(Value::Null);
+            let progress = body.get("progress").and_then(Value::as_u64).map(|p| p as u8);
+            let job = control_.heartbeat(param_id(p, "id")?, progress)?;
+            Ok(Response::json(
+                &obj! {"state" => job.state.as_str(), "progress" => job.progress as i64},
+            ))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/agent/jobs/:id/log", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let text = String::from_utf8_lossy(&req.body);
+            control_.append_log(param_id(p, "id")?, &text)?;
+            Ok(Response::status(Status::NO_CONTENT))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/agent/jobs/:id/result", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let body = body_json(req)?;
+            let data = body
+                .get("data")
+                .cloned()
+                .ok_or_else(|| CoreError::Invalid("result needs \"data\"".into()))?;
+            let archive = body
+                .get("archive_b64")
+                .and_then(Value::as_str)
+                .map(|b64| {
+                    chronos_util::encode::base64_decode(b64)
+                        .ok_or_else(|| CoreError::Invalid("bad archive_b64".into()))
+                })
+                .transpose()?
+                .unwrap_or_default();
+            let result = control_.finish_job(param_id(p, "id")?, data, archive)?;
+            Ok(Response::json_status(Status::CREATED, &result.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/agent/jobs/:id/fail", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let body = body_json(req).unwrap_or(Value::Null);
+            let reason = body
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("agent reported failure");
+            let job = control_.fail_job(param_id(p, "id")?, reason)?;
+            Ok(Response::json(&job.to_json()))
+        })())
+    });
+
+    // ----- results -----
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/results/:id", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let result = control_.get_result(param_id(p, "id")?)?;
+            Ok(Response::json(&result.to_json()))
+        })())
+    });
+
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/results/:id/archive.zip", move |req, p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let result = control_.get_result(param_id(p, "id")?)?;
+            Ok(Response::bytes(Status::OK, "application/zip", result.archive))
+        })())
+    });
+
+    // ----- integration hooks -----
+    // Build-bot trigger (paper §2.2): "schedule an evaluation which is
+    // caused by a successful build of the SuE's build bot".
+    let control_ = Arc::clone(c);
+    router.post("/api/v1/trigger/build", move |req, _p| {
+        respond((|| {
+            writer(&control_, req)?;
+            let body = body_json(req)?;
+            let experiment_id = Id::parse_base32(&str_field(&body, "experiment_id")?)
+                .map_err(|_| CoreError::Invalid("bad experiment_id".into()))?;
+            let build = body.get("build").and_then(Value::as_str).unwrap_or("unknown");
+            let evaluation = control_.create_evaluation(experiment_id)?;
+            Ok(Response::json_status(
+                Status::CREATED,
+                &obj! {
+                    "evaluation" => evaluation.to_json(),
+                    "triggered_by" => obj! {"build" => build},
+                    "jobs" => evaluation.job_ids.len(),
+                },
+            ))
+        })())
+    });
+
+    // Stats: job states across the installation (monitoring dashboards).
+    let control_ = Arc::clone(c);
+    router.get("/api/v1/stats", move |req, _p| {
+        respond((|| {
+            authed(&control_, req)?;
+            let mut states = [0usize; 5];
+            for evaluation in control_.list_evaluations(None) {
+                let status = control_.evaluation_status(evaluation.id)?;
+                states[0] += status.scheduled;
+                states[1] += status.running;
+                states[2] += status.finished;
+                states[3] += status.aborted;
+                states[4] += status.failed;
+            }
+            Ok(Response::json(&obj! {
+                "jobs" => obj! {
+                    "scheduled" => states[0],
+                    "running" => states[1],
+                    "finished" => states[2],
+                    "aborted" => states[3],
+                    "failed" => states[4],
+                },
+                "systems" => control_.list_systems().len(),
+                "projects" => control_.list_projects().len(),
+            }))
+        })())
+    });
+}

@@ -1,0 +1,144 @@
+//! `chronos-control` — the standalone Chronos Control daemon.
+//!
+//! The deployable form of the toolkit's server half: a durable metadata
+//! store on disk, the versioned REST API, the failure sweeper, and a
+//! bootstrapped admin account.
+//!
+//! ```text
+//! chronos-control --listen 0.0.0.0:8080 --data /var/lib/chronos \
+//!                 --admin-password change-me
+//! ```
+
+use std::sync::Arc;
+
+use chronos_core::auth::Role;
+use chronos_core::scheduler::SchedulerConfig;
+use chronos_core::store::MetadataStore;
+use chronos_core::ChronosControl;
+use chronos_server::ChronosServer;
+use chronos_util::SystemClock;
+
+struct Options {
+    listen: String,
+    data: Option<std::path::PathBuf>,
+    admin_user: String,
+    admin_password: Option<String>,
+    heartbeat_timeout_millis: u64,
+    max_attempts: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chronos-control [options]\n\
+         \n\
+         options:\n\
+           --listen ADDR             bind address (default 127.0.0.1:8080)\n\
+           --data DIR                durable metadata directory (default: in-memory)\n\
+           --admin-user NAME         bootstrap admin username (default: admin)\n\
+           --admin-password PW       bootstrap admin password (created if the user\n\
+                                     does not exist yet)\n\
+           --heartbeat-timeout MS    job lease timeout (default 30000)\n\
+           --max-attempts N          attempts before a job stays failed (default 3)\n\
+           --help                    show this help"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: "127.0.0.1:8080".to_string(),
+        data: None,
+        admin_user: "admin".to_string(),
+        admin_password: None,
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => options.listen = value("--listen"),
+            "--data" => options.data = Some(value("--data").into()),
+            "--admin-user" => options.admin_user = value("--admin-user"),
+            "--admin-password" => options.admin_password = Some(value("--admin-password")),
+            "--heartbeat-timeout" => {
+                options.heartbeat_timeout_millis =
+                    value("--heartbeat-timeout").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-attempts" => {
+                options.max_attempts = value("--max-attempts").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let store = match &options.data {
+        Some(dir) => {
+            let path = dir.join("chronos-control.log");
+            match MetadataStore::open(&path) {
+                Ok(store) => {
+                    eprintln!("metadata store: {} ({} log records)", path.display(), store.log_records());
+                    store
+                }
+                Err(e) => {
+                    eprintln!("cannot open metadata store at {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("metadata store: in-memory (no --data given; state is lost on exit)");
+            MetadataStore::in_memory()
+        }
+    };
+    let control = Arc::new(ChronosControl::new(
+        store,
+        Arc::new(SystemClock),
+        SchedulerConfig {
+            heartbeat_timeout_millis: options.heartbeat_timeout_millis,
+            max_attempts: options.max_attempts,
+            auto_reschedule: true,
+        },
+    ));
+
+    if let Some(password) = &options.admin_password {
+        match control.create_user(&options.admin_user, password, Role::Admin) {
+            Ok(user) => eprintln!("created admin user {:?} ({})", user.username, user.id),
+            Err(chronos_core::CoreError::Conflict(_)) => {
+                eprintln!("admin user {:?} already exists", options.admin_user)
+            }
+            Err(e) => {
+                eprintln!("cannot create admin user: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let server = match ChronosServer::start(control, &options.listen) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    eprintln!("Chronos Control listening on {}", server.base_url());
+    eprintln!("API index: {}/api", server.base_url());
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

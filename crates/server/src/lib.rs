@@ -1,0 +1,130 @@
+//! # chronos-server — the Chronos Control REST API
+//!
+//! Exposes [`chronos_core::ChronosControl`] over HTTP, exactly in the role
+//! of the original's Apache+PHP web service: "a RESTful web service for
+//! clients benchmarking the SuEs" that is also "used [...] for the
+//! integration of the Chronos toolkit into existing evaluation workflows"
+//! (paper §2.2).
+//!
+//! The API is versioned (`/api/v1` plus a frozen `/api/v0` compatibility
+//! subset), token-authenticated (`X-Chronos-Token`), and serves every
+//! workflow of the paper: system registration, deployments, projects,
+//! experiments, evaluations, the agent protocol (claim / heartbeat / log /
+//! result / fail), abort/reschedule, archives, analysis and chart renders.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use chronos_core::ChronosControl;
+//! use chronos_server::ChronosServer;
+//!
+//! let control = Arc::new(ChronosControl::in_memory());
+//! let server = ChronosServer::start(control, "127.0.0.1:0").unwrap();
+//! println!("Chronos Control listening on {}", server.base_url());
+//! ```
+
+mod api_v0;
+mod api_v1;
+mod ui;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos_core::ChronosControl;
+use chronos_http::{Response, Router, Server, ServerHandle, Status};
+
+/// How often the background sweeper checks for heartbeat timeouts.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
+
+/// A running Chronos Control server (HTTP listener + failure sweeper).
+pub struct ChronosServer {
+    http: Option<ServerHandle>,
+    control: Arc<ChronosControl>,
+    stop: Arc<AtomicBool>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChronosServer {
+    /// Binds `addr` and starts serving the versioned API. A background
+    /// thread runs the failure-detection sweep (requirement *(iii)*).
+    pub fn start(control: Arc<ChronosControl>, addr: &str) -> std::io::Result<ChronosServer> {
+        let router = build_router(Arc::clone(&control));
+        let http = Server::new().serve(addr, move |request| router.dispatch(&request))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeper = {
+            let control = Arc::clone(&control);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("chronos-sweeper".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let _ = control.check_timeouts();
+                        std::thread::sleep(SWEEP_INTERVAL);
+                    }
+                })
+                .expect("failed to spawn sweeper")
+        };
+        Ok(ChronosServer { http: Some(http), control, stop, sweeper: Some(sweeper) })
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:43211`.
+    pub fn base_url(&self) -> String {
+        self.http.as_ref().expect("server running").base_url()
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.http.as_ref().expect("server running").addr()
+    }
+
+    /// The control instance behind the server.
+    pub fn control(&self) -> &Arc<ChronosControl> {
+        &self.control
+    }
+
+    /// Stops the HTTP listener and the sweeper. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(mut http) = self.http.take() {
+            http.shutdown();
+        }
+        if let Some(sweeper) = self.sweeper.take() {
+            let _ = sweeper.join();
+        }
+    }
+}
+
+impl Drop for ChronosServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds the full routing table (v1 + frozen v0).
+pub fn build_router(control: Arc<ChronosControl>) -> Router {
+    let mut router = Router::new();
+    api_v1::mount(&mut router, Arc::clone(&control));
+    api_v0::mount(&mut router, Arc::clone(&control));
+    ui::mount(&mut router, control);
+    router.get("/api", |_req, _params| {
+        Response::json(&chronos_json::obj! {
+            "service" => "chronos-control",
+            "versions" => chronos_json::arr!["v0", "v1"],
+            "current" => "v1",
+        })
+    });
+    router
+}
+
+/// Maps a [`chronos_core::CoreError`] to the API error shape.
+pub(crate) fn error_response(error: chronos_core::CoreError) -> Response {
+    use chronos_core::CoreError;
+    let status = match &error {
+        CoreError::NotFound { .. } => Status::NOT_FOUND,
+        CoreError::Invalid(_) => Status::BAD_REQUEST,
+        CoreError::Conflict(_) => Status::CONFLICT,
+        CoreError::Forbidden(_) => Status::FORBIDDEN,
+        CoreError::Storage(_) | CoreError::Archive(_) => Status::INTERNAL_ERROR,
+    };
+    Response::error(status, error.to_string())
+}

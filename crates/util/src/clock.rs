@@ -1,0 +1,158 @@
+//! Clock abstraction.
+//!
+//! Chronos Control tracks wall-clock timestamps on every timeline event and
+//! uses elapsed time for agent lease expiry and job timeouts. To make the
+//! reliability machinery (requirement *(iii)* of the paper) testable without
+//! sleeping, all time flows through the [`Clock`] trait: production code uses
+//! [`SystemClock`], tests drive a [`MockClock`] forward explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// A source of the current time, in milliseconds since the Unix epoch.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds since the Unix epoch.
+    fn now_millis(&self) -> u64;
+
+    /// Convenience: elapsed milliseconds since `earlier` (saturating).
+    fn since_millis(&self, earlier: u64) -> u64 {
+        self.now_millis().saturating_sub(earlier)
+    }
+}
+
+/// The real system clock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A manually driven clock for deterministic tests.
+///
+/// Cloning a `MockClock` yields a handle onto the same underlying instant, so
+/// a scheduler and the test driving it observe the same time.
+#[derive(Debug, Clone, Default)]
+pub struct MockClock {
+    now: Arc<AtomicU64>,
+}
+
+impl MockClock {
+    /// Creates a clock reading `start_millis`.
+    pub fn new(start_millis: u64) -> Self {
+        MockClock { now: Arc::new(AtomicU64::new(start_millis)) }
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.now.fetch_add(delta.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `millis` milliseconds.
+    pub fn advance_millis(&self, millis: u64) {
+        self.now.fetch_add(millis, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set(&self, millis: u64) {
+        self.now.store(millis, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_millis(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Renders a Unix-millisecond timestamp as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+///
+/// Chronos timelines and archives need human-readable timestamps; this is a
+/// minimal proleptic-Gregorian formatter (no external chrono dependency).
+pub fn format_timestamp(unix_millis: u64) -> String {
+    let millis = unix_millis % 1000;
+    let total_secs = unix_millis / 1000;
+    let (secs_of_day, days) = (total_secs % 86_400, total_secs / 86_400);
+    let (hour, min, sec) = (secs_of_day / 3600, (secs_of_day / 60) % 60, secs_of_day % 60);
+    let (year, month, day) = civil_from_days(days as i64);
+    format!("{year:04}-{month:02}-{day:02}T{hour:02}:{min:02}:{sec:02}.{millis:03}Z")
+}
+
+/// Converts days since 1970-01-01 to (year, month, day).
+/// Algorithm from Howard Hinnant's `civil_from_days`.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_enough() {
+        let c = SystemClock;
+        let a = c.now_millis();
+        let b = c.now_millis();
+        assert!(b >= a);
+        assert!(a > 1_600_000_000_000, "clock should be past 2020");
+    }
+
+    #[test]
+    fn mock_clock_advances() {
+        let c = MockClock::new(100);
+        assert_eq!(c.now_millis(), 100);
+        c.advance_millis(50);
+        assert_eq!(c.now_millis(), 150);
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now_millis(), 1_150);
+        c.set(7);
+        assert_eq!(c.now_millis(), 7);
+    }
+
+    #[test]
+    fn mock_clock_clones_share_state() {
+        let a = MockClock::new(0);
+        let b = a.clone();
+        a.advance_millis(42);
+        assert_eq!(b.now_millis(), 42);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let c = MockClock::new(10);
+        assert_eq!(c.since_millis(100), 0);
+        assert_eq!(c.since_millis(4), 6);
+    }
+
+    #[test]
+    fn formats_epoch() {
+        assert_eq!(format_timestamp(0), "1970-01-01T00:00:00.000Z");
+    }
+
+    #[test]
+    fn formats_known_date() {
+        // 2020-03-30T12:34:56.789Z — first day of EDBT 2020.
+        assert_eq!(format_timestamp(1_585_571_696_789), "2020-03-30T12:34:56.789Z");
+    }
+
+    #[test]
+    fn formats_leap_day() {
+        // 2020-02-29T00:00:00.000Z
+        assert_eq!(format_timestamp(1_582_934_400_000), "2020-02-29T00:00:00.000Z");
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared utilities for the Chronos evaluation toolkit.
+//!
+//! This crate collects the small, dependency-free building blocks every other
+//! Chronos crate needs:
+//!
+//! * [`id`] — sortable, globally unique identifiers (ULID-like) for entities
+//!   such as projects, experiments, evaluations and jobs.
+//! * [`clock`] — a [`Clock`](clock::Clock) abstraction with a real
+//!   implementation and a manually driven [`MockClock`](clock::MockClock) so
+//!   schedulers and lease expiry can be tested deterministically.
+//! * [`encode`] — CRC-32, hexadecimal and Base64 codecs used by the ZIP
+//!   substrate and by HTTP basic authentication.
+//! * [`pool`] — a fixed-size worker thread pool used by the HTTP server and
+//!   by parallel agents.
+//! * [`retry`] — bounded exponential backoff used by agents talking to
+//!   Chronos Control.
+
+pub mod clock;
+pub mod encode;
+pub mod id;
+pub mod pool;
+pub mod retry;
+
+pub use clock::{Clock, MockClock, SystemClock};
+pub use id::Id;
+pub use pool::ThreadPool;

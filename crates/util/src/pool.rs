@@ -1,0 +1,181 @@
+//! A fixed-size worker thread pool.
+//!
+//! Used by the Chronos HTTP server to serve concurrent connections and by
+//! evaluation clients to drive multi-threaded benchmark workloads (the demo's
+//! swept parameter *is* the client thread count, so the pool is on the hot
+//! path of experiment E1).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+///
+/// Dropping the pool closes the queue and joins all workers, so every
+/// submitted job is either executed or (if a worker panicked) accounted for
+/// in [`ThreadPool::panics`].
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers. `size` is clamped to at least 1.
+    pub fn new(size: usize) -> Self {
+        Self::with_name(size, "chronos-worker")
+    }
+
+    /// Creates a pool whose worker threads carry `name` (visible in
+    /// backtraces and profilers).
+    pub fn with_name(size: usize, name: &str) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicUsize::new(0));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock();
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => break, // channel closed: shut down
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers, panics }
+    }
+
+    /// Submits a job for execution. Returns `false` if the pool is shutting
+    /// down and the job was not accepted.
+    pub fn execute<F>(&self, job: F) -> bool
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match &self.sender {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of jobs that panicked instead of completing.
+    pub fn panics(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Runs `f` on `threads` scoped threads, passing each its index, and returns
+/// the per-thread results in index order. This is the fork/join primitive the
+/// benchmark clients use for the "number of client threads" parameter.
+pub fn scoped_indexed<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|i| scope.spawn(move || f(i))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn zero_size_is_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("boom"));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1, "worker must survive a panic");
+    }
+
+    #[test]
+    fn panics_are_counted() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..3 {
+            pool.execute(|| panic!("boom"));
+        }
+        // Drain by dropping (joins all workers first).
+        let panics = {
+            let p = pool;
+            // Wait for jobs by dropping; capture counter handle first.
+            let counter = Arc::clone(&p.panics);
+            drop(p);
+            counter.load(Ordering::Relaxed)
+        };
+        assert_eq!(panics, 3);
+    }
+
+    #[test]
+    fn scoped_indexed_returns_in_order() {
+        let results = scoped_indexed(8, |i| i * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn scoped_indexed_clamps_to_one() {
+        assert_eq!(scoped_indexed(0, |i| i), vec![0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded retry with exponential backoff.
+//!
+//! Chronos Agents run unattended for days (requirement *(iii)*: long-running
+//! evaluations need reliability), so every call to Chronos Control goes
+//! through a retry policy instead of failing the whole evaluation on a
+//! transient network hiccup.
+
+use std::time::Duration;
+
+/// An exponential backoff policy with an attempt cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Multiplier applied after each retry (as a percentage, 200 = double).
+    pub factor_percent: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+    /// Maximum number of attempts (including the first).
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            initial: Duration::from_millis(50),
+            factor_percent: 200,
+            max_delay: Duration::from_secs(5),
+            max_attempts: 5,
+        }
+    }
+}
+
+impl Backoff {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        Backoff { max_attempts: 1, ..Backoff::default() }
+    }
+
+    /// The delay to apply after attempt `attempt` (0-based) fails, or `None`
+    /// if no further attempt should be made.
+    pub fn delay_after(&self, attempt: u32) -> Option<Duration> {
+        if attempt + 1 >= self.max_attempts {
+            return None;
+        }
+        let mut delay = self.initial;
+        for _ in 0..attempt {
+            let next_ms = delay.as_millis() as u64 * self.factor_percent as u64 / 100;
+            delay = Duration::from_millis(next_ms);
+            if delay >= self.max_delay {
+                return Some(self.max_delay);
+            }
+        }
+        Some(delay.min(self.max_delay))
+    }
+
+    /// Runs `op` until it succeeds or the policy is exhausted, sleeping
+    /// between attempts. Returns the last error on exhaustion.
+    pub fn run<T, E, F>(&self, mut op: F) -> Result<T, E>
+    where
+        F: FnMut(u32) -> Result<T, E>,
+    {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => match self.delay_after(attempt) {
+                    Some(delay) => {
+                        std::thread::sleep(delay);
+                        attempt += 1;
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let b = Backoff {
+            initial: Duration::from_millis(100),
+            factor_percent: 200,
+            max_delay: Duration::from_millis(350),
+            max_attempts: 10,
+        };
+        assert_eq!(b.delay_after(0), Some(Duration::from_millis(100)));
+        assert_eq!(b.delay_after(1), Some(Duration::from_millis(200)));
+        assert_eq!(b.delay_after(2), Some(Duration::from_millis(350))); // capped
+        assert_eq!(b.delay_after(3), Some(Duration::from_millis(350)));
+    }
+
+    #[test]
+    fn exhausts_after_max_attempts() {
+        let b = Backoff { max_attempts: 3, ..Backoff::default() };
+        assert!(b.delay_after(2).is_none());
+        assert!(b.delay_after(5).is_none());
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let b = Backoff::none();
+        assert!(b.delay_after(0).is_none());
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let b = Backoff {
+            initial: Duration::from_millis(1),
+            factor_percent: 100,
+            max_delay: Duration::from_millis(1),
+            max_attempts: 5,
+        };
+        let mut calls = 0;
+        let result: Result<u32, &str> = b.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_returns_last_error_when_exhausted() {
+        let b = Backoff {
+            initial: Duration::from_millis(1),
+            factor_percent: 100,
+            max_delay: Duration::from_millis(1),
+            max_attempts: 3,
+        };
+        let result: Result<(), u32> = b.run(Err);
+        assert_eq!(result, Err(2));
+    }
+}

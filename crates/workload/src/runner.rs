@@ -1,0 +1,411 @@
+//! Turning a [`WorkloadSpec`] into operation streams.
+//!
+//! One [`WorkloadRunner`] is shared by all client threads of a benchmark
+//! run; each thread creates its own [`OpStream`](WorkloadRunner::stream) with
+//! a thread-specific seed. The only shared mutable state is the insert
+//! frontier (an atomic counter), exactly like the YCSB client's
+//! `transactioninsertkeysequence`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::generators::{
+    seeded_rng, ExponentialGenerator, Generator, HotspotGenerator, LatestGenerator,
+    ScrambledZipfian, UniformGenerator,
+};
+use crate::spec::{Distribution, WorkloadSpec};
+
+/// One benchmark operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the document with this key.
+    Read { key: String },
+    /// Replace all field values of this key.
+    Update { key: String, fields: Vec<(String, String)> },
+    /// Insert a brand-new document.
+    Insert { key: String, fields: Vec<(String, String)> },
+    /// Scan `count` documents starting at `start_key`.
+    Scan { start_key: String, count: u64 },
+    /// Read the document, then write it back modified.
+    ReadModifyWrite { key: String, fields: Vec<(String, String)> },
+}
+
+impl Operation {
+    /// A short operation-type label for metrics (`read`, `update`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Operation::Read { .. } => "read",
+            Operation::Update { .. } => "update",
+            Operation::Insert { .. } => "insert",
+            Operation::Scan { .. } => "scan",
+            Operation::ReadModifyWrite { .. } => "read_modify_write",
+        }
+    }
+}
+
+/// Shared workload state for one benchmark run.
+#[derive(Debug)]
+pub struct WorkloadRunner {
+    spec: WorkloadSpec,
+    /// Next key index to hand to an insert (starts at `record_count`).
+    insert_frontier: Arc<AtomicU64>,
+}
+
+impl WorkloadRunner {
+    /// Creates a runner. Fails if the spec is invalid.
+    pub fn new(spec: WorkloadSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let frontier = Arc::new(AtomicU64::new(spec.record_count));
+        Ok(WorkloadRunner { spec, insert_frontier: frontier })
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Keys (with generated documents) for the load phase, partitioned for
+    /// `thread` of `threads` (round-robin so all partitions are equal ±1).
+    pub fn load_partition(&self, thread: usize, threads: usize) -> Vec<Operation> {
+        let threads = threads.max(1);
+        let mut rng = seeded_rng(self.spec.thread_seed(thread) ^ 0x10AD);
+        (0..self.spec.record_count)
+            .filter(|i| (*i as usize) % threads == thread)
+            .map(|i| Operation::Insert {
+                key: self.spec.key_for(i),
+                fields: self.generate_fields(&mut rng),
+            })
+            .collect()
+    }
+
+    /// Creates the transaction-phase operation stream for one thread.
+    /// The stream yields `operation_count / threads` operations (the last
+    /// thread absorbs the remainder).
+    pub fn stream(&self, thread: usize, threads: usize) -> OpStream {
+        let threads = threads.max(1);
+        let per_thread = self.spec.operation_count / threads as u64;
+        let count = if thread + 1 == threads {
+            self.spec.operation_count - per_thread * (threads as u64 - 1)
+        } else {
+            per_thread
+        };
+        let selector: Box<dyn Generator> = match self.spec.distribution {
+            Distribution::Uniform => Box::new(UniformGenerator::new(self.spec.record_count)),
+            Distribution::Zipfian => Box::new(ScrambledZipfian::new(self.spec.record_count)),
+            Distribution::Latest => Box::new(LatestGenerator::new(self.spec.record_count)),
+            Distribution::Hotspot => {
+                Box::new(HotspotGenerator::new(self.spec.record_count, 0.1, 0.9))
+            }
+            Distribution::Exponential => {
+                Box::new(ExponentialGenerator::new(self.spec.record_count))
+            }
+        };
+        OpStream {
+            spec: self.spec.clone(),
+            rng: seeded_rng(self.spec.thread_seed(thread)),
+            selector,
+            frontier: Arc::clone(&self.insert_frontier),
+            remaining: count,
+        }
+    }
+
+    /// Current size of the keyspace (records loaded + inserted so far).
+    pub fn keyspace_size(&self) -> u64 {
+        self.insert_frontier.load(Ordering::Relaxed)
+    }
+
+    fn generate_fields(&self, rng: &mut StdRng) -> Vec<(String, String)> {
+        generate_fields(&self.spec, rng)
+    }
+}
+
+/// Word dictionary for partially redundant field values: sixteen 16-byte
+/// tokens, drawn with a skew (80% of draws from the first four) so values
+/// repeat the way real-world document fields do, giving block compressors
+/// long matches within each document.
+const WORDS: [&str; 16] = [
+    "account_balance_",
+    "customer_record_",
+    "delivery_status_",
+    "transaction_ref_",
+    "envelope_digest_",
+    "fragment_offset_",
+    "gateway_routing_",
+    "horizon_scanner_",
+    "industry_sector_",
+    "junction_signal_",
+    "keyboard_layout_",
+    "latitude_degree_",
+    "merchant_ledger_",
+    "notebook_margin_",
+    "operator_handle_",
+    "pipeline_stages_",
+];
+
+/// Deterministic printable field payloads. A `compressibility` fraction of
+/// the bytes come from a small word dictionary (redundant, compressible);
+/// the rest are uniform lowercase noise (incompressible) — see
+/// [`WorkloadSpec::compressibility`].
+fn generate_fields(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<(String, String)> {
+    (0..spec.field_count)
+        .map(|f| {
+            let mut value = String::with_capacity(spec.field_length + 8);
+            while value.len() < spec.field_length {
+                if rng.gen::<f64>() < spec.compressibility {
+                    let idx = if rng.gen::<f64>() < 0.8 {
+                        rng.gen_range(0..4)
+                    } else {
+                        rng.gen_range(0..WORDS.len())
+                    };
+                    value.push_str(WORDS[idx]);
+                } else {
+                    for _ in 0..8 {
+                        value.push((b'a' + rng.gen_range(0..26u8)) as char);
+                    }
+                }
+            }
+            value.truncate(spec.field_length);
+            (format!("field{f}"), value)
+        })
+        .collect()
+}
+
+/// The per-thread operation stream (an iterator).
+pub struct OpStream {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    selector: Box<dyn Generator>,
+    frontier: Arc<AtomicU64>,
+    remaining: u64,
+}
+
+impl OpStream {
+    fn pick_key(&mut self) -> String {
+        // For `latest`, track the shared frontier so recency follows inserts.
+        let frontier = self.frontier.load(Ordering::Relaxed);
+        if self.spec.distribution == Distribution::Latest {
+            // Safe: LatestGenerator only ever grows.
+            if frontier > self.selector.cardinality() {
+                // Downcast-free growth: recreate cheaply when behind.
+                let mut g = LatestGenerator::new(self.selector.cardinality());
+                g.grow_to(frontier);
+                self.selector = Box::new(g);
+            }
+        }
+        let idx = loop {
+            let idx = self.selector.next(&mut self.rng);
+            if idx < frontier.max(1) {
+                break idx;
+            }
+        };
+        self.spec.key_for(idx)
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Operation;
+
+    fn next(&mut self) -> Option<Operation> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let m = &self.spec.mix;
+        let roll: f64 = self.rng.gen();
+        let op = if roll < m.read {
+            Operation::Read { key: self.pick_key() }
+        } else if roll < m.read + m.update {
+            let key = self.pick_key();
+            let fields = generate_fields(&self.spec, &mut self.rng);
+            Operation::Update { key, fields }
+        } else if roll < m.read + m.update + m.insert {
+            let idx = self.frontier.fetch_add(1, Ordering::Relaxed);
+            Operation::Insert {
+                key: self.spec.key_for(idx),
+                fields: generate_fields(&self.spec, &mut self.rng),
+            }
+        } else if roll < m.read + m.update + m.insert + m.scan {
+            let count = self.rng.gen_range(1..=self.spec.max_scan_length);
+            Operation::Scan { start_key: self.pick_key(), count }
+        } else {
+            let key = self.pick_key();
+            let fields = generate_fields(&self.spec, &mut self.rng);
+            Operation::ReadModifyWrite { key, fields }
+        };
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CoreWorkload, OpMix};
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec { record_count: 100, operation_count: 1_000, ..WorkloadSpec::default() }
+    }
+
+    #[test]
+    fn load_partitions_cover_all_records() {
+        let runner = WorkloadRunner::new(spec()).unwrap();
+        let mut keys: Vec<String> = (0..4)
+            .flat_map(|t| runner.load_partition(t, 4))
+            .map(|op| match op {
+                Operation::Insert { key, .. } => key,
+                other => panic!("load phase must only insert, got {other:?}"),
+            })
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn stream_counts_split_across_threads() {
+        let runner = WorkloadRunner::new(spec()).unwrap();
+        let total: usize = (0..3).map(|t| runner.stream(t, 3).count()).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn single_thread_takes_all_ops() {
+        let runner = WorkloadRunner::new(spec()).unwrap();
+        assert_eq!(runner.stream(0, 1).count(), 1_000);
+    }
+
+    #[test]
+    fn mix_proportions_roughly_hold() {
+        let mut s = spec();
+        s.operation_count = 20_000;
+        s.mix = OpMix { read: 0.6, update: 0.3, insert: 0.1, scan: 0.0, read_modify_write: 0.0 };
+        let runner = WorkloadRunner::new(s).unwrap();
+        let mut reads = 0;
+        let mut updates = 0;
+        let mut inserts = 0;
+        for op in runner.stream(0, 1) {
+            match op {
+                Operation::Read { .. } => reads += 1,
+                Operation::Update { .. } => updates += 1,
+                Operation::Insert { .. } => inserts += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((reads as f64 / 20_000.0 - 0.6).abs() < 0.02);
+        assert!((updates as f64 / 20_000.0 - 0.3).abs() < 0.02);
+        assert!((inserts as f64 / 20_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let mut s = spec();
+        s.mix = OpMix { read: 0.0, update: 0.0, insert: 1.0, scan: 0.0, read_modify_write: 0.0 };
+        s.operation_count = 50;
+        let runner = WorkloadRunner::new(s).unwrap();
+        let mut keys: Vec<String> = runner
+            .stream(0, 1)
+            .map(|op| match op {
+                Operation::Insert { key, .. } => key,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "insert keys must be unique");
+        assert!(keys.iter().all(|k| k.as_str() >= "user000000000100"), "fresh keys only");
+        assert_eq!(runner.keyspace_size(), 150);
+    }
+
+    #[test]
+    fn concurrent_inserts_never_collide() {
+        let mut s = spec();
+        s.mix = OpMix { read: 0.0, update: 0.0, insert: 1.0, scan: 0.0, read_modify_write: 0.0 };
+        s.operation_count = 400;
+        let runner = WorkloadRunner::new(s).unwrap();
+        let all: Vec<String> = chronos_util::pool::scoped_indexed(4, |t| {
+            runner
+                .stream(t, 4)
+                .map(|op| match op {
+                    Operation::Insert { key, .. } => key,
+                    other => panic!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn reads_stay_in_keyspace() {
+        let runner = WorkloadRunner::new(WorkloadSpec::core(CoreWorkload::C)).unwrap();
+        for op in runner.stream(0, 1).take(5_000) {
+            match op {
+                Operation::Read { key } => {
+                    assert!(key < runner.spec().key_for(runner.keyspace_size()));
+                }
+                other => panic!("workload C is read-only, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scans_bounded_by_max_length() {
+        let runner = WorkloadRunner::new(WorkloadSpec::core(CoreWorkload::E)).unwrap();
+        for op in runner.stream(0, 1).take(2_000) {
+            if let Operation::Scan { count, .. } = op {
+                assert!((1..=100).contains(&count));
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let collect = || {
+            let runner = WorkloadRunner::new(spec()).unwrap();
+            runner.stream(0, 2).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_threads_get_different_streams() {
+        let runner = WorkloadRunner::new(spec()).unwrap();
+        let a: Vec<Operation> = runner.stream(0, 2).collect();
+        let b: Vec<Operation> = runner.stream(1, 2).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn workload_f_produces_rmw() {
+        let runner = WorkloadRunner::new(WorkloadSpec::core(CoreWorkload::F)).unwrap();
+        let kinds: std::collections::HashSet<&str> =
+            runner.stream(0, 1).take(1_000).map(|op| op.kind()).collect();
+        assert!(kinds.contains("read_modify_write"));
+        assert!(kinds.contains("read"));
+    }
+
+    #[test]
+    fn field_payloads_match_spec() {
+        let mut s = spec();
+        s.field_count = 3;
+        s.field_length = 16;
+        s.mix = OpMix { read: 0.0, update: 1.0, insert: 0.0, scan: 0.0, read_modify_write: 0.0 };
+        let runner = WorkloadRunner::new(s).unwrap();
+        let Some(Operation::Update { fields, .. }) = runner.stream(0, 1).next() else {
+            panic!("expected update");
+        };
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0].0, "field0");
+        assert!(fields.iter().all(|(_, v)| v.len() == 16));
+    }
+}

@@ -1,0 +1,378 @@
+//! Declarative workload specifications and the YCSB core presets.
+
+use chronos_util::Id;
+
+/// Which request distribution drives key selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform over all records.
+    Uniform,
+    /// Scrambled zipfian (YCSB default for A/B).
+    Zipfian,
+    /// Skewed towards recently inserted records (workload D).
+    Latest,
+    /// Hot set: 10% of records get 90% of requests.
+    Hotspot,
+    /// Exponential (front-loaded).
+    Exponential,
+}
+
+impl Distribution {
+    /// Parses the lowercase name used in experiment parameters.
+    pub fn parse(s: &str) -> Option<Distribution> {
+        match s {
+            "uniform" => Some(Distribution::Uniform),
+            "zipfian" => Some(Distribution::Zipfian),
+            "latest" => Some(Distribution::Latest),
+            "hotspot" => Some(Distribution::Hotspot),
+            "exponential" => Some(Distribution::Exponential),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Zipfian => "zipfian",
+            Distribution::Latest => "latest",
+            Distribution::Hotspot => "hotspot",
+            Distribution::Exponential => "exponential",
+        }
+    }
+}
+
+/// Operation mix proportions. Must sum to (approximately) 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Point reads.
+    pub read: f64,
+    /// Full-document updates.
+    pub update: f64,
+    /// New-record inserts.
+    pub insert: f64,
+    /// Short range scans.
+    pub scan: f64,
+    /// Read-modify-write transactions.
+    pub read_modify_write: f64,
+}
+
+impl OpMix {
+    /// Validates the proportions (non-negative, sum ≈ 1).
+    pub fn validate(&self) -> Result<(), String> {
+        let parts =
+            [self.read, self.update, self.insert, self.scan, self.read_modify_write];
+        if parts.iter().any(|&p| p < 0.0) {
+            return Err("operation proportions must be non-negative".to_string());
+        }
+        let sum: f64 = parts.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("operation proportions sum to {sum}, expected 1.0"));
+        }
+        Ok(())
+    }
+}
+
+/// The six YCSB core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreWorkload {
+    /// A: update heavy (50/50 read/update), zipfian.
+    A,
+    /// B: read mostly (95/5 read/update), zipfian.
+    B,
+    /// C: read only, zipfian.
+    C,
+    /// D: read latest (95/5 read/insert), latest distribution.
+    D,
+    /// E: short ranges (95/5 scan/insert), zipfian.
+    E,
+    /// F: read-modify-write (50/50 read/rmw), zipfian.
+    F,
+}
+
+impl CoreWorkload {
+    /// Parses `"a"`..`"f"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<CoreWorkload> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" => Some(CoreWorkload::A),
+            "b" => Some(CoreWorkload::B),
+            "c" => Some(CoreWorkload::C),
+            "d" => Some(CoreWorkload::D),
+            "e" => Some(CoreWorkload::E),
+            "f" => Some(CoreWorkload::F),
+            _ => None,
+        }
+    }
+
+    /// The canonical letter.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CoreWorkload::A => "a",
+            CoreWorkload::B => "b",
+            CoreWorkload::C => "c",
+            CoreWorkload::D => "d",
+            CoreWorkload::E => "e",
+            CoreWorkload::F => "f",
+        }
+    }
+}
+
+/// A complete workload definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Records loaded in the load phase.
+    pub record_count: u64,
+    /// Operations executed in the transaction phase (per run, across all
+    /// client threads).
+    pub operation_count: u64,
+    /// Fields per document.
+    pub field_count: usize,
+    /// Bytes per field value.
+    pub field_length: usize,
+    /// Operation proportions.
+    pub mix: OpMix,
+    /// Key-selection distribution.
+    pub distribution: Distribution,
+    /// Maximum records returned by a scan.
+    pub max_scan_length: u64,
+    /// RNG seed; two runs with the same spec produce identical streams.
+    pub seed: u64,
+    /// Fraction (0..=1) of field bytes drawn from a small word dictionary
+    /// instead of uniform noise. Real-world documents are partially
+    /// redundant; this controls how well they compress (0.0 = YCSB's
+    /// classic incompressible random values).
+    pub compressibility: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            record_count: 1_000,
+            operation_count: 10_000,
+            field_count: 10,
+            field_length: 100,
+            mix: OpMix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, read_modify_write: 0.0 },
+            distribution: Distribution::Zipfian,
+            max_scan_length: 100,
+            seed: 42,
+            compressibility: 0.5,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The preset for one of the YCSB core workloads.
+    pub fn core(workload: CoreWorkload) -> Self {
+        let mix = match workload {
+            CoreWorkload::A => {
+                OpMix { read: 0.5, update: 0.5, insert: 0.0, scan: 0.0, read_modify_write: 0.0 }
+            }
+            CoreWorkload::B => {
+                OpMix { read: 0.95, update: 0.05, insert: 0.0, scan: 0.0, read_modify_write: 0.0 }
+            }
+            CoreWorkload::C => {
+                OpMix { read: 1.0, update: 0.0, insert: 0.0, scan: 0.0, read_modify_write: 0.0 }
+            }
+            CoreWorkload::D => {
+                OpMix { read: 0.95, update: 0.0, insert: 0.05, scan: 0.0, read_modify_write: 0.0 }
+            }
+            CoreWorkload::E => {
+                OpMix { read: 0.0, update: 0.0, insert: 0.05, scan: 0.95, read_modify_write: 0.0 }
+            }
+            CoreWorkload::F => {
+                OpMix { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, read_modify_write: 0.5 }
+            }
+        };
+        let distribution = match workload {
+            CoreWorkload::D => Distribution::Latest,
+            _ => Distribution::Zipfian,
+        };
+        WorkloadSpec { mix, distribution, ..WorkloadSpec::default() }
+    }
+
+    /// Validates the whole spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.record_count == 0 {
+            return Err("record_count must be positive".to_string());
+        }
+        if self.field_count == 0 {
+            return Err("field_count must be positive".to_string());
+        }
+        if self.max_scan_length == 0 {
+            return Err("max_scan_length must be positive".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.compressibility) {
+            return Err(format!(
+                "compressibility must be in [0, 1], got {}",
+                self.compressibility
+            ));
+        }
+        self.mix.validate()
+    }
+
+    /// The key string for record index `i` (zero-padded, YCSB-style).
+    pub fn key_for(&self, i: u64) -> String {
+        format!("user{i:012}")
+    }
+
+    /// Derives a fresh seed for worker thread `thread` of `threads`.
+    pub fn thread_seed(&self, thread: usize) -> u64 {
+        // Mix with a splitmix-style finalizer so nearby thread indexes do not
+        // produce correlated streams.
+        let mut z = self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Serializes to the JSON shape used in Chronos experiment parameters.
+    pub fn to_json(&self) -> chronos_json::Value {
+        chronos_json::obj! {
+            "record_count" => self.record_count,
+            "operation_count" => self.operation_count,
+            "field_count" => self.field_count,
+            "field_length" => self.field_length,
+            "read" => self.mix.read,
+            "update" => self.mix.update,
+            "insert" => self.mix.insert,
+            "scan" => self.mix.scan,
+            "read_modify_write" => self.mix.read_modify_write,
+            "distribution" => self.distribution.as_str(),
+            "max_scan_length" => self.max_scan_length,
+            "seed" => self.seed,
+            "compressibility" => self.compressibility,
+        }
+    }
+
+    /// Parses the JSON shape produced by [`WorkloadSpec::to_json`]. Missing
+    /// fields fall back to the defaults.
+    pub fn from_json(value: &chronos_json::Value) -> Result<Self, String> {
+        let d = WorkloadSpec::default();
+        let get_u64 = |k: &str, dflt: u64| value.get(k).and_then(|v| v.as_u64()).unwrap_or(dflt);
+        let get_f64 = |k: &str, dflt: f64| value.get(k).and_then(|v| v.as_f64()).unwrap_or(dflt);
+        let distribution = match value.get("distribution").and_then(|v| v.as_str()) {
+            Some(s) => {
+                Distribution::parse(s).ok_or_else(|| format!("unknown distribution {s:?}"))?
+            }
+            None => d.distribution,
+        };
+        let spec = WorkloadSpec {
+            record_count: get_u64("record_count", d.record_count),
+            operation_count: get_u64("operation_count", d.operation_count),
+            field_count: get_u64("field_count", d.field_count as u64) as usize,
+            field_length: get_u64("field_length", d.field_length as u64) as usize,
+            mix: OpMix {
+                read: get_f64("read", d.mix.read),
+                update: get_f64("update", d.mix.update),
+                insert: get_f64("insert", d.mix.insert),
+                scan: get_f64("scan", d.mix.scan),
+                read_modify_write: get_f64("read_modify_write", d.mix.read_modify_write),
+            },
+            distribution,
+            max_scan_length: get_u64("max_scan_length", d.max_scan_length),
+            seed: get_u64("seed", d.seed),
+            compressibility: get_f64("compressibility", d.compressibility),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// A workload-scoped unique run id (handy for collection names).
+    pub fn run_tag(&self) -> String {
+        format!("run-{}", Id::generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_presets_are_valid() {
+        for w in [
+            CoreWorkload::A,
+            CoreWorkload::B,
+            CoreWorkload::C,
+            CoreWorkload::D,
+            CoreWorkload::E,
+            CoreWorkload::F,
+        ] {
+            let spec = WorkloadSpec::core(w);
+            spec.validate().unwrap_or_else(|e| panic!("workload {w:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workload_d_uses_latest() {
+        assert_eq!(WorkloadSpec::core(CoreWorkload::D).distribution, Distribution::Latest);
+        assert_eq!(WorkloadSpec::core(CoreWorkload::A).distribution, Distribution::Zipfian);
+    }
+
+    #[test]
+    fn mix_validation() {
+        let mut spec = WorkloadSpec::default();
+        spec.mix.read = 0.9;
+        assert!(spec.validate().is_err());
+        spec.mix.read = 0.5;
+        assert!(spec.validate().is_ok());
+        spec.mix.update = -0.1;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn zero_counts_rejected() {
+        let spec = WorkloadSpec { record_count: 0, ..WorkloadSpec::default() };
+        assert!(spec.validate().is_err());
+        let spec = WorkloadSpec { field_count: 0, ..WorkloadSpec::default() };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn keys_are_padded_and_ordered() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.key_for(0), "user000000000000");
+        assert_eq!(spec.key_for(42), "user000000000042");
+        assert!(spec.key_for(9) < spec.key_for(10), "lexicographic = numeric order");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = WorkloadSpec::core(CoreWorkload::E);
+        let parsed = WorkloadSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn json_defaults_applied() {
+        let spec = WorkloadSpec::from_json(&chronos_json::obj! {}).unwrap();
+        assert_eq!(spec, WorkloadSpec::default());
+    }
+
+    #[test]
+    fn json_rejects_unknown_distribution() {
+        let bad = chronos_json::obj! { "distribution" => "gaussian" };
+        assert!(WorkloadSpec::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn thread_seeds_differ() {
+        let spec = WorkloadSpec::default();
+        let seeds: Vec<u64> = (0..16).map(|t| spec.thread_seed(t)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn distribution_name_roundtrip() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Zipfian,
+            Distribution::Latest,
+            Distribution::Hotspot,
+            Distribution::Exponential,
+        ] {
+            assert_eq!(Distribution::parse(d.as_str()), Some(d));
+        }
+        assert_eq!(Distribution::parse("nope"), None);
+    }
+}

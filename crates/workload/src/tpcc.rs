@@ -1,0 +1,391 @@
+//! A scaled-down TPC-C-style transactional workload ("tpcc-lite").
+//!
+//! The Chronos paper's future work is to "develop a Chronos Agent that
+//! wraps the OLTP-Bench so as to combine both systems" — OLTP-Bench's
+//! flagship workload being TPC-C. This module implements that direction:
+//! a self-contained generator for the five TPC-C transaction profiles with
+//! the standard mix (45% New-Order, 43% Payment, 4% each Order-Status,
+//! Delivery, Stock-Level), the NURand non-uniform key distribution, and a
+//! scaled-down population (fewer customers/items than the spec, same
+//! structure) sized for embedded-store benchmarking.
+//!
+//! The generator emits *logical* transactions; executing them against a
+//! store (as document reads/writes, without multi-document atomicity —
+//! faithful to the MongoDB generation the demo targets) is the evaluation
+//! client's job (`chronos-agent`'s `TpccClient`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::generators::seeded_rng;
+
+/// Districts per warehouse (TPC-C spec value).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+/// Customers per district (scaled down from the spec's 3000).
+pub const CUSTOMERS_PER_DISTRICT: u64 = 60;
+/// Items in the catalog (scaled down from the spec's 100000).
+pub const ITEMS: u64 = 1_000;
+/// NURand constant A for customer selection.
+const NURAND_A_CUSTOMER: u64 = 1023;
+/// NURand constant A for item selection.
+const NURAND_A_ITEM: u64 = 8191;
+
+/// Configuration for a tpcc-lite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpccConfig {
+    /// Number of warehouses (the scale factor).
+    pub warehouses: u64,
+    /// Transactions per run (across all threads).
+    pub transaction_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig { warehouses: 2, transaction_count: 1_000, seed: 7 }
+    }
+}
+
+/// One logical TPC-C transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TpccTx {
+    /// New-Order: the measured transaction (tpmC counts these).
+    NewOrder {
+        /// Home warehouse.
+        warehouse: u64,
+        /// District within the warehouse.
+        district: u64,
+        /// Ordering customer.
+        customer: u64,
+        /// `(item id, supplying warehouse, quantity)` per order line.
+        lines: Vec<(u64, u64, u32)>,
+    },
+    /// Payment against a customer's balance.
+    Payment {
+        /// Home warehouse.
+        warehouse: u64,
+        /// District.
+        district: u64,
+        /// Paying customer.
+        customer: u64,
+        /// Payment amount (cents).
+        amount_cents: u64,
+    },
+    /// Order-Status: read a customer's most recent order.
+    OrderStatus {
+        /// Warehouse.
+        warehouse: u64,
+        /// District.
+        district: u64,
+        /// Customer.
+        customer: u64,
+    },
+    /// Delivery: process the oldest undelivered order of each district.
+    Delivery {
+        /// Warehouse.
+        warehouse: u64,
+        /// Carrier assigned to the delivery batch.
+        carrier: u32,
+    },
+    /// Stock-Level: count items below a threshold in a district's recent
+    /// orders.
+    StockLevel {
+        /// Warehouse.
+        warehouse: u64,
+        /// District.
+        district: u64,
+        /// Stock threshold.
+        threshold: u32,
+    },
+}
+
+impl TpccTx {
+    /// Metric label for this transaction type.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TpccTx::NewOrder { .. } => "new_order",
+            TpccTx::Payment { .. } => "payment",
+            TpccTx::OrderStatus { .. } => "order_status",
+            TpccTx::Delivery { .. } => "delivery",
+            TpccTx::StockLevel { .. } => "stock_level",
+        }
+    }
+}
+
+/// TPC-C's non-uniform random distribution.
+fn nurand(rng: &mut StdRng, a: u64, x: u64, y: u64, c: u64) -> u64 {
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + c) % (y - x + 1)) + x
+}
+
+/// Shared state for one tpcc-lite run: per-thread transaction streams with
+/// a shared order-id sequence (order keys never collide across threads).
+#[derive(Debug)]
+pub struct TpccRunner {
+    config: TpccConfig,
+    next_order_id: AtomicU64,
+    /// Run-constant NURand C values (per the spec they are chosen once).
+    c_customer: u64,
+    c_item: u64,
+}
+
+impl TpccRunner {
+    /// Creates a runner. Fails when the scale is zero.
+    pub fn new(config: TpccConfig) -> Result<Self, String> {
+        if config.warehouses == 0 {
+            return Err("warehouses must be positive".to_string());
+        }
+        let mut rng = seeded_rng(config.seed ^ 0xC0FFEE);
+        let c_customer = rng.gen_range(0..NURAND_A_CUSTOMER);
+        let c_item = rng.gen_range(0..NURAND_A_ITEM);
+        Ok(TpccRunner {
+            config,
+            next_order_id: AtomicU64::new(1),
+            c_customer,
+            c_item,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// Allocates a globally unique order id.
+    pub fn allocate_order_id(&self) -> u64 {
+        self.next_order_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The transaction stream for `thread` of `threads`.
+    pub fn stream(&self, thread: usize, threads: usize) -> TpccStream<'_> {
+        let threads = threads.max(1);
+        let per_thread = self.config.transaction_count / threads as u64;
+        let count = if thread + 1 == threads {
+            self.config.transaction_count - per_thread * (threads as u64 - 1)
+        } else {
+            per_thread
+        };
+        TpccStream {
+            runner: self,
+            rng: seeded_rng(self.config.seed.wrapping_add(thread as u64 * 0x9E37)),
+            remaining: count,
+        }
+    }
+}
+
+/// Per-thread transaction iterator.
+pub struct TpccStream<'a> {
+    runner: &'a TpccRunner,
+    rng: StdRng,
+    remaining: u64,
+}
+
+impl TpccStream<'_> {
+    fn pick_customer(&mut self) -> u64 {
+        nurand(
+            &mut self.rng,
+            NURAND_A_CUSTOMER,
+            1,
+            CUSTOMERS_PER_DISTRICT,
+            self.runner.c_customer,
+        )
+    }
+
+    fn pick_item(&mut self) -> u64 {
+        nurand(&mut self.rng, NURAND_A_ITEM, 1, ITEMS, self.runner.c_item)
+    }
+}
+
+impl Iterator for TpccStream<'_> {
+    type Item = TpccTx;
+
+    fn next(&mut self) -> Option<TpccTx> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let warehouses = self.runner.config.warehouses;
+        let warehouse = self.rng.gen_range(1..=warehouses);
+        let district = self.rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE);
+        // Standard mix: 45 / 43 / 4 / 4 / 4.
+        let roll: f64 = self.rng.gen();
+        let tx = if roll < 0.45 {
+            let line_count = self.rng.gen_range(5..=15);
+            let lines = (0..line_count)
+                .map(|_| {
+                    let item = self.pick_item();
+                    // 1% of lines are supplied by a remote warehouse.
+                    let supply = if warehouses > 1 && self.rng.gen::<f64>() < 0.01 {
+                        loop {
+                            let other = self.rng.gen_range(1..=warehouses);
+                            if other != warehouse {
+                                break other;
+                            }
+                        }
+                    } else {
+                        warehouse
+                    };
+                    (item, supply, self.rng.gen_range(1..=10u32))
+                })
+                .collect();
+            TpccTx::NewOrder { warehouse, district, customer: self.pick_customer(), lines }
+        } else if roll < 0.88 {
+            TpccTx::Payment {
+                warehouse,
+                district,
+                customer: self.pick_customer(),
+                amount_cents: self.rng.gen_range(100..=500_000),
+            }
+        } else if roll < 0.92 {
+            TpccTx::OrderStatus { warehouse, district, customer: self.pick_customer() }
+        } else if roll < 0.96 {
+            TpccTx::Delivery { warehouse, carrier: self.rng.gen_range(1..=10) }
+        } else {
+            TpccTx::StockLevel { warehouse, district, threshold: self.rng.gen_range(10..=20) }
+        };
+        Some(tx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Document keys for the tpcc-lite population (shared between loader and
+/// executor so both sides agree).
+pub mod keys {
+    /// Warehouse document key.
+    pub fn warehouse(w: u64) -> String {
+        format!("w{w:04}")
+    }
+
+    /// District document key.
+    pub fn district(w: u64, d: u64) -> String {
+        format!("w{w:04}d{d:02}")
+    }
+
+    /// Customer document key.
+    pub fn customer(w: u64, d: u64, c: u64) -> String {
+        format!("w{w:04}d{d:02}c{c:04}")
+    }
+
+    /// Item document key.
+    pub fn item(i: u64) -> String {
+        format!("i{i:06}")
+    }
+
+    /// Stock document key.
+    pub fn stock(w: u64, i: u64) -> String {
+        format!("w{w:04}i{i:06}")
+    }
+
+    /// Order document key — zero-padded so key order equals order age.
+    pub fn order(o: u64) -> String {
+        format!("o{o:010}")
+    }
+
+    /// New-order (undelivered) marker key; prefix-scannable per district.
+    pub fn new_order(w: u64, d: u64, o: u64) -> String {
+        format!("w{w:04}d{d:02}o{o:010}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_roughly_standard() {
+        let runner = TpccRunner::new(TpccConfig {
+            warehouses: 3,
+            transaction_count: 40_000,
+            seed: 1,
+        })
+        .unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for tx in runner.stream(0, 1) {
+            *counts.entry(tx.kind()).or_insert(0usize) += 1;
+        }
+        let frac = |k: &str| counts.get(k).copied().unwrap_or(0) as f64 / 40_000.0;
+        assert!((frac("new_order") - 0.45).abs() < 0.01, "{}", frac("new_order"));
+        assert!((frac("payment") - 0.43).abs() < 0.01);
+        assert!((frac("order_status") - 0.04).abs() < 0.005);
+        assert!((frac("delivery") - 0.04).abs() < 0.005);
+        assert!((frac("stock_level") - 0.04).abs() < 0.005);
+    }
+
+    #[test]
+    fn new_order_lines_are_well_formed() {
+        let runner = TpccRunner::new(TpccConfig::default()).unwrap();
+        for tx in runner.stream(0, 1).take(2_000) {
+            if let TpccTx::NewOrder { warehouse, district, customer, lines } = tx {
+                assert!((1..=2).contains(&warehouse));
+                assert!((1..=DISTRICTS_PER_WAREHOUSE).contains(&district));
+                assert!((1..=CUSTOMERS_PER_DISTRICT).contains(&customer));
+                assert!((5..=15).contains(&lines.len()));
+                for (item, supply, qty) in lines {
+                    assert!((1..=ITEMS).contains(&item));
+                    assert!((1..=2).contains(&supply));
+                    assert!((1..=10).contains(&qty));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed_but_covers() {
+        let mut rng = seeded_rng(5);
+        let mut counts = vec![0u32; (CUSTOMERS_PER_DISTRICT + 1) as usize];
+        for _ in 0..60_000 {
+            let c = nurand(&mut rng, NURAND_A_CUSTOMER, 1, CUSTOMERS_PER_DISTRICT, 77);
+            assert!((1..=CUSTOMERS_PER_DISTRICT).contains(&c));
+            counts[c as usize] += 1;
+        }
+        let covered = counts[1..].iter().filter(|&&c| c > 0).count() as u64;
+        assert_eq!(covered, CUSTOMERS_PER_DISTRICT, "all customers reachable");
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = counts[1..].iter().copied().min().unwrap() as f64;
+        assert!(max / min.max(1.0) > 1.5, "distribution must be non-uniform");
+    }
+
+    #[test]
+    fn streams_split_and_are_deterministic() {
+        let runner = TpccRunner::new(TpccConfig {
+            transaction_count: 1_001,
+            ..TpccConfig::default()
+        })
+        .unwrap();
+        let total: usize = (0..4).map(|t| runner.stream(t, 4).count()).sum();
+        assert_eq!(total, 1_001);
+        let a: Vec<TpccTx> = runner.stream(0, 4).collect();
+        let b: Vec<TpccTx> = runner.stream(0, 4).collect();
+        assert_eq!(a, b);
+        let other: Vec<TpccTx> = runner.stream(1, 4).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn order_ids_are_unique_across_threads() {
+        let runner = TpccRunner::new(TpccConfig::default()).unwrap();
+        let ids = chronos_util::pool::scoped_indexed(4, |_| {
+            (0..100).map(|_| runner.allocate_order_id()).collect::<Vec<_>>()
+        });
+        let flat: Vec<u64> = ids.into_iter().flatten().collect();
+        let unique: std::collections::HashSet<_> = flat.iter().collect();
+        assert_eq!(unique.len(), flat.len());
+    }
+
+    #[test]
+    fn zero_warehouses_rejected() {
+        assert!(TpccRunner::new(TpccConfig { warehouses: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn keys_sort_by_recency() {
+        assert!(keys::order(9) < keys::order(10));
+        assert!(keys::new_order(1, 2, 5) < keys::new_order(1, 2, 6));
+        assert!(keys::new_order(1, 2, 999) < keys::new_order(1, 3, 0), "district prefixes");
+    }
+}

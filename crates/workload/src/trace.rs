@@ -1,0 +1,160 @@
+//! Operation-trace recording and replay.
+//!
+//! Chronos archives "all parameter settings which have led to these
+//! results" (requirement *(iv)*); for full reproducibility an evaluation
+//! can additionally record the *exact operation stream* it executed and
+//! attach it to the result zip. A trace is JSON-lines (one operation per
+//! line), so it is diffable, streamable and consumable outside Rust.
+
+use chronos_util::encode::{base64_decode, base64_encode};
+
+use crate::runner::Operation;
+
+/// Serializes one operation to its JSON-line form.
+pub fn operation_to_json(op: &Operation) -> chronos_json::Value {
+    use chronos_json::{obj, Value};
+    let fields_json = |fields: &Vec<(String, String)>| {
+        let mut map = chronos_json::Map::with_capacity(fields.len());
+        for (name, value) in fields {
+            // Values may be arbitrary bytes-as-strings; base64 keeps the
+            // trace line-safe regardless of content.
+            map.insert(name.clone(), Value::from(base64_encode(value.as_bytes())));
+        }
+        Value::Object(map)
+    };
+    match op {
+        Operation::Read { key } => obj! {"op" => "read", "key" => key.as_str()},
+        Operation::Update { key, fields } => {
+            obj! {"op" => "update", "key" => key.as_str(), "fields" => fields_json(fields)}
+        }
+        Operation::Insert { key, fields } => {
+            obj! {"op" => "insert", "key" => key.as_str(), "fields" => fields_json(fields)}
+        }
+        Operation::Scan { start_key, count } => {
+            obj! {"op" => "scan", "start_key" => start_key.as_str(), "count" => *count}
+        }
+        Operation::ReadModifyWrite { key, fields } => {
+            obj! {"op" => "rmw", "key" => key.as_str(), "fields" => fields_json(fields)}
+        }
+    }
+}
+
+/// Parses one operation from its JSON form.
+pub fn operation_from_json(value: &chronos_json::Value) -> Result<Operation, String> {
+    use chronos_json::Value;
+    let op = value.get("op").and_then(Value::as_str).ok_or("missing \"op\"")?;
+    let key = |field: &str| -> Result<String, String> {
+        value
+            .get(field)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing {field:?}"))
+    };
+    let fields = || -> Result<Vec<(String, String)>, String> {
+        let map = value
+            .get("fields")
+            .and_then(Value::as_object)
+            .ok_or("missing \"fields\"")?;
+        map.iter()
+            .map(|(name, v)| {
+                let b64 = v.as_str().ok_or("field value must be a string")?;
+                let bytes = base64_decode(b64).ok_or("bad base64 field value")?;
+                let text =
+                    String::from_utf8(bytes).map_err(|_| "field value not UTF-8".to_string())?;
+                Ok((name.to_string(), text))
+            })
+            .collect()
+    };
+    match op {
+        "read" => Ok(Operation::Read { key: key("key")? }),
+        "update" => Ok(Operation::Update { key: key("key")?, fields: fields()? }),
+        "insert" => Ok(Operation::Insert { key: key("key")?, fields: fields()? }),
+        "scan" => Ok(Operation::Scan {
+            start_key: key("start_key")?,
+            count: value.get("count").and_then(Value::as_u64).ok_or("missing \"count\"")?,
+        }),
+        "rmw" => Ok(Operation::ReadModifyWrite { key: key("key")?, fields: fields()? }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Records an operation stream as a JSON-lines trace.
+pub fn record<I: IntoIterator<Item = Operation>>(ops: I) -> String {
+    let mut out = String::new();
+    for op in ops {
+        out.push_str(&operation_to_json(&op).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Replays a JSON-lines trace back into operations. Fails on the first
+/// malformed line (with its 1-based line number).
+pub fn replay(trace: &str) -> Result<Vec<Operation>, String> {
+    trace
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let value = chronos_json::parse(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            operation_from_json(&value).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CoreWorkload, WorkloadSpec};
+    use crate::WorkloadRunner;
+
+    #[test]
+    fn roundtrip_every_operation_kind() {
+        let ops = vec![
+            Operation::Read { key: "user1".into() },
+            Operation::Update {
+                key: "user2".into(),
+                fields: vec![("f0".into(), "plain".into()), ("f1".into(), "with,comma\n".into())],
+            },
+            Operation::Insert { key: "user3".into(), fields: vec![("f".into(), "v".into())] },
+            Operation::Scan { start_key: "user4".into(), count: 42 },
+            Operation::ReadModifyWrite {
+                key: "user5".into(),
+                fields: vec![("f".into(), "ünïcode 😀".into())],
+            },
+        ];
+        let trace = record(ops.clone());
+        assert_eq!(trace.lines().count(), 5);
+        assert_eq!(replay(&trace).unwrap(), ops);
+    }
+
+    #[test]
+    fn real_workload_stream_roundtrips() {
+        let spec = WorkloadSpec {
+            record_count: 50,
+            operation_count: 200,
+            ..WorkloadSpec::core(CoreWorkload::A)
+        };
+        let runner = WorkloadRunner::new(spec).unwrap();
+        let ops: Vec<Operation> = runner.stream(0, 1).collect();
+        let trace = record(ops.clone());
+        assert_eq!(replay(&trace).unwrap(), ops);
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let err = replay("{\"op\":\"read\",\"key\":\"a\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = replay("{\"op\":\"warp\"}").unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+        let err = replay("{\"op\":\"scan\",\"start_key\":\"a\"}").unwrap_err();
+        assert!(err.contains("count"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let trace = "\n{\"op\":\"read\",\"key\":\"a\"}\n\n";
+        assert_eq!(replay(trace).unwrap().len(), 1);
+    }
+}

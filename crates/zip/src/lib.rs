@@ -1,0 +1,109 @@
+//! Minimal ZIP archive support for Chronos.
+//!
+//! Every Chronos job result consists of "a JSON and a zip file" (paper,
+//! §2.1), and archiving a project produces a zip bundle of all settings and
+//! results (requirement *(iv)*). This crate implements the subset of the
+//! PKWARE APPNOTE format those features need, from scratch:
+//!
+//! * [`ZipWriter`] — streams entries using the STORE method (no
+//!   compression; result payloads are dominated by already-compact binary
+//!   measurements and the wiredTiger-like engine compresses its own pages).
+//! * [`ZipArchive`] — parses the central directory of an archive produced by
+//!   this crate (or any other STORE-only archive) and extracts entries,
+//!   verifying CRC-32 checksums.
+//!
+//! ```
+//! use chronos_zip::{ZipArchive, ZipWriter};
+//! let mut w = ZipWriter::new();
+//! w.add_file("results/result.json", b"{\"ok\":true}").unwrap();
+//! let bytes = w.finish();
+//! let archive = ZipArchive::parse(&bytes).unwrap();
+//! assert_eq!(archive.read("results/result.json").unwrap(), b"{\"ok\":true}");
+//! ```
+
+mod read;
+mod write;
+
+pub use read::{ZipArchive, ZipEntry};
+pub use write::ZipWriter;
+
+use std::fmt;
+
+/// Errors raised by the ZIP substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZipError {
+    /// The end-of-central-directory record could not be located.
+    MissingEndOfCentralDirectory,
+    /// A structure was truncated or an offset points outside the buffer.
+    Truncated,
+    /// A magic number did not match the expected signature.
+    BadSignature(&'static str),
+    /// The entry uses a compression method this crate does not implement.
+    UnsupportedMethod(u16),
+    /// The entry's CRC-32 did not match its payload.
+    ChecksumMismatch { name: String, expected: u32, actual: u32 },
+    /// No entry with the requested name exists.
+    NotFound(String),
+    /// An entry name is invalid (empty, absolute, or contains `..`).
+    BadEntryName(String),
+    /// A duplicate entry name was added to a writer.
+    DuplicateEntry(String),
+    /// An entry or the archive exceeds the 32-bit format limits (no ZIP64).
+    TooLarge,
+}
+
+impl fmt::Display for ZipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZipError::MissingEndOfCentralDirectory => {
+                write!(f, "end of central directory record not found")
+            }
+            ZipError::Truncated => write!(f, "archive is truncated"),
+            ZipError::BadSignature(what) => write!(f, "bad signature for {what}"),
+            ZipError::UnsupportedMethod(m) => {
+                write!(f, "unsupported compression method {m}")
+            }
+            ZipError::ChecksumMismatch { name, expected, actual } => write!(
+                f,
+                "checksum mismatch for {name}: expected {expected:08x}, got {actual:08x}"
+            ),
+            ZipError::NotFound(name) => write!(f, "entry not found: {name}"),
+            ZipError::BadEntryName(name) => write!(f, "invalid entry name: {name}"),
+            ZipError::DuplicateEntry(name) => write!(f, "duplicate entry: {name}"),
+            ZipError::TooLarge => write!(f, "archive exceeds 32-bit ZIP limits"),
+        }
+    }
+}
+
+impl std::error::Error for ZipError {}
+
+/// Validates an entry name: relative, non-empty, forward slashes, no `..`
+/// traversal (results come from remote agents, so names are untrusted).
+pub(crate) fn validate_name(name: &str) -> Result<(), ZipError> {
+    if name.is_empty()
+        || name.len() > u16::MAX as usize
+        || name.starts_with('/')
+        || name.contains('\\')
+        || name.split('/').any(|part| part == ".." || part == "." || part.is_empty())
+    {
+        return Err(ZipError::BadEntryName(name.to_string()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("a.json").is_ok());
+        assert!(validate_name("dir/sub/file.txt").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("/abs").is_err());
+        assert!(validate_name("a//b").is_err());
+        assert!(validate_name("a/../b").is_err());
+        assert!(validate_name("./a").is_err());
+        assert!(validate_name("win\\path").is_err());
+    }
+}

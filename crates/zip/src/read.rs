@@ -1,0 +1,235 @@
+//! ZIP reader: central-directory parsing and entry extraction.
+
+use chronos_util::encode::crc32;
+
+use crate::ZipError;
+
+const LOCAL_HEADER_SIG: u32 = 0x0403_4B50;
+const CENTRAL_HEADER_SIG: u32 = 0x0201_4B50;
+const EOCD_SIG: u32 = 0x0605_4B50;
+
+/// Metadata for one archive entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipEntry {
+    /// Entry name (forward-slash separated, UTF-8).
+    pub name: String,
+    /// Uncompressed size in bytes.
+    pub size: u32,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+    /// True for directory entries (name ends with `/`).
+    pub is_dir: bool,
+    offset: u32,
+}
+
+/// A parsed in-memory ZIP archive.
+///
+/// Parsing reads only the central directory; payload bytes are extracted
+/// (and checksum-verified) on demand by [`ZipArchive::read`].
+#[derive(Debug)]
+pub struct ZipArchive<'a> {
+    data: &'a [u8],
+    entries: Vec<ZipEntry>,
+}
+
+impl<'a> ZipArchive<'a> {
+    /// Parses the archive's central directory.
+    pub fn parse(data: &'a [u8]) -> Result<Self, ZipError> {
+        let eocd = find_eocd(data)?;
+        let entry_count = read_u16(data, eocd + 10)? as usize;
+        let cd_offset = read_u32(data, eocd + 16)? as usize;
+        let mut entries = Vec::with_capacity(entry_count);
+        let mut pos = cd_offset;
+        for _ in 0..entry_count {
+            if read_u32(data, pos)? != CENTRAL_HEADER_SIG {
+                return Err(ZipError::BadSignature("central directory header"));
+            }
+            let method = read_u16(data, pos + 10)?;
+            if method != 0 {
+                return Err(ZipError::UnsupportedMethod(method));
+            }
+            let crc = read_u32(data, pos + 16)?;
+            let size = read_u32(data, pos + 24)?;
+            let name_len = read_u16(data, pos + 28)? as usize;
+            let extra_len = read_u16(data, pos + 30)? as usize;
+            let comment_len = read_u16(data, pos + 32)? as usize;
+            let offset = read_u32(data, pos + 42)?;
+            let name_start = pos + 46;
+            let name_bytes =
+                data.get(name_start..name_start + name_len).ok_or(ZipError::Truncated)?;
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| ZipError::BadSignature("entry name (not UTF-8)"))?;
+            let is_dir = name.ends_with('/');
+            entries.push(ZipEntry { name, size, crc, is_dir, offset });
+            pos = name_start + name_len + extra_len + comment_len;
+        }
+        Ok(ZipArchive { data, entries })
+    }
+
+    /// All entries in central-directory order.
+    pub fn entries(&self) -> &[ZipEntry] {
+        &self.entries
+    }
+
+    /// Names of all entries.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the archive has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up entry metadata by name.
+    pub fn entry(&self, name: &str) -> Option<&ZipEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Extracts and checksum-verifies the named entry's payload.
+    pub fn read(&self, name: &str) -> Result<Vec<u8>, ZipError> {
+        let entry = self.entry(name).ok_or_else(|| ZipError::NotFound(name.to_string()))?;
+        let pos = entry.offset as usize;
+        if read_u32(self.data, pos)? != LOCAL_HEADER_SIG {
+            return Err(ZipError::BadSignature("local file header"));
+        }
+        let name_len = read_u16(self.data, pos + 26)? as usize;
+        let extra_len = read_u16(self.data, pos + 28)? as usize;
+        let data_start = pos + 30 + name_len + extra_len;
+        let payload = self
+            .data
+            .get(data_start..data_start + entry.size as usize)
+            .ok_or(ZipError::Truncated)?;
+        let actual = crc32(payload);
+        if actual != entry.crc {
+            return Err(ZipError::ChecksumMismatch {
+                name: name.to_string(),
+                expected: entry.crc,
+                actual,
+            });
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+/// Scans backwards for the end-of-central-directory record (it is the last
+/// structure in the file, possibly followed by a comment of up to 64 KiB).
+fn find_eocd(data: &[u8]) -> Result<usize, ZipError> {
+    if data.len() < 22 {
+        return Err(ZipError::MissingEndOfCentralDirectory);
+    }
+    let search_floor = data.len().saturating_sub(22 + u16::MAX as usize);
+    let mut pos = data.len() - 22;
+    loop {
+        if read_u32(data, pos)? == EOCD_SIG {
+            // Validate the comment length so a signature embedded in a
+            // comment is not mistaken for the real record.
+            let comment_len = read_u16(data, pos + 20)? as usize;
+            if pos + 22 + comment_len == data.len() {
+                return Ok(pos);
+            }
+        }
+        if pos == search_floor {
+            return Err(ZipError::MissingEndOfCentralDirectory);
+        }
+        pos -= 1;
+    }
+}
+
+fn read_u16(data: &[u8], pos: usize) -> Result<u16, ZipError> {
+    data.get(pos..pos + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or(ZipError::Truncated)
+}
+
+fn read_u32(data: &[u8], pos: usize) -> Result<u32, ZipError> {
+    data.get(pos..pos + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or(ZipError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ZipWriter;
+
+    fn sample() -> Vec<u8> {
+        let mut w = ZipWriter::new();
+        w.add_directory("results").unwrap();
+        w.add_file("results/result.json", br#"{"throughput": 1234}"#).unwrap();
+        w.add_file("results/log.txt", b"line1\nline2\n").unwrap();
+        w.add_file("empty.bin", b"").unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn roundtrip_all_entries() {
+        let bytes = sample();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(archive.len(), 4);
+        assert_eq!(
+            archive.names(),
+            vec!["results/", "results/result.json", "results/log.txt", "empty.bin"]
+        );
+        assert_eq!(archive.read("results/result.json").unwrap(), br#"{"throughput": 1234}"#);
+        assert_eq!(archive.read("results/log.txt").unwrap(), b"line1\nline2\n");
+        assert_eq!(archive.read("empty.bin").unwrap(), b"");
+    }
+
+    #[test]
+    fn directory_entries_flagged() {
+        let bytes = sample();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        assert!(archive.entry("results/").unwrap().is_dir);
+        assert!(!archive.entry("empty.bin").unwrap().is_dir);
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let bytes = sample();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(archive.read("nope"), Err(ZipError::NotFound("nope".into())));
+    }
+
+    #[test]
+    fn empty_archive_parses() {
+        let bytes = ZipWriter::new().finish();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        assert!(archive.is_empty());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut bytes = sample();
+        // Flip a byte inside the JSON payload (locate it first).
+        let needle = b"1234";
+        let pos = bytes.windows(4).position(|w| w == needle).unwrap();
+        bytes[pos] = b'9';
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        assert!(matches!(
+            archive.read("results/result.json"),
+            Err(ZipError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_archive_fails() {
+        let bytes = sample();
+        assert!(ZipArchive::parse(&bytes[..bytes.len() - 5]).is_err());
+        assert_eq!(
+            ZipArchive::parse(&bytes[..10]).unwrap_err(),
+            ZipError::MissingEndOfCentralDirectory
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ZipArchive::parse(b"definitely not a zip file at all......").is_err());
+        assert!(ZipArchive::parse(b"").is_err());
+    }
+}

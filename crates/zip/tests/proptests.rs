@@ -1,0 +1,52 @@
+//! Property tests: any set of valid entries must round-trip byte-exactly
+//! through write → parse → read, and the parser must never panic on
+//! arbitrary bytes.
+
+use chronos_zip::{ZipArchive, ZipWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_entries(
+        entries in prop::collection::btree_map(
+            "[a-zA-Z0-9_-]{1,20}(/[a-zA-Z0-9_-]{1,10}){0,3}",
+            prop::collection::vec(any::<u8>(), 0..2048),
+            0..16,
+        )
+    ) {
+        let mut w = ZipWriter::new();
+        for (name, data) in &entries {
+            w.add_file(name, data).unwrap();
+        }
+        let bytes = w.finish();
+        let archive = ZipArchive::parse(&bytes).unwrap();
+        prop_assert_eq!(archive.len(), entries.len());
+        for (name, data) in &entries {
+            prop_assert_eq!(&archive.read(name).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = ZipArchive::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_archives(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut w = ZipWriter::new();
+        w.add_file("payload.bin", &data).unwrap();
+        let mut bytes = w.finish();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] = val;
+        }
+        if let Ok(archive) = ZipArchive::parse(&bytes) {
+            for entry in archive.entries() {
+                let _ = archive.read(&entry.name);
+            }
+        }
+    }
+}

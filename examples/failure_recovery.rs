@@ -1,0 +1,135 @@
+//! Requirement *(iii)* — reliability: automated failure handling and
+//! recovery of failed evaluation runs (and paper Fig. 3c: the job page's
+//! abort / reschedule controls and event timeline).
+//!
+//! This example runs a deliberately flaky evaluation client that crashes on
+//! its first two attempts, and shows Chronos Control failing, automatically
+//! re-scheduling, and finally completing the job — then demonstrates the
+//! heartbeat-timeout path with an agent that silently dies mid-job.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos::agent::{
+    AgentConfig, ChronosAgent, ControlClient, EvaluationClient, JobContext,
+};
+use chronos::core::auth::Role;
+use chronos::core::params::ParamAssignments;
+use chronos::core::scheduler::SchedulerConfig;
+use chronos::core::store::MetadataStore;
+use chronos::core::ChronosControl;
+use chronos::json::{obj, Value};
+use chronos::server::ChronosServer;
+use chronos::util::SystemClock;
+
+/// An evaluation client that crashes until its third attempt — a stand-in
+/// for the flaky benchmark binaries long evaluations inevitably meet.
+struct FlakyClient {
+    attempts: Arc<AtomicU32>,
+}
+
+impl EvaluationClient for FlakyClient {
+    fn name(&self) -> &str {
+        "flaky-benchmark"
+    }
+
+    fn set_up(&mut self, ctx: &JobContext) -> Result<(), String> {
+        let attempt = self.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+        ctx.log(format!("attempt {attempt} starting"));
+        match attempt {
+            1 => Err("segfault in benchmark binary".to_string()),
+            2 => panic!("simulated hard crash"), // the agent catches panics
+            _ => Ok(()),
+        }
+    }
+
+    fn execute(&mut self, ctx: &JobContext) -> Result<Value, String> {
+        ctx.set_progress(100);
+        Ok(obj! {"throughput_ops_per_sec" => 1234.5})
+    }
+}
+
+fn main() {
+    // Policy: up to 3 attempts, auto-reschedule, 1 s heartbeat lease.
+    let control = Arc::new(ChronosControl::new(
+        MetadataStore::in_memory(),
+        Arc::new(SystemClock),
+        SchedulerConfig {
+            heartbeat_timeout_millis: 1_000,
+            max_attempts: 3,
+            auto_reschedule: true,
+        },
+    ));
+    control.create_user("demo", "pw", Role::Admin).unwrap();
+    let server = ChronosServer::start(Arc::clone(&control), "127.0.0.1:0").unwrap();
+
+    let system = control.register_system("flaky-sut", "", vec![], vec![]).unwrap();
+    let deployment = control.create_deployment(system.id, "localhost", "1").unwrap();
+    let owner = control.find_user("demo").unwrap();
+    let project = control.create_project("reliability-demo", "", owner.id).unwrap();
+    let experiment = control
+        .create_experiment(project.id, system.id, "crashy", "", ParamAssignments::new())
+        .unwrap();
+    let evaluation = control.create_evaluation(experiment.id).unwrap();
+    let job_id = evaluation.job_ids[0];
+
+    // --- part 1: reported failures + automatic rescheduling ---------------
+    println!("part 1: evaluation client crashes on attempts 1 and 2\n");
+    let token = control.login("demo", "pw").unwrap();
+    let attempts = Arc::new(AtomicU32::new(0));
+    let mut agent = ChronosAgent::new(
+        ControlClient::new(&server.base_url(), &token),
+        AgentConfig::new(deployment.id),
+        FlakyClient { attempts: Arc::clone(&attempts) },
+    );
+    // Three runs: fail, fail (panic), succeed — auto-reschedule in between.
+    for round in 1..=3 {
+        let ran = agent.run_once().unwrap();
+        let job = control.get_job(job_id).unwrap();
+        println!("round {round}: ran={ran} -> state={} attempts={}", job.state, job.attempts);
+    }
+    let job = control.get_job(job_id).unwrap();
+    assert_eq!(job.state.as_str(), "finished");
+    println!("\njob timeline (paper Fig. 3c):");
+    for event in &job.timeline {
+        println!(
+            "  {} {:>10}  {}",
+            chronos::util::clock::format_timestamp(event.at),
+            event.kind,
+            event.message
+        );
+    }
+
+    // --- part 2: heartbeat timeout (agent dies silently) ------------------
+    println!("\npart 2: agent dies mid-job; the lease expires\n");
+    let evaluation = control.create_evaluation(experiment.id).unwrap();
+    let job_id = evaluation.job_ids[0];
+    // Claim the job and never heartbeat again (the "agent" vanished).
+    let claimed = control.claim_next_job(deployment.id).unwrap().unwrap();
+    assert_eq!(claimed.id, job_id);
+    println!("job claimed by a doomed agent; waiting for the sweeper...");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let job = control.get_job(job_id).unwrap();
+        if job.state.as_str() == "scheduled" {
+            println!("sweeper failed + re-scheduled the job automatically:");
+            for event in job.timeline.iter().skip(1) {
+                println!("  {:>10}  {}", event.kind, event.message);
+            }
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "sweeper never fired");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // A healthy agent finishes the recovered job.
+    let ran = agent.run_once().unwrap();
+    let job = control.get_job(job_id).unwrap();
+    println!("\nhealthy agent ran={ran} -> final state: {}", job.state);
+    assert_eq!(job.state.as_str(), "finished");
+}

@@ -1,0 +1,123 @@
+//! The paper's future-work direction, realized: "we plan to develop a
+//! Chronos Agent that wraps the OLTP-Bench so as to combine both systems"
+//! (§4). This example runs the bundled TPC-C-style evaluation client
+//! through a full Chronos evaluation — both storage engines, standard
+//! transaction mix — and prints the tpmC-style readout.
+//!
+//! ```text
+//! cargo run --release --example oltp_transactions
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, TpccClient};
+use chronos::core::analysis;
+use chronos::core::auth::Role;
+use chronos::core::charts::{ChartRegistry, ChartSpec};
+use chronos::core::params::{ParamAssignments, ParamDef, ParamType};
+use chronos::core::ChronosControl;
+use chronos::json::Value;
+use chronos::server::ChronosServer;
+
+fn main() {
+    let control = Arc::new(ChronosControl::in_memory());
+    control.create_user("demo", "pw", Role::Admin).unwrap();
+    let server = ChronosServer::start(Arc::clone(&control), "127.0.0.1:0").unwrap();
+
+    let system = control
+        .register_system(
+            "minidoc-tpcc",
+            "tpcc-lite transactional benchmark over minidoc",
+            vec![
+                ParamDef::new(
+                    "engine",
+                    "storage engine",
+                    ParamType::Checkbox {
+                        options: vec!["wiredtiger".into(), "mmapv1".into()],
+                    },
+                    Value::from("wiredtiger"),
+                )
+                .unwrap(),
+                ParamDef::new(
+                    "threads",
+                    "terminals",
+                    ParamType::Interval { min: 1, max: 16, step: 1 },
+                    Value::from(4),
+                )
+                .unwrap(),
+                ParamDef::new("warehouses", "scale factor", ParamType::Value, Value::from(2))
+                    .unwrap(),
+                ParamDef::new(
+                    "transaction_count",
+                    "transactions per run",
+                    ParamType::Value,
+                    Value::from(2_000),
+                )
+                .unwrap(),
+                ParamDef::new(
+                    "durability",
+                    "disk-backed with synced journal/WAL",
+                    ParamType::Boolean,
+                    Value::Bool(true),
+                )
+                .unwrap(),
+            ],
+            vec![ChartSpec {
+                kind: "bar".into(),
+                title: "New-Orders per minute by engine".into(),
+                x_param: "engine".into(),
+                series_param: None,
+                value_path: "/new_orders_per_minute".into(),
+                y_label: "new-orders/min".into(),
+            }],
+        )
+        .unwrap();
+    let deployment = control.create_deployment(system.id, "localhost", "0.1.0").unwrap();
+    let owner = control.find_user("demo").unwrap();
+    let project = control.create_project("oltp", "", owner.id).unwrap();
+    let experiment = control
+        .create_experiment(
+            project.id,
+            system.id,
+            "tpcc engines",
+            "standard 45/43/4/4/4 mix",
+            ParamAssignments::new().sweep_all("engine"),
+        )
+        .unwrap();
+    let evaluation = control.create_evaluation(experiment.id).unwrap();
+    println!("running {} tpcc-lite jobs...", evaluation.job_ids.len());
+
+    let token = control.login("demo", "pw").unwrap();
+    let mut agent = ChronosAgent::new(
+        ControlClient::new(&server.base_url(), &token),
+        AgentConfig::new(deployment.id),
+        TpccClient::new(),
+    );
+    agent.run_until_idle(Duration::from_millis(300)).unwrap();
+
+    // The per-engine readout.
+    println!();
+    for job in control.list_jobs(evaluation.id).unwrap() {
+        let engine = job
+            .parameters
+            .get("engine")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let result = control.result_for_job(job.id).unwrap().expect("job finished");
+        let get_f = |p: &str| result.data.pointer(p).and_then(Value::as_f64).unwrap_or(0.0);
+        let get_u = |p: &str| result.data.pointer(p).and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "{engine:>11}: {:>8.0} tx/s  {:>9.0} new-orders/min  p99(new_order)={} µs  p99(payment)={} µs",
+            get_f("/throughput_ops_per_sec"),
+            get_f("/new_orders_per_minute"),
+            get_u("/operations/new_order/latency_micros/p99"),
+            get_u("/operations/payment/latency_micros/p99"),
+        );
+    }
+
+    let registry = ChartRegistry::with_builtins();
+    let data = analysis::chart_data(&control, evaluation.id, &system.charts[0]).unwrap();
+    println!("\n{}", registry.render_ascii(&system.charts[0], &data).unwrap());
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the whole Chronos workflow in one process.
+//!
+//! Starts Chronos Control, registers the bundled `minidoc` system, creates
+//! a project + experiment, runs the evaluation through a Chronos Agent and
+//! prints the analyzed result — the paper's §3 walkthrough, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, DocstoreClient};
+use chronos::core::analysis;
+use chronos::core::auth::Role;
+use chronos::core::charts::ChartRegistry;
+use chronos::core::params::ParamAssignments;
+use chronos::core::ChronosControl;
+use chronos::json::Value;
+use chronos::server::ChronosServer;
+use chronos::util::Id;
+
+fn main() {
+    // 1. Start Chronos Control (in-memory store, real HTTP on an ephemeral
+    //    port) and create an account.
+    let control = Arc::new(ChronosControl::in_memory());
+    control.create_user("demo", "demo-pw", Role::Admin).unwrap();
+    let server = ChronosServer::start(Arc::clone(&control), "127.0.0.1:0").unwrap();
+    println!("Chronos Control running at {}", server.base_url());
+
+    // 2. Register the system under evaluation with its parameter schema and
+    //    result charts (paper Fig. 2), plus one deployment.
+    let definition = chronos::json::parse(include_str!("minidoc_system.json")).unwrap();
+    let system = control.register_system_from_definition(&definition).unwrap();
+    let deployment = control.create_deployment(system.id, "localhost", "0.1.0").unwrap();
+    println!("registered system '{}' with {} parameters", system.name, system.parameters.len());
+
+    // 3. Create a project and an experiment sweeping engine x threads
+    //    (paper Fig. 3a) and run it as an evaluation.
+    let owner = control.find_user("demo").unwrap();
+    let project = control.create_project("quickstart", "demo project", owner.id).unwrap();
+    let experiment = control
+        .create_experiment(
+            project.id,
+            system.id,
+            "engine comparison",
+            "wiredTiger vs mmapv1",
+            ParamAssignments::new()
+                .sweep_all("engine")
+                .sweep("threads", vec![Value::from(1), Value::from(2), Value::from(4)])
+                .fix("record_count", 2_000)
+                .fix("operation_count", 20_000),
+        )
+        .unwrap();
+    let evaluation = control.create_evaluation(experiment.id).unwrap();
+    println!(
+        "evaluation {} created with {} jobs (engine x threads)",
+        evaluation.id,
+        evaluation.job_ids.len()
+    );
+
+    // 4. Run a Chronos Agent against the REST API until the queue drains.
+    let token = control.login("demo", "demo-pw").unwrap();
+    let client = ControlClient::new(&server.base_url(), &token);
+    let mut agent = ChronosAgent::new(
+        client,
+        AgentConfig::new(deployment.id),
+        DocstoreClient::new(),
+    );
+    let completed = agent.run_until_idle(Duration::from_millis(300)).unwrap();
+    println!("agent completed {completed} jobs");
+
+    // 5. Analyze: status roll-up, summary and the declared charts
+    //    (paper Fig. 3b/3d).
+    let status = control.evaluation_status(evaluation.id).unwrap();
+    println!(
+        "status: {} finished / {} failed / {} total",
+        status.finished,
+        status.failed,
+        status.total()
+    );
+    let registry = ChartRegistry::with_builtins();
+    for spec in &system.charts {
+        let data = analysis::chart_data(&control, evaluation.id, spec).unwrap();
+        println!("\n{}", registry.render_ascii(spec, &data).unwrap());
+    }
+
+    // 6. Who wins? (the demo's question)
+    let spec = &system.charts[0];
+    let data = analysis::chart_data(&control, evaluation.id, spec).unwrap();
+    let comparison = analysis::compare_series(&data, "wiredtiger", "mmapv1").unwrap();
+    println!("wiredtiger vs mmapv1: {}", comparison.to_pretty_string());
+
+    // 7. Archive everything (requirement iv).
+    let archive = chronos::core::archive::archive_project(&control, project.id).unwrap();
+    let out = std::env::temp_dir().join(format!("chronos-quickstart-{}.zip", Id::generate()));
+    std::fs::write(&out, &archive).unwrap();
+    println!("\nproject archived to {} ({} bytes)", out.display(), archive.len());
+}

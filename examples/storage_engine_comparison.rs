@@ -1,0 +1,136 @@
+//! The paper's demonstration (§3): comparative evaluation of the two
+//! storage engines — wiredTiger-like vs mmapv1-like — across client thread
+//! counts, with the analysis Chronos renders on the result page (Fig. 3d).
+//!
+//! Runs in the durable (disk-backed, synced) configuration, where the
+//! engines' architectural difference is starkest: mmapv1 journals every
+//! write under its collection lock; wiredTiger group-commits its WAL.
+//!
+//! ```text
+//! cargo run --release --example storage_engine_comparison
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, DocstoreClient};
+use chronos::core::analysis;
+use chronos::core::auth::Role;
+use chronos::core::charts::{ChartRegistry, ChartSpec};
+use chronos::core::params::{ParamAssignments, ParamDef, ParamType};
+use chronos::core::ChronosControl;
+use chronos::json::Value;
+use chronos::server::ChronosServer;
+
+fn main() {
+    let control = Arc::new(ChronosControl::in_memory());
+    control.create_user("demo", "pw", Role::Admin).unwrap();
+    let server = ChronosServer::start(Arc::clone(&control), "127.0.0.1:0").unwrap();
+
+    // The demo system: engine + threads + durability are what we sweep/pin.
+    let system = control
+        .register_system(
+            "minidoc",
+            "document store, two storage engines",
+            vec![
+                ParamDef::new(
+                    "engine",
+                    "storage engine",
+                    ParamType::Checkbox {
+                        options: vec!["wiredtiger".into(), "mmapv1".into()],
+                    },
+                    Value::from("wiredtiger"),
+                )
+                .unwrap(),
+                ParamDef::new(
+                    "threads",
+                    "client threads",
+                    ParamType::Interval { min: 1, max: 64, step: 1 },
+                    Value::from(1),
+                )
+                .unwrap(),
+                ParamDef::new("durability", "synced journal/WAL", ParamType::Boolean, Value::Bool(true)).unwrap(),
+                ParamDef::new("record_count", "records", ParamType::Value, Value::from(2_000)).unwrap(),
+                ParamDef::new("operation_count", "operations", ParamType::Value, Value::from(8_000)).unwrap(),
+            ],
+            vec![
+                ChartSpec {
+                    kind: "line".into(),
+                    title: "YCSB-A throughput vs client threads (durable)".into(),
+                    x_param: "threads".into(),
+                    series_param: Some("engine".into()),
+                    value_path: "/throughput_ops_per_sec".into(),
+                    y_label: "ops/s".into(),
+                },
+                ChartSpec {
+                    kind: "bar".into(),
+                    title: "p99 update latency".into(),
+                    x_param: "threads".into(),
+                    series_param: Some("engine".into()),
+                    value_path: "/operations/update/latency_micros/p99".into(),
+                    y_label: "µs".into(),
+                },
+                ChartSpec {
+                    kind: "bar".into(),
+                    title: "Storage footprint after the run".into(),
+                    x_param: "threads".into(),
+                    series_param: Some("engine".into()),
+                    value_path: "/engine_stats/stored_bytes".into(),
+                    y_label: "bytes".into(),
+                },
+            ],
+        )
+        .unwrap();
+    let deployment = control.create_deployment(system.id, "localhost", "0.1.0").unwrap();
+
+    let owner = control.find_user("demo").unwrap();
+    let project = control.create_project("engine-shootout", "", owner.id).unwrap();
+    let experiment = control
+        .create_experiment(
+            project.id,
+            system.id,
+            "wiredTiger vs mmapv1",
+            "the EDBT 2020 demo",
+            ParamAssignments::new().sweep_all("engine").sweep(
+                "threads",
+                vec![Value::from(1), Value::from(2), Value::from(4), Value::from(8)],
+            ),
+        )
+        .unwrap();
+    let evaluation = control.create_evaluation(experiment.id).unwrap();
+    println!(
+        "running {} jobs (2 engines x 4 thread counts, durable writes)...\n",
+        evaluation.job_ids.len()
+    );
+
+    let token = control.login("demo", "pw").unwrap();
+    let client = ControlClient::new(&server.base_url(), &token);
+    let mut agent =
+        ChronosAgent::new(client, AgentConfig::new(deployment.id), DocstoreClient::new());
+    agent.run_until_idle(Duration::from_millis(300)).unwrap();
+
+    // Render every declared chart, exactly what the web UI would show.
+    let registry = ChartRegistry::with_builtins();
+    for spec in &system.charts {
+        let data = analysis::chart_data(&control, evaluation.id, spec).unwrap();
+        println!("{}", registry.render_ascii(spec, &data).unwrap());
+    }
+
+    // The headline readout: who wins and by what factor per thread count.
+    let data =
+        analysis::chart_data(&control, evaluation.id, &system.charts[0]).unwrap();
+    let comparison = analysis::compare_series(&data, "wiredtiger", "mmapv1").unwrap();
+    println!("speedup wiredtiger/mmapv1 per thread count:");
+    for ratio in comparison.get("ratios").and_then(Value::as_array).unwrap() {
+        println!(
+            "  threads={:>2}: {:.1}x",
+            ratio.get("x").and_then(Value::as_str).unwrap(),
+            ratio.get("ratio").and_then(Value::as_f64).unwrap()
+        );
+    }
+    println!(
+        "wiredtiger wins {}/{} configurations",
+        comparison.get("a_wins").and_then(Value::as_i64).unwrap(),
+        comparison.get("comparisons").and_then(Value::as_i64).unwrap()
+    );
+}

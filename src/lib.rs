@@ -1,0 +1,28 @@
+//! # Chronos — the Swiss Army Knife for Database Evaluations
+//!
+//! A from-scratch Rust reproduction of the Chronos Evaluation-as-a-Service
+//! toolkit (Vogt et al., EDBT 2020). This facade crate re-exports the whole
+//! public API:
+//!
+//! * [`core`] — Chronos Control: data model, parameter spaces, scheduler,
+//!   reliability, archiving, analysis and charts.
+//! * [`server`] — the versioned REST API over [`core`].
+//! * [`agent`] — the Chronos Agent library and the demo evaluation client.
+//! * [`minidoc`] — the embedded document store used as the demo System
+//!   under Evaluation, with wiredTiger-like and mmapv1-like storage engines.
+//! * [`workload`] — the YCSB-style benchmark workload generator.
+//! * [`metrics`], [`json`], [`zip`], [`http`], [`util`] — substrates.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory.
+
+pub use chronos_agent as agent;
+pub use chronos_core as core;
+pub use chronos_http as http;
+pub use chronos_json as json;
+pub use chronos_metrics as metrics;
+pub use chronos_server as server;
+pub use chronos_util as util;
+pub use chronos_workload as workload;
+pub use chronos_zip as zip;
+pub use minidoc;

@@ -1,0 +1,156 @@
+//! API versioning (paper §2.2: versioned REST API so old clients keep
+//! working) and the session/role-based access control.
+
+mod common;
+
+use chronos::json::{obj, Value};
+use common::TestEnv;
+
+#[test]
+fn v0_and_v1_serve_side_by_side() {
+    let env = TestEnv::start();
+    // Version discovery.
+    let index = env.get("/api");
+    assert_eq!(index.get("current").and_then(Value::as_str), Some("v1"));
+    let v1 = env.get("/api/v1/version");
+    assert_eq!(v1.get("version").and_then(Value::as_str), Some("v1"));
+    let v0 = env.get("/api/v0/version");
+    assert_eq!(v0.get("version").and_then(Value::as_str), Some("v0"));
+    assert_eq!(v0.get("deprecated").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn v0_job_shape_is_frozen() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_p, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 40, "operation_count" => 60},
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap();
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap();
+
+    // v0 exposes `status`/`percent`, not v1's `state`/`progress`.
+    let v0_job = env.get(&format!("/api/v0/jobs/{job_id}"));
+    assert_eq!(v0_job.get("status").and_then(Value::as_str), Some("scheduled"));
+    assert_eq!(v0_job.get("percent").and_then(Value::as_i64), Some(0));
+    assert!(v0_job.get("state").is_none());
+
+    env.run_agent(&deployment_id);
+
+    let v0_job = env.get(&format!("/api/v0/jobs/{job_id}"));
+    assert_eq!(v0_job.get("status").and_then(Value::as_str), Some("finished"));
+    assert_eq!(v0_job.get("percent").and_then(Value::as_i64), Some(100));
+    let v0_status = env.get(&format!("/api/v0/evaluations/{evaluation_id}/status"));
+    assert_eq!(v0_status.get("open").and_then(Value::as_i64), Some(0));
+    assert_eq!(v0_status.get("closed").and_then(Value::as_i64), Some(1));
+}
+
+#[test]
+fn missing_or_bad_tokens_are_rejected() {
+    let env = TestEnv::start();
+    let anonymous = chronos::http::Client::new(&env.server.base_url());
+    let response = anonymous.get("/api/v1/systems").unwrap();
+    assert_eq!(response.status.0, 403);
+    anonymous.set_default_header("X-Chronos-Token", "forged-token");
+    let response = anonymous.get("/api/v1/systems").unwrap();
+    assert_eq!(response.status.0, 403);
+    // Bearer form works too.
+    let bearer = chronos::http::Client::new(&env.server.base_url());
+    bearer.set_default_header("Authorization", &format!("Bearer {}", env.admin_token));
+    assert!(bearer.get("/api/v1/systems").unwrap().status.is_success());
+}
+
+#[test]
+fn logout_invalidates_the_session() {
+    let env = TestEnv::start();
+    let me = env.get("/api/v1/me");
+    assert_eq!(me.get("username").and_then(Value::as_str), Some("admin"));
+    assert!(me.get("password_hash").is_none(), "hash must be redacted");
+    env.post("/api/v1/logout", &obj! {});
+    let response = env.get_raw("/api/v1/me");
+    assert_eq!(response.status.0, 403);
+}
+
+#[test]
+fn role_enforcement_across_endpoints() {
+    let env = TestEnv::start();
+    // Admin creates a member and a viewer.
+    env.post("/api/v1/users", &obj! {"username" => "m", "password" => "pw", "role" => "member"});
+    env.post("/api/v1/users", &obj! {"username" => "v", "password" => "pw", "role" => "viewer"});
+
+    let login = |user: &str| {
+        let client = chronos::http::Client::new(&env.server.base_url());
+        let response = client
+            .post_json("/api/v1/login", &obj! {"username" => user, "password" => "pw"})
+            .unwrap();
+        let token = response
+            .json_body()
+            .unwrap()
+            .get("token")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        client.set_default_header("X-Chronos-Token", &token);
+        client
+    };
+
+    let member = login("m");
+    let viewer = login("v");
+
+    // Members can create projects; viewers cannot.
+    let created = member.post_json("/api/v1/projects", &obj! {"name" => "mp"}).unwrap();
+    assert!(created.status.is_success());
+    let denied = viewer.post_json("/api/v1/projects", &obj! {"name" => "vp"}).unwrap();
+    assert_eq!(denied.status.0, 403);
+
+    // Only admins may register systems or create users.
+    let denied = member
+        .post_json("/api/v1/systems", &TestEnv::demo_system_definition())
+        .unwrap();
+    assert_eq!(denied.status.0, 403);
+    let denied = member
+        .post_json("/api/v1/users", &obj! {"username" => "x", "password" => "pw"})
+        .unwrap();
+    assert_eq!(denied.status.0, 403);
+
+    // Project isolation: the viewer is not a member of the member's project.
+    let project_id = created
+        .json_body()
+        .unwrap()
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let denied = viewer.get(&format!("/api/v1/projects/{project_id}")).unwrap();
+    assert_eq!(denied.status.0, 403);
+    // Until they are added as a member.
+    let viewer_id = {
+        let me = viewer.get("/api/v1/me").unwrap().json_body().unwrap();
+        me.get("id").and_then(Value::as_str).unwrap().to_string()
+    };
+    member
+        .post_json(
+            &format!("/api/v1/projects/{project_id}/members"),
+            &obj! {"user_id" => viewer_id},
+        )
+        .unwrap();
+    assert!(viewer.get(&format!("/api/v1/projects/{project_id}")).unwrap().status.is_success());
+    // Project listings are membership-filtered.
+    let visible = viewer.get("/api/v1/projects").unwrap().json_body().unwrap();
+    assert_eq!(visible.as_array().map(Vec::len), Some(1));
+}
+
+#[test]
+fn unknown_routes_and_methods() {
+    let env = TestEnv::start();
+    assert_eq!(env.get_raw("/api/v9/version").status.0, 404);
+    assert_eq!(env.get_raw("/api/v1/login").status.0, 405); // GET on a POST route
+    let bad_body = env
+        .http
+        .post_bytes("/api/v1/login", "application/json", b"{not json".to_vec())
+        .unwrap();
+    assert_eq!(bad_body.status.0, 400);
+}

@@ -1,0 +1,133 @@
+//! F1 — the full toolkit wired end-to-end over real sockets (paper Fig. 1):
+//! Chronos Control (REST API) + a Chronos Agent + the minidoc SuE.
+//!
+//! Reproduces the complete demo workflow of §3: register the system, create
+//! project and experiment (engine × threads), run the evaluation through an
+//! agent, and analyze the results (status roll-up, summary, charts).
+
+mod common;
+
+use chronos::json::{arr, obj, Value};
+use common::TestEnv;
+
+#[test]
+fn full_demo_workflow() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+
+    // Experiment: both engines × {1, 2} threads — 4 jobs.
+    let (project_id, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "engine" => obj! {"sweep" => "all"},
+            "threads" => obj! {"sweep" => arr![1, 2]},
+            "record_count" => 150,
+            "operation_count" => 300,
+        },
+    );
+
+    let evaluation = env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    assert_eq!(
+        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len),
+        Some(4)
+    );
+
+    // Status before any agent runs: 4 scheduled.
+    let detail = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    assert_eq!(detail.pointer("/status/scheduled").and_then(Value::as_i64), Some(4));
+
+    // Run the agent until the queue drains.
+    let completed = env.run_agent(&deployment_id);
+    assert_eq!(completed, 4);
+
+    // All jobs finished.
+    let detail = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    assert_eq!(detail.pointer("/status/finished").and_then(Value::as_i64), Some(4));
+    assert_eq!(detail.pointer("/status/settled").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        detail.pointer("/status/progress_percent").and_then(Value::as_i64),
+        Some(100)
+    );
+
+    // Every job carries progress 100, a result id and a log.
+    let jobs = env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs"));
+    for job in jobs.as_array().unwrap() {
+        assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"));
+        assert_eq!(job.get("progress").and_then(Value::as_i64), Some(100));
+        let job_id = job.get("id").and_then(Value::as_str).unwrap();
+        let log = env.get_raw(&format!("/api/v1/jobs/{job_id}/log"));
+        let log_text = String::from_utf8_lossy(&log.body).into_owned();
+        assert!(log_text.contains("agent: starting minidoc-ycsb"), "{log_text}");
+        assert!(log_text.contains("execute:"), "{log_text}");
+        // Result document has the standard measurements.
+        let result_id = job.get("result_id").and_then(Value::as_str).unwrap();
+        let result = env.get(&format!("/api/v1/results/{result_id}"));
+        assert_eq!(result.pointer("/data/total_ops").and_then(Value::as_u64), Some(300));
+        assert!(result.pointer("/data/agent/execute_millis").is_some());
+        // And the zip archive contains result.json + throughput.csv.
+        let archive = env.get_raw(&format!("/api/v1/results/{result_id}/archive.zip"));
+        let zip = chronos::zip::ZipArchive::parse(&archive.body).unwrap();
+        assert!(zip.names().contains(&"result.json"));
+        assert!(zip.names().contains(&"throughput.csv"));
+    }
+
+    // Analysis: the summary table has 4 rows.
+    let summary = env.get(&format!("/api/v1/evaluations/{evaluation_id}/summary"));
+    assert_eq!(summary.get("rows").and_then(Value::as_array).map(Vec::len), Some(4));
+
+    // Charts render in both formats (paper Fig. 3d).
+    let svg = env.get_raw(&format!("/api/v1/evaluations/{evaluation_id}/charts/0.svg"));
+    assert!(svg.status.is_success());
+    let svg_text = String::from_utf8_lossy(&svg.body).into_owned();
+    assert!(svg_text.starts_with("<svg"));
+    assert!(svg_text.contains("wiredtiger") && svg_text.contains("mmapv1"));
+    let txt = env.get_raw(&format!("/api/v1/evaluations/{evaluation_id}/charts/1.txt"));
+    assert!(txt.status.is_success());
+
+    // Archive the whole project (requirement iv) and inspect the bundle.
+    let archive = env.get_raw(&format!("/api/v1/projects/{project_id}/archive.zip"));
+    assert!(archive.status.is_success());
+    let zip = chronos::zip::ZipArchive::parse(&archive.body).unwrap();
+    assert!(zip.names().contains(&"project.json"));
+    assert!(zip.names().contains(&"manifest.json"));
+    assert!(zip.names().iter().filter(|n| n.ends_with("/result.json")).count() == 4);
+}
+
+#[test]
+fn trigger_endpoint_schedules_evaluation_from_build_bot() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 100},
+    );
+    // A CI system reports a successful build -> evaluation is scheduled.
+    let triggered = env.post(
+        "/api/v1/trigger/build",
+        &obj! {"experiment_id" => experiment_id.as_str(), "build" => "ci-build-1234"},
+    );
+    assert_eq!(triggered.get("jobs").and_then(Value::as_i64), Some(1));
+    assert_eq!(
+        triggered.pointer("/triggered_by/build").and_then(Value::as_str),
+        Some("ci-build-1234")
+    );
+    assert_eq!(env.run_agent(&deployment_id), 1);
+}
+
+#[test]
+fn installation_stats_roll_up() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_p, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 50},
+    );
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let stats = env.get("/api/v1/stats");
+    assert_eq!(stats.pointer("/jobs/scheduled").and_then(Value::as_i64), Some(1));
+    assert_eq!(stats.get("systems").and_then(Value::as_i64), Some(1));
+    env.run_agent(&deployment_id);
+    let stats = env.get("/api/v1/stats");
+    assert_eq!(stats.pointer("/jobs/finished").and_then(Value::as_i64), Some(1));
+}

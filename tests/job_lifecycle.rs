@@ -1,0 +1,194 @@
+//! F3c — job details: status, progress, log, timeline, abort and
+//! reschedule (paper Fig. 3c), plus the reliability machinery of
+//! requirement *(iii)*: heartbeat timeouts and automatic re-scheduling.
+
+mod common;
+
+use std::time::Duration;
+
+use chronos::core::scheduler::SchedulerConfig;
+use chronos::json::{obj, Value};
+use common::TestEnv;
+
+fn schedule_one_job(env: &TestEnv) -> (String, String) {
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 100},
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let job_id = evaluation
+        .pointer("/job_ids/0")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    (job_id, deployment_id)
+}
+
+#[test]
+fn abort_scheduled_job_via_api() {
+    let env = TestEnv::start();
+    let (job_id, deployment_id) = schedule_one_job(&env);
+    let aborted = env.post(&format!("/api/v1/jobs/{job_id}/abort"), &obj! {});
+    assert_eq!(aborted.get("state").and_then(Value::as_str), Some("aborted"));
+    // The timeline records the abort.
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    let timeline = job.get("timeline").and_then(Value::as_array).unwrap();
+    assert!(timeline
+        .iter()
+        .any(|e| e.get("kind").and_then(Value::as_str) == Some("aborted")));
+    // An agent finds nothing to claim.
+    assert_eq!(env.run_agent(&deployment_id), 0);
+    // Aborting again conflicts (409).
+    let again = env.http.post_json(&format!("/api/v1/jobs/{job_id}/abort"), &obj! {}).unwrap();
+    assert_eq!(again.status.0, 409);
+}
+
+#[test]
+fn agent_failure_reports_and_reschedules() {
+    // max_attempts=2: first failure auto-reschedules, second sticks.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 2,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    // workload "z" is invalid -> DocstoreClient::set_up fails every attempt.
+    // (The experiment layer cannot catch this: "z" is a valid checkbox
+    // option only in the schema-less value sense, so use a bad record count
+    // instead: engine name that the client rejects.)
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => -5, "operation_count" => 10},
+    );
+    // record_count -5 clamps to 1 in the client, so that would succeed —
+    // instead drive the failure through the API directly:
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+    let _ = deployment_id;
+
+    // Claim via the agent endpoint, then report failure (attempt 1).
+    let claimed = env.post(
+        "/api/v1/agent/claim",
+        &obj! {"deployment_id" => deployment_id.as_str()},
+    );
+    assert_eq!(claimed.get("id").and_then(Value::as_str), Some(job_id.as_str()));
+    let failed = env.post(
+        &format!("/api/v1/agent/jobs/{job_id}/fail"),
+        &obj! {"reason" => "benchmark binary crashed"},
+    );
+    // Auto-rescheduled after the first failure.
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("scheduled"));
+    assert_eq!(failed.get("attempts").and_then(Value::as_i64), Some(1));
+
+    // Attempt 2 fails -> stays failed.
+    env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    let failed = env.post(
+        &format!("/api/v1/agent/jobs/{job_id}/fail"),
+        &obj! {"reason" => "crashed again"},
+    );
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("failed"));
+    assert_eq!(failed.get("failure").and_then(Value::as_str), Some("crashed again"));
+
+    // Manual reschedule via the UI endpoint (Fig. 3c) and a healthy run.
+    let rescheduled = env.post(&format!("/api/v1/jobs/{job_id}/reschedule"), &obj! {});
+    assert_eq!(rescheduled.get("state").and_then(Value::as_str), Some("scheduled"));
+    assert_eq!(env.run_agent(&deployment_id), 1);
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"));
+    // The timeline tells the whole story.
+    let kinds: Vec<String> = job
+        .get("timeline")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert_eq!(kinds.iter().filter(|k| *k == "failed").count(), 2);
+    assert!(kinds.contains(&"finished".to_string()));
+}
+
+#[test]
+fn heartbeat_timeout_fails_and_reschedules_job() {
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 300,
+        max_attempts: 5,
+        auto_reschedule: true,
+    });
+    let (job_id, deployment_id) = schedule_one_job(&env);
+    // Claim the job and then "crash" (never heartbeat again).
+    env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    // The server-side sweeper (500 ms interval) must notice within ~1.5 s.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+        let state = job.get("state").and_then(Value::as_str).unwrap().to_string();
+        if state == "scheduled" {
+            let timeline: Vec<String> = job
+                .get("timeline")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(|e| e.get("message").and_then(Value::as_str).map(str::to_string))
+                .collect();
+            assert!(
+                timeline.iter().any(|m| m.contains("heartbeat timeout")),
+                "{timeline:?}"
+            );
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "sweeper never fired; state={state}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // A healthy agent picks the job up again and completes it.
+    assert_eq!(env.run_agent(&deployment_id), 1);
+}
+
+#[test]
+fn heartbeats_keep_long_jobs_alive() {
+    // Tight 700 ms lease: the job only survives because the agent's
+    // heartbeat thread (100 ms interval) keeps renewing it.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 700,
+        max_attempts: 1,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        // Big enough to run for over a second.
+        obj! {"record_count" => 2000, "operation_count" => 30000, "threads" => 2},
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+    assert_eq!(env.run_agent(&deployment_id), 1);
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"), "{job}");
+    assert_eq!(job.get("attempts").and_then(Value::as_i64), Some(1), "no retry happened");
+}
+
+#[test]
+fn progress_is_observable_while_running() {
+    let env = TestEnv::start();
+    let (job_id, deployment_id) = schedule_one_job(&env);
+    env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    env.post(&format!("/api/v1/agent/jobs/{job_id}/heartbeat"), &obj! {"progress" => 37});
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    assert_eq!(job.get("progress").and_then(Value::as_i64), Some(37));
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("running"));
+    // Log streaming shows up immediately.
+    let log_upload = env
+        .http
+        .post_bytes(
+            &format!("/api/v1/agent/jobs/{job_id}/log"),
+            "text/plain",
+            b"phase 2 of 5 running\n".to_vec(),
+        )
+        .unwrap();
+    assert!(log_upload.status.is_success());
+    let log = env.get_raw(&format!("/api/v1/jobs/{job_id}/log"));
+    assert!(String::from_utf8_lossy(&log.body).contains("phase 2 of 5"));
+}

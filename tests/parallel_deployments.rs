@@ -1,0 +1,121 @@
+//! Requirement *(ii)* — multiple SuEs and parallel benchmark execution:
+//! "Depending on the evaluation, the execution of jobs can be parallelized
+//! if there are multiple identical deployments of the SuE" (paper §2.1).
+
+mod common;
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, DocstoreClient};
+use chronos::json::{arr, obj, Value};
+use chronos::util::Id;
+use common::TestEnv;
+
+#[test]
+fn two_identical_deployments_drain_one_evaluation_in_parallel() {
+    let env = TestEnv::start();
+    let (system_id, deployment_a) = env.register_demo_system();
+    // A second identical deployment of the same system.
+    let deployment_b = env
+        .post(
+            &format!("/api/v1/systems/{system_id}/deployments"),
+            &obj! {"environment" => "test-node-2", "version" => "0.1.0"},
+        )
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "threads" => obj! {"sweep" => arr![1, 2]},
+            "engine" => obj! {"sweep" => "all"},
+            "record_count" => 100,
+            "operation_count" => 200,
+        },
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+
+    // Two agents (one per deployment) run concurrently.
+    let base_url = env.server.base_url();
+    let token = env.admin_token.clone();
+    let totals: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [&deployment_a, &deployment_b]
+            .into_iter()
+            .map(|deployment_id| {
+                let base_url = base_url.clone();
+                let token = token.clone();
+                let deployment = Id::parse_base32(deployment_id).unwrap();
+                scope.spawn(move || {
+                    let client = ControlClient::new(&base_url, &token);
+                    let mut config = AgentConfig::new(deployment);
+                    config.heartbeat_interval = Duration::from_millis(100);
+                    config.poll_interval = Duration::from_millis(25);
+                    let mut agent = ChronosAgent::new(client, config, DocstoreClient::new());
+                    agent.run_until_idle(Duration::from_millis(400)).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All four jobs ran exactly once, split across the deployments.
+    assert_eq!(totals.iter().sum::<u64>(), 4, "totals: {totals:?}");
+    let jobs = env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs"));
+    let mut deployments_used = HashSet::new();
+    for job in jobs.as_array().unwrap() {
+        assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"));
+        assert_eq!(job.get("attempts").and_then(Value::as_i64), Some(1), "no double runs");
+        deployments_used
+            .insert(job.get("deployment_id").and_then(Value::as_str).unwrap().to_string());
+    }
+    // With 4 jobs, 2 agents and per-job runtimes well above the poll
+    // interval, both deployments get work with overwhelming probability.
+    assert_eq!(deployments_used.len(), 2, "both deployments participated");
+}
+
+#[test]
+fn two_different_systems_evaluate_independently() {
+    let env = TestEnv::start();
+    let (minidoc_id, minidoc_deployment) = env.register_demo_system();
+    // A second SuE with a disjoint parameter schema.
+    let other = env.post(
+        "/api/v1/systems",
+        &obj! {
+            "name" => "other-db",
+            "parameters" => arr![
+                obj! {"name" => "record_count", "type" => "value", "default" => 40},
+                obj! {"name" => "operation_count", "type" => "value", "default" => 80},
+            ],
+            "charts" => arr![],
+        },
+    );
+    let other_id = other.get("id").and_then(Value::as_str).unwrap().to_string();
+    let other_deployment = env
+        .post(
+            &format!("/api/v1/systems/{other_id}/deployments"),
+            &obj! {"environment" => "elsewhere"},
+        )
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let (_p1, minidoc_experiment) = env.create_demo_experiment(
+        &minidoc_id,
+        obj! {"record_count" => 60, "operation_count" => 120},
+    );
+    let (_p2, other_experiment) = env.create_demo_experiment(&other_id, obj! {});
+    env.post(&format!("/api/v1/experiments/{minidoc_experiment}/evaluations"), &obj! {});
+    env.post(&format!("/api/v1/experiments/{other_experiment}/evaluations"), &obj! {});
+
+    // The minidoc agent must only execute the minidoc job...
+    assert_eq!(env.run_agent(&minidoc_deployment), 1);
+    // ...and the other system's job is untouched until its agent runs.
+    // (DocstoreClient happily runs any parameter object, so reuse it.)
+    assert_eq!(env.run_agent(&other_deployment), 1);
+}

@@ -1,0 +1,92 @@
+//! Paper §3: "The separation of experiments and evaluations comes in handy
+//! if certain evaluations need to be repeated multiple times [...] for the
+//! quality assurance monitoring the performance of an SuE over subsequent
+//! change sets." — re-run the same experiment, track the trend, detect
+//! regressions.
+
+mod common;
+
+use chronos::json::{obj, Value};
+use common::TestEnv;
+
+/// Finishes every scheduled job of `experiment` with a fixed throughput,
+/// simulating an SuE build with that performance level.
+fn run_evaluation_with_throughput(env: &TestEnv, experiment_id: &str, deployment_id: &str, throughput: f64) {
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    for job in evaluation.get("job_ids").and_then(Value::as_array).unwrap() {
+        let job_id = job.as_str().unwrap();
+        env.post(
+            "/api/v1/agent/claim",
+            &obj! {"deployment_id" => deployment_id},
+        );
+        env.post(
+            &format!("/api/v1/agent/jobs/{job_id}/result"),
+            &obj! {"data" => obj! {"throughput_ops_per_sec" => throughput}},
+        );
+    }
+}
+
+#[test]
+fn trend_detects_a_regression_between_change_sets() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 50},
+    );
+
+    // Three "builds": stable, stable, then a 40% performance regression.
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 1000.0);
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 1020.0);
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 600.0);
+
+    let trend = env.get(&format!(
+        "/api/v1/experiments/{experiment_id}/trend?path=/throughput_ops_per_sec&threshold=0.1"
+    ));
+    let runs = trend.get("runs").and_then(Value::as_array).unwrap();
+    assert_eq!(runs.len(), 3);
+    assert_eq!(runs[0].get("mean").and_then(Value::as_f64), Some(1000.0));
+    assert_eq!(runs[0].get("change"), Some(&Value::Null), "first run has no baseline");
+    assert_eq!(runs[0].get("regressed").and_then(Value::as_bool), Some(false));
+    // +2% is not a regression.
+    assert_eq!(runs[1].get("regressed").and_then(Value::as_bool), Some(false));
+    // -41% is.
+    assert_eq!(runs[2].get("regressed").and_then(Value::as_bool), Some(true));
+    let change = runs[2].get("change").and_then(Value::as_f64).unwrap();
+    assert!((change - (600.0 - 1020.0) / 1020.0).abs() < 1e-9);
+    assert_eq!(trend.get("regressions").and_then(Value::as_i64), Some(1));
+}
+
+#[test]
+fn trend_threshold_is_configurable() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 50},
+    );
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 1000.0);
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 950.0); // -5%
+
+    // 10% threshold: fine. 2% threshold: regression.
+    let lax = env.get(&format!("/api/v1/experiments/{experiment_id}/trend?threshold=0.10"));
+    assert_eq!(lax.get("regressions").and_then(Value::as_i64), Some(0));
+    let strict = env.get(&format!("/api/v1/experiments/{experiment_id}/trend?threshold=0.02"));
+    assert_eq!(strict.get("regressions").and_then(Value::as_i64), Some(1));
+}
+
+#[test]
+fn unfinished_evaluations_are_skipped() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {"record_count" => 50, "operation_count" => 50},
+    );
+    run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 500.0);
+    // A second evaluation exists but has no results yet.
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let trend = env.get(&format!("/api/v1/experiments/{experiment_id}/trend"));
+    assert_eq!(trend.get("runs").and_then(Value::as_array).map(Vec::len), Some(1));
+}

@@ -1,0 +1,151 @@
+//! F2 — system configuration (paper Fig. 2 and workflow 1 of §3):
+//! registering a system with its parameters and chart definitions, either
+//! inline or from a definition document on disk (the git/mercurial
+//! repository path substitute).
+
+mod common;
+
+use chronos::json::{arr, obj, Value};
+use common::TestEnv;
+
+#[test]
+fn register_system_inline_and_fetch() {
+    let env = TestEnv::start();
+    let created = env.post("/api/v1/systems", &TestEnv::demo_system_definition());
+    let system_id = created.get("id").and_then(Value::as_str).unwrap();
+    assert_eq!(created.get("name").and_then(Value::as_str), Some("minidoc"));
+    let fetched = env.get(&format!("/api/v1/systems/{system_id}"));
+    assert_eq!(
+        fetched.get("parameters").and_then(Value::as_array).map(Vec::len),
+        Some(6)
+    );
+    assert_eq!(fetched.get("charts").and_then(Value::as_array).map(Vec::len), Some(2));
+    let listing = env.get("/api/v1/systems");
+    assert_eq!(listing.as_array().map(Vec::len), Some(1));
+}
+
+#[test]
+fn register_system_from_definition_file() {
+    // Workflow 1 of §3: the system definition lives in a (checked-out)
+    // repository; Chronos imports the definition document.
+    let env = TestEnv::start();
+    let path = std::env::temp_dir().join(format!(
+        "chronos-system-def-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, TestEnv::demo_system_definition().to_pretty_string()).unwrap();
+    let definition = chronos::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let created = env.post("/api/v1/systems", &definition);
+    assert_eq!(created.get("name").and_then(Value::as_str), Some("minidoc"));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn duplicate_system_names_conflict() {
+    let env = TestEnv::start();
+    env.post("/api/v1/systems", &TestEnv::demo_system_definition());
+    let again = env
+        .http
+        .post_json("/api/v1/systems", &TestEnv::demo_system_definition())
+        .unwrap();
+    assert_eq!(again.status.0, 409);
+}
+
+#[test]
+fn malformed_definitions_are_rejected() {
+    let env = TestEnv::start();
+    for (definition, why) in [
+        (obj! {"description" => "nameless"}, "missing name"),
+        (
+            obj! {
+                "name" => "bad1",
+                "parameters" => arr![obj! {"name" => "p", "type" => "alien", "default" => 1}],
+            },
+            "unknown parameter type",
+        ),
+        (
+            obj! {
+                "name" => "bad2",
+                "parameters" => arr![obj! {
+                    "name" => "p", "type" => "interval", "min" => 9, "max" => 1, "default" => 1
+                }],
+            },
+            "inverted interval",
+        ),
+        (
+            obj! {
+                "name" => "bad3",
+                "parameters" => arr![obj! {
+                    "name" => "p", "type" => "boolean", "default" => "not-a-bool"
+                }],
+            },
+            "default/type mismatch",
+        ),
+    ] {
+        let response = env.http.post_json("/api/v1/systems", &definition).unwrap();
+        assert_eq!(response.status.0, 400, "{why}: {}", String::from_utf8_lossy(&response.body));
+    }
+    // None of the rejects leaked into the store.
+    assert_eq!(env.get("/api/v1/systems").as_array().map(Vec::len), Some(0));
+}
+
+#[test]
+fn experiments_validate_against_the_schema() {
+    let env = TestEnv::start();
+    let (system_id, _deployment) = env.register_demo_system();
+    let project = env.post("/api/v1/projects", &obj! {"name" => "p"});
+    let project_id = project.get("id").and_then(Value::as_str).unwrap();
+
+    // Unknown parameter.
+    let bad = env
+        .http
+        .post_json(
+            &format!("/api/v1/projects/{project_id}/experiments"),
+            &obj! {
+                "name" => "bad",
+                "system_id" => system_id.as_str(),
+                "parameters" => obj! {"warp_factor" => 9},
+            },
+        )
+        .unwrap();
+    assert_eq!(bad.status.0, 400);
+
+    // Out-of-range interval value.
+    let bad = env
+        .http
+        .post_json(
+            &format!("/api/v1/projects/{project_id}/experiments"),
+            &obj! {
+                "name" => "bad",
+                "system_id" => system_id.as_str(),
+                "parameters" => obj! {"threads" => 99},
+            },
+        )
+        .unwrap();
+    assert_eq!(bad.status.0, 400);
+
+    // Option not in the checkbox list.
+    let bad = env
+        .http
+        .post_json(
+            &format!("/api/v1/projects/{project_id}/experiments"),
+            &obj! {
+                "name" => "bad",
+                "system_id" => system_id.as_str(),
+                "parameters" => obj! {"engine" => "rocksdb"},
+            },
+        )
+        .unwrap();
+    assert_eq!(bad.status.0, 400);
+
+    // A valid one still goes through.
+    let good = env.post(
+        &format!("/api/v1/projects/{project_id}/experiments"),
+        &obj! {
+            "name" => "good",
+            "system_id" => system_id.as_str(),
+            "parameters" => obj! {"threads" => obj! {"sweep" => arr![1, 2, 4]}},
+        },
+    );
+    assert!(good.get("id").is_some());
+}

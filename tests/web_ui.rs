@@ -1,0 +1,125 @@
+//! The server-rendered web UI (paper §2.2 / Figs. 2 and 3): every page the
+//! original Chronos Control shows in a browser, reproduced as HTML over the
+//! same core, navigated end-to-end.
+
+mod common;
+
+use chronos::json::{arr, obj, Value};
+use common::TestEnv;
+
+fn get_html(env: &TestEnv, path: &str) -> String {
+    let response = env.get_raw(path);
+    assert!(
+        response.status.is_success(),
+        "GET {path}: {} {}",
+        response.status.0,
+        String::from_utf8_lossy(&response.body)
+    );
+    assert!(response
+        .headers
+        .get("content-type")
+        .unwrap_or_default()
+        .starts_with("text/html"));
+    String::from_utf8_lossy(&response.body).into_owned()
+}
+
+#[test]
+fn ui_pages_require_a_token() {
+    let env = TestEnv::start();
+    for path in ["/ui", "/ui/systems/x", "/ui/jobs/x"] {
+        let response = env.get_raw(path); // header token is ignored by the UI
+        assert_eq!(response.status.0, 403, "{path}");
+    }
+    let response = env.get_raw("/ui?token=forged");
+    assert_eq!(response.status.0, 403);
+}
+
+#[test]
+fn full_ui_walkthrough() {
+    let env = TestEnv::start();
+    let token = env.admin_token.clone();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (project_id, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "engine" => obj! {"sweep" => "all"},
+            "threads" => obj! {"sweep" => arr![1, 2]},
+            "record_count" => 80,
+            "operation_count" => 160,
+        },
+    );
+    let evaluation = env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+
+    // Overview lists the system and the project.
+    let overview = get_html(&env, &format!("/ui?token={token}"));
+    assert!(overview.contains("minidoc"));
+    assert!(overview.contains("demo project"));
+
+    // System page (Fig. 2) shows the parameter schema and chart config.
+    let system_page = get_html(&env, &format!("/ui/systems/{system_id}?token={token}"));
+    assert!(system_page.contains("engine"));
+    assert!(system_page.contains("checkbox"));
+    assert!(system_page.contains("interval"));
+    assert!(system_page.contains("Throughput by thread count"));
+    assert!(system_page.contains("test-node"), "deployments listed");
+
+    // Project -> experiment (Fig. 3a) with the parameter assignment.
+    let project_page = get_html(&env, &format!("/ui/projects/{project_id}?token={token}"));
+    assert!(project_page.contains("engine comparison"));
+    let experiment_page =
+        get_html(&env, &format!("/ui/experiments/{experiment_id}?token={token}"));
+    assert!(experiment_page.contains("&quot;sweep&quot;"), "assignment JSON shown escaped");
+
+    // Evaluation page before the run (Fig. 3b): all jobs scheduled.
+    let eval_page = get_html(&env, &format!("/ui/evaluations/{evaluation_id}?token={token}"));
+    assert_eq!(eval_page.matches("state scheduled").count(), 4);
+    assert!(!eval_page.contains("<svg"), "no charts before results exist");
+
+    // Run the evaluation and revisit.
+    assert_eq!(env.run_agent(&deployment_id), 4);
+    let eval_page = get_html(&env, &format!("/ui/evaluations/{evaluation_id}?token={token}"));
+    assert_eq!(eval_page.matches("state finished").count(), 4);
+    assert!(eval_page.contains("100% settled"));
+    // Charts render inline as SVG (Fig. 3d) with both engine series.
+    assert!(eval_page.contains("<svg"), "charts embedded after the run");
+    assert!(eval_page.contains("wiredtiger") && eval_page.contains("mmapv1"));
+
+    // Job page (Fig. 3c): badge, timeline, log, result.
+    let job_page = get_html(&env, &format!("/ui/jobs/{job_id}?token={token}"));
+    assert!(job_page.contains("state finished"));
+    assert!(job_page.contains("Timeline"));
+    assert!(job_page.contains("result uploaded"));
+    assert!(job_page.contains("agent: starting minidoc-ycsb"), "log shown");
+    assert!(job_page.contains("throughput_ops_per_sec"), "result document shown");
+}
+
+#[test]
+fn ui_escapes_hostile_content() {
+    let env = TestEnv::start();
+    let token = env.admin_token.clone();
+    // A system whose description tries to inject markup.
+    env.post(
+        "/api/v1/systems",
+        &obj! {
+            "name" => "xss<script>alert(1)</script>",
+            "description" => "<img src=x onerror=alert(1)>",
+            "parameters" => arr![],
+            "charts" => arr![],
+        },
+    );
+    let overview = get_html(&env, &format!("/ui?token={token}"));
+    assert!(!overview.contains("<script>alert"), "script tags must be escaped");
+    assert!(overview.contains("&lt;script&gt;"));
+    assert!(!overview.contains("<img src=x"));
+}
+
+#[test]
+fn ui_404_for_missing_entities() {
+    let env = TestEnv::start();
+    let token = env.admin_token.clone();
+    let bogus = chronos::util::Id::generate();
+    let response = env.get_raw(&format!("/ui/jobs/{bogus}?token={token}"));
+    assert_eq!(response.status.0, 404);
+}
