@@ -151,11 +151,20 @@ impl ControlClient {
     /// Uploads the result (measurement JSON + zip archive) and finishes the
     /// job.
     pub fn upload_result(&self, job: Id, data: &Value, archive: &[u8]) -> Result<Id, AgentError> {
-        let body = obj! {
-            "data" => data.clone(),
-            "archive_b64" => base64_encode(archive),
-        };
-        let response = self.post(&format!("/api/v1/agent/jobs/{}/result", job.to_base32()), &body)?;
+        // Frame the body by hand so the (possibly large) measurement
+        // document streams straight into the request bytes instead of
+        // being deep-cloned into a wrapper object first.
+        let mut body = String::with_capacity(archive.len() / 3 * 4 + 64);
+        body.push_str("{\"data\":");
+        data.write_into(&mut body);
+        body.push_str(",\"archive_b64\":");
+        chronos_json::write_string(&mut body, &base64_encode(archive));
+        body.push('}');
+        let path = format!("/api/v1/agent/jobs/{}/result", job.to_base32());
+        let response = self
+            .backoff
+            .run(|_| self.http.post_bytes(&path, "application/json", body.as_bytes().to_vec()))
+            .map_err(|e| AgentError::Transport(e.to_string()))?;
         if !response.status.is_success() {
             return Err(api_error(&response));
         }
@@ -187,9 +196,7 @@ fn api_error(response: &chronos_http::Response) -> AgentError {
     let message = response
         .json_body()
         .ok()
-        .and_then(|v| {
-            v.pointer("/error/message").and_then(Value::as_str).map(str::to_string)
-        })
+        .and_then(|v| v.pointer("/error/message").and_then(Value::as_str).map(str::to_string))
         .unwrap_or_else(|| String::from_utf8_lossy(&response.body).into_owned());
     AgentError::Api { status: response.status.0, message }
 }

@@ -55,8 +55,9 @@ impl DocstoreClient {
 
     fn parse_config(ctx: &JobContext) -> Result<(DbConfig, WorkloadSpec, usize), String> {
         let engine = match ctx.param_str("engine").as_deref() {
-            Some(name) => EngineKind::parse(name)
-                .ok_or_else(|| format!("unknown engine {name:?}"))?,
+            Some(name) => {
+                EngineKind::parse(name).ok_or_else(|| format!("unknown engine {name:?}"))?
+            }
             None => EngineKind::WiredTiger,
         };
         // `durability` parameter: run against a real data directory with
@@ -76,9 +77,7 @@ impl DocstoreClient {
             db_config = db_config.with_compression(compression && engine == EngineKind::WiredTiger);
         }
         let workload = match ctx.param_str("workload").as_deref() {
-            Some(w) => {
-                CoreWorkload::parse(w).ok_or_else(|| format!("unknown workload {w:?}"))?
-            }
+            Some(w) => CoreWorkload::parse(w).ok_or_else(|| format!("unknown workload {w:?}"))?,
             None => CoreWorkload::A,
         };
         let mut spec = WorkloadSpec::core(workload);
@@ -130,10 +129,9 @@ fn apply(db: &Database, op: &Operation) -> Result<(), String> {
         Operation::Insert { key, fields } => {
             coll.insert(key, &fields_to_doc(fields)).map_err(|e| e.to_string())
         }
-        Operation::Scan { start_key, count } => coll
-            .scan(start_key, *count as usize)
-            .map(|_| ())
-            .map_err(|e| e.to_string()),
+        Operation::Scan { start_key, count } => {
+            coll.scan(start_key, *count as usize).map(|_| ()).map_err(|e| e.to_string())
+        }
         Operation::ReadModifyWrite { key, fields } => {
             let current = coll.get(key).map_err(|e| e.to_string())?;
             match current {
@@ -216,8 +214,7 @@ impl EvaluationClient for DocstoreClient {
                 done += 1;
                 if done.is_multiple_of(512) && t == 0 {
                     // Progress: 15% after warm-up, 100% at completion.
-                    let frac =
-                        (done * threads as u64).min(total_ops) as f64 / total_ops as f64;
+                    let frac = (done * threads as u64).min(total_ops) as f64 / total_ops as f64;
                     ctx.set_progress(15 + (frac * 84.0) as u8);
                 }
             }
@@ -289,10 +286,7 @@ mod tests {
             assert_eq!(data.pointer("/total_errors").and_then(Value::as_u64), Some(0));
             assert!(data.pointer("/throughput_ops_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
             assert!(data.pointer("/operations/read/latency_micros/p99").is_some());
-            assert_eq!(
-                data.pointer("/engine_stats/documents").and_then(Value::as_u64),
-                Some(200)
-            );
+            assert_eq!(data.pointer("/engine_stats/documents").and_then(Value::as_u64), Some(200));
             let attachments = ctx.take_attachments();
             assert!(attachments.iter().any(|(n, _)| n == "throughput.csv"));
         }
@@ -324,7 +318,10 @@ mod tests {
         });
         client.set_up(&ctx).unwrap();
         let data = client.execute(&ctx).unwrap();
-        assert!(data.pointer("/operations/scan/latency_micros/count").and_then(Value::as_u64).unwrap() > 0);
+        assert!(
+            data.pointer("/operations/scan/latency_micros/count").and_then(Value::as_u64).unwrap()
+                > 0
+        );
     }
 
     #[test]

@@ -21,12 +21,12 @@ mod context;
 mod control_client;
 mod docstore_client;
 mod runtime;
-mod tpcc_client;
 mod sink;
+mod tpcc_client;
 
 pub use context::JobContext;
 pub use control_client::{AgentError, ClaimedJob, ControlClient};
 pub use docstore_client::DocstoreClient;
-pub use tpcc_client::TpccClient;
 pub use runtime::{AgentConfig, ChronosAgent, EvaluationClient};
 pub use sink::{HttpSink, LocalDirSink, ResultSink};
+pub use tpcc_client::TpccClient;

@@ -183,14 +183,12 @@ impl<C: EvaluationClient> ChronosAgent<C> {
             let warmup_ms = run("warm_up", ctx, &mut |c| client.warm_up(c))?;
             let execute_start = Instant::now();
             ctx.log("agent: phase execute");
-            let mut data =
-                match std::panic::catch_unwind(AssertUnwindSafe(|| client.execute(ctx))) {
-                    Ok(Ok(data)) => data,
-                    Ok(Err(e)) => return Err(format!("execute failed: {e}")),
-                    Err(panic) => {
-                        return Err(format!("execute panicked: {}", panic_message(&panic)))
-                    }
-                };
+            let mut data = match std::panic::catch_unwind(AssertUnwindSafe(|| client.execute(ctx)))
+            {
+                Ok(Ok(data)) => data,
+                Ok(Err(e)) => return Err(format!("execute failed: {e}")),
+                Err(panic) => return Err(format!("execute panicked: {}", panic_message(&panic))),
+            };
             let execute_ms = execute_start.elapsed().as_millis() as u64;
             // Basic metrics the library measures on its own (paper §2.2).
             data.set(

@@ -81,7 +81,10 @@ fn load_population(db: &Database, warehouses: u64) -> Result<(), String> {
     let e = |err: minidoc::DbError| err.to_string();
     for i in 1..=ITEMS {
         t.item
-            .insert(&keys::item(i), &obj! {"name" => format!("item-{i}"), "price_cents" => (i % 9000 + 100) as i64})
+            .insert(
+                &keys::item(i),
+                &obj! {"name" => format!("item-{i}"), "price_cents" => (i % 9000 + 100) as i64},
+            )
             .map_err(e)?;
     }
     for w in 1..=warehouses {
@@ -89,9 +92,7 @@ fn load_population(db: &Database, warehouses: u64) -> Result<(), String> {
             .insert(&keys::warehouse(w), &obj! {"tax_bp" => (w % 20) as i64, "ytd_cents" => 0})
             .map_err(e)?;
         for i in 1..=ITEMS {
-            t.stock
-                .insert(&keys::stock(w, i), &obj! {"quantity" => 50, "ytd" => 0})
-                .map_err(e)?;
+            t.stock.insert(&keys::stock(w, i), &obj! {"quantity" => 50, "ytd" => 0}).map_err(e)?;
         }
         for d in 1..=DISTRICTS_PER_WAREHOUSE {
             t.district
@@ -127,10 +128,7 @@ fn execute_tx(db: &Database, runner: &TpccRunner, tx: &TpccTx) -> Result<(), Str
         TpccTx::NewOrder { warehouse, district, customer, lines } => {
             // Reads: warehouse tax, district (also order-id counter),
             // customer.
-            t.warehouse
-                .get(&keys::warehouse(*warehouse))
-                .map_err(e)?
-                .ok_or("missing warehouse")?;
+            t.warehouse.get(&keys::warehouse(*warehouse)).map_err(e)?.ok_or("missing warehouse")?;
             let d_key = keys::district(*warehouse, *district);
             let mut d = t.district.get(&d_key).map_err(e)?.ok_or("missing district")?;
             let next = d.get("next_o_id").and_then(Value::as_i64).unwrap_or(1);
@@ -142,12 +140,10 @@ fn execute_tx(db: &Database, runner: &TpccRunner, tx: &TpccTx) -> Result<(), Str
             let mut total = 0i64;
             let mut line_docs = Vec::with_capacity(lines.len());
             for (item, supply, qty) in lines {
-                let item_doc =
-                    t.item.get(&keys::item(*item)).map_err(e)?.ok_or("missing item")?;
+                let item_doc = t.item.get(&keys::item(*item)).map_err(e)?.ok_or("missing item")?;
                 let price = item_doc.get("price_cents").and_then(Value::as_i64).unwrap_or(0);
                 let s_key = keys::stock(*supply, *item);
-                let mut stock =
-                    t.stock.get(&s_key).map_err(e)?.ok_or("missing stock")?;
+                let mut stock = t.stock.get(&s_key).map_err(e)?.ok_or("missing stock")?;
                 let mut quantity = stock.get("quantity").and_then(Value::as_i64).unwrap_or(0);
                 quantity -= *qty as i64;
                 if quantity < 10 {
@@ -184,7 +180,10 @@ fn execute_tx(db: &Database, runner: &TpccRunner, tx: &TpccTx) -> Result<(), Str
                 )
                 .map_err(e)?;
             t.new_orders
-                .insert(&keys::new_order(*warehouse, *district, order_id), &obj! {"order" => order_id})
+                .insert(
+                    &keys::new_order(*warehouse, *district, order_id),
+                    &obj! {"order" => order_id},
+                )
                 .map_err(e)?;
             c.set("orders", c.get("orders").and_then(Value::as_i64).unwrap_or(0) + 1);
             c.set("last_order", order_id);
@@ -210,8 +209,7 @@ fn execute_tx(db: &Database, runner: &TpccRunner, tx: &TpccTx) -> Result<(), Str
             let mut c = t.customer.get(&c_key).map_err(e)?.ok_or("missing customer")?;
             c.set(
                 "balance_cents",
-                c.get("balance_cents").and_then(Value::as_i64).unwrap_or(0)
-                    - *amount_cents as i64,
+                c.get("balance_cents").and_then(Value::as_i64).unwrap_or(0) - *amount_cents as i64,
             );
             c.set("payments", c.get("payments").and_then(Value::as_i64).unwrap_or(0) + 1);
             t.customer.update(&c_key, &c).map_err(e)?;
@@ -360,10 +358,7 @@ impl EvaluationClient for TpccClient {
             recorder.into_summary()
         });
         let merged = RunSummary::merge_all(summaries);
-        let new_orders = merged
-            .op("new_order")
-            .map(|s| s.latency_micros.count())
-            .unwrap_or(0);
+        let new_orders = merged.op("new_order").map(|s| s.latency_micros.count()).unwrap_or(0);
         let minutes = (merged.wall_millis.max(1) as f64) / 60_000.0;
         let mut data = merged.to_json();
         data.set("threads", threads as i64);
@@ -427,9 +422,7 @@ mod tests {
                 "engine {engine}: {}",
                 data.to_string()
             );
-            assert!(
-                data.pointer("/new_orders_per_minute").and_then(Value::as_f64).unwrap() > 0.0
-            );
+            assert!(data.pointer("/new_orders_per_minute").and_then(Value::as_f64).unwrap() > 0.0);
             assert!(data.pointer("/operations/payment/latency_micros/p99").is_some());
         }
     }

@@ -69,7 +69,8 @@ fn bench_claim(c: &mut Criterion) {
 fn bench_store_recovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_store_recovery");
     group.sample_size(10);
-    let path = std::env::temp_dir().join(format!("chronos-bench-recovery-{}.log", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("chronos-bench-recovery-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&path);
     {
         let store = MetadataStore::open(&path).unwrap();
@@ -87,5 +88,56 @@ fn bench_store_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expansion, bench_claim, bench_store_recovery);
+fn bench_store_contention(c: &mut Criterion) {
+    use chronos_bench::baseline::SingleMutexStore;
+    use chronos_bench::contention::run_mixed;
+
+    const OPS_PER_THREAD: u64 = 2_000;
+    let mut group = c.benchmark_group("e8_store_contention");
+    group.sample_size(10);
+    for threads in [1u64, 2, 8] {
+        group.throughput(Throughput::Elements(threads * OPS_PER_THREAD));
+        group.bench_with_input(
+            BenchmarkId::new("single_mutex", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_mixed(&SingleMutexStore::in_memory(), threads, OPS_PER_THREAD));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &threads| {
+            b.iter(|| run_mixed(&MetadataStore::in_memory(), threads, OPS_PER_THREAD));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    use chronos_bench::contention::sample_doc;
+
+    let mut group = c.benchmark_group("e8_wal_append");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    let path = std::env::temp_dir().join(format!("chronos-bench-wal-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = MetadataStore::open(&path).unwrap();
+    let mut i = 0u64;
+    group.bench_function("durable_put", |b| {
+        b.iter(|| {
+            i += 1;
+            store.put("job", "hot", sample_doc(i)).unwrap()
+        });
+    });
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expansion,
+    bench_claim,
+    bench_store_recovery,
+    bench_store_contention,
+    bench_wal_append
+);
 criterion_main!(benches);

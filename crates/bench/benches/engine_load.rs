@@ -23,10 +23,8 @@ fn bench_load(c: &mut Criterion) {
             let runner = WorkloadRunner::new(spec).unwrap();
             let load: Vec<Operation> = runner.load_partition(0, 1);
             b.iter(|| {
-                let db = Database::open(
-                    DbConfig::in_memory(engine).with_compression(compression),
-                )
-                .unwrap();
+                let db = Database::open(DbConfig::in_memory(engine).with_compression(compression))
+                    .unwrap();
                 let coll = db.collection("usertable");
                 for op in &load {
                     if let Operation::Insert { key, fields } = op {

@@ -18,22 +18,18 @@ fn bench_engine_threads(c: &mut Criterion) {
     group.throughput(Throughput::Elements(OPS as u64));
     for engine in ["wiredtiger", "mmapv1"] {
         for threads in [1i64, 2, 4, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(engine, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter(|| {
-                        run_docstore(&RunConfig {
-                            engine,
-                            threads,
-                            durability: true,
-                            record_count: RECORDS,
-                            operation_count: OPS,
-                            ..RunConfig::default()
-                        })
+            group.bench_with_input(BenchmarkId::new(engine, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    run_docstore(&RunConfig {
+                        engine,
+                        threads,
+                        durability: true,
+                        record_count: RECORDS,
+                        operation_count: OPS,
+                        ..RunConfig::default()
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

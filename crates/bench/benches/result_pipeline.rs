@@ -21,8 +21,7 @@ fn result_document() -> chronos_json::Value {
     let mut client = chronos_agent::DocstoreClient::new();
     let ctx = chronos_agent::JobContext::new(
         chronos_util::Id::generate(),
-        RunConfig { record_count: 300, operation_count: 1_000, ..RunConfig::default() }
-            .to_params(),
+        RunConfig { record_count: 300, operation_count: 1_000, ..RunConfig::default() }.to_params(),
     );
     client.set_up(&ctx).unwrap();
     let data = client.execute(&ctx).unwrap();
@@ -39,6 +38,25 @@ fn bench_pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes.len() as u64));
 
     group.bench_function("json_serialize", |b| b.iter(|| document.to_string()));
+    // The hot-path variants: reuse one buffer across iterations (how the
+    // WAL frames records) and stream straight into bytes (how HTTP
+    // bodies are built).
+    let mut reused = String::with_capacity(text.len());
+    group.bench_function("json_serialize_into_reused", |b| {
+        b.iter(|| {
+            reused.clear();
+            document.write_into(&mut reused);
+            reused.len()
+        })
+    });
+    let mut reused_bytes: Vec<u8> = Vec::with_capacity(text.len());
+    group.bench_function("json_write_to_bytes", |b| {
+        b.iter(|| {
+            reused_bytes.clear();
+            document.write_to(&mut reused_bytes).unwrap();
+            reused_bytes.len()
+        })
+    });
     group.bench_function("json_parse", |b| b.iter(|| chronos_json::parse(&text).unwrap()));
     group.bench_function("json_pretty", |b| b.iter(|| document.to_pretty_string()));
     group.bench_function("zip_pack", |b| {

@@ -1,0 +1,86 @@
+//! The pre-overhaul metadata store, preserved verbatim-in-spirit as the
+//! baseline for the control-plane contention benchmarks (experiment E8).
+//!
+//! This is the design the sharded store replaced: one global mutex over
+//! all kinds, deep-cloned documents on every read, and a per-record
+//! `format!`-style log append performed *inside* the lock. Keeping it
+//! here lets `chronos-bench` measure the overhaul as a ratio on the same
+//! machine instead of trusting a historical number.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use chronos_json::{obj, Value};
+
+struct Inner {
+    kinds: BTreeMap<String, BTreeMap<String, Value>>,
+    log: Option<File>,
+}
+
+/// The old single-mutex store: every operation — including log framing
+/// and the write syscall — happens while holding the one lock.
+pub struct SingleMutexStore {
+    inner: Mutex<Inner>,
+}
+
+impl SingleMutexStore {
+    /// A purely in-memory store.
+    pub fn in_memory() -> Self {
+        SingleMutexStore { inner: Mutex::new(Inner { kinds: BTreeMap::new(), log: None }) }
+    }
+
+    /// A store appending to a fresh log at `path` (no replay; the bench
+    /// only needs the steady-state write path).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let log = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(SingleMutexStore { inner: Mutex::new(Inner { kinds: BTreeMap::new(), log: Some(log) }) })
+    }
+
+    /// Stores a document, serializing the log record under the lock.
+    pub fn put(&self, kind: &str, id: &str, document: Value) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.log.is_some() {
+            let entry = obj! {
+                "op" => "put",
+                "kind" => kind,
+                "id" => id,
+                "doc" => document.clone(),
+            };
+            let log = inner.log.as_mut().unwrap();
+            writeln!(log, "{entry}")?;
+        }
+        inner.kinds.entry(kind.to_string()).or_default().insert(id.to_string(), document);
+        Ok(())
+    }
+
+    /// Fetches a document (deep clone, as the old API did).
+    pub fn get(&self, kind: &str, id: &str) -> Option<Value> {
+        self.inner.lock().unwrap().kinds.get(kind)?.get(id).cloned()
+    }
+
+    /// All documents of a kind, deep-cloned in id order.
+    pub fn list(&self, kind: &str) -> Vec<Value> {
+        match self.inner.lock().unwrap().kinds.get(kind) {
+            Some(map) => map.values().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips() {
+        let store = SingleMutexStore::in_memory();
+        store.put("k", "a", obj! {"v" => 1}).unwrap();
+        store.put("k", "b", obj! {"v" => 2}).unwrap();
+        assert_eq!(store.get("k", "a").unwrap().get("v").and_then(Value::as_i64), Some(1));
+        assert_eq!(store.list("k").len(), 2);
+        assert!(store.get("x", "a").is_none());
+    }
+}

@@ -10,6 +10,9 @@ use chronos_agent::{DocstoreClient, EvaluationClient, JobContext};
 use chronos_json::{obj, Value};
 use chronos_util::Id;
 
+pub mod baseline;
+pub mod contention;
+
 /// One measured benchmark configuration.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -92,8 +95,7 @@ pub fn run_docstore(config: &RunConfig) -> RunOutcome {
     let data = client.execute(&ctx).unwrap_or_else(|e| panic!("execute: {e}"));
     client.tear_down(&ctx);
     let p99 = |op: &str| {
-        data.pointer(&format!("/operations/{op}/latency_micros/p99"))
-            .and_then(Value::as_u64)
+        data.pointer(&format!("/operations/{op}/latency_micros/p99")).and_then(Value::as_u64)
     };
     RunOutcome {
         throughput_ops_per_sec: data

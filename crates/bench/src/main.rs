@@ -24,16 +24,22 @@ struct Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let emit_json = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let scale = if quick {
         Scale { records: 500, ops: 2_000 }
     } else {
         Scale { records: 2_000, ops: 8_000 }
     };
-    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
+    let want =
+        |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
 
     println!("chronos-bench: reproducing the Chronos (EDBT 2020) demo evaluation");
-    println!("host cores: {}\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "host cores: {}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
 
     if want("E1") {
         experiment_e1(&scale);
@@ -56,6 +62,9 @@ fn main() {
     if want("E7") {
         experiment_e7(&scale);
     }
+    if want("E8") {
+        experiment_e8(quick, emit_json);
+    }
 }
 
 /// E1 — the demo headline: YCSB-A throughput vs client threads per engine,
@@ -66,7 +75,13 @@ fn experiment_e1(scale: &Scale) {
     println!(
         "{}",
         row(
-            &["engine".into(), "threads".into(), "ops/s".into(), "upd p99 µs".into(), "read p99 µs".into()],
+            &[
+                "engine".into(),
+                "threads".into(),
+                "ops/s".into(),
+                "upd p99 µs".into(),
+                "read p99 µs".into()
+            ],
             &widths
         )
     );
@@ -161,7 +176,10 @@ fn experiment_e3(scale: &Scale) {
     let widths = [22, 12, 12, 12];
     println!(
         "{}",
-        row(&["configuration".into(), "load ops/s".into(), "stored".into(), "amplif.".into()], &widths)
+        row(
+            &["configuration".into(), "load ops/s".into(), "stored".into(), "amplif.".into()],
+            &widths
+        )
     );
     for (label, engine, compression) in [
         ("wiredtiger+compress", "wiredtiger", true),
@@ -189,13 +207,18 @@ fn experiment_e3(scale: &Scale) {
                     label.into(),
                     fmt_tp(load_rate),
                     fmt_bytes(outcome.stored_bytes),
-                    format!("{:.2}x", outcome.stored_bytes as f64 / outcome.logical_bytes.max(1) as f64),
+                    format!(
+                        "{:.2}x",
+                        outcome.stored_bytes as f64 / outcome.logical_bytes.max(1) as f64
+                    ),
                 ],
                 &widths
             )
         );
     }
-    println!("shape: compression shrinks wiredtiger's footprint well below mmapv1's padded extents\n");
+    println!(
+        "shape: compression shrinks wiredtiger's footprint well below mmapv1's padded extents\n"
+    );
 }
 
 /// E4 — document size sensitivity (field_length sweep), in-memory to
@@ -232,8 +255,10 @@ fn experiment_e4(scale: &Scale) {
             );
         }
     }
-    println!("shape: mmapv1's power-of-2 padding amplifies storage as documents grow; \
-              wiredtiger pays compression CPU but stores far less\n");
+    println!(
+        "shape: mmapv1's power-of-2 padding amplifies storage as documents grow; \
+              wiredtiger pays compression CPU but stores far less\n"
+    );
 }
 
 /// E5 — control plane: evaluation-space expansion, claim throughput,
@@ -305,11 +330,8 @@ fn experiment_e5() {
     let _ = std::fs::remove_file(&path);
     {
         let store = MetadataStore::open(&path).unwrap();
-        let durable = ChronosControl::new(
-            store,
-            Arc::new(chronos_util::SystemClock),
-            Default::default(),
-        );
+        let durable =
+            ChronosControl::new(store, Arc::new(chronos_util::SystemClock), Default::default());
         let owner = durable.create_user("bench", "pw", Role::Member).unwrap();
         let system = durable.register_system("sut", "", vec![], vec![]).unwrap();
         let project = durable.create_project("bench", "", owner.id).unwrap();
@@ -364,37 +386,148 @@ fn experiment_e6() {
         println!("  {label:<28} {:.1} µs/op", per * 1e6);
     };
     let text2 = text.clone();
-    bench("json serialize", Box::new(move || {
-        let _ = data.to_string();
-    }));
-    bench("json parse", Box::new(move || {
-        let _ = chronos_json::parse(&text2).unwrap();
-    }));
+    bench(
+        "json serialize",
+        Box::new(move || {
+            let _ = data.to_string();
+        }),
+    );
+    bench(
+        "json parse",
+        Box::new(move || {
+            let _ = chronos_json::parse(&text2).unwrap();
+        }),
+    );
     let payload: Vec<u8> = text.clone().into_bytes();
     let payload2 = payload.clone();
-    bench("zip pack (1 entry)", Box::new(move || {
-        let mut w = chronos_zip::ZipWriter::new();
-        w.add_file("result.json", &payload).unwrap();
-        let _ = w.finish();
-    }));
+    bench(
+        "zip pack (1 entry)",
+        Box::new(move || {
+            let mut w = chronos_zip::ZipWriter::new();
+            w.add_file("result.json", &payload).unwrap();
+            let _ = w.finish();
+        }),
+    );
     let archive = {
         let mut w = chronos_zip::ZipWriter::new();
         w.add_file("result.json", &payload2).unwrap();
         w.finish()
     };
-    bench("zip parse+extract", Box::new(move || {
-        let a = chronos_zip::ZipArchive::parse(&archive).unwrap();
-        let _ = a.read("result.json").unwrap();
-    }));
+    bench(
+        "zip parse+extract",
+        Box::new(move || {
+            let a = chronos_zip::ZipArchive::parse(&archive).unwrap();
+            let _ = a.read("result.json").unwrap();
+        }),
+    );
     let bytes = text.into_bytes();
     let encoded = chronos_util::encode::base64_encode(&bytes);
-    bench("base64 encode", Box::new(move || {
-        let _ = chronos_util::encode::base64_encode(&bytes);
-    }));
-    bench("base64 decode", Box::new(move || {
-        let _ = chronos_util::encode::base64_decode(&encoded).unwrap();
-    }));
+    bench(
+        "base64 encode",
+        Box::new(move || {
+            let _ = chronos_util::encode::base64_encode(&bytes);
+        }),
+    );
+    bench(
+        "base64 decode",
+        Box::new(move || {
+            let _ = chronos_util::encode::base64_decode(&encoded).unwrap();
+        }),
+    );
     println!();
+}
+
+/// E8 — metadata store under contention: the old single-mutex store vs the
+/// sharded group-commit store, 8 threads of mixed put/get/list, both
+/// appending to a real log file. `--json` also writes the numbers to
+/// `BENCH_control_plane.json` for regression tracking.
+fn experiment_e8(quick: bool, emit_json: bool) {
+    use chronos_bench::baseline::SingleMutexStore;
+    use chronos_bench::contention::{run_mixed, MixReport};
+
+    println!("== E8: metadata store contention (mixed 50% put / 40% get / 10% list) ==");
+    let ops_per_thread: u64 = if quick { 5_000 } else { 20_000 };
+    let tmp = |name: &str| {
+        std::env::temp_dir().join(format!("chronos-bench-e8-{}-{name}.log", std::process::id()))
+    };
+    let run_baseline = |threads: u64| -> MixReport {
+        let path = tmp("baseline");
+        let _ = std::fs::remove_file(&path);
+        let store = SingleMutexStore::open(&path).unwrap();
+        let report = run_mixed(&store, threads, ops_per_thread);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+        report
+    };
+    let run_sharded = |threads: u64| -> MixReport {
+        let path = tmp("sharded");
+        let _ = std::fs::remove_file(&path);
+        let store = MetadataStore::open(&path).unwrap();
+        let report = run_mixed(&store, threads, ops_per_thread);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+        report
+    };
+
+    let widths = [10, 14, 14, 10];
+    println!(
+        "{}",
+        row(&["threads".into(), "baseline".into(), "sharded".into(), "speedup".into()], &widths)
+    );
+    let mut results: Vec<(u64, f64, f64)> = Vec::new();
+    for threads in [1u64, 8] {
+        let baseline = run_baseline(threads);
+        let sharded = run_sharded(threads);
+        results.push((threads, baseline.ops_per_sec(), sharded.ops_per_sec()));
+        println!(
+            "{}",
+            row(
+                &[
+                    threads.to_string(),
+                    fmt_tp(baseline.ops_per_sec()),
+                    fmt_tp(sharded.ops_per_sec()),
+                    format!("{:.1}x", sharded.ops_per_sec() / baseline.ops_per_sec().max(1.0)),
+                ],
+                &widths
+            )
+        );
+    }
+    let contended = results.iter().find(|(t, _, _)| *t == 8).copied().unwrap();
+    println!(
+        "shape: sharding + group commit turn contention into batching; \
+         8-thread speedup = {:.1}x\n",
+        contended.2 / contended.1.max(1.0)
+    );
+
+    if emit_json {
+        let runs: Vec<Value> = results
+            .iter()
+            .map(|(threads, baseline, sharded)| {
+                chronos_json::obj! {
+                    "threads" => *threads as i64,
+                    "baseline_ops_per_sec" => *baseline,
+                    "sharded_ops_per_sec" => *sharded,
+                    "speedup" => *sharded / baseline.max(1.0),
+                }
+            })
+            .collect();
+        let doc = chronos_json::obj! {
+            "experiment" => "E8",
+            "description" => "metadata store contention: single-mutex baseline vs sharded group-commit store",
+            "workload" => chronos_json::obj! {
+                "mix" => "50% put / 40% get / 10% list",
+                "kinds" => chronos_bench::contention::KINDS.len() as i64,
+                "ids_per_kind" => chronos_bench::contention::IDS_PER_KIND as i64,
+                "ops_per_thread" => ops_per_thread as i64,
+                "durable_log" => true,
+            },
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+            "runs" => Value::Array(runs),
+        };
+        let path = "BENCH_control_plane.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
 }
 
 /// E7 — tpcc-lite: the paper's future-work OLTP-Bench direction. Per-engine

@@ -26,10 +26,7 @@ pub struct ResultPoint {
 }
 
 /// Collects the finished jobs of an evaluation as result points.
-pub fn collect_points(
-    control: &ChronosControl,
-    evaluation_id: Id,
-) -> CoreResult<Vec<ResultPoint>> {
+pub fn collect_points(control: &ChronosControl, evaluation_id: Id) -> CoreResult<Vec<ResultPoint>> {
     let jobs = control.list_jobs(evaluation_id)?;
     let mut points = Vec::new();
     for job in jobs {
@@ -88,10 +85,8 @@ pub fn chart_data(
 
 /// [`chart_data`] over pre-collected points (used by archives and tests).
 pub fn chart_data_from_points(points: &[ResultPoint], spec: &ChartSpec) -> CoreResult<ChartData> {
-    let mut x_labels: Vec<String> = points
-        .iter()
-        .map(|p| param_label(p.parameters.get(&spec.x_param)))
-        .collect();
+    let mut x_labels: Vec<String> =
+        points.iter().map(|p| param_label(p.parameters.get(&spec.x_param))).collect();
     sort_labels(&mut x_labels);
     let mut series_names: Vec<String> = match &spec.series_param {
         Some(param) => {
@@ -117,10 +112,9 @@ pub fn chart_data_from_points(points: &[ResultPoint], spec: &ChartSpec) -> CoreR
         let Some(value) = point.data.pointer(&spec.value_path).and_then(Value::as_f64) else {
             continue;
         };
-        let (Some(xi), Some(si)) = (
-            x_labels.iter().position(|l| *l == x),
-            series_names.iter().position(|s| *s == series),
-        ) else {
+        let (Some(xi), Some(si)) =
+            (x_labels.iter().position(|l| *l == x), series_names.iter().position(|s| *s == series))
+        else {
             continue;
         };
         cells[si][xi].0 += value;

@@ -123,10 +123,7 @@ mod tests {
                 system.id,
                 "e1",
                 "",
-                ParamAssignments::new().sweep(
-                    "threads",
-                    vec![Value::from(1), Value::from(2)],
-                ),
+                ParamAssignments::new().sweep("threads", vec![Value::from(1), Value::from(2)]),
             )
             .unwrap();
         control.create_evaluation(experiment.id).unwrap();
@@ -161,9 +158,10 @@ mod tests {
         let (control, project_id) = populated_control();
         let bytes = archive_project(&control, project_id).unwrap();
         let archive = ZipArchive::parse(&bytes).unwrap();
-        let manifest =
-            chronos_json::parse(&String::from_utf8(archive.read("manifest.json").unwrap()).unwrap())
-                .unwrap();
+        let manifest = chronos_json::parse(
+            &String::from_utf8(archive.read("manifest.json").unwrap()).unwrap(),
+        )
+        .unwrap();
         let entries = manifest.get("entries").and_then(Value::as_array).unwrap();
         assert!(!entries.is_empty());
         for entry in entries {

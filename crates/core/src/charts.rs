@@ -61,10 +61,7 @@ impl ChartSpec {
             kind: get("kind")?,
             title: get("title")?,
             x_param: get("x_param")?,
-            series_param: value
-                .get("series_param")
-                .and_then(Value::as_str)
-                .map(str::to_string),
+            series_param: value.get("series_param").and_then(Value::as_str).map(str::to_string),
             value_path: get("value_path")?,
             y_label: value.get("y_label").and_then(Value::as_str).unwrap_or("").to_string(),
         })
@@ -83,10 +80,7 @@ pub struct ChartData {
 impl ChartData {
     /// The largest finite value across all series (0.0 when empty).
     pub fn max_value(&self) -> f64 {
-        self.series
-            .iter()
-            .flat_map(|(_, ys)| ys.iter().flatten())
-            .fold(0.0f64, |m, &v| m.max(v))
+        self.series.iter().flat_map(|(_, ys)| ys.iter().flatten()).fold(0.0f64, |m, &v| m.max(v))
     }
 
     /// True when no values are present.
@@ -428,10 +422,7 @@ impl ChartRenderer for PieRenderer {
         for (label, v) in values {
             let pct = v / total * 100.0;
             let bars = (pct / 2.5).round() as usize;
-            out.push_str(&format!(
-                "{label:>12} |{:<40}| {pct:.1}%\n",
-                "#".repeat(bars)
-            ));
+            out.push_str(&format!("{label:>12} |{:<40}| {pct:.1}%\n", "#".repeat(bars)));
         }
         out
     }
@@ -504,7 +495,9 @@ mod tests {
         let ascii = registry.render_ascii(&spec("pie"), &data()).unwrap();
         let total: f64 = ascii
             .lines()
-            .filter_map(|l| l.rsplit_once("| ").and_then(|(_, p)| p.trim_end_matches('%').parse::<f64>().ok()))
+            .filter_map(|l| {
+                l.rsplit_once("| ").and_then(|(_, p)| p.trim_end_matches('%').parse::<f64>().ok())
+            })
             .sum();
         assert!((total - 100.0).abs() < 0.5, "{ascii}");
     }

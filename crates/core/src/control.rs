@@ -14,9 +14,7 @@ use chronos_util::{Clock, Id, SystemClock};
 
 use crate::auth::{Role, SessionManager, User};
 use crate::error::{CoreError, CoreResult};
-use crate::model::{
-    Deployment, Evaluation, Experiment, Job, JobResult, JobState, Project, System,
-};
+use crate::model::{Deployment, Evaluation, Experiment, Job, JobResult, JobState, Project, System};
 use crate::params::ParamAssignments;
 use crate::scheduler::{EvaluationStatus, SchedulerConfig};
 use crate::store::MetadataStore;
@@ -196,11 +194,7 @@ impl ChronosControl {
 
     /// All systems.
     pub fn list_systems(&self) -> Vec<System> {
-        self.store
-            .list(KIND_SYSTEM)
-            .iter()
-            .filter_map(|v| System::from_json(v).ok())
-            .collect()
+        self.store.list(KIND_SYSTEM).iter().filter_map(|v| System::from_json(v).ok()).collect()
     }
 
     /// Creates a deployment of a system.
@@ -279,11 +273,7 @@ impl ChronosControl {
 
     /// All projects (the API layer filters by membership).
     pub fn list_projects(&self) -> Vec<Project> {
-        self.store
-            .list(KIND_PROJECT)
-            .iter()
-            .filter_map(|v| Project::from_json(v).ok())
-            .collect()
+        self.store.list(KIND_PROJECT).iter().filter_map(|v| Project::from_json(v).ok()).collect()
     }
 
     /// Adds a member to a project.
@@ -481,7 +471,10 @@ impl ChronosControl {
                 job.transition(
                     JobState::Running,
                     now,
-                    &format!("claimed by deployment {} ({})", deployment.id, deployment.environment),
+                    &format!(
+                        "claimed by deployment {} ({})",
+                        deployment.id, deployment.environment
+                    ),
                 )?;
                 job.deployment_id = Some(deployment_id);
                 job.heartbeat_at = Some(now);
@@ -498,10 +491,7 @@ impl ChronosControl {
         let _guard = self.write_lock.lock();
         let mut job = self.get_job(job_id)?;
         if job.state != JobState::Running {
-            return Err(CoreError::Conflict(format!(
-                "job {job_id} is {}, not running",
-                job.state
-            )));
+            return Err(CoreError::Conflict(format!("job {job_id} is {}, not running", job.state)));
         }
         job.heartbeat_at = Some(self.now());
         if let Some(p) = progress {
@@ -533,10 +523,7 @@ impl ChronosControl {
         job.progress = 100;
         let result = JobResult { id: Id::generate(), job_id, data, archive, created_at: now };
         let mut stored = result.to_json();
-        stored.set(
-            "archive_b64",
-            chronos_util::encode::base64_encode(&result.archive),
-        );
+        stored.set("archive_b64", chronos_util::encode::base64_encode(&result.archive));
         self.store.put(KIND_RESULT, &result.id.to_base32(), stored)?;
         job.result_id = Some(result.id);
         self.save_job(&job)?;
@@ -560,7 +547,11 @@ impl ChronosControl {
             job.transition(
                 JobState::Scheduled,
                 now,
-                &format!("automatically re-scheduled (attempt {} of {})", job.attempts + 1, self.config.max_attempts),
+                &format!(
+                    "automatically re-scheduled (attempt {} of {})",
+                    job.attempts + 1,
+                    self.config.max_attempts
+                ),
             )?;
             job.deployment_id = None;
             job.progress = 0;
@@ -613,14 +604,10 @@ impl ChronosControl {
             let _guard = self.write_lock.lock();
             // Re-check under the lock (the agent may have heartbeat since).
             let job = self.get_job(job_id)?;
-            if job.state == JobState::Running && self.config.lease_expired(job.heartbeat_at, now)
-            {
+            if job.state == JobState::Running && self.config.lease_expired(job.heartbeat_at, now) {
                 self.fail_job_locked(
                     job_id,
-                    &format!(
-                        "heartbeat timeout after {} ms",
-                        self.config.heartbeat_timeout_millis
-                    ),
+                    &format!("heartbeat timeout after {} ms", self.config.heartbeat_timeout_millis),
                 )?;
                 timed_out.push(job_id);
             }
@@ -693,9 +680,7 @@ mod tests {
                     ParamDef::new(
                         "engine",
                         "storage engine",
-                        ParamType::Checkbox {
-                            options: vec!["wiredtiger".into(), "mmapv1".into()],
-                        },
+                        ParamType::Checkbox { options: vec!["wiredtiger".into(), "mmapv1".into()] },
                         Value::from("wiredtiger"),
                     )
                     .unwrap(),
@@ -815,10 +800,7 @@ mod tests {
     fn inactive_deployment_cannot_claim() {
         let (control, _clock, _evaluation, deployment) = demo_evaluation();
         control.set_deployment_active(deployment.id, false).unwrap();
-        assert!(matches!(
-            control.claim_next_job(deployment.id),
-            Err(CoreError::Conflict(_))
-        ));
+        assert!(matches!(control.claim_next_job(deployment.id), Err(CoreError::Conflict(_))));
     }
 
     #[test]
@@ -837,7 +819,11 @@ mod tests {
         control.append_log(job.id, "loading 1000 records").unwrap();
         control.append_log(job.id, "running transactions\n").unwrap();
         let result = control
-            .finish_job(job.id, obj! {"throughput_ops_per_sec" => 1234.5}, b"PK\x05\x06zip".to_vec())
+            .finish_job(
+                job.id,
+                obj! {"throughput_ops_per_sec" => 1234.5},
+                b"PK\x05\x06zip".to_vec(),
+            )
             .unwrap();
         let job = control.get_job(job.id).unwrap();
         assert_eq!(job.state, JobState::Finished);
@@ -929,10 +915,7 @@ mod tests {
         let project = &control.list_projects()[0];
         let experiment = &control.list_experiments(Some(project.id))[0];
         control.archive_experiment(experiment.id).unwrap();
-        assert!(matches!(
-            control.create_evaluation(experiment.id),
-            Err(CoreError::Conflict(_))
-        ));
+        assert!(matches!(control.create_evaluation(experiment.id), Err(CoreError::Conflict(_))));
         control.archive_project(project.id).unwrap();
         let system = control.find_system("minidoc").unwrap();
         assert!(matches!(
@@ -956,10 +939,8 @@ mod tests {
 
     #[test]
     fn control_state_survives_restart() {
-        let path = std::env::temp_dir().join(format!(
-            "chronos-control-restart-{}.log",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir()
+            .join(format!("chronos-control-restart-{}.log", std::process::id()));
         let _ = std::fs::remove_file(&path);
         let clock: Arc<dyn Clock> = Arc::new(SystemClock);
         let (system_id, evaluation_id, job_id);

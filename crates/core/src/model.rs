@@ -277,9 +277,7 @@ impl Evaluation {
             swept_params: value
                 .get("swept_params")
                 .and_then(Value::as_array)
-                .map(|items| {
-                    items.iter().filter_map(Value::as_str).map(str::to_string).collect()
-                })
+                .map(|items| items.iter().filter_map(Value::as_str).map(str::to_string).collect())
                 .unwrap_or_default(),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
         })
@@ -462,10 +460,7 @@ impl Job {
         map.insert("system_id".into(), Value::from(self.system_id.to_base32()));
         map.insert("parameters".into(), self.parameters.clone());
         map.insert("state".into(), Value::from(self.state.as_str()));
-        map.insert(
-            "deployment_id".into(),
-            Value::from(self.deployment_id.map(|d| d.to_base32())),
-        );
+        map.insert("deployment_id".into(), Value::from(self.deployment_id.map(|d| d.to_base32())));
         map.insert("progress".into(), Value::from(self.progress as i64));
         map.insert("log".into(), Value::from(self.log.as_str()));
         map.insert(
@@ -723,9 +718,6 @@ mod tests {
             archive: vec![0u8; 1234],
             created_at: 1,
         };
-        assert_eq!(
-            result.to_json().get("archive_bytes").and_then(Value::as_u64),
-            Some(1234)
-        );
+        assert_eq!(result.to_json().get("archive_bytes").and_then(Value::as_u64), Some(1234));
     }
 }

@@ -118,26 +118,21 @@ impl ParamType {
     pub fn validate_value(&self, value: &Value) -> CoreResult<()> {
         let ok = match self {
             ParamType::Boolean => value.as_bool().is_some(),
-            ParamType::Checkbox { options } => value
-                .as_str()
-                .map(|s| options.iter().any(|o| o == s))
-                .unwrap_or(false),
+            ParamType::Checkbox { options } => {
+                value.as_str().map(|s| options.iter().any(|o| o == s)).unwrap_or(false)
+            }
             ParamType::Value => {
                 matches!(value, Value::String(_) | Value::Number(_) | Value::Bool(_))
             }
-            ParamType::Interval { min, max, .. } => value
-                .as_i64()
-                .map(|v| v >= *min && v <= *max)
-                .unwrap_or(false),
+            ParamType::Interval { min, max, .. } => {
+                value.as_i64().map(|v| v >= *min && v <= *max).unwrap_or(false)
+            }
             ParamType::Ratio => value.as_f64().map(|v| (0.0..=1.0).contains(&v)).unwrap_or(false),
         };
         if ok {
             Ok(())
         } else {
-            Err(CoreError::Invalid(format!(
-                "value {value} is not a valid {}",
-                self.tag()
-            )))
+            Err(CoreError::Invalid(format!("value {value} is not a valid {}", self.tag())))
         }
     }
 
@@ -206,11 +201,8 @@ impl ParamDef {
             .get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| CoreError::Invalid("parameter needs a \"name\"".into()))?;
-        let description = value
-            .get("description")
-            .and_then(Value::as_str)
-            .unwrap_or("")
-            .to_string();
+        let description =
+            value.get("description").and_then(Value::as_str).unwrap_or("").to_string();
         let param_type = ParamType::from_json(value)?;
         let default = value
             .get("default")
@@ -245,9 +237,7 @@ impl Assignment {
                         Ok(Assignment::Sweep(items.clone()))
                     }
                 }
-                _ => Err(CoreError::Invalid(
-                    "\"sweep\" must be a value list or \"all\"".into(),
-                )),
+                _ => Err(CoreError::Invalid("\"sweep\" must be a value list or \"all\"".into())),
             };
         }
         Ok(Assignment::Fixed(value.clone()))
@@ -343,9 +333,9 @@ impl ParamAssignments {
                 Some(Assignment::SweepAll) => def.param_type.sweep_all()?,
             };
             for v in &values {
-                def.param_type.validate_value(v).map_err(|e| {
-                    CoreError::Invalid(format!("parameter {:?}: {e}", def.name))
-                })?;
+                def.param_type
+                    .validate_value(v)
+                    .map_err(|e| CoreError::Invalid(format!("parameter {:?}: {e}", def.name)))?;
             }
             axes.push((&def.name, values));
         }
@@ -409,9 +399,7 @@ mod tests {
             ParamDef::new(
                 "engine",
                 "storage engine",
-                ParamType::Checkbox {
-                    options: vec!["wiredtiger".into(), "mmapv1".into()],
-                },
+                ParamType::Checkbox { options: vec!["wiredtiger".into(), "mmapv1".into()] },
                 Value::from("wiredtiger"),
             )
             .unwrap(),
@@ -422,8 +410,13 @@ mod tests {
                 Value::from(1),
             )
             .unwrap(),
-            ParamDef::new("compression", "block compression", ParamType::Boolean, Value::Bool(true))
-                .unwrap(),
+            ParamDef::new(
+                "compression",
+                "block compression",
+                ParamType::Boolean,
+                Value::Bool(true),
+            )
+            .unwrap(),
             ParamDef::new("read_ratio", "fraction of reads", ParamType::Ratio, Value::from(0.5))
                 .unwrap(),
         ]
@@ -477,7 +470,7 @@ mod tests {
             .sweep("threads", vec![Value::from(1), Value::from(2), Value::from(4)]);
         let points = assignments.expand(&schema).unwrap();
         assert_eq!(points.len(), 6); // 2 engines x 3 thread counts
-        // Defaults filled in:
+                                     // Defaults filled in:
         assert_eq!(points[0].get("compression"), Some(&Value::Bool(true)));
         assert_eq!(points[0].get("read_ratio"), Some(&Value::from(0.5)));
         // Schema order, last axis fastest:
@@ -512,7 +505,8 @@ mod tests {
         )
         .unwrap();
         let points = ParamAssignments::new().sweep_all("n").expand(&[def]).unwrap();
-        let values: Vec<i64> = points.iter().map(|p| p.get("n").unwrap().as_i64().unwrap()).collect();
+        let values: Vec<i64> =
+            points.iter().map(|p| p.get("n").unwrap().as_i64().unwrap()).collect();
         assert_eq!(values, vec![2, 5, 8]);
     }
 
@@ -534,8 +528,7 @@ mod tests {
 
     #[test]
     fn sweep_all_on_unbounded_type_rejected() {
-        let def =
-            ParamDef::new("name", "", ParamType::Value, Value::from("x")).unwrap();
+        let def = ParamDef::new("name", "", ParamType::Value, Value::from("x")).unwrap();
         let err = ParamAssignments::new().sweep_all("name").expand(&[def]);
         assert!(matches!(err, Err(CoreError::Invalid(_))));
     }

@@ -25,11 +25,7 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig {
-            heartbeat_timeout_millis: 30_000,
-            max_attempts: 3,
-            auto_reschedule: true,
-        }
+        SchedulerConfig { heartbeat_timeout_millis: 30_000, max_attempts: 3, auto_reschedule: true }
     }
 }
 
@@ -124,7 +120,8 @@ mod tests {
 
     #[test]
     fn status_rollup() {
-        let status = EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 };
+        let status =
+            EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 };
         assert_eq!(status.total(), 7);
         assert!(!status.is_settled());
         assert_eq!(status.progress_percent() as usize, 4 * 100 / 7);

@@ -7,194 +7,548 @@
 //! including after a crash mid-append (the torn tail is discarded) — which
 //! is what lets Chronos Control itself be restarted under long-running
 //! evaluations (requirement *(iii)*).
+//!
+//! # Concurrency design
+//!
+//! The store sits on the control-plane hot path (every API request and every
+//! agent heartbeat funnels through it), so it is built for concurrent access
+//! rather than a single global mutex:
+//!
+//! * **Per-kind sharding.** Each kind (`job`, `evaluation`, …) owns an
+//!   independently locked shard, so writers to different kinds never
+//!   contend, and readers take shard read locks that admit each other.
+//! * **`Arc<Value>` documents.** `get`/`list` return reference-counted
+//!   handles; reads copy a pointer instead of deep-cloning documents.
+//! * **Group-commit WAL.** Mutations serialize their log frame *outside*
+//!   any lock, enqueue it while holding only their shard's write lock
+//!   (which fixes the per-key replay order), then batch-append: whichever
+//!   thread acquires the log next writes every queued frame with a single
+//!   `write_all`. Contention therefore *increases* batching instead of
+//!   queuing convoys behind per-record writes.
+//! * **Background compaction.** An optional record-count threshold triggers
+//!   log compaction on a helper thread; readers and in-memory writers keep
+//!   going while it runs (writers only wait at the durability step).
+//!
+//! A log write failure is sticky: the store keeps serving reads, but every
+//! subsequent mutation fails with the original error, so memory and log
+//! cannot silently diverge further than the batch that broke.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use chronos_json::{obj, Value};
+use chronos_json::Value;
 
 use crate::error::{CoreError, CoreResult};
 
-struct Inner {
-    kinds: BTreeMap<String, BTreeMap<String, Value>>,
-    log: Option<File>,
-    log_path: Option<PathBuf>,
-    log_records: u64,
+type Docs = BTreeMap<String, Arc<Value>>;
+
+/// One kind's documents, with its own lock.
+#[derive(Default)]
+struct Shard {
+    docs: RwLock<Docs>,
+}
+
+/// Frames waiting to be appended to the log, in commit order.
+#[derive(Default)]
+struct WalQueue {
+    frames: Vec<(u64, Vec<u8>)>,
+    next_seq: u64,
+}
+
+/// The append side of the log. Guarded by one mutex: whoever holds it
+/// drains the queue and writes the whole batch at once.
+struct WalFile {
+    file: File,
+    path: PathBuf,
+    /// Highest sequence number durably written (or folded into a
+    /// compaction snapshot).
+    written_seq: u64,
+    /// Records in the log file right now.
+    records: u64,
+    /// First write error, kept verbatim; set once, never cleared.
+    error: Option<String>,
+    /// Reusable batch buffer so steady-state flushes don't allocate.
+    scratch: Vec<u8>,
+}
+
+struct Wal {
+    queue: Mutex<WalQueue>,
+    file: Mutex<WalFile>,
+    /// Mirror of `WalFile::error.is_some()`, checkable without the lock.
+    failed: AtomicBool,
+}
+
+struct Shared {
+    shards: RwLock<BTreeMap<String, Arc<Shard>>>,
+    /// `None` for purely in-memory stores.
+    wal: Option<Wal>,
+    /// Mutation counter for in-memory stores (mirrors `records` semantics).
+    mem_records: AtomicU64,
+    /// Live documents across all shards (maintained incrementally).
+    live_docs: AtomicU64,
+    /// Auto-compaction record threshold; 0 disables.
+    auto_compact_threshold: AtomicU64,
+    /// True while a background compaction is scheduled or running.
+    compacting: AtomicBool,
 }
 
 /// A persistent (or in-memory) document store keyed by `(kind, id)`.
 pub struct MetadataStore {
-    inner: Mutex<Inner>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for MetadataStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetadataStore")
+            .field("persistent", &self.shared.wal.is_some())
+            .field("live_docs", &self.live_docs())
+            .finish()
+    }
 }
 
 impl MetadataStore {
     /// A purely in-memory store (tests, benches).
     pub fn in_memory() -> Self {
-        MetadataStore {
-            inner: Mutex::new(Inner {
-                kinds: BTreeMap::new(),
-                log: None,
-                log_path: None,
-                log_records: 0,
-            }),
-        }
+        MetadataStore { shared: Arc::new(Shared::new(BTreeMap::new(), None)) }
     }
 
     /// Opens a store logged at `path`, replaying any existing log.
+    ///
+    /// Replay propagates real I/O errors. A record that fails to *parse*
+    /// is discarded only when it is the final line — the torn tail of a
+    /// crashed append; garbage in the middle of the log is corruption and
+    /// fails the open.
     pub fn open(path: &Path) -> CoreResult<Self> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut kinds: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+        let mut kinds: BTreeMap<String, Docs> = BTreeMap::new();
         let mut records = 0u64;
         match File::open(path) {
             Ok(file) => {
-                for line in BufReader::new(file).lines() {
-                    let Ok(line) = line else { break };
-                    let Ok(entry) = chronos_json::parse(&line) else {
-                        break; // torn tail after a crash: stop replay
-                    };
-                    records += 1;
-                    apply(&mut kinds, &entry);
+                let mut reader = BufReader::new(file);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        break;
+                    }
+                    match chronos_json::parse(line.trim_end_matches(['\n', '\r'])) {
+                        Ok(entry) => {
+                            records += 1;
+                            apply(&mut kinds, entry);
+                        }
+                        Err(parse_err) => {
+                            if reader.fill_buf()?.is_empty() {
+                                break; // torn tail after a crash: stop replay
+                            }
+                            return Err(CoreError::Storage(format!(
+                                "corrupt log record {} in {}: {parse_err}",
+                                records + 1,
+                                path.display(),
+                            )));
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        let log = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(MetadataStore {
-            inner: Mutex::new(Inner {
-                kinds,
-                log: Some(log),
-                log_path: Some(path.to_path_buf()),
-                log_records: records,
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let wal = Wal {
+            queue: Mutex::new(WalQueue::default()),
+            file: Mutex::new(WalFile {
+                file,
+                path: path.to_path_buf(),
+                written_seq: 0,
+                records,
+                error: None,
+                scratch: Vec::new(),
             }),
-        })
+            failed: AtomicBool::new(false),
+        };
+        Ok(MetadataStore { shared: Arc::new(Shared::new(kinds, Some(wal))) })
     }
 
     /// Stores (inserting or replacing) a document.
     pub fn put(&self, kind: &str, id: &str, document: Value) -> CoreResult<()> {
-        let mut inner = self.inner.lock();
-        let entry = obj! {
-            "op" => "put",
-            "kind" => kind,
-            "id" => id,
-            "doc" => document.clone(),
+        let shared = &self.shared;
+        let document = Arc::new(document);
+        let Some(wal) = &shared.wal else {
+            let shard = shared.shard(kind);
+            let previous = shard.docs.write().insert(id.to_string(), document);
+            if previous.is_none() {
+                shared.live_docs.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.mem_records.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
         };
-        append(&mut inner, &entry)?;
-        inner.kinds.entry(kind.to_string()).or_default().insert(id.to_string(), document);
+        wal.check_failed()?;
+        // All serialization work happens before any lock is taken.
+        let frame = frame_put(kind, id, &document);
+        let shard = shared.shard(kind);
+        let seq;
+        let previous;
+        {
+            // Enqueueing under the shard write lock pins the log order of
+            // same-key frames to their in-memory apply order.
+            let mut docs = shard.docs.write();
+            seq = wal.enqueue(frame);
+            previous = docs.insert(id.to_string(), document);
+        }
+        if previous.is_none() {
+            shared.live_docs.fetch_add(1, Ordering::Relaxed);
+        }
+        wal.flush_through(seq)?;
+        self.maybe_schedule_compaction();
         Ok(())
-    }
-
-    /// Fetches a document.
-    pub fn get(&self, kind: &str, id: &str) -> Option<Value> {
-        self.inner.lock().kinds.get(kind).and_then(|m| m.get(id)).cloned()
     }
 
     /// Deletes a document; returns whether it existed.
     pub fn delete(&self, kind: &str, id: &str) -> CoreResult<bool> {
-        let mut inner = self.inner.lock();
-        let existed =
-            inner.kinds.get_mut(kind).map(|m| m.remove(id).is_some()).unwrap_or(false);
-        if existed {
-            let entry = obj! { "op" => "delete", "kind" => kind, "id" => id };
-            append(&mut inner, &entry)?;
+        let shared = &self.shared;
+        let Some(shard) = shared.shard_if_exists(kind) else { return Ok(false) };
+        let Some(wal) = &shared.wal else {
+            let existed = shard.docs.write().remove(id).is_some();
+            if existed {
+                shared.live_docs.fetch_sub(1, Ordering::Relaxed);
+                shared.mem_records.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(existed);
+        };
+        wal.check_failed()?;
+        let frame = frame_delete(kind, id);
+        let seq;
+        {
+            let mut docs = shard.docs.write();
+            if !docs.contains_key(id) {
+                return Ok(false);
+            }
+            seq = wal.enqueue(frame);
+            docs.remove(id);
         }
-        Ok(existed)
+        shared.live_docs.fetch_sub(1, Ordering::Relaxed);
+        wal.flush_through(seq)?;
+        self.maybe_schedule_compaction();
+        Ok(true)
     }
 
-    /// All documents of a kind, in id order.
-    pub fn list(&self, kind: &str) -> Vec<Value> {
-        self.inner
-            .lock()
-            .kinds
-            .get(kind)
-            .map(|m| m.values().cloned().collect())
-            .unwrap_or_default()
+    /// Fetches a document (a cheap reference-counted handle).
+    pub fn get(&self, kind: &str, id: &str) -> Option<Arc<Value>> {
+        self.shared.shard_if_exists(kind)?.docs.read().get(id).cloned()
+    }
+
+    /// All documents of a kind, in id order (reference-counted handles).
+    pub fn list(&self, kind: &str) -> Vec<Arc<Value>> {
+        match self.shared.shard_if_exists(kind) {
+            Some(shard) => shard.docs.read().values().cloned().collect(),
+            None => Vec::new(),
+        }
     }
 
     /// All ids of a kind, in order.
     pub fn ids(&self, kind: &str) -> Vec<String> {
-        self.inner
-            .lock()
-            .kinds
-            .get(kind)
-            .map(|m| m.keys().cloned().collect())
-            .unwrap_or_default()
+        match self.shared.shard_if_exists(kind) {
+            Some(shard) => shard.docs.read().keys().cloned().collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of documents of a kind.
     pub fn count(&self, kind: &str) -> usize {
-        self.inner.lock().kinds.get(kind).map(BTreeMap::len).unwrap_or(0)
+        match self.shared.shard_if_exists(kind) {
+            Some(shard) => shard.docs.read().len(),
+            None => 0,
+        }
     }
 
-    /// Log records appended since the store was created/opened (monotone;
-    /// used to decide when to [`compact`](MetadataStore::compact)).
+    /// Records in the log right now (for persistent stores), or mutations
+    /// accepted (for in-memory stores). Drops back to the live-document
+    /// count after [`compact`](MetadataStore::compact).
     pub fn log_records(&self) -> u64 {
-        self.inner.lock().log_records
+        match &self.shared.wal {
+            Some(wal) => wal.file.lock().records,
+            None => self.shared.mem_records.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live documents across all kinds.
+    pub fn live_docs(&self) -> u64 {
+        self.shared.live_docs.load(Ordering::Relaxed)
+    }
+
+    /// Enables automatic background compaction once the log holds at
+    /// least `threshold` records (and at least twice the live document
+    /// count, so a large working set cannot trigger a compaction loop).
+    /// `0` disables; disabled is the default.
+    pub fn set_auto_compact_threshold(&self, threshold: u64) {
+        self.shared.auto_compact_threshold.store(threshold, Ordering::Relaxed);
     }
 
     /// Rewrites the log to contain exactly the live documents.
+    ///
+    /// Runs concurrently with reads and with the in-memory half of
+    /// writes; writers block only at their durability step. Queued frames
+    /// are folded into the snapshot (their effects are already visible in
+    /// memory), and frames enqueued during the rewrite land in the fresh
+    /// log afterwards — replay applies them on top of the snapshot, which
+    /// is idempotent because puts and deletes are absolute.
     pub fn compact(&self) -> CoreResult<()> {
-        let mut inner = self.inner.lock();
-        let Some(path) = inner.log_path.clone() else { return Ok(()) };
-        let tmp = path.with_extension("compact-tmp");
-        {
-            let mut out = File::create(&tmp)?;
-            for (kind, docs) in &inner.kinds {
-                for (id, doc) in docs {
-                    let entry = obj! {
-                        "op" => "put",
-                        "kind" => kind.as_str(),
-                        "id" => id.as_str(),
-                        "doc" => doc.clone(),
-                    };
-                    writeln!(out, "{entry}")?;
-                }
-            }
-            out.sync_data()?;
+        compact_shared(&self.shared)
+    }
+
+    fn maybe_schedule_compaction(&self) {
+        let shared = &self.shared;
+        if !wants_compaction(shared) {
+            return;
         }
-        std::fs::rename(&tmp, &path)?;
-        inner.log = Some(OpenOptions::new().append(true).open(&path)?);
-        inner.log_records = inner.kinds.values().map(BTreeMap::len).sum::<usize>() as u64;
-        Ok(())
+        if shared.compacting.swap(true, Ordering::AcqRel) {
+            return; // one compaction at a time
+        }
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || loop {
+            if let Err(err) = compact_shared(&shared) {
+                // Surface the failure the same way a broken append would.
+                if let Some(wal) = &shared.wal {
+                    wal.fail(format!("background compaction failed: {err}"));
+                }
+                shared.compacting.store(false, Ordering::Release);
+                break;
+            }
+            shared.compacting.store(false, Ordering::Release);
+            // Writers that mutated while the flag was up skipped
+            // scheduling entirely, so the log could sit above threshold
+            // with no future trigger; re-check before retiring (the swap
+            // loses to any concurrent scheduler, which then owns the run).
+            if !wants_compaction(&shared) || shared.compacting.swap(true, Ordering::AcqRel) {
+                break;
+            }
+        });
     }
 }
 
-fn apply(kinds: &mut BTreeMap<String, BTreeMap<String, Value>>, entry: &Value) {
-    let op = entry.get("op").and_then(Value::as_str).unwrap_or("");
-    let Some(kind) = entry.get("kind").and_then(Value::as_str) else { return };
-    let Some(id) = entry.get("id").and_then(Value::as_str) else { return };
-    match op {
-        "put" => {
-            if let Some(doc) = entry.get("doc") {
-                kinds.entry(kind.to_string()).or_default().insert(id.to_string(), doc.clone());
+impl Shared {
+    fn new(kinds: BTreeMap<String, Docs>, wal: Option<Wal>) -> Self {
+        let live: usize = kinds.values().map(BTreeMap::len).sum();
+        let shards = kinds
+            .into_iter()
+            .map(|(kind, docs)| (kind, Arc::new(Shard { docs: RwLock::new(docs) })))
+            .collect();
+        Shared {
+            shards: RwLock::new(shards),
+            wal,
+            mem_records: AtomicU64::new(0),
+            live_docs: AtomicU64::new(live as u64),
+            auto_compact_threshold: AtomicU64::new(0),
+            compacting: AtomicBool::new(false),
+        }
+    }
+
+    /// The shard for `kind`, creating it on first write.
+    fn shard(&self, kind: &str) -> Arc<Shard> {
+        if let Some(shard) = self.shards.read().get(kind) {
+            return Arc::clone(shard);
+        }
+        let mut shards = self.shards.write();
+        Arc::clone(shards.entry(kind.to_string()).or_default())
+    }
+
+    /// The shard for `kind` if any document of that kind was ever stored.
+    fn shard_if_exists(&self, kind: &str) -> Option<Arc<Shard>> {
+        self.shards.read().get(kind).map(Arc::clone)
+    }
+
+    /// A point-in-time handle list of every shard.
+    fn snapshot_shards(&self) -> Vec<(String, Arc<Shard>)> {
+        self.shards.read().iter().map(|(k, s)| (k.clone(), Arc::clone(s))).collect()
+    }
+}
+
+impl Wal {
+    /// Fast-path check for a previously failed log.
+    fn check_failed(&self) -> CoreResult<()> {
+        if self.failed.load(Ordering::Acquire) {
+            let detail = self
+                .file
+                .lock()
+                .error
+                .clone()
+                .unwrap_or_else(|| "log previously failed".to_string());
+            return Err(CoreError::Storage(detail));
+        }
+        Ok(())
+    }
+
+    /// Marks the log permanently failed.
+    fn fail(&self, detail: String) {
+        let mut file = self.file.lock();
+        if file.error.is_none() {
+            file.error = Some(detail);
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Adds a frame to the commit queue, returning its sequence number.
+    fn enqueue(&self, frame: Vec<u8>) -> u64 {
+        let mut queue = self.queue.lock();
+        queue.next_seq += 1;
+        let seq = queue.next_seq;
+        queue.frames.push((seq, frame));
+        seq
+    }
+
+    /// Group commit: returns once the frame with `seq` is written. The
+    /// thread that wins the file lock writes *every* queued frame in one
+    /// `write_all`; the rest observe `written_seq` and return.
+    fn flush_through(&self, seq: u64) -> CoreResult<()> {
+        let mut file = self.file.lock();
+        if let Some(err) = &file.error {
+            return Err(CoreError::Storage(err.clone()));
+        }
+        if file.written_seq >= seq {
+            return Ok(());
+        }
+        let frames = std::mem::take(&mut self.queue.lock().frames);
+        debug_assert!(!frames.is_empty(), "unwritten seq implies queued frames");
+        let Some(&(last_seq, _)) = frames.last() else { return Ok(()) };
+
+        let file = &mut *file;
+        file.scratch.clear();
+        for (_, frame) in &frames {
+            file.scratch.extend_from_slice(frame);
+        }
+        match file.file.write_all(&file.scratch) {
+            Ok(()) => {
+                file.written_seq = last_seq;
+                // Counted only after the write succeeded, so a failed
+                // append can never inflate the record count.
+                file.records += frames.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let detail = format!("log append failed: {e}");
+                file.error = Some(detail.clone());
+                self.failed.store(true, Ordering::Release);
+                Err(CoreError::Storage(detail))
             }
         }
-        "delete" => {
-            if let Some(m) = kinds.get_mut(kind) {
-                m.remove(id);
+    }
+}
+
+/// True when the auto-compaction policy says the log is worth rewriting:
+/// at least `threshold` records, and at least twice the live document
+/// count (so a large working set cannot trigger a rewrite loop).
+fn wants_compaction(shared: &Shared) -> bool {
+    let threshold = shared.auto_compact_threshold.load(Ordering::Relaxed);
+    if threshold == 0 {
+        return false;
+    }
+    let Some(wal) = &shared.wal else { return false };
+    let records = wal.file.lock().records;
+    let live = shared.live_docs.load(Ordering::Relaxed);
+    records >= threshold && records >= live.saturating_mul(2)
+}
+
+fn compact_shared(shared: &Shared) -> CoreResult<()> {
+    let Some(wal) = &shared.wal else { return Ok(()) };
+    // Holding the file lock for the whole rewrite: flushers queue behind
+    // it and their frames land in the fresh log. Readers and the
+    // in-memory half of writes are untouched.
+    let mut file = wal.file.lock();
+    if let Some(err) = &file.error {
+        return Err(CoreError::Storage(err.clone()));
+    }
+    // Effects of already-queued frames are visible in memory (apply and
+    // enqueue are atomic under the shard lock), so the snapshot subsumes
+    // them; drop the frames and mark them written.
+    let drained = std::mem::take(&mut wal.queue.lock().frames);
+    if let Some(&(last_seq, _)) = drained.last() {
+        file.written_seq = file.written_seq.max(last_seq);
+    }
+
+    let tmp = file.path.with_extension("compact-tmp");
+    let mut live = 0u64;
+    {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        let mut frame = String::new();
+        for (kind, shard) in shared.snapshot_shards() {
+            // Brief per-shard read lock; writers to other shards proceed.
+            let docs = shard.docs.read();
+            for (id, doc) in docs.iter() {
+                frame.clear();
+                frame_put_into(&mut frame, &kind, id, doc);
+                out.write_all(frame.as_bytes())?;
+                live += 1;
+            }
+        }
+        out.flush()?;
+        out.get_ref().sync_data()?;
+    }
+    std::fs::rename(&tmp, &file.path)?;
+    file.file = OpenOptions::new().append(true).open(&file.path)?;
+    file.records = live;
+    Ok(())
+}
+
+/// Serializes a put record (`{"op":"put",...}\n`) into `out` without
+/// cloning the document.
+fn frame_put_into(out: &mut String, kind: &str, id: &str, doc: &Value) {
+    out.push_str("{\"op\":\"put\",\"kind\":");
+    chronos_json::write_string(out, kind);
+    out.push_str(",\"id\":");
+    chronos_json::write_string(out, id);
+    out.push_str(",\"doc\":");
+    doc.write_into(out);
+    out.push_str("}\n");
+}
+
+fn frame_put(kind: &str, id: &str, doc: &Value) -> Vec<u8> {
+    let mut out = String::with_capacity(64);
+    frame_put_into(&mut out, kind, id, doc);
+    out.into_bytes()
+}
+
+fn frame_delete(kind: &str, id: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"op\":\"delete\",\"kind\":");
+    chronos_json::write_string(&mut out, kind);
+    out.push_str(",\"id\":");
+    chronos_json::write_string(&mut out, id);
+    out.push_str("}\n");
+    out.into_bytes()
+}
+
+fn apply(kinds: &mut BTreeMap<String, Docs>, entry: Value) {
+    let Value::Object(mut map) = entry else { return };
+    let Some(kind) = map.get("kind").and_then(Value::as_str).map(str::to_string) else {
+        return;
+    };
+    let Some(id) = map.get("id").and_then(Value::as_str).map(str::to_string) else { return };
+    match map.get("op").and_then(Value::as_str) {
+        Some("put") => {
+            if let Some(doc) = map.remove("doc") {
+                kinds.entry(kind).or_default().insert(id, Arc::new(doc));
+            }
+        }
+        Some("delete") => {
+            if let Some(m) = kinds.get_mut(&kind) {
+                m.remove(&id);
             }
         }
         _ => {}
     }
 }
 
-fn append(inner: &mut Inner, entry: &Value) -> CoreResult<()> {
-    inner.log_records += 1;
-    if let Some(log) = &mut inner.log {
-        writeln!(log, "{entry}").map_err(|e| CoreError::Storage(e.to_string()))?;
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chronos_json::obj;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("chronos-store-{}-{name}.log", std::process::id()))
@@ -276,6 +630,27 @@ mod tests {
     }
 
     #[test]
+    fn mid_log_corruption_is_an_error_not_data_loss() {
+        let path = tmp("corrupt-middle");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            store.put("k", "a", obj! {"v" => 1}).unwrap();
+            store.put("k", "b", obj! {"v" => 2}).unwrap();
+            store.put("k", "c", obj! {"v" => 3}).unwrap();
+        }
+        // Mangle the *middle* record; a torn tail can only be last, so
+        // this must fail the open instead of silently replaying half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"op\":\"put\",\"ki";
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = MetadataStore::open(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt log record 2"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn compaction_shrinks_log_and_preserves_state() {
         let path = tmp("compact");
         let _ = std::fs::remove_file(&path);
@@ -307,5 +682,67 @@ mod tests {
         assert_eq!(store.get("b", "x").unwrap().get("v").and_then(Value::as_i64), Some(2));
         store.delete("a", "x").unwrap();
         assert!(store.get("b", "x").is_some());
+    }
+
+    #[test]
+    fn get_returns_shared_handles_not_copies() {
+        let store = MetadataStore::in_memory();
+        store.put("k", "x", obj! {"v" => 1}).unwrap();
+        let a = store.get("k", "x").unwrap();
+        let b = store.get("k", "x").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "reads must share one allocation");
+        // Replacing the document swaps the handle; old handles stay valid.
+        store.put("k", "x", obj! {"v" => 2}).unwrap();
+        assert_eq!(a.get("v").and_then(Value::as_i64), Some(1));
+        assert_eq!(store.get("k", "x").unwrap().get("v").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn escaped_kinds_and_ids_roundtrip() {
+        let path = tmp("escaped");
+        let _ = std::fs::remove_file(&path);
+        let kind = "weird\"kind\\with\nescapes";
+        let id = "id\twith\u{1}controls";
+        {
+            let store = MetadataStore::open(&path).unwrap();
+            store.put(kind, id, obj! {"v" => 1}).unwrap();
+        }
+        let store = MetadataStore::open(&path).unwrap();
+        assert_eq!(store.get(kind, id).unwrap().get("v").and_then(Value::as_i64), Some(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn live_docs_tracks_inserts_replaces_and_deletes() {
+        let store = MetadataStore::in_memory();
+        store.put("k", "a", obj! {"v" => 1}).unwrap();
+        store.put("k", "a", obj! {"v" => 2}).unwrap(); // replace: not a new doc
+        store.put("k", "b", obj! {"v" => 3}).unwrap();
+        assert_eq!(store.live_docs(), 2);
+        store.delete("k", "a").unwrap();
+        assert_eq!(store.live_docs(), 1);
+    }
+
+    #[test]
+    fn auto_compaction_kicks_in_at_threshold() {
+        let path = tmp("auto-compact");
+        let _ = std::fs::remove_file(&path);
+        let store = MetadataStore::open(&path).unwrap();
+        store.set_auto_compact_threshold(64);
+        for i in 0..200 {
+            store.put("k", "hot", obj! {"v" => i}).unwrap();
+        }
+        // The background thread races the writer; give it a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.log_records() > 64 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(store.log_records() <= 64, "log never compacted: {} records", store.log_records());
+        assert_eq!(store.get("k", "hot").unwrap().get("v").and_then(Value::as_i64), Some(199));
+        // And nothing was lost for a fresh open.
+        drop(store);
+        let reopened = MetadataStore::open(&path).unwrap();
+        assert_eq!(reopened.get("k", "hot").unwrap().get("v").and_then(Value::as_i64), Some(199));
+        std::fs::remove_file(&path).unwrap();
     }
 }

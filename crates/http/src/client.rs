@@ -57,11 +57,8 @@ pub struct Client {
 impl Client {
     /// Creates a client for `base_url` (`http://host:port`).
     pub fn new(base_url: &str) -> Self {
-        let authority = base_url
-            .strip_prefix("http://")
-            .unwrap_or(base_url)
-            .trim_end_matches('/')
-            .to_string();
+        let authority =
+            base_url.strip_prefix("http://").unwrap_or(base_url).trim_end_matches('/').to_string();
         Client {
             host: authority.clone(),
             authority,
@@ -203,17 +200,13 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(Response, bool), 
             headers.add(name.trim(), value.trim());
         }
     }
-    let content_length: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let content_length: usize =
+        headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
         reader.read_exact(&mut body)?;
     }
-    let keep_alive = !headers
-        .get("connection")
-        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    let keep_alive = !headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
     Ok((Response { status: Status(code), headers, body }, keep_alive))
 }
 
@@ -225,13 +218,15 @@ mod tests {
 
     #[test]
     fn default_headers_are_sent_and_overridable() {
-        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
-            Response::text(
-                Status::OK,
-                req.headers.get("x-token").unwrap_or("absent").to_string(),
-            )
-        })
-        .unwrap();
+        let server = Server::new()
+            .workers(2)
+            .serve("127.0.0.1:0", |req| {
+                Response::text(
+                    Status::OK,
+                    req.headers.get("x-token").unwrap_or("absent").to_string(),
+                )
+            })
+            .unwrap();
         let client = Client::new(&server.base_url());
         let r = client.get("/a").unwrap();
         assert_eq!(r.body, b"absent");
@@ -247,10 +242,10 @@ mod tests {
 
     #[test]
     fn reconnects_after_server_restart_on_same_port() {
-        let server = Server::new().workers(2).serve("127.0.0.1:0", |_| {
-            Response::text(Status::OK, "one")
-        })
-        .unwrap();
+        let server = Server::new()
+            .workers(2)
+            .serve("127.0.0.1:0", |_| Response::text(Status::OK, "one"))
+            .unwrap();
         let addr = server.addr();
         let client = Client::new(&format!("http://{addr}"));
         assert_eq!(client.get("/x").unwrap().body, b"one");
@@ -258,9 +253,10 @@ mod tests {
         // Rebind on the same port (racy in general; retry a few times).
         let mut second = None;
         for _ in 0..20 {
-            match Server::new().workers(2).serve(&addr.to_string(), |_| {
-                Response::text(Status::OK, "two")
-            }) {
+            match Server::new()
+                .workers(2)
+                .serve(&addr.to_string(), |_| Response::text(Status::OK, "two"))
+            {
                 Ok(s) => {
                     second = Some(s);
                     break;
@@ -283,24 +279,24 @@ mod tests {
 
     #[test]
     fn binary_roundtrip() {
-        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
-            Response::bytes(Status::OK, "application/octet-stream", req.body)
-        })
-        .unwrap();
+        let server = Server::new()
+            .workers(2)
+            .serve("127.0.0.1:0", |req| {
+                Response::bytes(Status::OK, "application/octet-stream", req.body)
+            })
+            .unwrap();
         let client = Client::new(&server.base_url());
         let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
-        let resp = client
-            .post_bytes("/echo", "application/octet-stream", payload.clone())
-            .unwrap();
+        let resp = client.post_bytes("/echo", "application/octet-stream", payload.clone()).unwrap();
         assert_eq!(resp.body, payload);
     }
 
     #[test]
     fn json_roundtrip_via_put() {
-        let server = Server::new().workers(2).serve("127.0.0.1:0", |req| {
-            Response::json(&req.json().unwrap())
-        })
-        .unwrap();
+        let server = Server::new()
+            .workers(2)
+            .serve("127.0.0.1:0", |req| Response::json(&req.json().unwrap()))
+            .unwrap();
         let client = Client::new(&server.base_url());
         let doc = obj! { "nested" => obj! { "k" => 1.5 } };
         let resp = client.put_json("/doc", &doc).unwrap();

@@ -145,9 +145,7 @@ impl Router {
                     parts.next();
                 }
                 (Some(Segment::Param(name)), Some(part)) => {
-                    params
-                        .params
-                        .insert(name.clone(), crate::url::decode_component(part));
+                    params.params.insert(name.clone(), crate::url::decode_component(part));
                     parts.next();
                 }
             }
@@ -202,10 +200,7 @@ mod tests {
         let r = router();
         assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs")).body, b"list");
         assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/42")).body, b"job:42");
-        assert_eq!(
-            r.dispatch(&req(Method::Post, "/api/v1/jobs/42/abort")).body,
-            b"abort:42"
-        );
+        assert_eq!(r.dispatch(&req(Method::Post, "/api/v1/jobs/42/abort")).body, b"abort:42");
     }
 
     #[test]
@@ -217,10 +212,7 @@ mod tests {
     #[test]
     fn wildcard_captures_remainder() {
         let r = router();
-        assert_eq!(
-            r.dispatch(&req(Method::Get, "/files/a/b/c.txt")).body,
-            b"file:a/b/c.txt"
-        );
+        assert_eq!(r.dispatch(&req(Method::Get, "/files/a/b/c.txt")).body, b"file:a/b/c.txt");
     }
 
     #[test]

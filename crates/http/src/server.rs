@@ -135,7 +135,7 @@ where
         }
         let (request, keep_alive) = match read_request(&mut reader) {
             Ok(Some(parsed)) => parsed,
-            Ok(None) => break, // clean EOF between requests
+            Ok(None) => break,                // clean EOF between requests
             Err(ReadError::Idle) => continue, // no request yet; re-check shutdown
             Err(ReadError::BadRequest(msg)) => {
                 let resp = Response::error(Status::BAD_REQUEST, msg);
@@ -180,7 +180,10 @@ const MAX_STALLS: u32 = 60;
 
 /// Reads one line, tolerating timeouts while data is still arriving.
 /// `read_until` semantics guarantee partially read bytes stay in `line`.
-fn read_line_retry(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<usize, ReadError> {
+fn read_line_retry(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> Result<usize, ReadError> {
     let start = line.len();
     let mut stalls = 0;
     loop {
@@ -224,9 +227,7 @@ fn read_full(reader: &mut BufReader<TcpStream>, buf: &mut [u8]) -> Result<(), Re
 /// Reads one request. `Ok(None)` means the peer closed the connection
 /// cleanly before sending another request; `Err(Idle)` means nothing has
 /// arrived yet (caller should re-check the shutdown flag and poll again).
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-) -> Result<Option<(Request, bool)>, ReadError> {
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bool)>, ReadError> {
     let mut line = String::new();
     match reader.read_line(&mut line) {
         Ok(0) => return Ok(None),
@@ -244,9 +245,8 @@ fn read_request(
         .next()
         .and_then(Method::parse)
         .ok_or_else(|| ReadError::BadRequest(format!("bad method in {request_line:?}")))?;
-    let target = parts
-        .next()
-        .ok_or_else(|| ReadError::BadRequest("missing request target".to_string()))?;
+    let target =
+        parts.next().ok_or_else(|| ReadError::BadRequest("missing request target".to_string()))?;
     let version = parts.next().unwrap_or("HTTP/1.1");
     if !version.starts_with("HTTP/1.") {
         return Err(ReadError::BadRequest(format!("unsupported version {version}")));
@@ -270,9 +270,7 @@ fn read_request(
         }
         match trimmed.split_once(':') {
             Some((name, value)) => headers.add(name.trim(), value.trim()),
-            None => {
-                return Err(ReadError::BadRequest(format!("malformed header {trimmed:?}")))
-            }
+            None => return Err(ReadError::BadRequest(format!("malformed header {trimmed:?}"))),
         }
     }
 
@@ -319,11 +317,7 @@ fn write_response(
     keep_alive: bool,
     method: Method,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\n",
-        response.status.0,
-        response.status.reason()
-    );
+    let mut head = format!("HTTP/1.1 {} {}\r\n", response.status.0, response.status.reason());
     for (name, value) in response.headers.iter() {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
@@ -344,15 +338,18 @@ mod tests {
     use chronos_json::obj;
 
     fn echo_server() -> ServerHandle {
-        Server::new().workers(4).serve("127.0.0.1:0", |req| {
-            let doc = obj! {
-                "method" => req.method.as_str(),
-                "path" => req.path.clone(),
-                "query" => req.query.clone(),
-                "body_len" => req.body.len(),
-            };
-            Response::json(&doc)
-        }).expect("bind")
+        Server::new()
+            .workers(4)
+            .serve("127.0.0.1:0", |req| {
+                let doc = obj! {
+                    "method" => req.method.as_str(),
+                    "path" => req.path.clone(),
+                    "query" => req.query.clone(),
+                    "body_len" => req.body.len(),
+                };
+                Response::json(&doc)
+            })
+            .expect("bind")
     }
 
     #[test]

@@ -4,6 +4,14 @@ use std::fmt;
 
 use chronos_json::Value;
 
+/// Serializes a JSON body straight into the byte vector that becomes the
+/// message body — no intermediate `String`.
+fn json_body(value: &Value) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128);
+    chronos_json::write_to(&mut body, value).expect("writing to a Vec cannot fail");
+    body
+}
+
 /// HTTP request methods supported by the Chronos REST API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -116,10 +124,7 @@ impl Headers {
 
     /// First value for `name` (case-insensitive).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Appends a header.
@@ -177,7 +182,7 @@ impl Request {
 
     /// Sets a JSON body (and `Content-Type`).
     pub fn with_json(mut self, value: &Value) -> Self {
-        self.body = value.to_string().into_bytes();
+        self.body = json_body(value);
         self.headers.set("Content-Type", "application/json");
         self
     }
@@ -232,7 +237,7 @@ impl Response {
     pub fn json_status(status: Status, value: &Value) -> Self {
         let mut r = Response::status(status);
         r.headers.set("Content-Type", "application/json");
-        r.body = value.to_string().into_bytes();
+        r.body = json_body(value);
         r
     }
 
@@ -277,7 +282,9 @@ mod tests {
 
     #[test]
     fn method_parse_roundtrip() {
-        for m in [Method::Get, Method::Post, Method::Put, Method::Patch, Method::Delete, Method::Head] {
+        for m in
+            [Method::Get, Method::Post, Method::Put, Method::Patch, Method::Delete, Method::Head]
+        {
             assert_eq!(Method::parse(m.as_str()), Some(m));
         }
         assert_eq!(Method::parse("BREW"), None);
@@ -335,9 +342,6 @@ mod tests {
         let r = Response::error(Status::CONFLICT, "already running");
         let j = r.json_body().unwrap();
         assert_eq!(j.pointer("/error/code").and_then(|v| v.as_i64()), Some(409));
-        assert_eq!(
-            j.pointer("/error/message").and_then(|v| v.as_str()),
-            Some("already running")
-        );
+        assert_eq!(j.pointer("/error/message").and_then(|v| v.as_str()), Some("already running"));
     }
 }

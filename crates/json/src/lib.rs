@@ -38,6 +38,7 @@ pub use error::{ParseError, ParseErrorKind};
 pub use number::Number;
 pub use parse::{parse, parse_with_limit, DEFAULT_DEPTH_LIMIT};
 pub use value::{Map, Value};
+pub use write::{write_into, write_pretty_into, write_string, write_to};
 
 /// Builds a [`Value::Object`] from `key => value` pairs.
 #[macro_export]

@@ -72,22 +72,75 @@ impl PartialOrd for Number {
     }
 }
 
-impl fmt::Display for Number {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Number {
+    /// Renders the canonical JSON form into a stack buffer — the
+    /// serializer hot path, with no heap allocation.
+    pub(crate) fn render(&self, buf: &mut ShortBuf) {
+        use fmt::Write;
         match *self {
-            Number::Int(i) => write!(f, "{i}"),
+            Number::Int(i) => {
+                let _ = write!(buf, "{i}");
+            }
             Number::Float(v) => {
-                // `{}` on f64 never prints NaN/inf here (constructors forbid
-                // them) and prints shortest round-trip form. Ensure a decimal
-                // marker so the value re-parses as a float.
-                let s = format!("{v}");
-                if s.contains('.') || s.contains('e') || s.contains('E') {
-                    f.write_str(&s)
-                } else {
-                    write!(f, "{s}.0")
+                // `{}` on f64 never prints NaN/inf here (constructors
+                // forbid them) and prints shortest round-trip form.
+                let _ = write!(buf, "{v}");
+                // Ensure a decimal marker, checked in place on the bytes
+                // just written, so the value re-parses as a float.
+                let needs_marker = !buf.as_str().bytes().any(|b| matches!(b, b'.' | b'e' | b'E'));
+                if needs_marker {
+                    let _ = buf.write_str(".0");
                 }
             }
         }
+    }
+
+    /// Appends the canonical JSON rendering to `out` without allocating.
+    pub fn write_into(&self, out: &mut String) {
+        let mut buf = ShortBuf::new();
+        self.render(&mut buf);
+        out.push_str(buf.as_str());
+    }
+}
+
+/// A stack buffer for number rendering. `f64`'s `Display` never uses
+/// scientific notation, so the longest output is a subnormal's full
+/// decimal expansion (sign + `0.` + 307 leading zeros + 17 significant
+/// digits = 327 bytes); the capacity leaves headroom beyond that.
+pub(crate) struct ShortBuf {
+    bytes: [u8; 352],
+    len: usize,
+}
+
+impl ShortBuf {
+    pub(crate) fn new() -> Self {
+        ShortBuf { bytes: [0; 352], len: 0 }
+    }
+
+    pub(crate) fn as_str(&self) -> &str {
+        // Only `fmt::Write` appends here, so the contents are valid UTF-8
+        // (and in practice pure ASCII).
+        std::str::from_utf8(&self.bytes[..self.len]).expect("number rendering is ascii")
+    }
+}
+
+impl fmt::Write for ShortBuf {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let end = self.len + s.len();
+        if end > self.bytes.len() {
+            return Err(fmt::Error);
+        }
+        self.bytes[self.len..end].copy_from_slice(s.as_bytes());
+        self.len = end;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = ShortBuf::new();
+        self.render(&mut buf);
+        f.write_str(buf.as_str())
     }
 }
 
@@ -135,6 +188,32 @@ mod tests {
         assert_eq!(Number::Float(5.0).to_string(), "5.0");
         assert_eq!(Number::Float(2.5).to_string(), "2.5");
         assert_eq!(Number::Int(i64::MIN).to_string(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn write_into_appends_without_marker_damage() {
+        let mut out = String::from("x=");
+        Number::Float(5.0).write_into(&mut out);
+        out.push(',');
+        Number::Float(2.5).write_into(&mut out);
+        out.push(',');
+        Number::Int(i64::MIN).write_into(&mut out);
+        assert_eq!(out, "x=5.0,2.5,-9223372036854775808");
+    }
+
+    #[test]
+    fn extreme_floats_render_in_full() {
+        // Rust's f64 Display expands these fully (no exponent), which
+        // must fit the render buffer and keep a decimal marker.
+        for v in [f64::MAX, -f64::MAX, f64::MIN_POSITIVE, 5e-324, 1e300, -1e300] {
+            let mut out = String::new();
+            Number::Float(v).write_into(&mut out);
+            assert!(
+                out.contains('.') || out.contains(['e', 'E']),
+                "missing decimal marker in {out:?}"
+            );
+            assert_eq!(out.parse::<f64>().unwrap(), v, "did not round-trip: {out:?}");
+        }
     }
 
     #[test]

@@ -76,9 +76,7 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, want: u8) -> Result<(), ParseError> {
         match self.bump() {
             Some(b) if b == want => Ok(()),
-            Some(b) => {
-                Err(self.error_at(ParseErrorKind::UnexpectedChar(b as char), self.pos - 1))
-            }
+            Some(b) => Err(self.error_at(ParseErrorKind::UnexpectedChar(b as char), self.pos - 1)),
             None => Err(self.error(ParseErrorKind::UnexpectedEof)),
         }
     }
@@ -293,8 +291,7 @@ impl<'a> Parser<'a> {
             }
             // Integer out of i64 range: fall through to f64.
         }
-        let f: f64 =
-            text.parse().map_err(|_| self.error_at(ParseErrorKind::BadNumber, start))?;
+        let f: f64 = text.parse().map_err(|_| self.error_at(ParseErrorKind::BadNumber, start))?;
         if f.is_finite() {
             Ok(Value::Number(Number::Float(f)))
         } else {
@@ -354,7 +351,10 @@ mod tests {
 
     #[test]
     fn parses_escapes() {
-        assert_eq!(ok(r#""\" \\ \/ \b \f \n \r \t""#).as_str().unwrap(), "\" \\ / \u{8} \u{c} \n \r \t");
+        assert_eq!(
+            ok(r#""\" \\ \/ \b \f \n \r \t""#).as_str().unwrap(),
+            "\" \\ / \u{8} \u{c} \n \r \t"
+        );
         assert_eq!(ok(r#""A""#).as_str().unwrap(), "A");
         assert_eq!(ok(r#""é""#).as_str().unwrap(), "é");
         assert_eq!(ok(r#""😀""#).as_str().unwrap(), "😀");

@@ -37,20 +37,28 @@ impl Map {
         self.entries.is_empty()
     }
 
+    /// Fast key comparison for the linear scan: checking the length
+    /// first skips the pointer chase into mismatched keys' bytes, which
+    /// is most of them in documents with heterogeneous field names.
+    #[inline]
+    fn key_matches(candidate: &str, key: &str) -> bool {
+        candidate.len() == key.len() && candidate == key
+    }
+
     /// Looks up a key.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries.iter().find(|(k, _)| Self::key_matches(k, key)).map(|(_, v)| v)
     }
 
     /// Looks up a key mutably.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries.iter_mut().find(|(k, _)| Self::key_matches(k, key)).map(|(_, v)| v)
     }
 
     /// Inserts or replaces a key, returning the previous value if any.
     /// Replacement keeps the key's original position.
     pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
-        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+        match self.entries.iter_mut().find(|(k, _)| Self::key_matches(k, &key)) {
             Some((_, v)) => Some(std::mem::replace(v, value)),
             None => {
                 self.entries.push((key, value));
@@ -61,7 +69,7 @@ impl Map {
 
     /// Removes a key, returning its value if present.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
-        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let idx = self.entries.iter().position(|(k, _)| Self::key_matches(k, key))?;
         Some(self.entries.remove(idx).1)
     }
 
@@ -248,11 +256,30 @@ impl Value {
     pub fn to_pretty_string(&self) -> String {
         crate::write::write_pretty(self)
     }
+
+    /// Appends compact JSON to `out`, reusing its capacity — the
+    /// hot-path form for callers that serialize in a loop (WAL appends,
+    /// HTTP response bodies) and want zero steady-state allocations.
+    pub fn write_into(&self, out: &mut String) {
+        crate::write::write_into(out, self);
+    }
+
+    /// Appends pretty-printed JSON to `out`, reusing its capacity.
+    pub fn write_pretty_into(&self, out: &mut String) {
+        crate::write::write_pretty_into(out, self);
+    }
+
+    /// Streams compact JSON to `writer` without building an intermediate
+    /// `String`. Pass a buffered sink (e.g. a `Vec<u8>`); emission
+    /// happens in many small pieces.
+    pub fn write_to<W: std::io::Write + ?Sized>(&self, writer: &mut W) -> std::io::Result<()> {
+        crate::write::write_to(writer, self)
+    }
 }
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&crate::write::write_compact(self))
+        crate::write::write_fmt(f, self)
     }
 }
 

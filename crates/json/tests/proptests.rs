@@ -30,6 +30,27 @@ fn arb_value() -> impl Strategy<Value = Value> {
     })
 }
 
+/// The obviously-correct serializer the bulk-copy fast path must match
+/// byte for byte: one char at a time, escaping per RFC 8259.
+fn reference_escape(s: &str) -> String {
+    let mut out = String::from('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 proptest! {
     #[test]
     fn compact_roundtrip(v in arb_value()) {
@@ -53,6 +74,28 @@ proptest! {
     #[test]
     fn parse_json_like_never_panics(s in r#"[\[\]{}",:0-9eE+\-. \\unltrfabcd]*"#) {
         let _ = parse(&s);
+    }
+
+    #[test]
+    fn fast_path_string_writer_matches_reference_escaper(
+        // Escape-heavy input: `.` is biased toward quotes, backslashes,
+        // and control characters, and each is followed by a short plain
+        // run (including multi-byte text), forcing the bulk-copy fast
+        // path on and off repeatedly at every boundary.
+        s in "(.[ a-zé😀]{0,6}){0,12}",
+    ) {
+        let fast = Value::from(s.clone()).to_string();
+        prop_assert_eq!(&fast, &reference_escape(&s), "input: {:?}", s);
+        let mut streamed = Vec::new();
+        Value::from(s.clone()).write_to(&mut streamed).unwrap();
+        prop_assert_eq!(fast.as_bytes(), &streamed[..]);
+    }
+
+    #[test]
+    fn write_into_matches_display_on_any_value(v in arb_value()) {
+        let mut buf = String::new();
+        v.write_into(&mut buf);
+        prop_assert_eq!(&buf, &v.to_string());
     }
 
     #[test]

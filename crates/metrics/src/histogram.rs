@@ -35,13 +35,7 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram {
-            counts: vec![0; RANGES * SUB_BUCKETS],
-            total: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { counts: vec![0; RANGES * SUB_BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     fn bucket_index(value: u64) -> usize {

@@ -11,15 +11,13 @@ use chronos_json::{obj, Map, Value};
 use crate::{Histogram, Timeseries};
 
 /// Statistics for one operation type (e.g. `read`, `update`, `insert`).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OpStats {
     /// Latency histogram in microseconds.
     pub latency_micros: Histogram,
     /// Operations that returned an error.
     pub errors: u64,
 }
-
 
 /// Collects measurements on a single worker thread.
 #[derive(Debug)]
@@ -105,11 +103,8 @@ impl RunSummary {
     /// Merges per-thread summaries. Wall time is the maximum across threads
     /// (they ran concurrently); counts and histograms are added.
     pub fn merge_all(summaries: Vec<RunSummary>) -> RunSummary {
-        let mut merged = RunSummary {
-            wall_millis: 0,
-            ops: Vec::new(),
-            throughput: Timeseries::new(1000),
-        };
+        let mut merged =
+            RunSummary { wall_millis: 0, ops: Vec::new(), throughput: Timeseries::new(1000) };
         for summary in summaries {
             merged.wall_millis = merged.wall_millis.max(summary.wall_millis);
             merged.throughput.merge(&summary.throughput);

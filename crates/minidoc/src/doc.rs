@@ -136,9 +136,8 @@ fn decode_value(bytes: &[u8], pos: &mut usize) -> DbResult<Value> {
 }
 
 fn take<'a>(bytes: &'a [u8], pos: &mut usize, len: usize) -> DbResult<&'a [u8]> {
-    let slice = bytes
-        .get(*pos..*pos + len)
-        .ok_or_else(|| DbError::Corrupt("truncated payload".into()))?;
+    let slice =
+        bytes.get(*pos..*pos + len).ok_or_else(|| DbError::Corrupt("truncated payload".into()))?;
     *pos += len;
     Ok(slice)
 }
@@ -161,9 +160,7 @@ pub fn decode_varint(bytes: &[u8], pos: &mut usize) -> DbResult<u64> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
-        let byte = *bytes
-            .get(*pos)
-            .ok_or_else(|| DbError::Corrupt("truncated varint".into()))?;
+        let byte = *bytes.get(*pos).ok_or_else(|| DbError::Corrupt("truncated varint".into()))?;
         *pos += 1;
         if shift >= 64 {
             return Err(DbError::Corrupt("varint overflow".into()));

@@ -65,8 +65,7 @@ impl MmapCollection {
             }
         }
         let slot = slot_size as usize;
-        if self.extents.is_empty()
-            || self.tail_offset + slot > self.extents[self.tail_extent].len()
+        if self.extents.is_empty() || self.tail_offset + slot > self.extents[self.tail_extent].len()
         {
             // Oversized records get a dedicated extent.
             let size = EXTENT_SIZE.max(slot);
@@ -293,10 +292,7 @@ impl StorageEngine for MmapV1Engine {
         let replaced = self.put_locked(&mut c, key, value, true)?;
         self.journal_put(collection, key, value)?;
         drop(c);
-        StatCounters::add(
-            if replaced { &self.stats.updates } else { &self.stats.inserts },
-            1,
-        );
+        StatCounters::add(if replaced { &self.stats.updates } else { &self.stats.inserts }, 1);
         Ok(())
     }
 
@@ -306,10 +302,9 @@ impl StorageEngine for MmapV1Engine {
         let Some(loc) = c.index.remove(key) else { return Ok(false) };
         let len = c.read_record(loc).len();
         c.free(loc);
-        self.journal.lock().append(&WalOp::Delete {
-            collection: collection.to_string(),
-            key: key.to_vec(),
-        })?;
+        self.journal
+            .lock()
+            .append(&WalOp::Delete { collection: collection.to_string(), key: key.to_vec() })?;
         drop(c);
         StatCounters::sub(&self.stats.documents, 1);
         StatCounters::sub(&self.stats.logical_bytes, len as u64);

@@ -167,8 +167,12 @@ pub trait StorageEngine: Send + Sync {
     fn delete(&self, collection: &str, key: &[u8]) -> DbResult<bool>;
 
     /// Up to `limit` records with key ≥ `start_key`, in key order.
-    fn scan(&self, collection: &str, start_key: &[u8], limit: usize)
-        -> DbResult<Vec<(Vec<u8>, Vec<u8>)>>;
+    fn scan(
+        &self,
+        collection: &str,
+        start_key: &[u8],
+        limit: usize,
+    ) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>>;
 
     /// Number of records in `collection` (0 if it does not exist).
     fn count(&self, collection: &str) -> u64;

@@ -327,10 +327,8 @@ impl StorageEngine for WiredTigerEngine {
     }
 
     fn update(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()> {
-        let exists = self
-            .coll(collection)
-            .map(|c| c.index.read().contains_key(key))
-            .unwrap_or(false);
+        let exists =
+            self.coll(collection).map(|c| c.index.read().contains_key(key)).unwrap_or(false);
         if !exists {
             return Err(DbError::not_found(key));
         }
@@ -341,10 +339,7 @@ impl StorageEngine for WiredTigerEngine {
 
     fn upsert(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()> {
         let replaced = self.put_internal(collection, key, value, true, true)?;
-        StatCounters::add(
-            if replaced { &self.stats.updates } else { &self.stats.inserts },
-            1,
-        );
+        StatCounters::add(if replaced { &self.stats.updates } else { &self.stats.inserts }, 1);
         Ok(())
     }
 
@@ -366,11 +361,7 @@ impl StorageEngine for WiredTigerEngine {
         let Some(coll) = self.coll(collection) else { return Ok(Vec::new()) };
         let ids: Vec<(Vec<u8>, RecordId)> = {
             let index = coll.index.read();
-            index
-                .range(start_key.to_vec()..)
-                .take(limit)
-                .map(|(k, &id)| (k.clone(), id))
-                .collect()
+            index.range(start_key.to_vec()..).take(limit).map(|(k, &id)| (k.clone(), id)).collect()
         };
         let mut out = Vec::with_capacity(ids.len());
         for (key, id) in ids {

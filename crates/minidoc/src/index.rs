@@ -202,8 +202,7 @@ mod tests {
             Value::from("ab"),
             Value::from("b"),
         ];
-        let keys: Vec<IndexKey> =
-            values.iter().map(|v| IndexKey::encode(v).unwrap()).collect();
+        let keys: Vec<IndexKey> = values.iter().map(|v| IndexKey::encode(v).unwrap()).collect();
         for pair in keys.windows(2) {
             assert!(pair[0] < pair[1], "{pair:?}");
         }
@@ -213,10 +212,7 @@ mod tests {
 
     #[test]
     fn int_and_float_encode_identically() {
-        assert_eq!(
-            IndexKey::encode(&Value::from(3)),
-            IndexKey::encode(&Value::from(3.0))
-        );
+        assert_eq!(IndexKey::encode(&Value::from(3)), IndexKey::encode(&Value::from(3.0)));
     }
 
     #[test]

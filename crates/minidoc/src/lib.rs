@@ -112,9 +112,7 @@ impl Database {
     pub fn open(config: DbConfig) -> DbResult<Self> {
         let kind = config.engine;
         let engine: Arc<dyn StorageEngine> = match kind {
-            EngineKind::WiredTiger => {
-                Arc::new(engine::wiredtiger::WiredTigerEngine::open(config)?)
-            }
+            EngineKind::WiredTiger => Arc::new(engine::wiredtiger::WiredTigerEngine::open(config)?),
             EngineKind::MmapV1 => Arc::new(engine::mmapv1::MmapV1Engine::open(config)?),
         };
         Ok(Database { engine, kind, indexes: Arc::new(RwLock::new(HashMap::new())) })
@@ -269,21 +267,13 @@ impl Collection {
             next.push(0);
             start = next;
         }
-        self.indexes
-            .write()
-            .entry(self.name.clone())
-            .or_default()
-            .insert(field.to_string(), index);
+        self.indexes.write().entry(self.name.clone()).or_default().insert(field.to_string(), index);
         Ok(())
     }
 
     /// Drops the index on `field`. Returns whether it existed.
     pub fn drop_index(&self, field: &str) -> bool {
-        self.indexes
-            .write()
-            .get_mut(&self.name)
-            .map(|m| m.remove(field).is_some())
-            .unwrap_or(false)
+        self.indexes.write().get_mut(&self.name).map(|m| m.remove(field).is_some()).unwrap_or(false)
     }
 
     /// Names of the indexed fields, sorted.
@@ -433,10 +423,7 @@ mod tests {
         for db in both_engines() {
             let coll = db.collection("t");
             coll.insert("k", &obj! {"v" => 1}).unwrap();
-            assert!(matches!(
-                coll.insert("k", &obj! {"v" => 2}),
-                Err(DbError::DuplicateKey(_))
-            ));
+            assert!(matches!(coll.insert("k", &obj! {"v" => 2}), Err(DbError::DuplicateKey(_))));
         }
     }
 
@@ -452,7 +439,7 @@ mod tests {
     }
 
     #[test]
-    fn scan_is_ordered(){
+    fn scan_is_ordered() {
         for db in both_engines() {
             let coll = db.collection("t");
             for i in [5u32, 1, 9, 3, 7] {
@@ -486,10 +473,7 @@ mod tests {
             coll.insert("p2", &obj! {"age" => 20, "city" => "bern"}).unwrap();
             coll.insert("p3", &obj! {"age" => 40, "city" => "basel"}).unwrap();
             let hits = coll
-                .find(&Filter::and(vec![
-                    Filter::eq("city", "basel"),
-                    Filter::gt("age", 25),
-                ]))
+                .find(&Filter::and(vec![Filter::eq("city", "basel"), Filter::gt("age", 25)]))
                 .unwrap();
             let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(keys, vec!["p1", "p3"]);

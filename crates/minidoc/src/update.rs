@@ -158,9 +158,7 @@ impl crate::Collection {
     /// Applies update operators to an existing document (read-modify-write;
     /// atomic per document under the engine's record/collection locking).
     pub fn update_with(&self, key: &str, spec: &UpdateSpec) -> DbResult<()> {
-        let mut document = self
-            .get(key)?
-            .ok_or_else(|| DbError::NotFound(key.to_string()))?;
+        let mut document = self.get(key)?.ok_or_else(|| DbError::NotFound(key.to_string()))?;
         spec.apply(&mut document)?;
         self.update(key, &document)
     }
@@ -200,7 +198,12 @@ mod tests {
     #[test]
     fn inc_integers_stay_integers() {
         let mut d = doc();
-        UpdateSpec::new().inc("visits", 2.0).inc("fresh", 5.0).inc("score", 0.25).apply(&mut d).unwrap();
+        UpdateSpec::new()
+            .inc("visits", 2.0)
+            .inc("fresh", 5.0)
+            .inc("score", 0.25)
+            .apply(&mut d)
+            .unwrap();
         assert!(matches!(d.get("visits"), Some(Value::Number(Number::Int(5)))));
         assert!(matches!(d.get("fresh"), Some(Value::Number(Number::Int(5)))));
         assert_eq!(d.get("score").and_then(Value::as_f64), Some(1.75));
@@ -218,7 +221,12 @@ mod tests {
     #[test]
     fn unset_removes_fields() {
         let mut d = doc();
-        UpdateSpec::new().unset("visits").unset("address.city").unset("ghost").apply(&mut d).unwrap();
+        UpdateSpec::new()
+            .unset("visits")
+            .unset("address.city")
+            .unset("ghost")
+            .apply(&mut d)
+            .unwrap();
         assert!(d.get("visits").is_none());
         assert!(d.pointer("/address/city").is_none());
         assert!(d.get("address").is_some(), "parent object remains");

@@ -277,10 +277,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "minidoc-wal-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("minidoc-wal-test-{}-{name}", std::process::id()));
         let _ = std::fs::remove_file(&dir);
         dir
     }
@@ -343,8 +341,7 @@ mod tests {
         drop(wal);
         let mut data = std::fs::read(&path).unwrap();
         // Flip a payload byte of the second record: first record survives.
-        let first_len =
-            u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize + 8;
+        let first_len = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize + 8;
         data[first_len + 9] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
         let replayed = Wal::replay(&path).unwrap();

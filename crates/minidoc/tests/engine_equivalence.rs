@@ -80,11 +80,8 @@ fn run_against_model(db: &Database, ops: &[Op]) {
             Op::Scan(k, limit) => {
                 let start = format!("key{k:03}");
                 let rows = coll.scan(&start, *limit).unwrap();
-                let expected: Vec<(String, usize)> = model
-                    .range(start..)
-                    .take(*limit)
-                    .map(|(k, &n)| (k.clone(), n))
-                    .collect();
+                let expected: Vec<(String, usize)> =
+                    model.range(start..).take(*limit).map(|(k, &n)| (k.clone(), n)).collect();
                 assert_eq!(rows.len(), expected.len(), "{engine}: scan length");
                 for ((got_k, got_v), (want_k, want_n)) in rows.iter().zip(&expected) {
                     assert_eq!(got_k, want_k, "{engine}: scan key order");

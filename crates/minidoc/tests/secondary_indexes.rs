@@ -26,8 +26,7 @@ fn index_accelerated_find_matches_scan() {
             )
             .unwrap();
         }
-        let filter =
-            Filter::and(vec![Filter::eq("city", "basel"), Filter::gte("age", 40)]);
+        let filter = Filter::and(vec![Filter::eq("city", "basel"), Filter::gte("age", 40)]);
         let unindexed = coll.find(&filter).unwrap();
         coll.create_index("city").unwrap();
         coll.create_index("age").unwrap();

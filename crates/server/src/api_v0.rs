@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use chronos_core::{ChronosControl, CoreError};
-use chronos_json::obj;
 use chronos_http::{Response, Router};
+use chronos_json::obj;
 use chronos_util::Id;
 
 use crate::error_response;
@@ -60,5 +60,4 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
         })();
         result.unwrap_or_else(error_response)
     });
-
 }

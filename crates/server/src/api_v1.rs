@@ -7,8 +7,8 @@ use chronos_core::archive::archive_project;
 use chronos_core::auth::{Role, User};
 use chronos_core::params::ParamAssignments;
 use chronos_core::{ChronosControl, CoreError, CoreResult};
-use chronos_json::{obj, Value};
 use chronos_http::{Request, Response, RouteParams, Router, Status};
+use chronos_json::{obj, Value};
 use chronos_util::Id;
 
 use crate::error_response;
@@ -24,11 +24,7 @@ fn authed(control: &ChronosControl, req: &Request) -> CoreResult<User> {
     let token = req
         .headers
         .get(TOKEN_HEADER)
-        .or_else(|| {
-            req.headers
-                .get("Authorization")
-                .and_then(|v| v.strip_prefix("Bearer "))
-        })
+        .or_else(|| req.headers.get("Authorization").and_then(|v| v.strip_prefix("Bearer ")))
         .ok_or_else(|| CoreError::Forbidden("missing session token".into()))?;
     control.authenticate(token)
 }
@@ -97,11 +93,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
 
     let control_ = Arc::clone(c);
     router.post("/api/v1/logout", move |req, _p| {
-        let revoked = req
-            .headers
-            .get(TOKEN_HEADER)
-            .map(|t| control_.logout(t))
-            .unwrap_or(false);
+        let revoked = req.headers.get(TOKEN_HEADER).map(|t| control_.logout(t)).unwrap_or(false);
         Response::json(&obj! {"revoked" => revoked})
     });
 
@@ -134,8 +126,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/systems", move |req, _p| {
         respond((|| {
             authed(&control_, req)?;
-            let systems: Vec<Value> =
-                control_.list_systems().iter().map(|s| s.to_json()).collect();
+            let systems: Vec<Value> = control_.list_systems().iter().map(|s| s.to_json()).collect();
             Ok(Response::json(&Value::Array(systems)))
         })())
     });
@@ -281,11 +272,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let user = authed(&control_, req)?;
             let project_id = param_id(p, "id")?;
             control_.require_project_access(project_id, &user)?;
-            let experiments: Vec<Value> = control_
-                .list_experiments(Some(project_id))
-                .iter()
-                .map(|e| e.to_json())
-                .collect();
+            let experiments: Vec<Value> =
+                control_.list_experiments(Some(project_id)).iter().map(|e| e.to_json()).collect();
             Ok(Response::json(&Value::Array(experiments)))
         })())
     });
@@ -339,13 +327,10 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/experiments/:id/trend", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let value_path = req
-                .query_param("path")
-                .unwrap_or_else(|| "/throughput_ops_per_sec".to_string());
-            let threshold = req
-                .query_param("threshold")
-                .and_then(|t| t.parse::<f64>().ok())
-                .unwrap_or(0.10);
+            let value_path =
+                req.query_param("path").unwrap_or_else(|| "/throughput_ops_per_sec".to_string());
+            let threshold =
+                req.query_param("threshold").and_then(|t| t.parse::<f64>().ok()).unwrap_or(0.10);
             let trend =
                 analysis::experiment_trend(&control_, param_id(p, "id")?, &value_path, threshold)?;
             Ok(Response::json(&trend))
@@ -437,16 +422,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let (index_str, format) = chart_ref
                 .rsplit_once('.')
                 .ok_or_else(|| CoreError::Invalid("chart ref must be <index>.<svg|txt>".into()))?;
-            let index: usize = index_str
-                .parse()
-                .map_err(|_| CoreError::Invalid("bad chart index".into()))?;
+            let index: usize =
+                index_str.parse().map_err(|_| CoreError::Invalid("bad chart index".into()))?;
             let evaluation = control_.get_evaluation(evaluation_id)?;
             let experiment = control_.get_experiment(evaluation.experiment_id)?;
             let system = control_.get_system(experiment.system_id)?;
-            let spec = system
-                .charts
-                .get(index)
-                .ok_or_else(|| CoreError::not_found("chart", index))?;
+            let spec =
+                system.charts.get(index).ok_or_else(|| CoreError::not_found("chart", index))?;
             let data = analysis::chart_data(&control_, evaluation_id, spec)?;
             let registry = chronos_core::charts::ChartRegistry::with_builtins();
             match format {
@@ -564,10 +546,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
         respond((|| {
             authed(&control_, req)?;
             let body = body_json(req).unwrap_or(Value::Null);
-            let reason = body
-                .get("reason")
-                .and_then(Value::as_str)
-                .unwrap_or("agent reported failure");
+            let reason =
+                body.get("reason").and_then(Value::as_str).unwrap_or("agent reported failure");
             let job = control_.fail_job(param_id(p, "id")?, reason)?;
             Ok(Response::json(&job.to_json()))
         })())

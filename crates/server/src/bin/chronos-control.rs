@@ -90,7 +90,11 @@ fn main() {
             let path = dir.join("chronos-control.log");
             match MetadataStore::open(&path) {
                 Ok(store) => {
-                    eprintln!("metadata store: {} ({} log records)", path.display(), store.log_records());
+                    eprintln!(
+                        "metadata store: {} ({} log records)",
+                        path.display(),
+                        store.log_records()
+                    );
                     store
                 }
                 Err(e) => {

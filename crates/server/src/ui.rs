@@ -65,9 +65,9 @@ fn state_badge(state: JobState) -> String {
 }
 
 fn authed_ui(control: &ChronosControl, req: &Request) -> CoreResult<()> {
-    let token = req
-        .query_param("token")
-        .ok_or_else(|| CoreError::Forbidden("append ?token=<session token> (POST /api/v1/login)".into()))?;
+    let token = req.query_param("token").ok_or_else(|| {
+        CoreError::Forbidden("append ?token=<session token> (POST /api/v1/login)".into())
+    })?;
     control.authenticate(&token).map(|_| ())
 }
 
@@ -316,7 +316,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             if let Some(reason) = &job.failure {
                 body.push_str(&format!("<p><b>failure:</b> {}</p>", esc(reason)));
             }
-            body.push_str("<h2>Timeline</h2><table><tr><th>time</th><th>event</th><th>message</th></tr>");
+            body.push_str(
+                "<h2>Timeline</h2><table><tr><th>time</th><th>event</th><th>message</th></tr>",
+            );
             for event in &job.timeline {
                 body.push_str(&format!(
                     "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",

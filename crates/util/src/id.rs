@@ -26,10 +26,8 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 impl Id {
     /// Generates a fresh id using the system clock and thread-local RNG.
     pub fn generate() -> Self {
-        let millis = SystemTime::now()
-            .duration_since(UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+        let millis =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
         Self::from_parts(millis, rand::random::<u64>())
     }
 

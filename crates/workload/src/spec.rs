@@ -60,8 +60,7 @@ pub struct OpMix {
 impl OpMix {
     /// Validates the proportions (non-negative, sum ≈ 1).
     pub fn validate(&self) -> Result<(), String> {
-        let parts =
-            [self.read, self.update, self.insert, self.scan, self.read_modify_write];
+        let parts = [self.read, self.update, self.insert, self.scan, self.read_modify_write];
         if parts.iter().any(|&p| p < 0.0) {
             return Err("operation proportions must be non-negative".to_string());
         }
@@ -202,10 +201,7 @@ impl WorkloadSpec {
             return Err("max_scan_length must be positive".to_string());
         }
         if !(0.0..=1.0).contains(&self.compressibility) {
-            return Err(format!(
-                "compressibility must be in [0, 1], got {}",
-                self.compressibility
-            ));
+            return Err(format!("compressibility must be in [0, 1], got {}", self.compressibility));
         }
         self.mix.validate()
     }

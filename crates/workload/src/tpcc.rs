@@ -140,12 +140,7 @@ impl TpccRunner {
         let mut rng = seeded_rng(config.seed ^ 0xC0FFEE);
         let c_customer = rng.gen_range(0..NURAND_A_CUSTOMER);
         let c_item = rng.gen_range(0..NURAND_A_ITEM);
-        Ok(TpccRunner {
-            config,
-            next_order_id: AtomicU64::new(1),
-            c_customer,
-            c_item,
-        })
+        Ok(TpccRunner { config, next_order_id: AtomicU64::new(1), c_customer, c_item })
     }
 
     /// The configuration.
@@ -184,13 +179,7 @@ pub struct TpccStream<'a> {
 
 impl TpccStream<'_> {
     fn pick_customer(&mut self) -> u64 {
-        nurand(
-            &mut self.rng,
-            NURAND_A_CUSTOMER,
-            1,
-            CUSTOMERS_PER_DISTRICT,
-            self.runner.c_customer,
-        )
+        nurand(&mut self.rng, NURAND_A_CUSTOMER, 1, CUSTOMERS_PER_DISTRICT, self.runner.c_customer)
     }
 
     fn pick_item(&mut self) -> u64 {
@@ -298,12 +287,9 @@ mod tests {
 
     #[test]
     fn mix_is_roughly_standard() {
-        let runner = TpccRunner::new(TpccConfig {
-            warehouses: 3,
-            transaction_count: 40_000,
-            seed: 1,
-        })
-        .unwrap();
+        let runner =
+            TpccRunner::new(TpccConfig { warehouses: 3, transaction_count: 40_000, seed: 1 })
+                .unwrap();
         let mut counts = std::collections::HashMap::new();
         for tx in runner.stream(0, 1) {
             *counts.entry(tx.kind()).or_insert(0usize) += 1;
@@ -352,11 +338,9 @@ mod tests {
 
     #[test]
     fn streams_split_and_are_deterministic() {
-        let runner = TpccRunner::new(TpccConfig {
-            transaction_count: 1_001,
-            ..TpccConfig::default()
-        })
-        .unwrap();
+        let runner =
+            TpccRunner::new(TpccConfig { transaction_count: 1_001, ..TpccConfig::default() })
+                .unwrap();
         let total: usize = (0..4).map(|t| runner.stream(t, 4).count()).sum();
         assert_eq!(total, 1_001);
         let a: Vec<TpccTx> = runner.stream(0, 4).collect();

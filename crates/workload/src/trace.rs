@@ -51,10 +51,7 @@ pub fn operation_from_json(value: &chronos_json::Value) -> Result<Operation, Str
             .ok_or_else(|| format!("missing {field:?}"))
     };
     let fields = || -> Result<Vec<(String, String)>, String> {
-        let map = value
-            .get("fields")
-            .and_then(Value::as_object)
-            .ok_or("missing \"fields\"")?;
+        let map = value.get("fields").and_then(Value::as_object).ok_or("missing \"fields\"")?;
         map.iter()
             .map(|(name, v)| {
                 let b64 = v.as_str().ok_or("field value must be a string")?;
@@ -96,8 +93,7 @@ pub fn replay(trace: &str) -> Result<Vec<Operation>, String> {
         .enumerate()
         .filter(|(_, line)| !line.trim().is_empty())
         .map(|(i, line)| {
-            let value = chronos_json::parse(line)
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            let value = chronos_json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
             operation_from_json(&value).map_err(|e| format!("line {}: {e}", i + 1))
         })
         .collect()

@@ -63,10 +63,9 @@ impl fmt::Display for ZipError {
             ZipError::UnsupportedMethod(m) => {
                 write!(f, "unsupported compression method {m}")
             }
-            ZipError::ChecksumMismatch { name, expected, actual } => write!(
-                f,
-                "checksum mismatch for {name}: expected {expected:08x}, got {actual:08x}"
-            ),
+            ZipError::ChecksumMismatch { name, expected, actual } => {
+                write!(f, "checksum mismatch for {name}: expected {expected:08x}, got {actual:08x}")
+            }
             ZipError::NotFound(name) => write!(f, "entry not found: {name}"),
             ZipError::BadEntryName(name) => write!(f, "invalid entry name: {name}"),
             ZipError::DuplicateEntry(name) => write!(f, "duplicate entry: {name}"),

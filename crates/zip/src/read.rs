@@ -142,9 +142,7 @@ fn find_eocd(data: &[u8]) -> Result<usize, ZipError> {
 }
 
 fn read_u16(data: &[u8], pos: usize) -> Result<u16, ZipError> {
-    data.get(pos..pos + 2)
-        .map(|b| u16::from_le_bytes([b[0], b[1]]))
-        .ok_or(ZipError::Truncated)
+    data.get(pos..pos + 2).map(|b| u16::from_le_bytes([b[0], b[1]])).ok_or(ZipError::Truncated)
 }
 
 fn read_u32(data: &[u8], pos: usize) -> Result<u32, ZipError> {

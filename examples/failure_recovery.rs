@@ -15,9 +15,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use chronos::agent::{
-    AgentConfig, ChronosAgent, ControlClient, EvaluationClient, JobContext,
-};
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, EvaluationClient, JobContext};
 use chronos::core::auth::Role;
 use chronos::core::params::ParamAssignments;
 use chronos::core::scheduler::SchedulerConfig;
@@ -59,11 +57,7 @@ fn main() {
     let control = Arc::new(ChronosControl::new(
         MetadataStore::in_memory(),
         Arc::new(SystemClock),
-        SchedulerConfig {
-            heartbeat_timeout_millis: 1_000,
-            max_attempts: 3,
-            auto_reschedule: true,
-        },
+        SchedulerConfig { heartbeat_timeout_millis: 1_000, max_attempts: 3, auto_reschedule: true },
     ));
     control.create_user("demo", "pw", Role::Admin).unwrap();
     let server = ChronosServer::start(Arc::clone(&control), "127.0.0.1:0").unwrap();

@@ -33,9 +33,7 @@ fn main() {
                 ParamDef::new(
                     "engine",
                     "storage engine",
-                    ParamType::Checkbox {
-                        options: vec!["wiredtiger".into(), "mmapv1".into()],
-                    },
+                    ParamType::Checkbox { options: vec!["wiredtiger".into(), "mmapv1".into()] },
                     Value::from("wiredtiger"),
                 )
                 .unwrap(),
@@ -99,12 +97,8 @@ fn main() {
     // The per-engine readout.
     println!();
     for job in control.list_jobs(evaluation.id).unwrap() {
-        let engine = job
-            .parameters
-            .get("engine")
-            .and_then(Value::as_str)
-            .unwrap_or("?")
-            .to_string();
+        let engine =
+            job.parameters.get("engine").and_then(Value::as_str).unwrap_or("?").to_string();
         let result = control.result_for_job(job.id).unwrap().expect("job finished");
         let get_f = |p: &str| result.data.pointer(p).and_then(Value::as_f64).unwrap_or(0.0);
         let get_u = |p: &str| result.data.pointer(p).and_then(Value::as_u64).unwrap_or(0);

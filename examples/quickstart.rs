@@ -63,11 +63,8 @@ fn main() {
     // 4. Run a Chronos Agent against the REST API until the queue drains.
     let token = control.login("demo", "demo-pw").unwrap();
     let client = ControlClient::new(&server.base_url(), &token);
-    let mut agent = ChronosAgent::new(
-        client,
-        AgentConfig::new(deployment.id),
-        DocstoreClient::new(),
-    );
+    let mut agent =
+        ChronosAgent::new(client, AgentConfig::new(deployment.id), DocstoreClient::new());
     let completed = agent.run_until_idle(Duration::from_millis(300)).unwrap();
     println!("agent completed {completed} jobs");
 

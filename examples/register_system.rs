@@ -23,16 +23,10 @@ fn main() {
 
     // Log in over the API, as an integrating tool would.
     let http = Client::new(&server.base_url());
-    let login = http
-        .post_json("/api/v1/login", &obj! {"username" => "admin", "password" => "pw"})
-        .unwrap();
-    let token = login
-        .json_body()
-        .unwrap()
-        .get("token")
-        .and_then(Value::as_str)
-        .unwrap()
-        .to_string();
+    let login =
+        http.post_json("/api/v1/login", &obj! {"username" => "admin", "password" => "pw"}).unwrap();
+    let token =
+        login.json_body().unwrap().get("token").and_then(Value::as_str).unwrap().to_string();
     http.set_default_header("X-Chronos-Token", &token);
 
     // The system definition ships with the SuE's repository; Chronos

@@ -36,9 +36,7 @@ fn main() {
                 ParamDef::new(
                     "engine",
                     "storage engine",
-                    ParamType::Checkbox {
-                        options: vec!["wiredtiger".into(), "mmapv1".into()],
-                    },
+                    ParamType::Checkbox { options: vec!["wiredtiger".into(), "mmapv1".into()] },
                     Value::from("wiredtiger"),
                 )
                 .unwrap(),
@@ -49,9 +47,22 @@ fn main() {
                     Value::from(1),
                 )
                 .unwrap(),
-                ParamDef::new("durability", "synced journal/WAL", ParamType::Boolean, Value::Bool(true)).unwrap(),
-                ParamDef::new("record_count", "records", ParamType::Value, Value::from(2_000)).unwrap(),
-                ParamDef::new("operation_count", "operations", ParamType::Value, Value::from(8_000)).unwrap(),
+                ParamDef::new(
+                    "durability",
+                    "synced journal/WAL",
+                    ParamType::Boolean,
+                    Value::Bool(true),
+                )
+                .unwrap(),
+                ParamDef::new("record_count", "records", ParamType::Value, Value::from(2_000))
+                    .unwrap(),
+                ParamDef::new(
+                    "operation_count",
+                    "operations",
+                    ParamType::Value,
+                    Value::from(8_000),
+                )
+                .unwrap(),
             ],
             vec![
                 ChartSpec {
@@ -117,8 +128,7 @@ fn main() {
     }
 
     // The headline readout: who wins and by what factor per thread count.
-    let data =
-        analysis::chart_data(&control, evaluation.id, &system.charts[0]).unwrap();
+    let data = analysis::chart_data(&control, evaluation.id, &system.charts[0]).unwrap();
     let comparison = analysis::compare_series(&data, "wiredtiger", "mmapv1").unwrap();
     println!("speedup wiredtiger/mmapv1 per thread count:");
     for ratio in comparison.get("ratios").and_then(Value::as_array).unwrap() {

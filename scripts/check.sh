@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh [--bench]
+#   --bench  also regenerate BENCH_control_plane.json via the E8 experiment
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== E8 control-plane bench -> BENCH_control_plane.json =="
+    cargo build --release -p chronos-bench --offline
+    ./target/release/chronos-bench E8 --json
+fi
+
+echo "OK"

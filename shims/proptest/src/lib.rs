@@ -1,0 +1,1088 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Chronos builds in environments without a crates.io mirror, so the
+//! external property-testing crate is replaced by this self-contained
+//! implementation of the subset the workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_recursive`, tuple and
+//! range strategies, subset-regex string strategies (`".*"`,
+//! `"[a-z]{1,8}"`, …), `prop::collection::{vec, hash_set, btree_set}`,
+//! `prop::sample::Index`, `any::<T>()`, and the `proptest!` /
+//! `prop_oneof!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the generated input printed, which is enough to reproduce and
+//! debug (runs are deterministic for a given `PROPTEST_SEED`).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{HalfOpen, Rng, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies while generating cases.
+pub type TestRng = StdRng;
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (regenerating up to a cap).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, `f` wraps an
+    /// inner strategy into a branch, nesting at most `depth` levels.
+    /// (`_desired_size` and `_expected_branch` are accepted for API
+    /// compatibility; the shim controls size via `depth` alone.)
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> S,
+    {
+        let leaf = ArcStrategy::new(self);
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = ArcStrategy::new(f(strat));
+            // Bias toward branching so nested values actually appear;
+            // the leaf arm guarantees termination at every level.
+            strat = ArcStrategy::new(Union::weighted(vec![(1, leaf.clone()), (2, branch)]));
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind an `Arc`.
+    fn boxed(self) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        ArcStrategy::new(self)
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] used by [`ArcStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply clonable, type-erased strategy (the shim's `BoxedStrategy`).
+pub struct ArcStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+/// Alias matching the real crate's name for an erased strategy.
+pub type BoxedStrategy<T> = ArcStrategy<T>;
+
+impl<T> Clone for ArcStrategy<T> {
+    fn clone(&self) -> Self {
+        ArcStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug + 'static> ArcStrategy<T> {
+    /// Erases `strategy`.
+    pub fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
+        ArcStrategy(Arc::new(strategy))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for ArcStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.inner.generate(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 consecutive values", self.reason);
+    }
+}
+
+/// Chooses uniformly (or by weight) between several strategies of one
+/// value type — what `prop_oneof!` builds.
+pub struct Union<T> {
+    options: Vec<(u32, ArcStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Equal-weight union.
+    pub fn new(options: Vec<ArcStrategy<T>>) -> Self {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted union.
+    pub fn weighted(options: Vec<(u32, ArcStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        Union { options, total_weight }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return option.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, tuples, patterns, any::<T>
+// ---------------------------------------------------------------------------
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + HalfOpen + Copy + fmt::Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Copy + fmt::Debug,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String literals act as subset-regex string strategies (`".*"`,
+/// `"[a-z]{1,8}"`, `"[ -~]{0,40}"`, …).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+/// Types with a canonical strategy, reachable via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one value, biased toward boundary cases where sensible.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — `any::<u8>()`, `any::<f64>()`, ….
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        const EDGES: [u64; 6] = [0, 1, 2, u64::MAX, u64::MAX - 1, 1 << 32];
+        if rng.gen_range(0u32..8) == 0 {
+            EDGES[rng.gen_range(0..EDGES.len())]
+        } else {
+            rng.gen()
+        }
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        const EDGES: [i64; 6] = [0, 1, -1, i64::MAX, i64::MIN, i64::MIN + 1];
+        if rng.gen_range(0u32..8) == 0 {
+            EDGES[rng.gen_range(0..EDGES.len())]
+        } else {
+            rng.gen()
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        const EDGES: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+        ];
+        match rng.gen_range(0u32..8) {
+            0 => EDGES[rng.gen_range(0..EDGES.len())],
+            // Raw bit patterns reach every exponent (including NaN payloads).
+            1 | 2 => f64::from_bits(rng.gen()),
+            // Human-scale magnitudes, where most arithmetic bugs live.
+            _ => (rng.gen::<f64>() - 0.5) * 2e6,
+        }
+    }
+}
+
+/// Collection strategies: `prop::collection::{vec, hash_set, btree_set}`.
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` whose size lands in `size` (key space permitting).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut map = std::collections::BTreeMap::new();
+            for _ in 0..(target * 20 + 10) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// A `HashSet` whose size lands in `size` (element space permitting).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = HashSet::new();
+            // Duplicates don't grow the set; cap the attempts so tiny
+            // element spaces can't loop forever.
+            for _ in 0..(target * 20 + 10) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// A `BTreeSet` whose size lands in `size` (element space permitting).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.clone());
+            let mut set = BTreeSet::new();
+            for _ in 0..(target * 20 + 10) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Sampling helpers: `prop::sample::Index`.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+    use rand::Rng;
+
+    /// A position into a collection whose length is unknown at
+    /// generation time; resolve with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this index into `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subset-regex string generation
+// ---------------------------------------------------------------------------
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `.` — any char, biased toward ASCII and escape-relevant bytes.
+        Any,
+        /// `[...]` — inclusive char ranges.
+        Class(Vec<(char, char)>),
+        Lit(char),
+        /// `(...)` — a repeatable sub-sequence.
+        Group(Vec<(Atom, usize, usize)>),
+    }
+
+    /// Generates one string matching `pattern` (the supported subset:
+    /// literals, `.`, `[...]` classes with ranges and escapes, `(...)`
+    /// groups, and the repetitions `*`, `+`, `?`, `{m}`, `{m,n}`).
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (atoms, end) = parse_sequence(pattern, &chars, 0, None);
+        if end != chars.len() {
+            bad::<()>(pattern, "unbalanced parenthesis");
+        }
+        let mut out = String::new();
+        emit_sequence(&atoms, rng, &mut out);
+        out
+    }
+
+    fn emit_sequence(atoms: &[(Atom, usize, usize)], rng: &mut TestRng, out: &mut String) {
+        for (atom, min, max) in atoms {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                match atom {
+                    Atom::Group(inner) => emit_sequence(inner, rng, out),
+                    leaf => out.push(sample_atom(leaf, rng)),
+                }
+            }
+        }
+    }
+
+    /// Parses atoms until end-of-pattern (`until: None`) or a closing
+    /// delimiter (`until: Some(')')`), returning the index past it.
+    fn parse_sequence(
+        pattern: &str,
+        chars: &[char],
+        mut i: usize,
+        until: Option<char>,
+    ) -> (Vec<(Atom, usize, usize)>, usize) {
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            if until == Some(chars[i]) {
+                return (atoms, i + 1);
+            }
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).unwrap_or_else(|| bad(pattern, "trailing backslash"));
+                    i += 1;
+                    Atom::Lit(unescape(c))
+                }
+                '[' => {
+                    i += 1;
+                    let (class, next) = parse_class(pattern, chars, i);
+                    i = next;
+                    class
+                }
+                '(' => {
+                    let (inner, next) = parse_sequence(pattern, chars, i + 1, Some(')'));
+                    i = next;
+                    Atom::Group(inner)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max, next) = parse_repetition(pattern, chars, i);
+            i = next;
+            atoms.push((atom, min, max));
+        }
+        if until.is_some() {
+            bad::<()>(pattern, "unterminated group");
+        }
+        (atoms, i)
+    }
+
+    fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Atom, usize) {
+        // Tokenize first so escaped chars can never act as range dashes.
+        enum Tok {
+            Char(char),
+            Dash,
+        }
+        let mut toks = Vec::new();
+        loop {
+            match *chars.get(i).unwrap_or_else(|| bad(pattern, "unterminated class")) {
+                ']' => {
+                    i += 1;
+                    break;
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).unwrap_or_else(|| bad(pattern, "trailing backslash"));
+                    i += 1;
+                    toks.push(Tok::Char(unescape(c)));
+                }
+                '-' => {
+                    i += 1;
+                    toks.push(Tok::Dash);
+                }
+                c => {
+                    i += 1;
+                    toks.push(Tok::Char(c));
+                }
+            }
+        }
+        let mut ranges = Vec::new();
+        let mut t = 0;
+        while t < toks.len() {
+            match (&toks[t], toks.get(t + 1), toks.get(t + 2)) {
+                (Tok::Char(lo), Some(Tok::Dash), Some(Tok::Char(hi))) => {
+                    if lo > hi {
+                        bad::<()>(pattern, "inverted class range");
+                    }
+                    ranges.push((*lo, *hi));
+                    t += 3;
+                }
+                (Tok::Char(c), _, _) => {
+                    ranges.push((*c, *c));
+                    t += 1;
+                }
+                // A dash at the start/end of the class (or next to
+                // another dash) is a literal.
+                (Tok::Dash, _, _) => {
+                    ranges.push(('-', '-'));
+                    t += 1;
+                }
+            }
+        }
+        if ranges.is_empty() {
+            bad::<()>(pattern, "empty class");
+        }
+        (Atom::Class(ranges), i)
+    }
+
+    fn parse_repetition(pattern: &str, chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('*') => (0, 16, i + 1),
+            Some('+') => (1, 16, i + 1),
+            Some('?') => (0, 1, i + 1),
+            Some('{') => {
+                i += 1;
+                let mut min = 0usize;
+                let mut saw_digit = false;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    min = min * 10 + d as usize;
+                    saw_digit = true;
+                    i += 1;
+                }
+                if !saw_digit {
+                    bad::<()>(pattern, "malformed repetition");
+                }
+                let max = if chars.get(i) == Some(&',') {
+                    i += 1;
+                    let mut max = 0usize;
+                    saw_digit = false;
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                        max = max * 10 + d as usize;
+                        saw_digit = true;
+                        i += 1;
+                    }
+                    if !saw_digit {
+                        bad::<()>(pattern, "open-ended repetition is unsupported");
+                    }
+                    max
+                } else {
+                    min
+                };
+                if chars.get(i) != Some(&'}') {
+                    bad::<()>(pattern, "unterminated repetition");
+                }
+                if max < min {
+                    bad::<()>(pattern, "inverted repetition");
+                }
+                (min, max, i + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            _ => c,
+        }
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Group(_) => unreachable!("groups are expanded by emit_sequence"),
+            Atom::Lit(c) => *c,
+            Atom::Any => {
+                // Escape-relevant bytes show up often so serializer tests
+                // exercise quoting, control escapes and backslashes hard.
+                const SPICY: [char; 12] = [
+                    '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', '/',
+                    '\u{7f}',
+                ];
+                match rng.gen_range(0u32..10) {
+                    0..=4 => char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap(),
+                    5..=7 => SPICY[rng.gen_range(0..SPICY.len())],
+                    _ => loop {
+                        if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                            break c;
+                        }
+                    },
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi) - u64::from(*lo) + 1;
+                    if pick < span {
+                        // Classes in the workspace never straddle the
+                        // surrogate gap, so this always succeeds.
+                        return char::from_u32(u32::from(*lo) + pick as u32)
+                            .expect("class range straddles a surrogate");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class pick out of range")
+            }
+        }
+    }
+
+    fn bad<T>(pattern: &str, what: &str) -> &'static T {
+        panic!("unsupported pattern {pattern:?}: {what}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property check (what `prop_assert!` returns).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one `proptest!` test: generates `config.cases` inputs and runs
+/// `test` on each, panicking with the offending input on failure.
+///
+/// Runs are deterministic; set `PROPTEST_SEED` to explore a different
+/// part of the input space.
+pub fn run_cases<S: Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x0C_E5_1A_5E_ED_u64);
+    let mut rng = TestRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        let printed = format!("{input:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(input))) {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => panic!(
+                "proptest: case {} of {} failed: {err}\n    input: {printed}",
+                case + 1,
+                config.cases
+            ),
+            Err(panic) => {
+                eprintln!(
+                    "proptest: case {} of {} panicked\n    input: {printed}",
+                    case + 1,
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] over the tuple of strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                $config,
+                ($($strategy,)+),
+                |($($arg,)+)| {
+                    $body;
+                    Ok(())
+                },
+            );
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses between strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::ArcStrategy::new($strategy)),+])
+    };
+}
+
+/// Like `assert!` but fails the current case instead of panicking,
+/// letting the runner report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ArcStrategy,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced modules (`prop::collection`, `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn patterns_match_their_shape() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let p = "[ -~]{0,40}".generate(&mut rng);
+            assert!(p.chars().count() <= 40);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+
+            let fixed = "ab{3}c".generate(&mut rng);
+            assert_eq!(fixed, "abbbc");
+
+            let path = "[a-z]{1,4}(/[a-z]{1,4}){0,3}".generate(&mut rng);
+            let segments: Vec<&str> = path.split('/').collect();
+            assert!((1..=4).contains(&segments.len()), "{path:?}");
+            for segment in segments {
+                assert!((1..=4).contains(&segment.len()), "{path:?}");
+                assert!(segment.chars().all(|c| c.is_ascii_lowercase()), "{path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_classes_parse() {
+        let mut rng = rng();
+        let pat = r#"[\[\]{}",:0-9eE+\-. \\unltrfabcd]*"#;
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            for c in s.chars() {
+                assert!(
+                    "[]{}\",:eE+-. \\unltrfabcd".contains(c) || c.is_ascii_digit(),
+                    "unexpected {c:?} from {pat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_escape_heavy_strings() {
+        let mut rng = rng();
+        let mut saw_quote = false;
+        let mut saw_backslash = false;
+        let mut saw_control = false;
+        for _ in 0..500 {
+            let s = ".*".generate(&mut rng);
+            saw_quote |= s.contains('"');
+            saw_backslash |= s.contains('\\');
+            saw_control |= s.chars().any(|c| (c as u32) < 0x20);
+        }
+        assert!(saw_quote && saw_backslash && saw_control);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = rng();
+        let strat = prop_oneof![(0i64..10).prop_map(|n| n * 2), Just(999i64),];
+        let mut saw_even = false;
+        let mut saw_just = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                999 => saw_just = true,
+                n => {
+                    assert!(n % 2 == 0 && (0..20).contains(&n));
+                    saw_even = true;
+                }
+            }
+        }
+        assert!(saw_even && saw_just);
+    }
+
+    #[test]
+    fn recursion_terminates_and_nests() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 64, 8, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = rng();
+        let mut max_depth = 0;
+        for _ in 0..500 {
+            let t = strat.generate(&mut rng);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 2, "recursion never nested (max depth {max_depth})");
+        assert!(max_depth <= 4, "recursion overflowed its depth bound");
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s = prop::collection::hash_set("[a-z]{1,8}", 1..6).generate(&mut rng);
+            assert!((1..6).contains(&s.len()));
+            let b = prop::collection::btree_set("[a-z]{1,6}", 1..5).generate(&mut rng);
+            assert!((1..5).contains(&b.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u64..100, (b, c) in (0u8..4, any::<bool>())) {
+            prop_assert!(a < 100);
+            prop_assert!(b < 4, "b out of range: {b}");
+            prop_assert_eq!(c as u8 * 2, if c { 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input:")]
+    fn failures_report_the_input() {
+        crate::run_cases(ProptestConfig::with_cases(64), 0u64..100, |n| {
+            crate::prop_assert!(n < 42);
+            Ok(())
+        });
+    }
+}

@@ -23,10 +23,8 @@ fn v0_and_v1_serve_side_by_side() {
 fn v0_job_shape_is_frozen() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_p, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 40, "operation_count" => 60},
-    );
+    let (_p, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 40, "operation_count" => 60});
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap();
@@ -86,13 +84,8 @@ fn role_enforcement_across_endpoints() {
         let response = client
             .post_json("/api/v1/login", &obj! {"username" => user, "password" => "pw"})
             .unwrap();
-        let token = response
-            .json_body()
-            .unwrap()
-            .get("token")
-            .and_then(Value::as_str)
-            .unwrap()
-            .to_string();
+        let token =
+            response.json_body().unwrap().get("token").and_then(Value::as_str).unwrap().to_string();
         client.set_default_header("X-Chronos-Token", &token);
         client
     };
@@ -107,23 +100,15 @@ fn role_enforcement_across_endpoints() {
     assert_eq!(denied.status.0, 403);
 
     // Only admins may register systems or create users.
-    let denied = member
-        .post_json("/api/v1/systems", &TestEnv::demo_system_definition())
-        .unwrap();
+    let denied = member.post_json("/api/v1/systems", &TestEnv::demo_system_definition()).unwrap();
     assert_eq!(denied.status.0, 403);
-    let denied = member
-        .post_json("/api/v1/users", &obj! {"username" => "x", "password" => "pw"})
-        .unwrap();
+    let denied =
+        member.post_json("/api/v1/users", &obj! {"username" => "x", "password" => "pw"}).unwrap();
     assert_eq!(denied.status.0, 403);
 
     // Project isolation: the viewer is not a member of the member's project.
-    let project_id = created
-        .json_body()
-        .unwrap()
-        .get("id")
-        .and_then(Value::as_str)
-        .unwrap()
-        .to_string();
+    let project_id =
+        created.json_body().unwrap().get("id").and_then(Value::as_str).unwrap().to_string();
     let denied = viewer.get(&format!("/api/v1/projects/{project_id}")).unwrap();
     assert_eq!(denied.status.0, 403);
     // Until they are added as a member.
@@ -148,9 +133,7 @@ fn unknown_routes_and_methods() {
     let env = TestEnv::start();
     assert_eq!(env.get_raw("/api/v9/version").status.0, 404);
     assert_eq!(env.get_raw("/api/v1/login").status.0, 405); // GET on a POST route
-    let bad_body = env
-        .http
-        .post_bytes("/api/v1/login", "application/json", b"{not json".to_vec())
-        .unwrap();
+    let bad_body =
+        env.http.post_bytes("/api/v1/login", "application/json", b"{not json".to_vec()).unwrap();
     assert_eq!(bad_body.status.0, 400);
 }

@@ -41,13 +41,8 @@ impl TestEnv {
         let login = http
             .post_json("/api/v1/login", &obj! {"username" => "admin", "password" => "admin-pw"})
             .unwrap();
-        let admin_token = login
-            .json_body()
-            .unwrap()
-            .get("token")
-            .and_then(Value::as_str)
-            .unwrap()
-            .to_string();
+        let admin_token =
+            login.json_body().unwrap().get("token").and_then(Value::as_str).unwrap().to_string();
         http.set_default_header("X-Chronos-Token", &admin_token);
         TestEnv { server, http, admin_token }
     }

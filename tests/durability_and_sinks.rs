@@ -9,7 +9,9 @@ mod common;
 use std::sync::Arc;
 use std::time::Duration;
 
-use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, DocstoreClient, LocalDirSink, TpccClient};
+use chronos::agent::{
+    AgentConfig, ChronosAgent, ControlClient, DocstoreClient, LocalDirSink, TpccClient,
+};
 use chronos::core::auth::Role;
 use chronos::core::store::MetadataStore;
 use chronos::core::ChronosControl;
@@ -20,10 +22,8 @@ use common::TestEnv;
 
 #[test]
 fn control_restart_mid_evaluation_resumes_from_the_log() {
-    let store_path = std::env::temp_dir().join(format!(
-        "chronos-e2e-restart-{}.log",
-        std::process::id()
-    ));
+    let store_path =
+        std::env::temp_dir().join(format!("chronos-e2e-restart-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&store_path);
 
     let start_server = || {
@@ -115,10 +115,8 @@ fn control_restart_mid_evaluation_resumes_from_the_log() {
 fn nas_sink_offloads_archives_from_control() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_p, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 60, "operation_count" => 120},
-    );
+    let (_p, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 60, "operation_count" => 120});
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
@@ -174,10 +172,8 @@ fn tpcc_client_through_the_full_stack() {
         &obj! {"environment" => "tpcc-node"},
     );
     let deployment_id = deployment.get("id").and_then(Value::as_str).unwrap().to_string();
-    let (_p, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"engine" => obj! {"sweep" => "all"}},
-    );
+    let (_p, experiment_id) =
+        env.create_demo_experiment(&system_id, obj! {"engine" => obj! {"sweep" => "all"}});
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
@@ -194,7 +190,9 @@ fn tpcc_client_through_the_full_stack() {
     for job in env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs")).as_array().unwrap() {
         let result_id = job.get("result_id").and_then(Value::as_str).unwrap();
         let result = env.get(&format!("/api/v1/results/{result_id}"));
-        assert!(result.pointer("/data/new_orders_per_minute").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            result.pointer("/data/new_orders_per_minute").and_then(Value::as_f64).unwrap() > 0.0
+        );
         assert_eq!(result.pointer("/data/total_errors").and_then(Value::as_u64), Some(0));
     }
 }

@@ -26,12 +26,10 @@ fn full_demo_workflow() {
         },
     );
 
-    let evaluation = env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    assert_eq!(
-        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len),
-        Some(4)
-    );
+    assert_eq!(evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len), Some(4));
 
     // Status before any agent runs: 4 scheduled.
     let detail = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
@@ -45,10 +43,7 @@ fn full_demo_workflow() {
     let detail = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
     assert_eq!(detail.pointer("/status/finished").and_then(Value::as_i64), Some(4));
     assert_eq!(detail.pointer("/status/settled").and_then(Value::as_bool), Some(true));
-    assert_eq!(
-        detail.pointer("/status/progress_percent").and_then(Value::as_i64),
-        Some(100)
-    );
+    assert_eq!(detail.pointer("/status/progress_percent").and_then(Value::as_i64), Some(100));
 
     // Every job carries progress 100, a result id and a log.
     let jobs = env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs"));
@@ -98,10 +93,8 @@ fn full_demo_workflow() {
 fn trigger_endpoint_schedules_evaluation_from_build_bot() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 100},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 100});
     // A CI system reports a successful build -> evaluation is scheduled.
     let triggered = env.post(
         "/api/v1/trigger/build",
@@ -119,10 +112,8 @@ fn trigger_endpoint_schedules_evaluation_from_build_bot() {
 fn installation_stats_roll_up() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_p, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 50},
-    );
+    let (_p, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 50});
     env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let stats = env.get("/api/v1/stats");
     assert_eq!(stats.pointer("/jobs/scheduled").and_then(Value::as_i64), Some(1));

@@ -12,17 +12,11 @@ use common::TestEnv;
 
 fn schedule_one_job(env: &TestEnv) -> (String, String) {
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 100},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 100});
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    let job_id = evaluation
-        .pointer("/job_ids/0")
-        .and_then(Value::as_str)
-        .unwrap()
-        .to_string();
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
     (job_id, deployment_id)
 }
 
@@ -35,9 +29,7 @@ fn abort_scheduled_job_via_api() {
     // The timeline records the abort.
     let job = env.get(&format!("/api/v1/jobs/{job_id}"));
     let timeline = job.get("timeline").and_then(Value::as_array).unwrap();
-    assert!(timeline
-        .iter()
-        .any(|e| e.get("kind").and_then(Value::as_str) == Some("aborted")));
+    assert!(timeline.iter().any(|e| e.get("kind").and_then(Value::as_str) == Some("aborted")));
     // An agent finds nothing to claim.
     assert_eq!(env.run_agent(&deployment_id), 0);
     // Aborting again conflicts (409).
@@ -58,10 +50,8 @@ fn agent_failure_reports_and_reschedules() {
     // (The experiment layer cannot catch this: "z" is a valid checkbox
     // option only in the schema-less value sense, so use a bad record count
     // instead: engine name that the client rejects.)
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => -5, "operation_count" => 10},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => -5, "operation_count" => 10});
     // record_count -5 clamps to 1 in the client, so that would succeed —
     // instead drive the failure through the API directly:
     let evaluation =
@@ -70,10 +60,8 @@ fn agent_failure_reports_and_reschedules() {
     let _ = deployment_id;
 
     // Claim via the agent endpoint, then report failure (attempt 1).
-    let claimed = env.post(
-        "/api/v1/agent/claim",
-        &obj! {"deployment_id" => deployment_id.as_str()},
-    );
+    let claimed =
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
     assert_eq!(claimed.get("id").and_then(Value::as_str), Some(job_id.as_str()));
     let failed = env.post(
         &format!("/api/v1/agent/jobs/{job_id}/fail"),
@@ -85,10 +73,8 @@ fn agent_failure_reports_and_reschedules() {
 
     // Attempt 2 fails -> stays failed.
     env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
-    let failed = env.post(
-        &format!("/api/v1/agent/jobs/{job_id}/fail"),
-        &obj! {"reason" => "crashed again"},
-    );
+    let failed =
+        env.post(&format!("/api/v1/agent/jobs/{job_id}/fail"), &obj! {"reason" => "crashed again"});
     assert_eq!(failed.get("state").and_then(Value::as_str), Some("failed"));
     assert_eq!(failed.get("failure").and_then(Value::as_str), Some("crashed again"));
 
@@ -133,10 +119,7 @@ fn heartbeat_timeout_fails_and_reschedules_job() {
                 .iter()
                 .filter_map(|e| e.get("message").and_then(Value::as_str).map(str::to_string))
                 .collect();
-            assert!(
-                timeline.iter().any(|m| m.contains("heartbeat timeout")),
-                "{timeline:?}"
-            );
+            assert!(timeline.iter().any(|m| m.contains("heartbeat timeout")), "{timeline:?}");
             break;
         }
         assert!(std::time::Instant::now() < deadline, "sweeper never fired; state={state}");

@@ -105,10 +105,8 @@ fn two_different_systems_evaluate_independently() {
         .unwrap()
         .to_string();
 
-    let (_p1, minidoc_experiment) = env.create_demo_experiment(
-        &minidoc_id,
-        obj! {"record_count" => 60, "operation_count" => 120},
-    );
+    let (_p1, minidoc_experiment) = env
+        .create_demo_experiment(&minidoc_id, obj! {"record_count" => 60, "operation_count" => 120});
     let (_p2, other_experiment) = env.create_demo_experiment(&other_id, obj! {});
     env.post(&format!("/api/v1/experiments/{minidoc_experiment}/evaluations"), &obj! {});
     env.post(&format!("/api/v1/experiments/{other_experiment}/evaluations"), &obj! {});

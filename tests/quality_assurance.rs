@@ -11,15 +11,17 @@ use common::TestEnv;
 
 /// Finishes every scheduled job of `experiment` with a fixed throughput,
 /// simulating an SuE build with that performance level.
-fn run_evaluation_with_throughput(env: &TestEnv, experiment_id: &str, deployment_id: &str, throughput: f64) {
+fn run_evaluation_with_throughput(
+    env: &TestEnv,
+    experiment_id: &str,
+    deployment_id: &str,
+    throughput: f64,
+) {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     for job in evaluation.get("job_ids").and_then(Value::as_array).unwrap() {
         let job_id = job.as_str().unwrap();
-        env.post(
-            "/api/v1/agent/claim",
-            &obj! {"deployment_id" => deployment_id},
-        );
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
         env.post(
             &format!("/api/v1/agent/jobs/{job_id}/result"),
             &obj! {"data" => obj! {"throughput_ops_per_sec" => throughput}},
@@ -31,10 +33,8 @@ fn run_evaluation_with_throughput(env: &TestEnv, experiment_id: &str, deployment
 fn trend_detects_a_regression_between_change_sets() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 50},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 50});
 
     // Three "builds": stable, stable, then a 40% performance regression.
     run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 1000.0);
@@ -62,10 +62,8 @@ fn trend_detects_a_regression_between_change_sets() {
 fn trend_threshold_is_configurable() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 50},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 50});
     run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 1000.0);
     run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 950.0); // -5%
 
@@ -80,10 +78,8 @@ fn trend_threshold_is_configurable() {
 fn unfinished_evaluations_are_skipped() {
     let env = TestEnv::start();
     let (system_id, deployment_id) = env.register_demo_system();
-    let (_project, experiment_id) = env.create_demo_experiment(
-        &system_id,
-        obj! {"record_count" => 50, "operation_count" => 50},
-    );
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 50});
     run_evaluation_with_throughput(&env, &experiment_id, &deployment_id, 500.0);
     // A second evaluation exists but has no results yet.
     env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});

@@ -15,10 +15,7 @@ fn register_system_inline_and_fetch() {
     let system_id = created.get("id").and_then(Value::as_str).unwrap();
     assert_eq!(created.get("name").and_then(Value::as_str), Some("minidoc"));
     let fetched = env.get(&format!("/api/v1/systems/{system_id}"));
-    assert_eq!(
-        fetched.get("parameters").and_then(Value::as_array).map(Vec::len),
-        Some(6)
-    );
+    assert_eq!(fetched.get("parameters").and_then(Value::as_array).map(Vec::len), Some(6));
     assert_eq!(fetched.get("charts").and_then(Value::as_array).map(Vec::len), Some(2));
     let listing = env.get("/api/v1/systems");
     assert_eq!(listing.as_array().map(Vec::len), Some(1));
@@ -29,10 +26,7 @@ fn register_system_from_definition_file() {
     // Workflow 1 of §3: the system definition lives in a (checked-out)
     // repository; Chronos imports the definition document.
     let env = TestEnv::start();
-    let path = std::env::temp_dir().join(format!(
-        "chronos-system-def-{}.json",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("chronos-system-def-{}.json", std::process::id()));
     std::fs::write(&path, TestEnv::demo_system_definition().to_pretty_string()).unwrap();
     let definition = chronos::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     let created = env.post("/api/v1/systems", &definition);
@@ -44,10 +38,7 @@ fn register_system_from_definition_file() {
 fn duplicate_system_names_conflict() {
     let env = TestEnv::start();
     env.post("/api/v1/systems", &TestEnv::demo_system_definition());
-    let again = env
-        .http
-        .post_json("/api/v1/systems", &TestEnv::demo_system_definition())
-        .unwrap();
+    let again = env.http.post_json("/api/v1/systems", &TestEnv::demo_system_definition()).unwrap();
     assert_eq!(again.status.0, 409);
 }
 

@@ -15,11 +15,7 @@ fn get_html(env: &TestEnv, path: &str) -> String {
         response.status.0,
         String::from_utf8_lossy(&response.body)
     );
-    assert!(response
-        .headers
-        .get("content-type")
-        .unwrap_or_default()
-        .starts_with("text/html"));
+    assert!(response.headers.get("content-type").unwrap_or_default().starts_with("text/html"));
     String::from_utf8_lossy(&response.body).into_owned()
 }
 
@@ -48,7 +44,8 @@ fn full_ui_walkthrough() {
             "operation_count" => 160,
         },
     );
-    let evaluation = env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
     let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
 
@@ -68,8 +65,7 @@ fn full_ui_walkthrough() {
     // Project -> experiment (Fig. 3a) with the parameter assignment.
     let project_page = get_html(&env, &format!("/ui/projects/{project_id}?token={token}"));
     assert!(project_page.contains("engine comparison"));
-    let experiment_page =
-        get_html(&env, &format!("/ui/experiments/{experiment_id}?token={token}"));
+    let experiment_page = get_html(&env, &format!("/ui/experiments/{experiment_id}?token={token}"));
     assert!(experiment_page.contains("&quot;sweep&quot;"), "assignment JSON shown escaped");
 
     // Evaluation page before the run (Fig. 3b): all jobs scheduled.
