@@ -130,7 +130,14 @@ fn apply(db: &Database, op: &Operation) -> Result<(), String> {
             coll.insert(key, &fields_to_doc(fields)).map_err(|e| e.to_string())
         }
         Operation::Scan { start_key, count } => {
-            coll.scan(start_key, *count as usize).map(|_| ()).map_err(|e| e.to_string())
+            // YCSB scans read and discard; stream the raw records off the
+            // engine cursor instead of decoding every document.
+            let mut cursor = coll.cursor(start_key).map_err(|e| e.to_string())?;
+            let mut remaining = *count as usize;
+            while remaining > 0 && cursor.next().is_some() {
+                remaining -= 1;
+            }
+            Ok(())
         }
         Operation::ReadModifyWrite { key, fields } => {
             let current = coll.get(key).map_err(|e| e.to_string())?;

@@ -1,0 +1,166 @@
+//! E9 — the data-plane read path: decode-everything baseline vs the
+//! overhauled path (engine cursors + predicate pushdown on encoded bytes).
+//!
+//! The baseline runners reproduce the pre-overhaul behaviour through the
+//! public API: `Collection::scan` materializes every document it returns,
+//! and the old non-indexed `find` was exactly "scan in batches, decode each
+//! document, test the filter on the materialized value" with a
+//! `key + '\0'` sentinel to resume. The new runners use the streaming
+//! cursor (raw `Arc`-shared bytes, no decode) and `Collection::find`'s
+//! pushdown (filters evaluated on the encoded bytes; only matches decode).
+
+use std::time::Instant;
+
+use chronos_json::obj;
+use minidoc::{Collection, Database, DbConfig, EngineKind, Filter};
+
+/// Documents per YCSB-E-style scan.
+pub const SCAN_LEN: usize = 50;
+/// Distinct `group` values; an equality filter on `group` therefore
+/// matches ~1% of the collection.
+pub const GROUPS: i64 = 100;
+
+/// One measured workload leg.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Operations executed (scans or find queries).
+    pub ops: u64,
+    /// Rows the operations touched/returned.
+    pub rows: u64,
+    /// Wall time.
+    pub secs: f64,
+}
+
+impl Report {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Loads `records` YCSB-style documents into an in-memory database.
+pub fn load(engine: &str, records: usize, field_length: usize) -> Database {
+    let kind = EngineKind::parse(engine).expect("engine name");
+    let db = Database::open(DbConfig::in_memory(kind)).unwrap();
+    let coll = db.collection("usertable");
+    let payload = "deadbeef".repeat(field_length.div_ceil(8));
+    for i in 0..records {
+        coll.insert(
+            &key_for(i),
+            &obj! {
+                "group" => (i as i64) % GROUPS,
+                "flag" => i % 7 == 0,
+                "name" => format!("user-{i}"),
+                "payload" => payload.as_str(),
+            },
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn key_for(i: usize) -> String {
+    format!("user{i:08}")
+}
+
+/// xorshift64 for deterministic scan start keys.
+fn next_rand(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Baseline scans: every returned document fully decoded.
+pub fn run_scans_decode(coll: &Collection, scans: usize) -> Report {
+    let records = coll.count() as usize;
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut rows = 0u64;
+    let start = Instant::now();
+    for _ in 0..scans {
+        let first = (next_rand(&mut state) as usize) % records.max(1);
+        rows += coll.scan(&key_for(first), SCAN_LEN).unwrap().len() as u64;
+    }
+    Report { ops: scans as u64, rows, secs: start.elapsed().as_secs_f64() }
+}
+
+/// Cursor scans: the same key ranges streamed as raw records, no decode.
+pub fn run_scans_cursor(coll: &Collection, scans: usize) -> Report {
+    let records = coll.count() as usize;
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut rows = 0u64;
+    let start = Instant::now();
+    for _ in 0..scans {
+        let first = (next_rand(&mut state) as usize) % records.max(1);
+        rows += coll.cursor(&key_for(first)).unwrap().take(SCAN_LEN).count() as u64;
+    }
+    Report { ops: scans as u64, rows, secs: start.elapsed().as_secs_f64() }
+}
+
+/// The pre-overhaul non-indexed `find`: batched scan with sentinel resume
+/// keys, decoding every document and filtering the materialized values.
+pub fn find_decode_all(coll: &Collection, filter: &Filter) -> Vec<String> {
+    const BATCH: usize = 1024;
+    let mut out = Vec::new();
+    let mut start = String::new();
+    loop {
+        let batch = coll.scan(&start, BATCH).unwrap();
+        let full = batch.len() == BATCH;
+        let resume = batch.last().map(|(k, _)| format!("{k}\0"));
+        for (key, document) in batch {
+            if filter.matches(&document) {
+                out.push(key);
+            }
+        }
+        match resume {
+            Some(next) if full => start = next,
+            _ => return out,
+        }
+    }
+}
+
+/// Baseline find throughput over a rotating set of ~1%-selective filters.
+pub fn run_finds_decode(coll: &Collection, finds: usize) -> Report {
+    let mut rows = 0u64;
+    let start = Instant::now();
+    for i in 0..finds {
+        let filter = Filter::eq("group", (i as i64) % GROUPS);
+        rows += find_decode_all(coll, &filter).len() as u64;
+    }
+    Report { ops: finds as u64, rows, secs: start.elapsed().as_secs_f64() }
+}
+
+/// Pushdown find throughput: same filters through `Collection::find`
+/// (no index on `group`, so this is the full-scan pushdown path).
+pub fn run_finds_pushdown(coll: &Collection, finds: usize) -> Report {
+    let mut rows = 0u64;
+    let start = Instant::now();
+    for i in 0..finds {
+        let filter = Filter::eq("group", (i as i64) % GROUPS);
+        rows += coll.find(&filter).unwrap().len() as u64;
+    }
+    Report { ops: finds as u64, rows, secs: start.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_new_paths_agree() {
+        for engine in ["wiredtiger", "mmapv1"] {
+            let db = load(engine, 300, 64);
+            let coll = db.collection("usertable");
+            let filter = Filter::eq("group", 3);
+            let old: Vec<String> = find_decode_all(&coll, &filter);
+            let new: Vec<String> =
+                coll.find(&filter).unwrap().into_iter().map(|(k, _)| k).collect();
+            assert_eq!(old, new, "engine {engine}");
+            assert_eq!(old.len(), 3);
+
+            let decoded = run_scans_decode(&coll, 20);
+            let streamed = run_scans_cursor(&coll, 20);
+            assert_eq!(decoded.rows, streamed.rows, "engine {engine}");
+        }
+    }
+}

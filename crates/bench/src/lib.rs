@@ -12,6 +12,7 @@ use chronos_util::Id;
 
 pub mod baseline;
 pub mod contention;
+pub mod data_plane;
 
 /// One measured benchmark configuration.
 #[derive(Debug, Clone)]

@@ -65,6 +65,9 @@ fn main() {
     if want("E8") {
         experiment_e8(quick, emit_json);
     }
+    if want("E9") {
+        experiment_e9(quick, emit_json);
+    }
 }
 
 /// E1 — the demo headline: YCSB-A throughput vs client threads per engine,
@@ -525,6 +528,107 @@ fn experiment_e8(quick: bool, emit_json: bool) {
             "runs" => Value::Array(runs),
         };
         let path = "BENCH_control_plane.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
+}
+
+/// E9 — data-plane read path: the decode-everything baseline (what
+/// `find`/`scan` did before the overhaul) vs engine cursors + predicate
+/// pushdown over the encoded bytes, per engine. `--json` also writes the
+/// numbers to `BENCH_data_plane.json` for regression tracking.
+fn experiment_e9(quick: bool, emit_json: bool) {
+    use chronos_bench::data_plane::{
+        self, load, run_finds_decode, run_finds_pushdown, run_scans_cursor, run_scans_decode,
+    };
+
+    println!("== E9: data-plane read path (scans + non-indexed find) ==");
+    let records = if quick { 2_000 } else { 20_000 };
+    let scans = if quick { 500 } else { 2_000 };
+    let finds = if quick { 30 } else { 100 };
+    let widths = [10, 26, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "engine".into(),
+                "workload".into(),
+                "baseline".into(),
+                "new path".into(),
+                "speedup".into()
+            ],
+            &widths
+        )
+    );
+    let mut results: Vec<Value> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for engine in ["wiredtiger", "mmapv1"] {
+        let db = load(engine, records, 100);
+        let coll = db.collection("usertable");
+        let legs = [
+            (
+                "scan (YCSB-E, len 50)",
+                "scans_per_sec",
+                run_scans_decode(&coll, scans),
+                run_scans_cursor(&coll, scans),
+            ),
+            (
+                "find (non-indexed, ~1%)",
+                "finds_per_sec",
+                run_finds_decode(&coll, finds),
+                run_finds_pushdown(&coll, finds),
+            ),
+        ];
+        for (label, unit, baseline, new_path) in legs {
+            assert_eq!(baseline.rows, new_path.rows, "paths must agree on {engine}/{label}");
+            let speedup = new_path.ops_per_sec() / baseline.ops_per_sec().max(1e-9);
+            speedups.push(speedup);
+            println!(
+                "{}",
+                row(
+                    &[
+                        engine.into(),
+                        label.into(),
+                        fmt_tp(baseline.ops_per_sec()),
+                        fmt_tp(new_path.ops_per_sec()),
+                        format!("{speedup:.1}x"),
+                    ],
+                    &widths
+                )
+            );
+            results.push(chronos_json::obj! {
+                "engine" => engine,
+                "workload" => label,
+                "unit" => unit,
+                "rows_touched" => baseline.rows as i64,
+                "baseline_ops_per_sec" => baseline.ops_per_sec(),
+                "new_ops_per_sec" => new_path.ops_per_sec(),
+                "speedup" => speedup,
+            });
+        }
+    }
+    let worst = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "shape: cursors skip per-row decode, pushdown decodes only matches; \
+         worst-case speedup = {worst:.1}x\n"
+    );
+
+    if emit_json {
+        let doc = chronos_json::obj! {
+            "experiment" => "E9",
+            "description" => "data-plane read path: decode-everything baseline vs engine cursors + predicate pushdown",
+            "workload" => chronos_json::obj! {
+                "records" => records as i64,
+                "scan_length" => data_plane::SCAN_LEN as i64,
+                "scans" => scans as i64,
+                "find_queries" => finds as i64,
+                "find_selectivity" => 1.0 / data_plane::GROUPS as f64,
+            },
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+            "runs" => Value::Array(results),
+            "worst_case_speedup" => worst,
+        };
+        let path = "BENCH_data_plane.json";
         std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
         println!("wrote {path}\n");
     }

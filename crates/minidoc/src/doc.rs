@@ -7,6 +7,7 @@
 use chronos_json::{Map, Number, Value};
 
 use crate::error::{DbError, DbResult};
+use crate::query::Filter;
 
 const TAG_NULL: u8 = 0;
 const TAG_FALSE: u8 = 1;
@@ -173,6 +174,279 @@ pub fn decode_varint(bytes: &[u8], pos: &mut usize) -> DbResult<u64> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Predicate pushdown: filter evaluation directly on the encoded bytes.
+//
+// `matches_encoded` walks the tag+varint encoding without building a single
+// `Value`, so a full-collection scan only pays materialization for documents
+// that actually match. The walker mirrors `decode` + `Filter::matches`
+// bit-for-bit (cross-type numeric equality, lexicographic strings, fail-closed
+// comparisons); `tests/pushdown.rs` holds the agreement property tests.
+//
+// Input is assumed to come from [`encode`] (engine records always do), so
+// object keys are unique; malformed bytes surface as [`DbError::Corrupt`].
+// ---------------------------------------------------------------------------
+
+/// Evaluates `filter` against an encoded document without materializing it.
+///
+/// Agrees exactly with `Filter::matches(&decode(bytes)?)` for any `bytes`
+/// produced by [`encode`].
+pub fn matches_encoded(bytes: &[u8], filter: &Filter) -> DbResult<bool> {
+    match filter {
+        Filter::Eq(field, operand) => match seek_path(bytes, field)? {
+            Some(mut pos) => encoded_eq_cross_numeric(bytes, &mut pos, operand),
+            None => Ok(false),
+        },
+        Filter::Ne(field, operand) => match seek_path(bytes, field)? {
+            Some(mut pos) => Ok(!encoded_eq_cross_numeric(bytes, &mut pos, operand)?),
+            None => Ok(true),
+        },
+        Filter::Gt(field, operand) => {
+            Ok(encoded_cmp(bytes, field, operand)? == Some(std::cmp::Ordering::Greater))
+        }
+        Filter::Gte(field, operand) => Ok(matches!(
+            encoded_cmp(bytes, field, operand)?,
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        )),
+        Filter::Lt(field, operand) => {
+            Ok(encoded_cmp(bytes, field, operand)? == Some(std::cmp::Ordering::Less))
+        }
+        Filter::Lte(field, operand) => Ok(matches!(
+            encoded_cmp(bytes, field, operand)?,
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )),
+        Filter::Exists(field) => Ok(seek_path(bytes, field)?.is_some()),
+        Filter::And(filters) => {
+            for f in filters {
+                if !matches_encoded(bytes, f)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Filter::Or(filters) => {
+            for f in filters {
+                if matches_encoded(bytes, f)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Filter::Not(filter) => Ok(!matches_encoded(bytes, filter)?),
+    }
+}
+
+/// Decodes only the value at dotted `path` (`None` when the path is absent),
+/// skipping over everything else. Used by index backfill, which needs one
+/// field of every document.
+pub fn decode_path(bytes: &[u8], path: &str) -> DbResult<Option<Value>> {
+    match seek_path(bytes, path)? {
+        Some(mut pos) => Ok(Some(decode_value(bytes, &mut pos)?)),
+        None => Ok(None),
+    }
+}
+
+/// Byte offset of the encoded value at dotted `path` (same path semantics as
+/// `query::lookup`: object keys by name, array elements by parsed index).
+fn seek_path(bytes: &[u8], path: &str) -> DbResult<Option<usize>> {
+    let mut pos = 0usize;
+    for part in path.split('.') {
+        let tag = *bytes.get(pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+        pos += 1;
+        match tag {
+            TAG_OBJECT => {
+                let count = decode_varint(bytes, &mut pos)? as usize;
+                if count > bytes.len() - pos {
+                    return Err(DbError::Corrupt("object length exceeds input".into()));
+                }
+                let mut found = false;
+                for _ in 0..count {
+                    let key_len = decode_varint(bytes, &mut pos)? as usize;
+                    let key = take(bytes, &mut pos, key_len)?;
+                    if key == part.as_bytes() {
+                        found = true;
+                        break;
+                    }
+                    skip_value(bytes, &mut pos)?;
+                }
+                if !found {
+                    return Ok(None);
+                }
+            }
+            TAG_ARRAY => {
+                let Ok(index) = part.parse::<usize>() else { return Ok(None) };
+                let count = decode_varint(bytes, &mut pos)? as usize;
+                if count > bytes.len() - pos {
+                    return Err(DbError::Corrupt("array length exceeds input".into()));
+                }
+                if index >= count {
+                    return Ok(None);
+                }
+                for _ in 0..index {
+                    skip_value(bytes, &mut pos)?;
+                }
+            }
+            // Scalars have no sub-fields.
+            TAG_NULL | TAG_FALSE | TAG_TRUE | TAG_INT | TAG_FLOAT | TAG_STRING => return Ok(None),
+            other => return Err(DbError::Corrupt(format!("unknown type tag {other}"))),
+        }
+    }
+    Ok(Some(pos))
+}
+
+/// Advances `pos` past one encoded value.
+fn skip_value(bytes: &[u8], pos: &mut usize) -> DbResult<()> {
+    let tag = *bytes.get(*pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL | TAG_FALSE | TAG_TRUE => {}
+        TAG_INT | TAG_FLOAT => {
+            take(bytes, pos, 8)?;
+        }
+        TAG_STRING => {
+            let len = decode_varint(bytes, pos)? as usize;
+            take(bytes, pos, len)?;
+        }
+        TAG_ARRAY => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("array length exceeds input".into()));
+            }
+            for _ in 0..count {
+                skip_value(bytes, pos)?;
+            }
+        }
+        TAG_OBJECT => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("object length exceeds input".into()));
+            }
+            for _ in 0..count {
+                let key_len = decode_varint(bytes, pos)? as usize;
+                take(bytes, pos, key_len)?;
+                skip_value(bytes, pos)?;
+            }
+        }
+        other => return Err(DbError::Corrupt(format!("unknown type tag {other}"))),
+    }
+    Ok(())
+}
+
+/// Top-level `Eq`/`Ne` operand comparison: cross-type numeric equality when
+/// both sides are numbers (`query::values_equal`), structural otherwise.
+fn encoded_eq_cross_numeric(bytes: &[u8], pos: &mut usize, operand: &Value) -> DbResult<bool> {
+    let tag = *bytes.get(*pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+    if matches!(tag, TAG_INT | TAG_FLOAT) {
+        if let Some(y) = operand.as_f64() {
+            *pos += 1;
+            let raw = take(bytes, pos, 8)?.try_into().unwrap();
+            let x = if tag == TAG_INT {
+                i64::from_le_bytes(raw) as f64
+            } else {
+                f64::from_le_bytes(raw)
+            };
+            return Ok(x == y);
+        }
+    }
+    encoded_eq(bytes, pos, operand)
+}
+
+/// Structural equality of an encoded value against `operand`, mirroring the
+/// derived `Value: PartialEq` (so nested numbers use `Number`'s exact-int /
+/// cross-type semantics, objects compare entries pairwise in order).
+///
+/// On `Ok(true)`, `pos` has advanced past the value; on `Ok(false)` it is
+/// left mid-value (callers short-circuit).
+fn encoded_eq(bytes: &[u8], pos: &mut usize, operand: &Value) -> DbResult<bool> {
+    let tag = *bytes.get(*pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(matches!(operand, Value::Null)),
+        TAG_FALSE => Ok(matches!(operand, Value::Bool(false))),
+        TAG_TRUE => Ok(matches!(operand, Value::Bool(true))),
+        TAG_INT => {
+            let raw = take(bytes, pos, 8)?.try_into().unwrap();
+            let x = Number::Int(i64::from_le_bytes(raw));
+            Ok(matches!(operand, Value::Number(n) if x == *n))
+        }
+        TAG_FLOAT => {
+            let raw = take(bytes, pos, 8)?.try_into().unwrap();
+            let x = Number::Float(f64::from_le_bytes(raw));
+            Ok(matches!(operand, Value::Number(n) if x == *n))
+        }
+        TAG_STRING => {
+            let len = decode_varint(bytes, pos)? as usize;
+            let raw = take(bytes, pos, len)?;
+            Ok(matches!(operand, Value::String(s) if raw == s.as_bytes()))
+        }
+        TAG_ARRAY => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("array length exceeds input".into()));
+            }
+            let Value::Array(items) = operand else { return Ok(false) };
+            if count != items.len() {
+                return Ok(false);
+            }
+            for item in items {
+                if !encoded_eq(bytes, pos, item)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        TAG_OBJECT => {
+            let count = decode_varint(bytes, pos)? as usize;
+            if count > bytes.len() - *pos {
+                return Err(DbError::Corrupt("object length exceeds input".into()));
+            }
+            let Value::Object(map) = operand else { return Ok(false) };
+            if count != map.len() {
+                return Ok(false);
+            }
+            for (want_key, want_value) in map.iter() {
+                let key_len = decode_varint(bytes, pos)? as usize;
+                let key = take(bytes, pos, key_len)?;
+                if key != want_key.as_bytes() || !encoded_eq(bytes, pos, want_value)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        other => Err(DbError::Corrupt(format!("unknown type tag {other}"))),
+    }
+}
+
+/// Ordering of the value at `field` against `operand`, mirroring
+/// `query::compare`: strings compare lexicographically, numbers cross-type
+/// via f64; every other combination (and a missing field) is `None`.
+fn encoded_cmp(bytes: &[u8], field: &str, operand: &Value) -> DbResult<Option<std::cmp::Ordering>> {
+    let Some(mut pos) = seek_path(bytes, field)? else { return Ok(None) };
+    let tag = *bytes.get(pos).ok_or_else(|| DbError::Corrupt("truncated tag".into()))?;
+    pos += 1;
+    match tag {
+        TAG_STRING => {
+            let len = decode_varint(bytes, &mut pos)? as usize;
+            let raw = take(bytes, &mut pos, len)?;
+            match operand {
+                Value::String(s) => Ok(Some(raw.cmp(s.as_bytes()))),
+                _ => Ok(None),
+            }
+        }
+        TAG_INT | TAG_FLOAT => {
+            let Some(y) = operand.as_f64() else { return Ok(None) };
+            let raw = take(bytes, &mut pos, 8)?.try_into().unwrap();
+            let x = if tag == TAG_INT {
+                i64::from_le_bytes(raw) as f64
+            } else {
+                f64::from_le_bytes(raw)
+            };
+            Ok(x.partial_cmp(&y))
+        }
+        _ => Ok(None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +528,108 @@ mod tests {
         let mut bytes = vec![TAG_OBJECT];
         encode_varint(u64::MAX, &mut bytes);
         assert!(matches!(decode(&bytes), Err(DbError::Corrupt(_))));
+    }
+
+    fn walker_doc() -> Value {
+        obj! {
+            "name" => "ada",
+            "age" => 36,
+            "ratio" => 0.5,
+            "address" => obj! {"city" => "basel", "zip" => 4051},
+            "tags" => arr!["x", "y"],
+            "maybe" => Value::Null,
+        }
+    }
+
+    fn check(filter: &Filter, document: &Value) {
+        let bytes = encode(document).unwrap();
+        assert_eq!(
+            matches_encoded(&bytes, filter).unwrap(),
+            filter.matches(document),
+            "walker disagrees with decode+matches for {filter:?}"
+        );
+    }
+
+    #[test]
+    fn walker_agrees_on_scalar_predicates() {
+        let d = walker_doc();
+        for filter in [
+            Filter::eq("name", "ada"),
+            Filter::eq("name", "bob"),
+            Filter::ne("name", "bob"),
+            Filter::ne("missing", 1),
+            Filter::eq("age", 36.0),
+            Filter::gt("age", 35),
+            Filter::gte("age", 36),
+            Filter::gt("age", 36),
+            Filter::lt("ratio", 1),
+            Filter::lte("ratio", 0.5),
+            Filter::gt("name", "aaa"),
+            Filter::lt("name", "zzz"),
+            Filter::gt("name", 5),
+            Filter::lt("tags", 5),
+            Filter::exists("maybe"),
+            Filter::exists("missing"),
+        ] {
+            check(&filter, &d);
+        }
+    }
+
+    #[test]
+    fn walker_agrees_on_paths_and_composition() {
+        let d = walker_doc();
+        for filter in [
+            Filter::eq("address.city", "basel"),
+            Filter::gt("address.zip", 4000),
+            Filter::eq("tags.0", "x"),
+            Filter::eq("tags.5", "x"),
+            Filter::eq("name.sub", 1),
+            Filter::exists("address.city"),
+            Filter::and(vec![Filter::eq("name", "ada"), Filter::gt("age", 30)]),
+            Filter::or(vec![Filter::eq("name", "bob"), Filter::gt("age", 40)]),
+            Filter::not(Filter::eq("name", "bob")),
+            Filter::and(vec![]),
+            Filter::or(vec![]),
+        ] {
+            check(&filter, &d);
+        }
+    }
+
+    #[test]
+    fn walker_agrees_on_container_equality() {
+        let d = walker_doc();
+        for filter in [
+            Filter::eq("tags", arr!["x", "y"]),
+            Filter::eq("tags", arr!["x"]),
+            Filter::eq("tags", arr!["x", "z"]),
+            Filter::eq("address", obj! {"city" => "basel", "zip" => 4051}),
+            Filter::eq("address", obj! {"zip" => 4051, "city" => "basel"}),
+            Filter::eq("address", obj! {"city" => "basel"}),
+            Filter::eq("maybe", Value::Null),
+        ] {
+            check(&filter, &d);
+        }
+    }
+
+    #[test]
+    fn walker_rejects_corrupt_bytes() {
+        let bytes = encode(&walker_doc()).unwrap();
+        let filter = Filter::eq("maybe", 1);
+        for cut in 1..bytes.len() - 1 {
+            // Any truncation either errors or still answers; it must not panic.
+            let _ = matches_encoded(&bytes[..cut], &filter);
+        }
+        assert!(matches!(matches_encoded(&[99], &filter), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_path_extracts_single_fields() {
+        let bytes = encode(&walker_doc()).unwrap();
+        assert_eq!(decode_path(&bytes, "age").unwrap(), Some(Value::from(36)));
+        assert_eq!(decode_path(&bytes, "address.city").unwrap(), Some(Value::from("basel")));
+        assert_eq!(decode_path(&bytes, "tags.1").unwrap(), Some(Value::from("y")));
+        assert_eq!(decode_path(&bytes, "missing").unwrap(), None);
+        assert_eq!(decode_path(&bytes, "name.sub").unwrap(), None);
     }
 
     #[test]

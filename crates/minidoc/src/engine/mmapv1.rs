@@ -17,11 +17,12 @@
 //!   this engine's storage footprint exceeds wiredTiger's.
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::engine::{EngineStats, StatCounters, StorageEngine};
+use crate::engine::{EngineStats, RecordCursor, SharedBytes, StatCounters, StorageEngine};
 use crate::error::{DbError, DbResult};
 use crate::wal::{Wal, WalOp};
 use crate::DbConfig;
@@ -89,15 +90,96 @@ impl MmapCollection {
         extent[start + 4..start + 4 + value.len()].copy_from_slice(value);
     }
 
-    fn read_record(&self, loc: RecordLoc) -> Vec<u8> {
+    /// The record payload borrowed straight out of its extent.
+    fn record_slice(&self, loc: RecordLoc) -> &[u8] {
         let extent = &self.extents[loc.extent as usize];
         let start = loc.offset as usize;
         let len = u32::from_le_bytes(extent[start..start + 4].try_into().unwrap()) as usize;
-        extent[start + 4..start + 4 + len].to_vec()
+        &extent[start + 4..start + 4 + len]
+    }
+
+    fn read_record(&self, loc: RecordLoc) -> Vec<u8> {
+        self.record_slice(loc).to_vec()
     }
 
     fn free(&mut self, loc: RecordLoc) {
         self.free_lists.entry(loc.slot_size).or_default().push(loc);
+    }
+}
+
+/// First cursor refill size; chunks double per refill up to
+/// [`MAX_CURSOR_CHUNK`], so short scans don't overfetch and long scans
+/// amortize the lock acquisitions.
+const FIRST_CURSOR_CHUNK: usize = 32;
+/// Largest refill; bounds the collection read-lock hold.
+const MAX_CURSOR_CHUNK: usize = 256;
+
+/// Streaming cursor: snapshots a chunk of keys in key order, copies the
+/// payloads out of the extents in (extent, offset) order — sequential
+/// memory reads — then emits them back in key order.
+struct MmapCursor {
+    coll: Arc<RwLock<MmapCollection>>,
+    buf: std::vec::IntoIter<(Vec<u8>, SharedBytes)>,
+    resume: Option<Bound<Vec<u8>>>,
+    chunk: usize,
+}
+
+impl MmapCursor {
+    fn new(coll: Arc<RwLock<MmapCollection>>, start_key: &[u8]) -> Self {
+        MmapCursor {
+            coll,
+            buf: Vec::new().into_iter(),
+            resume: Some(Bound::Included(start_key.to_vec())),
+            chunk: FIRST_CURSOR_CHUNK,
+        }
+    }
+
+    fn refill(&mut self) -> bool {
+        let Some(low) = self.resume.take() else { return false };
+        let chunk = self.chunk;
+        self.chunk = (chunk * 2).min(MAX_CURSOR_CHUNK);
+        let coll = Arc::clone(&self.coll);
+        let c = coll.read();
+        let entries: Vec<(Vec<u8>, RecordLoc)> = c
+            .index
+            .range((low, Bound::Unbounded))
+            .take(chunk)
+            .map(|(k, &loc)| (k.clone(), loc))
+            .collect();
+        if entries.is_empty() {
+            return false;
+        }
+        if entries.len() == chunk {
+            self.resume = Some(Bound::Excluded(entries[entries.len() - 1].0.clone()));
+        }
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_unstable_by_key(|&i| (entries[i].1.extent, entries[i].1.offset));
+        let mut values: Vec<Option<SharedBytes>> = vec![None; entries.len()];
+        for i in order {
+            values[i] = Some(SharedBytes::from(c.record_slice(entries[i].1)));
+        }
+        self.buf = entries
+            .into_iter()
+            .zip(values)
+            .map(|((key, _), value)| (key, value.expect("filled above")))
+            .collect::<Vec<_>>()
+            .into_iter();
+        true
+    }
+}
+
+impl Iterator for MmapCursor {
+    type Item = (Vec<u8>, SharedBytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buf.next() {
+                return Some(item);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
     }
 }
 
@@ -265,11 +347,30 @@ impl StorageEngine for MmapV1Engine {
         Ok(())
     }
 
-    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<SharedBytes>> {
         StatCounters::add(&self.stats.reads, 1);
         let Some(coll) = self.coll(collection) else { return Ok(None) };
         let c = coll.read();
-        Ok(c.index.get(key).map(|&loc| c.read_record(loc)))
+        Ok(c.index.get(key).map(|&loc| SharedBytes::from(c.record_slice(loc))))
+    }
+
+    fn get_many(&self, collection: &str, keys: &[Vec<u8>]) -> DbResult<Vec<Option<SharedBytes>>> {
+        StatCounters::add(&self.stats.reads, keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        let Some(coll) = self.coll(collection) else { return Ok(out) };
+        // One read-lock hold for the whole batch; copies happen in
+        // (extent, offset) order so extent memory is walked sequentially.
+        let c = coll.read();
+        let mut hits: Vec<(usize, RecordLoc)> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| c.index.get(k).map(|&loc| (i, loc)))
+            .collect();
+        hits.sort_unstable_by_key(|&(_, loc)| (loc.extent, loc.offset));
+        for (pos, loc) in hits {
+            out[pos] = Some(SharedBytes::from(c.record_slice(loc)));
+        }
+        Ok(out)
     }
 
     fn update(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()> {
@@ -313,20 +414,10 @@ impl StorageEngine for MmapV1Engine {
         Ok(true)
     }
 
-    fn scan(
-        &self,
-        collection: &str,
-        start_key: &[u8],
-        limit: usize,
-    ) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn cursor(&self, collection: &str, start_key: &[u8]) -> DbResult<RecordCursor> {
         StatCounters::add(&self.stats.scans, 1);
-        let Some(coll) = self.coll(collection) else { return Ok(Vec::new()) };
-        let c = coll.read();
-        Ok(c.index
-            .range(start_key.to_vec()..)
-            .take(limit)
-            .map(|(k, &loc)| (k.clone(), c.read_record(loc)))
-            .collect())
+        let Some(coll) = self.coll(collection) else { return Ok(RecordCursor::empty()) };
+        Ok(RecordCursor::new(MmapCursor::new(coll, start_key)))
     }
 
     fn count(&self, collection: &str) -> u64 {
@@ -437,7 +528,7 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.inplace_updates, 1);
         assert_eq!(stats.record_moves, 0);
-        assert_eq!(e.get("c", b"k").unwrap().unwrap(), vec![2u8; 120]);
+        assert_eq!(e.get("c", b"k").unwrap().unwrap().to_vec(), vec![2u8; 120]);
     }
 
     #[test]
@@ -447,7 +538,7 @@ mod tests {
         e.update("c", b"k", &[2u8; 300]).unwrap();
         let stats = e.stats();
         assert_eq!(stats.record_moves, 1);
-        assert_eq!(e.get("c", b"k").unwrap().unwrap(), vec![2u8; 300]);
+        assert_eq!(e.get("c", b"k").unwrap().unwrap().to_vec(), vec![2u8; 300]);
     }
 
     #[test]
@@ -455,7 +546,7 @@ mod tests {
         let e = engine();
         let big = vec![7u8; 3 * EXTENT_SIZE];
         e.insert("c", b"big", &big).unwrap();
-        assert_eq!(e.get("c", b"big").unwrap().unwrap(), big);
+        assert_eq!(e.get("c", b"big").unwrap().unwrap().to_vec(), big);
     }
 
     #[test]
@@ -472,17 +563,47 @@ mod tests {
         }
         {
             let e = MmapV1Engine::open(config.clone()).unwrap();
-            assert_eq!(e.get("c", b"k1").unwrap().unwrap(), b"v1-new");
-            assert_eq!(e.get("c", b"k2").unwrap(), None);
+            assert_eq!(e.get("c", b"k1").unwrap().unwrap().to_vec(), b"v1-new");
+            assert!(e.get("c", b"k2").unwrap().is_none());
             assert_eq!(e.stats().documents, 1);
             e.checkpoint().unwrap();
         }
         {
             // After checkpoint the journal is empty but the snapshot holds.
             let e = MmapV1Engine::open(config).unwrap();
-            assert_eq!(e.get("c", b"k1").unwrap().unwrap(), b"v1-new");
+            assert_eq!(e.get("c", b"k1").unwrap().unwrap().to_vec(), b"v1-new");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_streams_across_chunk_boundaries() {
+        let e = engine();
+        for i in 0..600u32 {
+            e.insert("c", format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        let rows: Vec<(Vec<u8>, SharedBytes)> = e.cursor("c", b"k0003").unwrap().collect();
+        assert_eq!(rows.len(), 597, "cursor crosses the {MAX_CURSOR_CHUNK}-entry refill boundary");
+        assert_eq!(rows[0].0, b"k0003");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+        assert_eq!(&*rows[596].1, b"v599");
+    }
+
+    #[test]
+    fn get_many_aligns_hits_and_misses() {
+        let e = engine();
+        for i in 0..20u32 {
+            e.insert("c", format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        let keys: Vec<Vec<u8>> =
+            vec![b"k03".to_vec(), b"missing".to_vec(), b"k19".to_vec(), b"k00".to_vec()];
+        let got = e.get_many("c", &keys).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].as_deref(), Some(&b"v3"[..]));
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_deref(), Some(&b"v19"[..]));
+        assert_eq!(got[3].as_deref(), Some(&b"v0"[..]));
+        assert!(e.get_many("absent", &keys).unwrap().iter().all(Option::is_none));
     }
 
     #[test]

@@ -9,8 +9,57 @@ pub mod mmapv1;
 pub mod wiredtiger;
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::error::DbResult;
+
+/// Record value bytes shared with the engine's cache.
+///
+/// The wiredTiger-like engine hands out its cache-resident copy without any
+/// byte copy; the mmapv1-like engine copies out of its extents once and the
+/// `Arc` is then shared by every downstream consumer (cursor batches, filter
+/// pushdown, decode).
+pub type SharedBytes = Arc<[u8]>;
+
+/// A streaming cursor over one collection's records in key order.
+///
+/// Cursors replace the old copy-per-batch `scan` loop: the engine refills an
+/// internal chunk under its own short-lived locks and yields `Arc`-shared
+/// value bytes, so iterating a collection never copies record payloads and
+/// never re-enters the engine with cloned sentinel resume keys. Records
+/// inserted or deleted while the cursor is open may or may not be observed
+/// (same snapshot semantics the batched `scan` had).
+pub struct RecordCursor {
+    inner: Box<dyn Iterator<Item = (Vec<u8>, SharedBytes)> + Send>,
+}
+
+impl RecordCursor {
+    /// Wraps an engine-internal record iterator.
+    pub(crate) fn new(
+        inner: impl Iterator<Item = (Vec<u8>, SharedBytes)> + Send + 'static,
+    ) -> Self {
+        RecordCursor { inner: Box::new(inner) }
+    }
+
+    /// A cursor over nothing (missing collection).
+    pub(crate) fn empty() -> Self {
+        RecordCursor::new(std::iter::empty())
+    }
+}
+
+impl Iterator for RecordCursor {
+    type Item = (Vec<u8>, SharedBytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl std::fmt::Debug for RecordCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecordCursor")
+    }
+}
 
 /// Which storage engine a database uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +204,13 @@ pub trait StorageEngine: Send + Sync {
     fn insert(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()>;
 
     /// Fetches a record.
-    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>>;
+    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<SharedBytes>>;
+
+    /// Batched point lookup: the value for each of `keys` (position-aligned,
+    /// `None` for misses) fetched under one index-lock acquisition instead of
+    /// one per key. The index-backed query path uses this to resolve all
+    /// candidate keys of a `find` in a single engine call.
+    fn get_many(&self, collection: &str, keys: &[Vec<u8>]) -> DbResult<Vec<Option<SharedBytes>>>;
 
     /// Replaces an existing record; errors on missing key.
     fn update(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()>;
@@ -166,13 +221,21 @@ pub trait StorageEngine: Send + Sync {
     /// Removes a record; returns whether it existed.
     fn delete(&self, collection: &str, key: &[u8]) -> DbResult<bool>;
 
+    /// Streaming cursor positioned at the first key ≥ `start_key`.
+    fn cursor(&self, collection: &str, start_key: &[u8]) -> DbResult<RecordCursor>;
+
     /// Up to `limit` records with key ≥ `start_key`, in key order.
+    ///
+    /// Compatibility wrapper over [`StorageEngine::cursor`] that copies the
+    /// shared value bytes out; hot paths should iterate the cursor instead.
     fn scan(
         &self,
         collection: &str,
         start_key: &[u8],
         limit: usize,
-    ) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>>;
+    ) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        Ok(self.cursor(collection, start_key)?.take(limit).map(|(k, v)| (k, v.to_vec())).collect())
+    }
 
     /// Number of records in `collection` (0 if it does not exist).
     fn count(&self, collection: &str) -> u64;

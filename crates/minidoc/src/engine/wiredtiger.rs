@@ -22,13 +22,14 @@
 //!   the scaling bottleneck the mmapv1 journal is.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::compress::compress_or_store;
-use crate::engine::{EngineStats, StatCounters, StorageEngine};
+use crate::engine::{EngineStats, RecordCursor, SharedBytes, StatCounters, StorageEngine};
 use crate::error::{DbError, DbResult};
 use crate::wal::{Wal, WalOp};
 use crate::DbConfig;
@@ -41,10 +42,11 @@ struct RecordId {
 }
 
 /// A cache-resident record: the raw bytes plus the size its compressed
-/// block occupies "on disk".
+/// block occupies "on disk". The bytes are `Arc`-shared so reads and
+/// cursors hand out the cache copy without duplicating the payload.
 #[derive(Debug, Clone)]
 struct Record {
-    raw: Vec<u8>,
+    raw: SharedBytes,
     stored_size: u32,
 }
 
@@ -103,6 +105,80 @@ impl WtCollection {
     fn read_record(&self, id: RecordId) -> Option<Record> {
         let shard = self.shards[id.shard as usize].lock();
         shard.slots.get(id.slot as usize)?.clone()
+    }
+}
+
+/// First cursor refill size; chunks double per refill up to
+/// [`MAX_CURSOR_CHUNK`], so short scans don't overfetch and long scans
+/// amortize the lock acquisitions.
+const FIRST_CURSOR_CHUNK: usize = 32;
+/// Largest refill; bounds how long the index read lock is held.
+const MAX_CURSOR_CHUNK: usize = 256;
+
+/// Streaming cursor: refills a chunk of (key, record) pairs under short
+/// index/shard lock holds and resumes from the last key it handed out.
+struct WtCursor {
+    coll: Arc<WtCollection>,
+    buf: std::vec::IntoIter<(Vec<u8>, SharedBytes)>,
+    resume: Option<Bound<Vec<u8>>>,
+    chunk: usize,
+}
+
+impl WtCursor {
+    fn new(coll: Arc<WtCollection>, start_key: &[u8]) -> Self {
+        WtCursor {
+            coll,
+            buf: Vec::new().into_iter(),
+            resume: Some(Bound::Included(start_key.to_vec())),
+            chunk: FIRST_CURSOR_CHUNK,
+        }
+    }
+
+    /// Snapshots the next chunk of index entries, then reads each record
+    /// from its shard. Returns false once the index range is exhausted.
+    fn refill(&mut self) -> bool {
+        let Some(low) = self.resume.take() else { return false };
+        let chunk = self.chunk;
+        self.chunk = (chunk * 2).min(MAX_CURSOR_CHUNK);
+        let ids: Vec<(Vec<u8>, RecordId)> = {
+            let index = self.coll.index.read();
+            index
+                .range((low, Bound::Unbounded))
+                .take(chunk)
+                .map(|(k, &id)| (k.clone(), id))
+                .collect()
+        };
+        if ids.is_empty() {
+            return false;
+        }
+        if ids.len() == chunk {
+            self.resume = Some(Bound::Excluded(ids[ids.len() - 1].0.clone()));
+        }
+        let mut records = Vec::with_capacity(ids.len());
+        for (key, id) in ids {
+            // A record may vanish between index snapshot and shard read
+            // (concurrent delete); skip those.
+            if let Some(record) = self.coll.read_record(id) {
+                records.push((key, record.raw));
+            }
+        }
+        self.buf = records.into_iter();
+        true
+    }
+}
+
+impl Iterator for WtCursor {
+    type Item = (Vec<u8>, SharedBytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buf.next() {
+                return Some(item);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
     }
 }
 
@@ -183,7 +259,7 @@ impl WiredTigerEngine {
         } else {
             value.len() as u32 + 1
         };
-        Record { raw: value.to_vec(), stored_size }
+        Record { raw: SharedBytes::from(value), stored_size }
     }
 
     /// WAL append with the framing done before taking the log lock and the
@@ -319,11 +395,39 @@ impl StorageEngine for WiredTigerEngine {
         Ok(())
     }
 
-    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<Vec<u8>>> {
+    fn get(&self, collection: &str, key: &[u8]) -> DbResult<Option<SharedBytes>> {
         StatCounters::add(&self.stats.reads, 1);
         let Some(coll) = self.coll(collection) else { return Ok(None) };
         let id = { coll.index.read().get(key).copied() };
         Ok(id.and_then(|id| coll.read_record(id)).map(|r| r.raw))
+    }
+
+    fn get_many(&self, collection: &str, keys: &[Vec<u8>]) -> DbResult<Vec<Option<SharedBytes>>> {
+        StatCounters::add(&self.stats.reads, keys.len() as u64);
+        let mut out = vec![None; keys.len()];
+        let Some(coll) = self.coll(collection) else { return Ok(out) };
+        // One index read-lock resolves every key to its record id.
+        let mut hits: Vec<(usize, RecordId)> = {
+            let index = coll.index.read();
+            keys.iter().enumerate().filter_map(|(i, k)| index.get(k).map(|&id| (i, id))).collect()
+        };
+        // Group by shard so each shard latch is taken once per batch.
+        hits.sort_unstable_by_key(|&(_, id)| (id.shard, id.slot));
+        let mut i = 0;
+        while i < hits.len() {
+            let shard_no = hits[i].1.shard;
+            let shard = coll.shards[shard_no as usize].lock();
+            while i < hits.len() && hits[i].1.shard == shard_no {
+                let (pos, id) = hits[i];
+                out[pos] = shard
+                    .slots
+                    .get(id.slot as usize)
+                    .and_then(Option::as_ref)
+                    .map(|r| Arc::clone(&r.raw));
+                i += 1;
+            }
+        }
+        Ok(out)
     }
 
     fn update(&self, collection: &str, key: &[u8], value: &[u8]) -> DbResult<()> {
@@ -351,27 +455,10 @@ impl StorageEngine for WiredTigerEngine {
         Ok(existed)
     }
 
-    fn scan(
-        &self,
-        collection: &str,
-        start_key: &[u8],
-        limit: usize,
-    ) -> DbResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    fn cursor(&self, collection: &str, start_key: &[u8]) -> DbResult<RecordCursor> {
         StatCounters::add(&self.stats.scans, 1);
-        let Some(coll) = self.coll(collection) else { return Ok(Vec::new()) };
-        let ids: Vec<(Vec<u8>, RecordId)> = {
-            let index = coll.index.read();
-            index.range(start_key.to_vec()..).take(limit).map(|(k, &id)| (k.clone(), id)).collect()
-        };
-        let mut out = Vec::with_capacity(ids.len());
-        for (key, id) in ids {
-            // A record may vanish between index snapshot and shard read
-            // (concurrent delete); skip those.
-            if let Some(record) = coll.read_record(id) {
-                out.push((key, record.raw));
-            }
-        }
-        Ok(out)
+        let Some(coll) = self.coll(collection) else { return Ok(RecordCursor::empty()) };
+        Ok(RecordCursor::new(WtCursor::new(coll, start_key)))
     }
 
     fn count(&self, collection: &str) -> u64 {
@@ -426,7 +513,7 @@ impl StorageEngine for WiredTigerEngine {
                         snapshot.append(&WalOp::Put {
                             collection: name.clone(),
                             key,
-                            value: record.raw,
+                            value: record.raw.to_vec(),
                         })?;
                     }
                 }
@@ -470,7 +557,7 @@ mod tests {
         let e = engine();
         let payload = b"zzzz".repeat(64);
         e.insert("c", b"k", &payload).unwrap();
-        assert_eq!(e.get("c", b"k").unwrap().unwrap(), payload);
+        assert_eq!(e.get("c", b"k").unwrap().unwrap().to_vec(), payload);
     }
 
     #[test]
@@ -478,7 +565,7 @@ mod tests {
         let e = engine();
         e.insert("c", b"k", b"short").unwrap();
         e.update("c", b"k", &b"x".repeat(1000)).unwrap();
-        assert_eq!(e.get("c", b"k").unwrap().unwrap(), b"x".repeat(1000));
+        assert_eq!(e.get("c", b"k").unwrap().unwrap().to_vec(), b"x".repeat(1000));
         assert_eq!(e.stats().logical_bytes, 1000);
         assert_eq!(e.stats().documents, 1);
     }
@@ -490,7 +577,7 @@ mod tests {
         e.delete("c", b"a").unwrap();
         e.insert("c", b"b", b"payload-b").unwrap();
         assert_eq!(e.stats().documents, 1);
-        assert_eq!(e.get("c", b"b").unwrap().unwrap(), b"payload-b");
+        assert_eq!(e.get("c", b"b").unwrap().unwrap().to_vec(), b"payload-b");
     }
 
     #[test]
@@ -525,9 +612,9 @@ mod tests {
         }
         {
             let e = WiredTigerEngine::open(config).unwrap();
-            assert_eq!(e.get("c", b"k1").unwrap().unwrap(), b"v1b");
-            assert_eq!(e.get("c", b"k2").unwrap(), None);
-            assert_eq!(e.get("c", b"k3").unwrap().unwrap(), b"v3");
+            assert_eq!(e.get("c", b"k1").unwrap().unwrap().to_vec(), b"v1b");
+            assert!(e.get("c", b"k2").unwrap().is_none());
+            assert_eq!(e.get("c", b"k3").unwrap().unwrap().to_vec(), b"v3");
             assert_eq!(e.stats().documents, 2);
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -543,6 +630,37 @@ mod tests {
         let keys: Vec<String> =
             rows.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
         assert_eq!(keys, vec!["k3", "k4", "k5", "k6"]);
+    }
+
+    #[test]
+    fn cursor_streams_across_chunk_boundaries() {
+        let e = engine();
+        for i in 0..600u32 {
+            e.insert("c", format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        let rows: Vec<(Vec<u8>, crate::engine::SharedBytes)> =
+            e.cursor("c", b"k0003").unwrap().collect();
+        assert_eq!(rows.len(), 597, "cursor crosses the {MAX_CURSOR_CHUNK}-entry refill boundary");
+        assert_eq!(rows[0].0, b"k0003");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+        assert_eq!(&*rows[596].1, b"v599");
+    }
+
+    #[test]
+    fn get_many_aligns_hits_and_misses() {
+        let e = engine();
+        for i in 0..20u32 {
+            e.insert("c", format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        let keys: Vec<Vec<u8>> =
+            vec![b"k03".to_vec(), b"missing".to_vec(), b"k19".to_vec(), b"k00".to_vec()];
+        let got = e.get_many("c", &keys).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].as_deref(), Some(&b"v3"[..]));
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_deref(), Some(&b"v19"[..]));
+        assert_eq!(got[3].as_deref(), Some(&b"v0"[..]));
+        assert!(e.get_many("absent", &keys).unwrap().iter().all(Option::is_none));
     }
 
     #[test]

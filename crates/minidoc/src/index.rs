@@ -12,6 +12,7 @@
 //! (matching the stand-in's query semantics).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use chronos_json::{Number, Value};
 
@@ -117,22 +118,36 @@ impl FieldIndex {
         }
     }
 
-    /// Document keys whose value equals `value`.
-    pub fn lookup_eq(&self, value: &Value) -> Vec<Vec<u8>> {
+    /// Borrowed document keys whose value equals `value` — no per-lookup
+    /// cloning; callers copy only the keys they keep.
+    pub fn lookup_eq_iter(&self, value: &Value) -> impl Iterator<Item = &[u8]> {
         IndexKey::encode(value)
             .and_then(|ik| self.entries.get(&ik))
-            .map(|keys| keys.iter().cloned().collect())
-            .unwrap_or_default()
+            .into_iter()
+            .flatten()
+            .map(Vec::as_slice)
     }
 
-    /// Document keys whose value lies in `[low, high)` (half-open over the
-    /// encoded order).
+    /// Borrowed document keys whose value lies in `[low, high)` (half-open
+    /// over the encoded order).
+    pub fn lookup_range_iter<'a>(
+        &'a self,
+        low: &IndexKey,
+        high: &IndexKey,
+    ) -> impl Iterator<Item = &'a [u8]> {
+        self.entries
+            .range((Bound::Included(low), Bound::Excluded(high)))
+            .flat_map(|(_, keys)| keys.iter().map(Vec::as_slice))
+    }
+
+    /// Document keys whose value equals `value`, copied out.
+    pub fn lookup_eq(&self, value: &Value) -> Vec<Vec<u8>> {
+        self.lookup_eq_iter(value).map(<[u8]>::to_vec).collect()
+    }
+
+    /// Document keys whose value lies in `[low, high)`, copied out.
     pub fn lookup_range(&self, low: &IndexKey, high: &IndexKey) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
-        for (_, keys) in self.entries.range(low.clone()..high.clone()) {
-            out.extend(keys.iter().cloned());
-        }
-        out
+        self.lookup_range_iter(low, high).map(<[u8]>::to_vec).collect()
     }
 
     /// Number of `(value, key)` pairs.
@@ -143,6 +158,13 @@ impl FieldIndex {
     /// True when the index has no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of distinct indexed values (posting-list entries). Stays
+    /// bounded under churn because [`FieldIndex::remove`] prunes entries
+    /// whose key set drains empty.
+    pub fn distinct_values(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -237,6 +259,44 @@ mod tests {
         // Removing a non-member is a no-op.
         index.remove(&Value::from("basel"), b"p1");
         assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn churn_does_not_grow_distinct_values() {
+        let mut index = FieldIndex::new();
+        // Delete-heavy churn over a rotating value domain: every (value, key)
+        // pair is removed again, so the posting map must shrink back instead
+        // of accumulating empty per-value entries.
+        for round in 0..50i64 {
+            for k in 0..20u32 {
+                let key = format!("k{k}");
+                index.insert(&Value::from(round * 100 + k as i64), key.as_bytes());
+            }
+            for k in 0..20u32 {
+                let key = format!("k{k}");
+                index.remove(&Value::from(round * 100 + k as i64), key.as_bytes());
+            }
+        }
+        assert_eq!(index.len(), 0);
+        assert_eq!(index.distinct_values(), 0, "empty posting entries must be pruned");
+        // A live remainder keeps exactly its own entries.
+        index.insert(&Value::from("alive"), b"k");
+        assert_eq!(index.distinct_values(), 1);
+    }
+
+    #[test]
+    fn borrowed_lookups_agree_with_cloning_lookups() {
+        let mut index = FieldIndex::new();
+        for age in [10, 20, 20, 30, 40] {
+            index.insert(&Value::from(age), format!("p{age}").as_bytes());
+        }
+        let eq_borrowed: Vec<Vec<u8>> =
+            index.lookup_eq_iter(&Value::from(20)).map(<[u8]>::to_vec).collect();
+        assert_eq!(eq_borrowed, index.lookup_eq(&Value::from(20)));
+        let (low, high) = range_for(RangeOp::Gte, &Value::from(20)).unwrap();
+        let range_borrowed: Vec<Vec<u8>> =
+            index.lookup_range_iter(&low, &high).map(<[u8]>::to_vec).collect();
+        assert_eq!(range_borrowed, index.lookup_range(&low, &high));
     }
 
     #[test]

@@ -40,12 +40,12 @@ pub mod query;
 pub mod update;
 pub mod wal;
 
-pub use engine::{EngineKind, EngineStats, StorageEngine};
+pub use engine::{EngineKind, EngineStats, RecordCursor, SharedBytes, StorageEngine};
 pub use error::{DbError, DbResult};
 pub use query::Filter;
 pub use update::{UpdateOp, UpdateSpec};
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -241,33 +241,26 @@ impl Collection {
 
     /// Creates a single-field secondary index on `field` (dotted paths
     /// allowed), backfilling it from the existing documents. Idempotent.
+    ///
+    /// The build is *foreground*: the index-map write lock is held for the
+    /// whole backfill, so concurrent writers' index maintenance serializes
+    /// behind the build and no post-build delta can be lost. A writer that
+    /// raced the build's storage scan may leave a stale extra entry behind
+    /// (see DESIGN.md); `find`'s residual re-check filters those out.
     pub fn create_index(&self, field: &str) -> DbResult<()> {
-        {
-            let indexes = self.indexes.read();
-            if indexes.get(&self.name).map(|m| m.contains_key(field)).unwrap_or(false) {
-                return Ok(());
-            }
+        let mut indexes = self.indexes.write();
+        if indexes.get(&self.name).map(|m| m.contains_key(field)).unwrap_or(false) {
+            return Ok(());
         }
         let mut index = FieldIndex::new();
-        let mut start: Vec<u8> = Vec::new();
-        const BATCH: usize = 1024;
-        loop {
-            let batch = self.engine.scan(&self.name, &start, BATCH)?;
-            let batch_len = batch.len();
-            for (key, bytes) in &batch {
-                let document = doc::decode(bytes)?;
-                if let Some(value) = lookup(&document, field) {
-                    index.insert(value, key);
-                }
+        for (key, bytes) in self.engine.cursor(&self.name, &[])? {
+            // Extract just the indexed field from the encoded bytes; the
+            // rest of the document is never materialized.
+            if let Some(value) = doc::decode_path(&bytes, field)? {
+                index.insert(&value, &key);
             }
-            if batch_len < BATCH {
-                break;
-            }
-            let mut next = batch.last().expect("non-empty batch").0.clone();
-            next.push(0);
-            start = next;
         }
-        self.indexes.write().entry(self.name.clone()).or_default().insert(field.to_string(), index);
+        indexes.entry(self.name.clone()).or_default().insert(field.to_string(), index);
         Ok(())
     }
 
@@ -290,13 +283,20 @@ impl Collection {
 
     /// The query planner: candidate document keys for `filter` from an
     /// index, or `None` when no index applies (full scan required).
+    ///
+    /// Index lookups borrow key slices straight out of the posting lists and
+    /// collect into a `BTreeSet` (sorted + deduplicated), so the only copy
+    /// per candidate is the final one out of the locked index map.
     fn plan_candidates(&self, filter: &Filter) -> Option<Vec<Vec<u8>>> {
         let indexes = self.indexes.read();
         let fields = indexes.get(&self.name)?;
-        fn plan(fields: &HashMap<String, FieldIndex>, filter: &Filter) -> Option<Vec<Vec<u8>>> {
+        fn plan<'a>(
+            fields: &'a HashMap<String, FieldIndex>,
+            filter: &Filter,
+        ) -> Option<BTreeSet<&'a [u8]>> {
             match filter {
                 Filter::Eq(field, operand) => {
-                    fields.get(field).map(|index| index.lookup_eq(operand))
+                    fields.get(field).map(|index| index.lookup_eq_iter(operand).collect())
                 }
                 Filter::Gt(field, operand) => lookup_range(fields, field, RangeOp::Gt, operand),
                 Filter::Gte(field, operand) => lookup_range(fields, field, RangeOp::Gte, operand),
@@ -308,28 +308,34 @@ impl Collection {
                 _ => None,
             }
         }
-        fn lookup_range(
-            fields: &HashMap<String, FieldIndex>,
+        fn lookup_range<'a>(
+            fields: &'a HashMap<String, FieldIndex>,
             field: &str,
             op: RangeOp,
             operand: &Value,
-        ) -> Option<Vec<Vec<u8>>> {
+        ) -> Option<BTreeSet<&'a [u8]>> {
             let index = fields.get(field)?;
             let (low, high) = range_for(op, operand)?;
-            Some(index.lookup_range(&low, &high))
+            Some(index.lookup_range_iter(&low, &high).collect())
         }
-        plan(fields, filter)
+        plan(fields, filter).map(|set| set.into_iter().map(<[u8]>::to_vec).collect())
     }
 
     /// Ordered scan: up to `limit` documents with keys ≥ `start_key`.
     pub fn scan(&self, start_key: &str, limit: usize) -> DbResult<Vec<(String, Value)>> {
-        let raw = self.engine.scan(&self.name, start_key.as_bytes(), limit)?;
-        raw.into_iter()
-            .map(|(k, v)| {
-                let key = String::from_utf8_lossy(&k).into_owned();
-                Ok((key, doc::decode(&v)?))
-            })
+        self.cursor(start_key)?
+            .take(limit)
+            .map(|(k, v)| Ok((decode_key(k)?, doc::decode(&v)?)))
             .collect()
+    }
+
+    /// Streaming cursor over the raw `(key, encoded document)` records with
+    /// keys ≥ `start_key`, in key order. Yields the engine's `Arc`-shared
+    /// value bytes without decoding — pair with
+    /// [`doc::matches_encoded`]/[`doc::decode_path`] to inspect them, or
+    /// [`doc::decode`] to materialize.
+    pub fn cursor(&self, start_key: &str) -> DbResult<RecordCursor> {
+        self.engine.cursor(&self.name, start_key.as_bytes())
     }
 
     /// Number of documents.
@@ -342,43 +348,39 @@ impl Collection {
     /// conjunct of it) is an equality/range predicate on an indexed field;
     /// falls back to a full collection scan otherwise.
     pub fn find(&self, filter: &Filter) -> DbResult<Vec<(String, Value)>> {
-        if let Some(mut candidates) = self.plan_candidates(filter) {
-            candidates.sort();
-            candidates.dedup();
+        if let Some(candidates) = self.plan_candidates(filter) {
+            // One batched engine call fetches every candidate; the filter
+            // re-check (residual predicate — the document may have changed
+            // since the index snapshot) runs on the encoded bytes, so only
+            // true matches are decoded.
+            let values = self.engine.get_many(&self.name, &candidates)?;
             let mut out = Vec::with_capacity(candidates.len());
-            for key_bytes in candidates {
-                let key = String::from_utf8_lossy(&key_bytes).into_owned();
-                // The document may have changed since the index snapshot;
-                // re-check the full filter (residual predicate).
-                if let Some(document) = self.get(&key)? {
-                    if filter.matches(&document) {
-                        out.push((key, document));
-                    }
+            for (key_bytes, value) in candidates.into_iter().zip(values) {
+                let Some(bytes) = value else { continue };
+                if doc::matches_encoded(&bytes, filter)? {
+                    out.push((decode_key(key_bytes)?, doc::decode(&bytes)?));
                 }
             }
             return Ok(out);
         }
+        // Full scan with predicate pushdown: the filter is evaluated
+        // directly on each record's encoded bytes as the cursor streams
+        // them; non-matching documents are never materialized.
         let mut out = Vec::new();
-        let mut start: Vec<u8> = Vec::new();
-        const BATCH: usize = 1024;
-        loop {
-            let batch = self.engine.scan(&self.name, &start, BATCH)?;
-            let batch_len = batch.len();
-            for (k, v) in &batch {
-                let document = doc::decode(v)?;
-                if filter.matches(&document) {
-                    out.push((String::from_utf8_lossy(k).into_owned(), document));
-                }
+        for (key_bytes, bytes) in self.cursor("")? {
+            if doc::matches_encoded(&bytes, filter)? {
+                out.push((decode_key(key_bytes)?, doc::decode(&bytes)?));
             }
-            if batch_len < BATCH {
-                return Ok(out);
-            }
-            // Continue after the last key of this batch.
-            let mut next = batch.last().expect("non-empty batch").0.clone();
-            next.push(0);
-            start = next;
         }
+        Ok(out)
     }
+}
+
+/// Decodes an engine key back into the `String` the API hands out,
+/// rejecting non-UTF-8 bytes as corruption instead of silently mangling
+/// them with a lossy conversion.
+fn decode_key(bytes: Vec<u8>) -> DbResult<String> {
+    String::from_utf8(bytes).map_err(|e| DbError::Corrupt(format!("non-UTF-8 document key: {e}")))
 }
 
 impl std::fmt::Debug for Collection {
@@ -477,6 +479,40 @@ mod tests {
                 .unwrap();
             let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(keys, vec!["p1", "p3"]);
+        }
+    }
+
+    #[test]
+    fn non_utf8_keys_are_rejected_not_mangled() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            coll.insert("good", &obj! {"v" => 1}).unwrap();
+            // Sneak a non-UTF-8 key in at the engine layer (the public API
+            // only accepts &str keys); read paths must surface it as
+            // corruption, not lossy-replace it into a valid-looking key.
+            let bytes = doc::encode(&obj! {"v" => 2}).unwrap();
+            coll.engine.insert("t", &[0x80, 0xFF], &bytes).unwrap();
+            assert!(matches!(coll.scan("", 10), Err(DbError::Corrupt(_))));
+            assert!(matches!(coll.find(&Filter::exists("v")), Err(DbError::Corrupt(_))));
+            // The raw cursor still exposes the record for repair tooling.
+            assert_eq!(coll.cursor("").unwrap().count(), 2);
+        }
+    }
+
+    #[test]
+    fn find_uses_one_batched_engine_read_per_query() {
+        for db in both_engines() {
+            let coll = db.collection("t");
+            for i in 0..50u32 {
+                coll.insert(&format!("k{i:02}"), &obj! {"group" => i % 5}).unwrap();
+            }
+            coll.create_index("group").unwrap();
+            let reads_before = db.stats().reads;
+            let hits = coll.find(&Filter::eq("group", 3)).unwrap();
+            assert_eq!(hits.len(), 10);
+            // get_many counts one read per candidate but issues them in a
+            // single engine call; no extra per-key get() round trips.
+            assert_eq!(db.stats().reads - reads_before, 10, "engine {:?}", db.engine_kind());
         }
     }
 

@@ -1,0 +1,92 @@
+//! `create_index` racing concurrent writers.
+//!
+//! The build is foreground: it holds the index-map write lock across the
+//! whole backfill, so a writer's index maintenance either runs entirely
+//! before the build (its effect is then picked up by the storage scan) or
+//! entirely after publication (applied as a delta to the live index). The
+//! one survivable artifact is a *stale extra* entry — a writer that
+//! observed "no indexes" before the build started may skip removing its
+//! old value's entry — which `find`'s residual re-check filters out. These
+//! tests assert the query-level guarantee: results through the racy-built
+//! index equal the results of a post-hoc rebuild, on both engines.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use chronos_json::obj;
+use chronos_util::pool::scoped_indexed;
+use minidoc::{Database, DbConfig, EngineKind, Filter};
+
+fn both() -> Vec<Database> {
+    vec![
+        Database::open(DbConfig::in_memory(EngineKind::WiredTiger)).unwrap(),
+        Database::open(DbConfig::in_memory(EngineKind::MmapV1)).unwrap(),
+    ]
+}
+
+#[test]
+fn racy_index_build_matches_post_hoc_rebuild() {
+    for db in both() {
+        let coll = db.collection("t");
+        for i in 0..400u32 {
+            coll.insert(&format!("k{i:04}"), &obj! {"group" => (i % 10) as i64}).unwrap();
+        }
+
+        // Thread 0 builds the index while threads 1..4 churn group values
+        // and insert/delete keys.
+        let done = AtomicBool::new(false);
+        scoped_indexed(4, |t| {
+            if t == 0 {
+                coll.create_index("group").unwrap();
+                done.store(true, Ordering::Release);
+                return;
+            }
+            let mut round = 0u32;
+            while !done.load(Ordering::Acquire) || round < 5 {
+                for i in (t as u32 * 100)..(t as u32 * 100 + 50) {
+                    let key = format!("k{i:04}");
+                    coll.upsert(&key, &obj! {"group" => ((i + round) % 10) as i64}).unwrap();
+                }
+                let extra = format!("x{t}-{}", round % 3);
+                if round.is_multiple_of(2) {
+                    coll.upsert(&extra, &obj! {"group" => (round % 10) as i64}).unwrap();
+                } else {
+                    coll.delete(&extra).unwrap();
+                }
+                round += 1;
+            }
+        });
+
+        // Queries through the racy-built index...
+        let queries: Vec<Filter> = (0..10i64)
+            .map(|g| Filter::eq("group", g))
+            .chain([Filter::gte("group", 5), Filter::lt("group", 3)])
+            .collect();
+        let racy: Vec<_> = queries.iter().map(|q| coll.find(q).unwrap()).collect();
+
+        // ...must equal queries through an index rebuilt from quiescent data.
+        assert!(coll.drop_index("group"));
+        coll.create_index("group").unwrap();
+        let rebuilt: Vec<_> = queries.iter().map(|q| coll.find(q).unwrap()).collect();
+
+        assert_eq!(racy, rebuilt, "engine {:?}", db.engine_kind());
+        // Sanity: the index is actually in use and data survived the churn.
+        assert!(racy.iter().map(Vec::len).sum::<usize>() > 0);
+        assert_eq!(coll.index_names(), vec!["group"]);
+    }
+}
+
+#[test]
+fn concurrent_create_index_calls_are_idempotent() {
+    for db in both() {
+        let coll = db.collection("t");
+        for i in 0..200u32 {
+            coll.insert(&format!("k{i:03}"), &obj! {"v" => (i % 7) as i64}).unwrap();
+        }
+        scoped_indexed(4, |_| coll.create_index("v").unwrap());
+        assert_eq!(coll.index_names(), vec!["v"]);
+        for g in 0..7i64 {
+            let hits = coll.find(&Filter::eq("v", g)).unwrap();
+            assert!(hits.len() >= 28, "group {g}: {}", hits.len());
+        }
+    }
+}

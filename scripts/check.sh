@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, lints, and the full test suite.
+# Repository gate: formatting, lints, the full test suite, and a quick
+# benchmark smoke run.
 # Usage: scripts/check.sh [--bench]
-#   --bench  also regenerate BENCH_control_plane.json via the E8 experiment
+#   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json
+#            at full scale via the E8 and E9 experiments
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +16,20 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== chronos-bench smoke (E8 E9, quick sizes) =="
+# Runs in a temp directory so the quick-size numbers don't clobber the
+# committed full-scale BENCH_*.json files.
+cargo build --release -p chronos-bench --offline
+bench_bin="$PWD/target/release/chronos-bench"
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$bench_bin" E8 E9 --quick --json)
+test -s "$smoke_dir/BENCH_control_plane.json"
+test -s "$smoke_dir/BENCH_data_plane.json"
+rm -rf "$smoke_dir"
+
 if [[ "${1:-}" == "--bench" ]]; then
-    echo "== E8 control-plane bench -> BENCH_control_plane.json =="
-    cargo build --release -p chronos-bench --offline
-    ./target/release/chronos-bench E8 --json
+    echo "== full-scale E8 + E9 -> BENCH_*.json =="
+    ./target/release/chronos-bench E8 E9 --json
 fi
 
 echo "OK"
