@@ -1,6 +1,6 @@
 //! The execution context handed to evaluation clients.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,6 +23,8 @@ pub struct JobContext {
     progress: Arc<AtomicU8>,
     pending_logs: Arc<Mutex<String>>,
     attachments: Arc<Mutex<Attachments>>,
+    cancelled: Arc<AtomicBool>,
+    cancel_reason: Arc<Mutex<String>>,
 }
 
 impl JobContext {
@@ -34,6 +36,8 @@ impl JobContext {
             progress: Arc::new(AtomicU8::new(0)),
             pending_logs: Arc::new(Mutex::new(String::new())),
             attachments: Arc::new(Mutex::new(Vec::new())),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            cancel_reason: Arc::new(Mutex::new(String::new())),
         }
     }
 
@@ -90,6 +94,26 @@ impl JobContext {
     pub fn take_attachments(&self) -> Attachments {
         std::mem::take(&mut *self.attachments.lock())
     }
+
+    /// Cancels the run (e.g. the heartbeat thread detected a lost lease).
+    /// Long-running evaluation clients should poll [`Self::is_cancelled`]
+    /// and bail out; the runtime also skips the upload after cancellation.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        let mut stored = self.cancel_reason.lock();
+        if !self.cancelled.swap(true, Ordering::SeqCst) {
+            *stored = reason.into();
+        }
+    }
+
+    /// Whether this run has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Why the run was cancelled (empty if it wasn't).
+    pub fn cancel_reason(&self) -> String {
+        self.cancel_reason.lock().clone()
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +156,17 @@ mod tests {
         c.log("line two\n");
         assert_eq!(c.take_logs(), "line one\nline two\n");
         assert_eq!(c.take_logs(), "", "drained");
+    }
+
+    #[test]
+    fn cancellation_is_shared_and_first_reason_wins() {
+        let c = ctx();
+        let clone = c.clone();
+        assert!(!c.is_cancelled());
+        clone.cancel("lease lost");
+        clone.cancel("second reason ignored");
+        assert!(c.is_cancelled());
+        assert_eq!(c.cancel_reason(), "lease lost");
     }
 
     #[test]

@@ -15,6 +15,14 @@ pub enum AgentError {
     Transport(String),
     /// Chronos Control rejected the request.
     Api { status: u16, message: String },
+    /// Chronos Control fenced this write: the job's lease is gone (it was
+    /// rescheduled, or a newer attempt owns it). The agent must stop working
+    /// on the job immediately — another attempt may already be running.
+    LeaseLost { message: String },
+    /// A non-idempotent call failed in transit and was *not* retried: the
+    /// request may or may not have been applied, and blindly resending it
+    /// could apply it twice. Callers decide whether the loss is tolerable.
+    NonIdempotent { call: &'static str, message: String },
     /// The evaluation client reported a failure.
     Evaluation(String),
 }
@@ -24,6 +32,10 @@ impl fmt::Display for AgentError {
         match self {
             AgentError::Transport(m) => write!(f, "transport error: {m}"),
             AgentError::Api { status, message } => write!(f, "api error {status}: {message}"),
+            AgentError::LeaseLost { message } => write!(f, "lease lost: {message}"),
+            AgentError::NonIdempotent { call, message } => {
+                write!(f, "non-idempotent call {call} failed in transit (not retried): {message}")
+            }
             AgentError::Evaluation(m) => write!(f, "evaluation failed: {m}"),
         }
     }
@@ -58,9 +70,12 @@ impl ControlClient {
     pub fn new(base_url: &str, token: &str) -> Self {
         let http = Client::new(base_url);
         http.set_default_header(crate::runtime::TOKEN_HEADER, token);
+        // Per-client jitter seed: a fleet of agents that lose the server at
+        // the same moment must not retry in lockstep.
+        let jitter_seed = Id::generate().as_u128() as u64;
         ControlClient {
             http,
-            backoff: Backoff::default(),
+            backoff: Backoff::default().with_decorrelated_jitter(jitter_seed),
             base_url: base_url.to_string(),
             token: token.to_string(),
         }
@@ -102,9 +117,23 @@ impl ControlClient {
     }
 
     /// Claims the next scheduled job for `deployment_id`, if any.
+    ///
+    /// One idempotency key covers the whole call: if the claim response is
+    /// lost in transit and the backoff loop resends the request, Chronos
+    /// Control recognises the key and hands back the job it already assigned
+    /// instead of claiming a second one.
     pub fn claim(&self, deployment_id: Id) -> Result<Option<ClaimedJob>, AgentError> {
-        let response =
-            self.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.to_base32()})?;
+        if let Some(inj) = chronos_util::fail_eval!("agent.claim") {
+            return Err(AgentError::Transport(injected_msg(inj, "claim")));
+        }
+        let claim_key = Id::generate().to_base32();
+        let response = self.post(
+            "/api/v1/agent/claim",
+            &obj! {
+                "deployment_id" => deployment_id.to_base32(),
+                "idempotency_key" => claim_key.as_str(),
+            },
+        )?;
         if response.status == Status::NO_CONTENT {
             return Ok(None);
         }
@@ -124,33 +153,56 @@ impl ControlClient {
         }))
     }
 
-    /// Sends a heartbeat with the current progress.
-    pub fn heartbeat(&self, job: Id, progress: u8) -> Result<(), AgentError> {
+    /// Sends a heartbeat with the current progress. `attempt` is the fencing
+    /// token from the claimed job: a heartbeat carrying a stale attempt is
+    /// rejected with [`AgentError::LeaseLost`].
+    pub fn heartbeat(&self, job: Id, progress: u8, attempt: u32) -> Result<(), AgentError> {
+        if let Some(inj) = chronos_util::fail_eval!("agent.heartbeat") {
+            return Err(AgentError::Transport(injected_msg(inj, "heartbeat")));
+        }
         let response = self.post(
             &format!("/api/v1/agent/jobs/{}/heartbeat", job.to_base32()),
-            &obj! {"progress" => progress as i64},
+            &obj! {"progress" => progress as i64, "attempt" => attempt as i64},
         )?;
         ok_or_api(&response)
     }
 
     /// Ships buffered log output.
+    ///
+    /// Log appends are *not* idempotent (resending duplicates lines), so this
+    /// is deliberately a single attempt with no retry: a transport failure
+    /// surfaces as [`AgentError::NonIdempotent`] and the caller decides
+    /// whether losing (or re-buffering) the lines is acceptable.
     pub fn append_log(&self, job: Id, text: &str) -> Result<(), AgentError> {
         let response = self
-            .backoff
-            .run(|_| {
-                self.http.post_bytes(
-                    &format!("/api/v1/agent/jobs/{}/log", job.to_base32()),
-                    "text/plain; charset=utf-8",
-                    text.as_bytes().to_vec(),
-                )
-            })
-            .map_err(|e| AgentError::Transport(e.to_string()))?;
+            .http
+            .post_bytes(
+                &format!("/api/v1/agent/jobs/{}/log", job.to_base32()),
+                "text/plain; charset=utf-8",
+                text.as_bytes().to_vec(),
+            )
+            .map_err(|e| AgentError::NonIdempotent {
+                call: "append_log",
+                message: e.to_string(),
+            })?;
         ok_or_api(&response)
     }
 
     /// Uploads the result (measurement JSON + zip archive) and finishes the
-    /// job.
-    pub fn upload_result(&self, job: Id, data: &Value, archive: &[u8]) -> Result<Id, AgentError> {
+    /// job. `attempt` fences against zombie uploads; one idempotency key
+    /// covers all transmissions of this call, so a response lost after the
+    /// server committed the result dedupes instead of double-finishing.
+    pub fn upload_result(
+        &self,
+        job: Id,
+        attempt: u32,
+        data: &Value,
+        archive: &[u8],
+    ) -> Result<Id, AgentError> {
+        if let Some(inj) = chronos_util::fail_eval!("agent.upload") {
+            return Err(AgentError::Transport(injected_msg(inj, "upload_result")));
+        }
+        let result_key = Id::generate().to_base32();
         // Frame the body by hand so the (possibly large) measurement
         // document streams straight into the request bytes instead of
         // being deep-cloned into a wrapper object first.
@@ -159,6 +211,10 @@ impl ControlClient {
         data.write_into(&mut body);
         body.push_str(",\"archive_b64\":");
         chronos_json::write_string(&mut body, &base64_encode(archive));
+        body.push_str(",\"attempt\":");
+        body.push_str(&attempt.to_string());
+        body.push_str(",\"idempotency_key\":");
+        chronos_json::write_string(&mut body, &result_key);
         body.push('}');
         let path = format!("/api/v1/agent/jobs/{}/result", job.to_base32());
         let response = self
@@ -174,13 +230,24 @@ impl ControlClient {
         parse_id(&doc, "id")
     }
 
-    /// Reports the job as failed.
-    pub fn fail(&self, job: Id, reason: &str) -> Result<(), AgentError> {
+    /// Reports the job as failed. `attempt` fences stale failure reports.
+    pub fn fail(&self, job: Id, attempt: u32, reason: &str) -> Result<(), AgentError> {
         let response = self.post(
             &format!("/api/v1/agent/jobs/{}/fail", job.to_base32()),
-            &obj! {"reason" => reason},
+            &obj! {"reason" => reason, "attempt" => attempt as i64},
         )?;
         ok_or_api(&response)
+    }
+}
+
+/// Renders an injected fault as a transport-style error message.
+#[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+fn injected_msg(inj: chronos_util::fail::Injected, what: &str) -> String {
+    match inj {
+        chronos_util::fail::Injected::Error(msg) => format!("{what} failed: {msg}"),
+        chronos_util::fail::Injected::Torn { keep } => {
+            format!("{what} connection torn after {keep} bytes (injected)")
+        }
     }
 }
 
@@ -193,11 +260,15 @@ fn ok_or_api(response: &chronos_http::Response) -> Result<(), AgentError> {
 }
 
 fn api_error(response: &chronos_http::Response) -> AgentError {
-    let message = response
-        .json_body()
-        .ok()
+    let body = response.json_body().ok();
+    let message = body
+        .as_ref()
         .and_then(|v| v.pointer("/error/message").and_then(Value::as_str).map(str::to_string))
         .unwrap_or_else(|| String::from_utf8_lossy(&response.body).into_owned());
+    let code = body.as_ref().and_then(|v| v.pointer("/error/code").and_then(Value::as_str));
+    if response.status.0 == 409 && code == Some("lease_lost") {
+        return AgentError::LeaseLost { message };
+    }
     AgentError::Api { status: response.status.0, message }
 }
 
@@ -206,4 +277,29 @@ fn parse_id(doc: &Value, field: &str) -> Result<Id, AgentError> {
         .and_then(Value::as_str)
         .and_then(|s| Id::parse_base32(s).ok())
         .ok_or_else(|| AgentError::Transport(format!("response missing id field {field:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_log_failure_is_surfaced_as_non_idempotent() {
+        // Nothing listens here: the single-attempt send must fail without
+        // being retried and must name the call whose effect is now unknown.
+        let client = ControlClient::new("http://127.0.0.1:1", "token");
+        let err = client.append_log(Id::generate(), "line\n").unwrap_err();
+        match err {
+            AgentError::NonIdempotent { call, .. } => assert_eq!(call, "append_log"),
+            other => panic!("expected NonIdempotent, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn lease_lost_display_is_distinct() {
+        let err = AgentError::LeaseLost { message: "stale attempt".into() };
+        assert!(err.to_string().starts_with("lease lost:"));
+        let err = AgentError::NonIdempotent { call: "append_log", message: "broken pipe".into() };
+        assert!(err.to_string().contains("not retried"));
+    }
 }

@@ -117,7 +117,11 @@ impl<C: EvaluationClient> ChronosAgent<C> {
         ));
 
         // Heartbeat thread: ships progress + buffered logs periodically.
+        // A lost lease (job rescheduled, newer attempt running) cancels the
+        // run; transient transport failures are tolerated — the next beat
+        // may get through before Chronos Control's timeout fires.
         let stop = Arc::new(AtomicBool::new(false));
+        let attempt = job.attempts;
         let heartbeat = {
             let ctx = ctx.clone();
             let stop = Arc::clone(&stop);
@@ -127,9 +131,21 @@ impl<C: EvaluationClient> ChronosAgent<C> {
                 .name("chronos-agent-heartbeat".into())
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
-                        let _ = client.heartbeat(ctx.job_id, ctx.progress());
+                        match client.heartbeat(ctx.job_id, ctx.progress(), attempt) {
+                            Ok(()) => {}
+                            Err(AgentError::LeaseLost { message }) => {
+                                ctx.cancel(message);
+                                break;
+                            }
+                            Err(e) => {
+                                ctx.log(format!("agent: heartbeat failed (tolerated): {e}"));
+                            }
+                        }
                         let logs = ctx.take_logs();
                         if !logs.is_empty() {
+                            // Log appends are not idempotent; a transit
+                            // failure drops this batch rather than risking
+                            // duplicated lines on a blind resend.
                             let _ = client.append_log(ctx.job_id, &logs);
                         }
                         std::thread::sleep(interval);
@@ -148,16 +164,26 @@ impl<C: EvaluationClient> ChronosAgent<C> {
             let _ = self.client.append_log(ctx.job_id, &logs);
         }
 
+        if ctx.is_cancelled() {
+            // The lease is gone: another attempt owns this job now. Uploading
+            // would be fenced anyway; treat the job as over for this agent.
+            return Ok(());
+        }
+
         match outcome {
             Ok(data) => {
                 let archive = build_archive(&ctx, &data);
-                self.config.sink.deliver(&self.client, ctx.job_id, &data, &archive)?;
-                Ok(())
+                match self.config.sink.deliver(&self.client, ctx.job_id, attempt, &data, &archive) {
+                    Ok(_) => Ok(()),
+                    // Fenced at upload: a newer attempt finished first.
+                    Err(AgentError::LeaseLost { .. }) => Ok(()),
+                    Err(e) => Err(e),
+                }
             }
-            Err(reason) => {
-                self.client.fail(ctx.job_id, &reason)?;
-                Ok(())
-            }
+            Err(reason) => match self.client.fail(ctx.job_id, attempt, &reason) {
+                Ok(()) | Err(AgentError::LeaseLost { .. }) => Ok(()),
+                Err(e) => Err(e),
+            },
         }
     }
 
@@ -168,6 +194,9 @@ impl<C: EvaluationClient> ChronosAgent<C> {
                    ctx: &JobContext,
                    f: &mut dyn FnMut(&JobContext) -> Result<(), String>|
          -> Result<u64, String> {
+            if ctx.is_cancelled() {
+                return Err(format!("run cancelled before {label}: {}", ctx.cancel_reason()));
+            }
             let start = Instant::now();
             ctx.log(format!("agent: phase {label}"));
             match std::panic::catch_unwind(AssertUnwindSafe(|| f(ctx))) {
@@ -181,6 +210,9 @@ impl<C: EvaluationClient> ChronosAgent<C> {
         let result = (|| {
             let setup_ms = run("set_up", ctx, &mut |c| client.set_up(c))?;
             let warmup_ms = run("warm_up", ctx, &mut |c| client.warm_up(c))?;
+            if ctx.is_cancelled() {
+                return Err(format!("run cancelled before execute: {}", ctx.cancel_reason()));
+            }
             let execute_start = Instant::now();
             ctx.log("agent: phase execute");
             let mut data = match std::panic::catch_unwind(AssertUnwindSafe(|| client.execute(ctx)))

@@ -18,10 +18,12 @@ use crate::control_client::{AgentError, ControlClient};
 /// Where the result archive ends up.
 pub trait ResultSink: Send + Sync {
     /// Delivers the result; returns the result id Chronos Control assigned.
+    /// `attempt` is the fencing token of the run that produced the result.
     fn deliver(
         &self,
         client: &ControlClient,
         job: Id,
+        attempt: u32,
         data: &Value,
         archive: &[u8],
     ) -> Result<Id, AgentError>;
@@ -36,10 +38,11 @@ impl ResultSink for HttpSink {
         &self,
         client: &ControlClient,
         job: Id,
+        attempt: u32,
         data: &Value,
         archive: &[u8],
     ) -> Result<Id, AgentError> {
-        client.upload_result(job, data, archive)
+        client.upload_result(job, attempt, data, archive)
     }
 }
 
@@ -67,6 +70,7 @@ impl ResultSink for LocalDirSink {
         &self,
         client: &ControlClient,
         job: Id,
+        attempt: u32,
         data: &Value,
         archive: &[u8],
     ) -> Result<Id, AgentError> {
@@ -77,7 +81,7 @@ impl ResultSink for LocalDirSink {
             .map_err(|e| AgentError::Transport(format!("cannot write archive: {e}")))?;
         let mut data = data.clone();
         data.set("archive_ref", path.display().to_string());
-        client.upload_result(job, &data, &[])
+        client.upload_result(job, attempt, &data, &[])
     }
 }
 

@@ -59,7 +59,9 @@ fn bench_claim(c: &mut Criterion) {
                 control.create_evaluation(experiment_id).unwrap();
                 (control, deployment_id)
             },
-            |(control, deployment_id)| control.claim_next_job(deployment_id).unwrap().unwrap(),
+            |(control, deployment_id)| {
+                control.claim_next_job(deployment_id, None).unwrap().unwrap()
+            },
             criterion::BatchSize::SmallInput,
         );
     });

@@ -317,7 +317,7 @@ fn experiment_e5() {
 
     let start = Instant::now();
     let mut claimed = 0;
-    while control.claim_next_job(deployment.id).unwrap().is_some() {
+    while control.claim_next_job(deployment.id, None).unwrap().is_some() {
         claimed += 1;
     }
     let claims = start.elapsed();

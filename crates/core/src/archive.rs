@@ -128,10 +128,16 @@ mod tests {
             .unwrap();
         control.create_evaluation(experiment.id).unwrap();
         // Run one job to completion so the archive has a result.
-        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         control.append_log(job.id, "did some work").unwrap();
         control
-            .finish_job(job.id, obj! {"throughput_ops_per_sec" => 42.0}, b"inner-zip".to_vec())
+            .finish_job(
+                job.id,
+                obj! {"throughput_ops_per_sec" => 42.0},
+                b"inner-zip".to_vec(),
+                None,
+                None,
+            )
             .unwrap();
         (control, project.id)
     }

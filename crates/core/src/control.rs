@@ -456,13 +456,34 @@ impl ChronosControl {
 
     /// Agent protocol: claims the oldest scheduled job for the system that
     /// `deployment_id` deploys. Atomic: two agents never claim the same job.
-    pub fn claim_next_job(&self, deployment_id: Id) -> CoreResult<Option<Job>> {
+    ///
+    /// `idempotency_key` makes the claim retry-safe: if a previous claim by
+    /// this deployment succeeded but the response was lost, retrying with
+    /// the same key returns the already-claimed job instead of claiming (and
+    /// double-running) a second one.
+    pub fn claim_next_job(
+        &self,
+        deployment_id: Id,
+        idempotency_key: Option<&str>,
+    ) -> CoreResult<Option<Job>> {
         let deployment = self.get_deployment(deployment_id)?;
         if !deployment.active {
             return Err(CoreError::Conflict("deployment is inactive".into()));
         }
         let _guard = self.write_lock.lock();
-        // Job ids are time-ordered, so store order = creation order.
+        if let Some(key) = idempotency_key {
+            // Job ids are time-ordered, so store order = creation order.
+            for id in self.store.ids(KIND_JOB) {
+                let Some(doc) = self.store.get(KIND_JOB, &id) else { continue };
+                let Ok(job) = Job::from_json(&doc) else { continue };
+                if job.state == JobState::Running
+                    && job.deployment_id == Some(deployment_id)
+                    && job.claim_key.as_deref() == Some(key)
+                {
+                    return Ok(Some(job)); // duplicate of an acknowledged claim
+                }
+            }
+        }
         for id in self.store.ids(KIND_JOB) {
             let Some(doc) = self.store.get(KIND_JOB, &id) else { continue };
             let Ok(mut job) = Job::from_json(&doc) else { continue };
@@ -479,6 +500,7 @@ impl ChronosControl {
                 job.deployment_id = Some(deployment_id);
                 job.heartbeat_at = Some(now);
                 job.attempts += 1;
+                job.claim_key = idempotency_key.map(str::to_string);
                 self.save_job(&job)?;
                 return Ok(Some(job));
             }
@@ -486,13 +508,40 @@ impl ChronosControl {
         Ok(None)
     }
 
-    /// Agent protocol: heartbeat with optional progress update.
-    pub fn heartbeat(&self, job_id: Id, progress: Option<u8>) -> CoreResult<Job> {
+    /// Checks the fencing token: a write from attempt `attempt` is only
+    /// valid while the job is still running *that* attempt. Anything else
+    /// means the lease was lost (the job timed out and was rescheduled, or a
+    /// newer attempt already owns it).
+    fn check_fence(job: &Job, attempt: Option<u32>, what: &str) -> CoreResult<()> {
+        if job.state != JobState::Running {
+            return Err(CoreError::LeaseLost(format!(
+                "{what} rejected: job {} is {}, not running",
+                job.id, job.state
+            )));
+        }
+        if let Some(attempt) = attempt {
+            if attempt != job.attempts {
+                return Err(CoreError::LeaseLost(format!(
+                    "{what} rejected: stale attempt {attempt} (job {} is on attempt {})",
+                    job.id, job.attempts
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Agent protocol: heartbeat with optional progress update. `attempt`
+    /// is the fencing token: a zombie agent heartbeating a rescheduled job
+    /// gets [`CoreError::LeaseLost`] and must cancel its run.
+    pub fn heartbeat(
+        &self,
+        job_id: Id,
+        progress: Option<u8>,
+        attempt: Option<u32>,
+    ) -> CoreResult<Job> {
         let _guard = self.write_lock.lock();
         let mut job = self.get_job(job_id)?;
-        if job.state != JobState::Running {
-            return Err(CoreError::Conflict(format!("job {job_id} is {}, not running", job.state)));
-        }
+        Self::check_fence(&job, attempt, "heartbeat")?;
         job.heartbeat_at = Some(self.now());
         if let Some(p) = progress {
             job.progress = p.min(100);
@@ -514,10 +563,30 @@ impl ChronosControl {
     }
 
     /// Agent protocol: uploads the result ("a JSON and a zip file") and
-    /// finishes the job.
-    pub fn finish_job(&self, job_id: Id, data: Value, archive: Vec<u8>) -> CoreResult<JobResult> {
+    /// finishes the job — exactly once. `attempt` fences out zombie
+    /// attempts; `idempotency_key` deduplicates retries of an upload whose
+    /// response was lost (the stored result is returned instead of storing
+    /// a second copy).
+    pub fn finish_job(
+        &self,
+        job_id: Id,
+        data: Value,
+        archive: Vec<u8>,
+        attempt: Option<u32>,
+        idempotency_key: Option<&str>,
+    ) -> CoreResult<JobResult> {
         let _guard = self.write_lock.lock();
         let mut job = self.get_job(job_id)?;
+        if job.state == JobState::Finished
+            && idempotency_key.is_some()
+            && job.result_key.as_deref() == idempotency_key
+        {
+            // Duplicate of an accepted upload: return the stored result.
+            let result_id =
+                job.result_id.ok_or_else(|| CoreError::not_found("result", "finished job"))?;
+            return self.get_result(result_id);
+        }
+        Self::check_fence(&job, attempt, "result upload")?;
         let now = self.now();
         job.transition(JobState::Finished, now, "result uploaded")?;
         job.progress = 100;
@@ -526,14 +595,21 @@ impl ChronosControl {
         stored.set("archive_b64", chronos_util::encode::base64_encode(&result.archive));
         self.store.put(KIND_RESULT, &result.id.to_base32(), stored)?;
         job.result_id = Some(result.id);
+        job.result_key = idempotency_key.map(str::to_string);
         self.save_job(&job)?;
         Ok(result)
     }
 
     /// Agent protocol: reports a failure. Auto-reschedules when policy
-    /// allows (requirement *(iii)*).
-    pub fn fail_job(&self, job_id: Id, reason: &str) -> CoreResult<Job> {
+    /// allows (requirement *(iii)*). `attempt` fences out zombie attempts,
+    /// so a timed-out agent cannot fail (and re-reschedule) a job a newer
+    /// attempt is running.
+    pub fn fail_job(&self, job_id: Id, reason: &str, attempt: Option<u32>) -> CoreResult<Job> {
         let _guard = self.write_lock.lock();
+        if attempt.is_some() {
+            let job = self.get_job(job_id)?;
+            Self::check_fence(&job, attempt, "failure report")?;
+        }
         self.fail_job_locked(job_id, reason)
     }
 
@@ -555,6 +631,7 @@ impl ChronosControl {
             )?;
             job.deployment_id = None;
             job.progress = 0;
+            job.claim_key = None;
         }
         self.save_job(&job)?;
         Ok(job)
@@ -577,6 +654,7 @@ impl ChronosControl {
         job.deployment_id = None;
         job.progress = 0;
         job.failure = None;
+        job.claim_key = None;
         self.save_job(&job)?;
         Ok(job)
     }
@@ -633,6 +711,12 @@ impl ChronosControl {
             archive,
             created_at: doc.get("created_at").and_then(Value::as_u64).unwrap_or(0),
         })
+    }
+
+    /// Total number of stored results. The chaos suite uses this to prove
+    /// exactly-once semantics: one result per finished job, zero duplicates.
+    pub fn count_results(&self) -> usize {
+        self.store.ids(KIND_RESULT).len()
     }
 
     /// The result of a job, if it has one.
@@ -784,7 +868,7 @@ mod tests {
     fn claims_are_exclusive_and_ordered() {
         let (control, _clock, evaluation, deployment) = demo_evaluation();
         let mut claimed = Vec::new();
-        while let Some(job) = control.claim_next_job(deployment.id).unwrap() {
+        while let Some(job) = control.claim_next_job(deployment.id, None).unwrap() {
             assert_eq!(job.state, JobState::Running);
             assert_eq!(job.deployment_id, Some(deployment.id));
             assert_eq!(job.attempts, 1);
@@ -793,14 +877,14 @@ mod tests {
         assert_eq!(claimed.len(), 4);
         // Creation order preserved.
         assert_eq!(claimed, control.get_evaluation(evaluation.id).unwrap().job_ids);
-        assert!(control.claim_next_job(deployment.id).unwrap().is_none());
+        assert!(control.claim_next_job(deployment.id, None).unwrap().is_none());
     }
 
     #[test]
     fn inactive_deployment_cannot_claim() {
         let (control, _clock, _evaluation, deployment) = demo_evaluation();
         control.set_deployment_active(deployment.id, false).unwrap();
-        assert!(matches!(control.claim_next_job(deployment.id), Err(CoreError::Conflict(_))));
+        assert!(matches!(control.claim_next_job(deployment.id, None), Err(CoreError::Conflict(_))));
     }
 
     #[test]
@@ -808,14 +892,14 @@ mod tests {
         let (control, _clock, _evaluation, _deployment) = demo_evaluation();
         let other = control.register_system("otherdb", "", vec![], vec![]).unwrap();
         let other_deployment = control.create_deployment(other.id, "node-b", "1").unwrap();
-        assert!(control.claim_next_job(other_deployment.id).unwrap().is_none());
+        assert!(control.claim_next_job(other_deployment.id, None).unwrap().is_none());
     }
 
     #[test]
     fn full_job_lifecycle_with_result() {
         let (control, _clock, _evaluation, deployment) = demo_evaluation();
-        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
-        control.heartbeat(job.id, Some(50)).unwrap();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        control.heartbeat(job.id, Some(50), None).unwrap();
         control.append_log(job.id, "loading 1000 records").unwrap();
         control.append_log(job.id, "running transactions\n").unwrap();
         let result = control
@@ -823,6 +907,8 @@ mod tests {
                 job.id,
                 obj! {"throughput_ops_per_sec" => 1234.5},
                 b"PK\x05\x06zip".to_vec(),
+                None,
+                None,
             )
             .unwrap();
         let job = control.get_job(job.id).unwrap();
@@ -842,15 +928,15 @@ mod tests {
     #[test]
     fn failure_auto_reschedules_until_attempts_exhausted() {
         let (control, _clock, _evaluation, deployment) = demo_evaluation();
-        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         // Attempt 1 fails -> auto rescheduled.
-        let failed = control.fail_job(job.id, "agent crashed").unwrap();
+        let failed = control.fail_job(job.id, "agent crashed", None).unwrap();
         assert_eq!(failed.state, JobState::Scheduled);
         assert_eq!(failed.attempts, 1);
         // Claim again (attempt 2) and fail: max_attempts=2 -> stays failed.
-        let again = control.claim_next_job(deployment.id).unwrap().unwrap();
+        let again = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         assert_eq!(again.id, job.id, "rescheduled job is claimed first (oldest)");
-        let failed = control.fail_job(job.id, "agent crashed again").unwrap();
+        let failed = control.fail_job(job.id, "agent crashed again", None).unwrap();
         assert_eq!(failed.state, JobState::Failed);
         assert_eq!(failed.failure.as_deref(), Some("agent crashed again"));
         // Manual reschedule still possible.
@@ -862,11 +948,11 @@ mod tests {
     #[test]
     fn heartbeat_timeout_detection() {
         let (control, clock, _evaluation, deployment) = demo_evaluation();
-        let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         // Within the lease: nothing happens.
         clock.advance_millis(5_000);
         assert!(control.check_timeouts().unwrap().is_empty());
-        control.heartbeat(job.id, None).unwrap();
+        control.heartbeat(job.id, None, None).unwrap();
         // Lease expires.
         clock.advance_millis(10_001);
         let timed_out = control.check_timeouts().unwrap();
@@ -885,14 +971,14 @@ mod tests {
         control.abort_job(jobs[3].id).unwrap();
         assert_eq!(control.get_job(jobs[3].id).unwrap().state, JobState::Aborted);
         // Abort a running job.
-        let running = control.claim_next_job(deployment.id).unwrap().unwrap();
+        let running = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         control.abort_job(running.id).unwrap();
         // Aborting a finished job fails.
-        let next = control.claim_next_job(deployment.id).unwrap().unwrap();
-        control.finish_job(next.id, obj! {}, vec![]).unwrap();
+        let next = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        control.finish_job(next.id, obj! {}, vec![], None, None).unwrap();
         assert!(matches!(control.abort_job(next.id), Err(CoreError::Conflict(_))));
         // Heartbeat on an aborted job fails.
-        assert!(control.heartbeat(running.id, None).is_err());
+        assert!(control.heartbeat(running.id, None, None).is_err());
     }
 
     #[test]
@@ -929,12 +1015,125 @@ mod tests {
         let (control, _clock, evaluation, deployment) = demo_evaluation();
         let control = Arc::new(control);
         let claimed: Vec<Option<Id>> = chronos_util::pool::scoped_indexed(8, |_| {
-            control.claim_next_job(deployment.id).unwrap().map(|j| j.id)
+            control.claim_next_job(deployment.id, None).unwrap().map(|j| j.id)
         });
         let got: Vec<Id> = claimed.into_iter().flatten().collect();
         let unique: std::collections::HashSet<_> = got.iter().collect();
         assert_eq!(unique.len(), got.len(), "double-claimed a job");
         assert_eq!(got.len(), evaluation.job_ids.len().min(8));
+    }
+
+    #[test]
+    fn claim_with_same_idempotency_key_returns_same_job() {
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        let first = control.claim_next_job(deployment.id, Some("claim-1")).unwrap().unwrap();
+        // Retry after a dropped response: same key, same job, no new claim.
+        let again = control.claim_next_job(deployment.id, Some("claim-1")).unwrap().unwrap();
+        assert_eq!(again.id, first.id);
+        assert_eq!(again.attempts, first.attempts);
+        // A different key claims the *next* job.
+        let other = control.claim_next_job(deployment.id, Some("claim-2")).unwrap().unwrap();
+        assert_ne!(other.id, first.id);
+    }
+
+    #[test]
+    fn duplicate_result_upload_is_deduplicated() {
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        let first = control
+            .finish_job(job.id, obj! {"ok" => 1}, b"zip".to_vec(), Some(job.attempts), Some("up-1"))
+            .unwrap();
+        // Retry of the same upload (response was lost): stored result returned.
+        let again = control
+            .finish_job(job.id, obj! {"ok" => 1}, b"zip".to_vec(), Some(job.attempts), Some("up-1"))
+            .unwrap();
+        assert_eq!(again.id, first.id);
+        assert_eq!(control.count_results(), 1, "duplicate upload stored a second result");
+        // A *different* upload against the finished job is still rejected.
+        assert!(matches!(
+            control.finish_job(job.id, obj! {}, vec![], Some(job.attempts), Some("up-2")),
+            Err(CoreError::LeaseLost(_))
+        ));
+    }
+
+    #[test]
+    fn stale_attempt_writes_are_fenced() {
+        let (control, clock, _evaluation, deployment) = demo_evaluation();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        assert_eq!(job.attempts, 1);
+        // The lease expires and the sweep reschedules the job.
+        clock.advance(std::time::Duration::from_millis(20_000));
+        assert_eq!(control.check_timeouts().unwrap(), vec![job.id]);
+        // A second agent claims attempt 2 and the zombie's writes bounce.
+        let second = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        assert_eq!(second.id, job.id);
+        assert_eq!(second.attempts, 2);
+        assert!(matches!(
+            control.heartbeat(job.id, Some(10), Some(1)),
+            Err(CoreError::LeaseLost(_))
+        ));
+        assert!(matches!(
+            control.finish_job(job.id, obj! {}, vec![], Some(1), Some("zombie-up")),
+            Err(CoreError::LeaseLost(_))
+        ));
+        assert!(matches!(
+            control.fail_job(job.id, "zombie says broken", Some(1)),
+            Err(CoreError::LeaseLost(_))
+        ));
+        // The live attempt is unaffected and finishes normally.
+        control.heartbeat(job.id, Some(50), Some(2)).unwrap();
+        control.finish_job(job.id, obj! {"ok" => 1}, vec![], Some(2), Some("live-up")).unwrap();
+        assert_eq!(control.get_job(job.id).unwrap().state, JobState::Finished);
+        assert_eq!(control.count_results(), 1);
+    }
+
+    #[test]
+    fn stalled_run_is_rescheduled_and_zombie_fenced_on_upload() {
+        // Satellite: lease_expired + may_auto_reschedule integration. A run
+        // heartbeats fine, stalls past the timeout, gets rescheduled, and
+        // the zombie attempt's upload is fenced.
+        let (control, clock) = control_with_clock();
+        let system = demo_system(&control);
+        let deployment = control.create_deployment(system.id, "node-a", "1.0").unwrap();
+        let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+        let project = control.create_project("demo", "", owner.id).unwrap();
+        let experiment = control
+            .create_experiment(
+                project.id,
+                system.id,
+                "lease",
+                "",
+                ParamAssignments::new().fix("threads", 2),
+            )
+            .unwrap();
+        control.create_evaluation(experiment.id).unwrap();
+
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        // Healthy heartbeats keep the lease alive across several sweeps.
+        for _ in 0..3 {
+            clock.advance(std::time::Duration::from_millis(5_000));
+            control.heartbeat(job.id, None, Some(job.attempts)).unwrap();
+            assert!(control.check_timeouts().unwrap().is_empty());
+        }
+        // Then the agent stalls past heartbeat_timeout_millis (10s).
+        clock.advance(std::time::Duration::from_millis(10_001));
+        assert_eq!(control.check_timeouts().unwrap(), vec![job.id]);
+        let rescheduled = control.get_job(job.id).unwrap();
+        assert_eq!(rescheduled.state, JobState::Scheduled, "may_auto_reschedule should apply");
+        assert_eq!(rescheduled.deployment_id, None);
+
+        // Attempt 2 claims and finishes; the stalled attempt-1 agent wakes
+        // up and tries to upload — fenced, zero duplicate results.
+        let second = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        assert_eq!(second.attempts, 2);
+        control.finish_job(job.id, obj! {"ok" => 2}, vec![], Some(2), Some("live")).unwrap();
+        assert!(matches!(
+            control.finish_job(job.id, obj! {"ok" => 1}, vec![], Some(1), Some("zombie")),
+            Err(CoreError::LeaseLost(_))
+        ));
+        assert_eq!(control.count_results(), 1);
+        // max_attempts = 2: a further failure would not be rescheduled.
+        assert!(!control.scheduler_config().may_auto_reschedule(2));
     }
 
     #[test]
@@ -966,7 +1165,7 @@ mod tests {
                 .unwrap();
             let evaluation = control.create_evaluation(experiment.id).unwrap();
             evaluation_id = evaluation.id;
-            let job = control.claim_next_job(deployment.id).unwrap().unwrap();
+            let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
             job_id = job.id;
             control.append_log(job.id, "halfway there").unwrap();
         }

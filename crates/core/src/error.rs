@@ -17,6 +17,10 @@ pub enum CoreError {
     Conflict(String),
     /// The caller lacks the required role or project membership.
     Forbidden(String),
+    /// An agent's lease on a job is gone: the job was rescheduled (or
+    /// finished by a newer attempt) and the write carried a stale attempt
+    /// number. The agent must stop working on this job immediately.
+    LeaseLost(String),
     /// Persistence failed.
     Storage(String),
     /// Archiving failed.
@@ -30,6 +34,7 @@ impl fmt::Display for CoreError {
             CoreError::Invalid(m) => write!(f, "invalid request: {m}"),
             CoreError::Conflict(m) => write!(f, "conflict: {m}"),
             CoreError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            CoreError::LeaseLost(m) => write!(f, "lease lost: {m}"),
             CoreError::Storage(m) => write!(f, "storage error: {m}"),
             CoreError::Archive(m) => write!(f, "archive error: {m}"),
         }

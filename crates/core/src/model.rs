@@ -401,6 +401,13 @@ pub struct Job {
     pub heartbeat_at: Option<u64>,
     /// How many times this job has been (re)scheduled.
     pub attempts: u32,
+    /// Idempotency key of the claim that started the current attempt; a
+    /// re-claim carrying the same key (retry after a dropped response)
+    /// returns this job instead of failing with a conflict.
+    pub claim_key: Option<String>,
+    /// Idempotency key of the accepted result upload; a duplicate upload
+    /// with the same key returns the stored result instead of conflicting.
+    pub result_key: Option<String>,
     /// The result id once finished.
     pub result_id: Option<Id>,
     /// Failure reason when failed.
@@ -428,6 +435,8 @@ impl Job {
             }],
             heartbeat_at: None,
             attempts: 0,
+            claim_key: None,
+            result_key: None,
             result_id: None,
             failure: None,
             created_at: now,
@@ -469,6 +478,8 @@ impl Job {
         );
         map.insert("heartbeat_at".into(), Value::from(self.heartbeat_at));
         map.insert("attempts".into(), Value::from(self.attempts as i64));
+        map.insert("claim_key".into(), Value::from(self.claim_key.clone()));
+        map.insert("result_key".into(), Value::from(self.result_key.clone()));
         map.insert("result_id".into(), Value::from(self.result_id.map(|r| r.to_base32())));
         map.insert("failure".into(), Value::from(self.failure.clone()));
         map.insert("created_at".into(), Value::from(self.created_at));
@@ -509,6 +520,8 @@ impl Job {
             timeline,
             heartbeat_at: value.get("heartbeat_at").and_then(Value::as_u64),
             attempts: value.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32,
+            claim_key: value.get("claim_key").and_then(Value::as_str).map(str::to_string),
+            result_key: value.get("result_key").and_then(Value::as_str).map(str::to_string),
             result_id: opt_id(value, "result_id")?,
             failure: value.get("failure").and_then(Value::as_str).map(str::to_string),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
@@ -623,6 +636,8 @@ mod tests {
         job.progress = 42;
         job.log = "line1\nline2\n".into();
         job.heartbeat_at = Some(2500);
+        job.claim_key = Some("claim-abc".into());
+        job.result_key = Some("upload-xyz".into());
         let parsed = Job::from_json(&job.to_json()).unwrap();
         assert_eq!(parsed, job);
     }

@@ -130,6 +130,8 @@ impl MetadataStore {
         }
         let mut kinds: BTreeMap<String, Docs> = BTreeMap::new();
         let mut records = 0u64;
+        let mut valid_bytes = 0u64;
+        let mut torn_tail = false;
         match File::open(path) {
             Ok(file) => {
                 let mut reader = BufReader::new(file);
@@ -139,13 +141,22 @@ impl MetadataStore {
                     if reader.read_line(&mut line)? == 0 {
                         break;
                     }
+                    if !line.ends_with('\n') {
+                        // Acknowledged appends always end in a newline; a
+                        // final line without one is the torn tail of an
+                        // unacknowledged write even when it happens to parse.
+                        torn_tail = true;
+                        break;
+                    }
                     match chronos_json::parse(line.trim_end_matches(['\n', '\r'])) {
                         Ok(entry) => {
                             records += 1;
+                            valid_bytes += line.len() as u64;
                             apply(&mut kinds, entry);
                         }
                         Err(parse_err) => {
                             if reader.fill_buf()?.is_empty() {
+                                torn_tail = true;
                                 break; // torn tail after a crash: stop replay
                             }
                             return Err(CoreError::Storage(format!(
@@ -160,7 +171,18 @@ impl MetadataStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
+        if torn_tail {
+            // Chop the torn bytes off the file, not just the replay: the
+            // log is append-only, and appending after a partial record
+            // would corrupt it for every later recovery.
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_bytes)?;
+            file.sync_data()?;
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        // A freshly created log file is only durable once its directory
+        // entry is synced; otherwise a crash can lose the file itself.
+        sync_parent_dir(path)?;
         let wal = Wal {
             queue: Mutex::new(WalQueue::default()),
             file: Mutex::new(WalFile {
@@ -423,6 +445,22 @@ impl Wal {
         for (_, frame) in &frames {
             file.scratch.extend_from_slice(frame);
         }
+        if let Some(inj) = chronos_util::fail_eval!("core.store.wal.append") {
+            let detail = match inj {
+                chronos_util::fail::Injected::Torn { keep } => {
+                    // Crash mid-write: part of the batch reaches the disk,
+                    // nothing is acknowledged.
+                    let keep = keep.min(file.scratch.len());
+                    let _ = file.file.write_all(&file.scratch[..keep]);
+                    let _ = file.file.sync_data();
+                    format!("log append torn after {keep} bytes (injected)")
+                }
+                chronos_util::fail::Injected::Error(msg) => format!("log append failed: {msg}"),
+            };
+            file.error = Some(detail.clone());
+            self.failed.store(true, Ordering::Release);
+            return Err(CoreError::Storage(detail));
+        }
         match file.file.write_all(&file.scratch) {
             Ok(()) => {
                 file.written_seq = last_seq;
@@ -488,12 +526,43 @@ fn compact_shared(shared: &Shared) -> CoreResult<()> {
             }
         }
         out.flush()?;
+        if let Some(inj) = chronos_util::fail_eval!("core.store.compact.sync") {
+            return Err(CoreError::Storage(injected_io(inj, "compaction sync")));
+        }
         out.get_ref().sync_data()?;
     }
+    if let Some(inj) = chronos_util::fail_eval!("core.store.compact.rename") {
+        return Err(CoreError::Storage(injected_io(inj, "compaction rename")));
+    }
     std::fs::rename(&tmp, &file.path)?;
+    // The rename is only durable once the directory entry is synced; a
+    // crash right after the rename could otherwise resurrect the old log.
+    sync_parent_dir(&file.path)?;
     file.file = OpenOptions::new().append(true).open(&file.path)?;
     file.records = live;
     Ok(())
+}
+
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed entry itself durable across a crash.
+fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(inj) = chronos_util::fail_eval!("core.store.dir.fsync") {
+        return Err(std::io::Error::other(injected_io(inj, "directory fsync")));
+    }
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Renders an injected fault as an error message for simple (non-torn-
+/// capable) sites, where a torn policy degrades to a plain error.
+#[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+fn injected_io(inj: chronos_util::fail::Injected, what: &str) -> String {
+    match inj {
+        chronos_util::fail::Injected::Error(msg) => format!("{what} failed: {msg}"),
+        chronos_util::fail::Injected::Torn { .. } => format!("{what} failed: injected torn write"),
+    }
 }
 
 /// Serializes a put record (`{"op":"put",...}\n`) into `out` without

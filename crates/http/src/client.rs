@@ -132,6 +132,9 @@ impl Client {
     }
 
     fn connect(&self) -> Result<BufReader<TcpStream>, ClientError> {
+        if let Some(inj) = chronos_util::fail_eval!("http.client.connect") {
+            return Err(ClientError::Io(std::io::Error::other(injected_msg(inj, "connect"))));
+        }
         let stream = TcpStream::connect(&self.authority)
             .map_err(|_| ClientError::BadUrl(format!("cannot connect to {}", self.authority)))?;
         stream.set_read_timeout(Some(self.timeout))?;
@@ -164,12 +167,38 @@ impl Client {
         head.push_str(&format!("Content-Length: {}\r\n\r\n", request.body.len()));
         {
             let stream = conn.get_mut();
+            if let Some(inj) = chronos_util::fail_eval!("http.client.send") {
+                if let chronos_util::fail::Injected::Torn { keep } = inj {
+                    // Partial write then connection death: the server sees a
+                    // truncated request and never processes it.
+                    let keep = keep.min(head.len());
+                    let _ = stream.write_all(&head.as_bytes()[..keep]);
+                    let _ = stream.flush();
+                }
+                return Err(ClientError::Io(std::io::Error::other(injected_msg(inj, "send"))));
+            }
             stream.write_all(head.as_bytes())?;
             stream.write_all(&request.body)?;
             stream.flush()?;
         }
+        // The request is fully on the wire past this point: a `recv` fault
+        // models a response lost *after* the server processed the call.
+        if let Some(inj) = chronos_util::fail_eval!("http.client.recv") {
+            return Err(ClientError::Io(std::io::Error::other(injected_msg(inj, "recv"))));
+        }
         let (response, keep_alive) = read_response(&mut conn)?;
         Ok((response, if keep_alive { Some(conn) } else { None }))
+    }
+}
+
+/// Renders an injected fault as a socket-error message.
+#[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+fn injected_msg(inj: chronos_util::fail::Injected, what: &str) -> String {
+    match inj {
+        chronos_util::fail::Injected::Error(msg) => format!("{what} failed: {msg}"),
+        chronos_util::fail::Injected::Torn { keep } => {
+            format!("{what} torn after {keep} bytes (injected)")
+        }
     }
 }
 

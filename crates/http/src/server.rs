@@ -151,6 +151,12 @@ where
         };
         let method = request.method;
         let response = handler(request);
+        // Dropped-response fault: the handler has fully committed its
+        // effects, but the client never hears back (connection dies). This
+        // is the case idempotency keys exist for.
+        if chronos_util::fail_eval!("http.server.drop_response").is_some() {
+            break;
+        }
         if write_response(&mut stream, &response, keep_alive, method).is_err() {
             break;
         }

@@ -201,7 +201,7 @@ impl MmapV1Engine {
                 let snapshot = dir.join("mmapv1.snapshot");
                 let journal_path = dir.join("mmapv1.journal");
                 let mut ops = Wal::replay(&snapshot)?;
-                ops.extend(Wal::replay(&journal_path)?);
+                ops.extend(Wal::replay_and_trim(&journal_path)?);
                 (Wal::open(&journal_path, config.durable_writes)?, ops)
             }
             None => (Wal::in_memory(), Vec::new()),
@@ -273,6 +273,15 @@ impl MmapV1Engine {
         value: &[u8],
         allow_replace: bool,
     ) -> DbResult<bool> {
+        if let Some(inj) = chronos_util::fail_eval!("minidoc.extent.write") {
+            let msg = match inj {
+                chronos_util::fail::Injected::Error(m) => m,
+                chronos_util::fail::Injected::Torn { .. } => {
+                    "extent write failed: injected torn write".to_string()
+                }
+            };
+            return Err(DbError::Io(std::io::Error::other(msg)));
+        }
         if let Some(&loc) = c.index.get(key) {
             if !allow_replace {
                 return Err(DbError::duplicate(key));
@@ -476,6 +485,15 @@ impl StorageEngine for MmapV1Engine {
                     })?;
                 }
             }
+        }
+        if let Some(inj) = chronos_util::fail_eval!("minidoc.checkpoint.rename") {
+            let msg = match inj {
+                chronos_util::fail::Injected::Error(m) => m,
+                chronos_util::fail::Injected::Torn { .. } => {
+                    "checkpoint rename failed: injected torn write".to_string()
+                }
+            };
+            return Err(DbError::Io(std::io::Error::other(msg)));
         }
         std::fs::rename(&tmp, &path)?;
         journal.truncate()?;

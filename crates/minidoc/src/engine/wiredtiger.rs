@@ -201,7 +201,7 @@ impl WiredTigerEngine {
                 let checkpoint = dir.join("wt.checkpoint");
                 let wal_path = dir.join("wt.wal");
                 let mut ops = Wal::replay(&checkpoint)?;
-                ops.extend(Wal::replay(&wal_path)?);
+                ops.extend(Wal::replay_and_trim(&wal_path)?);
                 let policy = if config.durable_writes {
                     // Group commit: sync every ~32 KiB of log, outside locks.
                     crate::wal::SyncPolicy::GroupCommit { batch_bytes: 32 * 1024 }
@@ -273,6 +273,15 @@ impl WiredTigerEngine {
             wal.take_sync_handle()?
         };
         if let Some(file) = sync_handle {
+            if let Some(inj) = chronos_util::fail_eval!("minidoc.wal.sync") {
+                let msg = match inj {
+                    chronos_util::fail::Injected::Error(m) => m,
+                    chronos_util::fail::Injected::Torn { .. } => {
+                        "wal sync failed: injected torn write".to_string()
+                    }
+                };
+                return Err(DbError::Io(std::io::Error::other(msg)));
+            }
             file.sync_data()?;
         }
         Ok(())
@@ -518,6 +527,15 @@ impl StorageEngine for WiredTigerEngine {
                     }
                 }
             }
+        }
+        if let Some(inj) = chronos_util::fail_eval!("minidoc.checkpoint.rename") {
+            let msg = match inj {
+                chronos_util::fail::Injected::Error(m) => m,
+                chronos_util::fail::Injected::Torn { .. } => {
+                    "checkpoint rename failed: injected torn write".to_string()
+                }
+            };
+            return Err(DbError::Io(std::io::Error::other(msg)));
         }
         std::fs::rename(&tmp, &path)?;
         self.wal.lock().truncate()?;

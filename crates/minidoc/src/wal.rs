@@ -211,8 +211,34 @@ impl Wal {
         self.pending_since_sync += record.len();
         match &mut self.file {
             Some(file) => {
+                if let Some(inj) = chronos_util::fail_eval!("minidoc.wal.append") {
+                    match inj {
+                        chronos_util::fail::Injected::Torn { keep } => {
+                            // Crash mid-append: a prefix of the record
+                            // reaches the disk, the caller sees a failure.
+                            let keep = keep.min(record.len());
+                            let _ = file.write_all(&record[..keep]);
+                            let _ = file.sync_data();
+                            return Err(DbError::Io(std::io::Error::other(format!(
+                                "wal append torn after {keep} bytes (injected)"
+                            ))));
+                        }
+                        chronos_util::fail::Injected::Error(msg) => {
+                            return Err(DbError::Io(std::io::Error::other(msg)));
+                        }
+                    }
+                }
                 file.write_all(record)?;
                 if self.policy == SyncPolicy::EveryAppend {
+                    if let Some(inj) = chronos_util::fail_eval!("minidoc.wal.sync") {
+                        let msg = match inj {
+                            chronos_util::fail::Injected::Error(m) => m,
+                            chronos_util::fail::Injected::Torn { .. } => {
+                                "wal sync failed: injected torn write".to_string()
+                            }
+                        };
+                        return Err(DbError::Io(std::io::Error::other(msg)));
+                    }
                     file.sync_data()?;
                     self.pending_since_sync = 0;
                 }
@@ -231,12 +257,31 @@ impl Wal {
     /// Replays all intact records from `path`. Stops silently at the first
     /// torn/corrupt record (crash-consistent prefix semantics).
     pub fn replay(path: &Path) -> DbResult<Vec<WalOp>> {
+        Ok(Self::replay_prefix(path)?.0)
+    }
+
+    /// Like [`Wal::replay`], but also chops any torn/corrupt tail off the
+    /// file. A log that is appended to after recovery must do this: new
+    /// records written after leftover torn bytes would be unreachable for
+    /// every later replay (the scan stops at the tear forever).
+    pub fn replay_and_trim(path: &Path) -> DbResult<Vec<WalOp>> {
+        let (ops, valid, total) = Self::replay_prefix(path)?;
+        if valid < total {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        Ok(ops)
+    }
+
+    /// Shared scan: `(intact ops, valid prefix bytes, file bytes)`.
+    fn replay_prefix(path: &Path) -> DbResult<(Vec<WalOp>, usize, usize)> {
         let mut data = Vec::new();
         match File::open(path) {
             Ok(mut f) => {
                 f.read_to_end(&mut data)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0, 0)),
             Err(e) => return Err(e.into()),
         }
         let mut ops = Vec::new();
@@ -256,7 +301,7 @@ impl Wal {
             }
             pos += 8 + len;
         }
-        Ok(ops)
+        Ok((ops, pos, data.len()))
     }
 
     /// Truncates the log (after a checkpoint made it redundant).

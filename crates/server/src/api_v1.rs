@@ -488,7 +488,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let body = body_json(req)?;
             let deployment_id = Id::parse_base32(&str_field(&body, "deployment_id")?)
                 .map_err(|_| CoreError::Invalid("bad deployment_id".into()))?;
-            match control_.claim_next_job(deployment_id)? {
+            let key = body.get("idempotency_key").and_then(Value::as_str);
+            match control_.claim_next_job(deployment_id, key)? {
                 Some(job) => Ok(Response::json(&job.to_json())),
                 None => Ok(Response::status(Status::NO_CONTENT)),
             }
@@ -501,7 +502,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             authed(&control_, req)?;
             let body = body_json(req).unwrap_or(Value::Null);
             let progress = body.get("progress").and_then(Value::as_u64).map(|p| p as u8);
-            let job = control_.heartbeat(param_id(p, "id")?, progress)?;
+            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
+            let job = control_.heartbeat(param_id(p, "id")?, progress, attempt)?;
             Ok(Response::json(
                 &obj! {"state" => job.state.as_str(), "progress" => job.progress as i64},
             ))
@@ -536,7 +538,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
                 })
                 .transpose()?
                 .unwrap_or_default();
-            let result = control_.finish_job(param_id(p, "id")?, data, archive)?;
+            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
+            let key = body.get("idempotency_key").and_then(Value::as_str);
+            let result = control_.finish_job(param_id(p, "id")?, data, archive, attempt, key)?;
             Ok(Response::json_status(Status::CREATED, &result.to_json()))
         })())
     });
@@ -548,7 +552,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let body = body_json(req).unwrap_or(Value::Null);
             let reason =
                 body.get("reason").and_then(Value::as_str).unwrap_or("agent reported failure");
-            let job = control_.fail_job(param_id(p, "id")?, reason)?;
+            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
+            let job = control_.fail_job(param_id(p, "id")?, reason, attempt)?;
             Ok(Response::json(&job.to_json()))
         })())
     });

@@ -122,9 +122,22 @@ pub(crate) fn error_response(error: chronos_core::CoreError) -> Response {
     let status = match &error {
         CoreError::NotFound { .. } => Status::NOT_FOUND,
         CoreError::Invalid(_) => Status::BAD_REQUEST,
-        CoreError::Conflict(_) => Status::CONFLICT,
+        CoreError::Conflict(_) | CoreError::LeaseLost(_) => Status::CONFLICT,
         CoreError::Forbidden(_) => Status::FORBIDDEN,
         CoreError::Storage(_) | CoreError::Archive(_) => Status::INTERNAL_ERROR,
     };
+    if let CoreError::LeaseLost(message) = &error {
+        // A distinguishable shape: agents must tell "lease lost, stop the
+        // run" apart from ordinary 409 conflicts.
+        return Response::json_status(
+            status,
+            &chronos_json::obj! {
+                "error" => chronos_json::obj! {
+                    "code" => "lease_lost",
+                    "message" => message.as_str(),
+                },
+            },
+        );
+    }
     Response::error(status, error.to_string())
 }

@@ -1,0 +1,457 @@
+//! Deterministic fault injection (failpoints).
+//!
+//! Chronos' failure handling — WAL recovery, lease expiry, idempotent
+//! retries — is only trustworthy if it is *exercised*. This module provides a
+//! process-global registry of named fault sites. Production code marks an I/O
+//! boundary with [`fail_eval!`]:
+//!
+//! ```ignore
+//! if let Some(inj) = chronos_util::fail_eval!("core.store.wal.append") {
+//!     // translate `inj` into this layer's error type
+//! }
+//! ```
+//!
+//! Tests (or the `CHRONOS_FAILPOINTS` environment variable) arm sites with a
+//! [`Policy`]: fail the first N hits, fail every Nth hit, fail with a seeded
+//! probability, panic, delay, or tear a write after `keep` bytes. The seeded
+//! probability policies draw from a per-site xoshiro256++ stream derived from
+//! a global seed ([`set_seed`] / `CHRONOS_FAIL_SEED`), so a failing chaos run
+//! can be replayed by re-exporting the printed seed.
+//!
+//! When the `failpoints` cargo feature is **off** (the default), the
+//! [`fail_eval!`] macro expands to `Option::None` without ever referencing
+//! the site name, so release builds carry zero overhead — not even the site
+//! string literals survive in the binary (`scripts/check.sh --chaos` verifies
+//! this by grepping the release binary).
+
+/// A fault selected for injection at an armed site.
+///
+/// Defined unconditionally so call sites type-check whether or not the
+/// `failpoints` feature is enabled. `Delay` and `Panic` policies are executed
+/// inside [`eval`] itself and never surface here; sites only need to handle
+/// the two actionable variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injected {
+    /// Fail the operation with the given message (site wraps it in its own
+    /// error type). The message embeds the site name and hit index so chaos
+    /// logs are self-describing.
+    Error(String),
+    /// Perform a torn write: persist only the first `keep` bytes of the
+    /// payload, then fail the operation as if the process died mid-write.
+    Torn {
+        /// Number of leading payload bytes to actually write.
+        keep: usize,
+    },
+}
+
+/// Evaluates a failpoint site: the real registry when `failpoints` is on, a
+/// literal `Option::None` (site name dropped at compile time) when off.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_eval {
+    ($name:expr) => {
+        $crate::fail::eval($name)
+    };
+}
+
+/// Evaluates a failpoint site: the real registry when `failpoints` is on, a
+/// literal `Option::None` (site name dropped at compile time) when off.
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_eval {
+    ($name:expr) => {
+        Option::<$crate::fail::Injected>::None
+    };
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{arm, arm_from_spec, disarm, eval, hits, reset, seed, set_seed, Policy};
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::Injected;
+    use parking_lot::Mutex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    /// What an armed site does on each hit.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Policy {
+        /// Never inject (counting only).
+        Off,
+        /// Inject an error on the first `n` hits, then pass through.
+        ErrorTimes(u64),
+        /// Inject an error on every `n`th hit (hits n, 2n, ...).
+        ErrorEveryNth(u64),
+        /// Inject an error with probability `p` per hit, drawn from a
+        /// per-site stream seeded by the global seed — deterministic per
+        /// (seed, site, hit index).
+        ErrorProb(f64),
+        /// Panic at the site (models a hard crash in-process).
+        Panic,
+        /// Sleep for the given duration, then pass through.
+        Delay(Duration),
+        /// Tear the next write after `keep` bytes, once, then disarm.
+        Torn {
+            /// Number of leading payload bytes the site should persist.
+            keep: usize,
+        },
+    }
+
+    struct Site {
+        policy: Policy,
+        hits: u64,
+        rng: StdRng,
+    }
+
+    struct Registry {
+        sites: HashMap<String, Site>,
+        seed: u64,
+    }
+
+    /// Fast path: number of currently armed sites. `eval` returns
+    /// immediately without locking while this is zero and the env spec has
+    /// already been applied.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let seed = std::env::var("CHRONOS_FAIL_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            SEED.store(seed, Ordering::Relaxed);
+            let mut reg = Registry { sites: HashMap::new(), seed };
+            if let Ok(spec) = std::env::var("CHRONOS_FAILPOINTS") {
+                apply_spec(&mut reg, &spec);
+            }
+            Mutex::new(reg)
+        })
+    }
+
+    /// FNV-1a over the site name: gives each site an independent RNG stream
+    /// from the same global seed, so one site's hit count never perturbs
+    /// another site's schedule.
+    fn site_hash(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn site_rng(seed: u64, name: &str) -> StdRng {
+        StdRng::seed_from_u64(seed ^ site_hash(name))
+    }
+
+    fn apply_spec(reg: &mut Registry, spec: &str) {
+        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let Some((name, policy)) = entry.split_once('=') else {
+                panic!("CHRONOS_FAILPOINTS: entry without '=': {entry:?}");
+            };
+            let policy = parse_policy(policy.trim())
+                .unwrap_or_else(|| panic!("CHRONOS_FAILPOINTS: bad policy in {entry:?}"));
+            arm_locked(reg, name.trim(), policy);
+        }
+    }
+
+    /// Parses one policy from the env grammar: `off`, `panic`,
+    /// `error` / `error(N)`, `every(N)`, `prob(P)`, `delay(MS)`, `torn(K)`.
+    fn parse_policy(s: &str) -> Option<Policy> {
+        fn arg(s: &str, head: &str) -> Option<String> {
+            s.strip_prefix(head)?.strip_prefix('(')?.strip_suffix(')').map(str::to_owned)
+        }
+        match s {
+            "off" => return Some(Policy::Off),
+            "panic" => return Some(Policy::Panic),
+            "error" => return Some(Policy::ErrorTimes(u64::MAX)),
+            _ => {}
+        }
+        if let Some(a) = arg(s, "error") {
+            return a.parse().ok().map(Policy::ErrorTimes);
+        }
+        if let Some(a) = arg(s, "every") {
+            return a.parse().ok().filter(|n| *n > 0).map(Policy::ErrorEveryNth);
+        }
+        if let Some(a) = arg(s, "prob") {
+            return a.parse().ok().filter(|p| (0.0..=1.0).contains(p)).map(Policy::ErrorProb);
+        }
+        if let Some(a) = arg(s, "delay") {
+            return a.parse().ok().map(|ms| Policy::Delay(Duration::from_millis(ms)));
+        }
+        if let Some(a) = arg(s, "torn") {
+            return a.parse().ok().map(|keep| Policy::Torn { keep });
+        }
+        None
+    }
+
+    fn arm_locked(reg: &mut Registry, name: &str, policy: Policy) {
+        let rng = site_rng(reg.seed, name);
+        let prev = reg.sites.insert(name.to_string(), Site { policy, hits: 0, rng });
+        if prev.is_none() {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Arms `name` with `policy`, resetting its hit counter and RNG stream.
+    pub fn arm(name: &str, policy: Policy) {
+        arm_locked(&mut registry().lock(), name, policy);
+    }
+
+    /// Arms sites from an env-grammar spec string, e.g.
+    /// `"core.store.wal.append=torn(5);agent.upload=prob(0.2)"`.
+    pub fn arm_from_spec(spec: &str) {
+        apply_spec(&mut registry().lock(), spec);
+    }
+
+    /// Disarms `name` (removes it from the registry entirely).
+    pub fn disarm(name: &str) {
+        if registry().lock().sites.remove(name).is_some() {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarms every site and resets hit counters. Call between tests — the
+    /// registry is process-global.
+    pub fn reset() {
+        let mut reg = registry().lock();
+        let n = reg.sites.len();
+        reg.sites.clear();
+        ARMED.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Sets the global seed for probabilistic policies. Re-seeds the streams
+    /// of already-armed sites so `set_seed` + `arm` order doesn't matter.
+    pub fn set_seed(seed: u64) {
+        let mut reg = registry().lock();
+        reg.seed = seed;
+        SEED.store(seed, Ordering::Relaxed);
+        let names: Vec<String> = reg.sites.keys().cloned().collect();
+        for name in names {
+            let rng = site_rng(seed, &name);
+            if let Some(site) = reg.sites.get_mut(&name) {
+                site.rng = rng;
+                site.hits = 0;
+            }
+        }
+    }
+
+    /// The global seed currently in effect (for replay banners).
+    pub fn seed() -> u64 {
+        let _ = registry();
+        SEED.load(Ordering::Relaxed)
+    }
+
+    /// Number of times `name` has been evaluated since it was armed.
+    pub fn hits(name: &str) -> u64 {
+        registry().lock().sites.get(name).map_or(0, |s| s.hits)
+    }
+
+    /// Evaluates the site: returns the fault to inject, if any. `Delay`
+    /// sleeps and `Panic` panics right here; callers only see
+    /// [`Injected::Error`] and [`Injected::Torn`].
+    pub fn eval(name: &str) -> Option<Injected> {
+        if ARMED.load(Ordering::SeqCst) == 0 {
+            // Still force env-spec parsing on the very first call.
+            let _ = registry();
+            if ARMED.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+        }
+        enum Action {
+            Pass,
+            Inject(Injected),
+            Panic,
+            Delay(Duration),
+        }
+        let action = {
+            let mut reg = registry().lock();
+            let site = reg.sites.get_mut(name)?;
+            site.hits += 1;
+            let hit = site.hits;
+            let err = || Injected::Error(format!("failpoint {name}: injected error (hit {hit})"));
+            match &site.policy {
+                Policy::Off => Action::Pass,
+                Policy::ErrorTimes(n) => {
+                    if hit <= *n {
+                        Action::Inject(err())
+                    } else {
+                        Action::Pass
+                    }
+                }
+                Policy::ErrorEveryNth(n) => {
+                    if hit % n == 0 {
+                        Action::Inject(err())
+                    } else {
+                        Action::Pass
+                    }
+                }
+                Policy::ErrorProb(p) => {
+                    let p = *p;
+                    if site.rng.gen_bool(p) {
+                        Action::Inject(err())
+                    } else {
+                        Action::Pass
+                    }
+                }
+                Policy::Panic => Action::Panic,
+                Policy::Delay(d) => Action::Delay(*d),
+                Policy::Torn { keep } => {
+                    let keep = *keep;
+                    // One-shot: a torn write models a crash; repeating it on
+                    // the retry path would just be `error`.
+                    site.policy = Policy::Off;
+                    Action::Inject(Injected::Torn { keep })
+                }
+            }
+        };
+        match action {
+            Action::Pass => None,
+            Action::Inject(inj) => Some(inj),
+            Action::Panic => panic!("failpoint {name}: injected panic"),
+            Action::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Mutex as StdMutex;
+
+        // The registry is process-global; serialize tests that touch it.
+        static LOCK: StdMutex<()> = StdMutex::new(());
+
+        fn guard() -> std::sync::MutexGuard<'static, ()> {
+            let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            reset();
+            g
+        }
+
+        #[test]
+        fn unarmed_site_is_none() {
+            let _g = guard();
+            assert_eq!(eval("nope"), None);
+        }
+
+        #[test]
+        fn error_times_fires_then_clears() {
+            let _g = guard();
+            arm("t.a", Policy::ErrorTimes(2));
+            assert!(matches!(eval("t.a"), Some(Injected::Error(_))));
+            assert!(matches!(eval("t.a"), Some(Injected::Error(_))));
+            assert_eq!(eval("t.a"), None);
+            assert_eq!(hits("t.a"), 3);
+            reset();
+        }
+
+        #[test]
+        fn every_nth_fires_periodically() {
+            let _g = guard();
+            arm("t.b", Policy::ErrorEveryNth(3));
+            let fired: Vec<bool> = (0..9).map(|_| eval("t.b").is_some()).collect();
+            assert_eq!(fired, [false, false, true, false, false, true, false, false, true]);
+            reset();
+        }
+
+        #[test]
+        fn torn_is_one_shot() {
+            let _g = guard();
+            arm("t.c", Policy::Torn { keep: 7 });
+            assert_eq!(eval("t.c"), Some(Injected::Torn { keep: 7 }));
+            assert_eq!(eval("t.c"), None);
+            reset();
+        }
+
+        #[test]
+        fn prob_schedule_is_deterministic_per_seed() {
+            let _g = guard();
+            set_seed(42);
+            arm("t.d", Policy::ErrorProb(0.5));
+            let a: Vec<bool> = (0..64).map(|_| eval("t.d").is_some()).collect();
+            set_seed(42);
+            arm("t.d", Policy::ErrorProb(0.5));
+            let b: Vec<bool> = (0..64).map(|_| eval("t.d").is_some()).collect();
+            assert_eq!(a, b);
+            assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+            set_seed(43);
+            arm("t.d", Policy::ErrorProb(0.5));
+            let c: Vec<bool> = (0..64).map(|_| eval("t.d").is_some()).collect();
+            assert_ne!(a, c);
+            reset();
+        }
+
+        #[test]
+        fn sites_have_independent_streams() {
+            let _g = guard();
+            set_seed(7);
+            arm("t.e1", Policy::ErrorProb(0.5));
+            arm("t.e2", Policy::ErrorProb(0.5));
+            let solo: Vec<bool> = (0..32).map(|_| eval("t.e1").is_some()).collect();
+            set_seed(7);
+            arm("t.e1", Policy::ErrorProb(0.5));
+            arm("t.e2", Policy::ErrorProb(0.5));
+            // Interleave hits on t.e2; t.e1's schedule must not change.
+            let interleaved: Vec<bool> = (0..32)
+                .map(|_| {
+                    let _ = eval("t.e2");
+                    eval("t.e1").is_some()
+                })
+                .collect();
+            assert_eq!(solo, interleaved);
+            reset();
+        }
+
+        #[test]
+        fn spec_grammar_parses() {
+            let _g = guard();
+            arm_from_spec("a=error(2); b = torn(5) ;c=every(4);d=prob(0.25);e=delay(1);f=off");
+            assert!(matches!(eval("a"), Some(Injected::Error(_))));
+            assert_eq!(eval("b"), Some(Injected::Torn { keep: 5 }));
+            assert_eq!(eval("f"), None);
+            assert_eq!(eval("c"), None); // hit 1 of every(4)
+            let before = std::time::Instant::now();
+            assert_eq!(eval("e"), None);
+            assert!(before.elapsed() >= Duration::from_millis(1));
+            reset();
+        }
+
+        #[test]
+        #[should_panic(expected = "injected panic")]
+        fn panic_policy_panics() {
+            let _g = guard();
+            arm("t.p", Policy::Panic);
+            let _ = eval("t.p");
+        }
+
+        #[test]
+        fn macro_routes_to_registry() {
+            let _g = guard();
+            arm("t.m", Policy::ErrorTimes(1));
+            assert!(matches!(crate::fail_eval!("t.m"), Some(Injected::Error(_))));
+            assert_eq!(crate::fail_eval!("t.m"), None);
+            reset();
+        }
+    }
+}
+
+/// With the feature off the macro must expand to a plain `None` — this
+/// compile-and-run check is part of the zero-overhead guarantee verified by
+/// `scripts/check.sh --chaos`.
+#[cfg(all(test, not(feature = "failpoints")))]
+mod off_tests {
+    #[test]
+    fn fail_eval_is_compile_time_none() {
+        let injected = crate::fail_eval!("core.store.wal.append");
+        assert!(injected.is_none());
+    }
+}

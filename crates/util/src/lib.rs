@@ -14,9 +14,13 @@
 //!   by parallel agents.
 //! * [`retry`] — bounded exponential backoff used by agents talking to
 //!   Chronos Control.
+//! * [`fail`] — deterministic fault injection: named failpoint sites armed
+//!   from tests or `CHRONOS_FAILPOINTS`, compiled out unless the
+//!   `failpoints` feature is enabled.
 
 pub mod clock;
 pub mod encode;
+pub mod fail;
 pub mod id;
 pub mod pool;
 pub mod retry;

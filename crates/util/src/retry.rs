@@ -5,6 +5,8 @@
 //! through a retry policy instead of failing the whole evaluation on a
 //! transient network hiccup.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// An exponential backoff policy with an attempt cap.
@@ -18,6 +20,11 @@ pub struct Backoff {
     pub max_delay: Duration,
     /// Maximum number of attempts (including the first).
     pub max_attempts: u32,
+    /// When set, [`run`](Backoff::run) sleeps per a decorrelated-jitter
+    /// schedule seeded here instead of the fixed exponential ladder, so a
+    /// fleet of agents retrying the same outage doesn't synchronize into a
+    /// thundering herd. `None` (the default) keeps delays exact.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for Backoff {
@@ -27,6 +34,7 @@ impl Default for Backoff {
             factor_percent: 200,
             max_delay: Duration::from_secs(5),
             max_attempts: 5,
+            jitter_seed: None,
         }
     }
 }
@@ -35,6 +43,14 @@ impl Backoff {
     /// A policy that never retries.
     pub fn none() -> Self {
         Backoff { max_attempts: 1, ..Backoff::default() }
+    }
+
+    /// Switches `run` to decorrelated jitter (`delay = uniform(initial,
+    /// min(max_delay, 3 * previous))`) drawn from a PRNG seeded with `seed`.
+    /// The schedule is deterministic for a given seed, which tests rely on.
+    pub fn with_decorrelated_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
     }
 
     /// The delay to apply after attempt `attempt` (0-based) fails, or `None`
@@ -54,25 +70,73 @@ impl Backoff {
         Some(delay.min(self.max_delay))
     }
 
+    /// The decorrelated-jitter delay sequence for `seed` (AWS-style:
+    /// each delay is uniform in `[initial, min(max_delay, 3 * previous)]`).
+    /// The iterator is unbounded; `run` cuts it off at `max_attempts`.
+    pub fn jittered_delays(&self, seed: u64) -> JitterSchedule {
+        JitterSchedule {
+            rng: StdRng::seed_from_u64(seed),
+            initial_ms: (self.initial.as_millis() as u64).max(1),
+            cap_ms: (self.max_delay.as_millis() as u64).max(1),
+            prev_ms: (self.initial.as_millis() as u64).max(1),
+        }
+    }
+
     /// Runs `op` until it succeeds or the policy is exhausted, sleeping
     /// between attempts. Returns the last error on exhaustion.
     pub fn run<T, E, F>(&self, mut op: F) -> Result<T, E>
     where
         F: FnMut(u32) -> Result<T, E>,
     {
+        let mut jitter = self.jitter_seed.map(|seed| self.jittered_delays(seed));
         let mut attempt = 0;
         loop {
             match op(attempt) {
                 Ok(v) => return Ok(v),
-                Err(e) => match self.delay_after(attempt) {
-                    Some(delay) => {
-                        std::thread::sleep(delay);
-                        attempt += 1;
+                Err(e) => {
+                    let delay = if attempt + 1 >= self.max_attempts {
+                        None
+                    } else {
+                        match &mut jitter {
+                            Some(schedule) => schedule.next(),
+                            None => self.delay_after(attempt),
+                        }
+                    };
+                    match delay {
+                        Some(delay) => {
+                            std::thread::sleep(delay);
+                            attempt += 1;
+                        }
+                        None => return Err(e),
                     }
-                    None => return Err(e),
-                },
+                }
             }
         }
+    }
+}
+
+/// Iterator over a decorrelated-jitter delay sequence
+/// (see [`Backoff::jittered_delays`]).
+#[derive(Debug, Clone)]
+pub struct JitterSchedule {
+    rng: StdRng,
+    initial_ms: u64,
+    cap_ms: u64,
+    prev_ms: u64,
+}
+
+impl Iterator for JitterSchedule {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        let hi = self.prev_ms.saturating_mul(3).clamp(self.initial_ms, self.cap_ms);
+        let ms = if hi <= self.initial_ms {
+            self.initial_ms
+        } else {
+            self.rng.gen_range(self.initial_ms..=hi)
+        };
+        self.prev_ms = ms;
+        Some(Duration::from_millis(ms))
     }
 }
 
@@ -87,6 +151,7 @@ mod tests {
             factor_percent: 200,
             max_delay: Duration::from_millis(350),
             max_attempts: 10,
+            ..Backoff::default()
         };
         assert_eq!(b.delay_after(0), Some(Duration::from_millis(100)));
         assert_eq!(b.delay_after(1), Some(Duration::from_millis(200)));
@@ -114,6 +179,7 @@ mod tests {
             factor_percent: 100,
             max_delay: Duration::from_millis(1),
             max_attempts: 5,
+            ..Backoff::default()
         };
         let mut calls = 0;
         let result: Result<u32, &str> = b.run(|attempt| {
@@ -135,8 +201,58 @@ mod tests {
             factor_percent: 100,
             max_delay: Duration::from_millis(1),
             max_attempts: 3,
+            ..Backoff::default()
         };
         let result: Result<(), u32> = b.run(Err);
         assert_eq!(result, Err(2));
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_and_bounded() {
+        let b = Backoff {
+            initial: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            ..Backoff::default()
+        };
+        let a: Vec<Duration> = b.jittered_delays(42).take(50).collect();
+        let again: Vec<Duration> = b.jittered_delays(42).take(50).collect();
+        assert_eq!(a, again);
+        for d in &a {
+            assert!(*d >= b.initial && *d <= b.max_delay, "delay out of bounds: {d:?}");
+        }
+        let other: Vec<Duration> = b.jittered_delays(43).take(50).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn jittered_delays_decorrelate_from_the_ladder() {
+        // With a wide range, 20 draws all landing exactly on the exponential
+        // ladder would mean the jitter isn't jittering.
+        let b = Backoff {
+            initial: Duration::from_millis(10),
+            max_delay: Duration::from_millis(10_000),
+            ..Backoff::default()
+        };
+        let ladder: Vec<Option<Duration>> = (0..20).map(|i| b.delay_after(i)).collect();
+        let jittered: Vec<Option<Duration>> = b.jittered_delays(7).take(20).map(Some).collect();
+        assert_ne!(ladder, jittered);
+    }
+
+    #[test]
+    fn run_with_jitter_still_counts_attempts() {
+        let b = Backoff {
+            initial: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            max_attempts: 4,
+            ..Backoff::default()
+        }
+        .with_decorrelated_jitter(9);
+        let mut calls = 0;
+        let result: Result<(), u32> = b.run(|attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(result, Err(3));
+        assert_eq!(calls, 4);
     }
 }

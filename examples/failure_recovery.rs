@@ -104,7 +104,7 @@ fn main() {
     let evaluation = control.create_evaluation(experiment.id).unwrap();
     let job_id = evaluation.job_ids[0];
     // Claim the job and never heartbeat again (the "agent" vanished).
-    let claimed = control.claim_next_job(deployment.id).unwrap().unwrap();
+    let claimed = control.claim_next_job(deployment.id, None).unwrap().unwrap();
     assert_eq!(claimed.id, job_id);
     println!("job claimed by a doomed agent; waiting for the sweeper...");
     let deadline = std::time::Instant::now() + Duration::from_secs(10);

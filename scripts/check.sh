@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, the full test suite, and a quick
 # benchmark smoke run.
-# Usage: scripts/check.sh [--bench]
+# Usage: scripts/check.sh [--bench] [--chaos]
 #   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json
 #            at full scale via the E8 and E9 experiments
+#   --chaos  also run the fault-injection suites (torture + chaos) with
+#            --features failpoints under a fixed seed, and verify that the
+#            default release build carries zero failpoint overhead
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +30,28 @@ test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
 rm -rf "$smoke_dir"
 
-if [[ "${1:-}" == "--bench" ]]; then
-    echo "== full-scale E8 + E9 -> BENCH_*.json =="
-    ./target/release/chronos-bench E8 E9 --json
-fi
+for arg in "$@"; do
+    case "$arg" in
+    --bench)
+        echo "== full-scale E8 + E9 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 --json
+        ;;
+    --chaos)
+        echo "== fault injection: torture + chaos (--features failpoints) =="
+        # A fixed seed keeps the fault schedule reproducible in CI; any
+        # failure message carries the seed for local replay.
+        CHRONOS_FAIL_SEED="${CHRONOS_FAIL_SEED:-20260807}" \
+            cargo test -q --offline --features failpoints --test torture --test chaos
+        echo "== zero-overhead check: default build has no failpoint sites =="
+        # The fail_eval! macro compiles to a constant None without the
+        # feature, so site-name literals must not survive in the release
+        # binary. Finding one means a call site bypassed the macro gate.
+        if grep -qa "core.store.wal.append" "$bench_bin"; then
+            echo "FAIL: failpoint site strings found in release binary" >&2
+            exit 1
+        fi
+        ;;
+    esac
+done
 
 echo "OK"

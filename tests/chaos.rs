@@ -1,0 +1,287 @@
+#![cfg(feature = "failpoints")]
+
+//! End-to-end chaos: Chronos Control + two agents over real sockets with a
+//! seeded fault schedule — dropped responses after the server committed,
+//! failing heartbeats, failing claims, failing uploads — and still every job
+//! must finish **exactly once**: no job lost, no duplicate result.
+//!
+//! Fault draws are deterministic per (seed, site, hit index); a failure
+//! reproduces with `CHRONOS_FAIL_SEED=<seed> cargo test --features
+//! failpoints --test chaos`.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use chronos::agent::{AgentConfig, ChronosAgent, ControlClient, DocstoreClient};
+use chronos::core::model::JobState;
+use chronos::core::scheduler::SchedulerConfig;
+use chronos::json::{arr, obj, Value};
+use chronos::util::fail::{self, Policy};
+use chronos::util::Id;
+use common::TestEnv;
+
+/// The failpoint registry is process-global; chaos scenarios must not
+/// overlap. Resets and re-seeds the registry for replay.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    fail::reset();
+    fail::set_seed(chaos_seed());
+    guard
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHRONOS_FAIL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xBADCAB)
+}
+
+fn replay() -> String {
+    format!("(replay with CHRONOS_FAIL_SEED={})", fail::seed())
+}
+
+/// An agent driver that keeps going through injected failures: a failed
+/// claim or a failed run is exactly what the storm is supposed to produce;
+/// the scheduler's reschedule + fencing machinery has to absorb it. Runs
+/// until the main thread signals that every job settled (or the deadline).
+fn storm_agent(
+    base_url: &str,
+    token: &str,
+    deployment: Id,
+    done: &AtomicBool,
+    deadline: Instant,
+) -> u64 {
+    let client = ControlClient::new(base_url, token);
+    let mut config = AgentConfig::new(deployment);
+    config.heartbeat_interval = Duration::from_millis(100);
+    config.poll_interval = Duration::from_millis(25);
+    let mut agent = ChronosAgent::new(client, config, DocstoreClient::new());
+    let mut completed = 0u64;
+    while !done.load(Ordering::SeqCst) && Instant::now() < deadline {
+        match agent.run_once() {
+            Ok(true) => completed += 1,
+            // Empty queue, or an injected transport/claim/upload failure:
+            // either way, keep polling until the storm is over.
+            Ok(false) | Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    completed
+}
+
+#[test]
+fn chaos_storm_every_job_finishes_exactly_once() {
+    let _guard = serial();
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 1500,
+        max_attempts: 12,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    // Both engines × {1, 2} threads — 4 jobs, small workloads so every job
+    // runs in well under a heartbeat timeout.
+    let (_project_id, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "engine" => obj! {"sweep" => "all"},
+            "threads" => obj! {"sweep" => arr![1, 2]},
+            "record_count" => 60,
+            "operation_count" => 120,
+        },
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job_count =
+        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap() as usize;
+    assert_eq!(job_count, 4);
+
+    // The storm: every boundary of the claim → run → upload protocol
+    // misbehaves with seeded probabilities. `http.server.drop_response`
+    // is the nasty one — the server *has committed* and only the response
+    // dies, which is exactly what the idempotency keys exist for.
+    fail::arm("agent.claim", Policy::ErrorProb(0.10));
+    fail::arm("agent.heartbeat", Policy::ErrorProb(0.15));
+    fail::arm("agent.upload", Policy::ErrorProb(0.15));
+    fail::arm("http.server.drop_response", Policy::ErrorProb(0.05));
+
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let base_url = env.server.base_url();
+    let token = env.admin_token.clone();
+    let deployment = Id::parse_base32(&deployment_id).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let agents: Vec<_> = (0..2)
+        .map(|i| {
+            let base_url = base_url.clone();
+            let token = token.clone();
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name(format!("chaos-agent-{i}"))
+                .spawn(move || storm_agent(&base_url, &token, deployment, &done, deadline))
+                .unwrap()
+        })
+        .collect();
+
+    // Watch from the control side (in-process, unaffected by the armed
+    // failpoints) and stop the agents once every job settled exactly once.
+    let control = env.server.control();
+    let evaluation = Id::parse_base32(&evaluation_id).unwrap();
+    while Instant::now() < deadline {
+        let jobs = control.list_jobs(evaluation).unwrap();
+        if jobs.iter().all(|j| j.state == JobState::Finished)
+            && control.count_results() == job_count
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    done.store(true, Ordering::SeqCst);
+    let completed: u64 = agents.into_iter().map(|h| h.join().unwrap()).sum();
+
+    fail::reset();
+
+    // Exactly-once: every job finished, and the number of stored results is
+    // exactly the number of jobs — reclaims, retried uploads and dropped
+    // responses must all have deduplicated.
+    let jobs = control.list_jobs(evaluation).unwrap();
+    assert_eq!(jobs.len(), job_count, "jobs vanished {}", replay());
+    for job in &jobs {
+        assert_eq!(
+            job.state,
+            JobState::Finished,
+            "job {} ended {:?} after {} attempts (agents completed {completed}) {}",
+            job.id,
+            job.state,
+            job.attempts,
+            replay()
+        );
+        assert!(job.result_id.is_some(), "finished job {} has no result {}", job.id, replay());
+    }
+    assert_eq!(
+        control.count_results(),
+        job_count,
+        "stored results != jobs: duplicate or lost uploads {}",
+        replay()
+    );
+    // `completed` counts runs the *agents* saw succeed; a job whose final
+    // upload response was eaten still finishes server-side, so this can
+    // undercount — it must never overcount past one success per attempt.
+    assert!(completed >= 1, "no agent ever completed a job {}", replay());
+}
+
+#[test]
+fn zombie_agent_is_fenced_after_lease_loss() {
+    let _guard = serial();
+    // Short leases + a 500 ms sweeper: a claimed job with no heartbeats is
+    // rescheduled in well under two seconds.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 400,
+        max_attempts: 3,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 40, "operation_count" => 40});
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+
+    let deployment = Id::parse_base32(&deployment_id).unwrap();
+    let zombie = ControlClient::new(&env.server.base_url(), &env.admin_token);
+    let job = zombie.claim(deployment).unwrap().expect("a job to claim");
+    assert_eq!(job.attempts, 1);
+
+    // The zombie goes silent. The sweeper must take the lease away.
+    let start = Instant::now();
+    loop {
+        let state = env.server.control().get_job(job.id).unwrap();
+        if state.state == JobState::Scheduled && state.attempts == 1 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "sweeper never rescheduled the stalled job (state {:?}) {}",
+            state.state,
+            replay()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // A healthy agent picks the job up (attempt 2) and finishes it.
+    let healthy = ControlClient::new(&env.server.base_url(), &env.admin_token);
+    let reclaimed = healthy.claim(deployment).unwrap().expect("rescheduled job");
+    assert_eq!(reclaimed.id, job.id, "different job came back {}", replay());
+    assert_eq!(reclaimed.attempts, 2);
+    healthy.heartbeat(reclaimed.id, 50, reclaimed.attempts).unwrap();
+    let result_id = healthy
+        .upload_result(reclaimed.id, reclaimed.attempts, &obj! {"ops" => 40}, b"zip")
+        .unwrap();
+
+    // The zombie wakes up and tries to act on its stale lease: every write
+    // is fenced with the distinct lease-lost error, not a generic conflict.
+    match zombie.heartbeat(job.id, 99, job.attempts) {
+        Err(chronos::agent::AgentError::LeaseLost { .. }) => {}
+        other => panic!("zombie heartbeat not fenced: {other:?} {}", replay()),
+    }
+    match zombie.upload_result(job.id, job.attempts, &obj! {"ops" => 40}, b"zombie") {
+        Err(chronos::agent::AgentError::LeaseLost { .. }) => {}
+        other => panic!("zombie upload not fenced: {other:?} {}", replay()),
+    }
+    match zombie.fail(job.id, job.attempts, "zombie dying") {
+        Err(chronos::agent::AgentError::LeaseLost { .. }) => {}
+        other => panic!("zombie fail not fenced: {other:?} {}", replay()),
+    }
+
+    // The healthy result is the only one, and it is untouched.
+    let control = env.server.control();
+    assert_eq!(control.count_results(), 1, "zombie write landed {}", replay());
+    let job = control.get_job(job.id).unwrap();
+    assert_eq!(job.state, JobState::Finished);
+    assert_eq!(job.result_id, Some(result_id));
+}
+
+#[test]
+fn dropped_response_after_commit_is_deduplicated() {
+    let _guard = serial();
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 40, "operation_count" => 40});
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+
+    let deployment = Id::parse_base32(&deployment_id).unwrap();
+    let client = ControlClient::new(&env.server.base_url(), &env.admin_token);
+    let job = client.claim(deployment).unwrap().expect("a job to claim");
+
+    // The server commits the result, then the connection dies before the
+    // response leaves. The client's retry carries the same idempotency key,
+    // so the second processing must return the already-stored result
+    // instead of storing a duplicate.
+    fail::arm("http.server.drop_response", Policy::ErrorTimes(1));
+    let result_id = client
+        .upload_result(job.id, job.attempts, &obj! {"ops" => 40}, b"zip")
+        .unwrap_or_else(|e| panic!("retried upload failed: {e} {}", replay()));
+    fail::disarm("http.server.drop_response");
+
+    let control = env.server.control();
+    assert_eq!(control.count_results(), 1, "duplicate result stored {}", replay());
+    let job = control.get_job(job.id).unwrap();
+    assert_eq!(job.state, JobState::Finished);
+    assert_eq!(job.result_id, Some(result_id), "retry returned a different result {}", replay());
+
+    // Same story for the claim: a lost claim response + retried claim with
+    // the same key must not strand a second job in Running.
+    fail::arm("http.server.drop_response", Policy::ErrorTimes(1));
+    let second = client.claim(deployment).unwrap();
+    fail::disarm("http.server.drop_response");
+    if let Some(second) = second {
+        let running = control
+            .list_jobs(second.evaluation_id)
+            .unwrap()
+            .into_iter()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        assert_eq!(running, 1, "retried claim left extra jobs running {}", replay());
+    }
+}

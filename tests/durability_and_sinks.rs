@@ -78,9 +78,9 @@ fn control_restart_mid_evaluation_resumes_from_the_log() {
         let evaluation = control.create_evaluation(experiment.id).unwrap();
         evaluation_id = evaluation.id;
         // Finish job 1 via the core API; claim job 2 and "crash".
-        let job1 = control.claim_next_job(deployment.id).unwrap().unwrap();
-        control.finish_job(job1.id, obj! {"ok" => 1}, vec![]).unwrap();
-        control.claim_next_job(deployment.id).unwrap().unwrap();
+        let job1 = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        control.finish_job(job1.id, obj! {"ok" => 1}, vec![], None, None).unwrap();
+        control.claim_next_job(deployment.id, None).unwrap().unwrap();
         // Server (and the claimed job's agent) die here.
     }
 
@@ -102,8 +102,8 @@ fn control_restart_mid_evaluation_resumes_from_the_log() {
             std::thread::sleep(Duration::from_millis(100));
         }
         // A healthy agent finishes the evaluation.
-        let job = control.claim_next_job(deployment_id).unwrap().unwrap();
-        control.finish_job(job.id, obj! {"ok" => 2}, vec![]).unwrap();
+        let job = control.claim_next_job(deployment_id, None).unwrap().unwrap();
+        control.finish_job(job.id, obj! {"ok" => 2}, vec![], None, None).unwrap();
         let status = control.evaluation_status(evaluation_id).unwrap();
         assert_eq!(status.finished, 2);
         assert!(status.is_settled());

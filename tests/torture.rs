@@ -1,0 +1,307 @@
+#![cfg(feature = "failpoints")]
+
+//! Crash-recovery torture: kill the storage layers at every write-path
+//! failpoint (clean errors and torn writes at varied offsets), "crash" by
+//! dropping the handle, reopen, and verify the durability contract:
+//!
+//! * every **acknowledged** write (the call returned `Ok`) survives recovery;
+//! * a **failed** write may or may not survive (the fault can land after the
+//!   bytes hit the disk) — but recovery itself must always succeed, and the
+//!   store must keep working after reopen;
+//! * torn tails are discarded, never misread as corruption.
+//!
+//! Every assertion message carries the active fault seed so a failure
+//! reproduces with `CHRONOS_FAIL_SEED=<seed> cargo test --features
+//! failpoints --test torture`.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use chronos::core::store::MetadataStore;
+use chronos::json::obj;
+use chronos::util::fail::{self, Policy};
+use minidoc::{Database, DbConfig, EngineKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The failpoint registry is process-global; torture scenarios must not
+/// overlap. The guard also resets the registry and seeds it for replay.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    fail::reset();
+    fail::set_seed(torture_seed());
+    guard
+}
+
+/// Seed for this run: `CHRONOS_FAIL_SEED` if set, a fixed default otherwise.
+fn torture_seed() -> u64 {
+    std::env::var("CHRONOS_FAIL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xC0FFEE)
+}
+
+/// Context string appended to every assertion.
+fn replay() -> String {
+    format!("(replay with CHRONOS_FAIL_SEED={})", fail::seed())
+}
+
+// ---------------------------------------------------------------------------
+// Chronos Control metadata store
+// ---------------------------------------------------------------------------
+
+/// One crash round against the metadata store: write until the armed fault
+/// fires, then reopen and check that exactly the acknowledged documents are
+/// recovered (the in-flight one may legitimately be on either side).
+fn store_crash_round(dir: &std::path::Path, round: u64, policy: Policy) {
+    let path = dir.join("control.log");
+    let store = MetadataStore::open(&path).unwrap_or_else(|e| {
+        panic!("round {round}: reopen before faulting failed: {e} {}", replay())
+    });
+
+    // Everything already acknowledged in earlier rounds must still be there.
+    let prior: BTreeSet<String> = store.ids("job").into_iter().collect();
+
+    fail::arm("core.store.wal.append", policy.clone());
+    let mut acked: Vec<String> = Vec::new();
+    let mut failed: Option<String> = None;
+    for i in 0..64u64 {
+        let id = format!("r{round}-doc{i}");
+        match store.put("job", &id, obj! {"round" => round as i64, "i" => i as i64}) {
+            Ok(()) => acked.push(id),
+            Err(_) => {
+                failed = Some(id);
+                break; // the store is poisoned: crash here
+            }
+        }
+    }
+    fail::disarm("core.store.wal.append");
+    assert!(
+        failed.is_some(),
+        "round {round}: fault {policy:?} never fired in 64 writes {}",
+        replay()
+    );
+    drop(store); // crash
+
+    let recovered = MetadataStore::open(&path)
+        .unwrap_or_else(|e| panic!("round {round}: recovery failed: {e} {}", replay()));
+    let ids: BTreeSet<String> = recovered.ids("job").into_iter().collect();
+    for id in prior.iter().chain(acked.iter()) {
+        assert!(
+            ids.contains(id),
+            "round {round}: acknowledged doc {id} lost in crash recovery {}",
+            replay()
+        );
+    }
+    // The unacknowledged write may have made it or not; anything else is a
+    // bug. (ids = prior ∪ acked ∪ maybe{failed})
+    let mut allowed: BTreeSet<String> = prior;
+    allowed.extend(acked.iter().cloned());
+    if let Some(f) = &failed {
+        allowed.insert(f.clone());
+    }
+    for id in &ids {
+        assert!(
+            allowed.contains(id),
+            "round {round}: recovery resurrected unknown doc {id} {}",
+            replay()
+        );
+    }
+    // The store must be fully usable after recovery.
+    recovered
+        .put("job", &format!("r{round}-post"), obj! {"post" => true})
+        .unwrap_or_else(|e| panic!("round {round}: write after recovery failed: {e} {}", replay()));
+}
+
+#[test]
+fn store_survives_wal_append_crashes() {
+    let _guard = serial();
+    let dir = tempdir("torture-store-append");
+    let mut rng = StdRng::seed_from_u64(torture_seed());
+
+    let mut round = 0u64;
+    // Clean injected errors at random points in the write stream.
+    for _ in 0..3 {
+        let after = rng.gen_range(1..20u64);
+        store_crash_round(&dir, round, Policy::ErrorEveryNth(after));
+        round += 1;
+    }
+    // Torn writes at varied keep offsets: 0 (nothing persisted), 1 byte,
+    // mid-record, and some seed-driven cuts. A put frame is tens of bytes,
+    // so large keeps also exercise the keep > len clamp.
+    for keep in [0usize, 1, 7, rng.gen_range(2..40), rng.gen_range(2..40), 4096] {
+        store_crash_round(&dir, round, Policy::Torn { keep });
+        round += 1;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_survives_compaction_faults() {
+    let _guard = serial();
+    let dir = tempdir("torture-store-compact");
+    let path = dir.join("control.log");
+
+    let store = MetadataStore::open(&path).unwrap();
+    for i in 0..50 {
+        let id = format!("doc{}", i % 10); // overwrites → garbage to compact
+        store.put("job", &id, obj! {"i" => i as i64}).unwrap();
+    }
+    let live = store.live_docs();
+
+    for site in ["core.store.compact.sync", "core.store.compact.rename", "core.store.dir.fsync"] {
+        fail::arm(site, Policy::ErrorTimes(1));
+        let err = store.compact();
+        fail::disarm(site);
+        assert!(err.is_err(), "compaction with faulted {site} should fail {}", replay());
+        // A failed compaction must not lose anything, with or without a
+        // crash in between.
+        assert_eq!(store.live_docs(), live, "{site}: live docs changed {}", replay());
+        drop(MetadataStore::open(&path).unwrap_or_else(|e| {
+            panic!("{site}: recovery after failed compaction broke: {e} {}", replay())
+        }));
+    }
+
+    // With faults cleared the same store compacts fine and the result is
+    // durable across reopen.
+    store.compact().expect("clean compaction");
+    drop(store);
+    let recovered = MetadataStore::open(&path).unwrap();
+    assert_eq!(recovered.live_docs(), live, "docs lost across compaction + reopen {}", replay());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// minidoc engines
+// ---------------------------------------------------------------------------
+
+/// One crash round against a durable minidoc database.
+fn minidoc_crash_round(kind: EngineKind, dir: &std::path::Path, round: u64, policy: Policy) {
+    let site = match kind {
+        EngineKind::WiredTiger => "minidoc.wal.append",
+        EngineKind::MmapV1 => "minidoc.extent.write",
+    };
+    let db = Database::open(DbConfig::at_dir(kind, dir))
+        .unwrap_or_else(|e| panic!("{kind} round {round}: open failed: {e} {}", replay()));
+    let coll = db.collection("bench");
+    let prior: BTreeSet<String> =
+        coll.scan("", usize::MAX).unwrap().into_iter().map(|(k, _)| k).collect();
+
+    fail::arm(site, policy.clone());
+    let mut acked: Vec<String> = Vec::new();
+    let mut failed: Option<String> = None;
+    for i in 0..64u64 {
+        let key = format!("r{round}-k{i}");
+        match coll.insert(&key, &obj! {"round" => round as i64, "i" => i as i64}) {
+            Ok(()) => acked.push(key),
+            Err(_) => {
+                failed = Some(key);
+                break; // crash at the first injected fault
+            }
+        }
+    }
+    fail::disarm(site);
+    assert!(failed.is_some(), "{kind} round {round}: fault {policy:?} never fired {}", replay());
+    drop(coll);
+    drop(db); // crash: no checkpoint, recovery comes from the journal
+
+    let db = Database::open(DbConfig::at_dir(kind, dir))
+        .unwrap_or_else(|e| panic!("{kind} round {round}: recovery failed: {e} {}", replay()));
+    let coll = db.collection("bench");
+    let keys: BTreeSet<String> =
+        coll.scan("", usize::MAX).unwrap().into_iter().map(|(k, _)| k).collect();
+    for key in prior.iter().chain(acked.iter()) {
+        assert!(
+            keys.contains(key),
+            "{kind} round {round}: acknowledged doc {key} lost {}",
+            replay()
+        );
+    }
+    let mut allowed = prior;
+    allowed.extend(acked.iter().cloned());
+    if let Some(f) = &failed {
+        allowed.insert(f.clone());
+    }
+    for key in &keys {
+        assert!(
+            allowed.contains(key),
+            "{kind} round {round}: recovery resurrected unknown doc {key} {}",
+            replay()
+        );
+    }
+    coll.insert(&format!("r{round}-post"), &obj! {"post" => true}).unwrap_or_else(|e| {
+        panic!("{kind} round {round}: write after recovery failed: {e} {}", replay())
+    });
+    db.checkpoint().unwrap_or_else(|e| {
+        panic!("{kind} round {round}: checkpoint after recovery failed: {e} {}", replay())
+    });
+}
+
+#[test]
+fn wiredtiger_survives_wal_crashes() {
+    let _guard = serial();
+    let dir = tempdir("torture-wt");
+    let mut rng = StdRng::seed_from_u64(torture_seed() ^ 0x77);
+    let mut round = 0u64;
+    for _ in 0..2 {
+        let after = rng.gen_range(1..16u64);
+        minidoc_crash_round(EngineKind::WiredTiger, &dir, round, Policy::ErrorEveryNth(after));
+        round += 1;
+    }
+    for keep in [0usize, 3, rng.gen_range(1..64), 4096] {
+        minidoc_crash_round(EngineKind::WiredTiger, &dir, round, Policy::Torn { keep });
+        round += 1;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mmapv1_survives_write_faults() {
+    let _guard = serial();
+    let dir = tempdir("torture-mm");
+    let mut rng = StdRng::seed_from_u64(torture_seed() ^ 0x99);
+    for round in 0..3 {
+        let after = rng.gen_range(1..16u64);
+        minidoc_crash_round(EngineKind::MmapV1, &dir, round, Policy::ErrorEveryNth(after));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_rename_failure_preserves_journal() {
+    let _guard = serial();
+    for kind in [EngineKind::WiredTiger, EngineKind::MmapV1] {
+        let dir = tempdir(&format!("torture-ckpt-{kind}"));
+        let db = Database::open(DbConfig::at_dir(kind, &dir)).unwrap();
+        let coll = db.collection("bench");
+        for i in 0..20 {
+            coll.insert(&format!("k{i}"), &obj! {"i" => i as i64}).unwrap();
+        }
+
+        fail::arm("minidoc.checkpoint.rename", Policy::ErrorTimes(1));
+        let err = db.checkpoint();
+        fail::disarm("minidoc.checkpoint.rename");
+        assert!(err.is_err(), "{kind}: checkpoint with faulted rename should fail {}", replay());
+        drop(coll);
+        drop(db); // crash before any successful checkpoint
+
+        // The journal was not truncated, so recovery still sees every write.
+        let db = Database::open(DbConfig::at_dir(kind, &dir)).unwrap_or_else(|e| {
+            panic!("{kind}: recovery after failed checkpoint broke: {e} {}", replay())
+        });
+        let coll = db.collection("bench");
+        let n = coll.scan("", usize::MAX).unwrap().len();
+        assert_eq!(n, 20, "{kind}: writes lost after failed checkpoint {}", replay());
+        // And a clean checkpoint still works afterwards.
+        db.checkpoint().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chronos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
