@@ -1,12 +1,21 @@
 //! The REST client agents use to talk to Chronos Control.
+//!
+//! Every body this client sends or reads goes through the typed wire
+//! contract in [`chronos_api`]: requests are encoded from DTOs, responses
+//! and error envelopes are decoded through them — no field names appear
+//! here.
 
 use std::fmt;
 
+use chronos_api::{v1, ErrorEnvelope, WireDecode, WireEncode};
 use chronos_http::{Client, Status};
-use chronos_json::{obj, Value};
-use chronos_util::encode::base64_encode;
+use chronos_json::Value;
 use chronos_util::retry::Backoff;
 use chronos_util::Id;
+
+/// A job claimed from Chronos Control (the agent-side projection of the
+/// claim response, defined by the wire contract).
+pub use chronos_api::v1::ClaimedJob;
 
 /// Errors the agent surfaces.
 #[derive(Debug)]
@@ -43,19 +52,6 @@ impl fmt::Display for AgentError {
 
 impl std::error::Error for AgentError {}
 
-/// A job claimed from Chronos Control.
-#[derive(Debug, Clone)]
-pub struct ClaimedJob {
-    /// Job id.
-    pub id: Id,
-    /// The evaluation the job belongs to.
-    pub evaluation_id: Id,
-    /// Concrete parameters for this point of the evaluation space.
-    pub parameters: Value,
-    /// Which attempt this is (1-based).
-    pub attempts: u32,
-}
-
 /// A thin, retrying client over the v1 agent endpoints.
 pub struct ControlClient {
     http: Client,
@@ -69,7 +65,7 @@ impl ControlClient {
     /// (obtain one via [`ControlClient::login`]).
     pub fn new(base_url: &str, token: &str) -> Self {
         let http = Client::new(base_url);
-        http.set_default_header(crate::runtime::TOKEN_HEADER, token);
+        http.set_default_header(chronos_api::TOKEN_HEADER, token);
         // Per-client jitter seed: a fleet of agents that lose the server at
         // the same moment must not retry in lockstep.
         let jitter_seed = Id::generate().as_u128() as u64;
@@ -90,18 +86,20 @@ impl ControlClient {
     /// Logs in and returns a ready client.
     pub fn login(base_url: &str, username: &str, password: &str) -> Result<Self, AgentError> {
         let http = Client::new(base_url);
+        let request =
+            v1::LoginRequest { username: username.to_string(), password: password.to_string() };
         let response = http
-            .post_json("/api/v1/login", &obj! {"username" => username, "password" => password})
+            .post_json("/api/v1/login", &request.to_value())
             .map_err(|e| AgentError::Transport(e.to_string()))?;
         if !response.status.is_success() {
             return Err(api_error(&response));
         }
-        let token = response
+        let login = response
             .json_body()
             .ok()
-            .and_then(|v| v.get("token").and_then(Value::as_str).map(str::to_string))
+            .and_then(|v| v1::LoginResponse::decode(&v).ok())
             .ok_or_else(|| AgentError::Transport("login response missing token".into()))?;
-        Ok(Self::new(base_url, &token))
+        Ok(Self::new(base_url, &login.token))
     }
 
     /// Overrides the retry policy.
@@ -126,14 +124,9 @@ impl ControlClient {
         if let Some(inj) = chronos_util::fail_eval!("agent.claim") {
             return Err(AgentError::Transport(injected_msg(inj, "claim")));
         }
-        let claim_key = Id::generate().to_base32();
-        let response = self.post(
-            "/api/v1/agent/claim",
-            &obj! {
-                "deployment_id" => deployment_id.to_base32(),
-                "idempotency_key" => claim_key.as_str(),
-            },
-        )?;
+        let request =
+            v1::ClaimRequest { deployment_id, idempotency_key: Some(Id::generate().to_base32()) };
+        let response = self.post("/api/v1/agent/claim", &request.to_value())?;
         if response.status == Status::NO_CONTENT {
             return Ok(None);
         }
@@ -143,14 +136,9 @@ impl ControlClient {
         let doc = response
             .json_body()
             .map_err(|e| AgentError::Transport(format!("bad claim body: {e}")))?;
-        let id = parse_id(&doc, "id")?;
-        let evaluation_id = parse_id(&doc, "evaluation_id")?;
-        Ok(Some(ClaimedJob {
-            id,
-            evaluation_id,
-            parameters: doc.get("parameters").cloned().unwrap_or(Value::Null),
-            attempts: doc.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
-        }))
+        let job = ClaimedJob::decode(&doc)
+            .map_err(|e| AgentError::Transport(format!("bad claim body: {e}")))?;
+        Ok(Some(job))
     }
 
     /// Sends a heartbeat with the current progress. `attempt` is the fencing
@@ -160,9 +148,10 @@ impl ControlClient {
         if let Some(inj) = chronos_util::fail_eval!("agent.heartbeat") {
             return Err(AgentError::Transport(injected_msg(inj, "heartbeat")));
         }
+        let request = v1::HeartbeatRequest { progress: Some(progress), attempt: Some(attempt) };
         let response = self.post(
             &format!("/api/v1/agent/jobs/{}/heartbeat", job.to_base32()),
-            &obj! {"progress" => progress as i64, "attempt" => attempt as i64},
+            &request.to_value(),
         )?;
         ok_or_api(&response)
     }
@@ -203,19 +192,11 @@ impl ControlClient {
             return Err(AgentError::Transport(injected_msg(inj, "upload_result")));
         }
         let result_key = Id::generate().to_base32();
-        // Frame the body by hand so the (possibly large) measurement
-        // document streams straight into the request bytes instead of
-        // being deep-cloned into a wrapper object first.
+        // The contract's streaming frame: the (possibly large) measurement
+        // document goes straight into the request bytes instead of being
+        // deep-cloned into a wrapper object first.
         let mut body = String::with_capacity(archive.len() / 3 * 4 + 64);
-        body.push_str("{\"data\":");
-        data.write_into(&mut body);
-        body.push_str(",\"archive_b64\":");
-        chronos_json::write_string(&mut body, &base64_encode(archive));
-        body.push_str(",\"attempt\":");
-        body.push_str(&attempt.to_string());
-        body.push_str(",\"idempotency_key\":");
-        chronos_json::write_string(&mut body, &result_key);
-        body.push('}');
+        v1::write_upload_frame(&mut body, data, archive, Some(attempt), Some(&result_key));
         let path = format!("/api/v1/agent/jobs/{}/result", job.to_base32());
         let response = self
             .backoff
@@ -227,15 +208,16 @@ impl ControlClient {
         let doc = response
             .json_body()
             .map_err(|e| AgentError::Transport(format!("bad result body: {e}")))?;
-        parse_id(&doc, "id")
+        let result = v1::JobResultDto::decode(&doc)
+            .map_err(|e| AgentError::Transport(format!("bad result body: {e}")))?;
+        Ok(result.id)
     }
 
     /// Reports the job as failed. `attempt` fences stale failure reports.
     pub fn fail(&self, job: Id, attempt: u32, reason: &str) -> Result<(), AgentError> {
-        let response = self.post(
-            &format!("/api/v1/agent/jobs/{}/fail", job.to_base32()),
-            &obj! {"reason" => reason, "attempt" => attempt as i64},
-        )?;
+        let request = v1::FailRequest { reason: reason.to_string(), attempt: Some(attempt) };
+        let response = self
+            .post(&format!("/api/v1/agent/jobs/{}/fail", job.to_base32()), &request.to_value())?;
         ok_or_api(&response)
     }
 }
@@ -259,24 +241,17 @@ fn ok_or_api(response: &chronos_http::Response) -> Result<(), AgentError> {
     }
 }
 
+/// Decodes a non-2xx response through the typed error envelope.
 fn api_error(response: &chronos_http::Response) -> AgentError {
-    let body = response.json_body().ok();
-    let message = body
-        .as_ref()
-        .and_then(|v| v.pointer("/error/message").and_then(Value::as_str).map(str::to_string))
-        .unwrap_or_else(|| String::from_utf8_lossy(&response.body).into_owned());
-    let code = body.as_ref().and_then(|v| v.pointer("/error/code").and_then(Value::as_str));
-    if response.status.0 == 409 && code == Some("lease_lost") {
+    let envelope = response.json_body().ok().and_then(|v| ErrorEnvelope::decode(&v).ok());
+    let message = match &envelope {
+        Some(e) if !e.message.is_empty() => e.message.clone(),
+        _ => String::from_utf8_lossy(&response.body).into_owned(),
+    };
+    if response.status.0 == 409 && envelope.as_ref().is_some_and(ErrorEnvelope::is_lease_lost) {
         return AgentError::LeaseLost { message };
     }
     AgentError::Api { status: response.status.0, message }
-}
-
-fn parse_id(doc: &Value, field: &str) -> Result<Id, AgentError> {
-    doc.get(field)
-        .and_then(Value::as_str)
-        .and_then(|s| Id::parse_base32(s).ok())
-        .ok_or_else(|| AgentError::Transport(format!("response missing id field {field:?}")))
 }
 
 #[cfg(test)]
@@ -301,5 +276,22 @@ mod tests {
         assert!(err.to_string().starts_with("lease lost:"));
         let err = AgentError::NonIdempotent { call: "append_log", message: "broken pipe".into() };
         assert!(err.to_string().contains("not retried"));
+    }
+
+    #[test]
+    fn api_error_distinguishes_lease_loss_from_conflict() {
+        let conflict = chronos_http::Response::json_status(
+            Status::CONFLICT,
+            &ErrorEnvelope::status(409, "already claimed").to_value(),
+        );
+        assert!(matches!(api_error(&conflict), AgentError::Api { status: 409, .. }));
+        let fenced = chronos_http::Response::json_status(
+            Status::CONFLICT,
+            &ErrorEnvelope::lease_lost("stale attempt 1").to_value(),
+        );
+        match api_error(&fenced) {
+            AgentError::LeaseLost { message } => assert_eq!(message, "stale attempt 1"),
+            other => panic!("expected LeaseLost, got: {other}"),
+        }
     }
 }

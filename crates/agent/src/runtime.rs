@@ -13,9 +13,6 @@ use crate::context::JobContext;
 use crate::control_client::{AgentError, ClaimedJob, ControlClient};
 use crate::sink::{HttpSink, ResultSink};
 
-/// Header carrying the session token (shared with the server crate).
-pub(crate) const TOKEN_HEADER: &str = "X-Chronos-Token";
-
 /// The interface an evaluation client implements (paper §2.2: "the agent
 /// library already provides an interface with all necessary methods to be
 /// implemented" — "this usually narrows down to calling already existing

@@ -1,0 +1,124 @@
+//! Encode/decode codec over `chronos-json`.
+//!
+//! [`WireEncode`] renders a DTO through the allocation-free `write_into`
+//! path; [`WireDecode`] parses one out of a `Value` with typed errors.
+//! The field accessors at the bottom are the **only** place in the
+//! workspace where raw `Value::get`/`as_str` pointer-chasing on wire
+//! documents is allowed — handlers and clients go through DTOs.
+
+use crate::error::WireError;
+use chronos_json::Value;
+use chronos_util::Id;
+
+/// A type with a canonical wire representation.
+pub trait WireEncode {
+    /// Builds the wire `Value` (maps are written in insertion order, so the
+    /// implementation fixes the canonical key order).
+    fn to_value(&self) -> Value;
+
+    /// Appends the compact JSON encoding to `out` without intermediate
+    /// allocations beyond the `Value` tree itself.
+    fn encode_into(&self, out: &mut String) {
+        self.to_value().write_into(out);
+    }
+
+    /// The compact JSON encoding as a string.
+    fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// A type that can be decoded from its wire representation.
+pub trait WireDecode: Sized {
+    /// Decodes from a parsed `Value`.
+    fn decode(value: &Value) -> Result<Self, WireError>;
+
+    /// Parses and decodes a raw JSON body.
+    fn decode_slice(bytes: &[u8]) -> Result<Self, WireError> {
+        let text = String::from_utf8_lossy(bytes);
+        let value =
+            chronos_json::parse(&text).map_err(|e| WireError::MalformedBody(e.to_string()))?;
+        Self::decode(&value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field accessors (the one sanctioned pointer-chasing site)
+// ---------------------------------------------------------------------------
+
+/// Required string field.
+pub fn req_str(value: &Value, field: &'static str) -> Result<String, WireError> {
+    value.get(field).and_then(Value::as_str).map(str::to_string).ok_or(WireError::Missing(field))
+}
+
+/// Optional string field (`null` and absent are both `None`).
+pub fn opt_str(value: &Value, field: &str) -> Option<String> {
+    value.get(field).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Optional string field with a default for absent/`null`.
+pub fn str_or(value: &Value, field: &str, default: &str) -> String {
+    opt_str(value, field).unwrap_or_else(|| default.to_string())
+}
+
+/// Required id field; absent renders `missing field`, unparsable `bad <field>`.
+pub fn req_id(value: &Value, field: &'static str) -> Result<Id, WireError> {
+    let raw = value.get(field).and_then(Value::as_str).ok_or(WireError::Missing(field))?;
+    Id::parse_base32(raw).map_err(|_| WireError::BadField(field))
+}
+
+/// Optional id field; present-but-unparsable is an error.
+pub fn opt_id(value: &Value, field: &'static str) -> Result<Option<Id>, WireError> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => {
+            let raw = v.as_str().ok_or(WireError::BadField(field))?;
+            Id::parse_base32(raw).map(Some).map_err(|_| WireError::BadField(field))
+        }
+    }
+}
+
+/// Required boolean field; renders `missing boolean "<field>"` when absent
+/// or ill-typed (legacy phrasing for `POST /deployments/:id/active`).
+pub fn req_bool(value: &Value, field: &'static str) -> Result<bool, WireError> {
+    value
+        .get(field)
+        .and_then(Value::as_bool)
+        .ok_or(WireError::MissingTyped { field, ty: "boolean" })
+}
+
+/// Optional unsigned integer; present-but-ill-typed is an error.
+pub fn opt_u64(value: &Value, field: &'static str) -> Result<Option<u64>, WireError> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or(WireError::OutOfRange { field, expected: "an unsigned integer" }),
+    }
+}
+
+/// Optional unsigned integer clamped to `u64` with absent/`null` → `None`,
+/// silently ignoring ill-typed values (legacy-lenient decode paths only).
+pub fn lenient_u64(value: &Value, field: &str) -> Option<u64> {
+    value.get(field).and_then(Value::as_u64)
+}
+
+/// Optional field cloned out of the document.
+pub fn opt_value(value: &Value, field: &str) -> Option<Value> {
+    value.get(field).filter(|v| !v.is_null()).cloned()
+}
+
+/// Required field cloned out of the document.
+pub fn req_value(value: &Value, field: &'static str) -> Result<Value, WireError> {
+    value.get(field).filter(|v| !v.is_null()).cloned().ok_or(WireError::Missing(field))
+}
+
+/// Optional array field, cloned element-wise; absent/`null` → empty.
+pub fn arr_or_empty(value: &Value, field: &str) -> Vec<Value> {
+    value.get(field).and_then(Value::as_array).cloned().unwrap_or_default()
+}

@@ -1,0 +1,124 @@
+//! The typed error envelope: `{"error":{"code":...,"message":...}}`.
+//!
+//! Two code shapes exist on the wire today and both are preserved:
+//! numeric codes mirror the HTTP status (`{"code":400,...}`), while named
+//! codes carry protocol-level conditions (`{"code":"lease_lost",...}`).
+
+use crate::codec::{WireDecode, WireEncode};
+use crate::error::WireError;
+use chronos_json::{obj, Value};
+
+/// The named code a control server sends when a fencing check rejects a
+/// stale agent (HTTP 409 + this code distinguishes lease loss from ordinary
+/// conflicts).
+pub const CODE_LEASE_LOST: &str = "lease_lost";
+
+/// An error code: the HTTP status echoed numerically, or a named
+/// protocol condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCode {
+    Status(u16),
+    Named(String),
+}
+
+/// The standard error body for every non-2xx JSON response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorEnvelope {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ErrorEnvelope {
+    /// An envelope echoing the HTTP status numerically.
+    pub fn status(status: u16, message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Status(status), message: message.into() }
+    }
+
+    /// An envelope with a named protocol code.
+    pub fn named(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Named(code.into()), message: message.into() }
+    }
+
+    /// The lease-lost envelope (sent with HTTP 409).
+    pub fn lease_lost(message: impl Into<String>) -> Self {
+        Self::named(CODE_LEASE_LOST, message)
+    }
+
+    /// Whether this envelope signals a lost lease / stale fencing token.
+    pub fn is_lease_lost(&self) -> bool {
+        matches!(&self.code, ErrorCode::Named(code) if code == CODE_LEASE_LOST)
+    }
+}
+
+impl WireEncode for ErrorEnvelope {
+    fn to_value(&self) -> Value {
+        let code = match &self.code {
+            ErrorCode::Status(status) => Value::from(*status as i64),
+            ErrorCode::Named(name) => Value::from(name.clone()),
+        };
+        obj! {
+            "error" => obj! {
+                "code" => code,
+                "message" => self.message.clone(),
+            },
+        }
+    }
+}
+
+impl WireDecode for ErrorEnvelope {
+    /// Tolerant decode: accepts either code shape; a missing message falls
+    /// back to the empty string so transports can still surface the status.
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let inner = value.get("error").ok_or(WireError::Missing("error"))?;
+        let code = match inner.get("code") {
+            Some(v) => {
+                if let Some(n) = v.as_u64() {
+                    ErrorCode::Status(n.min(u16::MAX as u64) as u16)
+                } else if let Some(s) = v.as_str() {
+                    ErrorCode::Named(s.to_string())
+                } else {
+                    return Err(WireError::BadField("error.code"));
+                }
+            }
+            None => return Err(WireError::Missing("error.code")),
+        };
+        let message = crate::codec::str_or(inner, "message", "");
+        Ok(Self { code, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_code_encodes_as_integer() {
+        let body = ErrorEnvelope::status(400, "missing field \"username\"").encode();
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":400,\"message\":\"missing field \\\"username\\\"\"}}"
+        );
+    }
+
+    #[test]
+    fn named_code_encodes_as_string() {
+        let body = ErrorEnvelope::lease_lost("heartbeat rejected: stale attempt").encode();
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"lease_lost\",\"message\":\"heartbeat rejected: stale attempt\"}}"
+        );
+    }
+
+    #[test]
+    fn decode_roundtrips_both_shapes() {
+        for envelope in [
+            ErrorEnvelope::status(404, "no such job"),
+            ErrorEnvelope::lease_lost("claim rejected: job re-scheduled"),
+        ] {
+            let decoded = ErrorEnvelope::decode(&envelope.to_value()).unwrap();
+            assert_eq!(decoded, envelope);
+        }
+        assert!(ErrorEnvelope::lease_lost("x").is_lease_lost());
+        assert!(!ErrorEnvelope::status(409, "x").is_lease_lost());
+    }
+}

@@ -1,0 +1,69 @@
+//! Typed decode/validation errors for the wire contract.
+//!
+//! Every variant renders to the exact message the hand-rolled handlers used
+//! to produce, so tightening the contract does not shift the error bodies
+//! that existing clients (and the golden fixtures) observe.
+
+use std::fmt;
+
+/// A request failed to decode or validate against the typed contract.
+///
+/// All variants map to HTTP 400; the server wraps the rendered message in
+/// the standard [`crate::ErrorEnvelope`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A required field is absent (or present but `null`).
+    Missing(&'static str),
+    /// A required field of a specific JSON type is absent or ill-typed.
+    /// Renders as `missing <ty> "<field>"` (legacy handler phrasing).
+    MissingTyped { field: &'static str, ty: &'static str },
+    /// A field is present but its value does not parse (ids, base64, enums).
+    /// Renders as `bad <field>` (legacy handler phrasing).
+    BadField(&'static str),
+    /// A field is present but has the wrong JSON type or is out of range.
+    OutOfRange { field: &'static str, expected: &'static str },
+    /// A path parameter did not parse as an id. Renders `invalid :<name> id`.
+    BadPathParam(&'static str),
+    /// The request body is not valid JSON.
+    MalformedBody(String),
+    /// Free-form validation failure (message rendered verbatim).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Missing(field) => write!(f, "missing field {field:?}"),
+            WireError::MissingTyped { field, ty } => write!(f, "missing {ty} {field:?}"),
+            WireError::BadField(field) => write!(f, "bad {field}"),
+            WireError::OutOfRange { field, expected } => {
+                write!(f, "field {field:?} must be {expected}")
+            }
+            WireError::BadPathParam(name) => write!(f, "invalid :{name} id"),
+            WireError::MalformedBody(detail) => write!(f, "bad JSON body: {detail}"),
+            WireError::Invalid(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_match_legacy_handler_strings() {
+        assert_eq!(WireError::Missing("username").to_string(), "missing field \"username\"");
+        assert_eq!(
+            WireError::MissingTyped { field: "active", ty: "boolean" }.to_string(),
+            "missing boolean \"active\""
+        );
+        assert_eq!(WireError::BadField("deployment_id").to_string(), "bad deployment_id");
+        assert_eq!(WireError::BadPathParam("job_id").to_string(), "invalid :job_id id");
+        assert_eq!(
+            WireError::MalformedBody("unexpected end of input".into()).to_string(),
+            "bad JSON body: unexpected end of input"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Typed extractors bridging `chronos-http` requests to the contract.
+//!
+//! Handlers call these instead of poking at `Value` trees: a missing or
+//! ill-typed required field surfaces as a [`WireError`] (HTTP 400) rather
+//! than a silent default.
+
+use crate::codec::WireDecode;
+use crate::error::WireError;
+use chronos_http::{Request, RouteParams};
+use chronos_json::Value;
+use chronos_util::Id;
+
+/// Parses the request body as JSON (no shape validation).
+pub fn json_body(req: &Request) -> Result<Value, WireError> {
+    req.json().map_err(|e| WireError::MalformedBody(e.to_string()))
+}
+
+/// Parses and decodes the request body as a typed DTO.
+pub fn body<T: WireDecode>(req: &Request) -> Result<T, WireError> {
+    T::decode(&json_body(req)?)
+}
+
+/// A path parameter that must be an entity id.
+pub fn path_id(params: &RouteParams, name: &'static str) -> Result<Id, WireError> {
+    params.get(name).and_then(|s| Id::parse_base32(s).ok()).ok_or(WireError::BadPathParam(name))
+}
+
+/// A raw string path parameter (always present once the route matched).
+pub fn path_str<'p>(params: &'p RouteParams, name: &'static str) -> Result<&'p str, WireError> {
+    params.get(name).ok_or(WireError::BadPathParam(name))
+}

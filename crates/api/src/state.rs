@@ -1,0 +1,73 @@
+//! Job lifecycle states — the wire vocabulary shared by server, agent and
+//! scheduler. Transition *legality* lives in `chronos-core::lifecycle`; this
+//! module only owns the names that cross the wire.
+
+/// Job lifecycle states (paper §2.1): "scheduled, running, finished,
+/// aborted, or failed. Jobs which are in the status scheduled or running can
+/// be aborted and those which are failed can be re-scheduled."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Waiting for an agent.
+    Scheduled,
+    /// Claimed by an agent and executing.
+    Running,
+    /// Completed with a result.
+    Finished,
+    /// Cancelled by a user.
+    Aborted,
+    /// Crashed, errored, or timed out.
+    Failed,
+}
+
+impl JobState {
+    /// Every state, in the canonical roll-up order used by status bodies.
+    pub const ALL: [JobState; 5] = [
+        JobState::Scheduled,
+        JobState::Running,
+        JobState::Finished,
+        JobState::Aborted,
+        JobState::Failed,
+    ];
+
+    /// The lowercase state name used in the API.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Scheduled => "scheduled",
+            JobState::Running => "running",
+            JobState::Finished => "finished",
+            JobState::Aborted => "aborted",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses the lowercase state name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "scheduled" => Some(JobState::Scheduled),
+            "running" => Some(JobState::Running),
+            "finished" => Some(JobState::Finished),
+            "aborted" => Some(JobState::Aborted),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for state in JobState::ALL {
+            assert_eq!(JobState::parse(state.as_str()), Some(state));
+        }
+        assert_eq!(JobState::parse("limbo"), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! The frozen v0 status surface — kept byte-identical for legacy
+//! integrations (unauthenticated read-only job/evaluation status).
+
+use crate::codec::{self, WireDecode, WireEncode};
+use crate::error::WireError;
+use crate::state::JobState;
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+
+/// `GET /api/v0/jobs/:id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStatusV0 {
+    pub id: Id,
+    pub status: JobState,
+    pub percent: u8,
+    pub evaluation: Id,
+}
+
+impl WireEncode for JobStatusV0 {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "status" => self.status.as_str(),
+            "percent" => self.percent as i64,
+            "evaluation" => self.evaluation.to_base32(),
+        }
+    }
+}
+
+impl WireDecode for JobStatusV0 {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let status_name = codec::req_str(value, "status")?;
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            status: JobState::parse(&status_name).ok_or(WireError::BadField("status"))?,
+            percent: codec::lenient_u64(value, "percent").unwrap_or(0).min(100) as u8,
+            evaluation: codec::req_id(value, "evaluation")?,
+        })
+    }
+}
+
+/// `GET /api/v0/evaluations/:id/status` — the open/closed split the
+/// original Chronos exposed to build bots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvaluationStatusV0 {
+    /// Jobs still scheduled or running.
+    pub open: usize,
+    /// Jobs in a settled state.
+    pub closed: usize,
+    pub id: Id,
+    pub percent: u8,
+}
+
+impl WireEncode for EvaluationStatusV0 {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "open" => self.open,
+            "closed" => self.closed,
+            "percent" => self.percent as i64,
+        }
+    }
+}
+
+impl WireDecode for EvaluationStatusV0 {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            open: codec::lenient_u64(value, "open").unwrap_or(0) as usize,
+            closed: codec::lenient_u64(value, "closed").unwrap_or(0) as usize,
+            percent: codec::lenient_u64(value, "percent").unwrap_or(0).min(100) as u8,
+        })
+    }
+}

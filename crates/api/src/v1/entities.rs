@@ -1,0 +1,487 @@
+//! Entity (response) DTOs — the documents the control server serves.
+//!
+//! Key order in every `to_value` is the frozen wire contract; the golden
+//! fixtures under `tests/fixtures/api_v1/` pin it byte-for-byte. Decoders
+//! are lenient (absent optionals default) because clients and the store
+//! have always read these documents tolerantly.
+
+use crate::codec::{self, WireDecode, WireEncode};
+use crate::error::WireError;
+use crate::state::JobState;
+use chronos_json::{obj, Map, Value};
+use chronos_util::Id;
+
+fn req_u32(raw: u64) -> u32 {
+    u32::try_from(raw).unwrap_or(u32::MAX)
+}
+
+/// A system under evaluation. `parameters` and `charts` carry the
+/// definition documents verbatim (`ParamDef`/`ChartSpec` own their shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDto {
+    pub id: Id,
+    pub name: String,
+    pub description: String,
+    pub parameters: Vec<Value>,
+    pub charts: Vec<Value>,
+    pub created_at: u64,
+}
+
+impl WireEncode for SystemDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "parameters" => Value::Array(self.parameters.clone()),
+            "charts" => Value::Array(self.charts.clone()),
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for SystemDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            name: codec::req_str(value, "name")?,
+            description: codec::str_or(value, "description", ""),
+            parameters: codec::arr_or_empty(value, "parameters"),
+            charts: codec::arr_or_empty(value, "charts"),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// A deployment of a system in a concrete environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentDto {
+    pub id: Id,
+    pub system_id: Id,
+    pub environment: String,
+    pub version: String,
+    pub active: bool,
+    pub created_at: u64,
+}
+
+impl WireEncode for DeploymentDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "system_id" => self.system_id.to_base32(),
+            "environment" => self.environment.as_str(),
+            "version" => self.version.as_str(),
+            "active" => self.active,
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for DeploymentDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            system_id: codec::req_id(value, "system_id")?,
+            environment: codec::str_or(value, "environment", ""),
+            version: codec::str_or(value, "version", ""),
+            active: value.get("active").and_then(Value::as_bool).unwrap_or(true),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// A project: the collaboration and access-control unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectDto {
+    pub id: Id,
+    pub name: String,
+    pub description: String,
+    pub members: Vec<Id>,
+    pub archived: bool,
+    pub created_at: u64,
+}
+
+impl WireEncode for ProjectDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "members" => Value::Array(self.members.iter().map(|m| Value::from(m.to_base32())).collect()),
+            "archived" => self.archived,
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for ProjectDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let members = value
+            .get("members")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|m| {
+                        m.as_str()
+                            .and_then(|s| Id::parse_base32(s).ok())
+                            .ok_or_else(|| WireError::Invalid("bad member id".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            name: codec::req_str(value, "name")?,
+            description: codec::str_or(value, "description", ""),
+            members,
+            archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// An experiment: a parameterised evaluation template. `parameters` holds
+/// the `ParamAssignments` document verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentDto {
+    pub id: Id,
+    pub project_id: Id,
+    pub system_id: Id,
+    pub name: String,
+    pub description: String,
+    pub parameters: Value,
+    pub archived: bool,
+    pub created_at: u64,
+}
+
+impl WireEncode for ExperimentDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "project_id" => self.project_id.to_base32(),
+            "system_id" => self.system_id.to_base32(),
+            "name" => self.name.as_str(),
+            "description" => self.description.as_str(),
+            "parameters" => self.parameters.clone(),
+            "archived" => self.archived,
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for ExperimentDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            project_id: codec::req_id(value, "project_id")?,
+            system_id: codec::req_id(value, "system_id")?,
+            name: codec::req_str(value, "name")?,
+            description: codec::str_or(value, "description", ""),
+            parameters: value
+                .get("parameters")
+                .cloned()
+                .unwrap_or_else(|| Value::Object(Map::new())),
+            archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// An evaluation: one execution of an experiment, fanned out into jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluationDto {
+    pub id: Id,
+    pub experiment_id: Id,
+    pub job_ids: Vec<Id>,
+    pub swept_params: Vec<String>,
+    pub created_at: u64,
+}
+
+impl EvaluationDto {
+    /// The `GET /evaluations/:id` detail body: the evaluation document with
+    /// the status roll-up appended under `"status"`.
+    pub fn detail_value(&self, status: &EvaluationStatusDto) -> Value {
+        let mut doc = self.to_value();
+        doc.set("status", status.to_value());
+        doc
+    }
+}
+
+impl WireEncode for EvaluationDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "experiment_id" => self.experiment_id.to_base32(),
+            "job_ids" => Value::Array(self.job_ids.iter().map(|j| Value::from(j.to_base32())).collect()),
+            "swept_params" => Value::Array(self.swept_params.iter().map(|s| Value::from(s.as_str())).collect()),
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for EvaluationDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let job_ids = value
+            .get("job_ids")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|j| {
+                        j.as_str()
+                            .and_then(|s| Id::parse_base32(s).ok())
+                            .ok_or_else(|| WireError::Invalid("bad job id".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            experiment_id: codec::req_id(value, "experiment_id")?,
+            job_ids,
+            swept_params: value
+                .get("swept_params")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().filter_map(Value::as_str).map(str::to_string).collect())
+                .unwrap_or_default(),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// The per-evaluation job-state roll-up. All fields (including the derived
+/// `total`/`settled`/`progress_percent`) are carried verbatim so the
+/// encode stays a pure projection of what the scheduler computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvaluationStatusDto {
+    pub scheduled: usize,
+    pub running: usize,
+    pub finished: usize,
+    pub aborted: usize,
+    pub failed: usize,
+    pub total: usize,
+    pub settled: bool,
+    pub progress_percent: u8,
+}
+
+impl WireEncode for EvaluationStatusDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "scheduled" => self.scheduled,
+            "running" => self.running,
+            "finished" => self.finished,
+            "aborted" => self.aborted,
+            "failed" => self.failed,
+            "total" => self.total,
+            "settled" => self.settled,
+            "progress_percent" => self.progress_percent as i64,
+        }
+    }
+}
+
+impl WireDecode for EvaluationStatusDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let count = |field: &str| codec::lenient_u64(value, field).unwrap_or(0) as usize;
+        Ok(Self {
+            scheduled: count("scheduled"),
+            running: count("running"),
+            finished: count("finished"),
+            aborted: count("aborted"),
+            failed: count("failed"),
+            total: count("total"),
+            settled: value.get("settled").and_then(Value::as_bool).unwrap_or(false),
+            progress_percent: codec::lenient_u64(value, "progress_percent").unwrap_or(0).min(100)
+                as u8,
+        })
+    }
+}
+
+/// One timeline entry on a job. The human-readable `time` field is derived
+/// from `at` on encode and ignored on decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEventDto {
+    pub at: u64,
+    pub kind: String,
+    pub message: String,
+}
+
+impl WireEncode for TimelineEventDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "at" => self.at,
+            "time" => chronos_util::clock::format_timestamp(self.at),
+            "kind" => self.kind.as_str(),
+            "message" => self.message.as_str(),
+        }
+    }
+}
+
+impl WireDecode for TimelineEventDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            at: codec::lenient_u64(value, "at").unwrap_or(0),
+            kind: codec::str_or(value, "kind", ""),
+            message: codec::str_or(value, "message", ""),
+        })
+    }
+}
+
+/// A job document: the full wire view served by `GET /jobs/:id`, claim
+/// responses, and (trimmed via [`JobDto::summary_value`]) job listings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDto {
+    pub id: Id,
+    pub evaluation_id: Id,
+    pub system_id: Id,
+    pub parameters: Value,
+    pub state: JobState,
+    pub deployment_id: Option<Id>,
+    pub progress: u8,
+    pub log: String,
+    pub timeline: Vec<TimelineEventDto>,
+    pub heartbeat_at: Option<u64>,
+    pub attempts: u32,
+    pub claim_key: Option<String>,
+    pub result_key: Option<String>,
+    pub result_id: Option<Id>,
+    pub failure: Option<String>,
+    pub created_at: u64,
+}
+
+impl JobDto {
+    fn build_value(&self, with_details: bool) -> Value {
+        let mut map = Map::new();
+        map.insert("id".into(), Value::from(self.id.to_base32()));
+        map.insert("evaluation_id".into(), Value::from(self.evaluation_id.to_base32()));
+        map.insert("system_id".into(), Value::from(self.system_id.to_base32()));
+        map.insert("parameters".into(), self.parameters.clone());
+        map.insert("state".into(), Value::from(self.state.as_str()));
+        map.insert("deployment_id".into(), Value::from(self.deployment_id.map(|d| d.to_base32())));
+        map.insert("progress".into(), Value::from(self.progress as i64));
+        if with_details {
+            map.insert("log".into(), Value::from(self.log.as_str()));
+            map.insert(
+                "timeline".into(),
+                Value::Array(self.timeline.iter().map(TimelineEventDto::to_value).collect()),
+            );
+        }
+        map.insert("heartbeat_at".into(), Value::from(self.heartbeat_at));
+        map.insert("attempts".into(), Value::from(self.attempts as i64));
+        map.insert("claim_key".into(), Value::from(self.claim_key.clone()));
+        map.insert("result_key".into(), Value::from(self.result_key.clone()));
+        map.insert("result_id".into(), Value::from(self.result_id.map(|r| r.to_base32())));
+        map.insert("failure".into(), Value::from(self.failure.clone()));
+        map.insert("created_at".into(), Value::from(self.created_at));
+        Value::Object(map)
+    }
+
+    /// The listing view: same document with the potentially large `log`
+    /// and `timeline` omitted.
+    pub fn summary_value(&self) -> Value {
+        self.build_value(false)
+    }
+}
+
+impl WireEncode for JobDto {
+    fn to_value(&self) -> Value {
+        self.build_value(true)
+    }
+}
+
+impl WireDecode for JobDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let state_name = codec::req_str(value, "state")?;
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            evaluation_id: codec::req_id(value, "evaluation_id")?,
+            system_id: codec::req_id(value, "system_id")?,
+            parameters: value.get("parameters").cloned().unwrap_or(Value::Null),
+            state: JobState::parse(&state_name).ok_or(WireError::BadField("state"))?,
+            deployment_id: codec::opt_id(value, "deployment_id")?,
+            progress: codec::lenient_u64(value, "progress").unwrap_or(0).min(100) as u8,
+            log: codec::str_or(value, "log", ""),
+            timeline: value
+                .get("timeline")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().map(TimelineEventDto::decode).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            heartbeat_at: codec::lenient_u64(value, "heartbeat_at"),
+            attempts: req_u32(codec::lenient_u64(value, "attempts").unwrap_or(1)),
+            claim_key: codec::opt_str(value, "claim_key"),
+            result_key: codec::opt_str(value, "result_key"),
+            result_id: codec::opt_id(value, "result_id")?,
+            failure: codec::opt_str(value, "failure"),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// A job result document. The archive itself is served from the dedicated
+/// `archive.zip` endpoint; the document only reports its size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResultDto {
+    pub id: Id,
+    pub job_id: Id,
+    pub data: Value,
+    pub archive_bytes: usize,
+    pub created_at: u64,
+}
+
+impl WireEncode for JobResultDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "job_id" => self.job_id.to_base32(),
+            "data" => self.data.clone(),
+            "archive_bytes" => self.archive_bytes,
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for JobResultDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            job_id: codec::req_id(value, "job_id")?,
+            data: value.get("data").cloned().unwrap_or(Value::Null),
+            archive_bytes: codec::lenient_u64(value, "archive_bytes").unwrap_or(0) as usize,
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}
+
+/// A served user document — the password hash never crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserPublic {
+    pub id: Id,
+    pub username: String,
+    pub role: String,
+    pub created_at: u64,
+}
+
+impl WireEncode for UserPublic {
+    fn to_value(&self) -> Value {
+        obj! {
+            "id" => self.id.to_base32(),
+            "username" => self.username.as_str(),
+            "role" => self.role.as_str(),
+            "created_at" => self.created_at,
+        }
+    }
+}
+
+impl WireDecode for UserPublic {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            id: codec::req_id(value, "id")?,
+            username: codec::req_str(value, "username")?,
+            role: codec::str_or(value, "role", "member"),
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+        })
+    }
+}

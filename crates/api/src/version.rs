@@ -1,0 +1,135 @@
+//! Explicit API version negotiation.
+//!
+//! The control server mounts every supported version side by side
+//! (`/api/v0/...`, `/api/v1/...`); `/api` advertises the set so clients can
+//! negotiate instead of hard-coding a prefix.
+
+use crate::codec::{WireDecode, WireEncode};
+use crate::error::WireError;
+use chronos_json::{obj, Value};
+
+/// The service identifier advertised by version and index bodies.
+pub const SERVICE_NAME: &str = "chronos-control";
+
+/// A supported API version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ApiVersion {
+    /// Frozen read-only status surface kept for legacy integrations.
+    V0,
+    /// The current, fully typed contract.
+    V1,
+}
+
+impl ApiVersion {
+    /// Every version the server still mounts, oldest first.
+    pub const SUPPORTED: [ApiVersion; 2] = [ApiVersion::V0, ApiVersion::V1];
+
+    /// The version new clients should use.
+    pub const CURRENT: ApiVersion = ApiVersion::V1;
+
+    /// The path segment (`v0`, `v1`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ApiVersion::V0 => "v0",
+            ApiVersion::V1 => "v1",
+        }
+    }
+
+    /// Parses a version token (`"v1"`).
+    pub fn parse(s: &str) -> Option<ApiVersion> {
+        match s {
+            "v0" => Some(ApiVersion::V0),
+            "v1" => Some(ApiVersion::V1),
+            _ => None,
+        }
+    }
+
+    /// Resolves a requested version token, defaulting to [`Self::CURRENT`]
+    /// when the client does not ask for one.
+    pub fn negotiate(requested: Option<&str>) -> Result<ApiVersion, WireError> {
+        match requested {
+            None => Ok(Self::CURRENT),
+            Some(token) => Self::parse(token)
+                .ok_or_else(|| WireError::Invalid(format!("unsupported API version {token:?}"))),
+        }
+    }
+
+    /// The mount prefix for this version (`/api/v1`).
+    pub fn prefix(&self) -> String {
+        format!("/api/{}", self.as_str())
+    }
+
+    /// The body served by this version's `/version` endpoint.
+    pub fn version_body(&self) -> Value {
+        match self {
+            ApiVersion::V0 => obj! { "version" => "v0", "deprecated" => true },
+            ApiVersion::V1 => obj! { "version" => "v1", "service" => SERVICE_NAME },
+        }
+    }
+}
+
+impl std::fmt::Display for ApiVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The `/api` discovery document: the service plus every mounted version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiIndex {
+    pub versions: Vec<ApiVersion>,
+    pub current: ApiVersion,
+}
+
+impl Default for ApiIndex {
+    fn default() -> Self {
+        Self { versions: ApiVersion::SUPPORTED.to_vec(), current: ApiVersion::CURRENT }
+    }
+}
+
+impl WireEncode for ApiIndex {
+    fn to_value(&self) -> Value {
+        let versions: Vec<Value> = self.versions.iter().map(|v| Value::from(v.as_str())).collect();
+        obj! {
+            "service" => SERVICE_NAME,
+            "versions" => versions,
+            "current" => self.current.as_str(),
+        }
+    }
+}
+
+impl WireDecode for ApiIndex {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let versions = value
+            .get("versions")
+            .and_then(Value::as_array)
+            .ok_or(WireError::Missing("versions"))?
+            .iter()
+            .map(|v| v.as_str().and_then(ApiVersion::parse).ok_or(WireError::BadField("versions")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let current =
+            value.get("current").and_then(Value::as_str).ok_or(WireError::Missing("current"))?;
+        let current = ApiVersion::parse(current).ok_or(WireError::BadField("current"))?;
+        Ok(Self { versions, current })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_defaults_to_current_and_rejects_unknown() {
+        assert_eq!(ApiVersion::negotiate(None).unwrap(), ApiVersion::V1);
+        assert_eq!(ApiVersion::negotiate(Some("v0")).unwrap(), ApiVersion::V0);
+        assert!(ApiVersion::negotiate(Some("v7")).is_err());
+    }
+
+    #[test]
+    fn prefixes_and_tokens_roundtrip() {
+        for v in ApiVersion::SUPPORTED {
+            assert_eq!(ApiVersion::parse(v.as_str()), Some(v));
+            assert!(v.prefix().ends_with(v.as_str()));
+        }
+    }
+}

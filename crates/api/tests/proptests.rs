@@ -1,0 +1,329 @@
+//! Property tests for the wire contract: `decode(encode(dto)) == dto` for
+//! every DTO, through the full text path (DTO → `write_into` bytes →
+//! `parse` → decode). Key-order stability is covered separately by the
+//! golden fixtures in the workspace root; these tests pin the *information*
+//! content of the codec, including boundary ids, attempts and progress.
+
+use chronos_api::v1;
+use chronos_api::{v0, ApiIndex, ErrorEnvelope, JobState, WireDecode, WireEncode};
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+use proptest::prelude::*;
+
+/// Full-fidelity roundtrip through the encoded bytes *and* the value tree.
+fn roundtrip<T>(dto: &T)
+where
+    T: WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+{
+    let decoded = T::decode_slice(dto.encode().as_bytes()).expect("decode of own encoding");
+    assert_eq!(&decoded, dto, "text roundtrip must be lossless");
+    let decoded = T::decode(&dto.to_value()).expect("decode of own value tree");
+    assert_eq!(&decoded, dto, "tree roundtrip must be lossless");
+}
+
+/// `Option<V>` strategy (the shim has no `prop::option`).
+fn opt<S: Strategy>(s: S) -> impl Strategy<Value = Option<S::Value>> {
+    (any::<bool>(), s).prop_map(|(some, v)| if some { Some(v) } else { None })
+}
+
+/// Ids over the full 128-bit space; `any::<u64>()` is edge-biased, so both
+/// halves regularly hit 0 and `u64::MAX`.
+fn arb_id() -> impl Strategy<Value = Id> {
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(hi, lo)| Id::from_u128(((hi as u128) << 64) | lo as u128))
+}
+
+fn arb_u32() -> impl Strategy<Value = u32> {
+    any::<u64>().prop_map(|x| x as u32)
+}
+
+/// Timestamps stay within `i64` so they encode as JSON integers.
+fn arb_ts() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|x| x >> 1)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.:/-]{0,12}"
+}
+
+fn arb_state() -> impl Strategy<Value = JobState> {
+    prop_oneof![
+        Just(JobState::Scheduled),
+        Just(JobState::Running),
+        Just(JobState::Finished),
+        Just(JobState::Aborted),
+        Just(JobState::Failed),
+    ]
+}
+
+/// Small parameter/measurement documents (ints only: float formatting is
+/// pinned by fixtures, not roundtripped here).
+fn arb_doc() -> impl Strategy<Value = Value> {
+    prop::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..4).prop_map(|pairs| {
+        let mut doc = obj! {};
+        for (k, v) in pairs {
+            doc.set(&k, v);
+        }
+        doc
+    })
+}
+
+proptest! {
+    #[test]
+    fn auth_and_user_dtos(
+        username in arb_text(), password in arb_text(), token in arb_text(),
+        (revoked, role) in (any::<bool>(), opt(arb_text())),
+        id in arb_id(), created_at in arb_ts(),
+    ) {
+        roundtrip(&v1::LoginRequest { username: username.clone(), password: password.clone() });
+        roundtrip(&v1::LoginResponse { token });
+        roundtrip(&v1::LogoutResponse { revoked });
+        roundtrip(&v1::CreateUserRequest { username: username.clone(), password, role });
+        roundtrip(&v1::UserPublic {
+            id,
+            username,
+            role: "viewer".into(),
+            created_at,
+        });
+    }
+
+    #[test]
+    fn management_request_dtos(
+        (environment, version, active) in (arb_text(), arb_text(), any::<bool>()),
+        (name, description, build) in (arb_text(), arb_text(), arb_text()),
+        (user_id, system_id, experiment_id) in (arb_id(), arb_id(), arb_id()),
+        parameters in opt(arb_doc()),
+    ) {
+        roundtrip(&v1::CreateDeploymentRequest { environment, version });
+        roundtrip(&v1::SetDeploymentActiveRequest { active });
+        roundtrip(&v1::CreateProjectRequest { name: name.clone(), description: description.clone() });
+        roundtrip(&v1::AddProjectMemberRequest { user_id });
+        roundtrip(&v1::CreateExperimentRequest { name, system_id, description, parameters });
+        roundtrip(&v1::TriggerBuildRequest { experiment_id, build: build.clone() });
+        roundtrip(&v1::TriggerBuildResponse {
+            evaluation: obj! {"id" => experiment_id.to_base32()},
+            build,
+            jobs: 4,
+        });
+    }
+
+    #[test]
+    fn entity_dtos(
+        (id, other, third) in (arb_id(), arb_id(), arb_id()),
+        (name, description) in (arb_text(), arb_text()),
+        (flag, created_at) in (any::<bool>(), arb_ts()),
+        members in prop::collection::vec(arb_id(), 0..4),
+        swept in prop::collection::vec("[a-z]{1,6}", 0..3),
+        doc in arb_doc(),
+    ) {
+        roundtrip(&v1::SystemDto {
+            id,
+            name: name.clone(),
+            description: description.clone(),
+            parameters: vec![doc.clone()],
+            charts: vec![],
+            created_at,
+        });
+        roundtrip(&v1::DeploymentDto {
+            id,
+            system_id: other,
+            environment: name.clone(),
+            version: description.clone(),
+            active: flag,
+            created_at,
+        });
+        roundtrip(&v1::ProjectDto {
+            id,
+            name: name.clone(),
+            description: description.clone(),
+            members: members.clone(),
+            archived: flag,
+            created_at,
+        });
+        roundtrip(&v1::ExperimentDto {
+            id,
+            project_id: other,
+            system_id: third,
+            name,
+            description,
+            parameters: doc.clone(),
+            archived: flag,
+            created_at,
+        });
+        roundtrip(&v1::EvaluationDto {
+            id,
+            experiment_id: other,
+            job_ids: members,
+            swept_params: swept,
+            created_at,
+        });
+        roundtrip(&v1::JobResultDto {
+            id,
+            job_id: other,
+            data: doc,
+            archive_bytes: created_at as usize,
+            created_at,
+        });
+    }
+
+    #[test]
+    fn status_dtos(
+        counts in prop::collection::vec(0u64..1_000_000, 6..7),
+        settled in any::<bool>(), percent in 0u8..=100,
+        id in arb_id(),
+    ) {
+        let counts: Vec<usize> = counts.into_iter().map(|c| c as usize).collect();
+        roundtrip(&v1::EvaluationStatusDto {
+            scheduled: counts[0],
+            running: counts[1],
+            finished: counts[2],
+            aborted: counts[3],
+            failed: counts[4],
+            total: counts[5],
+            settled,
+            progress_percent: percent,
+        });
+        roundtrip(&v1::StatsResponse {
+            scheduled: counts[0],
+            running: counts[1],
+            finished: counts[2],
+            aborted: counts[3],
+            failed: counts[4],
+            systems: counts[5],
+            projects: counts[0],
+        });
+        roundtrip(&v0::EvaluationStatusV0 {
+            id,
+            open: counts[0],
+            closed: counts[1],
+            percent,
+        });
+    }
+
+    #[test]
+    fn job_and_timeline_dtos(
+        (id, evaluation_id, system_id, deployment_id, result_id) in
+            (arb_id(), arb_id(), arb_id(), opt(arb_id()), opt(arb_id())),
+        (state, progress, attempts) in (arb_state(), 0u8..=100, arb_u32()),
+        (log, failure, claim_key, result_key) in
+            (arb_text(), opt(arb_text()), opt(arb_text()), opt(arb_text())),
+        (heartbeat_at, created_at) in (opt(arb_ts()), arb_ts()),
+        timeline in prop::collection::vec((arb_ts(), "[a-z]{1,8}", arb_text()), 0..3),
+        doc in arb_doc(),
+    ) {
+        let timeline: Vec<_> = timeline
+            .into_iter()
+            .map(|(at, kind, message)| v1::TimelineEventDto { at, kind, message })
+            .collect();
+        for event in &timeline {
+            roundtrip(event);
+        }
+        let job = v1::JobDto {
+            id,
+            evaluation_id,
+            system_id,
+            parameters: doc.clone(),
+            state,
+            deployment_id,
+            progress,
+            log,
+            timeline,
+            heartbeat_at,
+            attempts,
+            claim_key,
+            result_key,
+            result_id,
+            failure,
+            created_at,
+        };
+        roundtrip(&job);
+        // The summary view drops only the details: decoding it yields the
+        // same job with an empty log/timeline.
+        let summary = v1::JobDto::decode(&job.summary_value()).unwrap();
+        prop_assert_eq!(summary.log, "");
+        prop_assert!(summary.timeline.is_empty());
+        prop_assert_eq!(summary.id, job.id);
+        prop_assert_eq!(summary.attempts, job.attempts);
+        roundtrip(&v0::JobStatusV0 { id, status: state, percent: progress, evaluation: evaluation_id });
+    }
+
+    #[test]
+    fn agent_protocol_dtos(
+        (deployment_id, id, other) in (arb_id(), arb_id(), arb_id()),
+        (key, progress, attempt) in (opt(arb_text()), opt(0u8..=100), opt(arb_u32())),
+        (state, ack_progress, attempts) in (arb_state(), 0u8..=100, arb_u32()),
+        reason in arb_text(),
+        archive in prop::collection::vec(any::<u8>(), 0..64),
+        data in arb_doc(),
+    ) {
+        roundtrip(&v1::ClaimRequest { deployment_id, idempotency_key: key.clone() });
+        roundtrip(&v1::ClaimedJob {
+            id,
+            evaluation_id: other,
+            parameters: data.clone(),
+            attempts,
+        });
+        roundtrip(&v1::HeartbeatRequest { progress, attempt });
+        roundtrip(&v1::HeartbeatAck { state, progress: ack_progress });
+        roundtrip(&v1::FailRequest { reason, attempt });
+        roundtrip(&v1::UploadResultRequest {
+            data,
+            archive,
+            attempt,
+            idempotency_key: key,
+        });
+    }
+
+    #[test]
+    fn error_envelope_roundtrips(
+        status in 100u64..600, named in any::<bool>(), message in arb_text(),
+    ) {
+        let envelope = if named {
+            ErrorEnvelope::named("lease_lost", message)
+        } else {
+            ErrorEnvelope::status(status as u16, message)
+        };
+        roundtrip(&envelope);
+    }
+}
+
+#[test]
+fn boundary_values_roundtrip() {
+    // Ids at both ends of the 128-bit space.
+    for raw in [0u128, 1, u128::MAX - 1, u128::MAX] {
+        roundtrip(&v1::AddProjectMemberRequest { user_id: Id::from_u128(raw) });
+    }
+    // Attempt numbers at the fencing-token extremes.
+    for attempt in [0u32, 1, u32::MAX - 1, u32::MAX] {
+        roundtrip(&v1::HeartbeatRequest { progress: Some(0), attempt: Some(attempt) });
+        roundtrip(&v1::FailRequest { reason: "r".into(), attempt: Some(attempt) });
+        roundtrip(&v1::ClaimedJob {
+            id: Id::from_u128(7),
+            evaluation_id: Id::from_u128(8),
+            parameters: obj! {},
+            attempts: attempt,
+        });
+    }
+    // Progress at the clamp edges.
+    for progress in [0u8, 1, 99, 100] {
+        roundtrip(&v1::HeartbeatRequest { progress: Some(progress), attempt: None });
+        roundtrip(&v1::HeartbeatAck { state: JobState::Running, progress });
+    }
+}
+
+#[test]
+fn strings_with_escapes_roundtrip() {
+    // The proptest character classes stay conservative; this pins the
+    // JSON-escaping corners explicitly.
+    for tricky in ["", "a\"b", "back\\slash", "tab\there", "line\nbreak", "üñîçødé 😀"] {
+        roundtrip(&v1::LoginRequest { username: tricky.into(), password: tricky.into() });
+        roundtrip(&v1::FailRequest { reason: tricky.into(), attempt: None });
+        roundtrip(&ErrorEnvelope::status(400, tricky));
+    }
+}
+
+#[test]
+fn api_index_roundtrips() {
+    let index = ApiIndex::default();
+    roundtrip(&index);
+}

@@ -108,6 +108,19 @@ impl User {
         }
     }
 
+    /// The served (wire) view of a user — the password hash never leaves
+    /// the control plane.
+    pub fn to_public_json(&self) -> Value {
+        use chronos_api::WireEncode;
+        chronos_api::v1::UserPublic {
+            id: self.id,
+            username: self.username.clone(),
+            role: self.role.as_str().to_string(),
+            created_at: self.created_at,
+        }
+        .to_value()
+    }
+
     /// Parses [`User::to_json`] output.
     pub fn from_json(value: &Value) -> CoreResult<User> {
         Ok(User {

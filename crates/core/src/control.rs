@@ -14,6 +14,7 @@ use chronos_util::{Clock, Id, SystemClock};
 
 use crate::auth::{Role, SessionManager, User};
 use crate::error::{CoreError, CoreResult};
+use crate::lifecycle::JobEvent;
 use crate::model::{Deployment, Evaluation, Experiment, Job, JobResult, JobState, Project, System};
 use crate::params::ParamAssignments;
 use crate::scheduler::{EvaluationStatus, SchedulerConfig};
@@ -489,8 +490,8 @@ impl ChronosControl {
             let Ok(mut job) = Job::from_json(&doc) else { continue };
             if job.state == JobState::Scheduled && job.system_id == deployment.system_id {
                 let now = self.now();
-                job.transition(
-                    JobState::Running,
+                job.apply(
+                    JobEvent::Claim,
                     now,
                     &format!(
                         "claimed by deployment {} ({})",
@@ -588,7 +589,7 @@ impl ChronosControl {
         }
         Self::check_fence(&job, attempt, "result upload")?;
         let now = self.now();
-        job.transition(JobState::Finished, now, "result uploaded")?;
+        job.apply(JobEvent::Finish, now, "result uploaded")?;
         job.progress = 100;
         let result = JobResult { id: Id::generate(), job_id, data, archive, created_at: now };
         let mut stored = result.to_json();
@@ -616,12 +617,12 @@ impl ChronosControl {
     fn fail_job_locked(&self, job_id: Id, reason: &str) -> CoreResult<Job> {
         let mut job = self.get_job(job_id)?;
         let now = self.now();
-        job.transition(JobState::Failed, now, reason)?;
+        job.apply(JobEvent::Fail, now, reason)?;
         job.failure = Some(reason.to_string());
         job.heartbeat_at = None;
         if self.config.may_auto_reschedule(job.attempts) {
-            job.transition(
-                JobState::Scheduled,
+            job.apply(
+                JobEvent::Reschedule,
                 now,
                 &format!(
                     "automatically re-scheduled (attempt {} of {})",
@@ -641,7 +642,7 @@ impl ChronosControl {
     pub fn abort_job(&self, job_id: Id) -> CoreResult<Job> {
         let _guard = self.write_lock.lock();
         let mut job = self.get_job(job_id)?;
-        job.transition(JobState::Aborted, self.now(), "aborted by user")?;
+        job.apply(JobEvent::Abort, self.now(), "aborted by user")?;
         self.save_job(&job)?;
         Ok(job)
     }
@@ -650,7 +651,7 @@ impl ChronosControl {
     pub fn reschedule_job(&self, job_id: Id) -> CoreResult<Job> {
         let _guard = self.write_lock.lock();
         let mut job = self.get_job(job_id)?;
-        job.transition(JobState::Scheduled, self.now(), "re-scheduled by user")?;
+        job.apply(JobEvent::Reschedule, self.now(), "re-scheduled by user")?;
         job.deployment_id = None;
         job.progress = 0;
         job.failure = None;

@@ -31,6 +31,7 @@ pub mod auth;
 pub mod charts;
 pub mod control;
 pub mod error;
+pub mod lifecycle;
 pub mod model;
 pub mod params;
 pub mod scheduler;

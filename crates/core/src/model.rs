@@ -7,11 +7,20 @@
 //! round-trip so the [`store`](crate::store) can persist it and the REST
 //! API can serve it.
 
-use chronos_json::{obj, Map, Value};
+use chronos_api::v1 as dto;
+use chronos_api::WireEncode;
+use chronos_json::Value;
 use chronos_util::Id;
 
 use crate::error::{CoreError, CoreResult};
+use crate::lifecycle::{self, JobEvent};
 use crate::params::{ParamAssignments, ParamDef};
+
+// The wire vocabulary lives in `chronos-api`; legality queries come from
+// the lifecycle state machine. Re-exported so `model::JobState` keeps
+// working across the workspace.
+pub use crate::lifecycle::JobStateExt;
+pub use chronos_api::JobState;
 
 /// A system under evaluation, with its parameter schema and chart config
 /// (paper Fig. 2: "Configuration of a System").
@@ -35,14 +44,15 @@ pub struct System {
 impl System {
     /// JSON shape served by `GET /systems/:id` and accepted on registration.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "name" => self.name.as_str(),
-            "description" => self.description.as_str(),
-            "parameters" => Value::Array(self.parameters.iter().map(ParamDef::to_json).collect()),
-            "charts" => Value::Array(self.charts.iter().map(|c| c.to_json()).collect()),
-            "created_at" => self.created_at,
+        dto::SystemDto {
+            id: self.id,
+            name: self.name.clone(),
+            description: self.description.clone(),
+            parameters: self.parameters.iter().map(ParamDef::to_json).collect(),
+            charts: self.charts.iter().map(|c| c.to_json()).collect(),
+            created_at: self.created_at,
         }
+        .to_value()
     }
 
     /// Parses [`System::to_json`] output.
@@ -89,14 +99,15 @@ pub struct Deployment {
 impl Deployment {
     /// JSON shape.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "system_id" => self.system_id.to_base32(),
-            "environment" => self.environment.as_str(),
-            "version" => self.version.as_str(),
-            "active" => self.active,
-            "created_at" => self.created_at,
+        dto::DeploymentDto {
+            id: self.id,
+            system_id: self.system_id,
+            environment: self.environment.clone(),
+            version: self.version.clone(),
+            active: self.active,
+            created_at: self.created_at,
         }
+        .to_value()
     }
 
     /// Parses [`Deployment::to_json`] output.
@@ -132,14 +143,15 @@ pub struct Project {
 impl Project {
     /// JSON shape.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "name" => self.name.as_str(),
-            "description" => self.description.as_str(),
-            "members" => Value::Array(self.members.iter().map(|m| Value::from(m.to_base32())).collect()),
-            "archived" => self.archived,
-            "created_at" => self.created_at,
+        dto::ProjectDto {
+            id: self.id,
+            name: self.name.clone(),
+            description: self.description.clone(),
+            members: self.members.clone(),
+            archived: self.archived,
+            created_at: self.created_at,
         }
+        .to_value()
     }
 
     /// Parses [`Project::to_json`] output.
@@ -195,16 +207,17 @@ pub struct Experiment {
 impl Experiment {
     /// JSON shape.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "project_id" => self.project_id.to_base32(),
-            "system_id" => self.system_id.to_base32(),
-            "name" => self.name.as_str(),
-            "description" => self.description.as_str(),
-            "parameters" => self.assignments.to_json(),
-            "archived" => self.archived,
-            "created_at" => self.created_at,
+        dto::ExperimentDto {
+            id: self.id,
+            project_id: self.project_id,
+            system_id: self.system_id,
+            name: self.name.clone(),
+            description: self.description.clone(),
+            parameters: self.assignments.to_json(),
+            archived: self.archived,
+            created_at: self.created_at,
         }
+        .to_value()
     }
 
     /// Parses [`Experiment::to_json`] output.
@@ -244,13 +257,14 @@ pub struct Evaluation {
 impl Evaluation {
     /// JSON shape.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "experiment_id" => self.experiment_id.to_base32(),
-            "job_ids" => Value::Array(self.job_ids.iter().map(|j| Value::from(j.to_base32())).collect()),
-            "swept_params" => Value::Array(self.swept_params.iter().map(|s| Value::from(s.as_str())).collect()),
-            "created_at" => self.created_at,
+        dto::EvaluationDto {
+            id: self.id,
+            experiment_id: self.experiment_id,
+            job_ids: self.job_ids.clone(),
+            swept_params: self.swept_params.clone(),
+            created_at: self.created_at,
         }
+        .to_value()
     }
 
     /// Parses [`Evaluation::to_json`] output.
@@ -284,72 +298,9 @@ impl Evaluation {
     }
 }
 
-/// Job lifecycle states (paper §2.1): "scheduled, running, finished,
-/// aborted, or failed. Jobs which are in the status scheduled or running can
-/// be aborted and those which are failed can be re-scheduled."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum JobState {
-    /// Waiting for an agent.
-    Scheduled,
-    /// Claimed by an agent and executing.
-    Running,
-    /// Completed with a result.
-    Finished,
-    /// Cancelled by a user.
-    Aborted,
-    /// Crashed, errored, or timed out.
-    Failed,
-}
-
-impl JobState {
-    /// The lowercase state name used in the API.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            JobState::Scheduled => "scheduled",
-            JobState::Running => "running",
-            JobState::Finished => "finished",
-            JobState::Aborted => "aborted",
-            JobState::Failed => "failed",
-        }
-    }
-
-    /// Parses the lowercase state name.
-    pub fn parse(s: &str) -> Option<JobState> {
-        match s {
-            "scheduled" => Some(JobState::Scheduled),
-            "running" => Some(JobState::Running),
-            "finished" => Some(JobState::Finished),
-            "aborted" => Some(JobState::Aborted),
-            "failed" => Some(JobState::Failed),
-            _ => None,
-        }
-    }
-
-    /// Whether a transition to `next` is legal.
-    pub fn can_transition_to(&self, next: JobState) -> bool {
-        use JobState::*;
-        matches!(
-            (self, next),
-            (Scheduled, Running)
-                | (Scheduled, Aborted)
-                | (Running, Finished)
-                | (Running, Failed)
-                | (Running, Aborted)
-                | (Failed, Scheduled)
-        )
-    }
-
-    /// Terminal states cannot progress (except `Failed`, via reschedule).
-    pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Finished | JobState::Aborted)
-    }
-}
-
-impl std::fmt::Display for JobState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
+// `JobState` itself is defined in `chronos-api` (it is wire vocabulary)
+// and re-exported at the top of this module; `JobStateExt` supplies the
+// legality queries backed by `lifecycle::transition`.
 
 /// A timeline event on a job (paper Fig. 3c: "The timeline shows all events
 /// associated with this job").
@@ -364,14 +315,17 @@ pub struct TimelineEvent {
 }
 
 impl TimelineEvent {
-    /// JSON shape.
-    pub fn to_json(&self) -> Value {
-        obj! {
-            "at" => self.at,
-            "time" => chronos_util::clock::format_timestamp(self.at),
-            "kind" => self.kind.as_str(),
-            "message" => self.message.as_str(),
+    fn dto(&self) -> dto::TimelineEventDto {
+        dto::TimelineEventDto {
+            at: self.at,
+            kind: self.kind.clone(),
+            message: self.message.clone(),
         }
+    }
+
+    /// JSON shape (the rendered `time` string is derived from `at`).
+    pub fn to_json(&self) -> Value {
+        self.dto().to_value()
     }
 }
 
@@ -448,42 +402,54 @@ impl Job {
         self.timeline.push(TimelineEvent { at: now, kind: kind.into(), message: message.into() });
     }
 
-    /// Applies a state transition, enforcing the lifecycle.
-    pub fn transition(&mut self, next: JobState, now: u64, message: &str) -> CoreResult<()> {
-        if !self.state.can_transition_to(next) {
-            return Err(CoreError::Conflict(format!(
-                "job {} cannot go from {} to {}",
-                self.id, self.state, next
-            )));
-        }
+    /// Applies a lifecycle event, enforcing the transition table.
+    pub fn apply(&mut self, event: JobEvent, now: u64, message: &str) -> CoreResult<()> {
+        let next = lifecycle::transition(self.state, event)
+            .map_err(|violation| CoreError::Conflict(format!("job {} {violation}", self.id)))?;
         self.state = next;
         self.record(now, next.as_str(), message);
         Ok(())
     }
 
-    /// JSON shape (full detail; listings use a trimmed view server-side).
+    /// Applies a state transition. Each state is the target of exactly one
+    /// [`JobEvent`], so this is the state-centric view of [`Job::apply`].
+    pub fn transition(&mut self, next: JobState, now: u64, message: &str) -> CoreResult<()> {
+        let event = JobEvent::ALL
+            .into_iter()
+            .find(|e| e.target() == next)
+            .expect("every state is the target of exactly one lifecycle event");
+        self.apply(event, now, message)
+    }
+
+    fn dto(&self) -> dto::JobDto {
+        dto::JobDto {
+            id: self.id,
+            evaluation_id: self.evaluation_id,
+            system_id: self.system_id,
+            parameters: self.parameters.clone(),
+            state: self.state,
+            deployment_id: self.deployment_id,
+            progress: self.progress,
+            log: self.log.clone(),
+            timeline: self.timeline.iter().map(TimelineEvent::dto).collect(),
+            heartbeat_at: self.heartbeat_at,
+            attempts: self.attempts,
+            claim_key: self.claim_key.clone(),
+            result_key: self.result_key.clone(),
+            result_id: self.result_id,
+            failure: self.failure.clone(),
+            created_at: self.created_at,
+        }
+    }
+
+    /// JSON shape (full detail).
     pub fn to_json(&self) -> Value {
-        let mut map = Map::new();
-        map.insert("id".into(), Value::from(self.id.to_base32()));
-        map.insert("evaluation_id".into(), Value::from(self.evaluation_id.to_base32()));
-        map.insert("system_id".into(), Value::from(self.system_id.to_base32()));
-        map.insert("parameters".into(), self.parameters.clone());
-        map.insert("state".into(), Value::from(self.state.as_str()));
-        map.insert("deployment_id".into(), Value::from(self.deployment_id.map(|d| d.to_base32())));
-        map.insert("progress".into(), Value::from(self.progress as i64));
-        map.insert("log".into(), Value::from(self.log.as_str()));
-        map.insert(
-            "timeline".into(),
-            Value::Array(self.timeline.iter().map(TimelineEvent::to_json).collect()),
-        );
-        map.insert("heartbeat_at".into(), Value::from(self.heartbeat_at));
-        map.insert("attempts".into(), Value::from(self.attempts as i64));
-        map.insert("claim_key".into(), Value::from(self.claim_key.clone()));
-        map.insert("result_key".into(), Value::from(self.result_key.clone()));
-        map.insert("result_id".into(), Value::from(self.result_id.map(|r| r.to_base32())));
-        map.insert("failure".into(), Value::from(self.failure.clone()));
-        map.insert("created_at".into(), Value::from(self.created_at));
-        Value::Object(map)
+        self.dto().to_value()
+    }
+
+    /// The listing view: `log` and `timeline` omitted.
+    pub fn to_json_summary(&self) -> Value {
+        self.dto().summary_value()
     }
 
     /// Parses [`Job::to_json`] output (timeline event times only; the
@@ -548,13 +514,14 @@ impl JobResult {
     /// JSON shape — the archive is referenced by size, downloadable via its
     /// own endpoint.
     pub fn to_json(&self) -> Value {
-        obj! {
-            "id" => self.id.to_base32(),
-            "job_id" => self.job_id.to_base32(),
-            "data" => self.data.clone(),
-            "archive_bytes" => self.archive.len(),
-            "created_at" => self.created_at,
+        dto::JobResultDto {
+            id: self.id,
+            job_id: self.job_id,
+            data: self.data.clone(),
+            archive_bytes: self.archive.len(),
+            created_at: self.created_at,
         }
+        .to_value()
     }
 }
 
@@ -596,6 +563,7 @@ pub(crate) fn opt_str(value: &Value, field: &str) -> String {
 mod tests {
     use super::*;
     use crate::params::{ParamAssignments, ParamType};
+    use chronos_json::obj;
 
     #[test]
     fn job_state_machine() {

@@ -80,18 +80,24 @@ impl EvaluationStatus {
         ((self.finished + self.aborted + self.failed) * 100 / total) as u8
     }
 
+    /// The wire DTO with the derived roll-up fields filled in.
+    pub fn dto(&self) -> chronos_api::v1::EvaluationStatusDto {
+        chronos_api::v1::EvaluationStatusDto {
+            scheduled: self.scheduled,
+            running: self.running,
+            finished: self.finished,
+            aborted: self.aborted,
+            failed: self.failed,
+            total: self.total(),
+            settled: self.is_settled(),
+            progress_percent: self.progress_percent(),
+        }
+    }
+
     /// JSON shape served on the evaluation detail endpoint.
     pub fn to_json(&self) -> chronos_json::Value {
-        chronos_json::obj! {
-            "scheduled" => self.scheduled,
-            "running" => self.running,
-            "finished" => self.finished,
-            "aborted" => self.aborted,
-            "failed" => self.failed,
-            "total" => self.total(),
-            "settled" => self.is_settled(),
-            "progress_percent" => self.progress_percent() as i64,
-        }
+        use chronos_api::WireEncode;
+        self.dto().to_value()
     }
 }
 

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeMap;
 
-use chronos_core::model::{Job, JobState};
+use chronos_core::model::{Job, JobState, JobStateExt};
 use chronos_core::params::{ParamAssignments, ParamDef, ParamType};
 use chronos_core::store::MetadataStore;
 use chronos_json::{obj, Value};

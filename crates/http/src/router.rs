@@ -124,6 +124,13 @@ impl Router {
         self.add(Method::Delete, pattern, handler);
     }
 
+    /// Matches a raw (still percent-encoded) request path against a route.
+    ///
+    /// Each segment is percent-decoded exactly once, right here — the
+    /// server hands over the raw request target, so there is no earlier
+    /// decode to stack on top of. Trailing (and duplicate) slashes are
+    /// ignored on both the pattern and the path, so `/jobs` and `/jobs/`
+    /// are the same route.
     fn match_route(&self, route: &Route, path: &str) -> Option<RouteParams> {
         let mut params = RouteParams::default();
         let mut parts = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).peekable();
@@ -133,19 +140,19 @@ impl Router {
                 (None, None) => return Some(params),
                 (None, Some(_)) => return None,
                 (Some(Segment::Wildcard(name)), _) => {
-                    let rest: Vec<&str> = parts.collect();
+                    let rest: Vec<String> = parts.map(crate::url::decode_segment).collect();
                     params.params.insert(name.clone(), rest.join("/"));
                     return Some(params);
                 }
                 (Some(_), None) => return None,
                 (Some(Segment::Literal(lit)), Some(part)) => {
-                    if lit != part {
+                    if *lit != crate::url::decode_segment(part) {
                         return None;
                     }
                     parts.next();
                 }
                 (Some(Segment::Param(name)), Some(part)) => {
-                    params.params.insert(name.clone(), crate::url::decode_component(part));
+                    params.params.insert(name.clone(), crate::url::decode_segment(part));
                     parts.next();
                 }
             }
@@ -210,6 +217,42 @@ mod tests {
     }
 
     #[test]
+    fn params_are_decoded_exactly_once() {
+        let r = router();
+        // %2520 is a percent-encoded "%20": one decode yields the literal
+        // text "a%20b", not "a b".
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/a%2520b")).body, b"job:a%20b");
+        // A plus in a path is a literal plus (form encoding applies to
+        // query strings only).
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/a+b")).body, b"job:a+b");
+    }
+
+    #[test]
+    fn encoded_slash_does_not_split_segments() {
+        let r = router();
+        // %2F decodes to "/" inside the one captured segment; it must not
+        // turn /jobs/:id into a deeper path.
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/a%2Fb")).body, b"job:a/b");
+    }
+
+    #[test]
+    fn literals_match_encoded_spellings() {
+        let r = router();
+        // RFC 3986: percent-encoded unreserved characters are equivalent
+        // to their literal spelling.
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/j%6Fbs")).body, b"list");
+    }
+
+    #[test]
+    fn wildcard_segments_are_decoded() {
+        let r = router();
+        assert_eq!(
+            r.dispatch(&req(Method::Get, "/files/dir%20a/b%2Bc.txt")).body,
+            b"file:dir a/b+c.txt"
+        );
+    }
+
+    #[test]
     fn wildcard_captures_remainder() {
         let r = router();
         assert_eq!(r.dispatch(&req(Method::Get, "/files/a/b/c.txt")).body, b"file:a/b/c.txt");
@@ -229,6 +272,11 @@ mod tests {
     fn trailing_slash_is_ignored() {
         let r = router();
         assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/")).body, b"list");
+        // ...consistently: on parameterised and nested routes too, and
+        // duplicate separators collapse.
+        assert_eq!(r.dispatch(&req(Method::Get, "/api/v1/jobs/42/")).body, b"job:42");
+        assert_eq!(r.dispatch(&req(Method::Post, "/api/v1/jobs/42/abort/")).body, b"abort:42");
+        assert_eq!(r.dispatch(&req(Method::Get, "//api//v1//jobs")).body, b"list");
     }
 
     #[test]

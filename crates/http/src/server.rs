@@ -309,7 +309,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
     };
     let request = Request {
         method,
-        path: crate::url::decode_path(path),
+        // The raw (still percent-encoded) path: the router decodes each
+        // segment exactly once at match time. Decoding here as well would
+        // double-decode params and let an encoded `/` alter segmentation.
+        path: path.to_string(),
         query: query.to_string(),
         headers,
         body,

@@ -54,13 +54,13 @@ pub fn decode_component(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Percent-decodes a request path, preserving `/` separators and treating
-/// `+` literally (plus-as-space only applies to form-encoded queries).
-pub fn decode_path(path: &str) -> String {
-    path.split('/')
-        .map(|seg| decode_component(&seg.replace('+', "%2B")))
-        .collect::<Vec<_>>()
-        .join("/")
+/// Percent-decodes a single path segment, exactly once. Unlike
+/// [`decode_component`], `+` stays literal — plus-as-space applies only to
+/// form-encoded query strings, never to paths. An encoded `%2F` decodes to
+/// a literal `/` *inside* the segment without becoming a path separator,
+/// because segmentation happens before this runs.
+pub fn decode_segment(s: &str) -> String {
+    decode_component(&s.replace('+', "%2B"))
 }
 
 /// Parses `a=1&b=two` into decoded pairs. Keys without `=` get empty values.
@@ -119,6 +119,18 @@ mod tests {
         assert_eq!(decode_component("100%"), "100%");
         assert_eq!(decode_component("%zz"), "%zz");
         assert_eq!(decode_component("%4"), "%4");
+    }
+
+    #[test]
+    fn segment_decoding_keeps_plus_literal() {
+        assert_eq!(decode_segment("a+b"), "a+b");
+        assert_eq!(decode_segment("a%20b"), "a b");
+        // One decode only: a double-encoded escape survives as its
+        // single-decoded form.
+        assert_eq!(decode_segment("a%2520b"), "a%20b");
+        // An encoded slash decodes inside the segment; it can no longer
+        // change path segmentation at this point.
+        assert_eq!(decode_segment("a%2Fb"), "a/b");
     }
 
     #[test]

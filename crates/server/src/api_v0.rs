@@ -5,22 +5,21 @@
 //! clients still use older versions of the REST API." `v0` is the
 //! demonstration of that contract — a small read-only subset with the
 //! *original* field names (`status` instead of `state`, `percent` instead
-//! of `progress`) that keeps working unchanged next to `v1`.
+//! of `progress`) that keeps working unchanged next to `v1`. Its wire
+//! shapes are frozen in [`chronos_api::v0`].
 
 use std::sync::Arc;
 
+use chronos_api::{v0, ApiVersion, WireEncode};
 use chronos_core::{ChronosControl, CoreError};
 use chronos_http::{Response, Router};
-use chronos_json::obj;
 use chronos_util::Id;
 
 use crate::error_response;
 
 /// Mounts the frozen v0 routes.
 pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
-    router.get("/api/v0/version", |_req, _p| {
-        Response::json(&obj! {"version" => "v0", "deprecated" => true})
-    });
+    router.get("/api/v0/version", |_req, _p| Response::json(&ApiVersion::V0.version_body()));
 
     // v0 predates sessions: job status polling is unauthenticated (ids are
     // unguessable 128-bit tokens), mirroring early Chronos deployments.
@@ -33,12 +32,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
                 .ok_or_else(|| CoreError::Invalid("invalid job id".into()))?;
             let job = control_.get_job(id)?;
             // The v0 wire shape, kept bit-for-bit stable.
-            Ok(Response::json(&obj! {
-                "id" => job.id.to_base32(),
-                "status" => job.state.as_str(),
-                "percent" => job.progress as i64,
-                "evaluation" => job.evaluation_id.to_base32(),
-            }))
+            let status = v0::JobStatusV0 {
+                id: job.id,
+                status: job.state,
+                percent: job.progress,
+                evaluation: job.evaluation_id,
+            };
+            Ok(Response::json(&status.to_value()))
         })();
         result.unwrap_or_else(error_response)
     });
@@ -51,12 +51,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
                 .and_then(|s| Id::parse_base32(s).ok())
                 .ok_or_else(|| CoreError::Invalid("invalid evaluation id".into()))?;
             let status = control_.evaluation_status(id)?;
-            Ok(Response::json(&obj! {
-                "id" => id.to_base32(),
-                "open" => status.scheduled + status.running,
-                "closed" => status.finished + status.aborted + status.failed,
-                "percent" => status.progress_percent() as i64,
-            }))
+            let body = v0::EvaluationStatusV0 {
+                id,
+                open: status.scheduled + status.running,
+                closed: status.finished + status.aborted + status.failed,
+                percent: status.progress_percent(),
+            };
+            Ok(Response::json(&body.to_value()))
         })();
         result.unwrap_or_else(error_response)
     });

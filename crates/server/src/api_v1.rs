@@ -1,23 +1,45 @@
 //! The current API version: `/api/v1`.
+//!
+//! Every request body and path parameter goes through the typed contract
+//! in `chronos-api`: DTO decoders reject missing/ill-typed required fields
+//! with a 400 envelope, and every response body is produced by a DTO
+//! encoder (directly or via the model's `to_json` delegation), so this
+//! module never touches raw `Value` fields.
 
 use std::sync::Arc;
 
+use chronos_api::{extract, v1, ApiVersion, WireEncode, WireError};
 use chronos_core::analysis;
 use chronos_core::archive::archive_project;
 use chronos_core::auth::{Role, User};
 use chronos_core::params::ParamAssignments;
 use chronos_core::{ChronosControl, CoreError, CoreResult};
 use chronos_http::{Request, Response, RouteParams, Router, Status};
-use chronos_json::{obj, Value};
 use chronos_util::Id;
 
 use crate::error_response;
 
-/// Header carrying the session token.
-pub const TOKEN_HEADER: &str = "X-Chronos-Token";
+/// Header carrying the session token (defined by the wire contract).
+pub use chronos_api::TOKEN_HEADER;
 
 fn respond(result: CoreResult<Response>) -> Response {
     result.unwrap_or_else(error_response)
+}
+
+/// Maps a contract violation to the 400 error path.
+fn invalid(error: WireError) -> CoreError {
+    CoreError::Invalid(error.to_string())
+}
+
+/// Decodes the request body as a typed DTO (400 on malformed JSON or a
+/// missing/ill-typed required field).
+fn body<T: chronos_api::WireDecode>(req: &Request) -> CoreResult<T> {
+    extract::body(req).map_err(invalid)
+}
+
+/// A path parameter that must be an entity id.
+fn param_id(params: &RouteParams, name: &'static str) -> CoreResult<Id> {
+    extract::path_id(params, name).map_err(invalid)
 }
 
 fn authed(control: &ChronosControl, req: &Request) -> CoreResult<User> {
@@ -45,79 +67,47 @@ fn admin(control: &ChronosControl, req: &Request) -> CoreResult<User> {
     Ok(user)
 }
 
-fn body_json(req: &Request) -> CoreResult<Value> {
-    req.json().map_err(|e| CoreError::Invalid(format!("bad JSON body: {e}")))
-}
-
-fn param_id(params: &RouteParams, name: &str) -> CoreResult<Id> {
-    params
-        .get(name)
-        .and_then(|s| Id::parse_base32(s).ok())
-        .ok_or_else(|| CoreError::Invalid(format!("invalid :{name} id")))
-}
-
-fn str_field(body: &Value, field: &str) -> CoreResult<String> {
-    body.get(field)
-        .and_then(Value::as_str)
-        .map(str::to_string)
-        .ok_or_else(|| CoreError::Invalid(format!("missing field {field:?}")))
-}
-
-/// A user document with the password hash redacted.
-fn user_json(user: &User) -> Value {
-    let mut j = user.to_json();
-    if let Some(map) = j.as_object_mut() {
-        map.remove("password_hash");
-    }
-    j
-}
-
 /// Mounts all v1 routes.
 pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     let c = &control;
 
-    router.get("/api/v1/version", |_req, _p| {
-        Response::json(&obj! {"version" => "v1", "service" => "chronos-control"})
-    });
+    router.get("/api/v1/version", |_req, _p| Response::json(&ApiVersion::V1.version_body()));
 
     // ----- auth -----
     let control_ = Arc::clone(c);
     router.post("/api/v1/login", move |req, _p| {
         respond((|| {
-            let body = body_json(req)?;
-            let token =
-                control_.login(&str_field(&body, "username")?, &str_field(&body, "password")?)?;
-            Ok(Response::json(&obj! {"token" => token}))
+            let login: v1::LoginRequest = body(req)?;
+            let token = control_.login(&login.username, &login.password)?;
+            Ok(Response::json(&v1::LoginResponse { token }.to_value()))
         })())
     });
 
     let control_ = Arc::clone(c);
     router.post("/api/v1/logout", move |req, _p| {
         let revoked = req.headers.get(TOKEN_HEADER).map(|t| control_.logout(t)).unwrap_or(false);
-        Response::json(&obj! {"revoked" => revoked})
+        Response::json(&v1::LogoutResponse { revoked }.to_value())
     });
 
     let control_ = Arc::clone(c);
     router.get("/api/v1/me", move |req, _p| {
-        respond(authed(&control_, req).map(|u| Response::json(&user_json(&u))))
+        respond(authed(&control_, req).map(|u| Response::json(&u.to_public_json())))
     });
 
     let control_ = Arc::clone(c);
     router.post("/api/v1/users", move |req, _p| {
         respond((|| {
             admin(&control_, req)?;
-            let body = body_json(req)?;
-            let role = body
-                .get("role")
-                .and_then(Value::as_str)
-                .and_then(Role::parse)
-                .unwrap_or(Role::Member);
-            let user = control_.create_user(
-                &str_field(&body, "username")?,
-                &str_field(&body, "password")?,
-                role,
-            )?;
-            Ok(Response::json_status(Status::CREATED, &user_json(&user)))
+            let create: v1::CreateUserRequest = body(req)?;
+            // An absent role defaults to member; a present but unknown
+            // name is a 400, not a silent downgrade.
+            let role = match &create.role {
+                None => Role::Member,
+                Some(name) => Role::parse(name)
+                    .ok_or_else(|| CoreError::Invalid(format!("invalid role {name:?}")))?,
+            };
+            let user = control_.create_user(&create.username, &create.password, role)?;
+            Ok(Response::json_status(Status::CREATED, &user.to_public_json()))
         })())
     });
 
@@ -126,8 +116,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/systems", move |req, _p| {
         respond((|| {
             authed(&control_, req)?;
-            let systems: Vec<Value> = control_.list_systems().iter().map(|s| s.to_json()).collect();
-            Ok(Response::json(&Value::Array(systems)))
+            let systems: Vec<_> = control_.list_systems().iter().map(|s| s.to_json()).collect();
+            Ok(Response::json(&chronos_json::Value::Array(systems)))
         })())
     });
 
@@ -135,8 +125,10 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/systems", move |req, _p| {
         respond((|| {
             admin(&control_, req)?;
-            let body = body_json(req)?;
-            let system = control_.register_system_from_definition(&body)?;
+            // The system definition document is owned by the params/charts
+            // layer; it is forwarded verbatim rather than decoded here.
+            let definition = extract::json_body(req).map_err(invalid)?;
+            let system = control_.register_system_from_definition(&definition)?;
             Ok(Response::json_status(Status::CREATED, &system.to_json()))
         })())
     });
@@ -154,12 +146,12 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/systems/:id/deployments", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let deployments: Vec<Value> = control_
+            let deployments: Vec<_> = control_
                 .list_deployments(Some(param_id(p, "id")?))
                 .iter()
                 .map(|d| d.to_json())
                 .collect();
-            Ok(Response::json(&Value::Array(deployments)))
+            Ok(Response::json(&chronos_json::Value::Array(deployments)))
         })())
     });
 
@@ -167,11 +159,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/systems/:id/deployments", move |req, p| {
         respond((|| {
             admin(&control_, req)?;
-            let body = body_json(req)?;
+            let create: v1::CreateDeploymentRequest = body(req)?;
             let deployment = control_.create_deployment(
                 param_id(p, "id")?,
-                body.get("environment").and_then(Value::as_str).unwrap_or("default"),
-                body.get("version").and_then(Value::as_str).unwrap_or(""),
+                &create.environment,
+                &create.version,
             )?;
             Ok(Response::json_status(Status::CREATED, &deployment.to_json()))
         })())
@@ -181,12 +173,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/deployments/:id/active", move |req, p| {
         respond((|| {
             admin(&control_, req)?;
-            let body = body_json(req)?;
-            let active = body
-                .get("active")
-                .and_then(Value::as_bool)
-                .ok_or_else(|| CoreError::Invalid("missing boolean \"active\"".into()))?;
-            let deployment = control_.set_deployment_active(param_id(p, "id")?, active)?;
+            let set: v1::SetDeploymentActiveRequest = body(req)?;
+            let deployment = control_.set_deployment_active(param_id(p, "id")?, set.active)?;
             Ok(Response::json(&deployment.to_json()))
         })())
     });
@@ -196,13 +184,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/projects", move |req, _p| {
         respond((|| {
             let user = authed(&control_, req)?;
-            let projects: Vec<Value> = control_
+            let projects: Vec<_> = control_
                 .list_projects()
                 .iter()
                 .filter(|p| user.role.can_admin() || p.members.contains(&user.id))
                 .map(|p| p.to_json())
                 .collect();
-            Ok(Response::json(&Value::Array(projects)))
+            Ok(Response::json(&chronos_json::Value::Array(projects)))
         })())
     });
 
@@ -210,12 +198,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/projects", move |req, _p| {
         respond((|| {
             let user = writer(&control_, req)?;
-            let body = body_json(req)?;
-            let project = control_.create_project(
-                &str_field(&body, "name")?,
-                body.get("description").and_then(Value::as_str).unwrap_or(""),
-                user.id,
-            )?;
+            let create: v1::CreateProjectRequest = body(req)?;
+            let project = control_.create_project(&create.name, &create.description, user.id)?;
             Ok(Response::json_status(Status::CREATED, &project.to_json()))
         })())
     });
@@ -235,10 +219,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let user = writer(&control_, req)?;
             let project_id = param_id(p, "id")?;
             control_.require_project_access(project_id, &user)?;
-            let body = body_json(req)?;
-            let member = Id::parse_base32(&str_field(&body, "user_id")?)
-                .map_err(|_| CoreError::Invalid("bad user_id".into()))?;
-            let project = control_.add_project_member(project_id, member)?;
+            let add: v1::AddProjectMemberRequest = body(req)?;
+            let project = control_.add_project_member(project_id, add.user_id)?;
             Ok(Response::json(&project.to_json()))
         })())
     });
@@ -272,9 +254,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let user = authed(&control_, req)?;
             let project_id = param_id(p, "id")?;
             control_.require_project_access(project_id, &user)?;
-            let experiments: Vec<Value> =
+            let experiments: Vec<_> =
                 control_.list_experiments(Some(project_id)).iter().map(|e| e.to_json()).collect();
-            Ok(Response::json(&Value::Array(experiments)))
+            Ok(Response::json(&chronos_json::Value::Array(experiments)))
         })())
     });
 
@@ -284,19 +266,18 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let user = writer(&control_, req)?;
             let project_id = param_id(p, "id")?;
             control_.require_project_access(project_id, &user)?;
-            let body = body_json(req)?;
-            let system_id = Id::parse_base32(&str_field(&body, "system_id")?)
-                .map_err(|_| CoreError::Invalid("bad system_id".into()))?;
-            let assignments = body
-                .get("parameters")
+            let create: v1::CreateExperimentRequest = body(req)?;
+            let assignments = create
+                .parameters
+                .as_ref()
                 .map(ParamAssignments::from_json)
                 .transpose()?
                 .unwrap_or_default();
             let experiment = control_.create_experiment(
                 project_id,
-                system_id,
-                &str_field(&body, "name")?,
-                body.get("description").and_then(Value::as_str).unwrap_or(""),
+                create.system_id,
+                &create.name,
+                &create.description,
                 assignments,
             )?;
             Ok(Response::json_status(Status::CREATED, &experiment.to_json()))
@@ -351,12 +332,12 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/experiments/:id/evaluations", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let evaluations: Vec<Value> = control_
+            let evaluations: Vec<_> = control_
                 .list_evaluations(Some(param_id(p, "id")?))
                 .iter()
                 .map(|e| e.to_json())
                 .collect();
-            Ok(Response::json(&Value::Array(evaluations)))
+            Ok(Response::json(&chronos_json::Value::Array(evaluations)))
         })())
     });
 
@@ -367,9 +348,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
             let id = param_id(p, "id")?;
             let evaluation = control_.get_evaluation(id)?;
             let status = control_.evaluation_status(id)?;
-            let mut j = evaluation.to_json();
-            j.set("status", status.to_json());
-            Ok(Response::json(&j))
+            let mut detail = evaluation.to_json();
+            detail.set("status", status.to_json());
+            Ok(Response::json(&detail))
         })())
     });
 
@@ -377,20 +358,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/evaluations/:id/jobs", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let jobs: Vec<Value> = control_
+            // Listing view: omit the potentially large log and timeline.
+            let jobs: Vec<_> = control_
                 .list_jobs(param_id(p, "id")?)?
                 .iter()
-                .map(|j| {
-                    // Listing view: omit the potentially large log.
-                    let mut doc = j.to_json();
-                    if let Some(map) = doc.as_object_mut() {
-                        map.remove("log");
-                        map.remove("timeline");
-                    }
-                    doc
-                })
+                .map(|j| j.to_json_summary())
                 .collect();
-            Ok(Response::json(&Value::Array(jobs)))
+            Ok(Response::json(&chronos_json::Value::Array(jobs)))
         })())
     });
 
@@ -418,7 +392,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
         respond((|| {
             authed(&control_, req)?;
             let evaluation_id = param_id(p, "id")?;
-            let chart_ref = p.get("chart").unwrap_or_default();
+            let chart_ref = extract::path_str(p, "chart").map_err(invalid)?;
             let (index_str, format) = chart_ref
                 .rsplit_once('.')
                 .ok_or_else(|| CoreError::Invalid("chart ref must be <index>.<svg|txt>".into()))?;
@@ -485,11 +459,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/agent/claim", move |req, _p| {
         respond((|| {
             authed(&control_, req)?;
-            let body = body_json(req)?;
-            let deployment_id = Id::parse_base32(&str_field(&body, "deployment_id")?)
-                .map_err(|_| CoreError::Invalid("bad deployment_id".into()))?;
-            let key = body.get("idempotency_key").and_then(Value::as_str);
-            match control_.claim_next_job(deployment_id, key)? {
+            let claim: v1::ClaimRequest = body(req)?;
+            match control_.claim_next_job(claim.deployment_id, claim.idempotency_key.as_deref())? {
                 Some(job) => Ok(Response::json(&job.to_json())),
                 None => Ok(Response::status(Status::NO_CONTENT)),
             }
@@ -500,13 +471,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/agent/jobs/:id/heartbeat", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let body = body_json(req).unwrap_or(Value::Null);
-            let progress = body.get("progress").and_then(Value::as_u64).map(|p| p as u8);
-            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
-            let job = control_.heartbeat(param_id(p, "id")?, progress, attempt)?;
-            Ok(Response::json(
-                &obj! {"state" => job.state.as_str(), "progress" => job.progress as i64},
-            ))
+            let heartbeat: v1::HeartbeatRequest = body(req)?;
+            let job =
+                control_.heartbeat(param_id(p, "id")?, heartbeat.progress, heartbeat.attempt)?;
+            let ack = v1::HeartbeatAck { state: job.state, progress: job.progress };
+            Ok(Response::json(&ack.to_value()))
         })())
     });
 
@@ -524,23 +493,14 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/agent/jobs/:id/result", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let body = body_json(req)?;
-            let data = body
-                .get("data")
-                .cloned()
-                .ok_or_else(|| CoreError::Invalid("result needs \"data\"".into()))?;
-            let archive = body
-                .get("archive_b64")
-                .and_then(Value::as_str)
-                .map(|b64| {
-                    chronos_util::encode::base64_decode(b64)
-                        .ok_or_else(|| CoreError::Invalid("bad archive_b64".into()))
-                })
-                .transpose()?
-                .unwrap_or_default();
-            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
-            let key = body.get("idempotency_key").and_then(Value::as_str);
-            let result = control_.finish_job(param_id(p, "id")?, data, archive, attempt, key)?;
+            let upload: v1::UploadResultRequest = body(req)?;
+            let result = control_.finish_job(
+                param_id(p, "id")?,
+                upload.data,
+                upload.archive,
+                upload.attempt,
+                upload.idempotency_key.as_deref(),
+            )?;
             Ok(Response::json_status(Status::CREATED, &result.to_json()))
         })())
     });
@@ -549,11 +509,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/agent/jobs/:id/fail", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let body = body_json(req).unwrap_or(Value::Null);
-            let reason =
-                body.get("reason").and_then(Value::as_str).unwrap_or("agent reported failure");
-            let attempt = body.get("attempt").and_then(Value::as_u64).map(|a| a as u32);
-            let job = control_.fail_job(param_id(p, "id")?, reason, attempt)?;
+            let fail: v1::FailRequest = body(req)?;
+            let job = control_.fail_job(param_id(p, "id")?, &fail.reason, fail.attempt)?;
             Ok(Response::json(&job.to_json()))
         })())
     });
@@ -584,19 +541,14 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.post("/api/v1/trigger/build", move |req, _p| {
         respond((|| {
             writer(&control_, req)?;
-            let body = body_json(req)?;
-            let experiment_id = Id::parse_base32(&str_field(&body, "experiment_id")?)
-                .map_err(|_| CoreError::Invalid("bad experiment_id".into()))?;
-            let build = body.get("build").and_then(Value::as_str).unwrap_or("unknown");
-            let evaluation = control_.create_evaluation(experiment_id)?;
-            Ok(Response::json_status(
-                Status::CREATED,
-                &obj! {
-                    "evaluation" => evaluation.to_json(),
-                    "triggered_by" => obj! {"build" => build},
-                    "jobs" => evaluation.job_ids.len(),
-                },
-            ))
+            let trigger: v1::TriggerBuildRequest = body(req)?;
+            let evaluation = control_.create_evaluation(trigger.experiment_id)?;
+            let response = v1::TriggerBuildResponse {
+                jobs: evaluation.job_ids.len(),
+                evaluation: evaluation.to_json(),
+                build: trigger.build,
+            };
+            Ok(Response::json_status(Status::CREATED, &response.to_value()))
         })())
     });
 
@@ -605,26 +557,24 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     router.get("/api/v1/stats", move |req, _p| {
         respond((|| {
             authed(&control_, req)?;
-            let mut states = [0usize; 5];
+            let mut stats = v1::StatsResponse {
+                scheduled: 0,
+                running: 0,
+                finished: 0,
+                aborted: 0,
+                failed: 0,
+                systems: control_.list_systems().len(),
+                projects: control_.list_projects().len(),
+            };
             for evaluation in control_.list_evaluations(None) {
                 let status = control_.evaluation_status(evaluation.id)?;
-                states[0] += status.scheduled;
-                states[1] += status.running;
-                states[2] += status.finished;
-                states[3] += status.aborted;
-                states[4] += status.failed;
+                stats.scheduled += status.scheduled;
+                stats.running += status.running;
+                stats.finished += status.finished;
+                stats.aborted += status.aborted;
+                stats.failed += status.failed;
             }
-            Ok(Response::json(&obj! {
-                "jobs" => obj! {
-                    "scheduled" => states[0],
-                    "running" => states[1],
-                    "finished" => states[2],
-                    "aborted" => states[3],
-                    "failed" => states[4],
-                },
-                "systems" => control_.list_systems().len(),
-                "projects" => control_.list_projects().len(),
-            }))
+            Ok(Response::json(&stats.to_value()))
         })())
     });
 }

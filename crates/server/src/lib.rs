@@ -107,17 +107,15 @@ pub fn build_router(control: Arc<ChronosControl>) -> Router {
     api_v0::mount(&mut router, Arc::clone(&control));
     ui::mount(&mut router, control);
     router.get("/api", |_req, _params| {
-        Response::json(&chronos_json::obj! {
-            "service" => "chronos-control",
-            "versions" => chronos_json::arr!["v0", "v1"],
-            "current" => "v1",
-        })
+        use chronos_api::WireEncode;
+        Response::json(&chronos_api::ApiIndex::default().to_value())
     });
     router
 }
 
-/// Maps a [`chronos_core::CoreError`] to the API error shape.
+/// Maps a [`chronos_core::CoreError`] to the wire error envelope.
 pub(crate) fn error_response(error: chronos_core::CoreError) -> Response {
+    use chronos_api::{ErrorEnvelope, WireEncode};
     use chronos_core::CoreError;
     let status = match &error {
         CoreError::NotFound { .. } => Status::NOT_FOUND,
@@ -129,15 +127,7 @@ pub(crate) fn error_response(error: chronos_core::CoreError) -> Response {
     if let CoreError::LeaseLost(message) = &error {
         // A distinguishable shape: agents must tell "lease lost, stop the
         // run" apart from ordinary 409 conflicts.
-        return Response::json_status(
-            status,
-            &chronos_json::obj! {
-                "error" => chronos_json::obj! {
-                    "code" => "lease_lost",
-                    "message" => message.as_str(),
-                },
-            },
-        );
+        return Response::json_status(status, &ErrorEnvelope::lease_lost(message).to_value());
     }
-    Response::error(status, error.to_string())
+    Response::json_status(status, &ErrorEnvelope::status(status.0, error.to_string()).to_value())
 }

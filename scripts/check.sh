@@ -16,8 +16,23 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== clippy: wire-contract crate (deny warnings) =="
+# The contract crate is the one clients link against; hold it to the
+# strictest bar even if the workspace-wide lint set ever loosens.
+cargo clippy -p chronos-api --all-targets --offline -- -D warnings
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
+
+echo "== wire compatibility: golden fixtures =="
+# Byte-for-byte check of every frozen request/response body against the
+# typed chronos-api encoders. A diff here means the wire contract moved;
+# if that is intentional, re-bless with CHRONOS_BLESS=1 and say so in the
+# changelog.
+if ! cargo test -q --offline --test wire_compat; then
+    echo "FAIL: wire contract drifted from tests/fixtures/api_v1/ (see above)" >&2
+    exit 1
+fi
 
 echo "== chronos-bench smoke (E8 E9, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the

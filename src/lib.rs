@@ -6,6 +6,8 @@
 //!
 //! * [`core`] — Chronos Control: data model, parameter spaces, scheduler,
 //!   reliability, archiving, analysis and charts.
+//! * [`api`] — the typed wire contract: request/response DTOs, the error
+//!   envelope, job states and API version negotiation.
 //! * [`server`] — the versioned REST API over [`core`].
 //! * [`agent`] — the Chronos Agent library and the demo evaluation client.
 //! * [`minidoc`] — the embedded document store used as the demo System
@@ -17,6 +19,7 @@
 //! inventory.
 
 pub use chronos_agent as agent;
+pub use chronos_api as api;
 pub use chronos_core as core;
 pub use chronos_http as http;
 pub use chronos_json as json;

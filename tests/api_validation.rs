@@ -1,0 +1,155 @@
+//! Regression tests for the request-validation hardening that came with the
+//! typed wire contract: fields the handlers used to silently default are now
+//! rejected with a 400 envelope, malformed JSON bodies are 400s instead of
+//! being treated as empty objects, and ill-formed path ids are 400s.
+
+mod common;
+
+use chronos::api::{ErrorEnvelope, WireDecode};
+use chronos::json::{obj, Value};
+use common::TestEnv;
+
+/// Decodes the error envelope of a non-2xx response and asserts the status.
+fn expect_error(response: chronos::http::Response, status: u16) -> ErrorEnvelope {
+    assert_eq!(
+        response.status.0,
+        status,
+        "expected {status}, got {}: {}",
+        response.status.0,
+        String::from_utf8_lossy(&response.body)
+    );
+    let body = response.json_body().expect("error responses carry a JSON body");
+    ErrorEnvelope::decode(&body).expect("error responses carry the standard envelope")
+}
+
+/// A claimed job to exercise the agent endpoints against.
+fn claimed_job(env: &TestEnv, deployment_id: &str, system_id: &str) -> String {
+    let (_p, experiment_id) = env
+        .create_demo_experiment(system_id, obj! {"engine" => "wiredtiger", "record_count" => 10});
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let job = env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
+    job.get("id").and_then(Value::as_str).expect("claim returns the job").to_string()
+}
+
+#[test]
+fn deployment_without_version_is_rejected() {
+    let env = TestEnv::start();
+    let system = env.post("/api/v1/systems", &TestEnv::demo_system_definition());
+    let system_id = system.get("id").and_then(Value::as_str).unwrap();
+    // `version` used to default to "unknown", which made every deployment
+    // indistinguishable in trend analysis. Now it is required.
+    let response = env.post_raw(
+        &format!("/api/v1/systems/{system_id}/deployments"),
+        &obj! {"environment" => "test-node"},
+    );
+    let envelope = expect_error(response, 400);
+    assert!(envelope.message.contains("missing field \"version\""), "got: {}", envelope.message);
+    // The documented default for `environment` is still honoured.
+    let deployment =
+        env.post(&format!("/api/v1/systems/{system_id}/deployments"), &obj! {"version" => "0.1.0"});
+    assert_eq!(deployment.get("environment").and_then(Value::as_str), Some("default"));
+}
+
+#[test]
+fn fail_without_reason_is_rejected() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let job_id = claimed_job(&env, &deployment_id, &system_id);
+    // A failure report without a reason used to become a canned string;
+    // now the agent must say what went wrong.
+    let response =
+        env.post_raw(&format!("/api/v1/agent/jobs/{job_id}/fail"), &obj! {"attempt" => 1});
+    let envelope = expect_error(response, 400);
+    assert!(envelope.message.contains("missing field \"reason\""), "got: {}", envelope.message);
+    // The job is untouched by the rejected report.
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("running"));
+}
+
+#[test]
+fn malformed_json_bodies_are_rejected() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let job_id = claimed_job(&env, &deployment_id, &system_id);
+    // Garbage bodies used to decode as empty objects and take the silent
+    // defaults; every typed endpoint now answers 400.
+    for path in [
+        format!("/api/v1/agent/jobs/{job_id}/heartbeat"),
+        format!("/api/v1/agent/jobs/{job_id}/fail"),
+        "/api/v1/agent/claim".to_string(),
+    ] {
+        let response = env.post_bytes_raw(&path, "application/json", b"{not json");
+        let envelope = expect_error(response, 400);
+        assert!(envelope.message.contains("bad JSON body"), "{path}: {}", envelope.message);
+    }
+}
+
+#[test]
+fn heartbeat_with_ill_typed_fields_is_rejected() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let job_id = claimed_job(&env, &deployment_id, &system_id);
+    let path = format!("/api/v1/agent/jobs/{job_id}/heartbeat");
+    // Progress and attempt stay optional, but a present ill-typed value is
+    // an error — a heartbeat that silently drops its fencing token would
+    // defeat the lease protocol.
+    expect_error(env.post_raw(&path, &obj! {"progress" => "later"}), 400);
+    expect_error(env.post_raw(&path, &obj! {"progress" => 250}), 400);
+    expect_error(env.post_raw(&path, &obj! {"attempt" => "one"}), 400);
+    // An empty heartbeat (just liveness) is still fine.
+    let ack = env.post(&path, &obj! {});
+    assert_eq!(ack.get("state").and_then(Value::as_str), Some("running"));
+}
+
+#[test]
+fn result_upload_without_data_is_rejected() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let job_id = claimed_job(&env, &deployment_id, &system_id);
+    let response =
+        env.post_raw(&format!("/api/v1/agent/jobs/{job_id}/result"), &obj! {"attempt" => 1});
+    let envelope = expect_error(response, 400);
+    assert!(envelope.message.contains("result needs \"data\""), "got: {}", envelope.message);
+}
+
+#[test]
+fn claim_without_deployment_is_rejected() {
+    let env = TestEnv::start();
+    let response = env.post_raw("/api/v1/agent/claim", &obj! {});
+    let envelope = expect_error(response, 400);
+    assert!(
+        envelope.message.contains("missing field \"deployment_id\""),
+        "got: {}",
+        envelope.message
+    );
+}
+
+#[test]
+fn unknown_role_is_rejected_but_absent_role_defaults_to_member() {
+    let env = TestEnv::start();
+    // Present-but-unknown used to silently downgrade to viewer/member.
+    let response = env.post_raw(
+        "/api/v1/users",
+        &obj! {"username" => "eve", "password" => "pw", "role" => "root"},
+    );
+    let envelope = expect_error(response, 400);
+    assert!(envelope.message.contains("invalid role"), "got: {}", envelope.message);
+    // Ill-typed role is rejected too (it used to be ignored).
+    expect_error(
+        env.post_raw("/api/v1/users", &obj! {"username" => "eve", "password" => "pw", "role" => 7}),
+        400,
+    );
+    // Absent role keeps its documented default.
+    let user = env.post("/api/v1/users", &obj! {"username" => "bob", "password" => "pw"});
+    assert_eq!(user.get("role").and_then(Value::as_str), Some("member"));
+    assert!(user.get("password_hash").is_none(), "hash must never be served");
+}
+
+#[test]
+fn bad_path_ids_are_rejected_with_a_typed_message() {
+    let env = TestEnv::start();
+    let envelope = expect_error(env.get_raw("/api/v1/jobs/not-a-valid-id"), 400);
+    assert!(envelope.message.contains("invalid :id id"), "got: {}", envelope.message);
+    // The numeric envelope code mirrors the HTTP status.
+    assert_eq!(envelope, ErrorEnvelope::status(400, envelope.message.clone()));
+}

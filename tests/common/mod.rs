@@ -76,6 +76,16 @@ impl TestEnv {
         self.http.get(path).unwrap()
     }
 
+    /// POST returning the raw response (for asserting error statuses).
+    pub fn post_raw(&self, path: &str, body: &Value) -> Response {
+        self.http.post_json(path, body).unwrap()
+    }
+
+    /// POST of arbitrary bytes (for malformed-body tests).
+    pub fn post_bytes_raw(&self, path: &str, content_type: &str, body: &[u8]) -> Response {
+        self.http.post_bytes(path, content_type, body.to_vec()).unwrap()
+    }
+
     /// The demo system definition (minidoc with its parameter schema and
     /// charts) — small record/operation counts for fast tests.
     pub fn demo_system_definition() -> Value {

@@ -169,7 +169,7 @@ fn tpcc_client_through_the_full_stack() {
     let system_id = system.get("id").and_then(Value::as_str).unwrap().to_string();
     let deployment = env.post(
         &format!("/api/v1/systems/{system_id}/deployments"),
-        &obj! {"environment" => "tpcc-node"},
+        &obj! {"environment" => "tpcc-node", "version" => "1.0.0"},
     );
     let deployment_id = deployment.get("id").and_then(Value::as_str).unwrap().to_string();
     let (_p, experiment_id) =

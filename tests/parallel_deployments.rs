@@ -98,7 +98,7 @@ fn two_different_systems_evaluate_independently() {
     let other_deployment = env
         .post(
             &format!("/api/v1/systems/{other_id}/deployments"),
-            &obj! {"environment" => "elsewhere"},
+            &obj! {"environment" => "elsewhere", "version" => "0.1.0"},
         )
         .get("id")
         .and_then(Value::as_str)

@@ -1,0 +1,348 @@
+//! Golden-wire fixtures for the v1 (and frozen v0) API contract.
+//!
+//! Every canonical request/response body is frozen byte-for-byte (key order
+//! included — `chronos-json` writes maps in insertion order) under
+//! `tests/fixtures/api_v1/`. The fixtures were captured from the wire shapes
+//! *before* the typed `chronos-api` contract layer existed; every body below
+//! is now produced by that layer (DTO encoders, the error envelope, version
+//! negotiation), so these tests prove the refactor changed zero bytes on the
+//! wire.
+//!
+//! Regenerating (only when the contract intentionally changes):
+//! `CHRONOS_BLESS=1 cargo test --test wire_compat`.
+
+use chronos::api::v1;
+use chronos::api::{ApiIndex, ApiVersion, ErrorEnvelope, JobState, WireEncode};
+use chronos::core::auth::{Role, User};
+use chronos::core::charts::ChartSpec;
+use chronos::core::model::{
+    Deployment, Evaluation, Experiment, Job, JobResult, Project, System, TimelineEvent,
+};
+use chronos::core::params::{ParamAssignments, ParamDef, ParamType};
+use chronos::core::scheduler::EvaluationStatus;
+use chronos::json::{obj, Value};
+use chronos::util::Id;
+
+/// Pinned entity id: fixtures must be reproducible run-to-run.
+fn id(n: u128) -> Id {
+    Id::from_u128(n)
+}
+
+/// Pinned timestamps (unix millis), far enough apart to look real.
+const T0: u64 = 1_700_000_000_000;
+const T1: u64 = 1_700_000_001_000;
+const T2: u64 = 1_700_000_002_000;
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/api_v1")
+}
+
+/// Compares `actual` against the frozen fixture, byte for byte. With
+/// `CHRONOS_BLESS=1` the fixture is (re)written instead.
+fn golden(name: &str, actual: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("CHRONOS_BLESS").is_some() {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e} (run with CHRONOS_BLESS=1)", name));
+    assert_eq!(
+        actual, expected,
+        "wire contract drift in {name}: the encoded bytes no longer match the frozen fixture"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pinned entities shared across fixtures
+// ---------------------------------------------------------------------------
+
+fn fixture_user() -> User {
+    User {
+        id: id(1),
+        username: "ada".into(),
+        password_hash: "salt$00ff".into(),
+        role: Role::Admin,
+        created_at: T0,
+    }
+}
+
+fn fixture_system() -> System {
+    System {
+        id: id(2),
+        name: "minidoc".into(),
+        description: "embedded document store".into(),
+        parameters: vec![ParamDef::new(
+            "threads",
+            "client threads",
+            ParamType::Interval { min: 1, max: 8, step: 1 },
+            Value::from(1),
+        )
+        .unwrap()],
+        charts: vec![ChartSpec::from_json(&obj! {
+            "kind" => "line",
+            "title" => "Throughput by thread count",
+            "x_param" => "threads",
+            "series_param" => "engine",
+            "value_path" => "/throughput_ops_per_sec",
+            "y_label" => "ops/s",
+        })
+        .unwrap()],
+        created_at: T0,
+    }
+}
+
+fn fixture_deployment() -> Deployment {
+    Deployment {
+        id: id(3),
+        system_id: id(2),
+        environment: "test-node".into(),
+        version: "0.1.0".into(),
+        active: true,
+        created_at: T0,
+    }
+}
+
+fn fixture_project() -> Project {
+    Project {
+        id: id(4),
+        name: "demo project".into(),
+        description: "integration test".into(),
+        members: vec![id(1)],
+        archived: false,
+        created_at: T0,
+    }
+}
+
+fn fixture_experiment() -> Experiment {
+    Experiment {
+        id: id(5),
+        project_id: id(4),
+        system_id: id(2),
+        name: "engine comparison".into(),
+        description: "".into(),
+        assignments: ParamAssignments::new().fix("threads", 4),
+        archived: false,
+        created_at: T1,
+    }
+}
+
+fn fixture_evaluation() -> Evaluation {
+    Evaluation {
+        id: id(6),
+        experiment_id: id(5),
+        job_ids: vec![id(7)],
+        swept_params: vec!["threads".into()],
+        created_at: T1,
+    }
+}
+
+fn fixture_job() -> Job {
+    Job {
+        id: id(7),
+        evaluation_id: id(6),
+        system_id: id(2),
+        parameters: obj! {"threads" => 4},
+        state: JobState::Running,
+        deployment_id: Some(id(3)),
+        progress: 42,
+        log: "line1\nline2\n".into(),
+        timeline: vec![
+            TimelineEvent {
+                at: T0,
+                kind: "created".into(),
+                message: "job created and scheduled".into(),
+            },
+            TimelineEvent { at: T1, kind: "running".into(), message: "claimed by agent".into() },
+        ],
+        heartbeat_at: Some(T2),
+        attempts: 1,
+        claim_key: Some("claim-fixture-key".into()),
+        result_key: None,
+        result_id: None,
+        failure: None,
+        created_at: T0,
+    }
+}
+
+fn fixture_result() -> JobResult {
+    JobResult {
+        id: id(8),
+        job_id: id(7),
+        data: obj! {"throughput_ops_per_sec" => 1234.5},
+        archive: vec![0u8; 16],
+        created_at: T2,
+    }
+}
+
+fn fixture_status() -> EvaluationStatus {
+    EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 }
+}
+
+// ---------------------------------------------------------------------------
+// Version negotiation + error envelope
+// ---------------------------------------------------------------------------
+
+#[test]
+fn version_and_index_bodies() {
+    golden("version_v1.json", &ApiVersion::V1.version_body().to_string());
+    golden("version_v0.json", &ApiVersion::V0.version_body().to_string());
+    golden("api_index.json", &ApiIndex::default().encode());
+}
+
+#[test]
+fn error_envelope_bodies() {
+    golden(
+        "error_invalid.json",
+        &ErrorEnvelope::status(400, "missing field \"username\"").encode(),
+    );
+    golden(
+        "error_lease_lost.json",
+        &ErrorEnvelope::lease_lost("heartbeat rejected: stale attempt").encode(),
+    );
+    // The server's error mapping must produce the same bytes as the bare
+    // envelope encoders used by clients.
+    let response = chronos::http::Response::error(
+        chronos::http::Status::BAD_REQUEST,
+        "missing field \"username\"",
+    );
+    golden("error_invalid.json", &String::from_utf8(response.body).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Auth + users
+// ---------------------------------------------------------------------------
+
+#[test]
+fn auth_bodies() {
+    let login = v1::LoginRequest { username: "admin".into(), password: "admin-pw".into() };
+    golden("login_request.json", &login.encode());
+    golden("login_response.json", &v1::LoginResponse { token: "tok-fixture".into() }.encode());
+    golden("logout_response.json", &v1::LogoutResponse { revoked: true }.encode());
+    // Served user documents redact the password hash.
+    golden("user.json", &fixture_user().to_public_json().to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Entities (CRUD responses)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn entity_bodies() {
+    golden("system.json", &fixture_system().to_json().to_string());
+    golden("deployment.json", &fixture_deployment().to_json().to_string());
+    golden("project.json", &fixture_project().to_json().to_string());
+    golden("experiment.json", &fixture_experiment().to_json().to_string());
+    golden("evaluation.json", &fixture_evaluation().to_json().to_string());
+    golden("evaluation_status.json", &fixture_status().to_json().to_string());
+    // GET /api/v1/evaluations/:id — the evaluation with its status roll-up.
+    let mut detail = fixture_evaluation().to_json();
+    detail.set("status", fixture_status().to_json());
+    golden("evaluation_detail.json", &detail.to_string());
+    golden("job.json", &fixture_job().to_json().to_string());
+    // Listing view: the log and timeline are omitted.
+    golden("job_listing_item.json", &fixture_job().to_json_summary().to_string());
+    golden("job_result.json", &fixture_result().to_json().to_string());
+}
+
+#[test]
+fn request_bodies() {
+    let deployment =
+        v1::CreateDeploymentRequest { environment: "test-node".into(), version: "0.1.0".into() };
+    golden("create_deployment_request.json", &deployment.encode());
+    let project = v1::CreateProjectRequest {
+        name: "demo project".into(),
+        description: "integration test".into(),
+    };
+    golden("create_project_request.json", &project.encode());
+    let experiment = v1::CreateExperimentRequest {
+        name: "engine comparison".into(),
+        system_id: id(2),
+        description: "".into(),
+        parameters: Some(fixture_experiment().assignments.to_json()),
+    };
+    golden("create_experiment_request.json", &experiment.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Agent protocol
+// ---------------------------------------------------------------------------
+
+#[test]
+fn agent_protocol_bodies() {
+    let claim = v1::ClaimRequest {
+        deployment_id: id(3),
+        idempotency_key: Some("claim-fixture-key".into()),
+    };
+    golden("claim_request.json", &claim.encode());
+    let heartbeat = v1::HeartbeatRequest { progress: Some(42), attempt: Some(1) };
+    golden("heartbeat_request.json", &heartbeat.encode());
+    let ack = v1::HeartbeatAck { state: JobState::Running, progress: 42 };
+    golden("heartbeat_ack.json", &ack.encode());
+    let fail = v1::FailRequest { reason: "set_up failed: disk full".into(), attempt: Some(2) };
+    golden("fail_request.json", &fail.encode());
+    // The result upload streams its body through the contract's frame
+    // writer (no intermediate Value tree) — same bytes either way.
+    let upload = v1::UploadResultRequest {
+        data: obj! {"throughput_ops_per_sec" => 1234.5},
+        archive: vec![0u8; 16],
+        attempt: Some(1),
+        idempotency_key: Some("result-fixture-key".into()),
+    };
+    golden("upload_result_request.json", &upload.encode());
+    let mut framed = String::new();
+    v1::write_upload_frame(
+        &mut framed,
+        &upload.data,
+        &upload.archive,
+        upload.attempt,
+        upload.idempotency_key.as_deref(),
+    );
+    golden("upload_result_request.json", &framed);
+}
+
+// ---------------------------------------------------------------------------
+// Integration hooks + stats
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trigger_and_stats_bodies() {
+    let trigger = v1::TriggerBuildRequest { experiment_id: id(5), build: "abc123".into() };
+    golden("trigger_build_request.json", &trigger.encode());
+    let evaluation = fixture_evaluation();
+    let response = v1::TriggerBuildResponse {
+        jobs: evaluation.job_ids.len(),
+        evaluation: evaluation.to_json(),
+        build: "abc123".into(),
+    };
+    golden("trigger_build_response.json", &response.encode());
+    let stats = v1::StatsResponse {
+        scheduled: 1,
+        running: 2,
+        finished: 3,
+        aborted: 0,
+        failed: 1,
+        systems: 1,
+        projects: 1,
+    };
+    golden("stats.json", &stats.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Frozen v0
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v0_bodies() {
+    let job = chronos::api::v0::JobStatusV0 {
+        id: id(7),
+        status: JobState::Running,
+        percent: 42,
+        evaluation: id(6),
+    };
+    golden("v0_job_status.json", &job.encode());
+    let status =
+        chronos::api::v0::EvaluationStatusV0 { id: id(6), open: 3, closed: 4, percent: 57 };
+    golden("v0_evaluation_status.json", &status.encode());
+}
