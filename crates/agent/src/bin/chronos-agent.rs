@@ -24,6 +24,7 @@ struct Options {
     exit_when_idle: bool,
     sink_dir: Option<std::path::PathBuf>,
     heartbeat_millis: u64,
+    deadline_millis: u64,
 }
 
 fn usage() -> ! {
@@ -38,6 +39,8 @@ fn usage() -> ! {
            --sink-dir DIR       write result archives to DIR (NAS sink) instead of\n\
                                 uploading them inline\n\
            --heartbeat MS       heartbeat interval (default 1000)\n\
+           --deadline MS        per-request deadline budget stamped as\n\
+                                X-Chronos-Deadline-Ms (default 10000; 0 disables)\n\
            --exit-when-idle     stop once the queue stays empty for 5 s\n\
            --help               show this help"
     );
@@ -53,6 +56,7 @@ fn parse_options() -> Options {
         exit_when_idle: false,
         sink_dir: None,
         heartbeat_millis: 1_000,
+        deadline_millis: 10_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +81,9 @@ fn parse_options() -> Options {
             "--heartbeat" => {
                 options.heartbeat_millis = value("--heartbeat").parse().unwrap_or_else(|_| usage())
             }
+            "--deadline" => {
+                options.deadline_millis = value("--deadline").parse().unwrap_or_else(|_| usage())
+            }
             "--exit-when-idle" => options.exit_when_idle = true,
             "--help" | "-h" => usage(),
             other => {
@@ -96,6 +103,9 @@ fn main() {
     };
     let client = match ControlClient::login(&options.control, &options.username, &options.password)
     {
+        Ok(client) if options.deadline_millis > 0 => {
+            client.with_deadline(Duration::from_millis(options.deadline_millis))
+        }
         Ok(client) => client,
         Err(e) => {
             eprintln!("cannot log in to {}: {e}", options.control);

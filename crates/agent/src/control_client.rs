@@ -4,14 +4,35 @@
 //! contract in [`chronos_api`]: requests are encoded from DTOs, responses
 //! and error envelopes are decoded through them — no field names appear
 //! here.
+//!
+//! The client cooperates with the server's overload protection:
+//!
+//! * Typed `429 overloaded` / `503 draining` shed responses are retried
+//!   with the server's `Retry-After` hint stretched over the jittered
+//!   backoff schedule (never shrinking it).
+//! * A per-endpoint circuit breaker opens after consecutive transport
+//!   failures or 5xx responses and fast-fails calls while open, sending
+//!   seeded half-open probes instead of hammering a struggling server.
+//! * A configured deadline budget is stamped on every request as
+//!   `X-Chronos-Deadline-Ms` so the server can shed work the agent has
+//!   already given up on.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use chronos_api::{v1, ErrorEnvelope, WireDecode, WireEncode};
 use chronos_http::{Client, Status};
 use chronos_json::Value;
+use chronos_util::circuit::BreakerSet;
 use chronos_util::retry::Backoff;
 use chronos_util::Id;
+
+/// Consecutive failures on one endpoint before its breaker opens.
+const BREAKER_THRESHOLD: u32 = 5;
+
+/// Base cooldown an open breaker waits before a half-open probe.
+const BREAKER_COOLDOWN: Duration = Duration::from_secs(5);
 
 /// A job claimed from Chronos Control (the agent-side projection of the
 /// claim response, defined by the wire contract).
@@ -32,6 +53,10 @@ pub enum AgentError {
     /// request may or may not have been applied, and blindly resending it
     /// could apply it twice. Callers decide whether the loss is tolerable.
     NonIdempotent { call: &'static str, message: String },
+    /// The endpoint's circuit breaker is open after consecutive failures;
+    /// the call was fast-failed without touching the network. `retry_in`
+    /// is the remaining cooldown before a half-open probe is admitted.
+    CircuitOpen { endpoint: &'static str, retry_in: Duration },
     /// The evaluation client reported a failure.
     Evaluation(String),
 }
@@ -44,6 +69,9 @@ impl fmt::Display for AgentError {
             AgentError::LeaseLost { message } => write!(f, "lease lost: {message}"),
             AgentError::NonIdempotent { call, message } => {
                 write!(f, "non-idempotent call {call} failed in transit (not retried): {message}")
+            }
+            AgentError::CircuitOpen { endpoint, retry_in } => {
+                write!(f, "circuit open for {endpoint}: retry in {}ms", retry_in.as_millis())
             }
             AgentError::Evaluation(m) => write!(f, "evaluation failed: {m}"),
         }
@@ -58,6 +86,8 @@ pub struct ControlClient {
     backoff: Backoff,
     base_url: String,
     token: String,
+    breakers: Arc<BreakerSet>,
+    deadline: Option<Duration>,
 }
 
 impl ControlClient {
@@ -67,20 +97,39 @@ impl ControlClient {
         let http = Client::new(base_url);
         http.set_default_header(chronos_api::TOKEN_HEADER, token);
         // Per-client jitter seed: a fleet of agents that lose the server at
-        // the same moment must not retry in lockstep.
+        // the same moment must not retry in lockstep. The same seed also
+        // staggers half-open breaker probes.
         let jitter_seed = Id::generate().as_u128() as u64;
         ControlClient {
             http,
             backoff: Backoff::default().with_decorrelated_jitter(jitter_seed),
             base_url: base_url.to_string(),
             token: token.to_string(),
+            breakers: Arc::new(BreakerSet::new(BREAKER_THRESHOLD, BREAKER_COOLDOWN, jitter_seed)),
+            deadline: None,
         }
     }
 
     /// A second client sharing the same endpoint and session (fresh
-    /// connection) — used by the heartbeat thread.
+    /// connection) — used by the heartbeat thread. Breaker state is shared:
+    /// both halves observe the same endpoint health.
     pub fn shallow_clone(&self) -> Self {
-        Self::new(&self.base_url, &self.token).with_backoff(self.backoff.clone())
+        let mut clone = Self::new(&self.base_url, &self.token).with_backoff(self.backoff.clone());
+        clone.breakers = Arc::clone(&self.breakers);
+        if let Some(budget) = self.deadline {
+            clone = clone.with_deadline(budget);
+        }
+        clone
+    }
+
+    /// Stamps every request with an `X-Chronos-Deadline-Ms` budget: the
+    /// server refuses (504 `deadline_exceeded`) work it cannot start before
+    /// the budget runs out, instead of computing a response this agent has
+    /// already abandoned.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.http.set_default_header(chronos_api::DEADLINE_HEADER, &budget.as_millis().to_string());
+        self.deadline = Some(budget);
+        self
     }
 
     /// Logs in and returns a ready client.
@@ -108,10 +157,74 @@ impl ControlClient {
         self
     }
 
-    fn post(&self, path: &str, body: &Value) -> Result<chronos_http::Response, AgentError> {
+    fn post(
+        &self,
+        endpoint: &'static str,
+        path: &str,
+        body: &Value,
+    ) -> Result<chronos_http::Response, AgentError> {
+        self.request(endpoint, || self.http.post_json(path, body))
+    }
+
+    /// Runs one idempotent call through the endpoint's circuit breaker and
+    /// the hinted retry loop:
+    ///
+    /// * transport errors and 5xx responses count against the breaker;
+    /// * typed `overloaded`/`draining` shed responses are retried with the
+    ///   server's `Retry-After` hint stretched over the jittered schedule
+    ///   (a shedding server is *alive*, so the breaker records success);
+    /// * while the breaker is open the call fast-fails without touching
+    ///   the network.
+    fn request<F>(
+        &self,
+        endpoint: &'static str,
+        op: F,
+    ) -> Result<chronos_http::Response, AgentError>
+    where
+        F: Fn() -> Result<chronos_http::Response, chronos_http::ClientError>,
+    {
+        let breaker = self.breakers.get(endpoint);
+        if !breaker.try_acquire() {
+            return Err(AgentError::CircuitOpen {
+                endpoint,
+                retry_in: breaker.retry_in().unwrap_or_default(),
+            });
+        }
         self.backoff
-            .run(|_| self.http.post_json(path, body))
-            .map_err(|e| AgentError::Transport(e.to_string()))
+            .run_hinted(
+                |_| match op() {
+                    Ok(response) => {
+                        if let Some(hint) = shed_hint(&response) {
+                            breaker.record_success();
+                            return Err(CallFailure::Shed {
+                                status: response.status.0,
+                                message: shed_message(&response),
+                                hint,
+                            });
+                        }
+                        if response.status.0 >= 500 {
+                            breaker.record_failure();
+                        } else {
+                            breaker.record_success();
+                        }
+                        Ok(response)
+                    }
+                    Err(e) => {
+                        breaker.record_failure();
+                        Err(CallFailure::Transport(e.to_string()))
+                    }
+                },
+                |failure| match failure {
+                    CallFailure::Shed { hint, .. } => *hint,
+                    CallFailure::Transport(_) => None,
+                },
+            )
+            .map_err(|failure| match failure {
+                CallFailure::Transport(message) => AgentError::Transport(message),
+                // Shed on every attempt: surface the server's last typed
+                // answer so callers see the real 429/503.
+                CallFailure::Shed { status, message, .. } => AgentError::Api { status, message },
+            })
     }
 
     /// Claims the next scheduled job for `deployment_id`, if any.
@@ -126,7 +239,7 @@ impl ControlClient {
         }
         let request =
             v1::ClaimRequest { deployment_id, idempotency_key: Some(Id::generate().to_base32()) };
-        let response = self.post("/api/v1/agent/claim", &request.to_value())?;
+        let response = self.post("claim", "/api/v1/agent/claim", &request.to_value())?;
         if response.status == Status::NO_CONTENT {
             return Ok(None);
         }
@@ -150,6 +263,7 @@ impl ControlClient {
         }
         let request = v1::HeartbeatRequest { progress: Some(progress), attempt: Some(attempt) };
         let response = self.post(
+            "heartbeat",
             &format!("/api/v1/agent/jobs/{}/heartbeat", job.to_base32()),
             &request.to_value(),
         )?;
@@ -163,6 +277,16 @@ impl ControlClient {
     /// surfaces as [`AgentError::NonIdempotent`] and the caller decides
     /// whether losing (or re-buffering) the lines is acceptable.
     pub fn append_log(&self, job: Id, text: &str) -> Result<(), AgentError> {
+        // No retry loop, but the breaker still observes the endpoint: a
+        // string of failed log ships opens the breaker and fast-fails
+        // further attempts instead of stalling the evaluation on timeouts.
+        let breaker = self.breakers.get("log");
+        if !breaker.try_acquire() {
+            return Err(AgentError::CircuitOpen {
+                endpoint: "log",
+                retry_in: breaker.retry_in().unwrap_or_default(),
+            });
+        }
         let response = self
             .http
             .post_bytes(
@@ -170,10 +294,15 @@ impl ControlClient {
                 "text/plain; charset=utf-8",
                 text.as_bytes().to_vec(),
             )
-            .map_err(|e| AgentError::NonIdempotent {
-                call: "append_log",
-                message: e.to_string(),
+            .map_err(|e| {
+                breaker.record_failure();
+                AgentError::NonIdempotent { call: "append_log", message: e.to_string() }
             })?;
+        if response.status.0 >= 500 {
+            breaker.record_failure();
+        } else {
+            breaker.record_success();
+        }
         ok_or_api(&response)
     }
 
@@ -198,10 +327,9 @@ impl ControlClient {
         let mut body = String::with_capacity(archive.len() / 3 * 4 + 64);
         v1::write_upload_frame(&mut body, data, archive, Some(attempt), Some(&result_key));
         let path = format!("/api/v1/agent/jobs/{}/result", job.to_base32());
-        let response = self
-            .backoff
-            .run(|_| self.http.post_bytes(&path, "application/json", body.as_bytes().to_vec()))
-            .map_err(|e| AgentError::Transport(e.to_string()))?;
+        let response = self.request("result", || {
+            self.http.post_bytes(&path, "application/json", body.as_bytes().to_vec())
+        })?;
         if !response.status.is_success() {
             return Err(api_error(&response));
         }
@@ -216,10 +344,48 @@ impl ControlClient {
     /// Reports the job as failed. `attempt` fences stale failure reports.
     pub fn fail(&self, job: Id, attempt: u32, reason: &str) -> Result<(), AgentError> {
         let request = v1::FailRequest { reason: reason.to_string(), attempt: Some(attempt) };
-        let response = self
-            .post(&format!("/api/v1/agent/jobs/{}/fail", job.to_base32()), &request.to_value())?;
+        let response = self.post(
+            "fail",
+            &format!("/api/v1/agent/jobs/{}/fail", job.to_base32()),
+            &request.to_value(),
+        )?;
         ok_or_api(&response)
     }
+}
+
+/// A failed attempt inside the hinted retry loop.
+#[derive(Debug)]
+enum CallFailure {
+    /// The transport failed (connect, timeout, torn response).
+    Transport(String),
+    /// The server shed the request with a typed retryable envelope
+    /// (`429 overloaded` / `503 draining`); `hint` is its Retry-After.
+    Shed { status: u16, message: String, hint: Option<Duration> },
+}
+
+/// When the response is a typed retryable shed (`overloaded`/`draining`),
+/// returns `Some(retry_after_hint)` — the hint itself may be absent.
+fn shed_hint(response: &chronos_http::Response) -> Option<Option<Duration>> {
+    let retryable = response
+        .json_body()
+        .ok()
+        .and_then(|v| ErrorEnvelope::decode(&v).ok())
+        .is_some_and(|e| e.is_retryable_overload());
+    if retryable {
+        Some(response.retry_after())
+    } else {
+        None
+    }
+}
+
+/// The message carried by a shed envelope (empty-tolerant).
+fn shed_message(response: &chronos_http::Response) -> String {
+    response
+        .json_body()
+        .ok()
+        .and_then(|v| ErrorEnvelope::decode(&v).ok())
+        .map(|e| e.message)
+        .unwrap_or_default()
 }
 
 /// Renders an injected fault as a transport-style error message.
@@ -276,6 +442,63 @@ mod tests {
         assert!(err.to_string().starts_with("lease lost:"));
         let err = AgentError::NonIdempotent { call: "append_log", message: "broken pipe".into() };
         assert!(err.to_string().contains("not retried"));
+    }
+
+    #[test]
+    fn circuit_opens_after_consecutive_transport_failures_and_fast_fails() {
+        // Nothing listens on port 1: every claim is a transport failure.
+        // After the threshold the breaker opens and the next call must
+        // fast-fail with CircuitOpen instead of dialing again.
+        let client =
+            ControlClient::new("http://127.0.0.1:1", "token").with_backoff(Backoff::none());
+        for _ in 0..BREAKER_THRESHOLD {
+            match client.claim(Id::generate()).unwrap_err() {
+                AgentError::Transport(_) => {}
+                other => panic!("expected Transport before the breaker opens, got: {other}"),
+            }
+        }
+        match client.claim(Id::generate()).unwrap_err() {
+            AgentError::CircuitOpen { endpoint, retry_in } => {
+                assert_eq!(endpoint, "claim");
+                assert!(retry_in > Duration::ZERO);
+            }
+            other => panic!("expected CircuitOpen, got: {other}"),
+        }
+        // Breakers are per endpoint: heartbeats still reach the network.
+        match client.heartbeat(Id::generate(), 1, 1).unwrap_err() {
+            AgentError::Transport(_) => {}
+            other => panic!("expected Transport on an independent endpoint, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn shallow_clone_shares_breaker_state() {
+        let client =
+            ControlClient::new("http://127.0.0.1:1", "token").with_backoff(Backoff::none());
+        for _ in 0..BREAKER_THRESHOLD {
+            let _ = client.claim(Id::generate());
+        }
+        let clone = client.shallow_clone();
+        match clone.claim(Id::generate()).unwrap_err() {
+            AgentError::CircuitOpen { endpoint, .. } => assert_eq!(endpoint, "claim"),
+            other => panic!("expected shared CircuitOpen, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn shed_responses_classify_and_carry_their_hint() {
+        let shed = chronos_http::Response::json_status(
+            Status::TOO_MANY_REQUESTS,
+            &ErrorEnvelope::overloaded("queue full").to_value(),
+        )
+        .with_retry_after(Duration::from_millis(1500));
+        assert_eq!(shed_hint(&shed), Some(Some(Duration::from_millis(1500))));
+        assert_eq!(shed_message(&shed), "queue full");
+        let plain = chronos_http::Response::json_status(
+            Status::SERVICE_UNAVAILABLE,
+            &ErrorEnvelope::status(503, "untyped outage").to_value(),
+        );
+        assert_eq!(shed_hint(&plain), None, "numeric 503s are not blind-retryable");
     }
 
     #[test]

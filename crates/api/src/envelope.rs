@@ -13,6 +13,18 @@ use chronos_json::{obj, Value};
 /// conflicts).
 pub const CODE_LEASE_LOST: &str = "lease_lost";
 
+/// Named code on `429` responses shed by admission control (the string
+/// constant lives in `chronos-http` because the server emits the envelope
+/// from its accept thread, below this crate; re-exported here as the
+/// contract's source of truth).
+pub const CODE_OVERLOADED: &str = chronos_http::CODE_OVERLOADED;
+
+/// Named code on `503` responses refused while the server drains.
+pub const CODE_DRAINING: &str = chronos_http::CODE_DRAINING;
+
+/// Named code on `504` responses whose deadline budget ran out server-side.
+pub const CODE_DEADLINE_EXCEEDED: &str = chronos_http::CODE_DEADLINE_EXCEEDED;
+
 /// An error code: the HTTP status echoed numerically, or a named
 /// protocol condition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,9 +56,40 @@ impl ErrorEnvelope {
         Self::named(CODE_LEASE_LOST, message)
     }
 
+    /// The admission-control shed envelope (sent with HTTP 429).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::named(CODE_OVERLOADED, message)
+    }
+
+    /// The graceful-drain refusal envelope (sent with HTTP 503).
+    pub fn draining(message: impl Into<String>) -> Self {
+        Self::named(CODE_DRAINING, message)
+    }
+
+    /// The deadline-budget-exhausted envelope (sent with HTTP 504).
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self::named(CODE_DEADLINE_EXCEEDED, message)
+    }
+
     /// Whether this envelope signals a lost lease / stale fencing token.
     pub fn is_lease_lost(&self) -> bool {
         matches!(&self.code, ErrorCode::Named(code) if code == CODE_LEASE_LOST)
+    }
+
+    /// Whether this envelope signals a transient overload condition the
+    /// client should retry after backing off: shed by admission control or
+    /// refused during a drain (a draining server's peer is usually seconds
+    /// from taking over).
+    pub fn is_retryable_overload(&self) -> bool {
+        matches!(
+            &self.code,
+            ErrorCode::Named(code) if code == CODE_OVERLOADED || code == CODE_DRAINING
+        )
+    }
+
+    /// Whether this envelope signals an exhausted deadline budget.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(&self.code, ErrorCode::Named(code) if code == CODE_DEADLINE_EXCEEDED)
     }
 }
 
@@ -107,6 +150,40 @@ mod tests {
             body,
             "{\"error\":{\"code\":\"lease_lost\",\"message\":\"heartbeat rejected: stale attempt\"}}"
         );
+    }
+
+    #[test]
+    fn overload_codes_roundtrip_and_classify() {
+        let shed = ErrorEnvelope::overloaded("queue full");
+        assert_eq!(
+            shed.encode(),
+            "{\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}"
+        );
+        assert!(shed.is_retryable_overload());
+        let draining = ErrorEnvelope::draining("shutting down");
+        assert!(draining.is_retryable_overload());
+        let deadline = ErrorEnvelope::deadline_exceeded("budget spent");
+        assert!(deadline.is_deadline_exceeded());
+        assert!(!deadline.is_retryable_overload(), "a spent budget must not be blindly retried");
+        assert!(!ErrorEnvelope::status(503, "plain 503").is_retryable_overload());
+        for envelope in [shed, draining, deadline] {
+            assert_eq!(ErrorEnvelope::decode(&envelope.to_value()).unwrap(), envelope);
+        }
+    }
+
+    #[test]
+    fn shed_path_and_contract_agree_on_the_wire_shape() {
+        // The accept thread sheds via chronos_http::Response::error_named —
+        // that body must decode into the same typed envelope this crate
+        // defines, or agents would see untyped errors exactly when the
+        // server is too loaded to be polite.
+        let response = chronos_http::Response::error_named(
+            chronos_http::Status::TOO_MANY_REQUESTS,
+            CODE_OVERLOADED,
+            "connection limit reached",
+        );
+        let decoded = ErrorEnvelope::decode(&response.json_body().unwrap()).unwrap();
+        assert_eq!(decoded, ErrorEnvelope::overloaded("connection limit reached"));
     }
 
     #[test]

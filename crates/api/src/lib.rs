@@ -28,10 +28,21 @@ pub mod v1;
 mod version;
 
 pub use codec::{WireDecode, WireEncode};
-pub use envelope::{ErrorCode, ErrorEnvelope, CODE_LEASE_LOST};
+pub use envelope::{
+    ErrorCode, ErrorEnvelope, CODE_DEADLINE_EXCEEDED, CODE_DRAINING, CODE_LEASE_LOST,
+    CODE_OVERLOADED,
+};
 pub use error::WireError;
 pub use state::JobState;
 pub use version::{ApiIndex, ApiVersion, SERVICE_NAME};
 
 /// Header carrying the session token on every authenticated request.
 pub const TOKEN_HEADER: &str = "X-Chronos-Token";
+
+/// Request header carrying the caller's processing budget in milliseconds
+/// (re-exported from `chronos-http`, which parses it into
+/// `Request::deadline`).
+pub use chronos_http::DEADLINE_HEADER;
+
+/// Response header mirroring `Retry-After` with millisecond precision.
+pub use chronos_http::RETRY_AFTER_MS_HEADER;

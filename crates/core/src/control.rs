@@ -67,6 +67,13 @@ impl ChronosControl {
         self.clock.now_millis()
     }
 
+    /// Whether the backing metadata store can still accept writes — the
+    /// storage half of the `/readyz` readiness probe. `false` after a
+    /// sticky WAL failure.
+    pub fn store_healthy(&self) -> bool {
+        self.store.healthy()
+    }
+
     // ----- users & sessions ------------------------------------------------
 
     /// Creates a user; usernames are unique.

@@ -305,6 +305,18 @@ impl MetadataStore {
         self.shared.live_docs.load(Ordering::Relaxed)
     }
 
+    /// Whether the store can still accept writes: `false` once the WAL has
+    /// hit its sticky failure (every subsequent write is refused until the
+    /// process restarts on a repaired log). Lock-free — this backs the
+    /// control plane's `/readyz` probe, which must stay cheap under load.
+    /// In-memory stores are always healthy.
+    pub fn healthy(&self) -> bool {
+        match &self.shared.wal {
+            Some(wal) => !wal.failed.load(Ordering::Acquire),
+            None => true,
+        }
+    }
+
     /// Enables automatic background compaction once the log holds at
     /// least `threshold` records (and at least twice the live document
     /// count, so a large working set cannot trigger a compaction loop).
@@ -643,6 +655,18 @@ mod tests {
         assert_eq!(store.count("job"), 1);
         assert!(store.get("nope", "x").is_none());
         assert_eq!(store.ids("job"), vec!["j2"]);
+    }
+
+    #[test]
+    fn healthy_tracks_wal_state() {
+        assert!(MetadataStore::in_memory().healthy(), "in-memory stores are always healthy");
+        let path = tmp("healthy");
+        let _ = std::fs::remove_file(&path);
+        let store = MetadataStore::open(&path).unwrap();
+        store.put("k", "a", obj! {"ok" => true}).unwrap();
+        assert!(store.healthy());
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

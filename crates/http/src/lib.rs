@@ -23,5 +23,8 @@ pub mod url;
 
 pub use client::{Client, ClientError};
 pub use router::{RouteParams, Router};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, ServerMetrics};
 pub use types::{Headers, Method, Request, Response, Status};
+pub use types::{
+    CODE_DEADLINE_EXCEEDED, CODE_DRAINING, CODE_OVERLOADED, DEADLINE_HEADER, RETRY_AFTER_MS_HEADER,
+};

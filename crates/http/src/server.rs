@@ -4,35 +4,127 @@
 //! `Content-Length` bodies (both directions), a body size cap for untrusted
 //! uploads, and graceful shutdown so integration tests can tear servers
 //! down deterministically.
+//!
+//! # Overload protection
+//!
+//! The accept→pool handoff is *bounded*: a fixed worker pool, a bounded job
+//! queue, and an in-flight connection cap. When either limit is hit the
+//! server sheds the new connection cheaply on the accept thread — a typed
+//! `429` `{"error":{"code":"overloaded",...}}` body with `Retry-After`
+//! hints — instead of queueing it until collapse. [`Server::unbounded`]
+//! restores the old accept-everything behavior (the baseline measured by
+//! experiment E11).
+//!
+//! # Graceful drain
+//!
+//! [`ServerHandle::drain`] runs a two-phase shutdown: first *draining* —
+//! new connections get `503 draining`, in-flight requests finish and their
+//! keep-alive connections are closed politely with `Connection: close` —
+//! then, once no connection is in flight, *stopped*: the listener closes
+//! and the pool joins. [`ServerHandle::shutdown`] is drain followed by
+//! teardown, so no accepted request is ever silently dropped.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use chronos_json::{obj, Value};
+use chronos_metrics::{Counter, Gauge};
 use chronos_util::ThreadPool;
 
-use crate::types::{Headers, Method, Request, Response, Status};
+use crate::types::{Headers, Method, Request, Response, Status, DEADLINE_HEADER};
+use crate::types::{CODE_DRAINING, CODE_OVERLOADED};
 
 /// Maximum accepted request body (64 MiB — result zips can be large).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Maximum length of the request line plus headers.
 const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Body bytes are read (and the buffer grown) in increments of this size,
+/// so an attacker declaring a huge `Content-Length` commits no memory
+/// beyond what actually arrives.
+const BODY_CHUNK: usize = 64 * 1024;
 /// Per-connection socket timeout. Kept short so idle keep-alive connections
-/// re-check the shutdown flag frequently; `read_request` treats a timeout on
-/// an idle connection as "no request yet", not an error.
+/// re-check the lifecycle phase frequently; `read_request` treats a timeout
+/// on an idle connection as "no request yet", not an error.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// How long [`ServerHandle::drain`] waits for in-flight requests before
+/// giving up and tearing down anyway.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Lifecycle phases of a running server.
+const PHASE_RUNNING: u8 = 0;
+const PHASE_DRAINING: u8 = 1;
+const PHASE_STOPPED: u8 = 2;
+
+/// Counters surfaced by a running server: admission decisions and the
+/// current in-flight level. Shared with the dispatch layer (which owns the
+/// `deadline_exceeded` count) and the status UI.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections admitted to the worker pool.
+    pub accepted: Counter,
+    /// Requests fully parsed and handed to the handler.
+    pub requests: Counter,
+    /// Connections shed with `429 overloaded` (queue or in-flight cap hit).
+    pub shed_overload: Counter,
+    /// Connections shed with `503 draining` during shutdown.
+    pub shed_draining: Counter,
+    /// Requests answered `504 deadline_exceeded` (incremented by the
+    /// dispatch layer, which owns deadline semantics).
+    pub deadline_exceeded: Counter,
+    /// Admitted connections currently queued or being served.
+    pub inflight: Gauge,
+}
+
+impl ServerMetrics {
+    /// A fresh, shareable metrics block.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// JSON snapshot for health endpoints and the status UI.
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "accepted" => self.accepted.get() as i64,
+            "requests" => self.requests.get() as i64,
+            "shed_overload" => self.shed_overload.get() as i64,
+            "shed_draining" => self.shed_draining.get() as i64,
+            "deadline_exceeded" => self.deadline_exceeded.get() as i64,
+            "inflight" => self.inflight.get() as i64,
+        }
+    }
+}
+
+/// Accept-loop state shared with every connection handler.
+struct Shared {
+    phase: AtomicU8,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Shared {
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
+    }
+}
 
 /// The server configuration and entry point.
 pub struct Server {
     workers: usize,
+    bounded: bool,
+    queue_depth: Option<usize>,
+    max_inflight: Option<usize>,
+    retry_after: Duration,
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
-/// A handle to a running server: address introspection and shutdown.
+/// A handle to a running server: address introspection, metrics, drain and
+/// shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    pool: Option<Arc<ThreadPool>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -43,15 +135,59 @@ impl Default for Server {
 }
 
 impl Server {
-    /// Creates a server with a default worker count (2× CPUs, min 4).
+    /// Creates a server with a default worker count (2× CPUs, min 4) and
+    /// bounded admission (queue depth 2× workers, in-flight cap workers +
+    /// queue).
     pub fn new() -> Self {
         let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Server { workers: (cpus * 2).max(4) }
+        Server {
+            workers: (cpus * 2).max(4),
+            bounded: true,
+            queue_depth: None,
+            max_inflight: None,
+            retry_after: Duration::from_secs(1),
+            metrics: None,
+        }
     }
 
     /// Overrides the worker thread count.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the bounded queue depth (connections waiting for a worker
+    /// beyond the ones being served). Default: 2× workers.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self.bounded = true;
+        self
+    }
+
+    /// Overrides the in-flight connection cap (queued + served). Default:
+    /// workers + queue depth.
+    pub fn max_inflight(mut self, cap: usize) -> Self {
+        self.max_inflight = Some(cap.max(1));
+        self
+    }
+
+    /// Disables admission control: unbounded queue, no in-flight cap — the
+    /// pre-overload-protection behavior, kept as the E11 baseline.
+    pub fn unbounded(mut self) -> Self {
+        self.bounded = false;
+        self
+    }
+
+    /// Overrides the `Retry-After` hint attached to shed responses.
+    pub fn retry_after(mut self, hint: Duration) -> Self {
+        self.retry_after = hint;
+        self
+    }
+
+    /// Shares an externally created metrics block (the dispatch layer needs
+    /// it before the server starts, to count `deadline_exceeded`).
+    pub fn with_metrics(mut self, metrics: Arc<ServerMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -63,26 +199,95 @@ impl Server {
     {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
         let handler = Arc::new(handler);
-        let pool = ThreadPool::with_name(self.workers, "chronos-http");
-        let shutdown_accept = Arc::clone(&shutdown);
+        let queue_depth =
+            if self.bounded { Some(self.queue_depth.unwrap_or(self.workers * 2)) } else { None };
+        let max_inflight = match (self.bounded, self.max_inflight) {
+            (false, _) => usize::MAX,
+            (true, Some(cap)) => cap,
+            (true, None) => self.workers + queue_depth.unwrap_or(0),
+        };
+        let retry_after = self.retry_after;
+        let pool = Arc::new(match queue_depth {
+            Some(depth) => ThreadPool::bounded_with_name(self.workers, depth, "chronos-http"),
+            None => ThreadPool::with_name(self.workers, "chronos-http"),
+        });
+        let metrics = self.metrics.unwrap_or_else(ServerMetrics::shared);
+        let shared = Arc::new(Shared { phase: AtomicU8::new(PHASE_RUNNING), metrics });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_pool = Arc::clone(&pool);
         let accept_thread = std::thread::Builder::new()
             .name("chronos-http-accept".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if shutdown_accept.load(Ordering::SeqCst) {
-                        break;
+                    match accept_shared.phase() {
+                        PHASE_STOPPED => break,
+                        PHASE_DRAINING => {
+                            if let Ok(stream) = stream {
+                                accept_shared.metrics.shed_draining.inc();
+                                shed(
+                                    stream,
+                                    Status::SERVICE_UNAVAILABLE,
+                                    CODE_DRAINING,
+                                    "server is draining; connection not accepted",
+                                    retry_after,
+                                );
+                            }
+                            continue;
+                        }
+                        _ => {}
                     }
                     let Ok(stream) = stream else { continue };
+                    let metrics = &accept_shared.metrics;
+                    if metrics.inflight.get() as usize >= max_inflight {
+                        metrics.shed_overload.inc();
+                        shed(
+                            stream,
+                            Status::TOO_MANY_REQUESTS,
+                            CODE_OVERLOADED,
+                            "connection limit reached; retry later",
+                            retry_after,
+                        );
+                        continue;
+                    }
+                    // Keep a second handle so the connection can still be
+                    // answered if the bounded queue rejects the job (the
+                    // closure — and the primary handle — are dropped then).
+                    let shed_handle = stream.try_clone().ok();
+                    metrics.inflight.inc();
                     let handler = Arc::clone(&handler);
-                    let shutdown = Arc::clone(&shutdown_accept);
-                    pool.execute(move || handle_connection(stream, &*handler, &shutdown));
+                    let job_shared = Arc::clone(&accept_shared);
+                    let admitted = accept_pool.try_execute(move || {
+                        handle_connection(stream, &*handler, &job_shared);
+                        job_shared.metrics.inflight.dec();
+                    });
+                    if admitted {
+                        metrics.accepted.inc();
+                    } else {
+                        metrics.inflight.dec();
+                        metrics.shed_overload.inc();
+                        if let Some(stream) = shed_handle {
+                            shed(
+                                stream,
+                                Status::TOO_MANY_REQUESTS,
+                                CODE_OVERLOADED,
+                                "request queue full; retry later",
+                                retry_after,
+                            );
+                        }
+                    }
                 }
-                // Pool drops here, joining all in-flight requests.
+                // The accept thread's pool handle drops here; the
+                // ServerHandle holds the other one and joins deterministically.
             })
             .expect("failed to spawn accept thread");
-        Ok(ServerHandle { addr: local_addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            pool: Some(pool),
+            accept_thread: Some(accept_thread),
+        })
     }
 }
 
@@ -97,16 +302,64 @@ impl ServerHandle {
         format!("http://{}", self.addr)
     }
 
-    /// Signals shutdown and joins the accept loop. Idempotent.
-    pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+    /// The server's admission metrics.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether the server is draining (or already stopped) — the readiness
+    /// signal behind `/readyz`.
+    pub fn is_draining(&self) -> bool {
+        self.shared.phase() != PHASE_RUNNING
+    }
+
+    /// Number of handler jobs that panicked (the pool catches them; the
+    /// worker survives).
+    pub fn pool_panics(&self) -> usize {
+        self.pool.as_ref().map(|p| p.panics()).unwrap_or(0)
+    }
+
+    /// Two-phase graceful drain. Phase one: stop admitting work — new
+    /// connections get `503 draining`, in-flight requests finish and their
+    /// keep-alive connections close politely (`Connection: close`). Phase
+    /// two, once nothing is in flight: close the listener and join the
+    /// pool. Idempotent. Returns `true` when every in-flight request
+    /// completed before teardown (`false` only if [`DRAIN_TIMEOUT`]
+    /// expired).
+    pub fn drain(&mut self) -> bool {
+        let was = self.shared.phase.compare_exchange(
+            PHASE_RUNNING,
+            PHASE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        if was.is_err() && self.accept_thread.is_none() {
+            return true; // already drained
         }
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.shared.metrics.inflight.get() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let clean = self.shared.metrics.inflight.get() == 0;
+        self.shared.phase.store(PHASE_STOPPED, Ordering::SeqCst);
         // Wake the blocking accept() with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        if let Some(pool) = self.pool.take() {
+            // The accept thread has exited and dropped its handle, so this
+            // unwrap succeeds and dropping the pool joins every worker.
+            if let Ok(pool) = Arc::try_unwrap(pool) {
+                drop(pool);
+            }
+        }
+        clean
+    }
+
+    /// Graceful shutdown: [`ServerHandle::drain`] then teardown. Idempotent.
+    pub fn shutdown(&mut self) {
+        let _ = self.drain();
     }
 }
 
@@ -116,7 +369,20 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection<F>(stream: TcpStream, handler: &F, shutdown: &AtomicBool)
+/// Answers a connection the server refuses to admit, entirely on the accept
+/// thread: a typed error envelope plus `Retry-After` hints, then close. The
+/// body is a handful of bytes, so the write almost always completes into
+/// the socket buffer without blocking; a pathological peer costs at most
+/// one `IO_TIMEOUT`.
+fn shed(mut stream: TcpStream, status: Status, code: &str, message: &str, retry_after: Duration) {
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let response = Response::error_named(status, code, message).with_retry_after(retry_after);
+    let _ = write_response(&mut stream, &response, false, Method::Get);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn handle_connection<F>(stream: TcpStream, handler: &F, shared: &Shared)
 where
     F: Fn(Request) -> Response,
 {
@@ -130,13 +396,20 @@ where
     });
     let mut stream = stream;
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.phase() == PHASE_STOPPED {
             break;
         }
-        let (request, keep_alive) = match read_request(&mut reader) {
+        let (request, mut keep_alive) = match read_request(&mut reader) {
             Ok(Some(parsed)) => parsed,
-            Ok(None) => break,                // clean EOF between requests
-            Err(ReadError::Idle) => continue, // no request yet; re-check shutdown
+            Ok(None) => break, // clean EOF between requests
+            Err(ReadError::Idle) => {
+                // No request in flight: during drain the idle keep-alive
+                // connection just closes; otherwise poll again.
+                if shared.phase() != PHASE_RUNNING {
+                    break;
+                }
+                continue;
+            }
             Err(ReadError::BadRequest(msg)) => {
                 let resp = Response::error(Status::BAD_REQUEST, msg);
                 let _ = write_response(&mut stream, &resp, false, Method::Get);
@@ -149,7 +422,14 @@ where
             }
             Err(ReadError::Io) => break,
         };
+        // A request that arrived before (or while) drain began is served to
+        // completion — but the connection closes politely afterwards
+        // instead of being cut mid-keep-alive.
+        if shared.phase() != PHASE_RUNNING {
+            keep_alive = false;
+        }
         let method = request.method;
+        shared.metrics.requests.inc();
         let response = handler(request);
         // Dropped-response fault: the handler has fully committed its
         // effects, but the client never hears back (connection dies). This
@@ -168,6 +448,7 @@ where
     let _ = peer; // reserved for access logging
 }
 
+#[derive(Debug)]
 enum ReadError {
     BadRequest(String),
     TooLarge,
@@ -208,7 +489,7 @@ fn read_line_retry(
 }
 
 /// Fills `buf` completely, tolerating timeouts while data keeps arriving.
-fn read_full(reader: &mut BufReader<TcpStream>, buf: &mut [u8]) -> Result<(), ReadError> {
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), ReadError> {
     let mut filled = 0;
     let mut stalls = 0;
     while filled < buf.len() {
@@ -230,9 +511,29 @@ fn read_full(reader: &mut BufReader<TcpStream>, buf: &mut [u8]) -> Result<(), Re
     Ok(())
 }
 
+/// Reads a `content_length` body into `body` in [`BODY_CHUNK`] increments,
+/// growing the buffer only as bytes actually arrive. The declared length is
+/// an untrusted claim: committing it up front would let a peer reserve
+/// 64 MiB per connection without sending a byte.
+fn read_body_into<R: Read>(
+    reader: &mut R,
+    content_length: usize,
+    body: &mut Vec<u8>,
+) -> Result<(), ReadError> {
+    let mut remaining = content_length;
+    while remaining > 0 {
+        let chunk = remaining.min(BODY_CHUNK);
+        let start = body.len();
+        body.resize(start + chunk, 0);
+        read_full(reader, &mut body[start..])?;
+        remaining -= chunk;
+    }
+    Ok(())
+}
+
 /// Reads one request. `Ok(None)` means the peer closed the connection
 /// cleanly before sending another request; `Err(Idle)` means nothing has
-/// arrived yet (caller should re-check the shutdown flag and poll again).
+/// arrived yet (caller should re-check the lifecycle phase and poll again).
 fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bool)>, ReadError> {
     let mut line = String::new();
     match reader.read_line(&mut line) {
@@ -292,9 +593,9 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
     if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
         return Err(ReadError::BadRequest("chunked requests not supported".to_string()));
     }
-    let mut body = vec![0u8; content_length];
+    let mut body = Vec::new();
     if content_length > 0 {
-        read_full(reader, &mut body)?;
+        read_body_into(reader, content_length, &mut body)?;
     }
 
     let keep_alive = match headers.get("connection") {
@@ -302,6 +603,12 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
         Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
         _ => !http10,
     };
+
+    // The caller's processing budget, counted from arrival.
+    let deadline = headers
+        .get(DEADLINE_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -316,6 +623,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
         query: query.to_string(),
         headers,
         body,
+        deadline,
     };
     Ok(Some((request, keep_alive)))
 }
@@ -440,5 +748,136 @@ mod tests {
         let mut reader = BufReader::new(stream);
         reader.read_line(&mut buf).unwrap();
         assert!(buf.contains("400"), "got {buf}");
+    }
+
+    #[test]
+    fn body_read_does_not_precommit_declared_length() {
+        // Regression: the body buffer used to be `vec![0; content_length]`
+        // before a single byte arrived — a 64 MiB commit per connection off
+        // an untrusted header. Only ~1000 bytes arrive here, so the buffer
+        // must stay within one chunk of that, not the declared 64 MiB.
+        let mut body = Vec::new();
+        let mut reader = std::io::Cursor::new(vec![7u8; 1000]);
+        assert!(read_body_into(&mut reader, MAX_BODY_BYTES, &mut body).is_err());
+        assert!(
+            body.capacity() <= 2 * BODY_CHUNK,
+            "buffer pre-committed {} bytes off the declared Content-Length",
+            body.capacity()
+        );
+    }
+
+    #[test]
+    fn body_read_roundtrips_across_chunks() {
+        let data: Vec<u8> = (0..3 * BODY_CHUNK + 17).map(|i| (i % 251) as u8).collect();
+        let mut reader = std::io::Cursor::new(data.clone());
+        let mut body = Vec::new();
+        read_body_into(&mut reader, data.len(), &mut body).unwrap();
+        assert_eq!(body, data);
+    }
+
+    #[test]
+    fn large_declared_body_with_no_bytes_is_rejected_gracefully() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Declare a large (but acceptable) body and send nothing: the
+        // server must time the read out and drop the connection without
+        // ballooning memory or panicking, then keep serving others.
+        write!(stream, "POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", 1024 * 1024)
+            .unwrap();
+        drop(stream); // EOF mid-body
+        let client = Client::new(&server.base_url());
+        assert!(client.get("/alive").unwrap().status.is_success());
+    }
+
+    #[test]
+    fn sheds_with_typed_envelope_when_queue_is_full() {
+        // One worker parked in a slow handler, queue depth 0, cap 1: the
+        // second connection must be shed with a typed 429 on the accept
+        // thread while the first is still being served.
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let guard = gate.lock();
+        let handler_gate = Arc::clone(&gate);
+        let server = Server::new()
+            .workers(1)
+            .queue_depth(0)
+            .max_inflight(1)
+            .serve("127.0.0.1:0", move |_req| {
+                drop(handler_gate.lock());
+                Response::text(Status::OK, "slow")
+            })
+            .expect("bind");
+        let url = server.base_url();
+        let slow = std::thread::spawn({
+            let url = url.clone();
+            move || Client::new(&url).get("/slow")
+        });
+        // Wait for the first request to occupy the worker.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().requests.get() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let resp = Client::new(&url).get("/second").unwrap();
+        assert_eq!(resp.status, Status::TOO_MANY_REQUESTS);
+        let j = resp.json_body().unwrap();
+        assert_eq!(j.pointer("/error/code").and_then(|v| v.as_str()), Some(CODE_OVERLOADED));
+        assert!(resp.retry_after().is_some(), "shed response must carry Retry-After");
+        assert!(server.metrics().shed_overload.get() >= 1);
+        drop(guard);
+        assert!(slow.join().unwrap().unwrap().status.is_success());
+    }
+
+    #[test]
+    fn drain_finishes_inflight_and_sheds_new_connections() {
+        let gate = Arc::new(parking_lot::Mutex::new(()));
+        let guard = gate.lock();
+        let handler_gate = Arc::clone(&gate);
+        let server = Server::new()
+            .workers(2)
+            .serve("127.0.0.1:0", move |_req| {
+                drop(handler_gate.lock());
+                Response::text(Status::OK, "done")
+            })
+            .expect("bind");
+        let url = server.base_url();
+        let inflight = std::thread::spawn({
+            let url = url.clone();
+            move || Client::new(&url).get("/inflight")
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics().requests.get() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Drain on a side thread; release the parked handler shortly after
+        // it has begun, so drain observes a genuinely in-flight request.
+        let drain_thread = std::thread::spawn(move || {
+            let mut server = server;
+            let clean = server.drain();
+            (server, clean)
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        drop(guard);
+        let (server, clean) = drain_thread.join().unwrap();
+        assert!(clean, "drain must complete with no dropped request");
+        // The in-flight request finished with a response.
+        let resp = inflight.join().unwrap().unwrap();
+        assert!(resp.status.is_success());
+        // New connections are refused entirely now.
+        assert!(Client::new(&url).get("/late").is_err());
+        assert_eq!(server.pool_panics(), 0);
+    }
+
+    #[test]
+    fn unbounded_server_never_sheds() {
+        let server = Server::new()
+            .workers(2)
+            .unbounded()
+            .serve("127.0.0.1:0", |_req| Response::text(Status::OK, "ok"));
+        let server = server.expect("bind");
+        let url = server.base_url();
+        let results = chronos_util::pool::scoped_indexed(16, |_| {
+            Client::new(&url).get("/x").unwrap().status.is_success()
+        });
+        assert!(results.into_iter().all(|ok| ok));
+        assert_eq!(server.metrics().shed_overload.get(), 0);
     }
 }

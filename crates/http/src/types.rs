@@ -1,8 +1,32 @@
 //! HTTP message types.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use chronos_json::Value;
+
+/// Request header carrying the caller's remaining budget in milliseconds.
+/// Parsed by the server into [`Request::deadline`]; handlers check it before
+/// starting expensive work and answer `504` with the `deadline_exceeded`
+/// envelope once the budget is gone.
+pub const DEADLINE_HEADER: &str = "X-Chronos-Deadline-Ms";
+
+/// Response header mirroring `Retry-After` with millisecond precision
+/// (standard `Retry-After` only carries whole seconds).
+pub const RETRY_AFTER_MS_HEADER: &str = "X-Chronos-Retry-After-Ms";
+
+/// Named error code on `429` responses shed by admission control.
+///
+/// These three live here — below the `chronos-api` contract crate, which
+/// re-exports them — because the server must emit typed envelopes from the
+/// accept thread without depending on the contract crate (which depends on
+/// this one).
+pub const CODE_OVERLOADED: &str = "overloaded";
+/// Named error code on `503` responses refused during graceful drain.
+pub const CODE_DRAINING: &str = "draining";
+/// Named error code on `504` responses whose [`DEADLINE_HEADER`] budget ran
+/// out before (or while) the handler did the work.
+pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
 
 /// Serializes a JSON body straight into the byte vector that becomes the
 /// message body — no intermediate `String`.
@@ -79,8 +103,10 @@ impl Status {
     pub const GONE: Status = Status(410);
     pub const PAYLOAD_TOO_LARGE: Status = Status(413);
     pub const UNPROCESSABLE: Status = Status(422);
+    pub const TOO_MANY_REQUESTS: Status = Status(429);
     pub const INTERNAL_ERROR: Status = Status(500);
     pub const SERVICE_UNAVAILABLE: Status = Status(503);
+    pub const GATEWAY_TIMEOUT: Status = Status(504);
 
     /// The standard reason phrase.
     pub fn reason(&self) -> &'static str {
@@ -98,8 +124,10 @@ impl Status {
             410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -167,6 +195,10 @@ pub struct Request {
     pub headers: Headers,
     /// Request body.
     pub body: Vec<u8>,
+    /// Absolute deadline derived from [`DEADLINE_HEADER`] at parse time
+    /// (header milliseconds counted from request arrival). `None` when the
+    /// caller sent no budget.
+    pub deadline: Option<Instant>,
 }
 
 impl Request {
@@ -177,7 +209,26 @@ impl Request {
             Some((p, q)) => (p.to_string(), q.to_string()),
             None => (full, String::new()),
         };
-        Request { method, path, query, headers: Headers::new(), body: Vec::new() }
+        Request { method, path, query, headers: Headers::new(), body: Vec::new(), deadline: None }
+    }
+
+    /// Sets an absolute deadline (server side: done by the parser; tests use
+    /// it to simulate exhausted budgets).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Remaining budget, `None` when no deadline was requested. Zero once
+    /// expired.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the caller's budget has run out. Requests without a deadline
+    /// never expire.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Sets a JSON body (and `Content-Type`).
@@ -269,6 +320,42 @@ impl Response {
         Self::json_status(status, &value)
     }
 
+    /// An error body with a *named* protocol code instead of the numeric
+    /// status echo: `{"error": {"code": "<name>", "message": ...}}` — the
+    /// same wire shape `chronos-api`'s `ErrorEnvelope` decodes. Lives here
+    /// (below the contract crate) so the server can shed load on the accept
+    /// thread with a typed body.
+    pub fn error_named(status: Status, code: &str, message: impl Into<String>) -> Self {
+        let value = chronos_json::obj! {
+            "error" => chronos_json::obj! {
+                "code" => code,
+                "message" => message.into(),
+            },
+        };
+        Self::json_status(status, &value)
+    }
+
+    /// Attaches retry hints: standard `Retry-After` (whole seconds, rounded
+    /// up) plus [`RETRY_AFTER_MS_HEADER`] with millisecond precision.
+    pub fn with_retry_after(mut self, hint: Duration) -> Self {
+        let ms = hint.as_millis().max(1) as u64;
+        self.headers.set("Retry-After", ms.div_ceil(1000).to_string());
+        self.headers.set(RETRY_AFTER_MS_HEADER, ms.to_string());
+        self
+    }
+
+    /// The server's retry hint, preferring the millisecond header over the
+    /// whole-seconds standard one. `None` when the response carries neither.
+    pub fn retry_after(&self) -> Option<Duration> {
+        if let Some(ms) = self.headers.get(RETRY_AFTER_MS_HEADER) {
+            if let Ok(ms) = ms.trim().parse::<u64>() {
+                return Some(Duration::from_millis(ms));
+            }
+        }
+        let secs = self.headers.get("Retry-After")?.trim().parse::<u64>().ok()?;
+        Some(Duration::from_secs(secs))
+    }
+
     /// Parses the body as JSON.
     pub fn json_body(&self) -> Result<Value, chronos_json::ParseError> {
         chronos_json::parse(&String::from_utf8_lossy(&self.body))
@@ -343,5 +430,49 @@ mod tests {
         let j = r.json_body().unwrap();
         assert_eq!(j.pointer("/error/code").and_then(|v| v.as_i64()), Some(409));
         assert_eq!(j.pointer("/error/message").and_then(|v| v.as_str()), Some("already running"));
+    }
+
+    #[test]
+    fn named_error_shape() {
+        let r = Response::error_named(Status::TOO_MANY_REQUESTS, "overloaded", "queue full");
+        assert_eq!(r.status, Status::TOO_MANY_REQUESTS);
+        let j = r.json_body().unwrap();
+        assert_eq!(j.pointer("/error/code").and_then(|v| v.as_str()), Some("overloaded"));
+        assert_eq!(j.pointer("/error/message").and_then(|v| v.as_str()), Some("queue full"));
+    }
+
+    #[test]
+    fn retry_after_roundtrips_with_ms_precision() {
+        let r = Response::error_named(Status::SERVICE_UNAVAILABLE, "draining", "shutting down")
+            .with_retry_after(Duration::from_millis(1500));
+        assert_eq!(r.headers.get("Retry-After"), Some("2"), "seconds round up");
+        assert_eq!(r.headers.get(RETRY_AFTER_MS_HEADER), Some("1500"));
+        assert_eq!(r.retry_after(), Some(Duration::from_millis(1500)));
+        // Only the standard header: whole seconds.
+        let mut r = Response::status(Status::SERVICE_UNAVAILABLE);
+        r.headers.set("Retry-After", "3");
+        assert_eq!(r.retry_after(), Some(Duration::from_secs(3)));
+        assert_eq!(Response::status(Status::OK).retry_after(), None);
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let r = Request::new(Method::Get, "/x");
+        assert!(!r.deadline_expired(), "no deadline never expires");
+        assert_eq!(r.deadline_remaining(), None);
+        let past = Instant::now() - Duration::from_millis(10);
+        let r = Request::new(Method::Get, "/x").with_deadline(past);
+        assert!(r.deadline_expired());
+        assert_eq!(r.deadline_remaining(), Some(Duration::ZERO));
+        let future = Instant::now() + Duration::from_secs(60);
+        let r = Request::new(Method::Get, "/x").with_deadline(future);
+        assert!(!r.deadline_expired());
+        assert!(r.deadline_remaining().unwrap() > Duration::from_secs(30));
+    }
+
+    #[test]
+    fn new_status_codes_have_reasons() {
+        assert_eq!(Status::TOO_MANY_REQUESTS.reason(), "Too Many Requests");
+        assert_eq!(Status::GATEWAY_TIMEOUT.reason(), "Gateway Timeout");
     }
 }

@@ -10,14 +10,18 @@
 //!   progress/throughput plots of the result page.
 //! * [`Recorder`] / [`RunSummary`] — per-operation-type collection during a
 //!   benchmark run and the JSON summary uploaded with every job result.
+//! * [`Counter`] / [`Gauge`] — lock-free event counts and levels for
+//!   control-plane health metrics (shed requests, in-flight connections).
 //!
 //! All types convert to [`chronos_json::Value`] so agents can embed them
 //! directly in result documents.
 
+mod counters;
 mod histogram;
 mod recorder;
 mod timeseries;
 
+pub use counters::{Counter, Gauge};
 pub use histogram::Histogram;
 pub use recorder::{OpStats, Recorder, RunSummary};
 pub use timeseries::Timeseries;

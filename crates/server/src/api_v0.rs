@@ -12,13 +12,15 @@ use std::sync::Arc;
 
 use chronos_api::{v0, ApiVersion, WireEncode};
 use chronos_core::{ChronosControl, CoreError};
-use chronos_http::{Response, Router};
+use chronos_http::{Response, Router, ServerMetrics};
 use chronos_util::Id;
 
-use crate::error_response;
+use crate::{deadline_guard, error_response};
 
-/// Mounts the frozen v0 routes.
-pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
+/// Mounts the frozen v0 routes. The wire shapes are frozen; the deadline
+/// check only adds a new (never-before-seen) 504 refusal, which legacy
+/// clients that do not send `X-Chronos-Deadline-Ms` can never trigger.
+pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<ServerMetrics>) {
     router.get("/api/v0/version", |_req, _p| Response::json(&ApiVersion::V0.version_body()));
 
     // v0 predates sessions: job status polling is unauthenticated (ids are
@@ -44,7 +46,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     });
 
     let control_ = Arc::clone(&control);
-    router.get("/api/v0/evaluations/:id/status", move |_req, p| {
+    router.get("/api/v0/evaluations/:id/status", move |req, p| {
+        // Status aggregates every job of the evaluation.
+        if let Some(busy) = deadline_guard(req, &metrics) {
+            return busy;
+        }
         let result = (|| {
             let id = p
                 .get("id")

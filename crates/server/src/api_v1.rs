@@ -14,10 +14,10 @@ use chronos_core::archive::archive_project;
 use chronos_core::auth::{Role, User};
 use chronos_core::params::ParamAssignments;
 use chronos_core::{ChronosControl, CoreError, CoreResult};
-use chronos_http::{Request, Response, RouteParams, Router, Status};
+use chronos_http::{Request, Response, RouteParams, Router, ServerMetrics, Status};
 use chronos_util::Id;
 
-use crate::error_response;
+use crate::{deadline_guard, error_response};
 
 /// Header carrying the session token (defined by the wire contract).
 pub use chronos_api::TOKEN_HEADER;
@@ -67,9 +67,12 @@ fn admin(control: &ChronosControl, req: &Request) -> CoreResult<User> {
     Ok(user)
 }
 
-/// Mounts all v1 routes.
-pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
+/// Mounts all v1 routes. Handlers doing expensive store or archive work
+/// re-check the caller's `X-Chronos-Deadline-Ms` budget (via
+/// [`deadline_guard`]) before starting it; `metrics` counts rejections.
+pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<ServerMetrics>) {
     let c = &control;
+    let m = &metrics;
 
     router.get("/api/v1/version", |_req, _p| Response::json(&ApiVersion::V1.version_body()));
 
@@ -237,7 +240,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     });
 
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/projects/:id/archive.zip", move |req, p| {
+        // Building a full project archive walks every evaluation; honor
+        // the caller's budget before starting.
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             let user = authed(&control_, req)?;
             let project_id = param_id(p, "id")?;
@@ -305,7 +314,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     // Performance trend across an experiment's evaluations (QA over
     // subsequent change sets, paper §3).
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/experiments/:id/trend", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let value_path =
@@ -320,7 +333,13 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
 
     // ----- evaluations -----
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.post("/api/v1/experiments/:id/evaluations", move |req, p| {
+        // Evaluation creation expands the full parameter grid into jobs
+        // and commits them; don't start with a spent budget.
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             writer(&control_, req)?;
             let evaluation = control_.create_evaluation(param_id(p, "id")?)?;
@@ -369,7 +388,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     });
 
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/evaluations/:id/summary", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let summary = analysis::summary_table(&control_, param_id(p, "id")?)?;
@@ -378,7 +401,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     });
 
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/evaluations/:id/summary.csv", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let csv = analysis::summary_csv(&control_, param_id(p, "id")?)?;
@@ -388,7 +415,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
 
     // Chart renders: /charts/:index.svg and .txt (paper Fig. 3d).
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/evaluations/:id/charts/:chart", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let evaluation_id = param_id(p, "id")?;
@@ -526,7 +557,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     });
 
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/results/:id/archive.zip", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let result = control_.get_result(param_id(p, "id")?)?;
@@ -538,7 +573,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
     // Build-bot trigger (paper §2.2): "schedule an evaluation which is
     // caused by a successful build of the SuE's build bot".
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.post("/api/v1/trigger/build", move |req, _p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             writer(&control_, req)?;
             let trigger: v1::TriggerBuildRequest = body(req)?;
@@ -554,7 +593,12 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
 
     // Stats: job states across the installation (monitoring dashboards).
     let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
     router.get("/api/v1/stats", move |req, _p| {
+        // Walks every evaluation in the installation.
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
         respond((|| {
             authed(&control_, req)?;
             let mut stats = v1::StatsResponse {

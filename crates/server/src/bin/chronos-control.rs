@@ -131,7 +131,7 @@ fn main() {
         }
     }
 
-    let server = match ChronosServer::start(control, &options.listen) {
+    let mut server = match ChronosServer::start(control, &options.listen) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", options.listen);
@@ -141,8 +141,60 @@ fn main() {
     eprintln!("Chronos Control listening on {}", server.base_url());
     eprintln!("API index: {}/api", server.base_url());
 
-    // Serve until killed.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    shutdown_signal::install();
+    // Serve until asked to stop, then drain: finish in-flight requests,
+    // refuse new ones with typed 503s, and persist a clean store.
+    while !shutdown_signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    eprintln!("shutdown signal received; draining...");
+    let clean = server.drain();
+    server.shutdown();
+    if clean {
+        eprintln!("drain complete: all in-flight requests finished");
+    } else {
+        eprintln!("drain timed out with requests still in flight");
+        std::process::exit(1);
+    }
+}
+
+/// SIGTERM/SIGINT handling without a signal crate: the handler only flips
+/// an atomic flag (async-signal-safe) that the main loop polls.
+#[cfg(unix)]
+mod shutdown_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Non-unix fallback: no signal hooks; the process serves until killed.
+#[cfg(not(unix))]
+mod shutdown_signal {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
     }
 }

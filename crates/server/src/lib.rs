@@ -12,6 +12,19 @@
 //! experiments, evaluations, the agent protocol (claim / heartbeat / log /
 //! result / fail), abort/reschedule, archives, analysis and chart renders.
 //!
+//! ## Overload protection and graceful degradation
+//!
+//! The HTTP front end runs with bounded admission by default: a fixed
+//! worker pool, a bounded accept queue, and an in-flight connection cap.
+//! Excess load is shed cheaply from the accept thread with typed
+//! `429 {"error":{"code":"overloaded"}}` envelopes carrying `Retry-After`.
+//! Callers can bound their wait with the `X-Chronos-Deadline-Ms` header;
+//! an exhausted budget is answered with `504 deadline_exceeded` before
+//! any expensive work runs. `/healthz` (liveness) and `/readyz`
+//! (readiness: store healthy and not draining) expose the state to
+//! orchestrators, and [`ChronosServer::drain`] performs a two-phase
+//! graceful shutdown that finishes in-flight requests.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use chronos_core::ChronosControl;
@@ -31,7 +44,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chronos_core::ChronosControl;
-use chronos_http::{Response, Router, Server, ServerHandle, Status};
+use chronos_http::{Request, Response, Router, Server, ServerHandle, ServerMetrics, Status};
+use chronos_json::obj;
 
 /// How often the background sweeper checks for heartbeat timeouts.
 const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
@@ -41,15 +55,41 @@ pub struct ChronosServer {
     http: Option<ServerHandle>,
     control: Arc<ChronosControl>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
     sweeper: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ChronosServer {
-    /// Binds `addr` and starts serving the versioned API. A background
-    /// thread runs the failure-detection sweep (requirement *(iii)*).
+    /// Binds `addr` and starts serving the versioned API with the default
+    /// (bounded) admission configuration. A background thread runs the
+    /// failure-detection sweep (requirement *(iii)*).
     pub fn start(control: Arc<ChronosControl>, addr: &str) -> std::io::Result<ChronosServer> {
-        let router = build_router(Arc::clone(&control));
-        let http = Server::new().serve(addr, move |request| router.dispatch(&request))?;
+        Self::start_with(control, addr, Server::new())
+    }
+
+    /// Like [`ChronosServer::start`], but with a caller-configured HTTP
+    /// front end (worker count, admission queue depth, in-flight cap, or
+    /// an unbounded legacy configuration). Used by the overload experiment
+    /// and robustness tests to pin the admission envelope.
+    pub fn start_with(
+        control: Arc<ChronosControl>,
+        addr: &str,
+        http: Server,
+    ) -> std::io::Result<ChronosServer> {
+        let metrics = ServerMetrics::shared();
+        let draining = Arc::new(AtomicBool::new(false));
+        let router = router_with(Arc::clone(&control), Arc::clone(&metrics), Arc::clone(&draining));
+        let guard_metrics = Arc::clone(&metrics);
+        let http = http.with_metrics(Arc::clone(&metrics)).serve(addr, move |request| {
+            // First line of deadline defense: a request whose budget ran
+            // out while queued is answered before the router runs at all.
+            if request.deadline_expired() {
+                guard_metrics.deadline_exceeded.inc();
+                return deadline_response("deadline expired before the handler ran");
+            }
+            router.dispatch(&request)
+        })?;
         let stop = Arc::new(AtomicBool::new(false));
         let sweeper = {
             let control = Arc::clone(&control);
@@ -64,7 +104,14 @@ impl ChronosServer {
                 })
                 .expect("failed to spawn sweeper")
         };
-        Ok(ChronosServer { http: Some(http), control, stop, sweeper: Some(sweeper) })
+        Ok(ChronosServer {
+            http: Some(http),
+            control,
+            stop,
+            draining,
+            metrics,
+            sweeper: Some(sweeper),
+        })
     }
 
     /// Base URL, e.g. `http://127.0.0.1:43211`.
@@ -82,8 +129,39 @@ impl ChronosServer {
         &self.control
     }
 
-    /// Stops the HTTP listener and the sweeper. Idempotent.
+    /// Live counters for the HTTP front end (accepted, shed, in-flight…).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Whether a drain has begun (readiness is reported false from then on).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Worker-pool panics observed so far (0 on a healthy server).
+    pub fn pool_panics(&self) -> usize {
+        self.http.as_ref().map(|h| h.pool_panics()).unwrap_or(0)
+    }
+
+    /// Two-phase graceful drain: flips `/readyz` to unready, stops
+    /// accepting new connections (they are refused with a typed
+    /// `503 draining` envelope), lets every in-flight request finish with
+    /// `Connection: close`, and joins the worker pool. Returns `true` if
+    /// all in-flight work completed within the drain window. The sweeper
+    /// keeps running until [`ChronosServer::shutdown`].
+    pub fn drain(&mut self) -> bool {
+        self.draining.store(true, Ordering::SeqCst);
+        match self.http.as_mut() {
+            Some(http) => http.drain(),
+            None => true,
+        }
+    }
+
+    /// Stops the HTTP listener (draining in-flight requests first) and
+    /// the sweeper. Idempotent.
     pub fn shutdown(&mut self) {
+        self.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         if let Some(mut http) = self.http.take() {
             http.shutdown();
@@ -100,17 +178,74 @@ impl Drop for ChronosServer {
     }
 }
 
-/// Builds the full routing table (v1 + frozen v0).
+/// Builds the full routing table (v1 + frozen v0) with a detached set of
+/// metrics and a never-draining readiness flag. Prefer
+/// [`ChronosServer::start`], which wires the router to the live server
+/// state; this entry point serves embedding and router-level tests.
 pub fn build_router(control: Arc<ChronosControl>) -> Router {
+    router_with(control, ServerMetrics::shared(), Arc::new(AtomicBool::new(false)))
+}
+
+/// Builds the routing table wired to live server state: `metrics` counts
+/// deadline rejections and is surfaced on the status UI, `draining`
+/// drives `/readyz`.
+fn router_with(
+    control: Arc<ChronosControl>,
+    metrics: Arc<ServerMetrics>,
+    draining: Arc<AtomicBool>,
+) -> Router {
     let mut router = Router::new();
-    api_v1::mount(&mut router, Arc::clone(&control));
-    api_v0::mount(&mut router, Arc::clone(&control));
-    ui::mount(&mut router, control);
+    api_v1::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics));
+    api_v0::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics));
+    ui::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics), Arc::clone(&draining));
     router.get("/api", |_req, _params| {
         use chronos_api::WireEncode;
         Response::json(&chronos_api::ApiIndex::default().to_value())
     });
+
+    // Liveness: the process is up and the router is dispatching. No auth —
+    // orchestrator probes cannot carry tokens.
+    router.get("/healthz", |_req, _params| Response::json(&obj! { "status" => "ok" }));
+
+    // Readiness: the store can persist writes and no drain has begun. An
+    // unready server answers 503 with the same typed envelope shape the
+    // accept thread sheds with, so probes and agents classify it alike.
+    router.get("/readyz", move |_req, _params| {
+        let store_healthy = control.store_healthy();
+        let is_draining = draining.load(Ordering::SeqCst);
+        let ready = store_healthy && !is_draining;
+        let body = obj! {
+            "ready" => ready,
+            "draining" => is_draining,
+            "store_healthy" => store_healthy,
+        };
+        if ready {
+            Response::json(&body)
+        } else {
+            Response::json_status(Status::SERVICE_UNAVAILABLE, &body)
+        }
+    });
     router
+}
+
+/// The `504 deadline_exceeded` response for a request whose
+/// `X-Chronos-Deadline-Ms` budget ran out server-side.
+pub(crate) fn deadline_response(message: &str) -> Response {
+    use chronos_api::{ErrorEnvelope, WireEncode};
+    Response::json_status(
+        Status::GATEWAY_TIMEOUT,
+        &ErrorEnvelope::deadline_exceeded(message).to_value(),
+    )
+}
+
+/// Checks the request's deadline budget before expensive work; returns the
+/// ready-made 504 response (and counts it) when the budget is spent.
+pub(crate) fn deadline_guard(req: &Request, metrics: &ServerMetrics) -> Option<Response> {
+    if req.deadline_expired() {
+        metrics.deadline_exceeded.inc();
+        return Some(deadline_response("request deadline expired"));
+    }
+    None
 }
 
 /// Maps a [`chronos_core::CoreError`] to the wire error envelope.

@@ -18,12 +18,13 @@
 //! `?token=` query parameter (obtained from `POST /api/v1/login`); all
 //! intra-UI links propagate it.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use chronos_core::charts::ChartRegistry;
 use chronos_core::model::JobState;
 use chronos_core::{analysis, ChronosControl, CoreError, CoreResult};
-use chronos_http::{Request, Response, RouteParams, Router, Status};
+use chronos_http::{Request, Response, RouteParams, Router, ServerMetrics, Status};
 use chronos_util::Id;
 
 /// HTML-escapes text content.
@@ -96,8 +97,32 @@ fn token_of(req: &Request) -> String {
     req.query_param("token").unwrap_or_default()
 }
 
+/// Renders the server-health block on the overview page: drain state plus
+/// the front-end admission counters.
+fn health_section(metrics: &ServerMetrics, draining: bool) -> String {
+    format!(
+        "<h2>Server health</h2><table>\
+         <tr><th>state</th><th>in-flight</th><th>accepted</th><th>requests</th>\
+         <th>shed (overload)</th><th>shed (draining)</th><th>deadline exceeded</th></tr>\
+         <tr><td>{state}</td><td>{inflight}</td><td>{accepted}</td><td>{requests}</td>\
+         <td>{shed_overload}</td><td>{shed_draining}</td><td>{deadline}</td></tr></table>",
+        state = if draining { "draining" } else { "running" },
+        inflight = metrics.inflight.get(),
+        accepted = metrics.accepted.get(),
+        requests = metrics.requests.get(),
+        shed_overload = metrics.shed_overload.get(),
+        shed_draining = metrics.shed_draining.get(),
+        deadline = metrics.deadline_exceeded.get(),
+    )
+}
+
 /// Mounts all UI routes.
-pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
+pub fn mount(
+    router: &mut Router,
+    control: Arc<ChronosControl>,
+    metrics: Arc<ServerMetrics>,
+    draining: Arc<AtomicBool>,
+) {
     let c = &control;
 
     // Overview.
@@ -108,6 +133,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>) {
         }
         let token = token_of(req);
         let mut body = String::from("<h1>Chronos Control</h1>");
+        body.push_str(&health_section(&metrics, draining.load(Ordering::SeqCst)));
         body.push_str("<h2>Systems under evaluation</h2><table><tr><th>name</th><th>description</th><th>parameters</th><th>charts</th></tr>");
         for system in control_.list_systems() {
             body.push_str(&format!(

@@ -1,0 +1,280 @@
+//! A small circuit breaker for client→server endpoints.
+//!
+//! When Chronos Control is struggling, the worst thing its own agent fleet
+//! can do is keep hammering it with retries. Each agent therefore guards
+//! every control-plane endpoint with a [`CircuitBreaker`]: after a run of
+//! consecutive hard failures (5xx or connect errors) the circuit *opens* and
+//! calls fail fast locally without touching the network; after a cooldown a
+//! single *half-open* probe is let through, and its outcome decides whether
+//! the circuit closes again or re-opens for another cooldown.
+//!
+//! The cooldown is jittered from a per-breaker seed so a fleet of agents
+//! that tripped on the same outage does not send its probes in lockstep —
+//! same rationale as the decorrelated-jitter retry schedule in [`crate::retry`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::{Clock, SystemClock};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls fail fast until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; everyone else still fails fast.
+    HalfOpen,
+}
+
+struct Inner {
+    state: CircuitState,
+    consecutive_failures: u32,
+    /// Clock millis at which an open circuit admits its half-open probe.
+    open_until: u64,
+    rng: StdRng,
+}
+
+/// A consecutive-failure circuit breaker with seeded half-open probes.
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    threshold: u32,
+    cooldown: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and stays
+    /// open for roughly `cooldown` (plus up to 50% seeded jitter).
+    pub fn new(threshold: u32, cooldown: Duration, seed: u64) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                state: CircuitState::Closed,
+                consecutive_failures: 0,
+                open_until: 0,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+            clock: Arc::new(SystemClock),
+        }
+    }
+
+    /// Substitutes the time source (tests drive a
+    /// [`MockClock`](crate::MockClock) instead of sleeping).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Whether a call may proceed right now. An open circuit whose cooldown
+    /// has elapsed admits exactly one caller as the half-open probe; every
+    /// other caller keeps failing fast until that probe reports back.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Closed => true,
+            CircuitState::HalfOpen => false,
+            CircuitState::Open => {
+                if self.clock.now_millis() >= inner.open_until {
+                    inner.state = CircuitState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: closes the circuit and clears the failure
+    /// run.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = CircuitState::Closed;
+        inner.consecutive_failures = 0;
+    }
+
+    /// Records a hard failure (5xx or connect error). Opens the circuit when
+    /// the consecutive-failure run reaches the threshold, or immediately if
+    /// this was the half-open probe.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        if inner.state == CircuitState::HalfOpen || inner.consecutive_failures >= self.threshold {
+            let base = self.cooldown.as_millis() as u64;
+            let jitter = if base >= 2 { inner.rng.gen_range(0..base / 2 + 1) } else { 0 };
+            inner.open_until = self.clock.now_millis() + base + jitter;
+            inner.state = CircuitState::Open;
+        }
+    }
+
+    /// Current state (transitions lazily: an open circuit past its cooldown
+    /// still reads `Open` until a caller claims the probe slot).
+    pub fn state(&self) -> CircuitState {
+        self.inner.lock().state
+    }
+
+    /// How long until an open circuit admits its probe (zero if it already
+    /// would, `None` when closed or half-open).
+    pub fn retry_in(&self) -> Option<Duration> {
+        let inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Open => Some(Duration::from_millis(
+                inner.open_until.saturating_sub(self.clock.now_millis()),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// A lazily populated set of per-endpoint breakers sharing one policy.
+///
+/// Each endpoint gets its own breaker (a failing archive endpoint must not
+/// fail-fast heartbeats) with a seed derived from the set's seed and the
+/// endpoint name, keeping probe jitter deterministic per (seed, endpoint).
+pub struct BreakerSet {
+    threshold: u32,
+    cooldown: Duration,
+    seed: u64,
+    clock: Arc<dyn Clock>,
+    breakers: Mutex<HashMap<&'static str, Arc<CircuitBreaker>>>,
+}
+
+impl BreakerSet {
+    /// A set whose breakers open after `threshold` consecutive failures for
+    /// roughly `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration, seed: u64) -> Self {
+        BreakerSet {
+            threshold,
+            cooldown,
+            seed,
+            clock: Arc::new(SystemClock),
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Substitutes the time source for every breaker created afterwards.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The breaker guarding `endpoint`, created on first use.
+    pub fn get(&self, endpoint: &'static str) -> Arc<CircuitBreaker> {
+        let mut breakers = self.breakers.lock();
+        Arc::clone(breakers.entry(endpoint).or_insert_with(|| {
+            let mut seed = self.seed;
+            for b in endpoint.bytes() {
+                // FNV-1a style fold so each endpoint's jitter stream differs.
+                seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            Arc::new(
+                CircuitBreaker::new(self.threshold, self.cooldown, seed)
+                    .with_clock(Arc::clone(&self.clock)),
+            )
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    fn breaker(clock: &MockClock) -> CircuitBreaker {
+        CircuitBreaker::new(3, Duration::from_millis(1000), 7).with_clock(Arc::new(clock.clone()))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let clock = MockClock::new(0);
+        let b = breaker(&clock);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.try_acquire(), "open circuit must fail fast");
+        assert!(b.retry_in().is_some());
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let clock = MockClock::new(0);
+        let b = breaker(&clock);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed, "run was broken by a success");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let clock = MockClock::new(0);
+        let b = breaker(&clock);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(!b.try_acquire());
+        // Cooldown is 1000ms + up to 500ms jitter: advance past the worst case.
+        clock.advance_millis(1501);
+        assert!(b.try_acquire(), "first caller after cooldown is the probe");
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(!b.try_acquire(), "only one probe may be in flight");
+        b.record_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let clock = MockClock::new(0);
+        let b = breaker(&clock);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        clock.advance_millis(1501);
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open, "failed probe must re-open");
+        assert!(!b.try_acquire());
+    }
+
+    #[test]
+    fn cooldown_jitter_is_seeded_and_bounded() {
+        let clock = MockClock::new(0);
+        let deadline = |seed: u64| {
+            let b = CircuitBreaker::new(1, Duration::from_millis(1000), seed)
+                .with_clock(Arc::new(clock.clone()));
+            b.record_failure();
+            b.retry_in().unwrap()
+        };
+        let a = deadline(1);
+        assert_eq!(a, deadline(1), "same seed, same probe time");
+        assert!(a >= Duration::from_millis(1000) && a <= Duration::from_millis(1500));
+        // Different seeds should decorrelate (not guaranteed for every pair,
+        // but these two differ).
+        assert_ne!(deadline(2), deadline(3));
+    }
+
+    #[test]
+    fn breaker_set_isolates_endpoints() {
+        let clock = MockClock::new(0);
+        let set =
+            BreakerSet::new(1, Duration::from_millis(1000), 42).with_clock(Arc::new(clock.clone()));
+        set.get("claim").record_failure();
+        assert!(!set.get("claim").try_acquire(), "claim circuit tripped");
+        assert!(set.get("heartbeat").try_acquire(), "heartbeat circuit is independent");
+        // Same endpoint resolves to the same breaker instance.
+        assert!(Arc::ptr_eq(&set.get("claim"), &set.get("claim")));
+    }
+}

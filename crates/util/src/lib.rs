@@ -14,10 +14,13 @@
 //!   by parallel agents.
 //! * [`retry`] — bounded exponential backoff used by agents talking to
 //!   Chronos Control.
+//! * [`circuit`] — per-endpoint circuit breakers so a struggling control
+//!   plane is not hammered by its own agent fleet.
 //! * [`fail`] — deterministic fault injection: named failpoint sites armed
 //!   from tests or `CHRONOS_FAILPOINTS`, compiled out unless the
 //!   `failpoints` feature is enabled.
 
+pub mod circuit;
 pub mod clock;
 pub mod encode;
 pub mod fail;

@@ -15,19 +15,28 @@ use parking_lot::Mutex;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The submission side of the pool's queue: unbounded for legacy callers,
+/// bounded (rendezvous + fixed buffer) for admission-controlled servers.
+enum JobSender {
+    Unbounded(mpsc::Sender<Job>),
+    Bounded(mpsc::SyncSender<Job>),
+}
+
 /// A fixed-size pool of worker threads executing submitted closures.
 ///
 /// Dropping the pool closes the queue and joins all workers, so every
 /// submitted job is either executed or (if a worker panicked) accounted for
 /// in [`ThreadPool::panics`].
 pub struct ThreadPool {
-    sender: Option<mpsc::Sender<Job>>,
+    sender: Option<JobSender>,
     workers: Vec<JoinHandle<()>>,
     panics: Arc<AtomicUsize>,
+    queue_capacity: Option<usize>,
 }
 
 impl ThreadPool {
-    /// Creates a pool with `size` workers. `size` is clamped to at least 1.
+    /// Creates a pool with `size` workers and an unbounded queue. `size` is
+    /// clamped to at least 1.
     pub fn new(size: usize) -> Self {
         Self::with_name(size, "chronos-worker")
     }
@@ -35,8 +44,34 @@ impl ThreadPool {
     /// Creates a pool whose worker threads carry `name` (visible in
     /// backtraces and profilers).
     pub fn with_name(size: usize, name: &str) -> Self {
+        Self::build(size, None, name)
+    }
+
+    /// Creates a pool with `size` workers and a bounded queue holding at most
+    /// `queue` jobs beyond the ones workers are already running. Submissions
+    /// past that bound fail fast via [`ThreadPool::try_execute`] instead of
+    /// piling up — the primitive behind the HTTP server's admission control.
+    pub fn bounded(size: usize, queue: usize) -> Self {
+        Self::bounded_with_name(size, queue, "chronos-worker")
+    }
+
+    /// [`ThreadPool::bounded`] with named worker threads.
+    pub fn bounded_with_name(size: usize, queue: usize, name: &str) -> Self {
+        Self::build(size, Some(queue), name)
+    }
+
+    fn build(size: usize, queue: Option<usize>, name: &str) -> Self {
         let size = size.max(1);
-        let (sender, receiver) = mpsc::channel::<Job>();
+        let (sender, receiver) = match queue {
+            None => {
+                let (tx, rx) = mpsc::channel::<Job>();
+                (JobSender::Unbounded(tx), rx)
+            }
+            Some(depth) => {
+                let (tx, rx) = mpsc::sync_channel::<Job>(depth);
+                (JobSender::Bounded(tx), rx)
+            }
+        };
         let receiver = Arc::new(Mutex::new(receiver));
         let panics = Arc::new(AtomicUsize::new(0));
         let workers = (0..size)
@@ -62,17 +97,33 @@ impl ThreadPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers, panics }
+        ThreadPool { sender: Some(sender), workers, panics, queue_capacity: queue }
     }
 
-    /// Submits a job for execution. Returns `false` if the pool is shutting
-    /// down and the job was not accepted.
+    /// Submits a job for execution, blocking if a bounded queue is full.
+    /// Returns `false` if the pool is shutting down and the job was not
+    /// accepted.
     pub fn execute<F>(&self, job: F) -> bool
     where
         F: FnOnce() + Send + 'static,
     {
         match &self.sender {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            Some(JobSender::Unbounded(tx)) => tx.send(Box::new(job)).is_ok(),
+            Some(JobSender::Bounded(tx)) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Submits a job without blocking. Returns `false` — dropping the job —
+    /// if a bounded queue is full or the pool is shutting down. On an
+    /// unbounded pool this is identical to [`ThreadPool::execute`].
+    pub fn try_execute<F>(&self, job: F) -> bool
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        match &self.sender {
+            Some(JobSender::Unbounded(tx)) => tx.send(Box::new(job)).is_ok(),
+            Some(JobSender::Bounded(tx)) => tx.try_send(Box::new(job)).is_ok(),
             None => false,
         }
     }
@@ -80,6 +131,11 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The bounded queue depth, or `None` for an unbounded pool.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.queue_capacity
     }
 
     /// Number of jobs that panicked instead of completing.
@@ -166,6 +222,55 @@ mod tests {
             counter.load(Ordering::Relaxed)
         };
         assert_eq!(panics, 3);
+    }
+
+    #[test]
+    fn bounded_try_execute_sheds_when_full() {
+        // One worker parked on a gate, queue depth 2: the first submission is
+        // picked up by the worker, two more sit in the queue, the fourth must
+        // be rejected without blocking.
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        let pool = ThreadPool::bounded(1, 2);
+        assert_eq!(pool.queue_capacity(), Some(2));
+        let blocker = Arc::clone(&gate);
+        assert!(pool.try_execute(move || {
+            drop(blocker.lock());
+        }));
+        // Give the worker a moment to pick the blocking job off the queue.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(pool.try_execute(|| {}));
+        assert!(pool.try_execute(|| {}));
+        assert!(!pool.try_execute(|| {}), "fourth job must be shed, queue is full");
+        drop(guard);
+        drop(pool);
+    }
+
+    #[test]
+    fn bounded_pool_executes_admitted_jobs() {
+        let pool = ThreadPool::bounded(4, 64);
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut admitted = 0u64;
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            if pool.try_execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }) {
+                admitted += 1;
+            }
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::Relaxed), admitted, "no admitted job may be lost");
+        assert!(admitted >= 64, "at least the queue depth must have been admitted");
+    }
+
+    #[test]
+    fn unbounded_try_execute_never_sheds() {
+        let pool = ThreadPool::new(1);
+        for _ in 0..100 {
+            assert!(pool.try_execute(|| {}));
+        }
+        assert_eq!(pool.queue_capacity(), None);
     }
 
     #[test]

@@ -84,9 +84,24 @@ impl Backoff {
 
     /// Runs `op` until it succeeds or the policy is exhausted, sleeping
     /// between attempts. Returns the last error on exhaustion.
-    pub fn run<T, E, F>(&self, mut op: F) -> Result<T, E>
+    pub fn run<T, E, F>(&self, op: F) -> Result<T, E>
     where
         F: FnMut(u32) -> Result<T, E>,
+    {
+        self.run_hinted(op, |_| None)
+    }
+
+    /// Like [`run`](Backoff::run), but lets the caller extract a server-sent
+    /// retry hint (`Retry-After`) from each error. When a hint is present the
+    /// sleep is `max(hint, scheduled delay)`: the hint can only stretch a
+    /// delay, never shrink it below the jitter, so a fleet told "come back in
+    /// 2s" still fans out instead of stampeding at t+2s exactly. Hints are
+    /// clamped to [`MAX_RETRY_HINT`] so a misconfigured server cannot park a
+    /// client for hours.
+    pub fn run_hinted<T, E, F, H>(&self, mut op: F, hint: H) -> Result<T, E>
+    where
+        F: FnMut(u32) -> Result<T, E>,
+        H: Fn(&E) -> Option<Duration>,
     {
         let mut jitter = self.jitter_seed.map(|seed| self.jittered_delays(seed));
         let mut attempt = 0;
@@ -104,7 +119,7 @@ impl Backoff {
                     };
                     match delay {
                         Some(delay) => {
-                            std::thread::sleep(delay);
+                            std::thread::sleep(effective_delay(delay, hint(&e)));
                             attempt += 1;
                         }
                         None => return Err(e),
@@ -112,6 +127,19 @@ impl Backoff {
                 }
             }
         }
+    }
+}
+
+/// Upper bound honored for server-sent retry hints (see
+/// [`Backoff::run_hinted`]).
+pub const MAX_RETRY_HINT: Duration = Duration::from_secs(30);
+
+/// The sleep actually taken for a scheduled `delay` and an optional
+/// server-sent `hint`: `max(delay, min(hint, MAX_RETRY_HINT))`.
+pub fn effective_delay(delay: Duration, hint: Option<Duration>) -> Duration {
+    match hint {
+        Some(h) => delay.max(h.min(MAX_RETRY_HINT)),
+        None => delay,
     }
 }
 
@@ -205,6 +233,53 @@ mod tests {
         };
         let result: Result<(), u32> = b.run(Err);
         assert_eq!(result, Err(2));
+    }
+
+    #[test]
+    fn run_hinted_stretches_delay_to_the_hint() {
+        let b = Backoff {
+            initial: Duration::from_millis(1),
+            factor_percent: 100,
+            max_delay: Duration::from_millis(1),
+            max_attempts: 3,
+            ..Backoff::default()
+        };
+        let hint = Duration::from_millis(60);
+        let started = std::time::Instant::now();
+        let result: Result<(), u32> = b.run_hinted(Err, |_| Some(hint));
+        assert_eq!(result, Err(2));
+        // Two sleeps, each stretched from 1ms to the 60ms hint.
+        assert!(started.elapsed() >= hint * 2, "hint must stretch the scheduled delay");
+    }
+
+    #[test]
+    fn run_hinted_never_shrinks_below_the_schedule() {
+        let b = Backoff {
+            initial: Duration::from_millis(40),
+            factor_percent: 100,
+            max_delay: Duration::from_millis(40),
+            max_attempts: 2,
+            ..Backoff::default()
+        };
+        let started = std::time::Instant::now();
+        // A 1ms hint must not shrink the scheduled 40ms delay.
+        let result: Result<(), u32> = b.run_hinted(Err, |_| Some(Duration::from_millis(1)));
+        assert_eq!(result, Err(1));
+        assert!(started.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn effective_delay_takes_max_and_clamps() {
+        let base = Duration::from_millis(100);
+        assert_eq!(effective_delay(base, None), base);
+        assert_eq!(effective_delay(base, Some(Duration::from_millis(1))), base);
+        assert_eq!(
+            effective_delay(base, Some(Duration::from_millis(250))),
+            Duration::from_millis(250)
+        );
+        // An absurd hint is clamped so a misconfigured server cannot park
+        // the client for a day.
+        assert_eq!(effective_delay(base, Some(Duration::from_secs(86_400))), MAX_RETRY_HINT);
     }
 
     #[test]

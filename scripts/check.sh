@@ -2,8 +2,8 @@
 # Repository gate: formatting, lints, the full test suite, and a quick
 # benchmark smoke run.
 # Usage: scripts/check.sh [--bench] [--chaos]
-#   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json
-#            at full scale via the E8 and E9 experiments
+#   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
+#            BENCH_overload.json at full scale via the E8, E9 and E11 experiments
 #   --chaos  also run the fault-injection suites (torture + chaos) with
 #            --features failpoints under a fixed seed, and verify that the
 #            default release build carries zero failpoint overhead
@@ -21,6 +21,11 @@ echo "== clippy: wire-contract crate (deny warnings) =="
 # strictest bar even if the workspace-wide lint set ever loosens.
 cargo clippy -p chronos-api --all-targets --offline -- -D warnings
 
+echo "== clippy: overload-protection crates (deny warnings) =="
+# The admission/drain/retry path cuts across these crates; keep them
+# individually warning-clean like the contract crate.
+cargo clippy -p chronos-http -p chronos-agent -p chronos-server --all-targets --offline -- -D warnings
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
@@ -34,22 +39,28 @@ if ! cargo test -q --offline --test wire_compat; then
     exit 1
 fi
 
-echo "== chronos-bench smoke (E8 E9, quick sizes) =="
+echo "== chronos-bench smoke (E8 E9 E11, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the
 # committed full-scale BENCH_*.json files.
 cargo build --release -p chronos-bench --offline
 bench_bin="$PWD/target/release/chronos-bench"
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$bench_bin" E8 E9 --quick --json)
+(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 --quick --json)
 test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
+test -s "$smoke_dir/BENCH_overload.json"
 rm -rf "$smoke_dir"
+
+echo "== overload protection gate (tests/overload.rs) =="
+# Typed shed envelopes, deadline refusal, graceful drain, Retry-After
+# cooperation — pinned explicitly, not just via the workspace run.
+cargo test -q --offline --test overload
 
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 --json
+        echo "== full-scale E8 + E9 + E11 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="

@@ -285,3 +285,155 @@ fn dropped_response_after_commit_is_deduplicated() {
         assert_eq!(running, 1, "retried claim left extra jobs running {}", replay());
     }
 }
+
+/// A cooperating background client hammering the health endpoint with
+/// connection-per-request sockets: the offered load that pushes the bounded
+/// server past its admission limits while the agents work. Honors the shed
+/// `X-Chronos-Retry-After-Ms` hint (capped so the storm keeps blowing).
+fn swarm_client(addr: std::net::SocketAddr, done: &AtomicBool) -> (u64, u64, u64) {
+    use std::io::{Read, Write};
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    while !done.load(Ordering::SeqCst) {
+        let outcome = (|| -> Option<u16> {
+            let mut stream = std::net::TcpStream::connect(addr).ok()?;
+            stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: swarm\r\nConnection: close\r\n\r\n")
+                .ok()?;
+            let mut raw = Vec::new();
+            stream.read_to_end(&mut raw).ok()?;
+            String::from_utf8_lossy(&raw).split_whitespace().nth(1).and_then(|s| s.parse().ok())
+        })();
+        match outcome {
+            Some(status) if (200..300).contains(&status) => {
+                ok += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Some(429) | Some(503) => {
+                shed += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Dropped responses are expected here: the storm arms
+            // `http.server.drop_response` against everyone, swarm included.
+            _ => errors += 1,
+        }
+    }
+    (ok, shed, errors)
+}
+
+/// The overload storm: a deliberately *undersized* bounded server (five
+/// workers, no queue — just enough for the fixture client, two agent
+/// connections and their per-job heartbeat connections) takes a fault
+/// storm *and* a health-check swarm at the same time. Admission control
+/// sheds the excess with typed 429s, the agents retry through it, and at
+/// the end a graceful drain completes cleanly with every accepted job
+/// finished exactly once.
+#[test]
+fn overload_storm_every_accepted_job_finishes_and_drain_is_clean() {
+    let _guard = serial();
+    let mut env = TestEnv::start_with_server(
+        SchedulerConfig { heartbeat_timeout_millis: 1500, max_attempts: 12, auto_reschedule: true },
+        chronos::http::Server::new()
+            .workers(5)
+            .queue_depth(0)
+            .retry_after(Duration::from_millis(10)),
+    );
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project_id, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "engine" => obj! {"sweep" => "all"},
+            "record_count" => 60,
+            "operation_count" => 120,
+        },
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job_count =
+        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap() as usize;
+    assert_eq!(job_count, 2);
+
+    fail::arm("agent.heartbeat", Policy::ErrorProb(0.10));
+    fail::arm("http.server.drop_response", Policy::ErrorProb(0.03));
+
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let base_url = env.server.base_url();
+    let addr = env.server.addr();
+    let token = env.admin_token.clone();
+    let deployment = Id::parse_base32(&deployment_id).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let agents: Vec<_> = (0..2)
+        .map(|i| {
+            let base_url = base_url.clone();
+            let token = token.clone();
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name(format!("overload-agent-{i}"))
+                .spawn(move || storm_agent(&base_url, &token, deployment, &done, deadline))
+                .unwrap()
+        })
+        .collect();
+    let swarm: Vec<_> = (0..2)
+        .map(|i| {
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name(format!("overload-swarm-{i}"))
+                .spawn(move || swarm_client(addr, &done))
+                .unwrap()
+        })
+        .collect();
+
+    // Watch from the control side until every job settled.
+    let control = Arc::clone(env.server.control());
+    let evaluation = Id::parse_base32(&evaluation_id).unwrap();
+    while Instant::now() < deadline {
+        let jobs = control.list_jobs(evaluation).unwrap();
+        if jobs.iter().all(|j| j.state == JobState::Finished)
+            && control.count_results() == job_count
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    done.store(true, Ordering::SeqCst);
+    let completed: u64 = agents.into_iter().map(|h| h.join().unwrap()).sum();
+    let (swarm_ok, swarm_shed, _swarm_errors) = swarm
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold((0, 0, 0), |acc, c| (acc.0 + c.0, acc.1 + c.1, acc.2 + c.2));
+
+    fail::reset();
+
+    // Exactly-once under overload: the storm must not have lost or
+    // duplicated any accepted job.
+    let jobs = control.list_jobs(evaluation).unwrap();
+    assert_eq!(jobs.len(), job_count, "jobs vanished {}", replay());
+    for job in &jobs {
+        assert_eq!(
+            job.state,
+            JobState::Finished,
+            "job {} ended {:?} after {} attempts (agents completed {completed}) {}",
+            job.id,
+            job.state,
+            job.attempts,
+            replay()
+        );
+        assert!(job.result_id.is_some(), "finished job {} has no result {}", job.id, replay());
+    }
+    assert_eq!(control.count_results(), job_count, "duplicate or lost uploads {}", replay());
+    assert!(completed >= 1, "no agent ever completed a job {}", replay());
+
+    // The storm really overloaded admission (the swarm got typed sheds,
+    // not hangs or resets), and some health checks still got through.
+    let metrics = env.server.metrics();
+    assert!(swarm_shed >= 1, "swarm was never shed — server not overloaded {}", replay());
+    assert!(swarm_ok >= 1, "no health check ever admitted during the storm {}", replay());
+    assert!(metrics.shed_overload.get() >= swarm_shed, "server-side shed accounting {}", replay());
+
+    // Graceful drain after the storm: no in-flight request is dropped, the
+    // pool never panicked, and teardown completes inside the drain window.
+    assert!(env.server.drain(), "drain timed out with requests in flight {}", replay());
+    assert!(env.server.is_draining());
+    assert_eq!(env.server.pool_panics(), 0, "worker pool panicked during the storm {}", replay());
+}

@@ -30,13 +30,23 @@ impl TestEnv {
 
     /// Starts a server with a custom scheduler policy (short timeouts etc.).
     pub fn start_with_config(config: SchedulerConfig) -> TestEnv {
+        Self::start_with_server(config, chronos::http::Server::new())
+    }
+
+    /// Starts a server with a custom scheduler policy *and* a custom HTTP
+    /// server configuration (small worker pools, tight admission bounds —
+    /// the overload and drain tests need deterministic capacity).
+    pub fn start_with_server(
+        config: SchedulerConfig,
+        http_server: chronos::http::Server,
+    ) -> TestEnv {
         let control = Arc::new(ChronosControl::new(
             MetadataStore::in_memory(),
             Arc::new(SystemClock),
             config,
         ));
         control.create_user("admin", "admin-pw", Role::Admin).unwrap();
-        let server = ChronosServer::start(control, "127.0.0.1:0").unwrap();
+        let server = ChronosServer::start_with(control, "127.0.0.1:0", http_server).unwrap();
         let http = Client::new(&server.base_url()).with_timeout(Duration::from_secs(10));
         let login = http
             .post_json("/api/v1/login", &obj! {"username" => "admin", "password" => "admin-pw"})

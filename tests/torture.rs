@@ -82,7 +82,16 @@ fn store_crash_round(dir: &std::path::Path, round: u64, policy: Policy) {
         "round {round}: fault {policy:?} never fired in 64 writes {}",
         replay()
     );
+    // The sticky WAL failure must flip the readiness probe: this is what
+    // `/readyz` reports so the fleet stops routing work here.
+    assert!(!store.healthy(), "round {round}: failed store still reports healthy {}", replay());
     drop(store); // crash
+
+    // A clean reopen restores health.
+    let reopened = MetadataStore::open(&path)
+        .unwrap_or_else(|e| panic!("round {round}: recovery failed: {e} {}", replay()));
+    assert!(reopened.healthy(), "round {round}: recovered store must be healthy {}", replay());
+    drop(reopened);
 
     let recovered = MetadataStore::open(&path)
         .unwrap_or_else(|e| panic!("round {round}: recovery failed: {e} {}", replay()));
