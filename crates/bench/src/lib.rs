@@ -13,6 +13,7 @@ use chronos_util::Id;
 pub mod baseline;
 pub mod contention;
 pub mod data_plane;
+pub mod http_scale;
 pub mod overload;
 
 /// One measured benchmark configuration.

@@ -71,6 +71,189 @@ fn main() {
     if want("E11") {
         experiment_e11(quick, emit_json);
     }
+    if want("E12") {
+        experiment_e12(quick, emit_json);
+    }
+}
+
+/// E12 — connection scaling: goodput and accepted-request p99 vs concurrent
+/// keep-alive agent connections, epoll reactor core vs the thread-per-
+/// connection baseline at equal worker counts. `--json` also writes both
+/// sweeps to `BENCH_http_scale.json` for regression tracking.
+fn experiment_e12(quick: bool, emit_json: bool) {
+    use chronos_bench::http_scale::{
+        point_collapsed, point_sustained, run_scale, CoreReport, ScalePoint, DRIVERS,
+    };
+    use chronos_http::{Response, Server};
+    use std::time::Duration;
+
+    println!("== E12: keep-alive connection scaling (reactor vs threaded core) ==");
+
+    const WORKERS: usize = 4;
+    let sweep: Vec<usize> = if quick { vec![4, 64] } else { vec![4, 64, 512, 2048, 8192] };
+    let duration = if quick { Duration::from_millis(1500) } else { Duration::from_secs(4) };
+    let max_agents = *sweep.last().unwrap();
+    // Both sides of the bench hold one fd per agent; make sure the process
+    // limit does not silently cap the sweep.
+    let nofile = chronos_http::raise_nofile_limit().unwrap_or(0);
+    if (nofile as usize) < 2 * max_agents + 64 {
+        println!("warning: RLIMIT_NOFILE {nofile} may truncate the {max_agents}-agent point");
+    }
+    // The open-connection cap must not be the variable under test: raise it
+    // identically on both cores so the difference is purely the core.
+    let inflight_cap = 2 * max_agents + 64;
+    let path = "/api/v1/ping";
+    let handler = |_req: chronos_http::Request| {
+        // Roughly 100-200 µs of real CPU per request — a cheap stats read,
+        // not a no-op. This keeps the *server* the bottleneck, so goodput
+        // measures serving capacity rather than bench-driver scheduling,
+        // and latency percentiles measure queueing rather than noise.
+        let mut acc = 0x243f_6a88_85a3_08d3u64;
+        for i in 0..500_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        Response::json(&chronos_json::obj! { "ok" => true })
+    };
+    let start_core = |core: chronos_http::CoreKind| {
+        // A short queue keeps an *accepted* request's wait bounded by a
+        // couple of service times; the long Retry-After hint paces a large
+        // shed fleet so shed replies do not become the dominant workload.
+        let builder = Server::new()
+            .workers(WORKERS)
+            .queue_depth(2)
+            .max_inflight(inflight_cap)
+            .retry_after(Duration::from_secs(1));
+        match core {
+            chronos_http::CoreKind::Reactor => builder.reactor(),
+            chronos_http::CoreKind::Threaded => builder.threaded(),
+        }
+        .serve("127.0.0.1:0", handler)
+        .expect("bind E12 server")
+    };
+
+    let widths = [10, 8, 8, 12, 10, 10, 10, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "core".into(),
+                "agents".into(),
+                "served".into(),
+                "goodput/s".into(),
+                "p99 ms".into(),
+                "shed".into(),
+                "errors".into(),
+                "reconnects".into(),
+            ],
+            &widths
+        )
+    );
+    let print_point = |core: &str, point: &ScalePoint| {
+        println!(
+            "{}",
+            row(
+                &[
+                    core.into(),
+                    point.agents.to_string(),
+                    point.served_agents.to_string(),
+                    format!("{:.0}", point.goodput_per_sec),
+                    format!("{:.2}", point.p99_ms),
+                    point.shed.to_string(),
+                    point.errors.to_string(),
+                    point.reconnects.to_string(),
+                ],
+                &widths
+            )
+        );
+    };
+
+    let mut reports: Vec<CoreReport> = Vec::new();
+    for core in [chronos_http::CoreKind::Threaded, chronos_http::CoreKind::Reactor] {
+        let name = match core {
+            chronos_http::CoreKind::Threaded => "threaded",
+            chronos_http::CoreKind::Reactor => "reactor",
+        };
+        let server = start_core(core);
+        // Warm up (lazy init, fd caches) before measuring anything.
+        let _ = run_scale(server.addr(), path, 1, Duration::from_millis(200));
+        let mut points: Vec<ScalePoint> = Vec::new();
+        for &agents in &sweep {
+            // Larger fleets get longer windows: with thousands of agents
+            // pacing themselves on shed backoff, each agent needs several
+            // attempts inside the window for coverage to be measurable.
+            let window = duration * (1 + (agents / 2048) as u32);
+            let point = run_scale(server.addr(), path, agents, window);
+            print_point(name, &point);
+            let peak = points
+                .iter()
+                .chain(std::iter::once(&point))
+                .map(|p| p.goodput_per_sec)
+                .fold(0.0f64, f64::max);
+            let collapsed = point_collapsed(&point, peak);
+            points.push(point);
+            if collapsed {
+                println!("{name}: collapsed at {agents} agents; skipping larger points");
+                break;
+            }
+        }
+        drop(server);
+        // The smallest sweep point (as many agents as workers) is the
+        // low-concurrency baseline: the p99 budget for every larger point
+        // is twice its tail.
+        let baseline_p99 = points.first().map(|p| p.p99_ms).unwrap_or(0.0);
+        println!(
+            "{name} low-concurrency baseline ({} agents): p99 {baseline_p99:.2} ms",
+            points.first().map(|p| p.agents).unwrap_or(0)
+        );
+        reports.push(CoreReport::evaluate(name, baseline_p99, points));
+    }
+
+    let threaded = &reports[0];
+    let reactor = &reports[1];
+    let ratio = reactor.sustained_agents as f64 / threaded.sustained_agents.max(1) as f64;
+    let reactor_peak = reactor.points.iter().map(|p| p.goodput_per_sec).fold(0.0f64, f64::max);
+    let best = reactor
+        .points
+        .iter()
+        .filter(|p| point_sustained(p, reactor_peak, reactor.baseline_p99_ms))
+        .max_by_key(|p| p.agents);
+    println!(
+        "shape: with {WORKERS} workers and {DRIVERS} driver threads the reactor sustains \
+         {} keep-alive agents vs {} threaded ({ratio:.0}x){}\n",
+        reactor.sustained_agents,
+        threaded.sustained_agents,
+        best.map(|p| format!(
+            "; at that point goodput {:.0}/s, accepted p99 {:.2} ms (budget 2x baseline = {:.2} ms)",
+            p.goodput_per_sec,
+            p.p99_ms,
+            2.0 * reactor.baseline_p99_ms.max(1.0)
+        ))
+        .unwrap_or_default(),
+    );
+
+    if emit_json {
+        let doc = chronos_json::obj! {
+            "experiment" => "E12",
+            "description" => "keep-alive connection scaling: epoll reactor core vs thread-per-connection baseline at equal workers",
+            "workload" => chronos_json::obj! {
+                "endpoint" => path,
+                "workers" => WORKERS as i64,
+                "max_inflight" => inflight_cap as i64,
+                "driver_threads" => DRIVERS as i64,
+                "duration_ms" => duration.as_millis() as i64,
+                "read_timeout_ms" => 1000i64,
+                "keep_alive" => true,
+            },
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+            "sustained_ratio" => ratio,
+            "threaded" => threaded.to_json(),
+            "reactor" => reactor.to_json(),
+        };
+        let path = "BENCH_http_scale.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
 }
 
 /// E11 — overload protection: goodput and accepted-request p99 vs offered

@@ -1,9 +1,11 @@
 //! Blocking HTTP/1.1 client.
 //!
 //! Chronos Agents are "clients [...] connecting to Chronos' REST API"
-//! (paper §2.2); this client is their transport. It keeps one persistent
-//! connection per [`Client`] (reconnecting transparently when the server
-//! closes it) and supports JSON and binary request bodies.
+//! (paper §2.2); this client is their transport. It keeps a small cache of
+//! idle keep-alive connections to its base URL (reconnecting transparently
+//! when the server closes one) and supports JSON and binary request bodies.
+//! Socket I/O happens outside the cache lock, so concurrent callers sharing
+//! one [`Client`] each drive their own connection instead of queueing.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -45,12 +47,16 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Idle keep-alive connections retained per client; more concurrent
+/// requests simply open (and immediately drop) extra sockets.
+const MAX_IDLE_CONNECTIONS: usize = 4;
+
 /// A blocking HTTP client bound to one base URL.
 pub struct Client {
     host: String,
     authority: String,
     timeout: Duration,
-    connection: Mutex<Option<BufReader<TcpStream>>>,
+    idle: Mutex<Vec<BufReader<TcpStream>>>,
     default_headers: Mutex<Headers>,
 }
 
@@ -63,7 +69,7 @@ impl Client {
             host: authority.clone(),
             authority,
             timeout: Duration::from_secs(30),
-            connection: Mutex::new(None),
+            idle: Mutex::new(Vec::new()),
             default_headers: Mutex::new(Headers::new()),
         }
     }
@@ -110,16 +116,17 @@ impl Client {
     }
 
     /// Sends an arbitrary request, transparently reconnecting once if the
-    /// pooled connection has gone stale.
+    /// cached connection has gone stale.
     pub fn send(&self, request: Request) -> Result<Response, ClientError> {
-        let mut guard = self.connection.lock();
-        if guard.is_some() {
-            // Reuse the pooled connection; on failure, retry on a fresh one
+        // Pop in its own statement so the cache lock is released before any
+        // socket I/O (an `if let` scrutinee guard would outlive the block).
+        let cached = self.idle.lock().pop();
+        if let Some(conn) = cached {
+            // Reuse a cached connection; on failure, retry on a fresh one
             // (the server may have closed an idle keep-alive connection).
-            let conn = guard.take().expect("checked above");
             match self.send_on(conn, &request) {
                 Ok((response, conn)) => {
-                    *guard = conn;
+                    self.park(conn);
                     return Ok(response);
                 }
                 Err(_) => { /* fall through to reconnect */ }
@@ -127,8 +134,24 @@ impl Client {
         }
         let conn = self.connect()?;
         let (response, conn) = self.send_on(conn, &request)?;
-        *guard = conn;
+        self.park(conn);
         Ok(response)
+    }
+
+    /// Number of idle connections currently cached (visible for tests and
+    /// diagnostics).
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Returns a reusable connection to the cache, unless it is full.
+    fn park(&self, conn: Option<BufReader<TcpStream>>) {
+        if let Some(conn) = conn {
+            let mut idle = self.idle.lock();
+            if idle.len() < MAX_IDLE_CONNECTIONS {
+                idle.push(conn);
+            }
+        }
     }
 
     fn connect(&self) -> Result<BufReader<TcpStream>, ClientError> {
@@ -244,6 +267,7 @@ mod tests {
     use super::*;
     use crate::server::Server;
     use chronos_json::obj;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn default_headers_are_sent_and_overridable() {
@@ -318,6 +342,135 @@ mod tests {
         let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
         let resp = client.post_bytes("/echo", "application/octet-stream", payload.clone()).unwrap();
         assert_eq!(resp.body, payload);
+    }
+
+    /// How a [`stub_server`] connection behaves after answering a request.
+    #[derive(Clone, Copy)]
+    enum StubMode {
+        /// Answer every request on the connection (normal keep-alive).
+        KeepAlive,
+        /// Answer one request, then close the socket without warning.
+        CloseAfterOne,
+        /// Answer with `Connection: close` and hang up, per the header.
+        AdvertiseClose,
+    }
+
+    /// A bare [`std::net::TcpListener`] HTTP responder that counts how many
+    /// connections it accepted, so tests can observe client-side reuse.
+    fn stub_server(mode: StubMode) -> (std::net::SocketAddr, std::sync::Arc<AtomicUsize>) {
+        use std::io::Write as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepts = std::sync::Arc::new(AtomicUsize::new(0));
+        let counter = std::sync::Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                counter.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream);
+                    loop {
+                        // Consume one request: headers, then the body.
+                        let mut content_length = 0usize;
+                        loop {
+                            let mut line = String::new();
+                            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                                return; // client hung up
+                            }
+                            let trimmed = line.trim_end();
+                            if trimmed.is_empty() {
+                                break;
+                            }
+                            if let Some(v) = trimmed
+                                .to_ascii_lowercase()
+                                .strip_prefix("content-length:")
+                                .map(str::trim)
+                            {
+                                content_length = v.parse().unwrap_or(0);
+                            }
+                        }
+                        let mut body = vec![0u8; content_length];
+                        if content_length > 0 && reader.read_exact(&mut body).is_err() {
+                            return;
+                        }
+                        let extra = match mode {
+                            StubMode::AdvertiseClose => "Connection: close\r\n",
+                            _ => "",
+                        };
+                        let reply =
+                            format!("HTTP/1.1 200 OK\r\n{extra}Content-Length: 2\r\n\r\nok");
+                        if reader.get_mut().write_all(reply.as_bytes()).is_err() {
+                            return;
+                        }
+                        match mode {
+                            StubMode::KeepAlive => continue,
+                            StubMode::CloseAfterOne | StubMode::AdvertiseClose => return,
+                        }
+                    }
+                });
+            }
+        });
+        (addr, accepts)
+    }
+
+    #[test]
+    fn sequential_requests_reuse_one_connection() {
+        let (addr, accepts) = stub_server(StubMode::KeepAlive);
+        let client = Client::new(&format!("http://{addr}"));
+        for _ in 0..5 {
+            assert_eq!(client.get("/poll").unwrap().body, b"ok");
+        }
+        assert_eq!(accepts.load(Ordering::SeqCst), 1, "keep-alive connection was not reused");
+        assert_eq!(client.idle_connections(), 1);
+    }
+
+    #[test]
+    fn stale_cached_connection_falls_back_to_reconnect() {
+        let (addr, accepts) = stub_server(StubMode::CloseAfterOne);
+        let client = Client::new(&format!("http://{addr}"));
+        // Each request parks its connection; the server then silently drops
+        // it, so the next request must detect the stale socket and redial.
+        for _ in 0..3 {
+            assert_eq!(client.get("/poll").unwrap().body, b"ok");
+        }
+        assert_eq!(accepts.load(Ordering::SeqCst), 3, "stale connections must not be retried");
+    }
+
+    #[test]
+    fn connection_close_header_evicts_from_cache() {
+        let (addr, accepts) = stub_server(StubMode::AdvertiseClose);
+        let client = Client::new(&format!("http://{addr}"));
+        assert_eq!(client.get("/poll").unwrap().body, b"ok");
+        assert_eq!(client.idle_connections(), 0, "Connection: close reply must not be cached");
+        assert_eq!(client.get("/poll").unwrap().body, b"ok");
+        assert_eq!(accepts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_senders_cap_the_idle_cache() {
+        let server = Server::new()
+            .workers(4)
+            .serve("127.0.0.1:0", |_| Response::text(Status::OK, "ok"))
+            .unwrap();
+        let client = std::sync::Arc::new(Client::new(&server.base_url()));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let client = std::sync::Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        assert_eq!(client.get("/x").unwrap().body, b"ok");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            client.idle_connections() <= MAX_IDLE_CONNECTIONS,
+            "idle cache exceeded its cap: {}",
+            client.idle_connections()
+        );
     }
 
     #[test]

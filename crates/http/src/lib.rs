@@ -6,25 +6,36 @@
 //! dependency-free HTTP/1.1 implementation with exactly the features the
 //! REST API needs —
 //!
-//! * [`Server`] — blocking accept loop on a thread pool, keep-alive,
-//!   `Content-Length` bodies, graceful shutdown;
+//! * [`Server`] — HTTP/1.1 server with two cores: an epoll reactor event
+//!   loop (default on Linux; idle keep-alive connections cost bytes, not
+//!   threads) and the original blocking accept loop on a thread pool
+//!   (the measured baseline), with keep-alive, `Content-Length` bodies,
+//!   admission control and graceful shutdown on both;
 //! * [`Router`] — method + path-pattern dispatch with `:param` captures,
 //!   the backbone of the versioned API;
-//! * [`Client`] — a blocking client used by Chronos Agents (job polling,
-//!   log upload, result upload) and by integration tests;
+//! * [`Client`] — a blocking client with a keep-alive connection cache,
+//!   used by Chronos Agents (job polling, log upload, result upload) and by
+//!   integration tests;
 //! * [`Request`] / [`Response`] — message types with JSON body helpers;
+//! * [`parser`] — the incremental request parser behind the reactor;
 //! * [`url`] — percent-encoding and query-string parsing.
 
 pub mod client;
+pub mod parser;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod router;
 pub mod server;
+pub mod sys;
 pub mod types;
 pub mod url;
 
 pub use client::{Client, ClientError};
 pub use router::{RouteParams, Router};
-pub use server::{Server, ServerHandle, ServerMetrics};
+pub use server::{CoreKind, Server, ServerHandle, ServerMetrics};
+pub use sys::raise_nofile_limit;
 pub use types::{Headers, Method, Request, Response, Status};
 pub use types::{
-    CODE_DEADLINE_EXCEEDED, CODE_DRAINING, CODE_OVERLOADED, DEADLINE_HEADER, RETRY_AFTER_MS_HEADER,
+    CODE_DEADLINE_EXCEEDED, CODE_DRAINING, CODE_OVERLOADED, CODE_REQUEST_TIMEOUT, DEADLINE_HEADER,
+    RETRY_AFTER_MS_HEADER,
 };

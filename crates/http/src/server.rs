@@ -1,9 +1,24 @@
-//! Blocking HTTP/1.1 server on a thread pool.
+//! HTTP/1.1 server with two interchangeable cores.
 //!
 //! Handles exactly what the Chronos REST API needs: persistent connections,
 //! `Content-Length` bodies (both directions), a body size cap for untrusted
 //! uploads, and graceful shutdown so integration tests can tear servers
 //! down deterministically.
+//!
+//! # Cores
+//!
+//! * **Reactor** (default on Linux) — a single epoll event loop owns every
+//!   socket; handlers run on the bounded worker pool and hand serialized
+//!   responses back through a completion queue + eventfd (see
+//!   [`crate::reactor`]). Idle keep-alive connections cost a few hundred
+//!   bytes of state, so one box holds tens of thousands of polling agents.
+//! * **Threaded** — the original blocking accept/worker model, one pool
+//!   thread per admitted connection. Kept fully functional as the baseline
+//!   experiment E12 measures against, selectable with
+//!   [`Server::threaded`] (or `CHRONOS_HTTP_CORE=threaded`).
+//!
+//! Both cores share the admission semantics below; switching cores never
+//! changes what a client observes (`tests/overload.rs` runs against both).
 //!
 //! # Overload protection
 //!
@@ -40,7 +55,7 @@ use crate::types::{CODE_DRAINING, CODE_OVERLOADED};
 /// Maximum accepted request body (64 MiB — result zips can be large).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 /// Maximum length of the request line plus headers.
-const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 64 * 1024;
 /// Body bytes are read (and the buffer grown) in increments of this size,
 /// so an attacker declaring a huge `Content-Length` commits no memory
 /// beyond what actually arrives.
@@ -54,9 +69,17 @@ const IO_TIMEOUT: Duration = Duration::from_millis(500);
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Lifecycle phases of a running server.
-const PHASE_RUNNING: u8 = 0;
-const PHASE_DRAINING: u8 = 1;
-const PHASE_STOPPED: u8 = 2;
+pub(crate) const PHASE_RUNNING: u8 = 0;
+pub(crate) const PHASE_DRAINING: u8 = 1;
+pub(crate) const PHASE_STOPPED: u8 = 2;
+
+/// Default stall budget while reading a request head or body — matches the
+/// threaded core's `MAX_STALLS × IO_TIMEOUT` (~30 s).
+const DEFAULT_HEADER_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default keep-alive idle timeout on the reactor core. Polling agents call
+/// in far more often than this; a connection quiet for a full minute is
+/// almost certainly abandoned.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Counters surfaced by a running server: admission decisions and the
 /// current in-flight level. Shared with the dispatch layer (which owns the
@@ -74,8 +97,21 @@ pub struct ServerMetrics {
     /// Requests answered `504 deadline_exceeded` (incremented by the
     /// dispatch layer, which owns deadline semantics).
     pub deadline_exceeded: Counter,
+    /// Connections dropped (or answered `408 request_timeout`) for stalling:
+    /// keep-alive idle past the cap, or a head/body read that timed out
+    /// (slowloris).
+    pub shed_idle: Counter,
     /// Admitted connections currently queued or being served.
     pub inflight: Gauge,
+    /// All tracked connections, admitted or being shed (reactor core).
+    pub open_connections: Gauge,
+    /// Keep-alive connections currently idle between requests (reactor
+    /// core) — the population that used to pin worker threads.
+    pub idle_keepalive: Gauge,
+    /// Reactor event-loop iterations (epoll wakeups + ticks).
+    pub reactor_loops: Counter,
+    /// Worker→reactor completion wakeups observed on the eventfd.
+    pub wakeups: Counter,
 }
 
 impl ServerMetrics {
@@ -92,20 +128,57 @@ impl ServerMetrics {
             "shed_overload" => self.shed_overload.get() as i64,
             "shed_draining" => self.shed_draining.get() as i64,
             "deadline_exceeded" => self.deadline_exceeded.get() as i64,
+            "shed_idle" => self.shed_idle.get() as i64,
             "inflight" => self.inflight.get() as i64,
+            "open_connections" => self.open_connections.get() as i64,
+            "idle_keepalive" => self.idle_keepalive.get() as i64,
+            "reactor_loops" => self.reactor_loops.get() as i64,
+            "wakeups" => self.wakeups.get() as i64,
         }
     }
 }
 
-/// Accept-loop state shared with every connection handler.
-struct Shared {
-    phase: AtomicU8,
-    metrics: Arc<ServerMetrics>,
+/// Lifecycle + metrics state shared between the accept/event loop, every
+/// connection handler, and the [`ServerHandle`].
+pub(crate) struct Shared {
+    pub(crate) phase: AtomicU8,
+    pub(crate) metrics: Arc<ServerMetrics>,
 }
 
 impl Shared {
-    fn phase(&self) -> u8 {
+    pub(crate) fn phase(&self) -> u8 {
         self.phase.load(Ordering::SeqCst)
+    }
+}
+
+/// Which connection-handling core a [`Server`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Epoll event loop (Linux only; elsewhere this falls back to
+    /// [`CoreKind::Threaded`]).
+    Reactor,
+    /// Blocking accept loop, one pool thread per admitted connection.
+    Threaded,
+}
+
+impl CoreKind {
+    /// The platform default: reactor where epoll exists, threaded elsewhere.
+    fn default_for_platform() -> CoreKind {
+        if cfg!(target_os = "linux") {
+            CoreKind::Reactor
+        } else {
+            CoreKind::Threaded
+        }
+    }
+
+    /// On non-Linux hosts the reactor silently degrades to the threaded
+    /// core, which implements identical semantics.
+    fn effective(self) -> CoreKind {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            CoreKind::Threaded
+        }
     }
 }
 
@@ -117,6 +190,31 @@ pub struct Server {
     max_inflight: Option<usize>,
     retry_after: Duration,
     metrics: Option<Arc<ServerMetrics>>,
+    core: CoreKind,
+    header_read_timeout: Duration,
+    idle_timeout: Duration,
+}
+
+/// The running core behind a [`ServerHandle`].
+enum CoreHandle {
+    Threaded {
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor {
+        thread: Option<std::thread::JoinHandle<()>>,
+        wake: Arc<crate::sys::EventFd>,
+    },
+}
+
+impl CoreHandle {
+    fn finished(&self) -> bool {
+        match self {
+            CoreHandle::Threaded { accept_thread } => accept_thread.is_none(),
+            #[cfg(target_os = "linux")]
+            CoreHandle::Reactor { thread, .. } => thread.is_none(),
+        }
+    }
 }
 
 /// A handle to a running server: address introspection, metrics, drain and
@@ -125,7 +223,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     pool: Option<Arc<ThreadPool>>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    core: CoreHandle,
 }
 
 impl Default for Server {
@@ -147,7 +245,40 @@ impl Server {
             max_inflight: None,
             retry_after: Duration::from_secs(1),
             metrics: None,
+            core: CoreKind::default_for_platform(),
+            header_read_timeout: DEFAULT_HEADER_READ_TIMEOUT,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         }
+    }
+
+    /// Selects the epoll reactor core (the default on Linux). On platforms
+    /// without epoll this silently falls back to the threaded core.
+    pub fn reactor(mut self) -> Self {
+        self.core = CoreKind::Reactor;
+        self
+    }
+
+    /// Selects the blocking thread-per-connection core — the pre-reactor
+    /// behavior, kept as the baseline experiment E12 compares against.
+    pub fn threaded(mut self) -> Self {
+        self.core = CoreKind::Threaded;
+        self
+    }
+
+    /// Overrides the stall budget for reading one request's head and body
+    /// (the slowloris guard; reactor core). A request whose bytes stop
+    /// flowing for this long is answered `408 request_timeout` and closed.
+    /// Default ~30 s, matching the threaded core's stall budget.
+    pub fn header_read_timeout(mut self, timeout: Duration) -> Self {
+        self.header_read_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Overrides how long a keep-alive connection may sit idle between
+    /// requests before the reactor closes it (default 60 s).
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout.max(Duration::from_millis(1));
+        self
     }
 
     /// Overrides the worker thread count.
@@ -193,6 +324,10 @@ impl Server {
 
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
     /// serving `handler` on background threads. Returns immediately.
+    ///
+    /// The `CHRONOS_HTTP_CORE` environment variable (`reactor` /
+    /// `threaded`) overrides the builder's core selection, so the whole
+    /// test suite can be forced onto either core without code changes.
     pub fn serve<F>(self, addr: &str, handler: F) -> std::io::Result<ServerHandle>
     where
         F: Fn(Request) -> Response + Send + Sync + 'static,
@@ -214,6 +349,37 @@ impl Server {
         });
         let metrics = self.metrics.unwrap_or_else(ServerMetrics::shared);
         let shared = Arc::new(Shared { phase: AtomicU8::new(PHASE_RUNNING), metrics });
+
+        let core = match std::env::var("CHRONOS_HTTP_CORE").as_deref() {
+            Ok("threaded") => CoreKind::Threaded,
+            Ok("reactor") => CoreKind::Reactor,
+            _ => self.core,
+        }
+        .effective();
+
+        #[cfg(target_os = "linux")]
+        if core == CoreKind::Reactor {
+            let cfg = crate::reactor::ReactorConfig {
+                max_inflight,
+                retry_after,
+                header_read_timeout: self.header_read_timeout,
+                idle_timeout: self.idle_timeout,
+            };
+            let (thread, wake) = crate::reactor::spawn(
+                listener,
+                Arc::clone(&shared),
+                Arc::clone(&pool),
+                handler,
+                cfg,
+            )?;
+            return Ok(ServerHandle {
+                addr: local_addr,
+                shared,
+                pool: Some(pool),
+                core: CoreHandle::Reactor { thread: Some(thread), wake },
+            });
+        }
+        let _ = core; // non-Linux: only the threaded core exists
 
         let accept_shared = Arc::clone(&shared);
         let accept_pool = Arc::clone(&pool);
@@ -286,7 +452,7 @@ impl Server {
             addr: local_addr,
             shared,
             pool: Some(pool),
-            accept_thread: Some(accept_thread),
+            core: CoreHandle::Threaded { accept_thread: Some(accept_thread) },
         })
     }
 }
@@ -333,8 +499,14 @@ impl ServerHandle {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
-        if was.is_err() && self.accept_thread.is_none() {
+        if was.is_err() && self.core.finished() {
             return true; // already drained
+        }
+        #[cfg(target_os = "linux")]
+        if let CoreHandle::Reactor { wake, .. } = &self.core {
+            // Nudge the loop so it sweeps idle keep-alive connections now
+            // instead of on its next tick.
+            wake.wake();
         }
         let deadline = Instant::now() + DRAIN_TIMEOUT;
         while self.shared.metrics.inflight.get() > 0 && Instant::now() < deadline {
@@ -342,13 +514,24 @@ impl ServerHandle {
         }
         let clean = self.shared.metrics.inflight.get() == 0;
         self.shared.phase.store(PHASE_STOPPED, Ordering::SeqCst);
-        // Wake the blocking accept() with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.core {
+            CoreHandle::Threaded { accept_thread } => {
+                // Wake the blocking accept() with a no-op connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreHandle::Reactor { thread, wake } => {
+                wake.wake();
+                if let Some(t) = thread.take() {
+                    let _ = t.join();
+                }
+            }
         }
         if let Some(pool) = self.pool.take() {
-            // The accept thread has exited and dropped its handle, so this
+            // The core thread has exited and dropped its handle, so this
             // unwrap succeeds and dropping the pool joins every worker.
             if let Ok(pool) = Arc::try_unwrap(pool) {
                 drop(pool);
@@ -628,12 +811,9 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<(Request, bo
     Ok(Some((request, keep_alive)))
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    keep_alive: bool,
-    method: Method,
-) -> std::io::Result<()> {
+/// Serializes a response to the exact bytes both cores put on the wire
+/// (HEAD responses advertise the length but carry no body).
+pub(crate) fn serialize_response(response: &Response, keep_alive: bool, method: Method) -> Vec<u8> {
     let mut head = format!("HTTP/1.1 {} {}\r\n", response.status.0, response.status.reason());
     for (name, value) in response.headers.iter() {
         head.push_str(&format!("{name}: {value}\r\n"));
@@ -641,10 +821,20 @@ fn write_response(
     head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
     head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
+    let mut bytes = head.into_bytes();
     if method != Method::Head {
-        stream.write_all(&response.body)?;
+        bytes.extend_from_slice(&response.body);
     }
+    bytes
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+    method: Method,
+) -> std::io::Result<()> {
+    stream.write_all(&serialize_response(response, keep_alive, method))?;
     stream.flush()
 }
 

@@ -24,6 +24,9 @@ pub const RETRY_AFTER_MS_HEADER: &str = "X-Chronos-Retry-After-Ms";
 pub const CODE_OVERLOADED: &str = "overloaded";
 /// Named error code on `503` responses refused during graceful drain.
 pub const CODE_DRAINING: &str = "draining";
+/// Named error code on `408` responses for requests whose bytes stopped
+/// flowing before the message completed (slowloris / stalled uploads).
+pub const CODE_REQUEST_TIMEOUT: &str = "request_timeout";
 /// Named error code on `504` responses whose [`DEADLINE_HEADER`] budget ran
 /// out before (or while) the handler did the work.
 pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
@@ -99,6 +102,7 @@ impl Status {
     pub const FORBIDDEN: Status = Status(403);
     pub const NOT_FOUND: Status = Status(404);
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    pub const REQUEST_TIMEOUT: Status = Status(408);
     pub const CONFLICT: Status = Status(409);
     pub const GONE: Status = Status(410);
     pub const PAYLOAD_TOO_LARGE: Status = Status(413);
@@ -120,6 +124,7 @@ impl Status {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             410 => "Gone",
             413 => "Payload Too Large",

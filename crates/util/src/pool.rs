@@ -5,21 +5,93 @@
 //! swept parameter *is* the client thread count, so the pool is on the hot
 //! path of experiment E1).
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
-
-use parking_lot::Mutex;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// The submission side of the pool's queue: unbounded for legacy callers,
-/// bounded (rendezvous + fixed buffer) for admission-controlled servers.
-enum JobSender {
-    Unbounded(mpsc::Sender<Job>),
-    Bounded(mpsc::SyncSender<Job>),
+/// Everything the queue's one lock protects.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Workers currently parked waiting for a job. A parked worker *is*
+    /// dispatch capacity: a bounded queue admits `capacity + idle` jobs, so
+    /// "queue depth 0" means "shed only when no worker can pick the job up",
+    /// not "shed unless a worker happens to be mid-`recv` at this instant"
+    /// (the previous `Mutex<mpsc::Receiver>` design parked only one worker
+    /// in the channel at a time, so a rendezvous queue shed spuriously while
+    /// the other workers sat idle waiting for the receiver lock).
+    idle: usize,
+    closed: bool,
+}
+
+/// A deque + condvar job queue shared by every worker.
+struct JobQueue {
+    state: StdMutex<QueueState>,
+    /// Wakes workers: a job was pushed or the queue closed.
+    job_ready: Condvar,
+    /// Wakes blocked submitters and the startup barrier: a worker parked.
+    space_free: Condvar,
+    /// Max jobs buffered beyond the idle workers; `None` = unbounded.
+    capacity: Option<usize>,
+}
+
+impl JobQueue {
+    fn has_room(&self, state: &QueueState) -> bool {
+        match self.capacity {
+            None => true,
+            Some(cap) => state.jobs.len() < cap + state.idle,
+        }
+    }
+
+    /// Enqueues `job`; with `block`, waits for room on a full bounded queue.
+    /// Returns `false` (dropping the job) if the queue is closed, or — in
+    /// non-blocking mode — full.
+    fn push(&self, job: Job, block: bool) -> bool {
+        let mut state = self.state.lock().unwrap();
+        while !state.closed && !self.has_room(&state) {
+            if !block {
+                return false;
+            }
+            state = self.space_free.wait(state).unwrap();
+        }
+        if state.closed {
+            return false;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.job_ready.notify_one();
+        true
+    }
+
+    /// Worker side: parks until a job or shutdown. After close, remaining
+    /// queued jobs are still drained before workers exit.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        state.idle += 1;
+        // Parking grew the admission window by one.
+        self.space_free.notify_all();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                state.idle -= 1;
+                return Some(job);
+            }
+            if state.closed {
+                state.idle -= 1;
+                return None;
+            }
+            state = self.job_ready.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        self.job_ready.notify_all();
+        self.space_free.notify_all();
+    }
 }
 
 /// A fixed-size pool of worker threads executing submitted closures.
@@ -28,10 +100,9 @@ enum JobSender {
 /// submitted job is either executed or (if a worker panicked) accounted for
 /// in [`ThreadPool::panics`].
 pub struct ThreadPool {
-    sender: Option<JobSender>,
+    queue: Arc<JobQueue>,
     workers: Vec<JoinHandle<()>>,
     panics: Arc<AtomicUsize>,
-    queue_capacity: Option<usize>,
 }
 
 impl ThreadPool {
@@ -62,42 +133,40 @@ impl ThreadPool {
 
     fn build(size: usize, queue: Option<usize>, name: &str) -> Self {
         let size = size.max(1);
-        let (sender, receiver) = match queue {
-            None => {
-                let (tx, rx) = mpsc::channel::<Job>();
-                (JobSender::Unbounded(tx), rx)
-            }
-            Some(depth) => {
-                let (tx, rx) = mpsc::sync_channel::<Job>(depth);
-                (JobSender::Bounded(tx), rx)
-            }
-        };
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(JobQueue {
+            state: StdMutex::new(QueueState { jobs: VecDeque::new(), idle: 0, closed: false }),
+            job_ready: Condvar::new(),
+            space_free: Condvar::new(),
+            capacity: queue,
+        });
         let panics = Arc::new(AtomicUsize::new(0));
         let workers = (0..size)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let guard = receiver.lock();
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => {
-                                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
-                                    panics.fetch_add(1, Ordering::Relaxed);
-                                }
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
                             }
-                            Err(_) => break, // channel closed: shut down
                         }
                     })
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers, panics, queue_capacity: queue }
+        // Startup barrier: don't hand the pool out until every worker is
+        // parked, so a rendezvous (depth-0) pool accepts work from the very
+        // first submission instead of shedding until the OS schedules the
+        // worker threads.
+        {
+            let mut state = queue.state.lock().unwrap();
+            while state.idle < size {
+                state = queue.space_free.wait(state).unwrap();
+            }
+        }
+        ThreadPool { queue, workers, panics }
     }
 
     /// Submits a job for execution, blocking if a bounded queue is full.
@@ -107,25 +176,19 @@ impl ThreadPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        match &self.sender {
-            Some(JobSender::Unbounded(tx)) => tx.send(Box::new(job)).is_ok(),
-            Some(JobSender::Bounded(tx)) => tx.send(Box::new(job)).is_ok(),
-            None => false,
-        }
+        self.queue.push(Box::new(job), true)
     }
 
     /// Submits a job without blocking. Returns `false` — dropping the job —
-    /// if a bounded queue is full or the pool is shutting down. On an
-    /// unbounded pool this is identical to [`ThreadPool::execute`].
+    /// if a bounded queue is full or the pool is shutting down. A bounded
+    /// queue is full when the job could neither be picked up by an idle
+    /// worker nor buffered in a free queue slot. On an unbounded pool this
+    /// is identical to [`ThreadPool::execute`].
     pub fn try_execute<F>(&self, job: F) -> bool
     where
         F: FnOnce() + Send + 'static,
     {
-        match &self.sender {
-            Some(JobSender::Unbounded(tx)) => tx.send(Box::new(job)).is_ok(),
-            Some(JobSender::Bounded(tx)) => tx.try_send(Box::new(job)).is_ok(),
-            None => false,
-        }
+        self.queue.push(Box::new(job), false)
     }
 
     /// Number of worker threads.
@@ -135,7 +198,7 @@ impl ThreadPool {
 
     /// The bounded queue depth, or `None` for an unbounded pool.
     pub fn queue_capacity(&self) -> Option<usize> {
-        self.queue_capacity
+        self.queue.capacity
     }
 
     /// Number of jobs that panicked instead of completing.
@@ -146,7 +209,7 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        drop(self.sender.take());
+        self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -172,6 +235,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -262,6 +326,34 @@ mod tests {
         drop(pool); // joins workers
         assert_eq!(counter.load(Ordering::Relaxed), admitted, "no admitted job may be lost");
         assert!(admitted >= 64, "at least the queue depth must have been admitted");
+    }
+
+    #[test]
+    fn rendezvous_queue_admits_one_job_per_idle_worker() {
+        // Depth 0 must mean "shed when no worker can take the job", not
+        // "shed unless a worker is mid-recv at this exact instant": four
+        // idle workers accept four back-to-back jobs with zero buffer, and
+        // only the fifth is shed. Regression for spurious 429s the reactor
+        // core hit dispatching keep-alive requests microseconds apart.
+        let gate = Arc::new(Mutex::new(()));
+        let guard = gate.lock();
+        let pool = ThreadPool::bounded(4, 0);
+        let started = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let blocker = Arc::clone(&gate);
+            let started = Arc::clone(&started);
+            assert!(
+                pool.try_execute(move || {
+                    started.fetch_add(1, Ordering::Relaxed);
+                    drop(blocker.lock());
+                }),
+                "an idle worker must count as dispatch capacity"
+            );
+        }
+        assert!(!pool.try_execute(|| {}), "fifth job exceeds workers + queue, must be shed");
+        drop(guard);
+        drop(pool);
+        assert_eq!(started.load(Ordering::Relaxed), 4, "every admitted job must run");
     }
 
     #[test]

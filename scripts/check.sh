@@ -39,28 +39,32 @@ if ! cargo test -q --offline --test wire_compat; then
     exit 1
 fi
 
-echo "== chronos-bench smoke (E8 E9 E11, quick sizes) =="
+echo "== chronos-bench smoke (E8 E9 E11 E12, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the
 # committed full-scale BENCH_*.json files.
 cargo build --release -p chronos-bench --offline
 bench_bin="$PWD/target/release/chronos-bench"
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 --quick --json)
+(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 --quick --json)
 test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
 test -s "$smoke_dir/BENCH_overload.json"
+test -s "$smoke_dir/BENCH_http_scale.json"
 rm -rf "$smoke_dir"
 
-echo "== overload protection gate (tests/overload.rs) =="
+echo "== overload protection gate (tests/overload.rs, both network cores) =="
 # Typed shed envelopes, deadline refusal, graceful drain, Retry-After
-# cooperation — pinned explicitly, not just via the workspace run.
-cargo test -q --offline --test overload
+# cooperation — pinned explicitly, not just via the workspace run, and on
+# both the epoll reactor (platform default) and the threaded fallback so
+# neither core can drift on overload semantics.
+CHRONOS_HTTP_CORE=reactor cargo test -q --offline --test overload
+CHRONOS_HTTP_CORE=threaded cargo test -q --offline --test overload
 
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 + E11 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 E11 --json
+        echo "== full-scale E8 + E9 + E11 + E12 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 E12 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="

@@ -107,6 +107,14 @@ fn chaos_storm_every_job_finishes_exactly_once() {
     fail::arm("agent.heartbeat", Policy::ErrorProb(0.15));
     fail::arm("agent.upload", Policy::ErrorProb(0.15));
     fail::arm("http.server.drop_response", Policy::ErrorProb(0.05));
+    // The reactor core (the default transport under this storm) takes its
+    // own faults: accepts that die before admission, sockets that fail
+    // mid-read or mid-write (including after the server committed), and
+    // lost completion wakeups that the tick has to absorb.
+    fail::arm("http.reactor.accept", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.read", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.write", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.wakeup", Policy::ErrorProb(0.05));
 
     let deadline = Instant::now() + Duration::from_secs(90);
     let base_url = env.server.base_url();
@@ -356,6 +364,14 @@ fn overload_storm_every_accepted_job_finishes_and_drain_is_clean() {
 
     fail::arm("agent.heartbeat", Policy::ErrorProb(0.10));
     fail::arm("http.server.drop_response", Policy::ErrorProb(0.03));
+    // Transport-level faults on the reactor core: the accounting identity
+    // (`accepted == completed + shed` at drain) must hold even when accepts
+    // die pre-admission, sockets break mid-read/mid-write, and completion
+    // wakeups are lost (the tick heartbeat has to absorb those).
+    fail::arm("http.reactor.accept", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.read", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.write", Policy::ErrorProb(0.01));
+    fail::arm("http.reactor.wakeup", Policy::ErrorProb(0.05));
 
     let deadline = Instant::now() + Duration::from_secs(90);
     let base_url = env.server.base_url();
