@@ -1,0 +1,359 @@
+//! Typed column chunks.
+//!
+//! Two column shapes cover the result-analytics workload:
+//!
+//! * [`ParamColumn`] — a dictionary-encoded string column for parameter
+//!   labels (and other low-cardinality strings). Each row is a `u32` code
+//!   into the dictionary; [`ParamColumn::MISSING`] marks absent/null.
+//! * [`DataColumn`] — a heterogeneous measurement column for one JSON
+//!   pointer path across all result documents. A dense per-row tag says
+//!   which typed chunk holds the cell, and the typed chunks store only
+//!   their own cells (sparse), so a column that is `f64` in every row
+//!   costs exactly `8 bytes + 1 tag` per row while still tolerating the
+//!   odd row where the field is an int, a string, or missing.
+
+use std::collections::HashMap;
+
+use chronos_json::Value;
+
+use crate::encoding::{
+    decode_bools, decode_f64s, decode_i64s, decode_strings, decode_u32s, encode_bools, encode_f64s,
+    encode_i64s, encode_strings, encode_u32s, CodecError,
+};
+
+/// Per-row cell tag of a [`DataColumn`].
+const TAG_MISSING: u8 = 0;
+const TAG_NULL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_JSON: u8 = 6;
+
+/// One materialized cell of a [`DataColumn`]: a cheap, copyable view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell<'a> {
+    /// The path does not exist in this row's document.
+    Missing,
+    /// The path exists and holds JSON `null` (distinct from missing: the
+    /// summary endpoints serve present-null verbatim).
+    Null,
+    /// An exact integer.
+    Int(i64),
+    /// A double.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (dictionary reference).
+    Str(&'a str),
+    /// A non-scalar subtree captured verbatim as serialized JSON (only at
+    /// explicitly requested paths, e.g. the standard metric pointers).
+    Json(&'a str),
+}
+
+impl Cell<'_> {
+    /// Numeric view with [`Value::as_f64`] semantics: numbers only.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Cell::Int(i) => Some(i as f64),
+            Cell::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs the original JSON value; `None` for [`Cell::Missing`].
+    pub fn to_value(&self) -> Option<Value> {
+        match *self {
+            Cell::Missing => None,
+            Cell::Null => Some(Value::Null),
+            Cell::Int(i) => Some(Value::from(i)),
+            Cell::Float(f) => Some(Value::from(f)),
+            Cell::Bool(b) => Some(Value::from(b)),
+            Cell::Str(s) => Some(Value::from(s)),
+            Cell::Json(s) => Some(chronos_json::parse(s).unwrap_or(Value::Null)),
+        }
+    }
+}
+
+/// A heterogeneous measurement column: dense tags + sparse typed chunks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataColumn {
+    tags: Vec<u8>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Vec<bool>,
+    dict: Vec<String>,
+    codes: Vec<u32>,
+    #[doc(hidden)]
+    dict_index: HashMap<String, u32>,
+}
+
+impl DataColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows (cells, including missing ones).
+    pub fn rows(&self) -> usize {
+        self.tags.len()
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.dict_index.get(s) {
+            return code;
+        }
+        let code = self.dict.len() as u32;
+        self.dict.push(s.to_string());
+        self.dict_index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Appends a missing cell.
+    pub fn push_missing(&mut self) {
+        self.tags.push(TAG_MISSING);
+    }
+
+    /// Appends a scalar JSON value. Arrays/objects are the caller's
+    /// responsibility (flattened into child columns or captured via
+    /// [`DataColumn::push_json`]).
+    pub fn push_scalar(&mut self, value: &Value) {
+        match value {
+            Value::Null => self.tags.push(TAG_NULL),
+            Value::Bool(b) => {
+                self.tags.push(TAG_BOOL);
+                self.bools.push(*b);
+            }
+            Value::Number(n) => {
+                if n.is_int() {
+                    self.tags.push(TAG_INT);
+                    self.ints.push(n.as_i64().unwrap_or(0));
+                } else {
+                    self.tags.push(TAG_FLOAT);
+                    self.floats.push(n.as_f64());
+                }
+            }
+            Value::String(s) => {
+                self.tags.push(TAG_STR);
+                let code = self.intern(s);
+                self.codes.push(code);
+            }
+            // Containers should not reach here; store them verbatim so the
+            // column stays row-equivalent either way.
+            other => self.push_json(other),
+        }
+    }
+
+    /// Appends a non-scalar subtree, serialized verbatim.
+    pub fn push_json(&mut self, value: &Value) {
+        self.tags.push(TAG_JSON);
+        let code = self.intern(&value.to_string());
+        self.codes.push(code);
+    }
+
+    /// Materializes the column as one dense cell per row (a single
+    /// sequential pass over the sparse chunks); the result supports the
+    /// random access that row re-ordering (gather) needs.
+    pub fn materialize(&self) -> Vec<Cell<'_>> {
+        let mut ints = self.ints.iter();
+        let mut floats = self.floats.iter();
+        let mut bools = self.bools.iter();
+        let mut codes = self.codes.iter();
+        self.tags
+            .iter()
+            .map(|&tag| match tag {
+                TAG_NULL => Cell::Null,
+                TAG_INT => Cell::Int(*ints.next().unwrap_or(&0)),
+                TAG_FLOAT => Cell::Float(*floats.next().unwrap_or(&0.0)),
+                TAG_BOOL => Cell::Bool(*bools.next().unwrap_or(&false)),
+                TAG_STR => {
+                    let code = *codes.next().unwrap_or(&0) as usize;
+                    Cell::Str(self.dict.get(code).map(String::as_str).unwrap_or(""))
+                }
+                TAG_JSON => {
+                    let code = *codes.next().unwrap_or(&0) as usize;
+                    Cell::Json(self.dict.get(code).map(String::as_str).unwrap_or(""))
+                }
+                _ => Cell::Missing,
+            })
+            .collect()
+    }
+
+    /// Encodes the column: tag chunk, then each typed chunk.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        encode_u32s(&self.tags.iter().map(|&t| t as u32).collect::<Vec<_>>(), out);
+        encode_i64s(&self.ints, out);
+        encode_f64s(&self.floats, out);
+        encode_bools(&self.bools, out);
+        encode_strings(&self.dict, out);
+        encode_u32s(&self.codes, out);
+    }
+
+    /// Inverse of [`DataColumn::encode`].
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        let tags: Vec<u8> = decode_u32s(bytes, pos)?.into_iter().map(|t| t as u8).collect();
+        let ints = decode_i64s(bytes, pos)?;
+        let floats = decode_f64s(bytes, pos)?;
+        let bools = decode_bools(bytes, pos)?;
+        let dict = decode_strings(bytes, pos)?;
+        let codes = decode_u32s(bytes, pos)?;
+        let dict_index = dict.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+        Ok(DataColumn { tags, ints, floats, bools, dict, codes, dict_index })
+    }
+}
+
+/// A dictionary-encoded string column with a missing marker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamColumn {
+    dict: Vec<String>,
+    codes: Vec<u32>,
+    #[doc(hidden)]
+    dict_index: HashMap<String, u32>,
+}
+
+impl ParamColumn {
+    /// Code marking an absent or null cell.
+    pub const MISSING: u32 = u32::MAX;
+
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Appends one cell; `None` marks absent/null.
+    pub fn push(&mut self, label: Option<&str>) {
+        match label {
+            None => self.codes.push(Self::MISSING),
+            Some(s) => {
+                let code = if let Some(&c) = self.dict_index.get(s) {
+                    c
+                } else {
+                    let c = self.dict.len() as u32;
+                    self.dict.push(s.to_string());
+                    self.dict_index.insert(s.to_string(), c);
+                    c
+                };
+                self.codes.push(code);
+            }
+        }
+    }
+
+    /// The label at `row`; `None` for missing cells and out-of-range rows.
+    pub fn label_at(&self, row: usize) -> Option<&str> {
+        let code = *self.codes.get(row)?;
+        if code == Self::MISSING {
+            return None;
+        }
+        self.dict.get(code as usize).map(String::as_str)
+    }
+
+    /// The dictionary codes (one per row); [`ParamColumn::MISSING`] marks
+    /// absent cells. Group-by kernels work on these directly.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The dictionary (distinct labels, first-seen order).
+    pub fn dict(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// Encodes the column: dictionary, then codes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        encode_strings(&self.dict, out);
+        encode_u32s(&self.codes, out);
+    }
+
+    /// Inverse of [`ParamColumn::encode`].
+    pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        let dict = decode_strings(bytes, pos)?;
+        let codes = decode_u32s(bytes, pos)?;
+        let dict_index = dict.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
+        Ok(ParamColumn { dict, codes, dict_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+
+    #[test]
+    fn data_column_roundtrips_mixed_cells() {
+        let mut col = DataColumn::new();
+        col.push_scalar(&Value::from(42));
+        col.push_missing();
+        col.push_scalar(&Value::from(1.5));
+        col.push_scalar(&Value::Null);
+        col.push_scalar(&Value::from(true));
+        col.push_scalar(&Value::from("wiredtiger"));
+        col.push_json(&obj! {"p99" => 420});
+        let mut buf = Vec::new();
+        col.encode(&mut buf);
+        let mut pos = 0;
+        let back = DataColumn::decode(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(back, col);
+        let cells = back.materialize();
+        assert_eq!(cells[0], Cell::Int(42));
+        assert_eq!(cells[1], Cell::Missing);
+        assert_eq!(cells[2], Cell::Float(1.5));
+        assert_eq!(cells[3], Cell::Null);
+        assert_eq!(cells[4], Cell::Bool(true));
+        assert_eq!(cells[5], Cell::Str("wiredtiger"));
+        assert_eq!(cells[6].to_value().unwrap().to_string(), "{\"p99\":420}");
+    }
+
+    #[test]
+    fn cell_as_f64_matches_value_as_f64() {
+        for (value, cellify) in [
+            (Value::from(7), true),
+            (Value::from(-2.25), true),
+            (Value::from(true), true),
+            (Value::from("3.5"), true),
+            (Value::Null, true),
+        ] {
+            assert!(cellify);
+            let mut col = DataColumn::new();
+            col.push_scalar(&value);
+            let cells = col.materialize();
+            assert_eq!(cells[0].as_f64(), value.as_f64(), "{value:?}");
+        }
+    }
+
+    #[test]
+    fn param_column_dedups_labels() {
+        let mut col = ParamColumn::new();
+        col.push(Some("a"));
+        col.push(None);
+        col.push(Some("b"));
+        col.push(Some("a"));
+        assert_eq!(col.dict(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(col.codes(), &[0, ParamColumn::MISSING, 1, 0]);
+        assert_eq!(col.label_at(3), Some("a"));
+        assert_eq!(col.label_at(1), None);
+        let mut buf = Vec::new();
+        col.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(ParamColumn::decode(&buf, &mut pos).unwrap(), col);
+    }
+
+    #[test]
+    fn int_extremes_survive_the_column() {
+        let mut col = DataColumn::new();
+        for v in [0i64, 1, -1, i64::MIN, i64::MAX] {
+            col.push_scalar(&Value::from(v));
+        }
+        let mut buf = Vec::new();
+        col.encode(&mut buf);
+        let back = DataColumn::decode(&buf, &mut 0).unwrap();
+        let cells = back.materialize();
+        assert_eq!(cells[3], Cell::Int(i64::MIN));
+        assert_eq!(cells[4], Cell::Int(i64::MAX));
+    }
+}

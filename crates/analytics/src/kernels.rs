@@ -1,0 +1,215 @@
+//! Vectorized aggregation kernels.
+//!
+//! Every kernel is a tight loop over dense chunk data — no `Value`
+//! allocation, no per-row hash lookups, no branching beyond the cell tag.
+//! Float accumulation is plain left-to-right summation so a kernel run
+//! over gathered rows is bit-identical to the row-at-a-time JSON path it
+//! replaces (the equivalence the golden-fixture tests pin down).
+
+use crate::column::Cell;
+
+/// Running numeric aggregate of one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumAgg {
+    /// Left-to-right sum of the numeric cells.
+    pub sum: f64,
+    /// Number of numeric cells.
+    pub count: u64,
+    /// Smallest numeric cell (`f64::INFINITY` when none).
+    pub min: f64,
+    /// Largest numeric cell (`f64::NEG_INFINITY` when none).
+    pub max: f64,
+}
+
+impl NumAgg {
+    /// The arithmetic mean; `None` when no numeric cells were seen.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// Sum/count/min/max over the rows of `cells` selected by `order` (a
+/// gather list of row indices), left to right.
+pub fn sum_count(cells: &[Cell<'_>], order: &[usize]) -> NumAgg {
+    let mut agg = NumAgg { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+    for &row in order {
+        if let Some(v) = cells.get(row).and_then(Cell::as_f64) {
+            agg.sum += v;
+            agg.count += 1;
+            agg.min = agg.min.min(v);
+            agg.max = agg.max.max(v);
+        }
+    }
+    agg
+}
+
+/// Grouped sum/count: `groups[i]` assigns row `i` of `order` to an output
+/// cell. Rows with `group == u32::MAX` or non-numeric cells are skipped.
+/// `n_groups` sizes the output (flat vector indexed by group code).
+pub fn group_sums(
+    cells: &[Cell<'_>],
+    order: &[usize],
+    groups: &[u32],
+    n_groups: usize,
+) -> Vec<(f64, u32)> {
+    let mut out = vec![(0.0, 0u32); n_groups];
+    for (i, &row) in order.iter().enumerate() {
+        let group = groups.get(i).copied().unwrap_or(u32::MAX) as usize;
+        if group >= n_groups {
+            continue;
+        }
+        if let Some(v) = cells.get(row).and_then(Cell::as_f64) {
+            out[group].0 += v;
+            out[group].1 += 1;
+        }
+    }
+    out
+}
+
+/// Selection vector: positions in `codes` equal to `target`.
+pub fn filter_eq(codes: &[u32], target: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, &c) in codes.iter().enumerate() {
+        if c == target {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+/// The value at quantile `q` of an ascending-sorted chunk, using the
+/// rank-`ceil(q·n)` convention shared with `chronos-metrics` histograms.
+/// `None` for an empty chunk.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// One downsampling bucket: the min/max/mean envelope of a slice of a
+/// series — what a chart needs to draw thousands of points as one pixel
+/// column without losing spikes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// First source index covered by the bucket (inclusive).
+    pub start: usize,
+    /// Last source index covered (exclusive).
+    pub end: usize,
+    /// Smallest value in the bucket.
+    pub min: f64,
+    /// Largest value in the bucket.
+    pub max: f64,
+    /// Mean of the bucket's values.
+    pub mean: f64,
+    /// Number of present (numeric) values.
+    pub count: u64,
+}
+
+/// Downsamples a series into at most `buckets` min/max/mean buckets.
+/// `None` entries (missing measurements) count toward bucket boundaries
+/// but not toward the envelope. Empty buckets are omitted.
+pub fn downsample(series: &[Option<f64>], buckets: usize) -> Vec<Bucket> {
+    if series.is_empty() || buckets == 0 {
+        return Vec::new();
+    }
+    let buckets = buckets.min(series.len());
+    let mut out = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        // Evenly split indices: bucket b covers [b*n/k, (b+1)*n/k).
+        let start = b * series.len() / buckets;
+        let end = ((b + 1) * series.len() / buckets).max(start + 1);
+        let mut agg = NumAgg { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY };
+        for v in series[start..end].iter().flatten() {
+            agg.sum += v;
+            agg.count += 1;
+            agg.min = agg.min.min(*v);
+            agg.max = agg.max.max(*v);
+        }
+        if agg.count > 0 {
+            out.push(Bucket {
+                start,
+                end,
+                min: agg.min,
+                max: agg.max,
+                mean: agg.sum / agg.count as f64,
+                count: agg.count,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_count_skips_non_numeric_cells() {
+        let cells = vec![Cell::Int(1), Cell::Missing, Cell::Float(2.5), Cell::Str("x"), Cell::Null];
+        let order: Vec<usize> = (0..cells.len()).collect();
+        let agg = sum_count(&cells, &order);
+        assert_eq!(agg.sum, 3.5);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 2.5);
+        assert_eq!(agg.mean(), Some(1.75));
+    }
+
+    #[test]
+    fn sum_count_respects_gather_order() {
+        // Float addition is not associative; the kernel must follow the
+        // gather order exactly.
+        let cells = vec![Cell::Float(1e16), Cell::Float(1.0), Cell::Float(-1e16)];
+        // 1e16 + 1.0 absorbs the 1.0; cancelling the big terms first keeps it.
+        let forward = sum_count(&cells, &[0, 1, 2]).sum;
+        let shuffled = sum_count(&cells, &[0, 2, 1]).sum;
+        assert_eq!(forward, 0.0);
+        assert_eq!(shuffled, 1.0);
+    }
+
+    #[test]
+    fn group_sums_accumulates_per_group() {
+        let cells = vec![Cell::Float(1.0), Cell::Float(2.0), Cell::Float(4.0), Cell::Int(8)];
+        let order = vec![0, 1, 2, 3];
+        let groups = vec![0, 1, 0, u32::MAX];
+        let out = group_sums(&cells, &order, &groups, 2);
+        assert_eq!(out, vec![(5.0, 2), (2.0, 1)]);
+    }
+
+    #[test]
+    fn filter_eq_builds_selection_vector() {
+        assert_eq!(filter_eq(&[1, 0, 1, 2, 1], 1), vec![0, 2, 4]);
+        assert!(filter_eq(&[1, 2], 9).is_empty());
+    }
+
+    #[test]
+    fn percentile_uses_ceil_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), Some(1.0));
+        assert_eq!(percentile_sorted(&sorted, 0.5), Some(2.0));
+        assert_eq!(percentile_sorted(&sorted, 0.51), Some(3.0));
+        assert_eq!(percentile_sorted(&sorted, 1.0), Some(4.0));
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn downsample_preserves_spikes() {
+        let mut series: Vec<Option<f64>> = (0..100).map(|_| Some(10.0)).collect();
+        series[57] = Some(500.0); // a spike a mean-only downsample would flatten
+        series[3] = None;
+        let buckets = downsample(&series, 10);
+        assert_eq!(buckets.len(), 10);
+        assert!(buckets.iter().any(|b| b.max == 500.0));
+        assert_eq!(buckets[0].count, 9); // one missing value dropped
+        assert!(downsample(&[], 10).is_empty());
+        // More buckets than points degrades to one bucket per point.
+        assert_eq!(downsample(&[Some(1.0), Some(2.0)], 10).len(), 2);
+    }
+}

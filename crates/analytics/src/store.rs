@@ -1,0 +1,228 @@
+//! The columnar result store: encoded per-evaluation tables plus the
+//! per-experiment regression-scan cache.
+//!
+//! Tables are held **encoded** (the dictionary/delta/LEB128 chunks of
+//! [`crate::encoding`]), so the store costs a fraction of the JSON rows
+//! it mirrors; readers decode on demand. Every entry carries:
+//!
+//! * `backfilled` — whether the entry is known to contain *every*
+//!   finished result of its evaluation. Entries created lazily by upload
+//!   ingestion on a store that predates the cache start out
+//!   un-backfilled; the first reader rebuilds them from the row store
+//!   (lazy backfill) and installs the complete table.
+//! * `generation` — bumped by every ingest, so a backfill computed from a
+//!   snapshot is dropped instead of clobbering a concurrent upload.
+
+use std::collections::HashMap;
+
+use chronos_json::Value;
+use parking_lot::RwLock;
+
+use crate::table::ResultTable;
+
+#[derive(Default)]
+struct TableEntry {
+    encoded: Vec<u8>,
+    backfilled: bool,
+    generation: u64,
+}
+
+/// A freshness-tracked load result: the decoded table, whether it is
+/// complete, and the generation to pass back to [`AnalyticsStore::install`].
+pub struct LoadedTable {
+    /// The decoded table (empty when the entry is missing).
+    pub table: ResultTable,
+    /// True when the entry is known complete (no backfill needed).
+    pub backfilled: bool,
+    /// Entry generation at load time.
+    pub generation: u64,
+}
+
+/// The cached outcome of the last regression scan of one experiment —
+/// what the experiment status body surfaces as its regression flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionFlag {
+    /// Metric pointer the scan ran over.
+    pub value_path: String,
+    /// Number of detected change points.
+    pub change_points: u64,
+    /// True when any change point lowered the metric.
+    pub regressed: bool,
+    /// Number of evaluation runs scanned.
+    pub runs: u64,
+    /// Control-clock time of the scan (unix millis).
+    pub scanned_at: u64,
+}
+
+/// In-memory columnar store, keyed by evaluation id (tables) and
+/// experiment id (regression flags).
+#[derive(Default)]
+pub struct AnalyticsStore {
+    tables: RwLock<HashMap<u128, TableEntry>>,
+    flags: RwLock<HashMap<u128, RegressionFlag>>,
+}
+
+impl AnalyticsStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a brand-new evaluation as complete-from-birth: every future
+    /// result will flow through [`AnalyticsStore::ingest`], so readers
+    /// never need a backfill pass.
+    pub fn mark_fresh(&self, evaluation: u128) {
+        let mut tables = self.tables.write();
+        tables.entry(evaluation).or_default().backfilled = true;
+    }
+
+    /// Columnarizes one uploaded result into the evaluation's table.
+    /// Idempotent per job. A corrupt entry is dropped back to
+    /// un-backfilled so the next reader rebuilds it from the row store.
+    pub fn ingest(
+        &self,
+        evaluation: u128,
+        job: u128,
+        parameters: &Value,
+        data: &Value,
+        json_paths: &[&str],
+    ) {
+        let mut tables = self.tables.write();
+        let entry = tables.entry(evaluation).or_default();
+        let mut table = if entry.encoded.is_empty() {
+            ResultTable::new()
+        } else {
+            match ResultTable::decode(&entry.encoded) {
+                Ok(table) => table,
+                Err(_) => {
+                    entry.encoded.clear();
+                    entry.backfilled = false;
+                    entry.generation += 1;
+                    ResultTable::new()
+                }
+            }
+        };
+        if table.contains(job) {
+            return;
+        }
+        table.append(job, parameters, data, json_paths);
+        entry.encoded = table.encode();
+        entry.generation += 1;
+    }
+
+    /// Loads an evaluation's table (an empty, un-backfilled one when the
+    /// entry is missing or corrupt).
+    pub fn load(&self, evaluation: u128) -> LoadedTable {
+        let tables = self.tables.read();
+        match tables.get(&evaluation) {
+            None => LoadedTable { table: ResultTable::new(), backfilled: false, generation: 0 },
+            Some(entry) => {
+                let table = if entry.encoded.is_empty() {
+                    Ok(ResultTable::new())
+                } else {
+                    ResultTable::decode(&entry.encoded)
+                };
+                match table {
+                    Ok(table) => LoadedTable {
+                        table,
+                        backfilled: entry.backfilled,
+                        generation: entry.generation,
+                    },
+                    Err(_) => LoadedTable {
+                        table: ResultTable::new(),
+                        backfilled: false,
+                        generation: entry.generation,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Installs a backfilled table computed from generation
+    /// `loaded_generation`. Refuses (returns `false`) when an ingest
+    /// raced the backfill; the next reader simply rebuilds.
+    pub fn install(&self, evaluation: u128, table: &ResultTable, loaded_generation: u64) -> bool {
+        let mut tables = self.tables.write();
+        let entry = tables.entry(evaluation).or_default();
+        if entry.generation != loaded_generation {
+            return false;
+        }
+        entry.encoded = table.encode();
+        entry.backfilled = true;
+        entry.generation += 1;
+        true
+    }
+
+    /// Encoded size of an evaluation's table in bytes (0 when absent).
+    pub fn encoded_size(&self, evaluation: u128) -> usize {
+        self.tables.read().get(&evaluation).map(|e| e.encoded.len()).unwrap_or(0)
+    }
+
+    /// Records the outcome of a regression scan.
+    pub fn set_flag(&self, experiment: u128, flag: RegressionFlag) {
+        self.flags.write().insert(experiment, flag);
+    }
+
+    /// The cached regression flag of an experiment, if ever scanned.
+    pub fn flag(&self, experiment: u128) -> Option<RegressionFlag> {
+        self.flags.read().get(&experiment).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_json::obj;
+
+    #[test]
+    fn ingest_then_load_roundtrips() {
+        let store = AnalyticsStore::new();
+        store.mark_fresh(1);
+        store.ingest(1, 10, &obj! {"threads" => 4}, &obj! {"tp" => 100.0}, &[]);
+        store.ingest(1, 11, &obj! {"threads" => 8}, &obj! {"tp" => 180.0}, &[]);
+        store.ingest(1, 11, &obj! {"threads" => 8}, &obj! {"tp" => 999.0}, &[]); // dup ignored
+        let loaded = store.load(1);
+        assert!(loaded.backfilled);
+        assert_eq!(loaded.table.rows(), 2);
+        assert!(store.encoded_size(1) > 0);
+    }
+
+    #[test]
+    fn missing_evaluation_needs_backfill() {
+        let store = AnalyticsStore::new();
+        let loaded = store.load(99);
+        assert!(!loaded.backfilled);
+        assert_eq!(loaded.table.rows(), 0);
+    }
+
+    #[test]
+    fn install_refuses_stale_generations() {
+        let store = AnalyticsStore::new();
+        store.ingest(1, 10, &obj! {}, &obj! {"tp" => 1.0}, &[]);
+        let loaded = store.load(1);
+        // A concurrent upload bumps the generation…
+        store.ingest(1, 11, &obj! {}, &obj! {"tp" => 2.0}, &[]);
+        // …so the backfill computed from the stale load must not clobber.
+        assert!(!store.install(1, &loaded.table, loaded.generation));
+        assert_eq!(store.load(1).table.rows(), 2);
+        // A fresh load installs fine.
+        let fresh = store.load(1);
+        assert!(store.install(1, &fresh.table, fresh.generation));
+        assert!(store.load(1).backfilled);
+    }
+
+    #[test]
+    fn regression_flags_are_cached_per_experiment() {
+        let store = AnalyticsStore::new();
+        assert!(store.flag(5).is_none());
+        let flag = RegressionFlag {
+            value_path: "/throughput_ops_per_sec".into(),
+            change_points: 1,
+            regressed: true,
+            runs: 50,
+            scanned_at: 1_700_000_000_000,
+        };
+        store.set_flag(5, flag.clone());
+        assert_eq!(store.flag(5), Some(flag));
+    }
+}

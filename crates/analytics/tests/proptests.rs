@@ -1,0 +1,203 @@
+//! Property tests for the columnar result store: the encode→decode→kernel
+//! path must agree with the naive row-at-a-time JSON path **bit for bit**
+//! on sums/counts/min/max (and within 1 ULP on means, though the shared
+//! left-to-right accumulation makes them identical too), and every chunk
+//! encoding must round-trip across the LEB128/delta boundary values.
+
+use chronos_analytics::encoding::{
+    decode_f64s, decode_i64s, decode_strings, decode_u32s, encode_f64s, encode_i64s,
+    encode_strings, encode_u32s,
+};
+use chronos_analytics::{percentile_sorted, sum_count, Cell, ResultTable};
+use chronos_json::{obj, Value};
+use proptest::prelude::*;
+
+/// One synthetic metric cell as it appears in an uploaded result document:
+/// present as int/float/string/bool/null, or absent entirely.
+fn arb_metric() -> impl Strategy<Value = Option<Value>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Value::Null)),
+        any::<i64>().prop_map(|v| Some(Value::from(v))),
+        // Finite floats only: JSON cannot carry NaN/Inf, so uploads never do.
+        any::<i64>().prop_map(|bits| {
+            let f = f64::from_bits(bits as u64);
+            Some(Value::from(if f.is_finite() { f } else { bits as f64 }))
+        }),
+        "[a-z]{0,6}".prop_map(|s| Some(Value::from(s))),
+        any::<bool>().prop_map(|b| Some(Value::from(b))),
+    ]
+}
+
+/// Builds the documents, columnarizes them through a full encode→decode
+/// cycle, and returns (decoded table, gather order).
+fn columnarize(docs: &[Value]) -> (ResultTable, Vec<usize>) {
+    let mut table = ResultTable::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let params = obj! {"case" => (i % 3) as i64};
+        table.append(i as u128 + 1, &params, doc, &["/m"]);
+    }
+    let decoded = ResultTable::decode(&table.encode()).expect("self-encoded table decodes");
+    let order = decoded.gather((1..=docs.len() as u128).collect::<Vec<_>>());
+    (decoded, order)
+}
+
+proptest! {
+    #[test]
+    fn sums_counts_match_row_path_bit_for_bit(cells in prop::collection::vec(arb_metric(), 0..60)) {
+        let docs: Vec<Value> = cells
+            .iter()
+            .map(|cell| {
+                let mut doc = obj! {"other" => 1};
+                if let Some(v) = cell.clone() {
+                    doc.set("m", v);
+                }
+                doc
+            })
+            .collect();
+
+        // Row path: decode-everything scan, left-to-right accumulation.
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for doc in &docs {
+            if let Some(v) = doc.pointer("/m").and_then(Value::as_f64) {
+                sum += v;
+                count += 1;
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+
+        // Columnar path: decoded chunks through the vectorized kernel.
+        let (table, order) = columnarize(&docs);
+        let agg = match table.data_column("/m") {
+            Some(column) => sum_count(&column.materialize(), &order),
+            None => sum_count(&[], &[]),
+        };
+        prop_assert_eq!(agg.sum.to_bits(), sum.to_bits(), "sum {} vs {}", agg.sum, sum);
+        prop_assert_eq!(agg.count, count);
+        prop_assert_eq!(agg.min.to_bits(), min.to_bits());
+        prop_assert_eq!(agg.max.to_bits(), max.to_bits());
+
+        // Means must agree within 1 ULP (they are in fact identical: both
+        // sides divide the same sum by the same count).
+        let row_mean = if count == 0 { None } else { Some(sum / count as f64) };
+        match (agg.mean(), row_mean) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                let ulps = (a.to_bits() as i64).abs_diff(b.to_bits() as i64);
+                prop_assert!(ulps <= 1, "mean {a} vs {b}: {ulps} ulps apart");
+            }
+            (a, b) => prop_assert!(false, "mean presence mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn percentiles_match_row_path(cells in prop::collection::vec(arb_metric(), 0..60)) {
+        let docs: Vec<Value> = cells
+            .iter()
+            .map(|cell| {
+                let mut doc = obj! {};
+                if let Some(v) = cell.clone() {
+                    doc.set("m", v);
+                }
+                doc
+            })
+            .collect();
+
+        let mut row_values: Vec<f64> = docs
+            .iter()
+            .filter_map(|doc| doc.pointer("/m").and_then(Value::as_f64))
+            .collect();
+        row_values.sort_by(f64::total_cmp);
+
+        let (table, order) = columnarize(&docs);
+        let mut col_values: Vec<f64> = match table.data_column("/m") {
+            Some(column) => {
+                let cells = column.materialize();
+                order.iter().filter_map(|&r| cells[r].as_f64()).collect()
+            }
+            None => Vec::new(),
+        };
+        col_values.sort_by(f64::total_cmp);
+
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let a = percentile_sorted(&row_values, q);
+            let b = percentile_sorted(&col_values, q);
+            prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn i64_delta_leb128_roundtrips(extra in prop::collection::vec(any::<i64>(), 0..200)) {
+        // Boundary values up front: delta wrapping must survive the full
+        // i64 range, including MIN→MAX swings.
+        let mut values = vec![0i64, 1, -1, i64::MIN, i64::MAX, i64::MIN + 1, i64::MAX - 1];
+        values.extend(extra);
+        let mut buf = Vec::new();
+        encode_i64s(&values, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(decode_i64s(&buf, &mut pos).unwrap(), values);
+        prop_assert_eq!(pos, buf.len(), "decoder must consume the chunk exactly");
+    }
+
+    #[test]
+    fn f64_chunks_are_bit_exact(bits in prop::collection::vec(any::<u64>(), 0..200)) {
+        // Every bit pattern — including NaNs, infinities, -0.0 and
+        // subnormals — must survive the raw little-endian encoding.
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = Vec::new();
+        encode_f64s(&values, &mut buf);
+        let mut pos = 0;
+        let back = decode_f64s(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dictionary_chunks_roundtrip(
+        dict in prop::collection::vec("[a-zA-Z0-9 _.:/-]{0,10}", 0..40),
+        codes in prop::collection::vec(any::<u64>().prop_map(|x| x as u32), 0..200),
+    ) {
+        let mut buf = Vec::new();
+        encode_strings(&dict, &mut buf);
+        encode_u32s(&codes, &mut buf);
+        let mut pos = 0;
+        prop_assert_eq!(decode_strings(&buf, &mut pos).unwrap(), dict);
+        prop_assert_eq!(decode_u32s(&buf, &mut pos).unwrap(), codes);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn table_roundtrip_preserves_every_cell(cells in prop::collection::vec(arb_metric(), 1..40)) {
+        let docs: Vec<Value> = cells
+            .iter()
+            .map(|cell| {
+                let mut doc = obj! {};
+                if let Some(v) = cell.clone() {
+                    doc.set("m", v);
+                }
+                doc
+            })
+            .collect();
+        let (table, order) = columnarize(&docs);
+        prop_assert_eq!(order.len(), docs.len());
+        let column = table.data_column("/m");
+        for (i, doc) in docs.iter().enumerate() {
+            let got = column.map_or(Cell::Missing, |c| c.materialize()[order[i]]);
+            match doc.pointer("/m") {
+                None => prop_assert_eq!(got, Cell::Missing),
+                Some(want) => {
+                    // Scalar leaves round-trip exactly; the table stores
+                    // them as typed cells, not re-serialized JSON.
+                    prop_assert_eq!(got.to_value(), Some(want.clone()), "row {}", i);
+                }
+            }
+        }
+    }
+}

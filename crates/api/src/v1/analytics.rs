@@ -1,0 +1,169 @@
+//! Result-analytics DTOs: the automatic regression-detection endpoint
+//! (`GET /api/v1/experiments/{id}/regressions`) and the regression flag
+//! the experiment status body carries after a scan.
+
+use crate::codec::{self, WireDecode, WireEncode};
+use crate::error::WireError;
+use chronos_json::{obj, Value};
+use chronos_util::Id;
+
+fn req_f64(value: &Value, field: &'static str) -> Result<f64, WireError> {
+    value.get(field).and_then(Value::as_f64).ok_or(WireError::MissingTyped { field, ty: "number" })
+}
+
+/// One evaluation run in a regression scan: identity plus measured mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionRunDto {
+    pub evaluation_id: Id,
+    pub created_at: u64,
+    pub jobs_measured: u64,
+    pub mean: f64,
+}
+
+impl WireEncode for RegressionRunDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "evaluation_id" => self.evaluation_id.to_base32(),
+            "created_at" => self.created_at,
+            "jobs_measured" => self.jobs_measured,
+            "mean" => self.mean,
+        }
+    }
+}
+
+impl WireDecode for RegressionRunDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            evaluation_id: codec::req_id(value, "evaluation_id")?,
+            created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+            jobs_measured: codec::lenient_u64(value, "jobs_measured").unwrap_or(0),
+            mean: req_f64(value, "mean")?,
+        })
+    }
+}
+
+/// One detected change point in the run history. `index` is the first
+/// run of the new regime (an index into `runs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionChangePointDto {
+    pub index: u64,
+    pub before_mean: f64,
+    pub after_mean: f64,
+    pub p_value: f64,
+}
+
+impl WireEncode for RegressionChangePointDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "index" => self.index,
+            "before_mean" => self.before_mean,
+            "after_mean" => self.after_mean,
+            "p_value" => self.p_value,
+        }
+    }
+}
+
+impl WireDecode for RegressionChangePointDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            index: codec::lenient_u64(value, "index").unwrap_or(0),
+            before_mean: req_f64(value, "before_mean")?,
+            after_mean: req_f64(value, "after_mean")?,
+            p_value: req_f64(value, "p_value")?,
+        })
+    }
+}
+
+/// Response of `GET /api/v1/experiments/{id}/regressions`: the scanned
+/// run history, the detection parameters (echoed so clients can verify
+/// determinism), and the detected change points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionsResponse {
+    pub experiment_id: Id,
+    pub value_path: String,
+    pub seed: u64,
+    pub permutations: u64,
+    pub significance: f64,
+    pub min_segment: u64,
+    pub runs: Vec<RegressionRunDto>,
+    pub change_points: Vec<RegressionChangePointDto>,
+    pub regressed: bool,
+}
+
+impl WireEncode for RegressionsResponse {
+    fn to_value(&self) -> Value {
+        obj! {
+            "experiment_id" => self.experiment_id.to_base32(),
+            "value_path" => self.value_path.as_str(),
+            "seed" => self.seed,
+            "permutations" => self.permutations,
+            "significance" => self.significance,
+            "min_segment" => self.min_segment,
+            "runs" => Value::Array(self.runs.iter().map(WireEncode::to_value).collect()),
+            "change_points" =>
+                Value::Array(self.change_points.iter().map(WireEncode::to_value).collect()),
+            "regressed" => self.regressed,
+        }
+    }
+}
+
+impl WireDecode for RegressionsResponse {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let runs = codec::arr_or_empty(value, "runs")
+            .iter()
+            .map(RegressionRunDto::decode)
+            .collect::<Result<_, _>>()?;
+        let change_points = codec::arr_or_empty(value, "change_points")
+            .iter()
+            .map(RegressionChangePointDto::decode)
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            experiment_id: codec::req_id(value, "experiment_id")?,
+            value_path: codec::str_or(value, "value_path", ""),
+            seed: codec::lenient_u64(value, "seed").unwrap_or(0),
+            permutations: codec::lenient_u64(value, "permutations").unwrap_or(0),
+            significance: value.get("significance").and_then(Value::as_f64).unwrap_or(0.0),
+            min_segment: codec::lenient_u64(value, "min_segment").unwrap_or(0),
+            runs,
+            change_points,
+            regressed: value.get("regressed").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// The cached outcome of the last regression scan, embedded in the
+/// experiment status body as its `regressions` field (only present once a
+/// scan has run — older bodies are byte-identical to before the field
+/// existed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentRegressionFlag {
+    pub value_path: String,
+    pub change_points: u64,
+    pub regressed: bool,
+    pub runs: u64,
+    pub scanned_at: u64,
+}
+
+impl WireEncode for ExperimentRegressionFlag {
+    fn to_value(&self) -> Value {
+        obj! {
+            "value_path" => self.value_path.as_str(),
+            "change_points" => self.change_points,
+            "regressed" => self.regressed,
+            "runs" => self.runs,
+            "scanned_at" => self.scanned_at,
+        }
+    }
+}
+
+impl WireDecode for ExperimentRegressionFlag {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            value_path: codec::str_or(value, "value_path", ""),
+            change_points: codec::lenient_u64(value, "change_points").unwrap_or(0),
+            regressed: value.get("regressed").and_then(Value::as_bool).unwrap_or(false),
+            runs: codec::lenient_u64(value, "runs").unwrap_or(0),
+            scanned_at: codec::lenient_u64(value, "scanned_at").unwrap_or(0),
+        })
+    }
+}

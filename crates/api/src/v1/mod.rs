@@ -7,12 +7,16 @@
 //! the store have always performed.
 
 mod agent;
+mod analytics;
 mod entities;
 mod requests;
 
 pub use agent::{
     write_upload_frame, ClaimRequest, ClaimedJob, FailRequest, HeartbeatAck, HeartbeatRequest,
     UploadResultRequest,
+};
+pub use analytics::{
+    ExperimentRegressionFlag, RegressionChangePointDto, RegressionRunDto, RegressionsResponse,
 };
 pub use entities::{
     DeploymentDto, EvaluationDto, EvaluationStatusDto, ExperimentDto, JobDto, JobResultDto,

@@ -74,6 +74,183 @@ fn main() {
     if want("E12") {
         experiment_e12(quick, emit_json);
     }
+    if want("E13") {
+        experiment_e13(quick, emit_json);
+    }
+}
+
+/// E13 — result-analytics aggregation throughput: the parse-every-JSON-row
+/// baseline (what the chart/summary endpoints did before the columnar
+/// store) vs decoding the columnar table and running vectorized kernels.
+/// Both paths compute the same chart aggregation and p99, and must agree
+/// bit-for-bit. `--json` also writes the numbers to `BENCH_analytics.json`.
+fn experiment_e13(quick: bool, emit_json: bool) {
+    use chronos_analytics::{percentile_sorted, ResultTable};
+    use chronos_core::analysis::{
+        chart_data_from_points, chart_data_from_table, ResultPoint, STANDARD_METRIC_PATHS,
+    };
+    use chronos_core::charts::ChartSpec;
+    use chronos_util::Id;
+
+    println!("== E13: result analytics (JSON row scan vs columnar kernels) ==");
+    let rows = if quick { 5_000usize } else { 50_000 };
+    let reps = if quick { 3 } else { 5 };
+
+    // Synthetic evaluation: a 2-engine x 4-thread sweep, `rows` uploads
+    // with the realistic nested result shape. Deterministic splitmix64
+    // noise so runs are reproducible.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let engines = ["wiredtiger", "mmapv1"];
+    let thread_counts = [1i64, 2, 4, 8];
+    let mut serialized: Vec<(u128, String, String)> = Vec::with_capacity(rows);
+    let mut table = ResultTable::new();
+    for i in 0..rows {
+        let engine = engines[i % engines.len()];
+        let threads = thread_counts[(i / engines.len()) % thread_counts.len()];
+        let noise = (next() % 1_000) as f64 / 10.0;
+        let params = chronos_json::obj! {"engine" => engine, "threads" => threads};
+        let data = chronos_json::obj! {
+            "throughput_ops_per_sec" => 1_000.0 * threads as f64 + noise,
+            "wall_millis" => 2_000 + (next() % 500) as i64,
+            "total_ops" => 100_000i64,
+            "total_errors" => (next() % 3) as i64,
+            "operations" => chronos_json::obj! {
+                "read" => chronos_json::obj! {
+                    "latency_micros" => chronos_json::obj! {"p99" => 400 + (next() % 200) as i64},
+                },
+                "update" => chronos_json::obj! {
+                    "latency_micros" => chronos_json::obj! {"p99" => 900 + (next() % 300) as i64},
+                },
+            },
+        };
+        let id = i as u128 + 1;
+        serialized.push((id, params.to_string(), data.to_string()));
+        table.append(id, &params, &data, &STANDARD_METRIC_PATHS);
+    }
+    let encoded = table.encode();
+    let json_bytes: usize = serialized.iter().map(|(_, p, d)| p.len() + d.len()).sum();
+    let ids: Vec<u128> = (1..=rows as u128).collect();
+    let spec = ChartSpec {
+        kind: "line".into(),
+        title: "Throughput".into(),
+        x_param: "threads".into(),
+        series_param: Some("engine".into()),
+        value_path: "/throughput_ops_per_sec".into(),
+        y_label: "ops/s".into(),
+    };
+
+    // Baseline: parse every stored JSON row, then aggregate row-at-a-time.
+    let start = Instant::now();
+    let mut json_chart = None;
+    let mut json_p99 = 0.0;
+    for _ in 0..reps {
+        let points: Vec<ResultPoint> = serialized
+            .iter()
+            .map(|(id, p, d)| ResultPoint {
+                job_id: Id::from_u128(*id),
+                parameters: chronos_json::parse(p).unwrap(),
+                data: chronos_json::parse(d).unwrap(),
+            })
+            .collect();
+        let chart = chart_data_from_points(&points, &spec).unwrap();
+        let mut values: Vec<f64> = points
+            .iter()
+            .filter_map(|pt| pt.data.pointer(&spec.value_path).and_then(Value::as_f64))
+            .collect();
+        values.sort_by(f64::total_cmp);
+        json_p99 = percentile_sorted(&values, 0.99).unwrap();
+        json_chart = Some(chart);
+    }
+    let json_secs = start.elapsed().as_secs_f64();
+
+    // Columnar: decode the table, gather, run the vectorized kernels.
+    let start = Instant::now();
+    let mut col_chart = None;
+    let mut col_p99 = 0.0;
+    for _ in 0..reps {
+        let table = ResultTable::decode(&encoded).unwrap();
+        let order = table.gather(ids.iter().copied());
+        let chart = chart_data_from_table(&table, &order, &spec);
+        let cells = table.data_column(&spec.value_path).unwrap().materialize();
+        let mut values: Vec<f64> = order.iter().filter_map(|&r| cells[r].as_f64()).collect();
+        values.sort_by(f64::total_cmp);
+        col_p99 = percentile_sorted(&values, 0.99).unwrap();
+        col_chart = Some(chart);
+    }
+    let col_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(json_chart, col_chart, "aggregation paths must agree bit-for-bit");
+    assert_eq!(json_p99, col_p99, "percentile paths must agree bit-for-bit");
+
+    let json_rps = (rows * reps) as f64 / json_secs.max(1e-9);
+    let col_rps = (rows * reps) as f64 / col_secs.max(1e-9);
+    let speedup = col_rps / json_rps.max(1e-9);
+    let widths = [26, 14, 14, 10];
+    println!(
+        "{}",
+        row(&["path".into(), "rows/sec".into(), "stored bytes".into(), "speedup".into()], &widths)
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "JSON row scan".into(),
+                fmt_tp(json_rps),
+                fmt_bytes(json_bytes as u64),
+                "1.0x".into()
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "columnar kernels".into(),
+                fmt_tp(col_rps),
+                fmt_bytes(encoded.len() as u64),
+                format!("{speedup:.1}x"),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "shape: one table decode replaces {rows} JSON parses per request; \
+         compression = {:.1}x, aggregation speedup = {speedup:.1}x\n",
+        json_bytes as f64 / encoded.len().max(1) as f64
+    );
+
+    if emit_json {
+        let doc = chronos_json::obj! {
+            "experiment" => "E13",
+            "description" => "result-analytics aggregation: JSON row scan vs columnar table + vectorized kernels",
+            "workload" => chronos_json::obj! {
+                "rows" => rows as i64,
+                "reps" => reps as i64,
+                "engines" => engines.len() as i64,
+                "thread_counts" => thread_counts.len() as i64,
+                "chart" => "throughput by threads, series = engine",
+                "percentile" => 0.99,
+            },
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+            "json_rows_per_sec" => json_rps,
+            "columnar_rows_per_sec" => col_rps,
+            "speedup" => speedup,
+            "json_bytes" => json_bytes as i64,
+            "columnar_bytes" => encoded.len() as i64,
+            "compression_ratio" => json_bytes as f64 / encoded.len().max(1) as f64,
+        };
+        let path = "BENCH_analytics.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
 }
 
 /// E12 — connection scaling: goodput and accepted-request p99 vs concurrent

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use chronos_analytics::{AnalyticsStore, RegressionFlag, ResultTable};
 use chronos_json::Value;
 use chronos_util::{Clock, Id, SystemClock};
 
@@ -35,6 +36,9 @@ pub struct ChronosControl {
     sessions: SessionManager,
     clock: Arc<dyn Clock>,
     config: SchedulerConfig,
+    /// Columnar mirror of uploaded results (chart/summary/regression
+    /// queries run over this instead of re-decoding JSON rows).
+    analytics: AnalyticsStore,
     /// Serializes read-modify-write cycles on entities (claims, state
     /// transitions) so concurrent agents never double-claim a job.
     write_lock: parking_lot::Mutex<()>,
@@ -53,6 +57,7 @@ impl ChronosControl {
             sessions: SessionManager::new(),
             clock,
             config,
+            analytics: AnalyticsStore::new(),
             write_lock: parking_lot::Mutex::new(()),
         }
     }
@@ -407,6 +412,9 @@ impl ChronosControl {
             self.store.put(KIND_JOB, &job.id.to_base32(), job.to_json())?;
         }
         self.store.put(KIND_EVALUATION, &evaluation.id.to_base32(), evaluation.to_json())?;
+        // Born with the analytics store attached: every result is ingested
+        // at upload, so columnar reads never need a backfill pass.
+        self.analytics.mark_fresh(evaluation.id.as_u128());
         Ok(evaluation)
     }
 
@@ -605,6 +613,13 @@ impl ChronosControl {
         job.result_id = Some(result.id);
         job.result_key = idempotency_key.map(str::to_string);
         self.save_job(&job)?;
+        self.analytics.ingest(
+            job.evaluation_id.as_u128(),
+            job_id.as_u128(),
+            &job.parameters,
+            &result.data,
+            &crate::analysis::STANDARD_METRIC_PATHS,
+        );
         Ok(result)
     }
 
@@ -738,6 +753,46 @@ impl ChronosControl {
     /// Compacts the metadata log (jobs accumulate log/timeline rewrites).
     pub fn compact_store(&self) -> CoreResult<()> {
         self.store.compact()
+    }
+
+    // ----- columnar analytics ------------------------------------------------
+
+    /// The columnar result table of an evaluation.
+    ///
+    /// Tables are maintained incrementally by [`ChronosControl::finish_job`].
+    /// Evaluations that predate the analytics store (a reopened metadata
+    /// log) are lazily backfilled from the row store on first read; a
+    /// backfill that races a concurrent upload serves its own consistent
+    /// snapshot and leaves the rebuild to the next reader.
+    pub fn columnar_table(&self, evaluation_id: Id) -> CoreResult<ResultTable> {
+        let key = evaluation_id.as_u128();
+        let loaded = self.analytics.load(key);
+        if loaded.backfilled {
+            return Ok(loaded.table);
+        }
+        let points = crate::analysis::collect_points(self, evaluation_id)?;
+        let mut table = ResultTable::new();
+        for point in &points {
+            table.append(
+                point.job_id.as_u128(),
+                &point.parameters,
+                &point.data,
+                &crate::analysis::STANDARD_METRIC_PATHS,
+            );
+        }
+        self.analytics.install(key, &table, loaded.generation);
+        Ok(table)
+    }
+
+    /// Caches the outcome of a regression scan for the experiment status
+    /// body.
+    pub fn set_regression_flag(&self, experiment_id: Id, flag: RegressionFlag) {
+        self.analytics.set_flag(experiment_id.as_u128(), flag);
+    }
+
+    /// The cached regression flag of an experiment, if a scan ever ran.
+    pub fn regression_flag(&self, experiment_id: Id) -> Option<RegressionFlag> {
+        self.analytics.flag(experiment_id.as_u128())
     }
 }
 

@@ -37,5 +37,6 @@ pub mod params;
 pub mod scheduler;
 pub mod store;
 
+pub use chronos_analytics::{ChangePoint, ChangePointConfig};
 pub use control::ChronosControl;
 pub use error::{CoreError, CoreResult};

@@ -65,6 +65,36 @@ proptest! {
     }
 
     #[test]
+    fn merged_histogram_percentiles_are_monotonic(
+        a in prop::collection::vec(any::<u64>(), 0..150),
+        b in prop::collection::vec(any::<u64>(), 0..150),
+    ) {
+        // Merging two arbitrary histograms must preserve the percentile
+        // order: p_i <= p_j for i < j, across the whole 0..=100 sweep.
+        // Guards the midpoint-interpolation rule against any bucket whose
+        // midpoint could cross a neighbour after counts are combined.
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge(&hb);
+        let mut last = 0u64;
+        for p in 0..=100 {
+            let v = ha.percentile(p as f64);
+            prop_assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+        if !ha.is_empty() {
+            prop_assert_eq!(ha.percentile(0.0), ha.min());
+            prop_assert_eq!(ha.percentile(100.0), ha.max());
+        }
+    }
+
+    #[test]
     fn count_and_mean_are_exact(values in prop::collection::vec(0u64..1_000_000, 1..500)) {
         let mut h = Histogram::new();
         let mut sum = 0u128;

@@ -297,8 +297,26 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
     router.get("/api/v1/experiments/:id", move |req, p| {
         respond((|| {
             authed(&control_, req)?;
-            let experiment = control_.get_experiment(param_id(p, "id")?)?;
-            Ok(Response::json(&experiment.to_json()))
+            let id = param_id(p, "id")?;
+            let experiment = control_.get_experiment(id)?;
+            let mut detail = experiment.to_json();
+            // Appended only once a regression scan has run, so bodies of
+            // never-scanned experiments stay byte-identical to before the
+            // field existed.
+            if let Some(flag) = control_.regression_flag(id) {
+                detail.set(
+                    "regressions",
+                    v1::ExperimentRegressionFlag {
+                        value_path: flag.value_path,
+                        change_points: flag.change_points,
+                        regressed: flag.regressed,
+                        runs: flag.runs,
+                        scanned_at: flag.scanned_at,
+                    }
+                    .to_value(),
+                );
+            }
+            Ok(Response::json(&detail))
         })())
     });
 
@@ -328,6 +346,73 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
             let trend =
                 analysis::experiment_trend(&control_, param_id(p, "id")?, &value_path, threshold)?;
             Ok(Response::json(&trend))
+        })())
+    });
+
+    // Automatic regression detection: seeded change-point analysis over
+    // the experiment's per-evaluation metric history (columnar store).
+    let control_ = Arc::clone(c);
+    let metrics_ = Arc::clone(m);
+    router.get("/api/v1/experiments/:id/regressions", move |req, p| {
+        if let Some(busy) = deadline_guard(req, &metrics_) {
+            return busy;
+        }
+        respond((|| {
+            authed(&control_, req)?;
+            let value_path =
+                req.query_param("path").unwrap_or_else(|| "/throughput_ops_per_sec".to_string());
+            let defaults = chronos_core::ChangePointConfig::default();
+            let config = chronos_core::ChangePointConfig {
+                seed: req.query_param("seed").and_then(|s| s.parse().ok()).unwrap_or(defaults.seed),
+                permutations: req
+                    .query_param("permutations")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(defaults.permutations),
+                significance: req
+                    .query_param("significance")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(defaults.significance),
+                min_segment: req
+                    .query_param("min_segment")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(defaults.min_segment),
+            };
+            let report = analysis::experiment_regressions(
+                &control_,
+                param_id(p, "id")?,
+                &value_path,
+                config,
+            )?;
+            let response = v1::RegressionsResponse {
+                experiment_id: report.experiment_id,
+                value_path: report.value_path,
+                seed: report.config.seed,
+                permutations: report.config.permutations as u64,
+                significance: report.config.significance,
+                min_segment: report.config.min_segment as u64,
+                runs: report
+                    .runs
+                    .iter()
+                    .map(|r| v1::RegressionRunDto {
+                        evaluation_id: r.evaluation_id,
+                        created_at: r.created_at,
+                        jobs_measured: r.jobs_measured,
+                        mean: r.mean,
+                    })
+                    .collect(),
+                change_points: report
+                    .change_points
+                    .iter()
+                    .map(|cp| v1::RegressionChangePointDto {
+                        index: cp.index as u64,
+                        before_mean: cp.before_mean,
+                        after_mean: cp.after_mean,
+                        p_value: cp.p_value,
+                    })
+                    .collect(),
+                regressed: report.regressed,
+            };
+            Ok(Response::json(&response.to_value()))
         })())
     });
 

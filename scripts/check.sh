@@ -3,7 +3,8 @@
 # benchmark smoke run.
 # Usage: scripts/check.sh [--bench] [--chaos]
 #   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
-#            BENCH_overload.json at full scale via the E8, E9 and E11 experiments
+#            BENCH_overload.json / BENCH_http_scale.json / BENCH_analytics.json
+#            at full scale via the E8, E9, E11, E12 and E13 experiments
 #   --chaos  also run the fault-injection suites (torture + chaos) with
 #            --features failpoints under a fixed seed, and verify that the
 #            default release build carries zero failpoint overhead
@@ -26,6 +27,11 @@ echo "== clippy: overload-protection crates (deny warnings) =="
 # individually warning-clean like the contract crate.
 cargo clippy -p chronos-http -p chronos-agent -p chronos-server --all-targets --offline -- -D warnings
 
+echo "== clippy: result-analytics crate (deny warnings) =="
+# The columnar store backs every chart/summary read and the regression
+# endpoint; hold it to the same individual bar.
+cargo clippy -p chronos-analytics --all-targets --offline -- -D warnings
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
@@ -39,17 +45,18 @@ if ! cargo test -q --offline --test wire_compat; then
     exit 1
 fi
 
-echo "== chronos-bench smoke (E8 E9 E11 E12, quick sizes) =="
+echo "== chronos-bench smoke (E8 E9 E11 E12 E13, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the
 # committed full-scale BENCH_*.json files.
 cargo build --release -p chronos-bench --offline
 bench_bin="$PWD/target/release/chronos-bench"
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 --quick --json)
+(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 E13 --quick --json)
 test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
 test -s "$smoke_dir/BENCH_overload.json"
 test -s "$smoke_dir/BENCH_http_scale.json"
+test -s "$smoke_dir/BENCH_analytics.json"
 rm -rf "$smoke_dir"
 
 echo "== overload protection gate (tests/overload.rs, both network cores) =="
@@ -63,8 +70,8 @@ CHRONOS_HTTP_CORE=threaded cargo test -q --offline --test overload
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 + E11 + E12 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 E11 E12 --json
+        echo "== full-scale E8 + E9 + E11 + E12 + E13 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 E12 E13 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="

@@ -1,0 +1,184 @@
+//! Result-analytics integration tests: the automatic regression endpoint
+//! over a real 50-run history with an injected 2× step, its determinism
+//! under a fixed seed, the regression flag on the experiment status body,
+//! and deadline propagation on the new handlers.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use chronos::api::{ErrorEnvelope, WireDecode, CODE_DEADLINE_EXCEEDED};
+use chronos::json::{obj, Value};
+use common::TestEnv;
+
+/// Runs one evaluation (single job — all parameters at their defaults),
+/// claims it, and uploads a result with the given throughput. Returns the
+/// evaluation id.
+fn upload_run(env: &TestEnv, experiment_id: &str, deployment_id: &str, throughput: f64) -> String {
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job_ids = evaluation.get("job_ids").and_then(Value::as_array).unwrap();
+    assert_eq!(job_ids.len(), 1, "default parameters must expand to one job");
+    let claimed = env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
+    let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
+    let data = obj! {
+        "throughput_ops_per_sec" => throughput,
+        "wall_millis" => 2_000,
+        "total_ops" => 400,
+    };
+    let response =
+        env.post_raw(&format!("/api/v1/agent/jobs/{job_id}/result"), &obj! {"data" => data});
+    assert_eq!(response.status.0, 201, "{}", String::from_utf8_lossy(&response.body));
+    evaluation_id
+}
+
+/// Deterministic per-run jitter, small next to the injected step.
+fn jitter(i: usize) -> f64 {
+    ((i * 37) % 11) as f64 - 5.0
+}
+
+#[test]
+fn regression_scan_flags_injected_step_and_is_deterministic() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project_id, experiment_id) = env.create_demo_experiment(&system_id, obj! {});
+
+    // 50 runs: flat around 2000 ops/s, dropping 2× to ~1000 at run 25.
+    for i in 0..50 {
+        let level = if i < 25 { 2_000.0 } else { 1_000.0 };
+        upload_run(&env, &experiment_id, &deployment_id, level + jitter(i));
+    }
+
+    // Before any scan the experiment status body carries no flag — it is
+    // byte-compatible with bodies from before the field existed.
+    let detail = env.get(&format!("/api/v1/experiments/{experiment_id}"));
+    assert!(detail.get("regressions").is_none(), "{detail}");
+
+    let report = env.get(&format!("/api/v1/experiments/{experiment_id}/regressions"));
+    assert_eq!(report.get("experiment_id").and_then(Value::as_str), Some(experiment_id.as_str()));
+    assert_eq!(report.get("value_path").and_then(Value::as_str), Some("/throughput_ops_per_sec"));
+    let runs = report.get("runs").and_then(Value::as_array).unwrap();
+    assert_eq!(runs.len(), 50);
+    for (i, run) in runs.iter().enumerate() {
+        let level = if i < 25 { 2_000.0 } else { 1_000.0 };
+        assert_eq!(run.get("mean").and_then(Value::as_f64), Some(level + jitter(i)), "run {i}");
+        assert_eq!(run.get("jobs_measured").and_then(Value::as_i64), Some(1));
+    }
+
+    // Exactly one change point at the injected step — no false positives
+    // on the flat prefix (or suffix).
+    let change_points = report.get("change_points").and_then(Value::as_array).unwrap();
+    assert_eq!(change_points.len(), 1, "{report}");
+    let cp = &change_points[0];
+    let index = cp.get("index").and_then(Value::as_i64).unwrap();
+    assert!((24..=26).contains(&index), "change point at {index}, expected ~25");
+    let before = cp.get("before_mean").and_then(Value::as_f64).unwrap();
+    let after = cp.get("after_mean").and_then(Value::as_f64).unwrap();
+    assert!(before > 1_900.0 && before < 2_100.0, "before_mean {before}");
+    assert!(after > 900.0 && after < 1_100.0, "after_mean {after}");
+    assert!(cp.get("p_value").and_then(Value::as_f64).unwrap() <= 0.05);
+    assert_eq!(report.get("regressed").and_then(Value::as_bool), Some(true));
+
+    // Fixed seed → byte-identical reports, call after call.
+    let first = env.get_raw(&format!("/api/v1/experiments/{experiment_id}/regressions"));
+    let second = env.get_raw(&format!("/api/v1/experiments/{experiment_id}/regressions"));
+    assert_eq!(first.body, second.body, "detection must be deterministic under a fixed seed");
+    // Echoed detection parameters are the documented defaults.
+    assert_eq!(report.get("seed").and_then(Value::as_i64), Some(42));
+    assert_eq!(report.get("permutations").and_then(Value::as_i64), Some(199));
+    assert_eq!(report.get("min_segment").and_then(Value::as_i64), Some(5));
+
+    // The scan cached a flag on the experiment status body.
+    let detail = env.get(&format!("/api/v1/experiments/{experiment_id}"));
+    let flag = detail.get("regressions").expect("flag after scan");
+    assert_eq!(flag.get("regressed").and_then(Value::as_bool), Some(true));
+    assert_eq!(flag.get("change_points").and_then(Value::as_i64), Some(1));
+    assert_eq!(flag.get("runs").and_then(Value::as_i64), Some(50));
+    assert_eq!(flag.get("value_path").and_then(Value::as_str), Some("/throughput_ops_per_sec"));
+}
+
+#[test]
+fn flat_history_has_no_false_positives() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project_id, experiment_id) = env.create_demo_experiment(&system_id, obj! {});
+
+    for i in 0..30 {
+        upload_run(&env, &experiment_id, &deployment_id, 1_500.0 + jitter(i));
+    }
+
+    let report = env.get(&format!("/api/v1/experiments/{experiment_id}/regressions"));
+    let change_points = report.get("change_points").and_then(Value::as_array).unwrap();
+    assert!(change_points.is_empty(), "flat history flagged: {report}");
+    assert_eq!(report.get("regressed").and_then(Value::as_bool), Some(false));
+
+    let detail = env.get(&format!("/api/v1/experiments/{experiment_id}"));
+    let flag = detail.get("regressions").expect("flag after scan");
+    assert_eq!(flag.get("regressed").and_then(Value::as_bool), Some(false));
+    assert_eq!(flag.get("change_points").and_then(Value::as_i64), Some(0));
+}
+
+#[test]
+fn improvement_step_is_a_change_point_but_not_a_regression() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project_id, experiment_id) = env.create_demo_experiment(&system_id, obj! {});
+
+    // Throughput doubles at run 15: a change point, but not a regression.
+    for i in 0..30 {
+        let level = if i < 15 { 1_000.0 } else { 2_000.0 };
+        upload_run(&env, &experiment_id, &deployment_id, level + jitter(i));
+    }
+
+    let report = env.get(&format!("/api/v1/experiments/{experiment_id}/regressions"));
+    let change_points = report.get("change_points").and_then(Value::as_array).unwrap();
+    assert_eq!(change_points.len(), 1, "{report}");
+    assert_eq!(report.get("regressed").and_then(Value::as_bool), Some(false));
+}
+
+/// One raw `GET` over a fresh connection (`Connection: close`) so extra
+/// header lines — the deadline budget — can be injected verbatim.
+fn raw_get(addr: SocketAddr, path: &str, extra_headers: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let request =
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\n{extra_headers}Connection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+#[test]
+fn regression_endpoint_propagates_deadline() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project_id, experiment_id) = env.create_demo_experiment(&system_id, obj! {});
+    upload_run(&env, &experiment_id, &deployment_id, 1_000.0);
+
+    // A zero-millisecond budget has always expired by dispatch time: the
+    // handler must refuse with the typed 504 before doing any scan work.
+    let path = format!("/api/v1/experiments/{experiment_id}/regressions");
+    let (status, body) = raw_get(env.server.addr(), &path, "X-Chronos-Deadline-Ms: 0\r\n");
+    assert_eq!(status, 504, "body: {body}");
+    let envelope = ErrorEnvelope::decode(&chronos::json::parse(&body).unwrap()).unwrap();
+    assert!(envelope.is_deadline_exceeded(), "envelope: {envelope:?}");
+    assert_eq!(envelope.code, chronos::api::ErrorCode::Named(CODE_DEADLINE_EXCEEDED.into()));
+
+    // A generous budget (plus the session token) sails through.
+    let token = format!("X-Chronos-Token: {}\r\n", env.admin_token);
+    let (status, body) =
+        raw_get(env.server.addr(), &path, &format!("X-Chronos-Deadline-Ms: 30000\r\n{token}"));
+    assert_eq!(status, 200, "body: {body}");
+}

@@ -12,7 +12,7 @@
 //! `CHRONOS_BLESS=1 cargo test --test wire_compat`.
 
 use chronos::api::v1;
-use chronos::api::{ApiIndex, ApiVersion, ErrorEnvelope, JobState, WireEncode};
+use chronos::api::{ApiIndex, ApiVersion, ErrorEnvelope, JobState, WireDecode, WireEncode};
 use chronos::core::auth::{Role, User};
 use chronos::core::charts::ChartSpec;
 use chronos::core::model::{
@@ -327,6 +327,62 @@ fn trigger_and_stats_bodies() {
         projects: 1,
     };
     golden("stats.json", &stats.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Result analytics (regression detection)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_bodies() {
+    let run = v1::RegressionRunDto {
+        evaluation_id: id(6),
+        created_at: T1,
+        jobs_measured: 4,
+        mean: 1234.5,
+    };
+    golden("regression_run.json", &run.encode());
+    let change_point = v1::RegressionChangePointDto {
+        index: 25,
+        before_mean: 2000.5,
+        after_mean: 1000.25,
+        p_value: 0.005,
+    };
+    golden("regression_change_point.json", &change_point.encode());
+    let report = v1::RegressionsResponse {
+        experiment_id: id(5),
+        value_path: "/throughput_ops_per_sec".into(),
+        seed: 42,
+        permutations: 199,
+        significance: 0.05,
+        min_segment: 5,
+        runs: vec![
+            run.clone(),
+            v1::RegressionRunDto {
+                evaluation_id: id(8),
+                created_at: T2,
+                jobs_measured: 4,
+                mean: 618.0,
+            },
+        ],
+        change_points: vec![change_point],
+        regressed: true,
+    };
+    golden("regressions_response.json", &report.encode());
+    let flag = v1::ExperimentRegressionFlag {
+        value_path: "/throughput_ops_per_sec".into(),
+        change_points: 1,
+        regressed: true,
+        runs: 50,
+        scanned_at: T2,
+    };
+    golden("experiment_regression_flag.json", &flag.encode());
+
+    // The typed layer reads its own bytes back losslessly.
+    let decoded = v1::RegressionsResponse::decode_slice(report.encode().as_bytes()).unwrap();
+    assert_eq!(decoded, report);
+    let decoded = v1::ExperimentRegressionFlag::decode_slice(flag.encode().as_bytes()).unwrap();
+    assert_eq!(decoded, flag);
 }
 
 // ---------------------------------------------------------------------------
