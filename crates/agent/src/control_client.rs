@@ -16,6 +16,10 @@
 //! * A configured deadline budget is stamped on every request as
 //!   `X-Chronos-Deadline-Ms` so the server can shed work the agent has
 //!   already given up on.
+//! * A typed `503 not_leader` refusal from a cluster follower re-aims the
+//!   client at the leader named in the hint (re-authenticating there, since
+//!   sessions are node-local) and retries under the same jittered schedule;
+//!   the refusing node is *healthy*, so the breaker records success.
 
 use std::fmt;
 use std::sync::Arc;
@@ -27,6 +31,7 @@ use chronos_json::Value;
 use chronos_util::circuit::BreakerSet;
 use chronos_util::retry::Backoff;
 use chronos_util::Id;
+use parking_lot::RwLock;
 
 /// Consecutive failures on one endpoint before its breaker opens.
 const BREAKER_THRESHOLD: u32 = 5;
@@ -82,10 +87,20 @@ impl std::error::Error for AgentError {}
 
 /// A thin, retrying client over the v1 agent endpoints.
 pub struct ControlClient {
-    http: Client,
+    /// Swapped wholesale when a `not_leader` hint re-aims the client, so
+    /// in-flight calls keep their connection while new calls dial the
+    /// leader.
+    http: RwLock<Arc<Client>>,
     backoff: Backoff,
-    base_url: String,
-    token: String,
+    base_url: RwLock<String>,
+    token: RwLock<String>,
+    /// Remembered by [`ControlClient::login`]: sessions are node-local, so
+    /// following a leader hint to another node requires a fresh login there.
+    credentials: RwLock<Option<(String, String)>>,
+    /// Known cluster nodes. A transport failure rotates the client to the
+    /// next seed: a *dead* leader yields no `not_leader` hint, so the only
+    /// way back into the cluster is trying the other nodes.
+    seeds: RwLock<Vec<String>>,
     breakers: Arc<BreakerSet>,
     deadline: Option<Duration>,
 }
@@ -101,10 +116,12 @@ impl ControlClient {
         // staggers half-open breaker probes.
         let jitter_seed = Id::generate().as_u128() as u64;
         ControlClient {
-            http,
+            http: RwLock::new(Arc::new(http)),
             backoff: Backoff::default().with_decorrelated_jitter(jitter_seed),
-            base_url: base_url.to_string(),
-            token: token.to_string(),
+            base_url: RwLock::new(base_url.trim_end_matches('/').to_string()),
+            token: RwLock::new(token.to_string()),
+            credentials: RwLock::new(None),
+            seeds: RwLock::new(Vec::new()),
             breakers: Arc::new(BreakerSet::new(BREAKER_THRESHOLD, BREAKER_COOLDOWN, jitter_seed)),
             deadline: None,
         }
@@ -114,8 +131,11 @@ impl ControlClient {
     /// connection) — used by the heartbeat thread. Breaker state is shared:
     /// both halves observe the same endpoint health.
     pub fn shallow_clone(&self) -> Self {
-        let mut clone = Self::new(&self.base_url, &self.token).with_backoff(self.backoff.clone());
+        let mut clone = Self::new(&self.base_url(), &self.token.read().clone())
+            .with_backoff(self.backoff.clone());
         clone.breakers = Arc::clone(&self.breakers);
+        *clone.credentials.write() = self.credentials.read().clone();
+        *clone.seeds.write() = self.seeds.read().clone();
         if let Some(budget) = self.deadline {
             clone = clone.with_deadline(budget);
         }
@@ -126,29 +146,21 @@ impl ControlClient {
     /// server refuses (504 `deadline_exceeded`) work it cannot start before
     /// the budget runs out, instead of computing a response this agent has
     /// already abandoned.
-    pub fn with_deadline(mut self, budget: Duration) -> Self {
-        self.http.set_default_header(chronos_api::DEADLINE_HEADER, &budget.as_millis().to_string());
-        self.deadline = Some(budget);
-        self
+    pub fn with_deadline(self, budget: Duration) -> Self {
+        self.http
+            .read()
+            .set_default_header(chronos_api::DEADLINE_HEADER, &budget.as_millis().to_string());
+        Self { deadline: Some(budget), ..self }
     }
 
-    /// Logs in and returns a ready client.
+    /// Logs in and returns a ready client. The credentials are remembered:
+    /// if a cluster failover re-aims this client at a new leader, it logs
+    /// in there transparently (session tokens are node-local).
     pub fn login(base_url: &str, username: &str, password: &str) -> Result<Self, AgentError> {
-        let http = Client::new(base_url);
-        let request =
-            v1::LoginRequest { username: username.to_string(), password: password.to_string() };
-        let response = http
-            .post_json("/api/v1/login", &request.to_value())
-            .map_err(|e| AgentError::Transport(e.to_string()))?;
-        if !response.status.is_success() {
-            return Err(api_error(&response));
-        }
-        let login = response
-            .json_body()
-            .ok()
-            .and_then(|v| v1::LoginResponse::decode(&v).ok())
-            .ok_or_else(|| AgentError::Transport("login response missing token".into()))?;
-        Ok(Self::new(base_url, &login.token))
+        let token = login_at(base_url, username, password)?;
+        let client = Self::new(base_url, &token);
+        *client.credentials.write() = Some((username.to_string(), password.to_string()));
+        Ok(client)
     }
 
     /// Overrides the retry policy.
@@ -157,13 +169,77 @@ impl ControlClient {
         self
     }
 
+    /// Registers the cluster's node URLs as failover seeds. When the
+    /// current target stops answering at the transport level (a dead
+    /// leader sends no `not_leader` hint), each retry rotates to the next
+    /// seed until a live node answers — either serving the call or
+    /// redirecting it with a typed hint.
+    pub fn with_seed_nodes<S: AsRef<str>>(self, seeds: &[S]) -> Self {
+        *self.seeds.write() =
+            seeds.iter().map(|s| s.as_ref().trim_end_matches('/').to_string()).collect();
+        self
+    }
+
+    /// The base URL currently targeted (the leader's, after a follow).
+    pub fn base_url(&self) -> String {
+        self.base_url.read().clone()
+    }
+
+    /// The HTTP client for the current target node.
+    fn client(&self) -> Arc<Client> {
+        Arc::clone(&self.http.read())
+    }
+
+    /// Re-aims the client at the leader a `not_leader` refusal named:
+    /// builds a fresh connection to `hint`, re-authenticates there when
+    /// credentials are known (falling back to the current token), and
+    /// re-applies the deadline header. No-op when already aimed at `hint`.
+    fn follow_leader(&self, hint: &str) {
+        let hint = hint.trim_end_matches('/');
+        if hint.is_empty() || *self.base_url.read() == hint {
+            return;
+        }
+        let token = match &*self.credentials.read() {
+            Some((username, password)) => {
+                login_at(hint, username, password).unwrap_or_else(|_| self.token.read().clone())
+            }
+            None => self.token.read().clone(),
+        };
+        let client = Client::new(hint);
+        client.set_default_header(chronos_api::TOKEN_HEADER, &token);
+        if let Some(budget) = self.deadline {
+            client
+                .set_default_header(chronos_api::DEADLINE_HEADER, &budget.as_millis().to_string());
+        }
+        *self.base_url.write() = hint.to_string();
+        *self.token.write() = token;
+        *self.http.write() = Arc::new(client);
+    }
+
+    /// Re-aims the client at the next configured seed node after the
+    /// current target failed at the transport level. No-op without seeds.
+    fn rotate_seed(&self) {
+        let seeds = self.seeds.read().clone();
+        if seeds.is_empty() {
+            return;
+        }
+        let current = self.base_url();
+        let next = match seeds.iter().position(|s| *s == current) {
+            Some(i) => seeds[(i + 1) % seeds.len()].clone(),
+            None => seeds[0].clone(),
+        };
+        if next != current {
+            self.follow_leader(&next);
+        }
+    }
+
     fn post(
         &self,
         endpoint: &'static str,
         path: &str,
         body: &Value,
     ) -> Result<chronos_http::Response, AgentError> {
-        self.request(endpoint, || self.http.post_json(path, body))
+        self.request(endpoint, |client| client.post_json(path, body))
     }
 
     /// Runs one idempotent call through the endpoint's circuit breaker and
@@ -173,6 +249,9 @@ impl ControlClient {
     /// * typed `overloaded`/`draining` shed responses are retried with the
     ///   server's `Retry-After` hint stretched over the jittered schedule
     ///   (a shedding server is *alive*, so the breaker records success);
+    /// * a typed `not_leader` refusal re-aims the client at the hinted
+    ///   leader (same breaker/backoff rules — the refusing follower is
+    ///   healthy) and the retry dials the new target;
     /// * while the breaker is open the call fast-fails without touching
     ///   the network.
     fn request<F>(
@@ -181,7 +260,7 @@ impl ControlClient {
         op: F,
     ) -> Result<chronos_http::Response, AgentError>
     where
-        F: Fn() -> Result<chronos_http::Response, chronos_http::ClientError>,
+        F: Fn(&Client) -> Result<chronos_http::Response, chronos_http::ClientError>,
     {
         let breaker = self.breakers.get(endpoint);
         if !breaker.try_acquire() {
@@ -192,8 +271,21 @@ impl ControlClient {
         }
         self.backoff
             .run_hinted(
-                |_| match op() {
+                // Fetch the client anew each attempt: a not_leader follow
+                // swaps it, so the retry goes to the leader.
+                |_| match op(&self.client()) {
                     Ok(response) => {
+                        if let Some(leader) = not_leader_hint(&response) {
+                            breaker.record_success();
+                            if let Some(leader) = &leader {
+                                self.follow_leader(leader);
+                            }
+                            return Err(CallFailure::Shed {
+                                status: response.status.0,
+                                message: shed_message(&response),
+                                hint: response.retry_after(),
+                            });
+                        }
                         if let Some(hint) = shed_hint(&response) {
                             breaker.record_success();
                             return Err(CallFailure::Shed {
@@ -211,6 +303,9 @@ impl ControlClient {
                     }
                     Err(e) => {
                         breaker.record_failure();
+                        // The target may be a dead leader: rotate to the
+                        // next seed node so the retry asks a survivor.
+                        self.rotate_seed();
                         Err(CallFailure::Transport(e.to_string()))
                     }
                 },
@@ -288,7 +383,7 @@ impl ControlClient {
             });
         }
         let response = self
-            .http
+            .client()
             .post_bytes(
                 &format!("/api/v1/agent/jobs/{}/log", job.to_base32()),
                 "text/plain; charset=utf-8",
@@ -327,8 +422,8 @@ impl ControlClient {
         let mut body = String::with_capacity(archive.len() / 3 * 4 + 64);
         v1::write_upload_frame(&mut body, data, archive, Some(attempt), Some(&result_key));
         let path = format!("/api/v1/agent/jobs/{}/result", job.to_base32());
-        let response = self.request("result", || {
-            self.http.post_bytes(&path, "application/json", body.as_bytes().to_vec())
+        let response = self.request("result", |client| {
+            client.post_bytes(&path, "application/json", body.as_bytes().to_vec())
         })?;
         if !response.status.is_success() {
             return Err(api_error(&response));
@@ -361,6 +456,36 @@ enum CallFailure {
     /// The server shed the request with a typed retryable envelope
     /// (`429 overloaded` / `503 draining`); `hint` is its Retry-After.
     Shed { status: u16, message: String, hint: Option<Duration> },
+}
+
+/// Performs one login against `base_url` and returns the session token.
+fn login_at(base_url: &str, username: &str, password: &str) -> Result<String, AgentError> {
+    let http = Client::new(base_url);
+    let request =
+        v1::LoginRequest { username: username.to_string(), password: password.to_string() };
+    let response = http
+        .post_json("/api/v1/login", &request.to_value())
+        .map_err(|e| AgentError::Transport(e.to_string()))?;
+    if !response.status.is_success() {
+        return Err(api_error(&response));
+    }
+    response
+        .json_body()
+        .ok()
+        .and_then(|v| v1::LoginResponse::decode(&v).ok())
+        .map(|login| login.token)
+        .ok_or_else(|| AgentError::Transport("login response missing token".into()))
+}
+
+/// When the response is a typed `not_leader` refusal, returns
+/// `Some(leader_hint)` — the hint itself is absent mid-election.
+fn not_leader_hint(response: &chronos_http::Response) -> Option<Option<String>> {
+    let envelope = response.json_body().ok().and_then(|v| ErrorEnvelope::decode(&v).ok())?;
+    if envelope.is_not_leader() {
+        Some(envelope.leader_hint().map(str::to_string))
+    } else {
+        None
+    }
 }
 
 /// When the response is a typed retryable shed (`overloaded`/`draining`),
@@ -499,6 +624,57 @@ mod tests {
             &ErrorEnvelope::status(503, "untyped outage").to_value(),
         );
         assert_eq!(shed_hint(&plain), None, "numeric 503s are not blind-retryable");
+    }
+
+    #[test]
+    fn not_leader_refusals_classify_and_carry_the_hint() {
+        let with_hint = chronos_http::Response::json_status(
+            Status::SERVICE_UNAVAILABLE,
+            &ErrorEnvelope::not_leader("not the leader", Some("http://leader:1".into())).to_value(),
+        );
+        assert_eq!(not_leader_hint(&with_hint), Some(Some("http://leader:1".to_string())));
+        // Mid-election: still a not_leader refusal, just with no hint yet.
+        let without = chronos_http::Response::json_status(
+            Status::SERVICE_UNAVAILABLE,
+            &ErrorEnvelope::not_leader("election in progress", None).to_value(),
+        );
+        assert_eq!(not_leader_hint(&without), Some(None));
+        // Other typed refusals are not leader redirects.
+        let draining = chronos_http::Response::json_status(
+            Status::SERVICE_UNAVAILABLE,
+            &ErrorEnvelope::draining("drain in progress").to_value(),
+        );
+        assert_eq!(not_leader_hint(&draining), None);
+    }
+
+    #[test]
+    fn follow_leader_rewrites_the_target_and_keeps_the_token() {
+        let client = ControlClient::new("http://127.0.0.1:1", "tok-a");
+        assert_eq!(client.base_url(), "http://127.0.0.1:1");
+        // No credentials remembered: the token carries over as-is.
+        client.follow_leader("http://127.0.0.1:2/");
+        assert_eq!(client.base_url(), "http://127.0.0.1:2");
+        assert_eq!(*client.token.read(), "tok-a");
+        // Re-following the same target is a no-op.
+        client.follow_leader("http://127.0.0.1:2");
+        assert_eq!(client.base_url(), "http://127.0.0.1:2");
+    }
+
+    #[test]
+    fn transport_failures_rotate_through_seed_nodes() {
+        // Nothing listens on any of these ports: every attempt is a
+        // transport failure, and each failure must advance to the next seed.
+        let client = ControlClient::new("http://127.0.0.1:1", "tok")
+            .with_backoff(Backoff::none())
+            .with_seed_nodes(&["http://127.0.0.1:1", "http://127.0.0.1:2", "http://127.0.0.1:3"]);
+        let _ = client.claim(Id::generate());
+        assert_eq!(client.base_url(), "http://127.0.0.1:2");
+        let _ = client.claim(Id::generate());
+        assert_eq!(client.base_url(), "http://127.0.0.1:3");
+        // A target that fell off the seed list rotates back to the first.
+        client.follow_leader("http://127.0.0.1:9");
+        let _ = client.heartbeat(Id::generate(), 0, 1);
+        assert_eq!(client.base_url(), "http://127.0.0.1:1");
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub const CODE_DRAINING: &str = chronos_http::CODE_DRAINING;
 /// Named code on `504` responses whose deadline budget ran out server-side.
 pub const CODE_DEADLINE_EXCEEDED: &str = chronos_http::CODE_DEADLINE_EXCEEDED;
 
+/// Named code a cluster node sends when it cannot serve the request in its
+/// current role: writes on a follower/candidate, or follower reads past the
+/// staleness bound. The envelope's `leader` field, when present, carries
+/// the base URL of the node currently believed to lead — clients re-aim
+/// there instead of guessing.
+pub const CODE_NOT_LEADER: &str = "not_leader";
+
 /// An error code: the HTTP status echoed numerically, or a named
 /// protocol condition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,17 +45,28 @@ pub enum ErrorCode {
 pub struct ErrorEnvelope {
     pub code: ErrorCode,
     pub message: String,
+    /// Leader base-URL hint, only on `not_leader` refusals from cluster
+    /// followers. Omitted from the wire when absent, so every pre-cluster
+    /// envelope body is byte-identical to before.
+    pub leader: Option<String>,
 }
 
 impl ErrorEnvelope {
     /// An envelope echoing the HTTP status numerically.
     pub fn status(status: u16, message: impl Into<String>) -> Self {
-        Self { code: ErrorCode::Status(status), message: message.into() }
+        Self { code: ErrorCode::Status(status), message: message.into(), leader: None }
     }
 
     /// An envelope with a named protocol code.
     pub fn named(code: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { code: ErrorCode::Named(code.into()), message: message.into() }
+        Self { code: ErrorCode::Named(code.into()), message: message.into(), leader: None }
+    }
+
+    /// The wrong-role refusal from a cluster node (sent with HTTP 503),
+    /// carrying the current leader's base URL when this node knows one
+    /// (mid-election there is no leader to point at).
+    pub fn not_leader(message: impl Into<String>, leader: Option<String>) -> Self {
+        Self { code: ErrorCode::Named(CODE_NOT_LEADER.into()), message: message.into(), leader }
     }
 
     /// The lease-lost envelope (sent with HTTP 409).
@@ -91,6 +109,18 @@ impl ErrorEnvelope {
     pub fn is_deadline_exceeded(&self) -> bool {
         matches!(&self.code, ErrorCode::Named(code) if code == CODE_DEADLINE_EXCEEDED)
     }
+
+    /// Whether this envelope is a cluster wrong-role refusal the client
+    /// should retry against the leader (the hint, when present).
+    pub fn is_not_leader(&self) -> bool {
+        matches!(&self.code, ErrorCode::Named(code) if code == CODE_NOT_LEADER)
+    }
+
+    /// The leader base-URL hint on a `not_leader` envelope, if the
+    /// refusing node knows who leads.
+    pub fn leader_hint(&self) -> Option<&str> {
+        self.leader.as_deref()
+    }
 }
 
 impl WireEncode for ErrorEnvelope {
@@ -99,12 +129,14 @@ impl WireEncode for ErrorEnvelope {
             ErrorCode::Status(status) => Value::from(*status as i64),
             ErrorCode::Named(name) => Value::from(name.clone()),
         };
-        obj! {
-            "error" => obj! {
-                "code" => code,
-                "message" => self.message.clone(),
-            },
+        let mut inner = obj! {
+            "code" => code,
+            "message" => self.message.clone(),
+        };
+        if let (Value::Object(map), Some(leader)) = (&mut inner, &self.leader) {
+            map.insert("leader".into(), Value::from(leader.clone()));
         }
+        obj! { "error" => inner }
     }
 }
 
@@ -126,7 +158,8 @@ impl WireDecode for ErrorEnvelope {
             None => return Err(WireError::Missing("error.code")),
         };
         let message = crate::codec::str_or(inner, "message", "");
-        Ok(Self { code, message })
+        let leader = inner.get("leader").and_then(Value::as_str).map(str::to_string);
+        Ok(Self { code, message, leader })
     }
 }
 
@@ -184,6 +217,29 @@ mod tests {
         );
         let decoded = ErrorEnvelope::decode(&response.json_body().unwrap()).unwrap();
         assert_eq!(decoded, ErrorEnvelope::overloaded("connection limit reached"));
+    }
+
+    #[test]
+    fn not_leader_carries_an_optional_hint() {
+        let hinted =
+            ErrorEnvelope::not_leader("writes go to the leader", Some("http://n2:8080".into()));
+        assert_eq!(
+            hinted.encode(),
+            "{\"error\":{\"code\":\"not_leader\",\"message\":\"writes go to the leader\",\
+             \"leader\":\"http://n2:8080\"}}"
+        );
+        assert!(hinted.is_not_leader());
+        assert_eq!(hinted.leader_hint(), Some("http://n2:8080"));
+        assert!(!hinted.is_retryable_overload(), "not_leader re-aims, it does not blind-retry");
+        let decoded = ErrorEnvelope::decode(&hinted.to_value()).unwrap();
+        assert_eq!(decoded, hinted);
+        // Mid-election: no hint, and the wire omits the field entirely.
+        let unhinted = ErrorEnvelope::not_leader("election in progress", None);
+        assert_eq!(
+            unhinted.encode(),
+            "{\"error\":{\"code\":\"not_leader\",\"message\":\"election in progress\"}}"
+        );
+        assert_eq!(ErrorEnvelope::decode(&unhinted.to_value()).unwrap().leader_hint(), None);
     }
 
     #[test]

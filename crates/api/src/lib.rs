@@ -30,7 +30,7 @@ mod version;
 pub use codec::{WireDecode, WireEncode};
 pub use envelope::{
     ErrorCode, ErrorEnvelope, CODE_DEADLINE_EXCEEDED, CODE_DRAINING, CODE_LEASE_LOST,
-    CODE_OVERLOADED,
+    CODE_NOT_LEADER, CODE_OVERLOADED,
 };
 pub use error::WireError;
 pub use state::JobState;

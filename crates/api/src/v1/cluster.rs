@@ -1,0 +1,272 @@
+//! Cluster-mode DTOs: WAL-segment replication, lease votes, and node
+//! status.
+//!
+//! These bodies ride the peer-to-peer endpoints (`/api/v1/cluster/*`)
+//! between control-plane nodes. Every one carries the sender's **term** —
+//! the cluster's fencing token — so a receiver can refuse anything from a
+//! deposed leader or a stale candidate. The segment checksum is encoded as
+//! fixed-width lowercase hex (a u64 does not fit the wire's i64 numbers).
+
+use crate::codec::{self, WireDecode, WireEncode};
+use crate::error::WireError;
+use chronos_json::{obj, Map, Value};
+use chronos_util::encode::{base64_decode, base64_encode};
+
+/// `POST /api/v1/cluster/replicate` — a frame-aligned slice of the
+/// leader's replication feed (empty = pure lease heartbeat).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateRequest {
+    /// The shipping leader's term (fencing token).
+    pub term: u64,
+    /// The shipping leader's advertised base URL (becomes the follower's
+    /// `not_leader` hint).
+    pub leader: String,
+    /// Byte offset in the replication feed where `frames` starts; must
+    /// equal the follower's current offset or the install is refused.
+    pub start_offset: u64,
+    /// FNV-1a 64 over `frames`, verified before any byte is applied.
+    pub checksum: u64,
+    /// The raw WAL frames (JSON-lines), base64 on the wire.
+    pub frames: Vec<u8>,
+}
+
+impl WireEncode for ReplicateRequest {
+    fn to_value(&self) -> Value {
+        obj! {
+            "term" => self.term as i64,
+            "leader" => self.leader.clone(),
+            "start_offset" => self.start_offset as i64,
+            "checksum" => format!("{:016x}", self.checksum),
+            "frames" => base64_encode(&self.frames),
+        }
+    }
+}
+
+impl WireDecode for ReplicateRequest {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            term: req_u64(value, "term")?,
+            leader: codec::req_str(value, "leader")?,
+            start_offset: req_u64(value, "start_offset")?,
+            checksum: req_hex_u64(value, "checksum")?,
+            frames: req_base64(value, "frames")?,
+        })
+    }
+}
+
+/// The follower's acknowledgement of a replicate call: its term and the
+/// feed offset it has durably applied through (the leader resumes
+/// shipping from there — after a torn install, that is mid-segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicateAck {
+    pub term: u64,
+    pub offset: u64,
+}
+
+impl WireEncode for ReplicateAck {
+    fn to_value(&self) -> Value {
+        obj! {
+            "term" => self.term as i64,
+            "offset" => self.offset as i64,
+        }
+    }
+}
+
+impl WireDecode for ReplicateAck {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self { term: req_u64(value, "term")?, offset: req_u64(value, "offset")? })
+    }
+}
+
+/// `POST /api/v1/cluster/vote` — a candidate soliciting one vote for
+/// `term`. `last_offset` lets voters refuse a candidate whose replica is
+/// behind their own (its election would lose committed writes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteRequest {
+    pub term: u64,
+    /// The candidate's advertised base URL (what the vote is granted to).
+    pub candidate: String,
+    pub last_offset: u64,
+}
+
+impl WireEncode for VoteRequest {
+    fn to_value(&self) -> Value {
+        obj! {
+            "term" => self.term as i64,
+            "candidate" => self.candidate.clone(),
+            "last_offset" => self.last_offset as i64,
+        }
+    }
+}
+
+impl WireDecode for VoteRequest {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            term: req_u64(value, "term")?,
+            candidate: codec::req_str(value, "candidate")?,
+            last_offset: req_u64(value, "last_offset")?,
+        })
+    }
+}
+
+/// The voter's answer: granted or not, plus the voter's current term so a
+/// stale candidate learns it was outpaced and steps back down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteResponse {
+    pub term: u64,
+    pub granted: bool,
+}
+
+impl WireEncode for VoteResponse {
+    fn to_value(&self) -> Value {
+        obj! {
+            "term" => self.term as i64,
+            "granted" => self.granted,
+        }
+    }
+}
+
+impl WireDecode for VoteResponse {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self { term: req_u64(value, "term")?, granted: codec::req_bool(value, "granted")? })
+    }
+}
+
+/// `GET /api/v1/cluster/status` — one node's view of the cluster (also
+/// how a new leader re-learns follower offsets after winning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatusDto {
+    pub node: String,
+    /// `"leader"`, `"follower"`, or `"candidate"`.
+    pub role: String,
+    pub term: u64,
+    /// Advertised URL of the believed leader, absent mid-election.
+    pub leader: Option<String>,
+    /// This node's replication-feed end offset.
+    pub offset: u64,
+    /// Milliseconds since the last leader contact (0 on the leader).
+    pub lag_millis: u64,
+    /// Elections this node has started.
+    pub elections: u64,
+    /// Segments this node has shipped while leading.
+    pub segments_shipped: u64,
+}
+
+impl WireEncode for ClusterStatusDto {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("node".into(), Value::from(self.node.clone()));
+        map.insert("role".into(), Value::from(self.role.clone()));
+        map.insert("term".into(), Value::from(self.term as i64));
+        if let Some(leader) = &self.leader {
+            map.insert("leader".into(), Value::from(leader.clone()));
+        }
+        map.insert("offset".into(), Value::from(self.offset as i64));
+        map.insert("lag_millis".into(), Value::from(self.lag_millis as i64));
+        map.insert("elections".into(), Value::from(self.elections as i64));
+        map.insert("segments_shipped".into(), Value::from(self.segments_shipped as i64));
+        Value::Object(map)
+    }
+}
+
+impl WireDecode for ClusterStatusDto {
+    /// Lenient, like every entity DTO: a newer node may add fields.
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        Ok(Self {
+            node: codec::str_or(value, "node", ""),
+            role: codec::str_or(value, "role", "follower"),
+            term: codec::lenient_u64(value, "term").unwrap_or(0),
+            leader: codec::opt_str(value, "leader"),
+            offset: codec::lenient_u64(value, "offset").unwrap_or(0),
+            lag_millis: codec::lenient_u64(value, "lag_millis").unwrap_or(0),
+            elections: codec::lenient_u64(value, "elections").unwrap_or(0),
+            segments_shipped: codec::lenient_u64(value, "segments_shipped").unwrap_or(0),
+        })
+    }
+}
+
+fn req_u64(value: &Value, field: &'static str) -> Result<u64, WireError> {
+    codec::opt_u64(value, field)?.ok_or(WireError::Missing(field))
+}
+
+fn req_hex_u64(value: &Value, field: &'static str) -> Result<u64, WireError> {
+    let text = codec::req_str(value, field)?;
+    u64::from_str_radix(&text, 16).map_err(|_| WireError::BadField(field))
+}
+
+fn req_base64(value: &Value, field: &'static str) -> Result<Vec<u8>, WireError> {
+    let text = codec::req_str(value, field)?;
+    base64_decode(&text).ok_or(WireError::BadField(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_roundtrips_frames_and_checksum() {
+        let request = ReplicateRequest {
+            term: 7,
+            leader: "http://127.0.0.1:8081".into(),
+            start_offset: 4096,
+            checksum: 0xdead_beef_cafe_f00d,
+            frames: b"{\"op\":\"put\",\"kind\":\"job\",\"id\":\"j\",\"doc\":{}}\n".to_vec(),
+        };
+        let decoded = ReplicateRequest::decode(&request.to_value()).unwrap();
+        assert_eq!(decoded, request);
+        assert!(request.encode().contains("\"checksum\":\"deadbeefcafef00d\""));
+    }
+
+    #[test]
+    fn corrupt_base64_and_hex_are_typed_rejections() {
+        let mut value = ReplicateRequest {
+            term: 1,
+            leader: "http://x".into(),
+            start_offset: 0,
+            checksum: 1,
+            frames: Vec::new(),
+        }
+        .to_value();
+        if let Value::Object(map) = &mut value {
+            map.insert("frames".into(), Value::from("!!not base64!!"));
+        }
+        assert!(matches!(
+            ReplicateRequest::decode(&value).unwrap_err(),
+            WireError::BadField("frames")
+        ));
+        if let Value::Object(map) = &mut value {
+            map.insert("frames".into(), Value::from(""));
+            map.insert("checksum".into(), Value::from("xyzzy"));
+        }
+        assert!(matches!(
+            ReplicateRequest::decode(&value).unwrap_err(),
+            WireError::BadField("checksum")
+        ));
+    }
+
+    #[test]
+    fn vote_and_ack_roundtrip() {
+        let vote = VoteRequest { term: 3, candidate: "http://n2".into(), last_offset: 99 };
+        assert_eq!(VoteRequest::decode(&vote.to_value()).unwrap(), vote);
+        let response = VoteResponse { term: 3, granted: true };
+        assert_eq!(VoteResponse::decode(&response.to_value()).unwrap(), response);
+        let ack = ReplicateAck { term: 3, offset: 123 };
+        assert_eq!(ReplicateAck::decode(&ack.to_value()).unwrap(), ack);
+    }
+
+    #[test]
+    fn status_omits_leader_mid_election_and_decodes_leniently() {
+        let status = ClusterStatusDto {
+            node: "n1".into(),
+            role: "candidate".into(),
+            term: 4,
+            leader: None,
+            offset: 10,
+            lag_millis: 250,
+            elections: 2,
+            segments_shipped: 0,
+        };
+        assert!(!status.encode().contains("leader"));
+        assert_eq!(ClusterStatusDto::decode(&status.to_value()).unwrap(), status);
+    }
+}

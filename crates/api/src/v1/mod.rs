@@ -8,6 +8,7 @@
 
 mod agent;
 mod analytics;
+mod cluster;
 mod entities;
 mod requests;
 
@@ -18,6 +19,7 @@ pub use agent::{
 pub use analytics::{
     ExperimentRegressionFlag, RegressionChangePointDto, RegressionRunDto, RegressionsResponse,
 };
+pub use cluster::{ClusterStatusDto, ReplicateAck, ReplicateRequest, VoteRequest, VoteResponse};
 pub use entities::{
     DeploymentDto, EvaluationDto, EvaluationStatusDto, ExperimentDto, JobDto, JobResultDto,
     ProjectDto, SystemDto, TimelineEventDto, UserPublic,

@@ -79,6 +79,29 @@ impl ChronosControl {
         self.store.healthy()
     }
 
+    // ----- replication (cluster mode) --------------------------------------
+
+    /// End offset of the store's replication feed (see
+    /// [`MetadataStore::replication_offset`]).
+    pub fn replication_offset(&self) -> u64 {
+        self.store.replication_offset()
+    }
+
+    /// Reads a frame-aligned replication segment starting at `from` for
+    /// shipping to a follower (see [`MetadataStore::read_replication`]).
+    pub fn read_replication(&self, from: u64, max_bytes: usize) -> Option<Vec<u8>> {
+        self.store.read_replication(from, max_bytes)
+    }
+
+    /// Installs a shipped replication segment on this (follower) node's
+    /// store (see [`MetadataStore::install_replication`]). Serialized
+    /// against local control-plane writes so installed frames interleave
+    /// cleanly with any lingering local mutation.
+    pub fn install_replication(&self, payload: &[u8]) -> CoreResult<u64> {
+        let _guard = self.write_lock.lock();
+        self.store.install_replication(payload)
+    }
+
     // ----- users & sessions ------------------------------------------------
 
     /// Creates a user; usernames are unique.

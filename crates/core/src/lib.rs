@@ -29,6 +29,7 @@ pub mod analysis;
 pub mod archive;
 pub mod auth;
 pub mod charts;
+pub mod cluster;
 pub mod control;
 pub mod error;
 pub mod lifecycle;

@@ -84,10 +84,30 @@ struct Wal {
     failed: AtomicBool,
 }
 
+/// The in-memory replication feed: every committed frame, in commit
+/// order, addressed by a monotone byte offset. Leaders read contiguous
+/// ranges out of it to ship to followers; followers append the exact
+/// shipped bytes on install, so offsets are comparable across nodes
+/// (a follower's feed is always a byte prefix of its leader's).
+#[derive(Default)]
+struct ReplicationFeed {
+    /// Offset of the first byte still retained in `buf`.
+    start: u64,
+    buf: Vec<u8>,
+}
+
+impl ReplicationFeed {
+    fn end(&self) -> u64 {
+        self.start + self.buf.len() as u64
+    }
+}
+
 struct Shared {
     shards: RwLock<BTreeMap<String, Arc<Shard>>>,
     /// `None` for purely in-memory stores.
     wal: Option<Wal>,
+    /// Frames committed by this node, for shipping to follower replicas.
+    replication: Mutex<ReplicationFeed>,
     /// Mutation counter for in-memory stores (mirrors `records` semantics).
     mem_records: AtomicU64,
     /// Live documents across all shards (maintained incrementally).
@@ -202,9 +222,16 @@ impl MetadataStore {
     pub fn put(&self, kind: &str, id: &str, document: Value) -> CoreResult<()> {
         let shared = &self.shared;
         let document = Arc::new(document);
+        // All serialization work happens before any lock is taken.
+        let frame = frame_put(kind, id, &document);
         let Some(wal) = &shared.wal else {
             let shard = shared.shard(kind);
-            let previous = shard.docs.write().insert(id.to_string(), document);
+            let previous;
+            {
+                let mut docs = shard.docs.write();
+                shared.replication.lock().buf.extend_from_slice(&frame);
+                previous = docs.insert(id.to_string(), document);
+            }
             if previous.is_none() {
                 shared.live_docs.fetch_add(1, Ordering::Relaxed);
             }
@@ -212,15 +239,15 @@ impl MetadataStore {
             return Ok(());
         };
         wal.check_failed()?;
-        // All serialization work happens before any lock is taken.
-        let frame = frame_put(kind, id, &document);
         let shard = shared.shard(kind);
         let seq;
         let previous;
         {
             // Enqueueing under the shard write lock pins the log order of
-            // same-key frames to their in-memory apply order.
+            // same-key frames to their in-memory apply order; the
+            // replication feed sees the same bytes in the same order.
             let mut docs = shard.docs.write();
+            shared.replication.lock().buf.extend_from_slice(&frame);
             seq = wal.enqueue(frame);
             previous = docs.insert(id.to_string(), document);
         }
@@ -236,8 +263,16 @@ impl MetadataStore {
     pub fn delete(&self, kind: &str, id: &str) -> CoreResult<bool> {
         let shared = &self.shared;
         let Some(shard) = shared.shard_if_exists(kind) else { return Ok(false) };
+        let frame = frame_delete(kind, id);
         let Some(wal) = &shared.wal else {
-            let existed = shard.docs.write().remove(id).is_some();
+            let existed;
+            {
+                let mut docs = shard.docs.write();
+                existed = docs.remove(id).is_some();
+                if existed {
+                    shared.replication.lock().buf.extend_from_slice(&frame);
+                }
+            }
             if existed {
                 shared.live_docs.fetch_sub(1, Ordering::Relaxed);
                 shared.mem_records.fetch_add(1, Ordering::Relaxed);
@@ -245,13 +280,13 @@ impl MetadataStore {
             return Ok(existed);
         };
         wal.check_failed()?;
-        let frame = frame_delete(kind, id);
         let seq;
         {
             let mut docs = shard.docs.write();
             if !docs.contains_key(id) {
                 return Ok(false);
             }
+            shared.replication.lock().buf.extend_from_slice(&frame);
             seq = wal.enqueue(frame);
             docs.remove(id);
         }
@@ -303,6 +338,132 @@ impl MetadataStore {
     /// Live documents across all kinds.
     pub fn live_docs(&self) -> u64 {
         self.shared.live_docs.load(Ordering::Relaxed)
+    }
+
+    /// End offset of this node's replication feed: the total bytes of
+    /// committed frames available for shipping to follower replicas.
+    pub fn replication_offset(&self) -> u64 {
+        self.shared.replication.lock().end()
+    }
+
+    /// Reads a contiguous, frame-aligned segment of the replication feed
+    /// starting at byte offset `from`. Returns `None` when `from` lies
+    /// outside the retained feed (a replica that far behind needs a fresh
+    /// seed, not a segment); returns an empty segment when the replica is
+    /// caught up. Segments are cut at frame boundaries — at most
+    /// `max_bytes` unless a single frame is larger, which ships whole.
+    pub fn read_replication(&self, from: u64, max_bytes: usize) -> Option<Vec<u8>> {
+        let feed = self.shared.replication.lock();
+        if from < feed.start || from > feed.end() {
+            return None;
+        }
+        let avail = &feed.buf[(from - feed.start) as usize..];
+        if avail.len() <= max_bytes {
+            return Some(avail.to_vec());
+        }
+        // Cut on the last newline inside the budget; an oversized single
+        // frame extends past the budget rather than stalling forever.
+        let cut = match avail[..max_bytes].iter().rposition(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => avail[max_bytes..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|j| max_bytes + j + 1)
+                .unwrap_or(avail.len()),
+        };
+        Some(avail[..cut].to_vec())
+    }
+
+    /// Applies a shipped replication segment to this (follower) store,
+    /// returning the number of bytes applied.
+    ///
+    /// The whole segment is parsed *before* any mutation, so a corrupt
+    /// frame refuses the install with the store byte-identical to its
+    /// state before the call. A torn tail — trailing bytes after the last
+    /// complete frame, the install-side analogue of the WAL's torn-tail
+    /// recovery — is not an error: the complete prefix applies and the
+    /// returned count excludes the tail, which the leader re-ships.
+    /// Applied frames are re-appended to this node's own WAL and
+    /// replication feed, so a promoted follower can ship onward.
+    pub fn install_replication(&self, payload: &[u8]) -> CoreResult<u64> {
+        if let Some(wal) = &self.shared.wal {
+            wal.check_failed()?;
+        }
+        let complete = payload.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let mut entries: Vec<(usize, usize, ReplayEntry)> = Vec::new();
+        let mut pos = 0usize;
+        while pos < complete {
+            // Safe unwrap: `complete` ends on a newline by construction.
+            let end = pos + payload[pos..complete].iter().position(|&b| b == b'\n').unwrap() + 1;
+            let entry = std::str::from_utf8(&payload[pos..end])
+                .ok()
+                .and_then(|text| chronos_json::parse(text.trim_end_matches(['\n', '\r'])).ok())
+                .and_then(decode_entry)
+                .ok_or_else(|| {
+                    CoreError::Storage(format!(
+                        "corrupt replicated frame {} in segment (install refused)",
+                        entries.len() + 1
+                    ))
+                })?;
+            entries.push((pos, end, entry));
+            pos = end;
+        }
+        let mut last_seq = 0u64;
+        for (lo, hi, entry) in entries {
+            self.apply_replicated(&payload[lo..hi], entry, &mut last_seq);
+        }
+        if last_seq > 0 {
+            if let Some(wal) = &self.shared.wal {
+                wal.flush_through(last_seq)?;
+            }
+        }
+        self.maybe_schedule_compaction();
+        Ok(complete as u64)
+    }
+
+    /// Applies one verified replicated frame, re-appending its exact bytes
+    /// to the local WAL queue and replication feed (keeping this node's
+    /// feed a byte prefix of its leader's).
+    fn apply_replicated(&self, line: &[u8], entry: ReplayEntry, last_seq: &mut u64) {
+        let shared = &self.shared;
+        match entry {
+            ReplayEntry::Put { kind, id, doc } => {
+                let shard = shared.shard(&kind);
+                let previous;
+                {
+                    let mut docs = shard.docs.write();
+                    shared.replication.lock().buf.extend_from_slice(line);
+                    if let Some(wal) = &shared.wal {
+                        *last_seq = wal.enqueue(line.to_vec());
+                    }
+                    previous = docs.insert(id, Arc::new(doc));
+                }
+                if previous.is_none() {
+                    shared.live_docs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ReplayEntry::Delete { kind, id } => {
+                // The frame lands in the feed and WAL even when the target
+                // is already gone: every shipped byte must re-ship
+                // identically or follower offsets diverge.
+                let shard = shared.shard(&kind);
+                let existed;
+                {
+                    let mut docs = shard.docs.write();
+                    shared.replication.lock().buf.extend_from_slice(line);
+                    if let Some(wal) = &shared.wal {
+                        *last_seq = wal.enqueue(line.to_vec());
+                    }
+                    existed = docs.remove(&id).is_some();
+                }
+                if existed {
+                    shared.live_docs.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if shared.wal.is_none() {
+            shared.mem_records.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Whether the store can still accept writes: `false` once the WAL has
@@ -377,6 +538,7 @@ impl Shared {
         Shared {
             shards: RwLock::new(shards),
             wal,
+            replication: Mutex::new(ReplicationFeed::default()),
             mem_records: AtomicU64::new(0),
             live_docs: AtomicU64::new(live as u64),
             auto_compact_threshold: AtomicU64::new(0),
@@ -605,24 +767,34 @@ fn frame_delete(kind: &str, id: &str) -> Vec<u8> {
     out.into_bytes()
 }
 
-fn apply(kinds: &mut BTreeMap<String, Docs>, entry: Value) {
-    let Value::Object(mut map) = entry else { return };
-    let Some(kind) = map.get("kind").and_then(Value::as_str).map(str::to_string) else {
-        return;
-    };
-    let Some(id) = map.get("id").and_then(Value::as_str).map(str::to_string) else { return };
+/// A decoded log/replication frame.
+enum ReplayEntry {
+    Put { kind: String, id: String, doc: Value },
+    Delete { kind: String, id: String },
+}
+
+fn decode_entry(entry: Value) -> Option<ReplayEntry> {
+    let Value::Object(mut map) = entry else { return None };
+    let kind = map.get("kind").and_then(Value::as_str).map(str::to_string)?;
+    let id = map.get("id").and_then(Value::as_str).map(str::to_string)?;
     match map.get("op").and_then(Value::as_str) {
-        Some("put") => {
-            if let Some(doc) = map.remove("doc") {
-                kinds.entry(kind).or_default().insert(id, Arc::new(doc));
-            }
+        Some("put") => map.remove("doc").map(|doc| ReplayEntry::Put { kind, id, doc }),
+        Some("delete") => Some(ReplayEntry::Delete { kind, id }),
+        _ => None,
+    }
+}
+
+fn apply(kinds: &mut BTreeMap<String, Docs>, entry: Value) {
+    match decode_entry(entry) {
+        Some(ReplayEntry::Put { kind, id, doc }) => {
+            kinds.entry(kind).or_default().insert(id, Arc::new(doc));
         }
-        Some("delete") => {
+        Some(ReplayEntry::Delete { kind, id }) => {
             if let Some(m) = kinds.get_mut(&kind) {
                 m.remove(&id);
             }
         }
-        _ => {}
+        None => {}
     }
 }
 
@@ -814,6 +986,105 @@ mod tests {
         assert_eq!(store.live_docs(), 2);
         store.delete("k", "a").unwrap();
         assert_eq!(store.live_docs(), 1);
+    }
+
+    #[test]
+    fn replication_feed_ships_and_installs_byte_identically() {
+        let leader = MetadataStore::in_memory();
+        let follower = MetadataStore::in_memory();
+        leader.put("job", "j1", obj! {"state" => "scheduled"}).unwrap();
+        leader.put("job", "j2", obj! {"state" => "running"}).unwrap();
+        leader.delete("job", "j1").unwrap();
+        let segment = leader.read_replication(0, usize::MAX).unwrap();
+        let applied = follower.install_replication(&segment).unwrap();
+        assert_eq!(applied, segment.len() as u64);
+        assert_eq!(follower.replication_offset(), leader.replication_offset());
+        assert_eq!(follower.count("job"), 1);
+        assert!(follower.get("job", "j1").is_none());
+        assert_eq!(
+            follower.get("job", "j2").unwrap().get("state").and_then(Value::as_str),
+            Some("running")
+        );
+        // The follower's feed is a byte prefix of (here: equal to) the
+        // leader's, so a promoted follower ships the identical bytes.
+        assert_eq!(follower.read_replication(0, usize::MAX).unwrap(), segment);
+    }
+
+    #[test]
+    fn replication_read_is_frame_aligned_and_bounded() {
+        let store = MetadataStore::in_memory();
+        store.put("k", "a", obj! {"v" => 1}).unwrap();
+        store.put("k", "b", obj! {"v" => 2}).unwrap();
+        let all = store.read_replication(0, usize::MAX).unwrap();
+        // A tiny budget still ships at least one whole frame.
+        let first = store.read_replication(0, 8).unwrap();
+        assert!(first.ends_with(b"\n"));
+        assert!(all.starts_with(&first));
+        let rest = store.read_replication(first.len() as u64, usize::MAX).unwrap();
+        assert_eq!([first.as_slice(), rest.as_slice()].concat(), all);
+        // Caught up: empty segment, not None.
+        assert_eq!(store.read_replication(all.len() as u64, 1024), Some(Vec::new()));
+        // Out of range: None.
+        assert_eq!(store.read_replication(all.len() as u64 + 1, 1024), None);
+    }
+
+    #[test]
+    fn torn_segment_tail_applies_prefix_only() {
+        let leader = MetadataStore::in_memory();
+        leader.put("k", "a", obj! {"v" => 1}).unwrap();
+        leader.put("k", "b", obj! {"v" => 2}).unwrap();
+        let segment = leader.read_replication(0, usize::MAX).unwrap();
+        let follower = MetadataStore::in_memory();
+        // Tear mid-way through the second frame: only the first applies.
+        let torn = &segment[..segment.len() - 5];
+        let applied = follower.install_replication(torn).unwrap();
+        assert!(applied < torn.len() as u64);
+        assert_eq!(follower.count("k"), 1);
+        // The leader re-ships from the applied offset and the follower
+        // converges.
+        let rest = leader.read_replication(applied, usize::MAX).unwrap();
+        follower.install_replication(&rest).unwrap();
+        assert_eq!(follower.count("k"), 2);
+        assert_eq!(follower.replication_offset(), leader.replication_offset());
+    }
+
+    #[test]
+    fn corrupt_segment_is_refused_with_store_untouched() {
+        let follower = MetadataStore::in_memory();
+        follower.put("k", "pre", obj! {"v" => 0}).unwrap();
+        let before = follower.read_replication(0, usize::MAX).unwrap();
+        // A complete (newline-terminated) but unparseable frame between
+        // two good ones: nothing at all may apply.
+        let mut segment = Vec::new();
+        segment.extend_from_slice(&frame_put("k", "x", &obj! {"v" => 1}));
+        segment.extend_from_slice(b"{\"op\":\"put\",\"ki\n");
+        segment.extend_from_slice(&frame_put("k", "y", &obj! {"v" => 2}));
+        let err = follower.install_replication(&segment).unwrap_err();
+        assert!(err.to_string().contains("corrupt replicated frame 2"), "{err}");
+        assert_eq!(follower.read_replication(0, usize::MAX).unwrap(), before);
+        assert!(follower.get("k", "x").is_none());
+        assert_eq!(follower.count("k"), 1);
+    }
+
+    #[test]
+    fn durable_follower_persists_installed_segments() {
+        let path = tmp("replica");
+        let _ = std::fs::remove_file(&path);
+        let leader = MetadataStore::in_memory();
+        leader.put("job", "j1", obj! {"state" => "finished"}).unwrap();
+        let segment = leader.read_replication(0, usize::MAX).unwrap();
+        {
+            let follower = MetadataStore::open(&path).unwrap();
+            follower.install_replication(&segment).unwrap();
+        }
+        // Installed frames went through the follower's own WAL: a restart
+        // replays them (the PR 3 recovery path).
+        let reopened = MetadataStore::open(&path).unwrap();
+        assert_eq!(
+            reopened.get("job", "j1").unwrap().get("state").and_then(Value::as_str),
+            Some("finished")
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

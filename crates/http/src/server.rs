@@ -112,6 +112,17 @@ pub struct ServerMetrics {
     pub reactor_loops: Counter,
     /// Worker→reactor completion wakeups observed on the eventfd.
     pub wakeups: Counter,
+    /// Cluster role of this node: 0 follower, 1 candidate, 2 leader
+    /// (single-node deployments stay 2, the write-accepting role).
+    pub cluster_role: Gauge,
+    /// Current cluster term (the fencing token); 0 outside cluster mode.
+    pub cluster_term: Gauge,
+    /// Milliseconds since the last leader contact (0 while leading).
+    pub replication_lag_ms: Gauge,
+    /// Elections this node has started.
+    pub elections: Counter,
+    /// Replication segments shipped while leading (heartbeats excluded).
+    pub segments_shipped: Counter,
 }
 
 impl ServerMetrics {
@@ -134,6 +145,11 @@ impl ServerMetrics {
             "idle_keepalive" => self.idle_keepalive.get() as i64,
             "reactor_loops" => self.reactor_loops.get() as i64,
             "wakeups" => self.wakeups.get() as i64,
+            "cluster_role" => self.cluster_role.get() as i64,
+            "cluster_term" => self.cluster_term.get() as i64,
+            "replication_lag_ms" => self.replication_lag_ms.get() as i64,
+            "elections" => self.elections.get() as i64,
+            "segments_shipped" => self.segments_shipped.get() as i64,
         }
     }
 }

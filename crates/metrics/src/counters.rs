@@ -55,6 +55,12 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Sets the level outright (sampled gauges: replication lag, cluster
+    /// term — values observed rather than counted).
+    pub fn set(&self, level: u64) {
+        self.0.store(level.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
     /// Current level, clamped at zero.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed).max(0) as u64

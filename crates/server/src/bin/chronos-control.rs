@@ -25,6 +25,9 @@ struct Options {
     admin_password: Option<String>,
     heartbeat_timeout_millis: u64,
     max_attempts: u32,
+    node_id: Option<String>,
+    peers: Vec<String>,
+    lease_millis: u64,
 }
 
 fn usage() -> ! {
@@ -39,6 +42,9 @@ fn usage() -> ! {
                                      does not exist yet)\n\
            --heartbeat-timeout MS    job lease timeout (default 30000)\n\
            --max-attempts N          attempts before a job stays failed (default 3)\n\
+           --node-id NAME            enable cluster mode with this node identity\n\
+           --peer URL                a peer node's base URL (repeatable; cluster mode)\n\
+           --lease MS                cluster leader lease (default 1000; cluster mode)\n\
            --help                    show this help"
     );
     std::process::exit(2);
@@ -52,6 +58,9 @@ fn parse_options() -> Options {
         admin_password: None,
         heartbeat_timeout_millis: 30_000,
         max_attempts: 3,
+        node_id: None,
+        peers: Vec::new(),
+        lease_millis: 1_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +81,11 @@ fn parse_options() -> Options {
             }
             "--max-attempts" => {
                 options.max_attempts = value("--max-attempts").parse().unwrap_or_else(|_| usage())
+            }
+            "--node-id" => options.node_id = Some(value("--node-id")),
+            "--peer" => options.peers.push(value("--peer")),
+            "--lease" => {
+                options.lease_millis = value("--lease").parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             other => {
@@ -131,13 +145,35 @@ fn main() {
         }
     }
 
-    let mut server = match ChronosServer::start(control, &options.listen) {
+    let started = match &options.node_id {
+        Some(node_id) => {
+            let cluster = chronos_server::ClusterOptions::new(node_id.clone())
+                .with_lease(std::time::Duration::from_millis(options.lease_millis));
+            ChronosServer::start_cluster(
+                control,
+                &options.listen,
+                chronos_http::Server::new(),
+                cluster,
+            )
+        }
+        None => ChronosServer::start(control, &options.listen),
+    };
+    let mut server = match started {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", options.listen);
             std::process::exit(1);
         }
     };
+    if options.node_id.is_some() {
+        server.set_cluster_peers(options.peers.clone());
+        eprintln!(
+            "cluster mode: node {:?}, {} peer(s), lease {}ms",
+            options.node_id.as_deref().unwrap_or_default(),
+            options.peers.len(),
+            options.lease_millis
+        );
+    }
     eprintln!("Chronos Control listening on {}", server.base_url());
     eprintln!("API index: {}/api", server.base_url());
 

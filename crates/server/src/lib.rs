@@ -37,20 +37,25 @@
 
 mod api_v0;
 mod api_v1;
+mod cluster;
 mod ui;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use chronos_core::cluster::{ClusterConfig, ClusterState};
 use chronos_core::ChronosControl;
 use chronos_http::{Request, Response, Router, Server, ServerHandle, ServerMetrics, Status};
 use chronos_json::obj;
 
+pub use cluster::{ClusterOptions, CODE_BAD_SEGMENT, CODE_OFFSET_GAP, CODE_STALE_TERM};
+
 /// How often the background sweeper checks for heartbeat timeouts.
 const SWEEP_INTERVAL: Duration = Duration::from_millis(500);
 
-/// A running Chronos Control server (HTTP listener + failure sweeper).
+/// A running Chronos Control server (HTTP listener + failure sweeper,
+/// plus the replication/election driver in cluster mode).
 pub struct ChronosServer {
     http: Option<ServerHandle>,
     control: Arc<ChronosControl>,
@@ -58,6 +63,9 @@ pub struct ChronosServer {
     draining: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     sweeper: Option<std::thread::JoinHandle<()>>,
+    cluster: Option<Arc<ClusterState>>,
+    cluster_runtime: Option<Arc<cluster::ClusterRuntime>>,
+    cluster_driver: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ChronosServer {
@@ -77,10 +85,55 @@ impl ChronosServer {
         addr: &str,
         http: Server,
     ) -> std::io::Result<ChronosServer> {
+        Self::start_inner(control, addr, http, None)
+    }
+
+    /// Starts a **cluster-mode** node: the ordinary API plus the peer
+    /// endpoints (`/api/v1/cluster/*`), the role guard (non-leaders refuse
+    /// writes with a typed `not_leader` envelope and serve reads only
+    /// within the staleness bound), and the replication/election driver.
+    ///
+    /// The node boots as a follower knowing no peers; call
+    /// [`ChronosServer::set_cluster_peers`] once every node has bound its
+    /// listener (cluster tests bind on port 0, so addresses exist only
+    /// after all nodes start). Elections begin after that.
+    pub fn start_cluster(
+        control: Arc<ChronosControl>,
+        addr: &str,
+        http: Server,
+        options: ClusterOptions,
+    ) -> std::io::Result<ChronosServer> {
+        Self::start_inner(control, addr, http, Some(options))
+    }
+
+    fn start_inner(
+        control: Arc<ChronosControl>,
+        addr: &str,
+        http: Server,
+        options: Option<ClusterOptions>,
+    ) -> std::io::Result<ChronosServer> {
         let metrics = ServerMetrics::shared();
         let draining = Arc::new(AtomicBool::new(false));
-        let router = router_with(Arc::clone(&control), Arc::clone(&metrics), Arc::clone(&draining));
+        let state = options.map(|o| {
+            Arc::new(ClusterState::new(ClusterConfig {
+                node_id: o.node_id,
+                lease: o.lease,
+                staleness_bound: o.staleness_bound,
+            }))
+        });
+        if state.is_none() {
+            // A single-node server is trivially its own leader: the gauges
+            // read the same whether or not cluster mode is on.
+            metrics.cluster_role.set(2);
+        }
+        let router = router_with_cluster(
+            Arc::clone(&control),
+            Arc::clone(&metrics),
+            Arc::clone(&draining),
+            state.clone(),
+        );
         let guard_metrics = Arc::clone(&metrics);
+        let guard_state = state.clone();
         let http = http.with_metrics(Arc::clone(&metrics)).serve(addr, move |request| {
             // First line of deadline defense: a request whose budget ran
             // out while queued is answered before the router runs at all.
@@ -88,21 +141,56 @@ impl ChronosServer {
                 guard_metrics.deadline_exceeded.inc();
                 return deadline_response("deadline expired before the handler ran");
             }
+            // Second line, cluster mode: role-aware routing. A follower
+            // refuses writes (and stale reads) before the router runs.
+            if let Some(state) = &guard_state {
+                if let Some(refusal) = cluster::guard(&request, state) {
+                    return refusal;
+                }
+            }
             router.dispatch(&request)
         })?;
+        if let Some(state) = &state {
+            state.set_advertise(&http.base_url());
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let sweeper = {
             let control = Arc::clone(&control);
             let stop = Arc::clone(&stop);
+            let state = state.clone();
             std::thread::Builder::new()
                 .name("chronos-sweeper".into())
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
-                        let _ = control.check_timeouts();
+                        // In cluster mode only the leader sweeps: followers
+                        // rescheduling jobs locally would diverge from the
+                        // replicated log (all writes must flow through the
+                        // leader's WAL).
+                        if state.as_ref().is_none_or(|s| s.is_leader()) {
+                            let _ = control.check_timeouts();
+                        }
                         std::thread::sleep(SWEEP_INTERVAL);
                     }
                 })
                 .expect("failed to spawn sweeper")
+        };
+        let (cluster_runtime, cluster_driver) = match &state {
+            Some(state) => {
+                let runtime = Arc::new(cluster::ClusterRuntime::new(
+                    Arc::clone(state),
+                    Arc::clone(&control),
+                    Arc::clone(&metrics),
+                ));
+                let driver = {
+                    let runtime = Arc::clone(&runtime);
+                    std::thread::Builder::new()
+                        .name("chronos-cluster".into())
+                        .spawn(move || runtime.run())
+                        .expect("failed to spawn cluster driver")
+                };
+                (Some(runtime), Some(driver))
+            }
+            None => (None, None),
         };
         Ok(ChronosServer {
             http: Some(http),
@@ -111,7 +199,24 @@ impl ChronosServer {
             draining,
             metrics,
             sweeper: Some(sweeper),
+            cluster: state,
+            cluster_runtime,
+            cluster_driver,
         })
+    }
+
+    /// Cluster mode: announces the other nodes' base URLs. Replication and
+    /// elections only involve configured peers, so call this on every node
+    /// once all listeners are bound.
+    pub fn set_cluster_peers(&self, peers: Vec<String>) {
+        if let Some(runtime) = &self.cluster_runtime {
+            runtime.set_peers(peers);
+        }
+    }
+
+    /// The cluster state of this node (`None` outside cluster mode).
+    pub fn cluster(&self) -> Option<&Arc<ClusterState>> {
+        self.cluster.as_ref()
     }
 
     /// Base URL, e.g. `http://127.0.0.1:43211`.
@@ -163,6 +268,12 @@ impl ChronosServer {
     pub fn shutdown(&mut self) {
         self.draining.store(true, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(runtime) = &self.cluster_runtime {
+            runtime.request_stop();
+        }
+        if let Some(driver) = self.cluster_driver.take() {
+            let _ = driver.join();
+        }
         if let Some(mut http) = self.http.take() {
             http.shutdown();
         }
@@ -194,10 +305,25 @@ fn router_with(
     metrics: Arc<ServerMetrics>,
     draining: Arc<AtomicBool>,
 ) -> Router {
+    router_with_cluster(control, metrics, draining, None)
+}
+
+/// [`router_with`], optionally in cluster mode: mounts the peer endpoints
+/// and extends `/readyz` with role, term, and replication lag (a stale
+/// follower reports unready — load balancers stop routing reads to it).
+fn router_with_cluster(
+    control: Arc<ChronosControl>,
+    metrics: Arc<ServerMetrics>,
+    draining: Arc<AtomicBool>,
+    state: Option<Arc<ClusterState>>,
+) -> Router {
     let mut router = Router::new();
     api_v1::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics));
     api_v0::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics));
     ui::mount(&mut router, Arc::clone(&control), Arc::clone(&metrics), Arc::clone(&draining));
+    if let Some(state) = &state {
+        cluster::mount(&mut router, Arc::clone(state), Arc::clone(&control), Arc::clone(&metrics));
+    }
     router.get("/api", |_req, _params| {
         use chronos_api::WireEncode;
         Response::json(&chronos_api::ApiIndex::default().to_value())
@@ -210,15 +336,30 @@ fn router_with(
     // Readiness: the store can persist writes and no drain has begun. An
     // unready server answers 503 with the same typed envelope shape the
     // accept thread sheds with, so probes and agents classify it alike.
+    // Cluster mode adds the node's role/term/lag, and a follower whose
+    // replication lag exceeds the staleness bound reports unready.
     router.get("/readyz", move |_req, _params| {
         let store_healthy = control.store_healthy();
         let is_draining = draining.load(Ordering::SeqCst);
-        let ready = store_healthy && !is_draining;
-        let body = obj! {
+        let mut ready = store_healthy && !is_draining;
+        let mut body = obj! {
             "ready" => ready,
             "draining" => is_draining,
             "store_healthy" => store_healthy,
         };
+        if let (chronos_json::Value::Object(map), Some(state)) = (&mut body, &state) {
+            let now = Instant::now();
+            let stale = state.is_stale(now);
+            ready = ready && !stale;
+            map.insert("ready".into(), chronos_json::Value::from(ready));
+            map.insert("role".into(), chronos_json::Value::from(state.role().as_str()));
+            map.insert("term".into(), chronos_json::Value::from(state.term() as i64));
+            map.insert(
+                "replication_lag_ms".into(),
+                chronos_json::Value::from(state.lag(now).as_millis() as i64),
+            );
+            map.insert("stale".into(), chronos_json::Value::from(stale));
+        }
         if ready {
             Response::json(&body)
         } else {

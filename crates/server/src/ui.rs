@@ -97,15 +97,26 @@ fn token_of(req: &Request) -> String {
     req.query_param("token").unwrap_or_default()
 }
 
-/// Renders the server-health block on the overview page: drain state plus
-/// the front-end admission counters.
+/// Renders the server-health block on the overview page: drain state, the
+/// front-end admission counters, and (read from the mirrored gauges) the
+/// node's cluster role, term, and replication health.
 fn health_section(metrics: &ServerMetrics, draining: bool) -> String {
+    let role = match metrics.cluster_role.get() {
+        0 => "follower",
+        1 => "candidate",
+        _ => "leader",
+    };
     format!(
         "<h2>Server health</h2><table>\
          <tr><th>state</th><th>in-flight</th><th>accepted</th><th>requests</th>\
          <th>shed (overload)</th><th>shed (draining)</th><th>deadline exceeded</th></tr>\
          <tr><td>{state}</td><td>{inflight}</td><td>{accepted}</td><td>{requests}</td>\
-         <td>{shed_overload}</td><td>{shed_draining}</td><td>{deadline}</td></tr></table>",
+         <td>{shed_overload}</td><td>{shed_draining}</td><td>{deadline}</td></tr></table>\
+         <table>\
+         <tr><th>role</th><th>term</th><th>replication lag (ms)</th>\
+         <th>elections</th><th>segments shipped</th></tr>\
+         <tr><td>{role}</td><td>{term}</td><td>{lag}</td>\
+         <td>{elections}</td><td>{shipped}</td></tr></table>",
         state = if draining { "draining" } else { "running" },
         inflight = metrics.inflight.get(),
         accepted = metrics.accepted.get(),
@@ -113,6 +124,10 @@ fn health_section(metrics: &ServerMetrics, draining: bool) -> String {
         shed_overload = metrics.shed_overload.get(),
         shed_draining = metrics.shed_draining.get(),
         deadline = metrics.deadline_exceeded.get(),
+        term = metrics.cluster_term.get(),
+        lag = metrics.replication_lag_ms.get(),
+        elections = metrics.elections.get(),
+        shipped = metrics.segments_shipped.get(),
     )
 }
 

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, the full test suite, and a quick
 # benchmark smoke run.
-# Usage: scripts/check.sh [--bench] [--chaos]
-#   --bench  also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
-#            BENCH_overload.json / BENCH_http_scale.json / BENCH_analytics.json
-#            at full scale via the E8, E9, E11, E12 and E13 experiments
-#   --chaos  also run the fault-injection suites (torture + chaos) with
-#            --features failpoints under a fixed seed, and verify that the
-#            default release build carries zero failpoint overhead
+# Usage: scripts/check.sh [--bench] [--chaos] [--cluster]
+#   --bench    also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
+#              BENCH_overload.json / BENCH_http_scale.json / BENCH_analytics.json /
+#              BENCH_cluster.json at full scale via the E8, E9, E11, E12, E13
+#              and E14 experiments
+#   --chaos    also run the fault-injection suites (torture + chaos) with
+#              --features failpoints under a fixed seed, and verify that the
+#              default release build carries zero failpoint overhead
+#   --cluster  also lint + run the replicated-control-plane suite: the
+#              cluster storm (leader death mid-evaluation, exactly-once)
+#              at three pinned seeds, plus an E14 quick smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,8 +74,8 @@ CHRONOS_HTTP_CORE=threaded cargo test -q --offline --test overload
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 + E11 + E12 + E13 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 E11 E12 E13 --json
+        echo "== full-scale E8 + E9 + E11 + E12 + E13 + E14 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 E12 E13 E14 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="
@@ -87,6 +91,27 @@ for arg in "$@"; do
             echo "FAIL: failpoint site strings found in release binary" >&2
             exit 1
         fi
+        ;;
+    --cluster)
+        echo "== clippy with failpoints (deny warnings) =="
+        # The storm module and every fail_eval! site only compile under
+        # the feature; hold them to the same bar as the default build.
+        cargo clippy --workspace --all-targets --offline --features failpoints -- -D warnings
+        echo "== cluster storm: leader death mid-evaluation, 3 pinned seeds =="
+        # Replicated control plane under a seeded fault storm: new leader
+        # within the lease budget, every job finished exactly once,
+        # follower reads inside the staleness bound. The default seed
+        # (0xBADCAB) plus two more; a failure prints its replay seed.
+        cargo test -q --offline --features failpoints --test cluster
+        for seed in 7 20260809; do
+            CHRONOS_FAIL_SEED="$seed" \
+                cargo test -q --offline --features failpoints --test cluster
+        done
+        echo "== E14 cluster smoke (quick sizes) =="
+        cluster_dir="$(mktemp -d)"
+        (cd "$cluster_dir" && "$bench_bin" E14 --quick --json)
+        test -s "$cluster_dir/BENCH_cluster.json"
+        rm -rf "$cluster_dir"
         ;;
     esac
 done

@@ -211,6 +211,72 @@ fn error_envelope_bodies() {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster protocol (leader/follower replication, votes, status)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cluster_protocol_bodies() {
+    // A not_leader refusal with and without the leader hint: followers emit
+    // the hint once they know a leader; mid-election the field is absent
+    // entirely (not null) so pre-cluster decoders never see a new field.
+    golden(
+        "error_not_leader.json",
+        &ErrorEnvelope::not_leader(
+            "this node is not the leader",
+            Some("http://10.0.0.1:8080".into()),
+        )
+        .encode(),
+    );
+    golden(
+        "error_not_leader_no_hint.json",
+        &ErrorEnvelope::not_leader("election in progress", None).encode(),
+    );
+    let replicate = v1::ReplicateRequest {
+        term: 7,
+        leader: "http://10.0.0.1:8080".into(),
+        start_offset: 4096,
+        checksum: 0x00ab_cdef_0123_4567,
+        frames:
+            b"{\"op\":\"put\",\"kind\":\"job\",\"id\":\"j1\",\"doc\":{\"state\":\"finished\"}}\n"
+                .to_vec(),
+    };
+    golden("cluster_replicate_request.json", &replicate.encode());
+    golden("cluster_replicate_ack.json", &v1::ReplicateAck { term: 7, offset: 4161 }.encode());
+    let vote =
+        v1::VoteRequest { term: 8, candidate: "http://10.0.0.2:8080".into(), last_offset: 4161 };
+    golden("cluster_vote_request.json", &vote.encode());
+    golden("cluster_vote_response.json", &v1::VoteResponse { term: 8, granted: true }.encode());
+    let status = v1::ClusterStatusDto {
+        node: "node-2".into(),
+        role: "follower".into(),
+        term: 8,
+        leader: Some("http://10.0.0.1:8080".into()),
+        offset: 4161,
+        lag_millis: 120,
+        elections: 1,
+        segments_shipped: 42,
+    };
+    golden("cluster_status.json", &status.encode());
+    // Mid-election the leader field is omitted (mirrors the hint rule).
+    let candidate = v1::ClusterStatusDto {
+        node: "node-3".into(),
+        role: "candidate".into(),
+        term: 9,
+        leader: None,
+        offset: 4161,
+        lag_millis: 900,
+        elections: 2,
+        segments_shipped: 0,
+    };
+    golden("cluster_status_candidate.json", &candidate.encode());
+    // Round-trip: every cluster DTO decodes back to itself from its frozen
+    // bytes (strict for requests, lenient for the status entity).
+    assert_eq!(v1::ReplicateRequest::decode(&replicate.to_value()).unwrap(), replicate);
+    assert_eq!(v1::VoteRequest::decode(&vote.to_value()).unwrap(), vote);
+    assert_eq!(v1::ClusterStatusDto::decode(&status.to_value()).unwrap(), status);
+}
+
+// ---------------------------------------------------------------------------
 // Auth + users
 // ---------------------------------------------------------------------------
 
