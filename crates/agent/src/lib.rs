@@ -20,6 +20,7 @@
 mod context;
 mod control_client;
 mod docstore_client;
+mod resources;
 mod runtime;
 mod sink;
 mod tpcc_client;
@@ -27,6 +28,7 @@ mod tpcc_client;
 pub use context::JobContext;
 pub use control_client::{AgentError, ClaimedJob, ControlClient};
 pub use docstore_client::DocstoreClient;
+pub use resources::{ResourceSample, ResourceTracker};
 pub use runtime::{AgentConfig, ChronosAgent, EvaluationClient};
 pub use sink::{HttpSink, LocalDirSink, ResultSink};
 pub use tpcc_client::TpccClient;

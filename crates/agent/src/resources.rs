@@ -1,0 +1,161 @@
+//! Per-job resource accounting.
+//!
+//! The agent samples its own procfs counters around the system-under-
+//! evaluation run and attaches the deltas to the uploaded result document
+//! (under `data.agent.resources`): cpu time split user/system, peak
+//! resident set, and block-I/O volume. The cost of the sampling itself is
+//! reported as its own metric, so the accounting overhead is visible in
+//! the data rather than silently folded into the benchmark numbers.
+//!
+//! Linux-only by nature (procfs); on other platforms capture returns
+//! `None` and the result document simply omits the resources block.
+
+use std::time::Instant;
+
+use chronos_json::{obj, Value};
+
+/// Kernel clock ticks per second for /proc/self/stat cpu fields. Linux has
+/// reported 100 to userspace for all supported architectures since 2.6.
+const USER_HZ: u64 = 100;
+
+/// A snapshot of this process's cumulative resource counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceSample {
+    /// Cpu time spent in user mode, milliseconds.
+    pub cpu_user_millis: u64,
+    /// Cpu time spent in kernel mode, milliseconds.
+    pub cpu_system_millis: u64,
+    /// Peak resident set size, KiB (high-water mark, not a delta).
+    pub max_rss_kib: u64,
+    /// Bytes fetched from the block layer.
+    pub read_bytes: u64,
+    /// Bytes sent to the block layer.
+    pub write_bytes: u64,
+}
+
+impl ResourceSample {
+    /// Captures the current counters, or `None` when procfs is missing.
+    pub fn capture() -> Option<ResourceSample> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // comm (field 2) may contain spaces/parens; fields resume after the
+        // last ')'. utime/stime are fields 14/15 (1-indexed), i.e. index
+        // 11/12 of the remainder.
+        let rest = stat.rsplit_once(')')?.1;
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let ticks = |i: usize| fields.get(i).and_then(|f| f.parse::<u64>().ok());
+        let utime = ticks(11)?;
+        let stime = ticks(12)?;
+        let max_rss_kib = std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|status| {
+                status
+                    .lines()
+                    .find(|l| l.starts_with("VmHWM:"))
+                    .and_then(|line| line.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+            })
+            .unwrap_or(0);
+        // /proc/self/io can be restricted (hidepid, containers): treat as 0
+        // rather than losing the cpu/rss sample.
+        let (read_bytes, write_bytes) = std::fs::read_to_string("/proc/self/io")
+            .ok()
+            .map(|io| {
+                let field = |name: &str| {
+                    io.lines()
+                        .find(|l| l.starts_with(name))
+                        .and_then(|l| l.split_whitespace().nth(1))
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0)
+                };
+                (field("read_bytes:"), field("write_bytes:"))
+            })
+            .unwrap_or((0, 0));
+        Some(ResourceSample {
+            cpu_user_millis: utime * 1_000 / USER_HZ,
+            cpu_system_millis: stime * 1_000 / USER_HZ,
+            max_rss_kib,
+            read_bytes,
+            write_bytes,
+        })
+    }
+}
+
+/// Brackets a job run: snapshot at start, delta at finish.
+#[derive(Debug)]
+pub struct ResourceTracker {
+    start: Option<ResourceSample>,
+    overhead_nanos: u64,
+}
+
+impl ResourceTracker {
+    /// Takes the opening snapshot.
+    pub fn start() -> ResourceTracker {
+        let begin = Instant::now();
+        let start = ResourceSample::capture();
+        ResourceTracker { start, overhead_nanos: begin.elapsed().as_nanos() as u64 }
+    }
+
+    /// Takes the closing snapshot and renders the per-job deltas as the
+    /// `resources` JSON block, `None` when procfs is unavailable.
+    pub fn finish(mut self) -> Option<Value> {
+        let begin = Instant::now();
+        let end = ResourceSample::capture();
+        self.overhead_nanos += begin.elapsed().as_nanos() as u64;
+        let (start, end) = (self.start?, end?);
+        Some(obj! {
+            "cpu_user_millis" => end.cpu_user_millis.saturating_sub(start.cpu_user_millis),
+            "cpu_system_millis" =>
+                end.cpu_system_millis.saturating_sub(start.cpu_system_millis),
+            "max_rss_kib" => end.max_rss_kib,
+            "io_read_bytes" => end.read_bytes.saturating_sub(start.read_bytes),
+            "io_write_bytes" => end.write_bytes.saturating_sub(start.write_bytes),
+            "sampling_overhead_micros" => self.overhead_nanos / 1_000,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn capture_reads_procfs() {
+        let sample = ResourceSample::capture().expect("procfs should exist on linux");
+        assert!(sample.max_rss_kib > 0, "a running process has a resident set");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn tracker_reports_deltas_and_overhead() {
+        let tracker = ResourceTracker::start();
+        // Burn some user cpu so the delta can be non-zero (not asserted —
+        // schedulers are fickle — but the fields must exist and be sane).
+        let mut acc = 0u64;
+        for i in 0..5_000_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        assert!(acc != 1); // keep the loop alive
+        let resources = tracker.finish().expect("procfs should exist on linux");
+        for key in [
+            "cpu_user_millis",
+            "cpu_system_millis",
+            "max_rss_kib",
+            "io_read_bytes",
+            "io_write_bytes",
+            "sampling_overhead_micros",
+        ] {
+            assert!(resources.get(key).is_some(), "missing resources key {key}");
+        }
+        assert!(resources.get("max_rss_kib").and_then(Value::as_u64).unwrap() > 0);
+        // Sampling is two procfs reads: if this costs more than 50 ms the
+        // accounting is no longer a rounding error — fail loudly.
+        let overhead = resources.get("sampling_overhead_micros").and_then(Value::as_u64).unwrap();
+        assert!(overhead < 50_000, "sampling overhead {overhead} µs is excessive");
+    }
+
+    #[test]
+    fn finish_without_start_sample_is_none() {
+        let tracker = ResourceTracker { start: None, overhead_nanos: 0 };
+        assert!(tracker.finish().is_none());
+    }
+}

@@ -204,6 +204,9 @@ impl<C: EvaluationClient> ChronosAgent<C> {
         };
 
         let client = &mut self.evaluation_client;
+        // Resource accounting brackets the whole SuE run (set-up through
+        // execute); the deltas ride along in the result document.
+        let tracker = crate::resources::ResourceTracker::start();
         let result = (|| {
             let setup_ms = run("set_up", ctx, &mut |c| client.set_up(c))?;
             let warmup_ms = run("warm_up", ctx, &mut |c| client.warm_up(c))?;
@@ -220,15 +223,16 @@ impl<C: EvaluationClient> ChronosAgent<C> {
             };
             let execute_ms = execute_start.elapsed().as_millis() as u64;
             // Basic metrics the library measures on its own (paper §2.2).
-            data.set(
-                "agent",
-                obj! {
-                    "client" => client.name(),
-                    "setup_millis" => setup_ms,
-                    "warmup_millis" => warmup_ms,
-                    "execute_millis" => execute_ms,
-                },
-            );
+            let mut agent_info = obj! {
+                "client" => client.name(),
+                "setup_millis" => setup_ms,
+                "warmup_millis" => warmup_ms,
+                "execute_millis" => execute_ms,
+            };
+            if let Some(resources) = tracker.finish() {
+                agent_info.set("resources", resources);
+            }
+            data.set("agent", agent_info);
             ctx.set_progress(100);
             Ok(data)
         })();

@@ -142,6 +142,130 @@ impl WireDecode for ProjectDto {
     }
 }
 
+/// How an experiment explores its parameter space. `"grid"` (the historic
+/// behavior) encodes as a bare string so pre-strategy documents and
+/// fixtures stay byte-identical; adaptive strategies encode as an object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyDto {
+    /// Exhaustive sweep, index order.
+    Grid,
+    /// Successive-halving exploration.
+    Adaptive {
+        /// Candidate-sampling seed.
+        seed: u64,
+        /// Rung-0 size; `None` lets the scheduler derive it from the
+        /// space size.
+        initial: Option<u64>,
+        /// Halving factor (keep `ceil(k/eta)` per rung).
+        eta: u64,
+        /// JSON pointer into result documents that scores a candidate.
+        metric: String,
+        /// Whether a larger metric is better.
+        maximize: bool,
+    },
+}
+
+impl WireEncode for StrategyDto {
+    fn to_value(&self) -> Value {
+        match self {
+            StrategyDto::Grid => Value::from("grid"),
+            StrategyDto::Adaptive { seed, initial, eta, metric, maximize } => {
+                let mut map = Map::new();
+                map.insert("kind".into(), Value::from("adaptive"));
+                map.insert("seed".into(), Value::from(*seed));
+                if let Some(initial) = initial {
+                    map.insert("initial".into(), Value::from(*initial));
+                }
+                map.insert("eta".into(), Value::from(*eta));
+                map.insert("metric".into(), Value::from(metric.as_str()));
+                map.insert("maximize".into(), Value::from(*maximize));
+                Value::Object(map)
+            }
+        }
+    }
+}
+
+impl WireDecode for StrategyDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let kind = match value {
+            Value::String(s) => s.as_str(),
+            Value::Object(_) => value
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or(WireError::BadField("strategy.kind"))?,
+            _ => return Err(WireError::BadField("strategy")),
+        };
+        match kind {
+            "grid" => Ok(StrategyDto::Grid),
+            "adaptive" => Ok(StrategyDto::Adaptive {
+                seed: codec::lenient_u64(value, "seed").unwrap_or(0),
+                initial: codec::lenient_u64(value, "initial"),
+                eta: codec::lenient_u64(value, "eta").unwrap_or(4),
+                metric: codec::str_or(value, "metric", "/throughput_ops_per_sec"),
+                maximize: value.get("maximize").and_then(Value::as_bool).unwrap_or(true),
+            }),
+            _ => Err(WireError::BadField("strategy")),
+        }
+    }
+}
+
+/// The live rung of an adaptive evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierDto {
+    pub rung: u32,
+    /// Point indices competing in this rung.
+    pub candidates: Vec<u64>,
+    /// Materialized prefix of `candidates`.
+    pub issued: u64,
+    /// Jobs of this rung, in issue order.
+    pub job_ids: Vec<Id>,
+    /// Per-completed-rung pruning records (opaque documents).
+    pub decisions: Vec<Value>,
+}
+
+impl WireEncode for FrontierDto {
+    fn to_value(&self) -> Value {
+        obj! {
+            "rung" => self.rung as u64,
+            "candidates" => Value::Array(self.candidates.iter().map(|&c| Value::from(c)).collect()),
+            "issued" => self.issued,
+            "job_ids" => Value::Array(self.job_ids.iter().map(|j| Value::from(j.to_base32())).collect()),
+            "decisions" => Value::Array(self.decisions.clone()),
+        }
+    }
+}
+
+impl WireDecode for FrontierDto {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        let job_ids = value
+            .get("job_ids")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|j| {
+                        j.as_str()
+                            .and_then(|s| Id::parse_base32(s).ok())
+                            .ok_or_else(|| WireError::Invalid("bad frontier job id".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        Ok(Self {
+            rung: req_u32(codec::lenient_u64(value, "rung").unwrap_or(0)),
+            candidates: value
+                .get("candidates")
+                .and_then(Value::as_array)
+                .map(|items| items.iter().filter_map(Value::as_u64).collect())
+                .unwrap_or_default(),
+            issued: codec::lenient_u64(value, "issued").unwrap_or(0),
+            job_ids,
+            decisions: codec::arr_or_empty(value, "decisions"),
+        })
+    }
+}
+
 /// An experiment: a parameterised evaluation template. `parameters` holds
 /// the `ParamAssignments` document verbatim.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,11 +278,14 @@ pub struct ExperimentDto {
     pub parameters: Value,
     pub archived: bool,
     pub created_at: u64,
+    /// Exploration strategy. `None` means grid and is omitted on the wire,
+    /// keeping pre-strategy documents byte-identical.
+    pub strategy: Option<StrategyDto>,
 }
 
 impl WireEncode for ExperimentDto {
     fn to_value(&self) -> Value {
-        obj! {
+        let mut doc = obj! {
             "id" => self.id.to_base32(),
             "project_id" => self.project_id.to_base32(),
             "system_id" => self.system_id.to_base32(),
@@ -167,7 +294,11 @@ impl WireEncode for ExperimentDto {
             "parameters" => self.parameters.clone(),
             "archived" => self.archived,
             "created_at" => self.created_at,
+        };
+        if let Some(strategy) = &self.strategy {
+            doc.set("strategy", strategy.to_value());
         }
+        doc
     }
 }
 
@@ -185,18 +316,28 @@ impl WireDecode for ExperimentDto {
                 .unwrap_or_else(|| Value::Object(Map::new())),
             archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
             created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+            strategy: value.get("strategy").map(StrategyDto::decode).transpose()?,
         })
     }
 }
 
 /// An evaluation: one execution of an experiment, fanned out into jobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Lazy evaluations additionally carry their job-source state (`strategy`,
+/// `total_points`, `materialized`, and for adaptive runs the `frontier`).
+/// All four are optional and omitted when absent, so pre-refactor
+/// documents and fixtures stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationDto {
     pub id: Id,
     pub experiment_id: Id,
     pub job_ids: Vec<Id>,
     pub swept_params: Vec<String>,
     pub created_at: u64,
+    pub strategy: Option<StrategyDto>,
+    pub total_points: Option<u64>,
+    pub materialized: Option<u64>,
+    pub frontier: Option<FrontierDto>,
 }
 
 impl EvaluationDto {
@@ -211,13 +352,26 @@ impl EvaluationDto {
 
 impl WireEncode for EvaluationDto {
     fn to_value(&self) -> Value {
-        obj! {
+        let mut doc = obj! {
             "id" => self.id.to_base32(),
             "experiment_id" => self.experiment_id.to_base32(),
             "job_ids" => Value::Array(self.job_ids.iter().map(|j| Value::from(j.to_base32())).collect()),
             "swept_params" => Value::Array(self.swept_params.iter().map(|s| Value::from(s.as_str())).collect()),
             "created_at" => self.created_at,
+        };
+        if let Some(strategy) = &self.strategy {
+            doc.set("strategy", strategy.to_value());
         }
+        if let Some(total_points) = self.total_points {
+            doc.set("total_points", total_points);
+        }
+        if let Some(materialized) = self.materialized {
+            doc.set("materialized", materialized);
+        }
+        if let Some(frontier) = &self.frontier {
+            doc.set("frontier", frontier.to_value());
+        }
+        doc
     }
 }
 
@@ -248,6 +402,10 @@ impl WireDecode for EvaluationDto {
                 .map(|items| items.iter().filter_map(Value::as_str).map(str::to_string).collect())
                 .unwrap_or_default(),
             created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+            strategy: value.get("strategy").map(StrategyDto::decode).transpose()?,
+            total_points: codec::lenient_u64(value, "total_points"),
+            materialized: codec::lenient_u64(value, "materialized"),
+            frontier: value.get("frontier").map(FrontierDto::decode).transpose()?,
         })
     }
 }
@@ -255,6 +413,9 @@ impl WireDecode for EvaluationDto {
 /// The per-evaluation job-state roll-up. All fields (including the derived
 /// `total`/`settled`/`progress_percent`) are carried verbatim so the
 /// encode stays a pure projection of what the scheduler computed.
+/// `remaining_space` counts not-yet-materialized points of a lazy
+/// evaluation; it is omitted for fully-materialized (pre-refactor)
+/// evaluations so their status bodies stay byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvaluationStatusDto {
     pub scheduled: usize,
@@ -265,11 +426,12 @@ pub struct EvaluationStatusDto {
     pub total: usize,
     pub settled: bool,
     pub progress_percent: u8,
+    pub remaining_space: Option<u64>,
 }
 
 impl WireEncode for EvaluationStatusDto {
     fn to_value(&self) -> Value {
-        obj! {
+        let mut doc = obj! {
             "scheduled" => self.scheduled,
             "running" => self.running,
             "finished" => self.finished,
@@ -278,7 +440,11 @@ impl WireEncode for EvaluationStatusDto {
             "total" => self.total,
             "settled" => self.settled,
             "progress_percent" => self.progress_percent as i64,
+        };
+        if let Some(remaining) = self.remaining_space {
+            doc.set("remaining_space", remaining);
         }
+        doc
     }
 }
 
@@ -295,6 +461,7 @@ impl WireDecode for EvaluationStatusDto {
             settled: value.get("settled").and_then(Value::as_bool).unwrap_or(false),
             progress_percent: codec::lenient_u64(value, "progress_percent").unwrap_or(0).min(100)
                 as u8,
+            remaining_space: codec::lenient_u64(value, "remaining_space"),
         })
     }
 }
@@ -349,6 +516,10 @@ pub struct JobDto {
     pub result_id: Option<Id>,
     pub failure: Option<String>,
     pub created_at: u64,
+    /// Index of this job's point in the evaluation's parameter space.
+    /// Present only on lazily-materialized jobs; omitted on the wire when
+    /// absent so pre-refactor job documents stay byte-identical.
+    pub point_index: Option<u64>,
 }
 
 impl JobDto {
@@ -375,6 +546,9 @@ impl JobDto {
         map.insert("result_id".into(), Value::from(self.result_id.map(|r| r.to_base32())));
         map.insert("failure".into(), Value::from(self.failure.clone()));
         map.insert("created_at".into(), Value::from(self.created_at));
+        if let Some(point_index) = self.point_index {
+            map.insert("point_index".into(), Value::from(point_index));
+        }
         Value::Object(map)
     }
 
@@ -416,6 +590,7 @@ impl WireDecode for JobDto {
             result_id: codec::opt_id(value, "result_id")?,
             failure: codec::opt_str(value, "failure"),
             created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
+            point_index: codec::lenient_u64(value, "point_index"),
         })
     }
 }

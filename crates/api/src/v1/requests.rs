@@ -197,13 +197,14 @@ impl WireDecode for AddProjectMemberRequest {
 
 /// `POST /api/v1/projects/:id/experiments`. `parameters` carries the
 /// `ParamAssignments` document verbatim (the core layer validates it
-/// against the system's parameter space).
+/// against the system's parameter space). An absent `strategy` means grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateExperimentRequest {
     pub name: String,
     pub system_id: Id,
     pub description: String,
     pub parameters: Option<Value>,
+    pub strategy: Option<crate::v1::StrategyDto>,
 }
 
 impl WireEncode for CreateExperimentRequest {
@@ -217,17 +218,26 @@ impl WireEncode for CreateExperimentRequest {
         if let Some(parameters) = &self.parameters {
             map.insert("parameters".into(), parameters.clone());
         }
+        if let Some(strategy) = &self.strategy {
+            map.insert("strategy".into(), strategy.to_value());
+        }
         Value::Object(map)
     }
 }
 
 impl WireDecode for CreateExperimentRequest {
     fn decode(value: &Value) -> Result<Self, WireError> {
+        let strategy = match value.get("strategy") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(crate::v1::StrategyDto::decode(v)?),
+        };
         Ok(Self {
             name: codec::req_str(value, "name")?,
             system_id: codec::req_id(value, "system_id")?,
             description: codec::str_or(value, "description", ""),
             parameters: codec::opt_value(value, "parameters"),
+            strategy,
         })
     }
 }
@@ -287,6 +297,9 @@ impl WireDecode for TriggerBuildResponse {
 }
 
 /// `GET /api/v1/stats` — installation-wide job-state roll-up.
+/// `remaining_space` sums the not-yet-materialized points of all lazy
+/// evaluations; `0` is omitted on the wire (pre-refactor bodies had no
+/// such key).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsResponse {
     pub scheduled: usize,
@@ -294,20 +307,25 @@ pub struct StatsResponse {
     pub finished: usize,
     pub aborted: usize,
     pub failed: usize,
+    pub remaining_space: u64,
     pub systems: usize,
     pub projects: usize,
 }
 
 impl WireEncode for StatsResponse {
     fn to_value(&self) -> Value {
+        let mut jobs = obj! {
+            "scheduled" => self.scheduled,
+            "running" => self.running,
+            "finished" => self.finished,
+            "aborted" => self.aborted,
+            "failed" => self.failed,
+        };
+        if self.remaining_space > 0 {
+            jobs.set("remaining_space", self.remaining_space);
+        }
         obj! {
-            "jobs" => obj! {
-                "scheduled" => self.scheduled,
-                "running" => self.running,
-                "finished" => self.finished,
-                "aborted" => self.aborted,
-                "failed" => self.failed,
-            },
+            "jobs" => jobs,
             "systems" => self.systems,
             "projects" => self.projects,
         }
@@ -324,6 +342,7 @@ impl WireDecode for StatsResponse {
             finished: count("finished"),
             aborted: count("aborted"),
             failed: count("failed"),
+            remaining_space: codec::lenient_u64(&jobs, "remaining_space").unwrap_or(0),
             systems: codec::lenient_u64(value, "systems").unwrap_or(0) as usize,
             projects: codec::lenient_u64(value, "projects").unwrap_or(0) as usize,
         })

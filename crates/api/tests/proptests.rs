@@ -46,6 +46,43 @@ fn arb_text() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9 _.:/-]{0,12}"
 }
 
+/// u64 payloads that stay within `i64` so they encode as JSON integers.
+fn arb_u64() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|x| x >> 1)
+}
+
+fn arb_strategy() -> impl Strategy<Value = v1::StrategyDto> {
+    prop_oneof![
+        Just(v1::StrategyDto::Grid),
+        (arb_u64(), opt(1u64..1_000_000), 2u64..16, arb_text(), any::<bool>()).prop_map(
+            |(seed, initial, eta, metric, maximize)| v1::StrategyDto::Adaptive {
+                seed,
+                initial,
+                eta,
+                metric: format!("/{metric}"),
+                maximize,
+            }
+        ),
+    ]
+}
+
+fn arb_frontier() -> impl Strategy<Value = v1::FrontierDto> {
+    (
+        0u32..8,
+        prop::collection::vec(arb_u64(), 0..4),
+        0u64..4,
+        prop::collection::vec(arb_id(), 0..3),
+        prop::collection::vec(arb_doc(), 0..2),
+    )
+        .prop_map(|(rung, candidates, issued, job_ids, decisions)| v1::FrontierDto {
+            rung,
+            candidates,
+            issued,
+            job_ids,
+            decisions,
+        })
+}
+
 fn arb_state() -> impl Strategy<Value = JobState> {
     prop_oneof![
         Just(JobState::Scheduled),
@@ -93,12 +130,13 @@ proptest! {
         (name, description, build) in (arb_text(), arb_text(), arb_text()),
         (user_id, system_id, experiment_id) in (arb_id(), arb_id(), arb_id()),
         parameters in opt(arb_doc()),
+        strategy in opt(arb_strategy()),
     ) {
         roundtrip(&v1::CreateDeploymentRequest { environment, version });
         roundtrip(&v1::SetDeploymentActiveRequest { active });
         roundtrip(&v1::CreateProjectRequest { name: name.clone(), description: description.clone() });
         roundtrip(&v1::AddProjectMemberRequest { user_id });
-        roundtrip(&v1::CreateExperimentRequest { name, system_id, description, parameters });
+        roundtrip(&v1::CreateExperimentRequest { name, system_id, description, parameters, strategy });
         roundtrip(&v1::TriggerBuildRequest { experiment_id, build: build.clone() });
         roundtrip(&v1::TriggerBuildResponse {
             evaluation: obj! {"id" => experiment_id.to_base32()},
@@ -114,7 +152,13 @@ proptest! {
         (flag, created_at) in (any::<bool>(), arb_ts()),
         members in prop::collection::vec(arb_id(), 0..4),
         swept in prop::collection::vec("[a-z]{1,6}", 0..3),
-        doc in arb_doc(),
+        (doc, strategy, frontier, total_points, materialized) in (
+            arb_doc(),
+            opt(arb_strategy()),
+            opt(arb_frontier()),
+            opt(arb_u64()),
+            opt(arb_u64()),
+        ),
     ) {
         roundtrip(&v1::SystemDto {
             id,
@@ -149,6 +193,7 @@ proptest! {
             parameters: doc.clone(),
             archived: flag,
             created_at,
+            strategy: strategy.clone(),
         });
         roundtrip(&v1::EvaluationDto {
             id,
@@ -156,6 +201,10 @@ proptest! {
             job_ids: members,
             swept_params: swept,
             created_at,
+            strategy,
+            total_points,
+            materialized,
+            frontier,
         });
         roundtrip(&v1::JobResultDto {
             id,
@@ -171,6 +220,8 @@ proptest! {
         counts in prop::collection::vec(0u64..1_000_000, 6..7),
         settled in any::<bool>(), percent in 0u8..=100,
         id in arb_id(),
+        remaining in opt(1u64..1_000_000),
+        stats_remaining in 0u64..1_000_000,
     ) {
         let counts: Vec<usize> = counts.into_iter().map(|c| c as usize).collect();
         roundtrip(&v1::EvaluationStatusDto {
@@ -182,6 +233,7 @@ proptest! {
             total: counts[5],
             settled,
             progress_percent: percent,
+            remaining_space: remaining,
         });
         roundtrip(&v1::StatsResponse {
             scheduled: counts[0],
@@ -189,6 +241,7 @@ proptest! {
             finished: counts[2],
             aborted: counts[3],
             failed: counts[4],
+            remaining_space: stats_remaining,
             systems: counts[5],
             projects: counts[0],
         });
@@ -207,7 +260,7 @@ proptest! {
         (state, progress, attempts) in (arb_state(), 0u8..=100, arb_u32()),
         (log, failure, claim_key, result_key) in
             (arb_text(), opt(arb_text()), opt(arb_text()), opt(arb_text())),
-        (heartbeat_at, created_at) in (opt(arb_ts()), arb_ts()),
+        (heartbeat_at, created_at, point_index) in (opt(arb_ts()), arb_ts(), opt(arb_u64())),
         timeline in prop::collection::vec((arb_ts(), "[a-z]{1,8}", arb_text()), 0..3),
         doc in arb_doc(),
     ) {
@@ -235,6 +288,7 @@ proptest! {
             result_id,
             failure,
             created_at,
+            point_index,
         };
         roundtrip(&job);
         // The summary view drops only the details: decoding it yields the

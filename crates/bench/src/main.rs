@@ -80,6 +80,215 @@ fn main() {
     if want("E14") {
         experiment_e14(quick, emit_json);
     }
+    if want("E15") {
+        experiment_e15(quick, emit_json);
+    }
+}
+
+/// E15 — adaptive parameter-space scheduling: successive halving over a
+/// seeded synthetic response surface vs exhausting the grid. Asserts the
+/// adaptive run converges on the best configuration it sampled with at most
+/// 30% of the grid's jobs, and that replaying the same seed reproduces the
+/// pruning decisions bit-for-bit. `--json` also writes the numbers to
+/// `BENCH_adaptive.json` for regression tracking.
+fn experiment_e15(quick: bool, emit_json: bool) {
+    use std::collections::HashMap;
+
+    use chronos_core::{AdaptiveConfig, Strategy};
+    use chronos_workload::ResponseSurface;
+
+    println!("== E15: adaptive parameter-space scheduling (successive halving) ==");
+    let axis: i64 = if quick { 11 } else { 23 };
+    let total = (axis * axis) as u64;
+    let seeds = [11u64, 23, 47];
+
+    struct AdaptiveRun {
+        jobs: u64,
+        best_point: u64,
+        best_throughput: f64,
+        decisions: Vec<Value>,
+        claim_secs: f64,
+        scores: HashMap<u64, f64>,
+    }
+
+    // One full adaptive evaluation against the seeded surface: claim until
+    // the source is exhausted, finishing each job with the surface's result
+    // document so the rung advance scores through the columnar kernels.
+    let run = |seed: u64| -> AdaptiveRun {
+        let surface = ResponseSurface::new(seed, 2);
+        let control = ChronosControl::in_memory();
+        let owner = control.create_user("bench", "pw", Role::Member).unwrap();
+        let system = control
+            .register_system(
+                "sut",
+                "",
+                vec![
+                    ParamDef::new(
+                        "x",
+                        "",
+                        ParamType::Interval { min: 0, max: axis - 1, step: 1 },
+                        Value::from(0),
+                    )
+                    .unwrap(),
+                    ParamDef::new(
+                        "y",
+                        "",
+                        ParamType::Interval { min: 0, max: axis - 1, step: 1 },
+                        Value::from(0),
+                    )
+                    .unwrap(),
+                ],
+                vec![],
+            )
+            .unwrap();
+        let deployment = control.create_deployment(system.id, "bench", "1").unwrap();
+        let project = control.create_project("bench", "E15", owner.id).unwrap();
+        let experiment = control
+            .create_experiment_with_strategy(
+                project.id,
+                system.id,
+                "surface sweep",
+                "",
+                ParamAssignments::new().sweep_all("x").sweep_all("y"),
+                Strategy::Adaptive(AdaptiveConfig { seed, ..Default::default() }),
+            )
+            .unwrap();
+        let evaluation = control.create_evaluation(experiment.id).unwrap();
+
+        let start = Instant::now();
+        let mut jobs = 0u64;
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        while let Some(job) = control.claim_next_job(deployment.id, None).unwrap() {
+            jobs += 1;
+            let x = job.parameters.get("x").and_then(Value::as_i64).unwrap();
+            let y = job.parameters.get("y").and_then(Value::as_i64).unwrap();
+            let coords = [x as f64 / (axis - 1) as f64, y as f64 / (axis - 1) as f64];
+            scores.insert(job.point_index.unwrap(), surface.throughput(&coords));
+            control
+                .finish_job(
+                    job.id,
+                    surface.result_document(&coords),
+                    vec![],
+                    Some(job.attempts),
+                    None,
+                )
+                .unwrap();
+        }
+        let claim_secs = start.elapsed().as_secs_f64();
+
+        let status = control.evaluation_status(evaluation.id).unwrap();
+        assert!(status.is_settled(), "adaptive source must drain to settled");
+        assert_eq!(status.remaining, Some(0));
+        let evaluation = control.get_evaluation(evaluation.id).unwrap();
+        let frontier = evaluation.source.unwrap().frontier.unwrap();
+        assert_eq!(frontier.candidates.len(), 1, "exactly one survivor");
+        let best_point = frontier.candidates[0];
+        AdaptiveRun {
+            jobs,
+            best_point,
+            best_throughput: scores[&best_point],
+            decisions: frontier.decisions,
+            claim_secs,
+            scores,
+        }
+    };
+
+    let widths = [6, 11, 14, 9, 12, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "seed".into(),
+                "grid jobs".into(),
+                "adaptive jobs".into(),
+                "budget".into(),
+                "regret".into(),
+                "replay".into(),
+            ],
+            &widths
+        )
+    );
+    let mut reports = Vec::new();
+    for seed in seeds {
+        let outcome = run(seed);
+
+        // The surface is noiseless, so successive halving can never prune
+        // its best sampled configuration: the survivor must be the argmax
+        // of everything the run measured.
+        let sampled_best = outcome.scores.values().fold(f64::MIN, |best, &score| best.max(score));
+        assert_eq!(
+            outcome.best_throughput, sampled_best,
+            "seed {seed}: survivor is not the best sampled configuration"
+        );
+        let budget = outcome.jobs as f64 / total as f64;
+        assert!(budget <= 0.30, "seed {seed}: adaptive used {budget:.2} of the grid (limit 0.30)");
+
+        // Global regret: how far the survivor's throughput sits below the
+        // best point anywhere on the full grid.
+        let surface = ResponseSurface::new(seed, 2);
+        let mut grid_best = f64::MIN;
+        for ix in 0..axis {
+            for iy in 0..axis {
+                let t = surface
+                    .throughput(&[ix as f64 / (axis - 1) as f64, iy as f64 / (axis - 1) as f64]);
+                grid_best = grid_best.max(t);
+            }
+        }
+        let regret = (grid_best - outcome.best_throughput) / grid_best;
+
+        // Determinism: replaying the seed reproduces every pruning decision.
+        let replay = run(seed);
+        assert_eq!(replay.decisions, outcome.decisions, "seed {seed}: replay diverged");
+        assert_eq!(replay.best_point, outcome.best_point);
+        assert_eq!(replay.jobs, outcome.jobs);
+
+        println!(
+            "{}",
+            row(
+                &[
+                    seed.to_string(),
+                    total.to_string(),
+                    outcome.jobs.to_string(),
+                    format!("{:.1}%", budget * 100.0),
+                    format!("{:.2}%", regret * 100.0),
+                    "ok".into(),
+                ],
+                &widths
+            )
+        );
+        reports.push(chronos_json::obj! {
+            "seed" => seed as i64,
+            "grid_jobs" => total as i64,
+            "adaptive_jobs" => outcome.jobs as i64,
+            "budget_fraction" => budget,
+            "global_regret" => regret,
+            "best_point_index" => outcome.best_point as i64,
+            "best_throughput_ops_per_sec" => outcome.best_throughput,
+            "rung_decisions" => outcome.decisions.len() as i64,
+            "claim_loop_secs" => outcome.claim_secs,
+        });
+    }
+    println!(
+        "shape: successive halving reaches each surface's best sampled point \
+         with <=30% of the grid's jobs, and seeds replay to identical decisions\n"
+    );
+
+    if emit_json {
+        let doc = chronos_json::obj! {
+            "experiment" => "E15",
+            "description" => "adaptive successive-halving scheduling vs full grid on a seeded response surface",
+            "space" => chronos_json::obj! {
+                "axes" => 2,
+                "axis_cardinality" => axis,
+                "total_points" => total as i64,
+            },
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+            "runs" => Value::from(reports),
+        };
+        let path = "BENCH_adaptive.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
 }
 
 /// E13 — result-analytics aggregation throughput: the parse-every-JSON-row
@@ -848,12 +1057,12 @@ fn experiment_e5() {
 
     let start = Instant::now();
     let evaluation = control.create_evaluation(experiment.id).unwrap();
-    let expansion = start.elapsed();
+    let planning = start.elapsed();
+    let planned = evaluation.source.as_ref().map(|s| s.total_points).unwrap_or(0);
     println!(
-        "evaluation-space expansion: {} jobs in {:.1} ms ({:.0} jobs/s)",
-        evaluation.job_ids.len(),
-        expansion.as_secs_f64() * 1e3,
-        evaluation.job_ids.len() as f64 / expansion.as_secs_f64()
+        "evaluation planning: {} points in {:.2} ms (jobs materialize lazily on claim)",
+        planned,
+        planning.as_secs_f64() * 1e3,
     );
 
     let start = Instant::now();
@@ -863,7 +1072,7 @@ fn experiment_e5() {
     }
     let claims = start.elapsed();
     println!(
-        "job claims: {} in {:.1} ms ({:.0} claims/s)",
+        "job claims (incl. lazy materialization): {} in {:.1} ms ({:.0} claims/s)",
         claimed,
         claims.as_secs_f64() * 1e3,
         claimed as f64 / claims.as_secs_f64()
@@ -878,6 +1087,7 @@ fn experiment_e5() {
             ChronosControl::new(store, Arc::new(chronos_util::SystemClock), Default::default());
         let owner = durable.create_user("bench", "pw", Role::Member).unwrap();
         let system = durable.register_system("sut", "", vec![], vec![]).unwrap();
+        let deployment = durable.create_deployment(system.id, "bench", "1").unwrap();
         let project = durable.create_project("bench", "", owner.id).unwrap();
         let experiment = durable
             .create_experiment(project.id, system.id, "x", "", ParamAssignments::new())
@@ -885,6 +1095,8 @@ fn experiment_e5() {
         for _ in 0..200 {
             durable.create_evaluation(experiment.id).unwrap();
         }
+        // Materialize every planned point so recovery replays job documents.
+        while durable.claim_next_job(deployment.id, None).unwrap().is_some() {}
     }
     let start = Instant::now();
     let store = MetadataStore::open(&path).unwrap();
@@ -1355,7 +1567,7 @@ fn experiment_e14(quick: bool, emit_json: bool) {
         )
         .unwrap();
     let evaluation = control.create_evaluation(experiment.id).unwrap();
-    let job_count = evaluation.job_ids.len();
+    let job_count = control.evaluation_status(evaluation.id).unwrap().total();
     wait_replicated(&servers, control.replication_offset());
 
     // ----- (c) read scaling: same worker count, one node vs the cluster --

@@ -7,6 +7,7 @@
 //! protocol (claim / heartbeat / log / finish / fail), abort and
 //! reschedule, failure detection, archiving and analysis.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use chronos_analytics::{AnalyticsStore, RegressionFlag, ResultTable};
@@ -15,9 +16,10 @@ use chronos_util::{Clock, Id, SystemClock};
 
 use crate::auth::{Role, SessionManager, User};
 use crate::error::{CoreError, CoreResult};
+use crate::jobsource::{prune_rung, JobSourceState, Strategy};
 use crate::lifecycle::JobEvent;
 use crate::model::{Deployment, Evaluation, Experiment, Job, JobResult, JobState, Project, System};
-use crate::params::ParamAssignments;
+use crate::params::{ParamAssignments, PointSpace};
 use crate::scheduler::{EvaluationStatus, SchedulerConfig};
 use crate::store::MetadataStore;
 
@@ -348,8 +350,8 @@ impl ChronosControl {
 
     // ----- experiments -------------------------------------------------------
 
-    /// Creates an experiment; the assignments are validated by a dry-run
-    /// expansion against the system's schema (paper Fig. 3a).
+    /// Creates a grid experiment; the assignments are validated against the
+    /// system's schema (paper Fig. 3a).
     pub fn create_experiment(
         &self,
         project_id: Id,
@@ -358,12 +360,35 @@ impl ChronosControl {
         description: &str,
         assignments: ParamAssignments,
     ) -> CoreResult<Experiment> {
+        self.create_experiment_with_strategy(
+            project_id,
+            system_id,
+            name,
+            description,
+            assignments,
+            Strategy::Grid,
+        )
+    }
+
+    /// Creates an experiment with an explicit exploration strategy. The
+    /// parameter space is validated without being materialized, so spaces
+    /// far beyond the old eager-expansion limit are accepted.
+    pub fn create_experiment_with_strategy(
+        &self,
+        project_id: Id,
+        system_id: Id,
+        name: &str,
+        description: &str,
+        assignments: ParamAssignments,
+        strategy: Strategy,
+    ) -> CoreResult<Experiment> {
         let project = self.get_project(project_id)?;
         if project.archived {
             return Err(CoreError::Conflict("project is archived".into()));
         }
         let system = self.get_system(system_id)?;
-        assignments.expand(&system.parameters)?; // validation
+        PointSpace::build(&assignments, &system.parameters)?; // validation
+        strategy.validate()?;
         let experiment = Experiment {
             id: Id::generate(),
             project_id,
@@ -371,6 +396,7 @@ impl ChronosControl {
             name: name.to_string(),
             description: description.to_string(),
             assignments,
+            strategy,
             archived: false,
             created_at: self.now(),
         };
@@ -407,33 +433,28 @@ impl ChronosControl {
 
     // ----- evaluations & jobs -------------------------------------------------
 
-    /// Runs an experiment: expands its parameter space and creates an
-    /// evaluation with one scheduled job per point (paper §2.1). This is
-    /// also the entry point for build-bot triggers (§2.2).
+    /// Runs an experiment: plans a lazy evaluation over its parameter space
+    /// (paper §2.1). No jobs are created here — the claim path materializes
+    /// points on demand from the evaluation's job source, so a huge space
+    /// costs O(in-flight) job documents. This is also the entry point for
+    /// build-bot triggers (§2.2).
     pub fn create_evaluation(&self, experiment_id: Id) -> CoreResult<Evaluation> {
         let experiment = self.get_experiment(experiment_id)?;
         if experiment.archived {
             return Err(CoreError::Conflict("experiment is archived".into()));
         }
         let system = self.get_system(experiment.system_id)?;
-        let points = experiment.assignments.expand(&system.parameters)?;
+        let space = PointSpace::build(&experiment.assignments, &system.parameters)?;
         let now = self.now();
-        let jobs: Vec<Job> = points
-            .into_iter()
-            .map(|parameters| Job::new(Id::generate(), system.id, parameters, now))
-            .collect();
         let evaluation = Evaluation {
             id: Id::generate(),
             experiment_id,
-            job_ids: jobs.iter().map(|j| j.id).collect(),
+            job_ids: Vec::new(),
             swept_params: experiment.assignments.swept_names(&system.parameters),
             created_at: now,
+            source: Some(JobSourceState::plan(experiment.strategy.clone(), space.total())),
         };
         let _guard = self.write_lock.lock();
-        for mut job in jobs {
-            job.evaluation_id = evaluation.id;
-            self.store.put(KIND_JOB, &job.id.to_base32(), job.to_json())?;
-        }
         self.store.put(KIND_EVALUATION, &evaluation.id.to_base32(), evaluation.to_json())?;
         // Born with the analytics store attached: every result is ingested
         // at upload, so columnar reads never need a backfill pass.
@@ -459,7 +480,9 @@ impl ChronosControl {
             .collect()
     }
 
-    /// The state roll-up of an evaluation (paper Fig. 3b).
+    /// The state roll-up of an evaluation (paper Fig. 3b). Lazy evaluations
+    /// also report their unmaterialized remainder, so a fresh evaluation
+    /// with zero job documents reads as 0 % complete, not 100 %.
     pub fn evaluation_status(&self, id: Id) -> CoreResult<EvaluationStatus> {
         let evaluation = self.get_evaluation(id)?;
         let mut status = EvaluationStatus::default();
@@ -472,6 +495,7 @@ impl ChronosControl {
                 JobState::Failed => status.failed += 1,
             }
         }
+        status.remaining = evaluation.source.as_ref().map(|s| s.remaining() as usize);
         Ok(status)
     }
 
@@ -493,8 +517,32 @@ impl ChronosControl {
         self.store.put(KIND_JOB, &job.id.to_base32(), job.to_json())
     }
 
+    /// Marks `job` claimed by `deployment` and persists it. Caller holds
+    /// the write lock.
+    fn claim_job_locked(
+        &self,
+        mut job: Job,
+        deployment: &Deployment,
+        idempotency_key: Option<&str>,
+    ) -> CoreResult<Job> {
+        let now = self.now();
+        job.apply(
+            JobEvent::Claim,
+            now,
+            &format!("claimed by deployment {} ({})", deployment.id, deployment.environment),
+        )?;
+        job.deployment_id = Some(deployment.id);
+        job.heartbeat_at = Some(now);
+        job.attempts += 1;
+        job.claim_key = idempotency_key.map(str::to_string);
+        self.save_job(&job)?;
+        Ok(job)
+    }
+
     /// Agent protocol: claims the oldest scheduled job for the system that
-    /// `deployment_id` deploys. Atomic: two agents never claim the same job.
+    /// `deployment_id` deploys, materializing the next point of the oldest
+    /// unfinished lazy evaluation when no job document is waiting. Atomic:
+    /// two agents never claim the same job.
     ///
     /// `idempotency_key` makes the claim retry-safe: if a previous claim by
     /// this deployment succeeded but the response was lost, retrying with
@@ -523,28 +571,140 @@ impl ChronosControl {
                 }
             }
         }
+        // Pass 1: a job document already waiting (a rescheduled job, or a
+        // materialized point another agent abandoned). Lazily-materialized
+        // jobs not listed in their evaluation's job_ids are *orphans* — the
+        // crash window between "put job" and "put evaluation" — and must
+        // not be claimed directly: materialization below adopts them for
+        // the deterministic next index instead of duplicating the point.
+        let mut registered: HashMap<Id, HashSet<Id>> = HashMap::new();
+        let mut orphans: HashMap<(Id, u64), Job> = HashMap::new();
+        let mut claimable = None;
         for id in self.store.ids(KIND_JOB) {
             let Some(doc) = self.store.get(KIND_JOB, &id) else { continue };
-            let Ok(mut job) = Job::from_json(&doc) else { continue };
-            if job.state == JobState::Scheduled && job.system_id == deployment.system_id {
-                let now = self.now();
-                job.apply(
-                    JobEvent::Claim,
-                    now,
-                    &format!(
-                        "claimed by deployment {} ({})",
-                        deployment.id, deployment.environment
-                    ),
-                )?;
-                job.deployment_id = Some(deployment_id);
-                job.heartbeat_at = Some(now);
-                job.attempts += 1;
-                job.claim_key = idempotency_key.map(str::to_string);
-                self.save_job(&job)?;
-                return Ok(Some(job));
+            let Ok(job) = Job::from_json(&doc) else { continue };
+            if job.state != JobState::Scheduled || job.system_id != deployment.system_id {
+                continue;
             }
+            if let Some(index) = job.point_index {
+                let members = registered.entry(job.evaluation_id).or_insert_with(|| {
+                    self.get_evaluation(job.evaluation_id)
+                        .map(|e| e.job_ids.into_iter().collect())
+                        .unwrap_or_default()
+                });
+                if !members.contains(&job.id) {
+                    orphans.insert((job.evaluation_id, index), job);
+                    continue;
+                }
+            }
+            claimable = Some(job);
+            break;
+        }
+        if let Some(job) = claimable {
+            return Ok(Some(self.claim_job_locked(job, &deployment, idempotency_key)?));
+        }
+        // Pass 2: materialize the next point from the oldest evaluation
+        // with remaining work for this system.
+        self.materialize_next(&deployment, idempotency_key, &mut orphans)
+    }
+
+    /// Walks evaluations in creation order and materializes the next point
+    /// of the first one with available work for `deployment`'s system,
+    /// returning it claimed. Settles adaptive rungs (scoring + pruning)
+    /// along the way. Caller holds the write lock.
+    fn materialize_next(
+        &self,
+        deployment: &Deployment,
+        idempotency_key: Option<&str>,
+        orphans: &mut HashMap<(Id, u64), Job>,
+    ) -> CoreResult<Option<Job>> {
+        for key in self.store.ids(KIND_EVALUATION) {
+            let Some(doc) = self.store.get(KIND_EVALUATION, &key) else { continue };
+            let Ok(mut evaluation) = Evaluation::from_json(&doc) else { continue };
+            let Some(mut source) = evaluation.source.clone() else { continue };
+            if source.remaining() == 0 {
+                continue;
+            }
+            let Ok(experiment) = self.get_experiment(evaluation.experiment_id) else { continue };
+            if experiment.system_id != deployment.system_id {
+                continue;
+            }
+            let Ok(system) = self.get_system(experiment.system_id) else { continue };
+            let Ok(space) = PointSpace::build(&experiment.assignments, &system.parameters) else {
+                continue;
+            };
+            // Adaptive: a fully-issued rung blocks until every rung job
+            // settles, then candidates are scored and pruned.
+            if source.peek().is_none() && !self.try_advance_rung(&mut source, &evaluation)? {
+                continue;
+            }
+            let Some(index) = source.peek() else { continue };
+            let Some(parameters) = space.point_at(index) else { continue };
+            let now = self.now();
+            // Job first, evaluation second: a crash in between leaves an
+            // orphan job that the next claim adopts right here.
+            let job = match orphans.remove(&(evaluation.id, index)) {
+                Some(orphan) => orphan,
+                None => {
+                    let mut job = Job::new(evaluation.id, experiment.system_id, parameters, now);
+                    job.point_index = Some(index);
+                    self.save_job(&job)?;
+                    job
+                }
+            };
+            source.advance();
+            if let Some(frontier) = &mut source.frontier {
+                frontier.job_ids.push(job.id);
+            }
+            evaluation.job_ids.push(job.id);
+            evaluation.source = Some(source);
+            self.store.put(KIND_EVALUATION, &evaluation.id.to_base32(), evaluation.to_json())?;
+            return Ok(Some(self.claim_job_locked(job, deployment, idempotency_key)?));
         }
         Ok(None)
+    }
+
+    /// Attempts to settle the current rung of an adaptive source: when all
+    /// rung jobs are terminal, scores each candidate through the columnar
+    /// analytics table and prunes to the best `1/eta` fraction. Returns
+    /// whether the source gained issuable work. The pruning decision is a
+    /// pure function of `(candidates, stored results)` — no clocks, no job
+    /// ids — so replays and failed-over leaders decide identically.
+    fn try_advance_rung(
+        &self,
+        source: &mut JobSourceState,
+        evaluation: &Evaluation,
+    ) -> CoreResult<bool> {
+        let Strategy::Adaptive(cfg) = source.strategy.clone() else { return Ok(false) };
+        let Some(frontier) = source.frontier.as_mut() else { return Ok(false) };
+        if (frontier.issued as usize) < frontier.candidates.len() || frontier.candidates.len() <= 1
+        {
+            return Ok(false); // rung still issuing, or a single survivor remains
+        }
+        let mut jobs = Vec::with_capacity(frontier.job_ids.len());
+        for job_id in &frontier.job_ids {
+            let job = self.get_job(*job_id)?;
+            if !matches!(job.state, JobState::Finished | JobState::Aborted | JobState::Failed) {
+                return Ok(false); // rung not settled yet
+            }
+            jobs.push(job);
+        }
+        let table = self.columnar_table(evaluation.id)?;
+        let cells = table.data_column(&cfg.metric).map(|c| c.materialize()).unwrap_or_default();
+        let scored: Vec<(u64, Option<f64>)> = frontier
+            .candidates
+            .iter()
+            .zip(&jobs)
+            .map(|(&candidate, job)| {
+                let score = (job.state == JobState::Finished)
+                    .then(|| table.gather([job.id.as_u128()]).first().copied())
+                    .flatten()
+                    .and_then(|row| cells.get(row).and_then(|cell| cell.as_f64()));
+                (candidate, score)
+            })
+            .collect();
+        prune_rung(frontier, &scored, &cfg);
+        Ok(true)
     }
 
     /// Checks the fencing token: a write from attempt `attempt` is only
@@ -823,6 +983,7 @@ impl ChronosControl {
 mod tests {
     use super::*;
     use crate::charts::ChartSpec;
+    use crate::jobsource::AdaptiveConfig;
     use crate::params::{ParamDef, ParamType};
     use chronos_json::obj;
     use chronos_util::MockClock;
@@ -939,15 +1100,25 @@ mod tests {
     }
 
     #[test]
-    fn evaluation_expansion_creates_jobs() {
-        let (control, _clock, evaluation, _deployment) = demo_evaluation();
-        assert_eq!(evaluation.job_ids.len(), 4); // 2 engines x 2 thread counts
+    fn evaluation_expansion_is_lazy() {
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        assert!(evaluation.job_ids.is_empty(), "lazy evaluations start with no job documents");
         assert_eq!(evaluation.swept_params, vec!["engine", "threads"]);
-        let jobs = control.list_jobs(evaluation.id).unwrap();
-        assert!(jobs.iter().all(|j| j.state == JobState::Scheduled));
+        let source = evaluation.source.as_ref().unwrap();
+        assert_eq!(source.total_points, 4); // 2 engines x 2 thread counts
         let status = control.evaluation_status(evaluation.id).unwrap();
-        assert_eq!(status.scheduled, 4);
+        assert_eq!(status.remaining, Some(4));
+        assert_eq!(status.total(), 4);
+        assert_eq!(status.progress_percent(), 0, "nothing ran yet");
         assert!(!status.is_settled());
+        // Claiming materializes points one at a time.
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        assert_eq!(job.point_index, Some(0));
+        let status = control.evaluation_status(evaluation.id).unwrap();
+        assert_eq!(status.running, 1);
+        assert_eq!(status.remaining, Some(3));
+        assert_eq!(status.total(), 4);
+        assert_eq!(control.list_jobs(evaluation.id).unwrap().len(), 1);
     }
 
     #[test]
@@ -958,10 +1129,11 @@ mod tests {
             assert_eq!(job.state, JobState::Running);
             assert_eq!(job.deployment_id, Some(deployment.id));
             assert_eq!(job.attempts, 1);
+            assert_eq!(job.point_index, Some(claimed.len() as u64), "points issue in order");
             claimed.push(job.id);
         }
         assert_eq!(claimed.len(), 4);
-        // Creation order preserved.
+        // Materialization order preserved.
         assert_eq!(claimed, control.get_evaluation(evaluation.id).unwrap().job_ids);
         assert!(control.claim_next_job(deployment.id, None).unwrap().is_none());
     }
@@ -1051,11 +1223,13 @@ mod tests {
 
     #[test]
     fn abort_semantics() {
-        let (control, _clock, evaluation, deployment) = demo_evaluation();
-        let jobs = control.list_jobs(evaluation.id).unwrap();
-        // Abort a scheduled job.
-        control.abort_job(jobs[3].id).unwrap();
-        assert_eq!(control.get_job(jobs[3].id).unwrap().state, JobState::Aborted);
+        let (control, _clock, _evaluation, deployment) = demo_evaluation();
+        // Abort a scheduled job (a failed claim auto-reschedules into one).
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        control.fail_job(job.id, "agent crashed", None).unwrap();
+        assert_eq!(control.get_job(job.id).unwrap().state, JobState::Scheduled);
+        control.abort_job(job.id).unwrap();
+        assert_eq!(control.get_job(job.id).unwrap().state, JobState::Aborted);
         // Abort a running job.
         let running = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         control.abort_job(running.id).unwrap();
@@ -1106,7 +1280,15 @@ mod tests {
         let got: Vec<Id> = claimed.into_iter().flatten().collect();
         let unique: std::collections::HashSet<_> = got.iter().collect();
         assert_eq!(unique.len(), got.len(), "double-claimed a job");
-        assert_eq!(got.len(), evaluation.job_ids.len().min(8));
+        assert_eq!(got.len(), 4, "every point materialized and claimed exactly once");
+        let evaluation = control.get_evaluation(evaluation.id).unwrap();
+        assert_eq!(evaluation.job_ids.len(), 4);
+        let indices: std::collections::HashSet<_> = evaluation
+            .job_ids
+            .iter()
+            .map(|id| control.get_job(*id).unwrap().point_index.unwrap())
+            .collect();
+        assert_eq!(indices.len(), 4, "concurrent claims duplicated a point");
     }
 
     #[test]
@@ -1271,5 +1453,133 @@ mod tests {
             assert!(timed_out.is_empty() || timed_out == vec![job_id]);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn grid_claims_match_eager_expansion_oracle() {
+        // The compatibility oracle: lazily materialized grid jobs carry
+        // exactly the parameter documents the historic eager expansion
+        // produced, in the same order.
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        let experiment = control.get_experiment(evaluation.experiment_id).unwrap();
+        let system = control.get_system(experiment.system_id).unwrap();
+        let eager = experiment.assignments.expand(&system.parameters).unwrap();
+        let mut lazy = Vec::new();
+        while let Some(job) = control.claim_next_job(deployment.id, None).unwrap() {
+            lazy.push(job.parameters.clone());
+        }
+        assert_eq!(lazy, eager);
+    }
+
+    #[test]
+    fn orphaned_materialization_is_adopted_not_duplicated() {
+        let (control, _clock, evaluation, deployment) = demo_evaluation();
+        // Simulate the crash window: the job document for point 0 landed
+        // but the evaluation update never did.
+        let experiment = control.get_experiment(evaluation.experiment_id).unwrap();
+        let system = control.get_system(experiment.system_id).unwrap();
+        let space = PointSpace::build(&experiment.assignments, &system.parameters).unwrap();
+        let mut orphan =
+            Job::new(evaluation.id, system.id, space.point_at(0).unwrap(), control.now());
+        orphan.point_index = Some(0);
+        control.store.put(KIND_JOB, &orphan.id.to_base32(), orphan.to_json()).unwrap();
+
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        assert_eq!(job.id, orphan.id, "the orphan is adopted for point 0");
+        assert_eq!(job.point_index, Some(0));
+        assert_eq!(control.get_evaluation(evaluation.id).unwrap().job_ids, vec![orphan.id]);
+        // Drain the rest: exactly one job per point, no duplicates.
+        let mut total = 1;
+        while control.claim_next_job(deployment.id, None).unwrap().is_some() {
+            total += 1;
+        }
+        assert_eq!(total, 4);
+        assert_eq!(control.get_evaluation(evaluation.id).unwrap().job_ids.len(), 4);
+    }
+
+    /// Drives an adaptive evaluation over a 16-point 1-d space whose metric
+    /// peaks at x = 11; returns (jobs run, decision log, surviving index).
+    fn run_adaptive_surface(control: &ChronosControl, seed: u64) -> (usize, Vec<Value>, u64) {
+        let system = control
+            .register_system(
+                "surface",
+                "",
+                vec![ParamDef::new(
+                    "x",
+                    "",
+                    ParamType::Interval { min: 0, max: 15, step: 1 },
+                    Value::from(0),
+                )
+                .unwrap()],
+                vec![],
+            )
+            .unwrap();
+        let deployment = control.create_deployment(system.id, "node", "1").unwrap();
+        let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+        let project = control.create_project("p", "", owner.id).unwrap();
+        let experiment = control
+            .create_experiment_with_strategy(
+                project.id,
+                system.id,
+                "adaptive",
+                "",
+                ParamAssignments::new().sweep_all("x"),
+                Strategy::Adaptive(AdaptiveConfig {
+                    seed,
+                    initial: Some(8),
+                    eta: 2,
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        let evaluation = control.create_evaluation(experiment.id).unwrap();
+        let mut jobs = 0;
+        while let Some(job) = control.claim_next_job(deployment.id, None).unwrap() {
+            jobs += 1;
+            let x = job.parameters.get("x").and_then(Value::as_i64).unwrap();
+            let score = 1000.0 - ((x - 11) * (x - 11)) as f64;
+            control
+                .finish_job(
+                    job.id,
+                    obj! {"throughput_ops_per_sec" => score},
+                    vec![],
+                    Some(job.attempts),
+                    None,
+                )
+                .unwrap();
+        }
+        let evaluation = control.get_evaluation(evaluation.id).unwrap();
+        let frontier = evaluation.source.unwrap().frontier.unwrap();
+        assert_eq!(frontier.candidates.len(), 1, "exactly one survivor");
+        let status = control.evaluation_status(evaluation.id).unwrap();
+        assert!(status.is_settled());
+        assert_eq!(status.remaining, Some(0));
+        (jobs, frontier.decisions.clone(), frontier.candidates[0])
+    }
+
+    #[test]
+    fn adaptive_evaluation_prunes_to_best_candidate() {
+        let (control, _clock) = control_with_clock();
+        let (jobs, decisions, survivor) = run_adaptive_surface(&control, 7);
+        // Rungs of 8, 4, 2, 1 candidates: 15 jobs, never the full 16-grid.
+        assert_eq!(jobs, 8 + 4 + 2 + 1);
+        assert_eq!(decisions.len(), 3, "one decision per completed rung");
+        // The survivor is the best rung-0 candidate under the surface
+        // (x = point index here, metric peaks at 11).
+        let rung0: Vec<u64> = decisions[0]
+            .pointer("/candidates")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_u64)
+            .collect();
+        let best = rung0.iter().copied().min_by_key(|&c| (c as i64 - 11).abs()).unwrap();
+        assert_eq!(survivor, best);
+        // Replaying the same seed yields an identical decision log.
+        let (control2, _clock2) = control_with_clock();
+        let (jobs2, decisions2, survivor2) = run_adaptive_surface(&control2, 7);
+        assert_eq!(jobs2, jobs);
+        assert_eq!(decisions2, decisions);
+        assert_eq!(survivor2, survivor);
     }
 }

@@ -12,6 +12,8 @@
 //!   deployments, results — §2.1) → [`model`]
 //! * experiment parameters & evaluation-space expansion (§2.1/§3) →
 //!   [`params`]
+//! * incremental job materialization & adaptive parameter-space search →
+//!   [`jobsource`]
 //! * the MySQL-backed persistence of Chronos Control → [`store`] (embedded,
 //!   log-structured, crash-recovering)
 //! * scheduling, parallel deployments, abort/reschedule, failure handling
@@ -32,6 +34,7 @@ pub mod charts;
 pub mod cluster;
 pub mod control;
 pub mod error;
+pub mod jobsource;
 pub mod lifecycle;
 pub mod model;
 pub mod params;
@@ -41,3 +44,5 @@ pub mod store;
 pub use chronos_analytics::{ChangePoint, ChangePointConfig};
 pub use control::ChronosControl;
 pub use error::{CoreError, CoreResult};
+pub use jobsource::{AdaptiveConfig, JobSourceState, Strategy};
+pub use params::PointSpace;

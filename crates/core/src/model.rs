@@ -13,6 +13,7 @@ use chronos_json::Value;
 use chronos_util::Id;
 
 use crate::error::{CoreError, CoreResult};
+use crate::jobsource::{JobSourceState, Strategy};
 use crate::lifecycle::{self, JobEvent};
 use crate::params::{ParamAssignments, ParamDef};
 
@@ -202,10 +203,13 @@ pub struct Experiment {
     pub archived: bool,
     /// Creation time.
     pub created_at: u64,
+    /// How evaluations of this experiment explore the parameter space.
+    pub strategy: Strategy,
 }
 
 impl Experiment {
-    /// JSON shape.
+    /// JSON shape. Grid strategy (the historic default) is omitted so
+    /// pre-strategy documents stay byte-identical.
     pub fn to_json(&self) -> Value {
         dto::ExperimentDto {
             id: self.id,
@@ -216,12 +220,24 @@ impl Experiment {
             parameters: self.assignments.to_json(),
             archived: self.archived,
             created_at: self.created_at,
+            strategy: match &self.strategy {
+                Strategy::Grid => None,
+                adaptive => Some(adaptive.dto()),
+            },
         }
         .to_value()
     }
 
     /// Parses [`Experiment::to_json`] output.
     pub fn from_json(value: &Value) -> CoreResult<Experiment> {
+        use chronos_api::WireDecode;
+        let strategy = match value.get("strategy") {
+            None | Some(Value::Null) => Strategy::Grid,
+            Some(v) => Strategy::from_dto(
+                &dto::StrategyDto::decode(v)
+                    .map_err(|e| CoreError::Invalid(format!("bad strategy: {e}")))?,
+            ),
+        };
         Ok(Experiment {
             id: parse_id(value, "id")?,
             project_id: parse_id(value, "project_id")?,
@@ -235,6 +251,7 @@ impl Experiment {
                 .unwrap_or_default(),
             archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+            strategy,
         })
     }
 }
@@ -246,54 +263,56 @@ pub struct Evaluation {
     pub id: Id,
     /// The experiment this runs.
     pub experiment_id: Id,
-    /// Ids of this evaluation's jobs.
+    /// Ids of this evaluation's **materialized** jobs, in issue order. A
+    /// lazy evaluation grows this list as the claim path pulls points from
+    /// its job source.
     pub job_ids: Vec<Id>,
     /// Names of the swept parameters (analysis axes).
     pub swept_params: Vec<String>,
     /// Creation time.
     pub created_at: u64,
+    /// Lazy iteration state. `None` for documents that predate lazy
+    /// evaluations — those were fully materialized at creation.
+    pub source: Option<JobSourceState>,
 }
 
 impl Evaluation {
-    /// JSON shape.
+    /// JSON shape. Source fields are appended only when present, so
+    /// pre-refactor documents stay byte-identical.
     pub fn to_json(&self) -> Value {
-        dto::EvaluationDto {
+        self.dto().to_value()
+    }
+
+    pub(crate) fn dto(&self) -> dto::EvaluationDto {
+        let mut doc = dto::EvaluationDto {
             id: self.id,
             experiment_id: self.experiment_id,
             job_ids: self.job_ids.clone(),
             swept_params: self.swept_params.clone(),
             created_at: self.created_at,
+            strategy: None,
+            total_points: None,
+            materialized: None,
+            frontier: None,
+        };
+        if let Some(source) = &self.source {
+            source.apply_to_dto(&mut doc);
         }
-        .to_value()
+        doc
     }
 
     /// Parses [`Evaluation::to_json`] output.
     pub fn from_json(value: &Value) -> CoreResult<Evaluation> {
-        let job_ids = value
-            .get("job_ids")
-            .and_then(Value::as_array)
-            .map(|items| {
-                items
-                    .iter()
-                    .map(|j| {
-                        j.as_str()
-                            .and_then(|s| Id::parse_base32(s).ok())
-                            .ok_or_else(|| CoreError::Invalid("bad job id".into()))
-                    })
-                    .collect::<CoreResult<Vec<_>>>()
-            })
-            .transpose()?
-            .unwrap_or_default();
+        use chronos_api::WireDecode;
+        let doc = dto::EvaluationDto::decode(value)
+            .map_err(|e| CoreError::Invalid(format!("bad evaluation: {e}")))?;
         Ok(Evaluation {
-            id: parse_id(value, "id")?,
-            experiment_id: parse_id(value, "experiment_id")?,
-            job_ids,
-            swept_params: value
-                .get("swept_params")
-                .and_then(Value::as_array)
-                .map(|items| items.iter().filter_map(Value::as_str).map(str::to_string).collect())
-                .unwrap_or_default(),
-            created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+            id: doc.id,
+            experiment_id: doc.experiment_id,
+            job_ids: doc.job_ids.clone(),
+            swept_params: doc.swept_params.clone(),
+            created_at: doc.created_at,
+            source: JobSourceState::from_dto(&doc),
         })
     }
 }
@@ -368,6 +387,11 @@ pub struct Job {
     pub failure: Option<String>,
     /// Creation time.
     pub created_at: u64,
+    /// Index of this job's point in the evaluation's parameter space.
+    /// `Some` on lazily-materialized jobs — the claim path uses it to adopt
+    /// a job whose evaluation update was lost in a crash instead of
+    /// duplicating the point.
+    pub point_index: Option<u64>,
 }
 
 impl Job {
@@ -394,6 +418,7 @@ impl Job {
             result_id: None,
             failure: None,
             created_at: now,
+            point_index: None,
         }
     }
 
@@ -439,6 +464,7 @@ impl Job {
             result_id: self.result_id,
             failure: self.failure.clone(),
             created_at: self.created_at,
+            point_index: self.point_index,
         }
     }
 
@@ -491,6 +517,7 @@ impl Job {
             result_id: opt_id(value, "result_id")?,
             failure: value.get("failure").and_then(Value::as_str).map(str::to_string),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
+            point_index: value.get("point_index").and_then(Value::as_u64),
         })
     }
 }
@@ -640,8 +667,22 @@ mod tests {
             assignments: ParamAssignments::new().fix("threads", 4),
             archived: false,
             created_at: 5,
+            strategy: Strategy::Grid,
         };
-        assert_eq!(Experiment::from_json(&experiment.to_json()).unwrap(), experiment);
+        let encoded = experiment.to_json();
+        assert!(encoded.get("strategy").is_none(), "grid is the implicit default");
+        assert_eq!(Experiment::from_json(&encoded).unwrap(), experiment);
+        let adaptive = Experiment {
+            strategy: Strategy::Adaptive(crate::jobsource::AdaptiveConfig {
+                seed: 9,
+                initial: Some(16),
+                ..Default::default()
+            }),
+            ..experiment
+        };
+        let encoded = adaptive.to_json();
+        assert_eq!(encoded.pointer("/strategy/kind").and_then(Value::as_str), Some("adaptive"));
+        assert_eq!(Experiment::from_json(&encoded).unwrap(), adaptive);
     }
 
     #[test]
@@ -668,14 +709,40 @@ mod tests {
 
     #[test]
     fn evaluation_roundtrip() {
-        let evaluation = Evaluation {
+        let legacy = Evaluation {
             id: Id::generate(),
             experiment_id: Id::generate(),
             job_ids: vec![Id::generate(), Id::generate()],
             swept_params: vec!["engine".into(), "threads".into()],
             created_at: 7,
+            source: None,
         };
-        assert_eq!(Evaluation::from_json(&evaluation.to_json()).unwrap(), evaluation);
+        let encoded = legacy.to_json();
+        assert!(encoded.get("total_points").is_none(), "legacy shape has no source keys");
+        assert_eq!(Evaluation::from_json(&encoded).unwrap(), legacy);
+
+        let lazy = Evaluation {
+            source: Some(crate::jobsource::JobSourceState::plan(Strategy::Grid, 40)),
+            ..legacy.clone()
+        };
+        let encoded = lazy.to_json();
+        assert_eq!(encoded.get("total_points").and_then(Value::as_u64), Some(40));
+        assert_eq!(Evaluation::from_json(&encoded).unwrap(), lazy);
+
+        let adaptive = Evaluation {
+            source: Some(crate::jobsource::JobSourceState::plan(
+                Strategy::Adaptive(crate::jobsource::AdaptiveConfig {
+                    seed: 3,
+                    initial: Some(8),
+                    ..Default::default()
+                }),
+                40,
+            )),
+            ..legacy
+        };
+        let encoded = adaptive.to_json();
+        assert_eq!(encoded.pointer("/frontier/rung").and_then(Value::as_u64), Some(0));
+        assert_eq!(Evaluation::from_json(&encoded).unwrap(), adaptive);
     }
 
     #[test]

@@ -309,60 +309,39 @@ impl ParamAssignments {
         Value::Object(map)
     }
 
-    /// Expands the assignments against a system's parameter schema into the
-    /// **evaluation space**: one concrete parameter object per job.
+    /// Eagerly expands the assignments against a system's parameter schema
+    /// into the **evaluation space**: one concrete parameter object per job.
     ///
-    /// * every assigned parameter must exist in the schema, and every value
-    ///   must validate against its type;
-    /// * unassigned parameters take their defaults;
-    /// * the result is the cartesian product over all swept parameters, in
-    ///   schema order (deterministic job numbering).
+    /// Kept as the reference enumeration (and oracle in tests): the lazy
+    /// [`PointSpace`] used by the scheduler must produce the identical
+    /// sequence via `point_at(0..total)`. The eager path keeps the historic
+    /// 100 000-point materialization cap.
     pub fn expand(&self, schema: &[ParamDef]) -> CoreResult<Vec<Value>> {
-        for (name, _) in &self.entries {
-            if !schema.iter().any(|d| &d.name == name) {
-                return Err(CoreError::Invalid(format!("unknown parameter {name:?}")));
-            }
-        }
-        // Per schema parameter: the list of values it takes.
-        let mut axes: Vec<(&str, Vec<Value>)> = Vec::with_capacity(schema.len());
-        for def in schema {
-            let values = match self.get(&def.name) {
-                None => vec![def.default.clone()],
-                Some(Assignment::Fixed(v)) => vec![v.clone()],
-                Some(Assignment::Sweep(vs)) => vs.clone(),
-                Some(Assignment::SweepAll) => def.param_type.sweep_all()?,
-            };
-            for v in &values {
-                def.param_type
-                    .validate_value(v)
-                    .map_err(|e| CoreError::Invalid(format!("parameter {:?}: {e}", def.name)))?;
-            }
-            axes.push((&def.name, values));
-        }
-        let total: usize = axes.iter().map(|(_, vs)| vs.len()).product();
-        const MAX_JOBS: usize = 100_000;
+        let space = PointSpace::build(self, schema)?;
+        const MAX_JOBS: u64 = 100_000;
+        let total = space.total();
         if total > MAX_JOBS {
             return Err(CoreError::Invalid(format!(
                 "evaluation space has {total} points (limit {MAX_JOBS})"
             )));
         }
-        let mut points = Vec::with_capacity(total);
-        let mut indexes = vec![0usize; axes.len()];
+        let mut points = Vec::with_capacity(total as usize);
+        let mut indexes = vec![0usize; space.axes.len()];
         loop {
-            let mut map = Map::with_capacity(axes.len());
-            for (axis, &i) in axes.iter().zip(&indexes) {
-                map.insert(axis.0.to_string(), axis.1[i].clone());
+            let mut map = Map::with_capacity(space.axes.len());
+            for (axis, &i) in space.axes.iter().zip(&indexes) {
+                map.insert(axis.0.clone(), axis.1[i].clone());
             }
             points.push(Value::Object(map));
             // Odometer increment, last axis fastest.
-            let mut pos = axes.len();
+            let mut pos = space.axes.len();
             loop {
                 if pos == 0 {
                     return Ok(points);
                 }
                 pos -= 1;
                 indexes[pos] += 1;
-                if indexes[pos] < axes[pos].1.len() {
+                if indexes[pos] < space.axes[pos].1.len() {
                     break;
                 }
                 indexes[pos] = 0;
@@ -387,6 +366,89 @@ impl ParamAssignments {
             })
             .map(|(name, _)| name.clone())
             .collect()
+    }
+}
+
+/// The evaluation space as an **indexed point codec**: the same axes the
+/// eager [`ParamAssignments::expand`] builds, but points are decoded on
+/// demand by index instead of being materialized up front.
+///
+/// Point `i` is the mixed-radix decomposition of `i` over the axis sizes,
+/// last axis fastest — exactly the odometer order of `expand`, so
+/// `(0..total).map(point_at)` reproduces the eager sequence value-for-value.
+/// This is what lets the scheduler treat a 10^5-point space as O(in-flight)
+/// storage: only claimed points ever become job documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpace {
+    /// Per schema parameter, in schema order: the values it takes.
+    axes: Vec<(String, Vec<Value>)>,
+    /// Product of all axis sizes.
+    total: u64,
+}
+
+impl PointSpace {
+    /// Hard cap on the *addressable* space. Far above the eager
+    /// materialization cap — lazy evaluations never allocate per point, so
+    /// the limit only guards against nonsensical experiment definitions.
+    pub const MAX_POINTS: u64 = 10_000_000;
+
+    /// Validates `assignments` against `schema` and builds the space.
+    /// Performs the same checks the eager expansion always did (unknown
+    /// parameters, per-value type validation) without materializing points.
+    pub fn build(assignments: &ParamAssignments, schema: &[ParamDef]) -> CoreResult<PointSpace> {
+        for (name, _) in &assignments.entries {
+            if !schema.iter().any(|d| &d.name == name) {
+                return Err(CoreError::Invalid(format!("unknown parameter {name:?}")));
+            }
+        }
+        let mut axes: Vec<(String, Vec<Value>)> = Vec::with_capacity(schema.len());
+        let mut total: u64 = 1;
+        for def in schema {
+            let values = match assignments.get(&def.name) {
+                None => vec![def.default.clone()],
+                Some(Assignment::Fixed(v)) => vec![v.clone()],
+                Some(Assignment::Sweep(vs)) => vs.clone(),
+                Some(Assignment::SweepAll) => def.param_type.sweep_all()?,
+            };
+            for v in &values {
+                def.param_type
+                    .validate_value(v)
+                    .map_err(|e| CoreError::Invalid(format!("parameter {:?}: {e}", def.name)))?;
+            }
+            total = total
+                .checked_mul(values.len() as u64)
+                .filter(|&t| t <= Self::MAX_POINTS)
+                .ok_or_else(|| {
+                    CoreError::Invalid(format!(
+                        "evaluation space exceeds {} points",
+                        Self::MAX_POINTS
+                    ))
+                })?;
+            axes.push((def.name.clone(), values));
+        }
+        Ok(PointSpace { axes, total })
+    }
+
+    /// Number of points in the space (≥ 1: the empty product is the single
+    /// all-defaults point).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Decodes point `index` into its concrete parameter object, or `None`
+    /// when `index >= total()`. Mixed-radix, last axis fastest.
+    pub fn point_at(&self, index: u64) -> Option<Value> {
+        if index >= self.total {
+            return None;
+        }
+        let mut map = Map::with_capacity(self.axes.len());
+        let mut stride = self.total;
+        for (name, values) in &self.axes {
+            stride /= values.len() as u64;
+            let i = (index / stride) % values.len() as u64;
+            map.insert(name.clone(), values[i as usize].clone());
+        }
+        Some(Value::Object(map))
     }
 }
 
@@ -573,5 +635,83 @@ mod tests {
     #[test]
     fn default_must_match_type() {
         assert!(ParamDef::new("x", "", ParamType::Boolean, Value::from(3)).is_err());
+    }
+
+    #[test]
+    fn point_space_matches_eager_expansion() {
+        // The oracle: lazy nth-point decode must reproduce the eager
+        // odometer sequence value-for-value, for several axis shapes.
+        let schema = demo_schema();
+        for assignments in [
+            ParamAssignments::new()
+                .sweep_all("engine")
+                .sweep("threads", vec![Value::from(1), Value::from(2), Value::from(4)]),
+            ParamAssignments::new().fix("engine", "mmapv1").fix("threads", 8),
+            ParamAssignments::new()
+                .sweep_all("engine")
+                .sweep_all("compression")
+                .sweep("read_ratio", vec![Value::from(0.1), Value::from(0.9)]),
+            ParamAssignments::new(),
+        ] {
+            let eager = assignments.expand(&schema).unwrap();
+            let space = PointSpace::build(&assignments, &schema).unwrap();
+            assert_eq!(space.total() as usize, eager.len());
+            let lazy: Vec<Value> = (0..space.total()).map(|i| space.point_at(i).unwrap()).collect();
+            assert_eq!(lazy, eager);
+            assert_eq!(space.point_at(space.total()), None);
+        }
+    }
+
+    #[test]
+    fn point_space_random_access_is_o1_on_huge_spaces() {
+        // 4 axes of 50 points = 6.25M points: addressable lazily, far past
+        // the eager materialization cap.
+        let defs: Vec<ParamDef> = (0..4)
+            .map(|i| {
+                ParamDef::new(
+                    format!("p{i}"),
+                    "",
+                    ParamType::Interval { min: 0, max: 49, step: 1 },
+                    Value::from(0),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut a = ParamAssignments::new();
+        for i in 0..4 {
+            a = a.sweep_all(&format!("p{i}"));
+        }
+        assert!(a.expand(&defs).is_err(), "eager path keeps its cap");
+        let space = PointSpace::build(&a, &defs).unwrap();
+        assert_eq!(space.total(), 50u64.pow(4));
+        // Last axis fastest: index 51 = [0, 0, 1, 1].
+        let p = space.point_at(51).unwrap();
+        assert_eq!(p.get("p0").unwrap().as_i64(), Some(0));
+        assert_eq!(p.get("p2").unwrap().as_i64(), Some(1));
+        assert_eq!(p.get("p3").unwrap().as_i64(), Some(1));
+        // And the very last point is all-max.
+        let last = space.point_at(space.total() - 1).unwrap();
+        assert!((0..4).all(|i| last.get(&format!("p{i}")).unwrap().as_i64() == Some(49)));
+    }
+
+    #[test]
+    fn point_space_rejects_oversized_spaces() {
+        let defs: Vec<ParamDef> = (0..4)
+            .map(|i| {
+                ParamDef::new(
+                    format!("p{i}"),
+                    "",
+                    ParamType::Interval { min: 0, max: 99, step: 1 },
+                    Value::from(0),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut a = ParamAssignments::new();
+        for i in 0..4 {
+            a = a.sweep_all(&format!("p{i}"));
+        }
+        // 100^4 = 10^8 > MAX_POINTS.
+        assert!(matches!(PointSpace::build(&a, &defs), Err(CoreError::Invalid(_))));
     }
 }

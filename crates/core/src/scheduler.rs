@@ -46,6 +46,12 @@ impl SchedulerConfig {
 }
 
 /// Roll-up of an evaluation's job states (paper Fig. 3b).
+///
+/// Lazy evaluations also report `remaining`: points of the parameter space
+/// that exist in the plan but have not been materialized as jobs yet. They
+/// count toward the total and keep the evaluation unsettled — without
+/// this, a freshly created lazy evaluation (zero jobs) would read as 100 %
+/// complete and settled while every point is still pending.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EvaluationStatus {
     /// Jobs waiting for an agent.
@@ -58,20 +64,29 @@ pub struct EvaluationStatus {
     pub aborted: usize,
     /// Jobs in the failed state.
     pub failed: usize,
+    /// Not-yet-materialized points of a lazy evaluation's plan. `None` for
+    /// fully-materialized (pre-refactor) evaluations.
+    pub remaining: Option<usize>,
 }
 
 impl EvaluationStatus {
-    /// Total jobs.
+    /// Total planned work: materialized jobs plus unmaterialized points.
     pub fn total(&self) -> usize {
-        self.scheduled + self.running + self.finished + self.aborted + self.failed
+        self.scheduled
+            + self.running
+            + self.finished
+            + self.aborted
+            + self.failed
+            + self.remaining.unwrap_or(0)
     }
 
     /// Whether no further progress will happen without intervention.
     pub fn is_settled(&self) -> bool {
-        self.scheduled == 0 && self.running == 0
+        self.scheduled == 0 && self.running == 0 && self.remaining.unwrap_or(0) == 0
     }
 
-    /// Completed fraction in percent (finished + aborted count as settled).
+    /// Completed fraction in percent (finished + aborted count as settled;
+    /// unmaterialized points count toward the denominator).
     pub fn progress_percent(&self) -> u8 {
         let total = self.total();
         if total == 0 {
@@ -91,6 +106,7 @@ impl EvaluationStatus {
             total: self.total(),
             settled: self.is_settled(),
             progress_percent: self.progress_percent(),
+            remaining_space: self.remaining.map(|r| r as u64),
         }
     }
 
@@ -126,8 +142,14 @@ mod tests {
 
     #[test]
     fn status_rollup() {
-        let status =
-            EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 };
+        let status = EvaluationStatus {
+            scheduled: 1,
+            running: 2,
+            finished: 3,
+            aborted: 0,
+            failed: 1,
+            remaining: None,
+        };
         assert_eq!(status.total(), 7);
         assert!(!status.is_settled());
         assert_eq!(status.progress_percent() as usize, 4 * 100 / 7);
@@ -135,6 +157,30 @@ mod tests {
         assert!(done.is_settled());
         assert_eq!(done.progress_percent(), 100);
         assert_eq!(EvaluationStatus::default().progress_percent(), 100);
+    }
+
+    #[test]
+    fn lazy_status_counts_unmaterialized_points() {
+        // Regression: a lazy evaluation with zero materialized jobs used to
+        // report 100 % progress and settled while the whole space was pending.
+        let fresh = EvaluationStatus { remaining: Some(10), ..Default::default() };
+        assert_eq!(fresh.total(), 10);
+        assert_eq!(fresh.progress_percent(), 0);
+        assert!(!fresh.is_settled());
+
+        let halfway = EvaluationStatus { finished: 5, remaining: Some(5), ..Default::default() };
+        assert_eq!(halfway.total(), 10);
+        assert_eq!(halfway.progress_percent(), 50);
+        assert!(!halfway.is_settled());
+
+        let drained = EvaluationStatus { finished: 10, remaining: Some(0), ..Default::default() };
+        assert!(drained.is_settled());
+        assert_eq!(drained.progress_percent(), 100);
+
+        let dto = fresh.dto();
+        assert_eq!(dto.remaining_space, Some(10));
+        assert_eq!(dto.total, 10);
+        assert!(!dto.settled);
     }
 
     #[test]

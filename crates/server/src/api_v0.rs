@@ -59,7 +59,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
             let status = control_.evaluation_status(id)?;
             let body = v0::EvaluationStatusV0 {
                 id,
-                open: status.scheduled + status.running,
+                // v0 predates lazy evaluations: unmaterialized points are
+                // still open work, so they fold into `open`.
+                open: status.scheduled + status.running + status.remaining.unwrap_or(0),
                 closed: status.finished + status.aborted + status.failed,
                 percent: status.progress_percent(),
             };

@@ -282,12 +282,18 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 .map(ParamAssignments::from_json)
                 .transpose()?
                 .unwrap_or_default();
-            let experiment = control_.create_experiment(
+            let strategy = create
+                .strategy
+                .as_ref()
+                .map(chronos_core::Strategy::from_dto)
+                .unwrap_or(chronos_core::Strategy::Grid);
+            let experiment = control_.create_experiment_with_strategy(
                 project_id,
                 create.system_id,
                 &create.name,
                 &create.description,
                 assignments,
+                strategy,
             )?;
             Ok(Response::json_status(Status::CREATED, &experiment.to_json()))
         })())
@@ -420,8 +426,8 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
     let control_ = Arc::clone(c);
     let metrics_ = Arc::clone(m);
     router.post("/api/v1/experiments/:id/evaluations", move |req, p| {
-        // Evaluation creation expands the full parameter grid into jobs
-        // and commits them; don't start with a spent budget.
+        // Evaluation creation validates the parameter space and commits
+        // the plan; don't start with a spent budget.
         if let Some(busy) = deadline_guard(req, &metrics_) {
             return busy;
         }
@@ -667,8 +673,11 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
             writer(&control_, req)?;
             let trigger: v1::TriggerBuildRequest = body(req)?;
             let evaluation = control_.create_evaluation(trigger.experiment_id)?;
+            // Planned size of the run: lazy evaluations have no job
+            // documents yet, so report the status total instead.
+            let jobs = control_.evaluation_status(evaluation.id)?.total();
             let response = v1::TriggerBuildResponse {
-                jobs: evaluation.job_ids.len(),
+                jobs,
                 evaluation: evaluation.to_json(),
                 build: trigger.build,
             };
@@ -692,6 +701,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 finished: 0,
                 aborted: 0,
                 failed: 0,
+                remaining_space: 0,
                 systems: control_.list_systems().len(),
                 projects: control_.list_projects().len(),
             };
@@ -702,6 +712,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 stats.finished += status.finished;
                 stats.aborted += status.aborted;
                 stats.failed += status.failed;
+                stats.remaining_space += status.remaining.unwrap_or(0) as u64;
             }
             Ok(Response::json(&stats.to_value()))
         })())

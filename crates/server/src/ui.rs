@@ -274,7 +274,7 @@ pub fn mount(
                      <td><div class=\"progress\"><div style=\"width:{pct}%\"></div></div> {pct}%</td></tr>",
                     id = evaluation.id,
                     created = chronos_util::clock::format_timestamp(evaluation.created_at),
-                    jobs = evaluation.job_ids.len(),
+                    jobs = status.total(),
                     pct = status.progress_percent(),
                 ));
             }
@@ -296,7 +296,7 @@ pub fn mount(
             let token = token_of(req);
             let mut body = format!(
                 "<h1>Evaluation of {}</h1>\
-                 <p>{} jobs — {} scheduled, {} running, {} finished, {} aborted, {} failed</p>\
+                 <p>{} jobs — {} scheduled, {} running, {} finished, {} aborted, {} failed{remaining}</p>\
                  <div class=\"progress\"><div style=\"width:{pct}%\"></div></div><p>{pct}% settled</p>",
                 esc(&experiment.name),
                 status.total(),
@@ -305,6 +305,10 @@ pub fn mount(
                 status.finished,
                 status.aborted,
                 status.failed,
+                remaining = match status.remaining {
+                    Some(r) if r > 0 => format!(", {r} points not yet materialized"),
+                    _ => String::new(),
+                },
                 pct = status.progress_percent(),
             );
             body.push_str("<h2>Jobs</h2><table><tr><th>job</th><th>parameters</th><th>state</th><th>progress</th><th>attempts</th></tr>");

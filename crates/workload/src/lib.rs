@@ -22,6 +22,7 @@
 pub mod generators;
 pub mod runner;
 pub mod spec;
+pub mod surface;
 pub mod tpcc;
 pub mod trace;
 
@@ -31,4 +32,5 @@ pub use generators::{
 };
 pub use runner::{Operation, WorkloadRunner};
 pub use spec::{CoreWorkload, Distribution, OpMix, WorkloadSpec};
+pub use surface::ResponseSurface;
 pub use tpcc::{TpccConfig, TpccRunner, TpccTx};

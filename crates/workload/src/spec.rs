@@ -72,7 +72,7 @@ impl OpMix {
     }
 }
 
-/// The six YCSB core workloads.
+/// The six YCSB core workloads plus two Chronos scenario-pack mixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreWorkload {
     /// A: update heavy (50/50 read/update), zipfian.
@@ -87,10 +87,28 @@ pub enum CoreWorkload {
     E,
     /// F: read-modify-write (50/50 read/rmw), zipfian.
     F,
+    /// sh: scan heavy (70/25/5 scan/read/insert), hotspot — range-query
+    /// pressure with a skewed hot set, for index/iterator evaluations.
+    ScanHeavy,
+    /// rmw: read-modify-write heavy (70/20/10 rmw/read/update), zipfian —
+    /// contended write transactions, for locking/MVCC evaluations.
+    ReadModifyWriteHeavy,
 }
 
 impl CoreWorkload {
-    /// Parses `"a"`..`"f"` (case-insensitive).
+    /// Every workload, in canonical-name order.
+    pub const ALL: [CoreWorkload; 8] = [
+        CoreWorkload::A,
+        CoreWorkload::B,
+        CoreWorkload::C,
+        CoreWorkload::D,
+        CoreWorkload::E,
+        CoreWorkload::F,
+        CoreWorkload::ScanHeavy,
+        CoreWorkload::ReadModifyWriteHeavy,
+    ];
+
+    /// Parses `"a"`..`"f"`, `"sh"` or `"rmw"` (case-insensitive).
     pub fn parse(s: &str) -> Option<CoreWorkload> {
         match s.to_ascii_lowercase().as_str() {
             "a" => Some(CoreWorkload::A),
@@ -99,11 +117,13 @@ impl CoreWorkload {
             "d" => Some(CoreWorkload::D),
             "e" => Some(CoreWorkload::E),
             "f" => Some(CoreWorkload::F),
+            "sh" => Some(CoreWorkload::ScanHeavy),
+            "rmw" => Some(CoreWorkload::ReadModifyWriteHeavy),
             _ => None,
         }
     }
 
-    /// The canonical letter.
+    /// The canonical name.
     pub fn as_str(&self) -> &'static str {
         match self {
             CoreWorkload::A => "a",
@@ -112,6 +132,8 @@ impl CoreWorkload {
             CoreWorkload::D => "d",
             CoreWorkload::E => "e",
             CoreWorkload::F => "f",
+            CoreWorkload::ScanHeavy => "sh",
+            CoreWorkload::ReadModifyWriteHeavy => "rmw",
         }
     }
 }
@@ -181,9 +203,16 @@ impl WorkloadSpec {
             CoreWorkload::F => {
                 OpMix { read: 0.5, update: 0.0, insert: 0.0, scan: 0.0, read_modify_write: 0.5 }
             }
+            CoreWorkload::ScanHeavy => {
+                OpMix { read: 0.25, update: 0.0, insert: 0.05, scan: 0.7, read_modify_write: 0.0 }
+            }
+            CoreWorkload::ReadModifyWriteHeavy => {
+                OpMix { read: 0.2, update: 0.1, insert: 0.0, scan: 0.0, read_modify_write: 0.7 }
+            }
         };
         let distribution = match workload {
             CoreWorkload::D => Distribution::Latest,
+            CoreWorkload::ScanHeavy => Distribution::Hotspot,
             _ => Distribution::Zipfian,
         };
         WorkloadSpec { mix, distribution, ..WorkloadSpec::default() }
@@ -285,16 +314,10 @@ mod tests {
 
     #[test]
     fn core_presets_are_valid() {
-        for w in [
-            CoreWorkload::A,
-            CoreWorkload::B,
-            CoreWorkload::C,
-            CoreWorkload::D,
-            CoreWorkload::E,
-            CoreWorkload::F,
-        ] {
+        for w in CoreWorkload::ALL {
             let spec = WorkloadSpec::core(w);
             spec.validate().unwrap_or_else(|e| panic!("workload {w:?}: {e}"));
+            assert_eq!(CoreWorkload::parse(w.as_str()), Some(w), "name roundtrip for {w:?}");
         }
     }
 
@@ -302,6 +325,18 @@ mod tests {
     fn workload_d_uses_latest() {
         assert_eq!(WorkloadSpec::core(CoreWorkload::D).distribution, Distribution::Latest);
         assert_eq!(WorkloadSpec::core(CoreWorkload::A).distribution, Distribution::Zipfian);
+    }
+
+    #[test]
+    fn scenario_pack_mixes() {
+        let sh = WorkloadSpec::core(CoreWorkload::ScanHeavy);
+        assert!(sh.mix.scan >= 0.7, "scan-heavy must be dominated by scans");
+        assert_eq!(sh.distribution, Distribution::Hotspot);
+        let rmw = WorkloadSpec::core(CoreWorkload::ReadModifyWriteHeavy);
+        assert!(rmw.mix.read_modify_write >= 0.7, "rmw-heavy must be dominated by rmw");
+        assert_eq!(rmw.distribution, Distribution::Zipfian);
+        assert_eq!(CoreWorkload::parse("SH"), Some(CoreWorkload::ScanHeavy));
+        assert_eq!(CoreWorkload::parse("rmw"), Some(CoreWorkload::ReadModifyWriteHeavy));
     }
 
     #[test]

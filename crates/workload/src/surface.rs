@@ -1,0 +1,139 @@
+//! A seeded synthetic response surface for scheduler evaluations (E15).
+//!
+//! Real tuning studies sweep a parameter space whose latency/throughput
+//! optimum sits somewhere unknown. This module fakes that cheaply and
+//! deterministically: a smooth surface over the unit hypercube whose
+//! optimum location is drawn from the seed — so an adaptive scheduler
+//! cannot hard-code it, and two runs (or two cluster nodes) evaluating the
+//! same seed and point always see identical metrics.
+//!
+//! The shape is a Gaussian throughput peak with a mild seeded cosine
+//! ripple; p99 latency is modelled as the reciprocal response, so the
+//! throughput argmax and the latency argmin coincide.
+
+use chronos_json::{obj, Value};
+
+/// Splitmix64 finalizer step (the workspace idiom for seeding).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit fraction in (0, 1) from a seed/axis pair.
+fn unit(seed: u64, axis: u64) -> f64 {
+    (mix(seed ^ axis.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic latency/throughput surface over `dims` normalized axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseSurface {
+    seed: u64,
+    /// Optimum coordinate per axis, in [0.1, 0.9].
+    optimum: Vec<f64>,
+}
+
+impl ResponseSurface {
+    /// Peak throughput in ops/s at the optimum.
+    pub const PEAK_THROUGHPUT: f64 = 50_000.0;
+
+    /// Builds the surface for `seed` over `dims` axes. Different seeds move
+    /// the optimum; the same seed always yields the same surface.
+    pub fn new(seed: u64, dims: usize) -> ResponseSurface {
+        let optimum = (0..dims as u64).map(|axis| 0.1 + 0.8 * unit(seed, axis)).collect();
+        ResponseSurface { seed, optimum }
+    }
+
+    /// The optimum coordinates (unit hypercube).
+    pub fn optimum(&self) -> &[f64] {
+        &self.optimum
+    }
+
+    /// Throughput (ops/s) at `coords`, each coordinate in [0, 1]. Smooth,
+    /// single global maximum at [`ResponseSurface::optimum`].
+    pub fn throughput(&self, coords: &[f64]) -> f64 {
+        let d2: f64 = coords.iter().zip(&self.optimum).map(|(x, o)| (x - o) * (x - o)).sum();
+        // Width 0.35 keeps a usable gradient across the whole cube; the
+        // ripple is small enough to never create a second local optimum.
+        let peak = (-d2 / (2.0 * 0.35 * 0.35)).exp();
+        let ripple: f64 = coords
+            .iter()
+            .enumerate()
+            .map(|(axis, x)| {
+                let phase = unit(self.seed ^ 0x00C0_FFEE, axis as u64) * std::f64::consts::TAU;
+                0.01 * (x * 6.0 + phase).cos()
+            })
+            .sum();
+        Self::PEAK_THROUGHPUT * (peak + ripple).max(0.001)
+    }
+
+    /// p99 operation latency (µs) at `coords`: the reciprocal response, so
+    /// minimizing latency finds the same configuration as maximizing
+    /// throughput.
+    pub fn p99_latency_micros(&self, coords: &[f64]) -> f64 {
+        1_000_000_000.0 / self.throughput(coords)
+    }
+
+    /// A result document for `coords` shaped like an agent upload, with the
+    /// metrics under the standard columnar paths.
+    pub fn result_document(&self, coords: &[f64]) -> Value {
+        let throughput = self.throughput(coords);
+        let p99 = self.p99_latency_micros(coords);
+        obj! {
+            "throughput_ops_per_sec" => throughput,
+            "wall_millis" => 1_000u64,
+            "total_ops" => throughput as u64,
+            "total_errors" => 0u64,
+            "operations" => obj! {
+                "read" => obj! {
+                    "latency_micros" => obj! { "p99" => p99 },
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_is_deterministic_and_seed_sensitive() {
+        let a = ResponseSurface::new(11, 2);
+        let b = ResponseSurface::new(11, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.throughput(&[0.3, 0.7]), b.throughput(&[0.3, 0.7]));
+        let c = ResponseSurface::new(12, 2);
+        assert_ne!(a.optimum(), c.optimum(), "the optimum moves with the seed");
+    }
+
+    #[test]
+    fn optimum_dominates_the_corners() {
+        for seed in [1u64, 7, 23, 47] {
+            let surface = ResponseSurface::new(seed, 3);
+            let at_opt = surface.throughput(surface.optimum());
+            for corner in [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.0, 1.0, 0.0]] {
+                let there = surface.throughput(&corner);
+                assert!(at_opt > there, "seed {seed}: optimum {at_opt} not above corner {there}");
+            }
+            // Latency inverts: best configuration has the lowest p99.
+            assert!(
+                surface.p99_latency_micros(surface.optimum())
+                    < surface.p99_latency_micros(&[0.0, 0.0, 0.0])
+            );
+        }
+    }
+
+    #[test]
+    fn result_document_carries_standard_metric_paths() {
+        let surface = ResponseSurface::new(5, 1);
+        let doc = surface.result_document(&[0.5]);
+        assert!(doc.pointer("/throughput_ops_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            doc.pointer("/operations/read/latency_micros/p99").and_then(Value::as_f64).unwrap()
+                > 0.0
+        );
+        assert_eq!(doc.pointer("/total_errors").and_then(Value::as_u64), Some(0));
+    }
+}

@@ -4,14 +4,15 @@
 # Usage: scripts/check.sh [--bench] [--chaos] [--cluster]
 #   --bench    also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
 #              BENCH_overload.json / BENCH_http_scale.json / BENCH_analytics.json /
-#              BENCH_cluster.json at full scale via the E8, E9, E11, E12, E13
-#              and E14 experiments
+#              BENCH_cluster.json / BENCH_adaptive.json at full scale via the
+#              E8, E9, E11, E12, E13, E14 and E15 experiments
 #   --chaos    also run the fault-injection suites (torture + chaos) with
 #              --features failpoints under a fixed seed, and verify that the
 #              default release build carries zero failpoint overhead
 #   --cluster  also lint + run the replicated-control-plane suite: the
-#              cluster storm (leader death mid-evaluation, exactly-once)
-#              at three pinned seeds, plus an E14 quick smoke
+#              cluster storms (leader death mid-evaluation: exactly-once, and
+#              mid-adaptive-evaluation: identical pruning decisions) at three
+#              pinned seeds, plus an E14 quick smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +37,12 @@ echo "== clippy: result-analytics crate (deny warnings) =="
 # endpoint; hold it to the same individual bar.
 cargo clippy -p chronos-analytics --all-targets --offline -- -D warnings
 
+echo "== clippy: job-source / scheduling crates (deny warnings) =="
+# The incremental JobSource (lazy materialization + adaptive successive
+# halving) spans these crates; its determinism guarantees make them part
+# of the durable contract, so lint them individually too.
+cargo clippy -p chronos-core -p chronos-workload -p chronos-bench --all-targets --offline -- -D warnings
+
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
@@ -49,18 +56,21 @@ if ! cargo test -q --offline --test wire_compat; then
     exit 1
 fi
 
-echo "== chronos-bench smoke (E8 E9 E11 E12 E13, quick sizes) =="
+echo "== chronos-bench smoke (E8 E9 E11 E12 E13 E15, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the
-# committed full-scale BENCH_*.json files.
+# committed full-scale BENCH_*.json files. E15 also asserts the adaptive
+# invariants (budget <= 30% of the grid, deterministic replay, survivor
+# == sampled argmax), so the smoke doubles as a scheduling gate.
 cargo build --release -p chronos-bench --offline
 bench_bin="$PWD/target/release/chronos-bench"
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 E13 --quick --json)
+(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 E13 E15 --quick --json)
 test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
 test -s "$smoke_dir/BENCH_overload.json"
 test -s "$smoke_dir/BENCH_http_scale.json"
 test -s "$smoke_dir/BENCH_analytics.json"
+test -s "$smoke_dir/BENCH_adaptive.json"
 rm -rf "$smoke_dir"
 
 echo "== overload protection gate (tests/overload.rs, both network cores) =="
@@ -74,8 +84,8 @@ CHRONOS_HTTP_CORE=threaded cargo test -q --offline --test overload
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 + E11 + E12 + E13 + E14 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 E11 E12 E13 E14 --json
+        echo "== full-scale E8 + E9 + E11 + E12 + E13 + E14 + E15 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 E12 E13 E14 E15 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="
@@ -97,10 +107,12 @@ for arg in "$@"; do
         # The storm module and every fail_eval! site only compile under
         # the feature; hold them to the same bar as the default build.
         cargo clippy --workspace --all-targets --offline --features failpoints -- -D warnings
-        echo "== cluster storm: leader death mid-evaluation, 3 pinned seeds =="
+        echo "== cluster storms: leader death mid-evaluation, 3 pinned seeds =="
         # Replicated control plane under a seeded fault storm: new leader
         # within the lease budget, every job finished exactly once,
-        # follower reads inside the staleness bound. The default seed
+        # follower reads inside the staleness bound — and for the adaptive
+        # storm, the successive-halving decision log assembled across the
+        # failover must equal a fresh single-node replay. The default seed
         # (0xBADCAB) plus two more; a failure prints its replay seed.
         cargo test -q --offline --features failpoints --test cluster
         for seed in 7 20260809; do

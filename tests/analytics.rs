@@ -20,8 +20,8 @@ fn upload_run(env: &TestEnv, experiment_id: &str, deployment_id: &str, throughpu
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    let job_ids = evaluation.get("job_ids").and_then(Value::as_array).unwrap();
-    assert_eq!(job_ids.len(), 1, "default parameters must expand to one job");
+    let total = evaluation.get("total_points").and_then(Value::as_u64).unwrap();
+    assert_eq!(total, 1, "default parameters must plan one point");
     let claimed = env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
     let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
     let data = obj! {

@@ -28,19 +28,25 @@ fn v0_job_shape_is_frozen() {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap();
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap();
 
-    // v0 exposes `status`/`percent`, not v1's `state`/`progress`.
-    let v0_job = env.get(&format!("/api/v0/jobs/{job_id}"));
-    assert_eq!(v0_job.get("status").and_then(Value::as_str), Some("scheduled"));
-    assert_eq!(v0_job.get("percent").and_then(Value::as_i64), Some(0));
-    assert!(v0_job.get("state").is_none());
+    // The evaluation is lazy — no job documents yet — but its planned point
+    // still counts as open work through the frozen v0 status shape.
+    assert!(evaluation.get("job_ids").and_then(Value::as_array).unwrap().is_empty());
+    let v0_status = env.get(&format!("/api/v0/evaluations/{evaluation_id}/status"));
+    assert_eq!(v0_status.get("open").and_then(Value::as_i64), Some(1));
+    assert_eq!(v0_status.get("closed").and_then(Value::as_i64), Some(0));
+    assert_eq!(v0_status.get("percent").and_then(Value::as_i64), Some(0));
 
     env.run_agent(&deployment_id);
 
+    // The agent's claim materialized the job; v0 exposes `status`/`percent`,
+    // not v1's `state`/`progress`.
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap();
     let v0_job = env.get(&format!("/api/v0/jobs/{job_id}"));
     assert_eq!(v0_job.get("status").and_then(Value::as_str), Some("finished"));
     assert_eq!(v0_job.get("percent").and_then(Value::as_i64), Some(100));
+    assert!(v0_job.get("state").is_none());
     let v0_status = env.get(&format!("/api/v0/evaluations/{evaluation_id}/status"));
     assert_eq!(v0_status.get("open").and_then(Value::as_i64), Some(0));
     assert_eq!(v0_status.get("closed").and_then(Value::as_i64), Some(1));

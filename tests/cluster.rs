@@ -345,10 +345,13 @@ mod storm {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    use chronos::agent::{AgentConfig, ChronosAgent, DocstoreClient};
+    use chronos::agent::{AgentConfig, ChronosAgent, DocstoreClient, EvaluationClient, JobContext};
     use chronos::core::model::JobState;
+    use chronos::core::params::{ParamAssignments, ParamDef, ParamType};
+    use chronos::core::{AdaptiveConfig, Strategy};
     use chronos::json::arr;
     use chronos::util::fail::{self, Policy};
+    use chronos::workload::ResponseSurface;
 
     pub fn chaos_seed() -> u64 {
         std::env::var("CHRONOS_FAIL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xBADCAB)
@@ -362,16 +365,17 @@ mod storm {
     /// leader's death: claims redirect via `not_leader` hints, a dead node
     /// rotates to the next seed, and the scheduler's fencing machinery has
     /// to absorb everything else.
-    fn storm_agent(
+    fn storm_agent<C: EvaluationClient>(
         client: ControlClient,
         deployment: Id,
+        evaluation_client: C,
         done: &AtomicBool,
         deadline: Instant,
     ) -> u64 {
         let mut config = AgentConfig::new(deployment);
         config.heartbeat_interval = Duration::from_millis(100);
         config.poll_interval = Duration::from_millis(25);
-        let mut agent = ChronosAgent::new(client, config, DocstoreClient::new());
+        let mut agent = ChronosAgent::new(client, config, evaluation_client);
         let mut completed = 0u64;
         while !done.load(Ordering::SeqCst) && Instant::now() < deadline {
             match agent.run_once() {
@@ -431,8 +435,10 @@ mod storm {
             &obj! {},
         );
         let evaluation_id = Id::parse_base32(&id_of(&evaluation)).unwrap();
-        let job_count = evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap();
+        // Lazy planning: the space is known up front, jobs appear on claim.
+        let job_count = evaluation.get("total_points").and_then(Value::as_u64).unwrap() as usize;
         assert_eq!(job_count, 4);
+        assert!(evaluation.get("job_ids").and_then(Value::as_array).unwrap().is_empty());
         wait_replicated(
             &servers,
             servers[leader].control().replication_offset(),
@@ -503,7 +509,7 @@ mod storm {
                         let client = ControlClient::login(&start, "admin", "admin-pw")
                             .expect("agent login")
                             .with_seed_nodes(&urls);
-                        storm_agent(client, deployment_id, &done, deadline)
+                        storm_agent(client, deployment_id, DocstoreClient::new(), &done, deadline)
                     })
                     .unwrap()
             })
@@ -561,7 +567,8 @@ mod storm {
         let control = Arc::clone(servers[new_leader].control());
         while Instant::now() < deadline {
             let jobs = control.list_jobs(evaluation_id).unwrap();
-            if jobs.iter().all(|j| j.state == JobState::Finished)
+            if jobs.len() == job_count
+                && jobs.iter().all(|j| j.state == JobState::Finished)
                 && control.count_results() == job_count
             {
                 break;
@@ -601,6 +608,317 @@ mod storm {
         assert!(completed >= 1, "no agent ever completed a job {}", replay());
         assert!(served >= 1, "the read probe never got a single read through {}", replay());
         let _ = refused; // refusals are legal at any count (failover window)
+
+        for mut server in servers {
+            server.shutdown();
+        }
+    }
+
+    /// A deterministic evaluation client over the seeded response surface:
+    /// the measured metric is a pure function of the job's `(x, y)`
+    /// coordinates, so re-executions after dropped uploads, lease reclaims,
+    /// or a leader failover always score identically.
+    struct SurfaceClient {
+        surface: ResponseSurface,
+        axis: i64,
+    }
+
+    impl EvaluationClient for SurfaceClient {
+        fn name(&self) -> &str {
+            "surface-probe"
+        }
+
+        fn set_up(&mut self, _ctx: &JobContext) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn execute(&mut self, ctx: &JobContext) -> Result<Value, String> {
+            let x = ctx.param_i64("x").ok_or("missing x")?;
+            let y = ctx.param_i64("y").ok_or("missing y")?;
+            let d = (self.axis - 1) as f64;
+            Ok(self.surface.result_document(&[x as f64 / d, y as f64 / d]))
+        }
+    }
+
+    #[test]
+    fn adaptive_storm_leader_death_replays_identical_pruning_decisions() {
+        let _guard = serial();
+        // A 6×6 integer grid over the seeded surface; successive halving
+        // with initial=8, eta=2 runs rungs of 8, 4, 2 and 1 jobs (15 of 36
+        // points) and records three pruning decisions.
+        let axis: i64 = 6;
+        let surface_seed = 9u64;
+        let strategy_seed = 7u64;
+        let expected_jobs = 15usize;
+        let surface = ResponseSurface::new(surface_seed, 2);
+
+        let lease = Duration::from_millis(500);
+        let mut servers = start_cluster_with(3, lease, || SchedulerConfig {
+            heartbeat_timeout_millis: 2500,
+            max_attempts: 12,
+            auto_reschedule: true,
+        });
+        let leader = wait_for_leader(&servers, Duration::from_secs(10));
+        let leader_url = servers[leader].base_url();
+        servers[leader].control().create_user("admin", "admin-pw", Role::Admin).unwrap();
+        let leader_client = login(&leader_url, "admin", "admin-pw");
+
+        let system = post_ok(
+            &leader_client,
+            "/api/v1/systems",
+            &obj! {
+                "name" => "surface-sut",
+                "parameters" => arr![
+                    obj! {"name" => "x", "type" => "interval", "min" => 0,
+                          "max" => axis - 1, "step" => 1, "default" => 0},
+                    obj! {"name" => "y", "type" => "interval", "min" => 0,
+                          "max" => axis - 1, "step" => 1, "default" => 0},
+                ],
+                "charts" => arr![],
+            },
+        );
+        let system_id = id_of(&system);
+        let deployment = post_ok(
+            &leader_client,
+            &format!("/api/v1/systems/{system_id}/deployments"),
+            &obj! {"environment" => "adaptive-storm", "version" => "0.1.0"},
+        );
+        let deployment_id = Id::parse_base32(&id_of(&deployment)).unwrap();
+        let project = post_ok(
+            &leader_client,
+            "/api/v1/projects",
+            &obj! {"name" => "adaptive-storm", "description" => "failover pruning"},
+        );
+        let experiment = post_ok(
+            &leader_client,
+            &format!("/api/v1/projects/{}/experiments", id_of(&project)),
+            &obj! {
+                "name" => "adaptive failover sweep",
+                "system_id" => system_id,
+                "parameters" => obj! {
+                    "x" => obj! {"sweep" => "all"},
+                    "y" => obj! {"sweep" => "all"},
+                },
+                "strategy" => obj! {
+                    "kind" => "adaptive", "seed" => strategy_seed, "initial" => 8,
+                    "eta" => 2, "metric" => "/throughput_ops_per_sec", "maximize" => true,
+                },
+            },
+        );
+        let evaluation = post_ok(
+            &leader_client,
+            &format!("/api/v1/experiments/{}/evaluations", id_of(&experiment)),
+            &obj! {},
+        );
+        let evaluation_id = Id::parse_base32(&id_of(&evaluation)).unwrap();
+        assert_eq!(evaluation.get("total_points").and_then(Value::as_u64), Some(36));
+        assert!(evaluation.get("job_ids").and_then(Value::as_array).unwrap().is_empty());
+        wait_replicated(
+            &servers,
+            servers[leader].control().replication_offset(),
+            Duration::from_secs(5),
+        );
+
+        // The same seeded storm as the exactly-once test: flaky agent
+        // protocol, lossy replication and vote transport.
+        fail::arm("agent.claim", Policy::ErrorProb(0.05));
+        fail::arm("agent.heartbeat", Policy::ErrorProb(0.10));
+        fail::arm("agent.upload", Policy::ErrorProb(0.10));
+        fail::arm("cluster.replicate.send", Policy::ErrorProb(0.10));
+        fail::arm("cluster.vote.send", Policy::ErrorProb(0.05));
+
+        let urls: Vec<String> = servers.iter().map(ChronosServer::base_url).collect();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let done = Arc::new(AtomicBool::new(false));
+        let agents: Vec<_> = (0..2)
+            .map(|i| {
+                let start = urls[(leader + 1 + i) % urls.len()].clone();
+                let urls = urls.clone();
+                let done = Arc::clone(&done);
+                let client = SurfaceClient { surface: ResponseSurface::new(surface_seed, 2), axis };
+                std::thread::Builder::new()
+                    .name(format!("adaptive-agent-{i}"))
+                    .spawn(move || {
+                        let control_client = ControlClient::login(&start, "admin", "admin-pw")
+                            .expect("agent login")
+                            .with_seed_nodes(&urls);
+                        storm_agent(control_client, deployment_id, client, &done, deadline)
+                    })
+                    .unwrap()
+            })
+            .collect();
+
+        // Phase 1: the evaluation must be genuinely mid-flight — at least
+        // one pruning decision recorded — before the leader dies.
+        let old_control = Arc::clone(servers[leader].control());
+        let phase_deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let decided = old_control
+                .get_evaluation(evaluation_id)
+                .unwrap()
+                .source
+                .and_then(|s| s.frontier)
+                .map_or(0, |f| f.decisions.len());
+            if decided >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < phase_deadline,
+                "no pruning decision before the kill {}",
+                replay()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let mut dead = servers.remove(leader);
+        dead.shutdown();
+        let killed_at = Instant::now();
+        let budget = lease * 12;
+        let new_leader = loop {
+            if let Some(i) = servers.iter().position(|s| s.cluster().unwrap().is_leader()) {
+                break i;
+            }
+            assert!(
+                Instant::now() < killed_at + budget,
+                "no new leader within {budget:?} of the kill {}",
+                replay()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        // Phase 2: the adaptive evaluation must settle on the new leader —
+        // every remaining rung issued, scored and pruned down to one
+        // survivor, with the unsampled space written off.
+        let control = Arc::clone(servers[new_leader].control());
+        while Instant::now() < deadline {
+            let status = control.evaluation_status(evaluation_id).unwrap();
+            if status.is_settled() && status.remaining == Some(0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        done.store(true, Ordering::SeqCst);
+        let completed: u64 = agents.into_iter().map(|h| h.join().unwrap()).sum();
+        fail::reset();
+
+        let status = control.evaluation_status(evaluation_id).unwrap();
+        assert!(
+            status.is_settled() && status.remaining == Some(0),
+            "adaptive evaluation never settled after the failover: {status:?} {}",
+            replay()
+        );
+        let frontier = control
+            .get_evaluation(evaluation_id)
+            .unwrap()
+            .source
+            .and_then(|s| s.frontier)
+            .expect("adaptive evaluation keeps its frontier");
+        assert_eq!(frontier.candidates.len(), 1, "exactly one survivor {}", replay());
+
+        // Ledger: one job per issued (rung, candidate) slot, every one
+        // finished with exactly one stored result — reclaims and retried
+        // uploads across the failover must have deduplicated.
+        let jobs = control.list_jobs(evaluation_id).unwrap();
+        assert_eq!(jobs.len(), expected_jobs, "issued jobs != rung budget {}", replay());
+        for job in &jobs {
+            assert_eq!(
+                job.state,
+                JobState::Finished,
+                "job {} ended {:?} after {} attempts {}",
+                job.id,
+                job.state,
+                job.attempts,
+                replay()
+            );
+            assert!(job.result_id.is_some(), "finished job {} has no result {}", job.id, replay());
+        }
+        assert_eq!(control.count_results(), expected_jobs, "ledger imbalance {}", replay());
+        assert!(completed >= 1, "no agent ever completed a job {}", replay());
+
+        // The heart of the property: the decision log assembled across a
+        // leader death is identical to a fresh single-node replay of the
+        // same seed against the same surface — pruning is a pure function
+        // of (seed, scores), never of timing, job ids or which node ruled.
+        let replayed = ChronosControl::new(
+            MetadataStore::in_memory(),
+            Arc::new(SystemClock),
+            default_scheduler(),
+        );
+        let owner = replayed.create_user("replay", "pw", Role::Admin).unwrap();
+        let system = replayed
+            .register_system(
+                "surface-sut",
+                "",
+                vec![
+                    ParamDef::new(
+                        "x",
+                        "",
+                        ParamType::Interval { min: 0, max: axis - 1, step: 1 },
+                        Value::from(0),
+                    )
+                    .unwrap(),
+                    ParamDef::new(
+                        "y",
+                        "",
+                        ParamType::Interval { min: 0, max: axis - 1, step: 1 },
+                        Value::from(0),
+                    )
+                    .unwrap(),
+                ],
+                vec![],
+            )
+            .unwrap();
+        let replay_deployment = replayed.create_deployment(system.id, "replay", "1").unwrap();
+        let replay_project = replayed.create_project("replay", "", owner.id).unwrap();
+        let replay_experiment = replayed
+            .create_experiment_with_strategy(
+                replay_project.id,
+                system.id,
+                "adaptive failover sweep",
+                "",
+                ParamAssignments::new().sweep_all("x").sweep_all("y"),
+                Strategy::Adaptive(AdaptiveConfig {
+                    seed: strategy_seed,
+                    initial: Some(8),
+                    eta: 2,
+                    metric: "/throughput_ops_per_sec".into(),
+                    maximize: true,
+                }),
+            )
+            .unwrap();
+        let replay_evaluation = replayed.create_evaluation(replay_experiment.id).unwrap();
+        while let Some(job) = replayed.claim_next_job(replay_deployment.id, None).unwrap() {
+            let x = job.parameters.get("x").and_then(Value::as_i64).unwrap();
+            let y = job.parameters.get("y").and_then(Value::as_i64).unwrap();
+            let d = (axis - 1) as f64;
+            replayed
+                .finish_job(
+                    job.id,
+                    surface.result_document(&[x as f64 / d, y as f64 / d]),
+                    vec![],
+                    Some(job.attempts),
+                    None,
+                )
+                .unwrap();
+        }
+        let replay_frontier = replayed
+            .get_evaluation(replay_evaluation.id)
+            .unwrap()
+            .source
+            .and_then(|s| s.frontier)
+            .unwrap();
+        assert_eq!(
+            frontier.decisions,
+            replay_frontier.decisions,
+            "pruning decisions diverged across the leader failover {}",
+            replay()
+        );
+        assert_eq!(
+            frontier.candidates,
+            replay_frontier.candidates,
+            "different survivor across the leader failover {}",
+            replay()
+        );
 
         for mut server in servers {
             server.shutdown();

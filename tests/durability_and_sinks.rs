@@ -119,7 +119,7 @@ fn nas_sink_offloads_archives_from_control() {
         .create_demo_experiment(&system_id, obj! {"record_count" => 60, "operation_count" => 120});
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
 
     let sink_dir = std::env::temp_dir().join(format!("chronos-nas-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&sink_dir);
@@ -131,6 +131,8 @@ fn nas_sink_offloads_archives_from_control() {
     assert_eq!(agent.run_until_idle(Duration::from_millis(300)).unwrap(), 1);
 
     // The control-side result is tiny (no inline archive)...
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
     let job = env.get(&format!("/api/v1/jobs/{job_id}"));
     let result_id = job.get("result_id").and_then(Value::as_str).unwrap();
     let result = env.get(&format!("/api/v1/results/{result_id}"));

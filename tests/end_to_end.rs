@@ -29,11 +29,17 @@ fn full_demo_workflow() {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    assert_eq!(evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len), Some(4));
+    // Lazy planning: the full space is known, but no jobs exist yet.
+    assert_eq!(evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len), Some(0));
+    assert_eq!(evaluation.get("total_points").and_then(Value::as_u64), Some(4));
 
-    // Status before any agent runs: 4 scheduled.
+    // Status before any agent runs: nothing materialized, 4 points pending.
     let detail = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
-    assert_eq!(detail.pointer("/status/scheduled").and_then(Value::as_i64), Some(4));
+    assert_eq!(detail.pointer("/status/scheduled").and_then(Value::as_i64), Some(0));
+    assert_eq!(detail.pointer("/status/remaining_space").and_then(Value::as_i64), Some(4));
+    assert_eq!(detail.pointer("/status/total").and_then(Value::as_i64), Some(4));
+    assert_eq!(detail.pointer("/status/progress_percent").and_then(Value::as_i64), Some(0));
+    assert_eq!(detail.pointer("/status/settled").and_then(Value::as_bool), Some(false));
 
     // Run the agent until the queue drains.
     let completed = env.run_agent(&deployment_id);
@@ -116,7 +122,9 @@ fn installation_stats_roll_up() {
         .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 50});
     env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let stats = env.get("/api/v1/stats");
-    assert_eq!(stats.pointer("/jobs/scheduled").and_then(Value::as_i64), Some(1));
+    // The planned-but-unmaterialized point shows up as remaining space.
+    assert_eq!(stats.pointer("/jobs/scheduled").and_then(Value::as_i64), Some(0));
+    assert_eq!(stats.pointer("/jobs/remaining_space").and_then(Value::as_i64), Some(1));
     assert_eq!(stats.get("systems").and_then(Value::as_i64), Some(1));
     env.run_agent(&deployment_id);
     let stats = env.get("/api/v1/stats");

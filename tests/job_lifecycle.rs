@@ -10,13 +10,23 @@ use chronos::core::scheduler::SchedulerConfig;
 use chronos::json::{obj, Value};
 use common::TestEnv;
 
+/// One evaluation with a single point, materialized and back in
+/// `scheduled`: lazy evaluations only create job documents on the claim
+/// path, so this claims the point and fails it once (auto-reschedule puts
+/// it straight back) to hand tests a concrete scheduled job id.
 fn schedule_one_job(env: &TestEnv) -> (String, String) {
     let (system_id, deployment_id) = env.register_demo_system();
     let (_project, experiment_id) = env
         .create_demo_experiment(&system_id, obj! {"record_count" => 50, "operation_count" => 100});
-    let evaluation =
-        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let claimed =
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
+    let failed = env.post(
+        &format!("/api/v1/agent/jobs/{job_id}/fail"),
+        &obj! {"reason" => "released for test setup"},
+    );
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("scheduled"));
     (job_id, deployment_id)
 }
 
@@ -54,15 +64,13 @@ fn agent_failure_reports_and_reschedules() {
         .create_demo_experiment(&system_id, obj! {"record_count" => -5, "operation_count" => 10});
     // record_count -5 clamps to 1 in the client, so that would succeed —
     // instead drive the failure through the API directly:
-    let evaluation =
-        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
-    let _ = deployment_id;
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
 
-    // Claim via the agent endpoint, then report failure (attempt 1).
+    // Claim via the agent endpoint (this materializes the single point),
+    // then report failure (attempt 1).
     let claimed =
         env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
-    assert_eq!(claimed.get("id").and_then(Value::as_str), Some(job_id.as_str()));
+    let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
     let failed = env.post(
         &format!("/api/v1/agent/jobs/{job_id}/fail"),
         &obj! {"reason" => "benchmark binary crashed"},
@@ -146,8 +154,10 @@ fn heartbeats_keep_long_jobs_alive() {
     );
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
     assert_eq!(env.run_agent(&deployment_id), 1);
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
     let job = env.get(&format!("/api/v1/jobs/{job_id}"));
     assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"), "{job}");
     assert_eq!(job.get("attempts").and_then(Value::as_i64), Some(1), "no retry happened");

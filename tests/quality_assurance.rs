@@ -19,9 +19,11 @@ fn run_evaluation_with_throughput(
 ) {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
-    for job in evaluation.get("job_ids").and_then(Value::as_array).unwrap() {
-        let job_id = job.as_str().unwrap();
-        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
+    // Lazy planning: jobs materialize as the claim path pulls points.
+    let total = evaluation.get("total_points").and_then(Value::as_u64).unwrap();
+    for _ in 0..total {
+        let claimed = env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id});
+        let job_id = claimed.get("id").and_then(Value::as_str).unwrap();
         env.post(
             &format!("/api/v1/agent/jobs/{job_id}/result"),
             &obj! {"data" => obj! {"throughput_ops_per_sec" => throughput}},

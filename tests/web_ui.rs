@@ -47,7 +47,6 @@ fn full_ui_walkthrough() {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
 
     // Overview lists the system and the project.
     let overview = get_html(&env, &format!("/ui?token={token}"));
@@ -68,13 +67,17 @@ fn full_ui_walkthrough() {
     let experiment_page = get_html(&env, &format!("/ui/experiments/{experiment_id}?token={token}"));
     assert!(experiment_page.contains("&quot;sweep&quot;"), "assignment JSON shown escaped");
 
-    // Evaluation page before the run (Fig. 3b): all jobs scheduled.
+    // Evaluation page before the run (Fig. 3b): the space is planned but
+    // lazy — no job documents yet, all four points pending materialization.
     let eval_page = get_html(&env, &format!("/ui/evaluations/{evaluation_id}?token={token}"));
-    assert_eq!(eval_page.matches("state scheduled").count(), 4);
+    assert_eq!(eval_page.matches("state scheduled").count(), 0);
+    assert!(eval_page.contains("4 points not yet materialized"), "{eval_page}");
     assert!(!eval_page.contains("<svg"), "no charts before results exist");
 
     // Run the evaluation and revisit.
     assert_eq!(env.run_agent(&deployment_id), 4);
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let job_id = evaluation.pointer("/job_ids/0").and_then(Value::as_str).unwrap().to_string();
     let eval_page = get_html(&env, &format!("/ui/evaluations/{evaluation_id}?token={token}"));
     assert_eq!(eval_page.matches("state finished").count(), 4);
     assert!(eval_page.contains("100% settled"));

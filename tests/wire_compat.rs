@@ -15,11 +15,13 @@ use chronos::api::v1;
 use chronos::api::{ApiIndex, ApiVersion, ErrorEnvelope, JobState, WireDecode, WireEncode};
 use chronos::core::auth::{Role, User};
 use chronos::core::charts::ChartSpec;
+use chronos::core::jobsource::Frontier;
 use chronos::core::model::{
     Deployment, Evaluation, Experiment, Job, JobResult, Project, System, TimelineEvent,
 };
 use chronos::core::params::{ParamAssignments, ParamDef, ParamType};
 use chronos::core::scheduler::EvaluationStatus;
+use chronos::core::{AdaptiveConfig, JobSourceState, Strategy};
 use chronos::json::{obj, Value};
 use chronos::util::Id;
 
@@ -125,6 +127,7 @@ fn fixture_experiment() -> Experiment {
         assignments: ParamAssignments::new().fix("threads", 4),
         archived: false,
         created_at: T1,
+        strategy: Strategy::Grid,
     }
 }
 
@@ -135,6 +138,7 @@ fn fixture_evaluation() -> Evaluation {
         job_ids: vec![id(7)],
         swept_params: vec!["threads".into()],
         created_at: T1,
+        source: None,
     }
 }
 
@@ -163,6 +167,7 @@ fn fixture_job() -> Job {
         result_id: None,
         failure: None,
         created_at: T0,
+        point_index: None,
     }
 }
 
@@ -177,7 +182,25 @@ fn fixture_result() -> JobResult {
 }
 
 fn fixture_status() -> EvaluationStatus {
-    EvaluationStatus { scheduled: 1, running: 2, finished: 3, aborted: 0, failed: 1 }
+    EvaluationStatus {
+        scheduled: 1,
+        running: 2,
+        finished: 3,
+        aborted: 0,
+        failed: 1,
+        remaining: None,
+    }
+}
+
+/// The adaptive strategy pinned by the lazy-evaluation fixtures.
+fn fixture_adaptive() -> Strategy {
+    Strategy::Adaptive(AdaptiveConfig {
+        seed: 42,
+        initial: Some(4),
+        eta: 2,
+        metric: "/throughput_ops_per_sec".into(),
+        maximize: true,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -327,8 +350,104 @@ fn request_bodies() {
         system_id: id(2),
         description: "".into(),
         parameters: Some(fixture_experiment().assignments.to_json()),
+        strategy: None,
     };
     golden("create_experiment_request.json", &experiment.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Lazy evaluations + adaptive scheduling
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lazy_and_adaptive_bodies() {
+    // A lazy grid evaluation mid-iteration: the source cursor rides the
+    // evaluation document.
+    let mut evaluation = fixture_evaluation();
+    evaluation.source = Some(JobSourceState {
+        strategy: Strategy::Grid,
+        total_points: 8,
+        materialized: 1,
+        frontier: None,
+    });
+    golden("evaluation_lazy_grid.json", &evaluation.to_json().to_string());
+
+    // An adaptive evaluation on rung 1 with one recorded pruning decision.
+    let mut evaluation = fixture_evaluation();
+    evaluation.source = Some(JobSourceState {
+        strategy: fixture_adaptive(),
+        total_points: 8,
+        materialized: 5,
+        frontier: Some(Frontier {
+            rung: 1,
+            candidates: vec![2, 5],
+            issued: 1,
+            job_ids: vec![id(7)],
+            decisions: vec![obj! {
+                "rung" => 0u64,
+                "candidates" => Value::Array(vec![2u64, 3, 5, 6].into_iter().map(Value::from).collect()),
+                "scores" => Value::Array(vec![
+                    Value::from(1800.0),
+                    Value::from(900.5),
+                    Value::from(2100.0),
+                    Value::Null,
+                ]),
+                "promoted" => Value::Array(vec![2u64, 5].into_iter().map(Value::from).collect()),
+            }],
+        }),
+    });
+    let body = evaluation.to_json().to_string();
+    golden("evaluation_adaptive.json", &body);
+    // The document reads back losslessly through the core decoder.
+    assert_eq!(Evaluation::from_json(&chronos::json::parse(&body).unwrap()).unwrap(), evaluation);
+
+    // An experiment that selected the adaptive strategy.
+    let mut experiment = fixture_experiment();
+    experiment.strategy = fixture_adaptive();
+    golden("experiment_adaptive.json", &experiment.to_json().to_string());
+
+    // Status roll-up of a lazy evaluation: unmaterialized points appear as
+    // `remaining_space`, count into `total`, and hold back `settled`.
+    let status = EvaluationStatus {
+        scheduled: 1,
+        running: 2,
+        finished: 3,
+        aborted: 0,
+        failed: 1,
+        remaining: Some(5),
+    };
+    golden("evaluation_status_lazy.json", &status.to_json().to_string());
+
+    // A lazily-materialized job carries its point index.
+    let mut job = fixture_job();
+    job.point_index = Some(3);
+    golden("job_point_index.json", &job.to_json().to_string());
+    golden("job_point_index_listing_item.json", &job.to_json_summary().to_string());
+
+    // The create-experiment request opting into adaptive scheduling.
+    let request = v1::CreateExperimentRequest {
+        name: "engine comparison".into(),
+        system_id: id(2),
+        description: "".into(),
+        parameters: Some(fixture_experiment().assignments.to_json()),
+        strategy: Some(fixture_adaptive().dto()),
+    };
+    golden("create_experiment_adaptive_request.json", &request.encode());
+    let decoded = v1::CreateExperimentRequest::decode(&request.to_value()).unwrap();
+    assert_eq!(decoded.strategy, request.strategy);
+
+    // Stats with outstanding lazy points across the installation.
+    let stats = v1::StatsResponse {
+        scheduled: 1,
+        running: 2,
+        finished: 3,
+        aborted: 0,
+        failed: 1,
+        remaining_space: 7,
+        systems: 1,
+        projects: 1,
+    };
+    golden("stats_lazy.json", &stats.encode());
 }
 
 // ---------------------------------------------------------------------------
@@ -389,6 +508,7 @@ fn trigger_and_stats_bodies() {
         finished: 3,
         aborted: 0,
         failed: 1,
+        remaining_space: 0,
         systems: 1,
         projects: 1,
     };
