@@ -17,6 +17,7 @@
 //! demo: it benchmarks the [`minidoc`] document store (wiredTiger-like vs
 //! mmapv1-like engines) under a YCSB-style workload.
 
+mod budget;
 mod context;
 mod control_client;
 mod docstore_client;
@@ -25,10 +26,11 @@ mod runtime;
 mod sink;
 mod tpcc_client;
 
+pub use budget::{BudgetBreach, BudgetWatchdog, CgroupScope, JobBudget, BUDGET_EXCEEDED_PREFIX};
 pub use context::JobContext;
 pub use control_client::{AgentError, ClaimedJob, ControlClient};
 pub use docstore_client::DocstoreClient;
-pub use resources::{ResourceSample, ResourceTracker};
+pub use resources::{current_rss_kib, IoCounters, ResourceSample, ResourceTracker};
 pub use runtime::{AgentConfig, ChronosAgent, EvaluationClient};
 pub use sink::{HttpSink, LocalDirSink, ResultSink};
 pub use tpcc_client::TpccClient;

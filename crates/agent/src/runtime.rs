@@ -9,6 +9,7 @@ use chronos_json::{obj, Value};
 use chronos_util::Id;
 use chronos_zip::ZipWriter;
 
+use crate::budget::{BudgetWatchdog, CgroupScope};
 use crate::context::JobContext;
 use crate::control_client::{AgentError, ClaimedJob, ControlClient};
 use crate::sink::{HttpSink, ResultSink};
@@ -47,17 +48,22 @@ pub struct AgentConfig {
     pub heartbeat_interval: Duration,
     /// Interval between claim attempts when the queue is empty.
     pub poll_interval: Duration,
+    /// Sampling interval of the budget watchdog while a budgeted job runs.
+    /// A breach is detected within roughly one interval.
+    pub budget_poll_interval: Duration,
     /// Where result archives go.
     pub sink: Box<dyn ResultSink>,
 }
 
 impl AgentConfig {
-    /// Defaults: 1 s heartbeats, 250 ms polling, inline HTTP sink.
+    /// Defaults: 1 s heartbeats, 250 ms polling, 25 ms budget sampling,
+    /// inline HTTP sink.
     pub fn new(deployment_id: Id) -> Self {
         AgentConfig {
             deployment_id,
             heartbeat_interval: Duration::from_millis(1000),
             poll_interval: Duration::from_millis(250),
+            budget_poll_interval: Duration::from_millis(25),
             sink: Box::new(HttpSink),
         }
     }
@@ -151,14 +157,50 @@ impl<C: EvaluationClient> ChronosAgent<C> {
                 .expect("failed to spawn heartbeat thread")
         };
 
+        // Budget enforcement: arm the watchdog (and, when the host permits
+        // it, the cgroup backstop) for the duration of the run.
+        let budget = job.budget.filter(|b| !b.is_empty());
+        let cgroup = budget.as_ref().and_then(|b| CgroupScope::try_enter(job.id, b));
+        let watchdog = budget.map(|b| {
+            ctx.log(format!(
+                "agent: budget armed ({}ms sampling){}",
+                self.config.budget_poll_interval.as_millis(),
+                if cgroup.is_some() { ", cgroup backstop active" } else { "" },
+            ));
+            BudgetWatchdog::arm(&ctx, b, self.config.budget_poll_interval)
+        });
+
         let outcome = self.run_lifecycle(&ctx);
 
         stop.store(true, Ordering::SeqCst);
         let _ = heartbeat.join();
+        let mut breach = watchdog.and_then(BudgetWatchdog::disarm);
+        drop(cgroup);
+        // Chaos-only synthetic breach, so storms exercise the quarantine
+        // path without needing a genuinely runaway workload.
+        if breach.is_none() {
+            if let Some(_inj) = chronos_util::fail_eval!("agent.budget.breach") {
+                let synthetic =
+                    crate::budget::BudgetBreach { dimension: "wall_millis", measured: 1, limit: 0 };
+                ctx.cancel(synthetic.reason());
+                breach = Some(synthetic);
+            }
+        }
         // Final log flush.
         let logs = ctx.take_logs();
         if !logs.is_empty() {
             let _ = self.client.append_log(ctx.job_id, &logs);
+        }
+
+        // A budget breach is *our* cancellation, not a lost lease: report
+        // the typed failure so Chronos Control counts the attempt (and
+        // quarantines the job once attempts are exhausted). This must come
+        // before the generic cancellation return below.
+        if let Some(breach) = breach {
+            return match self.client.fail(ctx.job_id, attempt, &breach.reason()) {
+                Ok(()) | Err(AgentError::LeaseLost { .. }) => Ok(()),
+                Err(e) => Err(e),
+            };
         }
 
         if ctx.is_cancelled() {

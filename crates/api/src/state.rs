@@ -17,16 +17,19 @@ pub enum JobState {
     Aborted,
     /// Crashed, errored, or timed out.
     Failed,
+    /// Failed `max_attempts` times; removed from scheduling for good.
+    Quarantined,
 }
 
 impl JobState {
     /// Every state, in the canonical roll-up order used by status bodies.
-    pub const ALL: [JobState; 5] = [
+    pub const ALL: [JobState; 6] = [
         JobState::Scheduled,
         JobState::Running,
         JobState::Finished,
         JobState::Aborted,
         JobState::Failed,
+        JobState::Quarantined,
     ];
 
     /// The lowercase state name used in the API.
@@ -37,6 +40,7 @@ impl JobState {
             JobState::Finished => "finished",
             JobState::Aborted => "aborted",
             JobState::Failed => "failed",
+            JobState::Quarantined => "quarantined",
         }
     }
 
@@ -48,6 +52,7 @@ impl JobState {
             "finished" => Some(JobState::Finished),
             "aborted" => Some(JobState::Aborted),
             "failed" => Some(JobState::Failed),
+            "quarantined" => Some(JobState::Quarantined),
             _ => None,
         }
     }

@@ -51,16 +51,22 @@ pub struct ClaimedJob {
     /// The attempt number doubling as the fencing token for heartbeats,
     /// result uploads, and failure reports.
     pub attempts: u32,
+    /// Resource budget the watchdog enforces; absent means unbudgeted.
+    pub budget: Option<crate::v1::JobBudget>,
 }
 
 impl WireEncode for ClaimedJob {
     fn to_value(&self) -> Value {
-        obj! {
+        let mut doc = obj! {
             "id" => self.id.to_base32(),
             "evaluation_id" => self.evaluation_id.to_base32(),
             "parameters" => self.parameters.clone(),
             "attempts" => self.attempts as i64,
+        };
+        if let Some(budget) = &self.budget {
+            doc.set("budget", budget.to_value());
         }
+        doc
     }
 }
 
@@ -72,6 +78,7 @@ impl WireDecode for ClaimedJob {
             parameters: value.get("parameters").cloned().unwrap_or(Value::Null),
             attempts: u32::try_from(codec::lenient_u64(value, "attempts").unwrap_or(1))
                 .unwrap_or(u32::MAX),
+            budget: value.get("budget").map(crate::v1::JobBudget::decode).transpose()?,
         })
     }
 }

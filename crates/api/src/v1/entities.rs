@@ -266,6 +266,67 @@ impl WireDecode for FrontierDto {
     }
 }
 
+/// Per-job resource budget declared on an experiment and copied onto every
+/// job it materializes. Each dimension is independent and optional; the
+/// agent-side watchdog terminates a run the first time any present limit is
+/// breached. Encodes as an object carrying only the present dimensions, and
+/// the whole document is omitted from experiment/job bodies when no
+/// dimension is set — pre-budget documents stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobBudget {
+    /// Combined user+system CPU time, milliseconds.
+    pub cpu_millis: Option<u64>,
+    /// Peak resident-set size, KiB.
+    pub max_rss_kib: Option<u64>,
+    /// Combined storage-layer read+write bytes.
+    pub io_bytes: Option<u64>,
+    /// Wall-clock runtime, milliseconds.
+    pub wall_millis: Option<u64>,
+}
+
+impl JobBudget {
+    /// Whether no dimension is budgeted (the document is omitted then).
+    pub fn is_empty(&self) -> bool {
+        self.cpu_millis.is_none()
+            && self.max_rss_kib.is_none()
+            && self.io_bytes.is_none()
+            && self.wall_millis.is_none()
+    }
+}
+
+impl WireEncode for JobBudget {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        if let Some(cpu) = self.cpu_millis {
+            map.insert("cpu_millis".into(), Value::from(cpu));
+        }
+        if let Some(rss) = self.max_rss_kib {
+            map.insert("max_rss_kib".into(), Value::from(rss));
+        }
+        if let Some(io) = self.io_bytes {
+            map.insert("io_bytes".into(), Value::from(io));
+        }
+        if let Some(wall) = self.wall_millis {
+            map.insert("wall_millis".into(), Value::from(wall));
+        }
+        Value::Object(map)
+    }
+}
+
+impl WireDecode for JobBudget {
+    fn decode(value: &Value) -> Result<Self, WireError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(WireError::BadField("budget"));
+        }
+        Ok(Self {
+            cpu_millis: codec::lenient_u64(value, "cpu_millis"),
+            max_rss_kib: codec::lenient_u64(value, "max_rss_kib"),
+            io_bytes: codec::lenient_u64(value, "io_bytes"),
+            wall_millis: codec::lenient_u64(value, "wall_millis"),
+        })
+    }
+}
+
 /// An experiment: a parameterised evaluation template. `parameters` holds
 /// the `ParamAssignments` document verbatim.
 #[derive(Debug, Clone, PartialEq)]
@@ -281,6 +342,9 @@ pub struct ExperimentDto {
     /// Exploration strategy. `None` means grid and is omitted on the wire,
     /// keeping pre-strategy documents byte-identical.
     pub strategy: Option<StrategyDto>,
+    /// Per-job resource budget; omitted on the wire when unset so
+    /// pre-budget documents stay byte-identical.
+    pub budget: Option<JobBudget>,
 }
 
 impl WireEncode for ExperimentDto {
@@ -297,6 +361,9 @@ impl WireEncode for ExperimentDto {
         };
         if let Some(strategy) = &self.strategy {
             doc.set("strategy", strategy.to_value());
+        }
+        if let Some(budget) = &self.budget {
+            doc.set("budget", budget.to_value());
         }
         doc
     }
@@ -317,6 +384,7 @@ impl WireDecode for ExperimentDto {
             archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
             created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
             strategy: value.get("strategy").map(StrategyDto::decode).transpose()?,
+            budget: value.get("budget").map(JobBudget::decode).transpose()?,
         })
     }
 }
@@ -423,6 +491,9 @@ pub struct EvaluationStatusDto {
     pub finished: usize,
     pub aborted: usize,
     pub failed: usize,
+    /// Jobs quarantined after exhausting their attempts. Encoded only when
+    /// non-zero so pre-quarantine status bodies stay byte-identical.
+    pub quarantined: usize,
     pub total: usize,
     pub settled: bool,
     pub progress_percent: u8,
@@ -441,6 +512,9 @@ impl WireEncode for EvaluationStatusDto {
             "settled" => self.settled,
             "progress_percent" => self.progress_percent as i64,
         };
+        if self.quarantined > 0 {
+            doc.set("quarantined", self.quarantined as u64);
+        }
         if let Some(remaining) = self.remaining_space {
             doc.set("remaining_space", remaining);
         }
@@ -457,6 +531,7 @@ impl WireDecode for EvaluationStatusDto {
             finished: count("finished"),
             aborted: count("aborted"),
             failed: count("failed"),
+            quarantined: count("quarantined"),
             total: count("total"),
             settled: value.get("settled").and_then(Value::as_bool).unwrap_or(false),
             progress_percent: codec::lenient_u64(value, "progress_percent").unwrap_or(0).min(100)
@@ -520,6 +595,9 @@ pub struct JobDto {
     /// Present only on lazily-materialized jobs; omitted on the wire when
     /// absent so pre-refactor job documents stay byte-identical.
     pub point_index: Option<u64>,
+    /// Resource budget copied from the experiment at materialization;
+    /// omitted on the wire when unset.
+    pub budget: Option<JobBudget>,
 }
 
 impl JobDto {
@@ -548,6 +626,9 @@ impl JobDto {
         map.insert("created_at".into(), Value::from(self.created_at));
         if let Some(point_index) = self.point_index {
             map.insert("point_index".into(), Value::from(point_index));
+        }
+        if let Some(budget) = &self.budget {
+            map.insert("budget".into(), budget.to_value());
         }
         Value::Object(map)
     }
@@ -591,6 +672,7 @@ impl WireDecode for JobDto {
             failure: codec::opt_str(value, "failure"),
             created_at: codec::lenient_u64(value, "created_at").unwrap_or(0),
             point_index: codec::lenient_u64(value, "point_index"),
+            budget: value.get("budget").map(JobBudget::decode).transpose()?,
         })
     }
 }

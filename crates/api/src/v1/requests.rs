@@ -205,6 +205,9 @@ pub struct CreateExperimentRequest {
     pub description: String,
     pub parameters: Option<Value>,
     pub strategy: Option<crate::v1::StrategyDto>,
+    /// Per-job resource budget applied to every job of every evaluation of
+    /// this experiment. Absent (or empty) means unbudgeted.
+    pub budget: Option<crate::v1::JobBudget>,
 }
 
 impl WireEncode for CreateExperimentRequest {
@@ -221,6 +224,9 @@ impl WireEncode for CreateExperimentRequest {
         if let Some(strategy) = &self.strategy {
             map.insert("strategy".into(), strategy.to_value());
         }
+        if let Some(budget) = &self.budget {
+            map.insert("budget".into(), budget.to_value());
+        }
         Value::Object(map)
     }
 }
@@ -232,12 +238,18 @@ impl WireDecode for CreateExperimentRequest {
             Some(v) if v.is_null() => None,
             Some(v) => Some(crate::v1::StrategyDto::decode(v)?),
         };
+        let budget = match value.get("budget") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(crate::v1::JobBudget::decode(v)?),
+        };
         Ok(Self {
             name: codec::req_str(value, "name")?,
             system_id: codec::req_id(value, "system_id")?,
             description: codec::str_or(value, "description", ""),
             parameters: codec::opt_value(value, "parameters"),
             strategy,
+            budget,
         })
     }
 }
@@ -307,6 +319,9 @@ pub struct StatsResponse {
     pub finished: usize,
     pub aborted: usize,
     pub failed: usize,
+    /// Jobs quarantined installation-wide; `0` is omitted on the wire
+    /// (pre-quarantine bodies had no such key).
+    pub quarantined: usize,
     pub remaining_space: u64,
     pub systems: usize,
     pub projects: usize,
@@ -321,6 +336,9 @@ impl WireEncode for StatsResponse {
             "aborted" => self.aborted,
             "failed" => self.failed,
         };
+        if self.quarantined > 0 {
+            jobs.set("quarantined", self.quarantined as u64);
+        }
         if self.remaining_space > 0 {
             jobs.set("remaining_space", self.remaining_space);
         }
@@ -342,6 +360,7 @@ impl WireDecode for StatsResponse {
             finished: count("finished"),
             aborted: count("aborted"),
             failed: count("failed"),
+            quarantined: count("quarantined"),
             remaining_space: codec::lenient_u64(&jobs, "remaining_space").unwrap_or(0),
             systems: codec::lenient_u64(value, "systems").unwrap_or(0) as usize,
             projects: codec::lenient_u64(value, "projects").unwrap_or(0) as usize,

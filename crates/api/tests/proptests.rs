@@ -90,7 +90,18 @@ fn arb_state() -> impl Strategy<Value = JobState> {
         Just(JobState::Finished),
         Just(JobState::Aborted),
         Just(JobState::Failed),
+        Just(JobState::Quarantined),
     ]
+}
+
+fn arb_budget() -> impl Strategy<Value = v1::JobBudget> {
+    (opt(1u64..1_000_000), opt(1u64..1_000_000), opt(1u64..1_000_000), opt(1u64..1_000_000))
+        .prop_map(|(cpu_millis, max_rss_kib, io_bytes, wall_millis)| v1::JobBudget {
+            cpu_millis,
+            max_rss_kib,
+            io_bytes,
+            wall_millis,
+        })
 }
 
 /// Small parameter/measurement documents (ints only: float formatting is
@@ -131,12 +142,13 @@ proptest! {
         (user_id, system_id, experiment_id) in (arb_id(), arb_id(), arb_id()),
         parameters in opt(arb_doc()),
         strategy in opt(arb_strategy()),
+        budget in opt(arb_budget()),
     ) {
         roundtrip(&v1::CreateDeploymentRequest { environment, version });
         roundtrip(&v1::SetDeploymentActiveRequest { active });
         roundtrip(&v1::CreateProjectRequest { name: name.clone(), description: description.clone() });
         roundtrip(&v1::AddProjectMemberRequest { user_id });
-        roundtrip(&v1::CreateExperimentRequest { name, system_id, description, parameters, strategy });
+        roundtrip(&v1::CreateExperimentRequest { name, system_id, description, parameters, strategy, budget });
         roundtrip(&v1::TriggerBuildRequest { experiment_id, build: build.clone() });
         roundtrip(&v1::TriggerBuildResponse {
             evaluation: obj! {"id" => experiment_id.to_base32()},
@@ -152,12 +164,13 @@ proptest! {
         (flag, created_at) in (any::<bool>(), arb_ts()),
         members in prop::collection::vec(arb_id(), 0..4),
         swept in prop::collection::vec("[a-z]{1,6}", 0..3),
-        (doc, strategy, frontier, total_points, materialized) in (
+        (doc, strategy, frontier, total_points, materialized, budget) in (
             arb_doc(),
             opt(arb_strategy()),
             opt(arb_frontier()),
             opt(arb_u64()),
             opt(arb_u64()),
+            opt(arb_budget()),
         ),
     ) {
         roundtrip(&v1::SystemDto {
@@ -194,6 +207,7 @@ proptest! {
             archived: flag,
             created_at,
             strategy: strategy.clone(),
+            budget,
         });
         roundtrip(&v1::EvaluationDto {
             id,
@@ -221,7 +235,7 @@ proptest! {
         settled in any::<bool>(), percent in 0u8..=100,
         id in arb_id(),
         remaining in opt(1u64..1_000_000),
-        stats_remaining in 0u64..1_000_000,
+        (stats_remaining, quarantined) in (0u64..1_000_000, 0u64..1_000_000),
     ) {
         let counts: Vec<usize> = counts.into_iter().map(|c| c as usize).collect();
         roundtrip(&v1::EvaluationStatusDto {
@@ -230,6 +244,7 @@ proptest! {
             finished: counts[2],
             aborted: counts[3],
             failed: counts[4],
+            quarantined: quarantined as usize,
             total: counts[5],
             settled,
             progress_percent: percent,
@@ -241,6 +256,7 @@ proptest! {
             finished: counts[2],
             aborted: counts[3],
             failed: counts[4],
+            quarantined: quarantined as usize,
             remaining_space: stats_remaining,
             systems: counts[5],
             projects: counts[0],
@@ -262,7 +278,7 @@ proptest! {
             (arb_text(), opt(arb_text()), opt(arb_text()), opt(arb_text())),
         (heartbeat_at, created_at, point_index) in (opt(arb_ts()), arb_ts(), opt(arb_u64())),
         timeline in prop::collection::vec((arb_ts(), "[a-z]{1,8}", arb_text()), 0..3),
-        doc in arb_doc(),
+        (doc, budget) in (arb_doc(), opt(arb_budget())),
     ) {
         let timeline: Vec<_> = timeline
             .into_iter()
@@ -289,6 +305,7 @@ proptest! {
             failure,
             created_at,
             point_index,
+            budget,
         };
         roundtrip(&job);
         // The summary view drops only the details: decoding it yields the
@@ -308,7 +325,7 @@ proptest! {
         (state, ack_progress, attempts) in (arb_state(), 0u8..=100, arb_u32()),
         reason in arb_text(),
         archive in prop::collection::vec(any::<u8>(), 0..64),
-        data in arb_doc(),
+        (data, budget) in (arb_doc(), opt(arb_budget())),
     ) {
         roundtrip(&v1::ClaimRequest { deployment_id, idempotency_key: key.clone() });
         roundtrip(&v1::ClaimedJob {
@@ -316,6 +333,7 @@ proptest! {
             evaluation_id: other,
             parameters: data.clone(),
             attempts,
+            budget,
         });
         roundtrip(&v1::HeartbeatRequest { progress, attempt });
         roundtrip(&v1::HeartbeatAck { state, progress: ack_progress });
@@ -356,6 +374,7 @@ fn boundary_values_roundtrip() {
             evaluation_id: Id::from_u128(8),
             parameters: obj! {},
             attempts: attempt,
+            budget: None,
         });
     }
     // Progress at the clamp edges.

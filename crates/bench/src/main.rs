@@ -83,6 +83,224 @@ fn main() {
     if want("E15") {
         experiment_e15(quick, emit_json);
     }
+    if want("E16") {
+        experiment_e16(quick, emit_json);
+    }
+}
+
+/// E16 — per-job budget enforcement: what does the agent-side watchdog cost
+/// a compliant workload, and how quickly does it contain a runaway one?
+/// The overhead half runs a fixed amount of cpu work with and without an
+/// armed (never-breaching) watchdog and asserts the slowdown stays ≤2%.
+/// The containment half arms tight wall/cpu/rss budgets against the
+/// deliberately misbehaving [`chronos_workload::RunawayScenario`] loops and
+/// asserts each is cancelled with the right typed dimension — the wall case
+/// within one watchdog interval plus scheduling slack. `--json` also writes
+/// the numbers to `BENCH_isolation.json`.
+fn experiment_e16(quick: bool, emit_json: bool) {
+    use std::time::Duration;
+
+    use chronos_agent::{
+        current_rss_kib, BudgetWatchdog, JobBudget, JobContext, BUDGET_EXCEEDED_PREFIX,
+    };
+    use chronos_util::Id;
+    use chronos_workload::{RunawayKind, RunawayScenario};
+
+    println!("== E16: budget enforcement overhead and runaway containment ==");
+    let interval = Duration::from_millis(25);
+    let reps = if quick { 5usize } else { 9 };
+    let spin_rounds = if quick { 40u64 } else { 150 };
+
+    // A fixed, compliant unit of cpu work: the same mixing loop the runaway
+    // scenarios spin on, but bounded by round count instead of a budget.
+    let compliant_work = |rounds: u64| {
+        let mut acc = 0x9e3779b97f4a7c15u64;
+        for round in 0..rounds {
+            for i in 0..1_000_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i ^ round).rotate_left(17);
+            }
+        }
+        std::hint::black_box(acc);
+    };
+
+    // Overhead: min-of-reps wall time for the fixed work, bare vs with a
+    // watchdog sampling procfs every `interval` against budgets the work
+    // can never breach. Min is the low-noise estimator for fixed work.
+    let mut bare_secs = f64::MAX;
+    let mut watched_secs = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        compliant_work(spin_rounds);
+        bare_secs = bare_secs.min(start.elapsed().as_secs_f64());
+    }
+    for _ in 0..reps {
+        let ctx = JobContext::new(Id::generate(), Value::Null);
+        let generous = JobBudget {
+            cpu_millis: Some(3_600_000),
+            wall_millis: Some(3_600_000),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let watchdog = BudgetWatchdog::arm(&ctx, generous, interval);
+        compliant_work(spin_rounds);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            watchdog.disarm().is_none(),
+            "a compliant workload must never trip a generous budget"
+        );
+        assert!(!ctx.is_cancelled());
+        watched_secs = watched_secs.min(elapsed);
+    }
+    let overhead = (watched_secs - bare_secs) / bare_secs;
+    assert!(
+        overhead <= 0.02,
+        "watchdog overhead {:.2}% exceeds the 2% bound (bare {bare_secs:.4}s, watched {watched_secs:.4}s)",
+        overhead * 100.0
+    );
+
+    // Containment: each runaway trips the budgeted dimension, the watchdog
+    // cancels the context, and the abuse loop stops long before its safety
+    // cap. Only the wall case gets a latency bound — cpu accrual and rss
+    // growth rates depend on host load, but wall-clock detection is purely
+    // the watchdog's sampling cadence.
+    let wall_budget_millis = 120u64;
+    let slack = Duration::from_millis(200);
+    struct KillCase {
+        dimension: &'static str,
+        kind: RunawayKind,
+        budget: JobBudget,
+        bound_latency: bool,
+    }
+    let kills = [
+        KillCase {
+            dimension: "wall_millis",
+            kind: RunawayKind::SpinCpu,
+            budget: JobBudget { wall_millis: Some(wall_budget_millis), ..Default::default() },
+            bound_latency: true,
+        },
+        KillCase {
+            dimension: "cpu_millis",
+            kind: RunawayKind::SpinCpu,
+            budget: JobBudget { cpu_millis: Some(wall_budget_millis), ..Default::default() },
+            bound_latency: false,
+        },
+        KillCase {
+            dimension: "max_rss_kib",
+            kind: RunawayKind::AllocBomb,
+            budget: JobBudget {
+                max_rss_kib: current_rss_kib().map(|rss| rss + 40 * 1024),
+                ..Default::default()
+            },
+            bound_latency: false,
+        },
+    ];
+
+    let widths = [13, 11, 14, 14, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "dimension".into(),
+                "scenario".into(),
+                "elapsed ms".into(),
+                "latency ms".into(),
+                "typed".into(),
+            ],
+            &widths
+        )
+    );
+    let mut kill_reports = Vec::new();
+    for case in kills {
+        if case.dimension == "max_rss_kib" && case.budget.max_rss_kib.is_none() {
+            // procfs is restricted (e.g. a locked-down sandbox): absence of
+            // counters must never breach, so there is nothing to measure.
+            println!("  max_rss_kib: skipped (procfs rss unavailable)");
+            continue;
+        }
+        let ctx = JobContext::new(Id::generate(), Value::Null);
+        let scenario = RunawayScenario::new(case.kind);
+        let start = Instant::now();
+        let watchdog = BudgetWatchdog::arm(&ctx, case.budget, interval);
+        let iterations = scenario.run(&|| ctx.is_cancelled());
+        let elapsed = start.elapsed();
+        let breach = watchdog.disarm().expect("the runaway must breach its budget");
+        assert_eq!(breach.dimension, case.dimension, "breach typed to the budgeted dimension");
+        assert!(
+            breach.reason().starts_with(BUDGET_EXCEEDED_PREFIX),
+            "breach reason carries the typed prefix: {}",
+            breach.reason()
+        );
+        assert!(ctx.is_cancelled(), "the breach cancels the job context");
+        assert!(ctx.cancel_reason().starts_with(BUDGET_EXCEEDED_PREFIX));
+        assert!(
+            elapsed < Duration::from_millis(scenario.cap_millis),
+            "containment must beat the scenario's own safety cap"
+        );
+        if case.kind == RunawayKind::AllocBomb {
+            assert!(
+                (iterations as usize) < scenario.cap_alloc_mib,
+                "the rss breach must fire before the allocation cap"
+            );
+        }
+        let latency = elapsed.saturating_sub(Duration::from_millis(wall_budget_millis));
+        if case.bound_latency {
+            assert!(
+                latency <= interval + slack,
+                "wall kill latency {latency:?} exceeds interval {interval:?} + slack {slack:?}"
+            );
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    case.dimension.into(),
+                    case.kind.as_str().into(),
+                    format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+                    if case.bound_latency {
+                        format!("{:.1}", latency.as_secs_f64() * 1e3)
+                    } else {
+                        "-".into()
+                    },
+                    "ok".into(),
+                ],
+                &widths
+            )
+        );
+        kill_reports.push(chronos_json::obj! {
+            "dimension" => case.dimension,
+            "scenario" => case.kind.as_str(),
+            "elapsed_millis" => elapsed.as_secs_f64() * 1e3,
+            "kill_latency_millis" => latency.as_secs_f64() * 1e3,
+            "latency_bounded" => case.bound_latency,
+        });
+    }
+    println!(
+        "shape: an armed watchdog costs a compliant workload <=2% \
+         (measured {:.2}%), and runaways die typed within the sampling cadence\n",
+        overhead * 100.0
+    );
+
+    if emit_json {
+        let doc = chronos_json::obj! {
+            "experiment" => "E16",
+            "description" => "per-job budget enforcement: watchdog overhead on compliant work and kill latency on runaway work",
+            "watchdog_interval_millis" => interval.as_millis() as i64,
+            "overhead" => chronos_json::obj! {
+                "reps" => reps as i64,
+                "spin_rounds" => spin_rounds as i64,
+                "bare_secs" => bare_secs,
+                "watched_secs" => watched_secs,
+                "overhead_fraction" => overhead,
+                "bound_fraction" => 0.02,
+            },
+            "wall_budget_millis" => wall_budget_millis as i64,
+            "kills" => Value::from(kill_reports),
+            "host_cores" => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as i64,
+        };
+        let path = "BENCH_isolation.json";
+        std::fs::write(path, doc.to_pretty_string() + "\n").unwrap();
+        println!("wrote {path}\n");
+    }
 }
 
 /// E15 — adaptive parameter-space scheduling: successive halving over a

@@ -382,6 +382,31 @@ impl ChronosControl {
         assignments: ParamAssignments,
         strategy: Strategy,
     ) -> CoreResult<Experiment> {
+        self.create_experiment_with_options(
+            project_id,
+            system_id,
+            name,
+            description,
+            assignments,
+            strategy,
+            None,
+        )
+    }
+
+    /// Full experiment creation: explicit strategy plus an optional per-job
+    /// resource budget copied onto every job the evaluations materialize.
+    /// An empty budget document normalizes to `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_experiment_with_options(
+        &self,
+        project_id: Id,
+        system_id: Id,
+        name: &str,
+        description: &str,
+        assignments: ParamAssignments,
+        strategy: Strategy,
+        budget: Option<chronos_api::v1::JobBudget>,
+    ) -> CoreResult<Experiment> {
         let project = self.get_project(project_id)?;
         if project.archived {
             return Err(CoreError::Conflict("project is archived".into()));
@@ -399,6 +424,7 @@ impl ChronosControl {
             strategy,
             archived: false,
             created_at: self.now(),
+            budget: budget.filter(|b| !b.is_empty()),
         };
         self.store.put(KIND_EXPERIMENT, &experiment.id.to_base32(), experiment.to_json())?;
         Ok(experiment)
@@ -493,6 +519,7 @@ impl ChronosControl {
                 JobState::Finished => status.finished += 1,
                 JobState::Aborted => status.aborted += 1,
                 JobState::Failed => status.failed += 1,
+                JobState::Quarantined => status.quarantined += 1,
             }
         }
         status.remaining = evaluation.source.as_ref().map(|s| s.remaining() as usize);
@@ -648,6 +675,7 @@ impl ChronosControl {
                 None => {
                     let mut job = Job::new(evaluation.id, experiment.system_id, parameters, now);
                     job.point_index = Some(index);
+                    job.budget = experiment.budget;
                     self.save_job(&job)?;
                     job
                 }
@@ -684,7 +712,10 @@ impl ChronosControl {
         let mut jobs = Vec::with_capacity(frontier.job_ids.len());
         for job_id in &frontier.job_ids {
             let job = self.get_job(*job_id)?;
-            if !matches!(job.state, JobState::Finished | JobState::Aborted | JobState::Failed) {
+            if !matches!(
+                job.state,
+                JobState::Finished | JobState::Aborted | JobState::Failed | JobState::Quarantined
+            ) {
                 return Ok(false); // rung not settled yet
             }
             jobs.push(job);
@@ -838,6 +869,21 @@ impl ChronosControl {
             job.deployment_id = None;
             job.progress = 0;
             job.claim_key = None;
+        } else if self.config.auto_reschedule {
+            // Poison-job containment: under automatic rescheduling a job
+            // that exhausted max_attempts would otherwise sit failed and be
+            // re-fed to agents by operators forever. Quarantine is terminal;
+            // the scheduler, sweeper, and adaptive scoring all treat it as a
+            // deterministically-missing result. With auto_reschedule off the
+            // job stays Failed so manual rescheduling keeps working.
+            job.apply(
+                JobEvent::Quarantine,
+                now,
+                &format!(
+                    "quarantined after {} failed attempts (max_attempts {})",
+                    job.attempts, self.config.max_attempts
+                ),
+            )?;
         }
         self.save_job(&job)?;
         Ok(job)
@@ -1184,20 +1230,61 @@ mod tests {
     }
 
     #[test]
-    fn failure_auto_reschedules_until_attempts_exhausted() {
+    fn failure_auto_reschedules_until_attempts_exhausted_then_quarantines() {
         let (control, _clock, _evaluation, deployment) = demo_evaluation();
         let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         // Attempt 1 fails -> auto rescheduled.
         let failed = control.fail_job(job.id, "agent crashed", None).unwrap();
         assert_eq!(failed.state, JobState::Scheduled);
         assert_eq!(failed.attempts, 1);
-        // Claim again (attempt 2) and fail: max_attempts=2 -> stays failed.
+        // Claim again (attempt 2) and fail: max_attempts=2 -> quarantined
+        // (poison-job containment under automatic rescheduling).
         let again = control.claim_next_job(deployment.id, None).unwrap().unwrap();
         assert_eq!(again.id, job.id, "rescheduled job is claimed first (oldest)");
         let failed = control.fail_job(job.id, "agent crashed again", None).unwrap();
-        assert_eq!(failed.state, JobState::Failed);
+        assert_eq!(failed.state, JobState::Quarantined);
         assert_eq!(failed.failure.as_deref(), Some("agent crashed again"));
-        // Manual reschedule still possible.
+        assert!(failed.timeline.iter().any(|e| e.message.contains("quarantined after 2")));
+        // Quarantine is terminal: no reschedule, no claim, never resurrects.
+        assert!(matches!(control.reschedule_job(job.id), Err(CoreError::Conflict(_))));
+        assert!(control.claim_next_job(deployment.id, None).unwrap().map(|j| j.id) != Some(job.id));
+        // The roll-up reports it and treats it as settled work.
+        let status = control.evaluation_status(failed.evaluation_id).unwrap();
+        assert_eq!(status.quarantined, 1);
+    }
+
+    #[test]
+    fn manual_scheduling_keeps_failed_jobs_reschedulable() {
+        // With auto_reschedule off, exhausting attempts must NOT quarantine:
+        // operators drive retries by hand and expect Failed -> Scheduled to
+        // keep working exactly as before.
+        let clock = MockClock::new(1_000_000);
+        let control = ChronosControl::new(
+            MetadataStore::in_memory(),
+            Arc::new(clock.clone()),
+            SchedulerConfig {
+                heartbeat_timeout_millis: 10_000,
+                max_attempts: 1,
+                auto_reschedule: false,
+            },
+        );
+        let system = demo_system(&control);
+        let deployment = control.create_deployment(system.id, "node-a", "1.0").unwrap();
+        let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+        let project = control.create_project("demo", "", owner.id).unwrap();
+        let experiment = control
+            .create_experiment(
+                project.id,
+                system.id,
+                "engines",
+                "",
+                ParamAssignments::new().fix("engine", "wiredtiger").fix("threads", 1),
+            )
+            .unwrap();
+        control.create_evaluation(experiment.id).unwrap();
+        let job = control.claim_next_job(deployment.id, None).unwrap().unwrap();
+        let failed = control.fail_job(job.id, "crashed", None).unwrap();
+        assert_eq!(failed.state, JobState::Failed, "manual mode never quarantines");
         let rescheduled = control.reschedule_job(job.id).unwrap();
         assert_eq!(rescheduled.state, JobState::Scheduled);
         assert!(rescheduled.failure.is_none());
@@ -1581,5 +1668,110 @@ mod tests {
         assert_eq!(jobs2, jobs);
         assert_eq!(decisions2, decisions);
         assert_eq!(survivor2, survivor);
+    }
+
+    /// Like [`run_adaptive_surface`], but the experiment carries a cpu
+    /// budget and the point `x == poison_x` is a runaway: every attempt is
+    /// killed with the typed budget failure, so it quarantines after
+    /// `max_attempts` and must be scored as deterministically missing.
+    /// Returns (decision log, surviving index, quarantined count).
+    fn run_adaptive_surface_with_poison(
+        control: &ChronosControl,
+        seed: u64,
+        poison_x: i64,
+    ) -> (Vec<Value>, u64, usize) {
+        let system = control
+            .register_system(
+                "surface",
+                "",
+                vec![ParamDef::new(
+                    "x",
+                    "",
+                    ParamType::Interval { min: 0, max: 15, step: 1 },
+                    Value::from(0),
+                )
+                .unwrap()],
+                vec![],
+            )
+            .unwrap();
+        let deployment = control.create_deployment(system.id, "node", "1").unwrap();
+        let owner = control.create_user("ada", "pw", Role::Member).unwrap();
+        let project = control.create_project("p", "", owner.id).unwrap();
+        let experiment = control
+            .create_experiment_with_options(
+                project.id,
+                system.id,
+                "adaptive+budget",
+                "",
+                ParamAssignments::new().sweep_all("x"),
+                Strategy::Adaptive(AdaptiveConfig {
+                    seed,
+                    initial: Some(8),
+                    eta: 2,
+                    ..Default::default()
+                }),
+                Some(chronos_api::v1::JobBudget { cpu_millis: Some(250), ..Default::default() }),
+            )
+            .unwrap();
+        let evaluation = control.create_evaluation(experiment.id).unwrap();
+        while let Some(job) = control.claim_next_job(deployment.id, None).unwrap() {
+            assert_eq!(
+                job.budget.and_then(|b| b.cpu_millis),
+                Some(250),
+                "the experiment budget rides every materialized job"
+            );
+            let x = job.parameters.get("x").and_then(Value::as_i64).unwrap();
+            if x == poison_x {
+                control
+                    .fail_job(
+                        job.id,
+                        "budget_exceeded:cpu_millis: measured 900 > budget 250",
+                        Some(job.attempts),
+                    )
+                    .unwrap();
+                continue;
+            }
+            let score = 1000.0 - ((x - 11) * (x - 11)) as f64;
+            control
+                .finish_job(
+                    job.id,
+                    obj! {"throughput_ops_per_sec" => score},
+                    vec![],
+                    Some(job.attempts),
+                    None,
+                )
+                .unwrap();
+        }
+        let status = control.evaluation_status(evaluation.id).unwrap();
+        assert!(status.is_settled(), "quarantined jobs settle the evaluation");
+        let evaluation = control.get_evaluation(evaluation.id).unwrap();
+        let frontier = evaluation.source.unwrap().frontier.unwrap();
+        assert_eq!(frontier.candidates.len(), 1, "exactly one survivor");
+        (frontier.decisions.clone(), frontier.candidates[0], status.quarantined)
+    }
+
+    #[test]
+    fn quarantined_jobs_score_as_missing_and_replay_identically() {
+        // Find the clean winner first, then poison exactly that point: its
+        // budget kills quarantine it, the scorer ranks the missing result
+        // last, and a different candidate must win.
+        let (control, _clock) = control_with_clock();
+        let (_, _, clean_survivor) = run_adaptive_surface(&control, 7);
+
+        let (control_a, _clock_a) = control_with_clock();
+        let (decisions_a, survivor_a, quarantined_a) =
+            run_adaptive_surface_with_poison(&control_a, 7, clean_survivor as i64);
+        assert_eq!(quarantined_a, 1, "the poisoned point ends quarantined");
+        assert_ne!(survivor_a, clean_survivor, "a quarantined candidate cannot win");
+
+        // Deterministic replay: a fresh control plane given the same seed
+        // and the same poison produces an identical decision log — the
+        // property PR 8's failover replay identity rests on.
+        let (control_b, _clock_b) = control_with_clock();
+        let (decisions_b, survivor_b, quarantined_b) =
+            run_adaptive_surface_with_poison(&control_b, 7, clean_survivor as i64);
+        assert_eq!(decisions_b, decisions_a);
+        assert_eq!(survivor_b, survivor_a);
+        assert_eq!(quarantined_b, quarantined_a);
     }
 }

@@ -15,8 +15,8 @@
 //!      │  ▼                 │    ▼
 //!      │ Aborted ◀──────────┘   Aborted (terminal)
 //!      │                    │ Fail
-//!      │     Reschedule     ▼
-//!      └─────────────────  Failed
+//!      │     Reschedule     ▼           Quarantine
+//!      └─────────────────  Failed ───────────▶ Quarantined (terminal)
 //! ```
 
 use chronos_api::JobState;
@@ -35,6 +35,9 @@ pub enum JobEvent {
     Abort,
     /// A failed job goes back into the queue (manual or automatic retry).
     Reschedule,
+    /// A job that exhausted `max_attempts` is removed from scheduling for
+    /// good — poison-job containment, not a retryable failure.
+    Quarantine,
 }
 
 impl JobEvent {
@@ -46,12 +49,19 @@ impl JobEvent {
             JobEvent::Fail => JobState::Failed,
             JobEvent::Abort => JobState::Aborted,
             JobEvent::Reschedule => JobState::Scheduled,
+            JobEvent::Quarantine => JobState::Quarantined,
         }
     }
 
     /// Every lifecycle event.
-    pub const ALL: [JobEvent; 5] =
-        [JobEvent::Claim, JobEvent::Finish, JobEvent::Fail, JobEvent::Abort, JobEvent::Reschedule];
+    pub const ALL: [JobEvent; 6] = [
+        JobEvent::Claim,
+        JobEvent::Finish,
+        JobEvent::Fail,
+        JobEvent::Abort,
+        JobEvent::Reschedule,
+        JobEvent::Quarantine,
+    ];
 }
 
 /// A lifecycle violation: `event` fired while the job was in `from`.
@@ -90,6 +100,7 @@ pub fn transition(state: JobState, event: JobEvent) -> Result<JobState, InvalidT
             | (Scheduled, Abort)
             | (Running, Abort)
             | (Failed, Reschedule)
+            | (Failed, Quarantine)
     );
     if legal {
         Ok(event.target())
@@ -119,7 +130,7 @@ impl JobStateExt for JobState {
     }
 
     fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Finished | JobState::Aborted)
+        matches!(self, JobState::Finished | JobState::Aborted | JobState::Quarantined)
     }
 }
 
@@ -135,11 +146,12 @@ mod tests {
         assert_eq!(transition(JobState::Scheduled, JobEvent::Abort), Ok(JobState::Aborted));
         assert_eq!(transition(JobState::Running, JobEvent::Abort), Ok(JobState::Aborted));
         assert_eq!(transition(JobState::Failed, JobEvent::Reschedule), Ok(JobState::Scheduled));
+        assert_eq!(transition(JobState::Failed, JobEvent::Quarantine), Ok(JobState::Quarantined));
     }
 
     #[test]
     fn terminal_states_accept_no_event() {
-        for terminal in [JobState::Finished, JobState::Aborted] {
+        for terminal in [JobState::Finished, JobState::Aborted, JobState::Quarantined] {
             for event in JobEvent::ALL {
                 assert_eq!(
                     transition(terminal, event),
@@ -160,6 +172,7 @@ mod tests {
             (JobState::Running, JobState::Failed),
             (JobState::Running, JobState::Aborted),
             (JobState::Failed, JobState::Scheduled),
+            (JobState::Failed, JobState::Quarantined),
         ];
         for from in JobState::ALL {
             for to in JobState::ALL {

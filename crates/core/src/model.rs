@@ -205,6 +205,9 @@ pub struct Experiment {
     pub created_at: u64,
     /// How evaluations of this experiment explore the parameter space.
     pub strategy: Strategy,
+    /// Per-job resource budget copied onto every materialized job. `None`
+    /// means unbudgeted (the historic behavior).
+    pub budget: Option<dto::JobBudget>,
 }
 
 impl Experiment {
@@ -224,6 +227,7 @@ impl Experiment {
                 Strategy::Grid => None,
                 adaptive => Some(adaptive.dto()),
             },
+            budget: self.budget,
         }
         .to_value()
     }
@@ -236,6 +240,13 @@ impl Experiment {
             Some(v) => Strategy::from_dto(
                 &dto::StrategyDto::decode(v)
                     .map_err(|e| CoreError::Invalid(format!("bad strategy: {e}")))?,
+            ),
+        };
+        let budget = match value.get("budget") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                dto::JobBudget::decode(v)
+                    .map_err(|e| CoreError::Invalid(format!("bad budget: {e}")))?,
             ),
         };
         Ok(Experiment {
@@ -252,6 +263,7 @@ impl Experiment {
             archived: value.get("archived").and_then(Value::as_bool).unwrap_or(false),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
             strategy,
+            budget,
         })
     }
 }
@@ -392,6 +404,9 @@ pub struct Job {
     /// a job whose evaluation update was lost in a crash instead of
     /// duplicating the point.
     pub point_index: Option<u64>,
+    /// Resource budget copied from the experiment at materialization; the
+    /// agent-side watchdog enforces it. `None` means unbudgeted.
+    pub budget: Option<dto::JobBudget>,
 }
 
 impl Job {
@@ -419,6 +434,7 @@ impl Job {
             failure: None,
             created_at: now,
             point_index: None,
+            budget: None,
         }
     }
 
@@ -465,6 +481,7 @@ impl Job {
             failure: self.failure.clone(),
             created_at: self.created_at,
             point_index: self.point_index,
+            budget: self.budget,
         }
     }
 
@@ -518,6 +535,14 @@ impl Job {
             failure: value.get("failure").and_then(Value::as_str).map(str::to_string),
             created_at: value.get("created_at").and_then(Value::as_u64).unwrap_or(0),
             point_index: value.get("point_index").and_then(Value::as_u64),
+            budget: value
+                .get("budget")
+                .map(|v| {
+                    use chronos_api::WireDecode;
+                    dto::JobBudget::decode(v)
+                        .map_err(|e| CoreError::Invalid(format!("bad budget: {e}")))
+                })
+                .transpose()?,
         })
     }
 }
@@ -603,10 +628,13 @@ mod tests {
         assert!(Running.can_transition_to(Aborted));
         assert!(!Running.can_transition_to(Scheduled));
         assert!(Failed.can_transition_to(Scheduled), "failed jobs can be re-scheduled");
+        assert!(Failed.can_transition_to(Quarantined), "poison jobs can be quarantined");
         assert!(!Finished.can_transition_to(Running));
         assert!(!Aborted.can_transition_to(Scheduled));
+        assert!(!Quarantined.can_transition_to(Scheduled), "quarantine is terminal");
         assert!(Finished.is_terminal());
         assert!(Aborted.is_terminal());
+        assert!(Quarantined.is_terminal());
         assert!(!Failed.is_terminal());
     }
 
@@ -633,6 +661,7 @@ mod tests {
         job.heartbeat_at = Some(2500);
         job.claim_key = Some("claim-abc".into());
         job.result_key = Some("upload-xyz".into());
+        job.budget = Some(dto::JobBudget { wall_millis: Some(60_000), ..Default::default() });
         let parsed = Job::from_json(&job.to_json()).unwrap();
         assert_eq!(parsed, job);
     }
@@ -668,10 +697,25 @@ mod tests {
             archived: false,
             created_at: 5,
             strategy: Strategy::Grid,
+            budget: None,
         };
         let encoded = experiment.to_json();
         assert!(encoded.get("strategy").is_none(), "grid is the implicit default");
+        assert!(encoded.get("budget").is_none(), "unbudgeted is the implicit default");
         assert_eq!(Experiment::from_json(&encoded).unwrap(), experiment);
+
+        let budgeted = Experiment {
+            budget: Some(dto::JobBudget {
+                cpu_millis: Some(2_000),
+                max_rss_kib: Some(262_144),
+                ..Default::default()
+            }),
+            ..experiment.clone()
+        };
+        let encoded = budgeted.to_json();
+        assert_eq!(encoded.pointer("/budget/cpu_millis").and_then(Value::as_u64), Some(2_000));
+        assert!(encoded.pointer("/budget/io_bytes").is_none(), "absent dimensions are omitted");
+        assert_eq!(Experiment::from_json(&encoded).unwrap(), budgeted);
         let adaptive = Experiment {
             strategy: Strategy::Adaptive(crate::jobsource::AdaptiveConfig {
                 seed: 9,
@@ -753,6 +797,7 @@ mod tests {
             JobState::Finished,
             JobState::Aborted,
             JobState::Failed,
+            JobState::Quarantined,
         ] {
             assert_eq!(JobState::parse(s.as_str()), Some(s));
         }

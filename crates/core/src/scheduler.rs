@@ -64,6 +64,8 @@ pub struct EvaluationStatus {
     pub aborted: usize,
     /// Jobs in the failed state.
     pub failed: usize,
+    /// Jobs quarantined after exhausting `max_attempts`.
+    pub quarantined: usize,
     /// Not-yet-materialized points of a lazy evaluation's plan. `None` for
     /// fully-materialized (pre-refactor) evaluations.
     pub remaining: Option<usize>,
@@ -77,6 +79,7 @@ impl EvaluationStatus {
             + self.finished
             + self.aborted
             + self.failed
+            + self.quarantined
             + self.remaining.unwrap_or(0)
     }
 
@@ -92,7 +95,7 @@ impl EvaluationStatus {
         if total == 0 {
             return 100;
         }
-        ((self.finished + self.aborted + self.failed) * 100 / total) as u8
+        ((self.finished + self.aborted + self.failed + self.quarantined) * 100 / total) as u8
     }
 
     /// The wire DTO with the derived roll-up fields filled in.
@@ -103,6 +106,7 @@ impl EvaluationStatus {
             finished: self.finished,
             aborted: self.aborted,
             failed: self.failed,
+            quarantined: self.quarantined,
             total: self.total(),
             settled: self.is_settled(),
             progress_percent: self.progress_percent(),
@@ -148,7 +152,7 @@ mod tests {
             finished: 3,
             aborted: 0,
             failed: 1,
-            remaining: None,
+            ..Default::default()
         };
         assert_eq!(status.total(), 7);
         assert!(!status.is_settled());
@@ -157,6 +161,20 @@ mod tests {
         assert!(done.is_settled());
         assert_eq!(done.progress_percent(), 100);
         assert_eq!(EvaluationStatus::default().progress_percent(), 100);
+    }
+
+    #[test]
+    fn quarantined_jobs_are_settled_work() {
+        // A quarantined job is terminal: it counts toward the total, counts
+        // as completed work in the percentage, and never keeps the
+        // evaluation unsettled waiting for a retry that will not come.
+        let status = EvaluationStatus { finished: 3, quarantined: 1, ..Default::default() };
+        assert_eq!(status.total(), 4);
+        assert!(status.is_settled());
+        assert_eq!(status.progress_percent(), 100);
+        let dto = status.dto();
+        assert_eq!(dto.quarantined, 1);
+        assert!(dto.settled);
     }
 
     #[test]

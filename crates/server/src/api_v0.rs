@@ -62,7 +62,9 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 // v0 predates lazy evaluations: unmaterialized points are
                 // still open work, so they fold into `open`.
                 open: status.scheduled + status.running + status.remaining.unwrap_or(0),
-                closed: status.finished + status.aborted + status.failed,
+                // v0 also predates quarantine: a quarantined job is settled
+                // work, so it folds into `closed` like any other failure.
+                closed: status.finished + status.aborted + status.failed + status.quarantined,
                 percent: status.progress_percent(),
             };
             Ok(Response::json(&body.to_value()))

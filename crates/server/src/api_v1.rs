@@ -287,13 +287,14 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 .as_ref()
                 .map(chronos_core::Strategy::from_dto)
                 .unwrap_or(chronos_core::Strategy::Grid);
-            let experiment = control_.create_experiment_with_strategy(
+            let experiment = control_.create_experiment_with_options(
                 project_id,
                 create.system_id,
                 &create.name,
                 &create.description,
                 assignments,
                 strategy,
+                create.budget,
             )?;
             Ok(Response::json_status(Status::CREATED, &experiment.to_json()))
         })())
@@ -701,6 +702,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 finished: 0,
                 aborted: 0,
                 failed: 0,
+                quarantined: 0,
                 remaining_space: 0,
                 systems: control_.list_systems().len(),
                 projects: control_.list_projects().len(),
@@ -712,6 +714,7 @@ pub fn mount(router: &mut Router, control: Arc<ChronosControl>, metrics: Arc<Ser
                 stats.finished += status.finished;
                 stats.aborted += status.aborted;
                 stats.failed += status.failed;
+                stats.quarantined += status.quarantined;
                 stats.remaining_space += status.remaining.unwrap_or(0) as u64;
             }
             Ok(Response::json(&stats.to_value()))

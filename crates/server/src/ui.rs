@@ -46,7 +46,7 @@ fn page(title: &str, body: &str) -> Response {
          .state {{ padding: .1rem .5rem; border-radius: .6rem; font-size: .8rem; color: white; }}\n\
          .state.scheduled {{ background: #888; }} .state.running {{ background: #4e79a7; }}\n\
          .state.finished {{ background: #59a14f; }} .state.aborted {{ background: #b07aa1; }}\n\
-         .state.failed {{ background: #e15759; }}\n\
+         .state.failed {{ background: #e15759; }} .state.quarantined {{ background: #6b4226; }}\n\
          .progress {{ background: #eee; border-radius: .3rem; width: 12rem; height: 1rem; }}\n\
          .progress > div {{ background: #4e79a7; height: 100%; border-radius: .3rem; }}\n\
          pre {{ background: #f8f8f8; border: 1px solid #ddd; padding: .8rem; overflow-x: auto; }}\n\
@@ -296,7 +296,7 @@ pub fn mount(
             let token = token_of(req);
             let mut body = format!(
                 "<h1>Evaluation of {}</h1>\
-                 <p>{} jobs — {} scheduled, {} running, {} finished, {} aborted, {} failed{remaining}</p>\
+                 <p>{} jobs — {} scheduled, {} running, {} finished, {} aborted, {} failed{quarantined}{remaining}</p>\
                  <div class=\"progress\"><div style=\"width:{pct}%\"></div></div><p>{pct}% settled</p>",
                 esc(&experiment.name),
                 status.total(),
@@ -305,6 +305,10 @@ pub fn mount(
                 status.finished,
                 status.aborted,
                 status.failed,
+                quarantined = match status.quarantined {
+                    0 => String::new(),
+                    q => format!(", {q} quarantined"),
+                },
                 remaining = match status.remaining {
                     Some(r) if r > 0 => format!(", {r} points not yet materialized"),
                     _ => String::new(),

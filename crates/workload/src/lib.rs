@@ -20,6 +20,7 @@
 //! evaluations repeatable across re-runs of the same experiment.
 
 pub mod generators;
+pub mod runaway;
 pub mod runner;
 pub mod spec;
 pub mod surface;
@@ -30,6 +31,7 @@ pub use generators::{
     ExponentialGenerator, Generator, HotspotGenerator, LatestGenerator, ScrambledZipfian,
     SequentialGenerator, UniformGenerator, ZipfianGenerator,
 };
+pub use runaway::{RunawayKind, RunawayScenario};
 pub use runner::{Operation, WorkloadRunner};
 pub use spec::{CoreWorkload, Distribution, OpMix, WorkloadSpec};
 pub use surface::ResponseSurface;

@@ -1,0 +1,137 @@
+//! Deliberately misbehaving workloads for budget-enforcement testing.
+//!
+//! A budget watchdog is only trustworthy if it is exercised against real
+//! resource abuse, not just mocked counters. This module provides small,
+//! *bounded* runaway scenarios: each burns one resource dimension (cpu or
+//! memory) until either a cancellation callback tells it to stop or a hard
+//! safety cap is reached, so a watchdog that fails to fire cannot take the
+//! test host down with it.
+
+/// Which resource a [`RunawayScenario`] abuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunawayKind {
+    /// A spin-loop burning user cpu as fast as one core allows.
+    SpinCpu,
+    /// An allocation loop growing the resident set in 1-MiB steps.
+    AllocBomb,
+}
+
+impl RunawayKind {
+    /// Parses the scenario name used in experiment parameters.
+    pub fn parse(name: &str) -> Option<RunawayKind> {
+        match name {
+            "spin_cpu" => Some(RunawayKind::SpinCpu),
+            "alloc_bomb" => Some(RunawayKind::AllocBomb),
+            _ => None,
+        }
+    }
+
+    /// The parameter-value name of this scenario.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunawayKind::SpinCpu => "spin_cpu",
+            RunawayKind::AllocBomb => "alloc_bomb",
+        }
+    }
+}
+
+/// A bounded resource-abuse loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RunawayScenario {
+    /// The dimension to abuse.
+    pub kind: RunawayKind,
+    /// Hard safety cap in milliseconds: the scenario stops on its own after
+    /// this long even if never cancelled (a watchdog test that hangs would
+    /// otherwise spin forever).
+    pub cap_millis: u64,
+    /// For [`RunawayKind::AllocBomb`]: stop after this many MiB even if
+    /// never cancelled, so an unenforced run cannot OOM the host.
+    pub cap_alloc_mib: usize,
+}
+
+impl RunawayScenario {
+    /// A scenario with safe default caps (10 s wall, 256 MiB).
+    pub fn new(kind: RunawayKind) -> RunawayScenario {
+        RunawayScenario { kind, cap_millis: 10_000, cap_alloc_mib: 256 }
+    }
+
+    /// Runs the abuse loop until `cancelled` returns true or a safety cap
+    /// is hit. Returns how many iterations (spin rounds or MiB allocated)
+    /// completed — primarily so the compiler cannot optimise the work away.
+    pub fn run(&self, cancelled: &dyn Fn() -> bool) -> u64 {
+        let start = std::time::Instant::now();
+        let deadline = std::time::Duration::from_millis(self.cap_millis);
+        match self.kind {
+            RunawayKind::SpinCpu => {
+                let mut acc = 0x9e3779b97f4a7c15u64;
+                let mut rounds = 0u64;
+                while !cancelled() && start.elapsed() < deadline {
+                    // ~1M mixing steps per cancellation check: frequent
+                    // enough to stop within milliseconds, long enough that
+                    // the loop is genuinely cpu-bound.
+                    for i in 0..1_000_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i).rotate_left(17);
+                    }
+                    rounds += 1;
+                }
+                // Keep `acc` observable so the loop cannot be elided.
+                std::hint::black_box(acc);
+                rounds
+            }
+            RunawayKind::AllocBomb => {
+                let mut hoard: Vec<Vec<u8>> = Vec::new();
+                while !cancelled() && start.elapsed() < deadline && hoard.len() < self.cap_alloc_mib
+                {
+                    // Touch every page so the allocation lands in the
+                    // resident set instead of staying virtual.
+                    let mut block = vec![0u8; 1 << 20];
+                    for page in block.chunks_mut(4096) {
+                        page[0] = hoard.len() as u8;
+                    }
+                    hoard.push(block);
+                }
+                let grown = hoard.len() as u64;
+                std::hint::black_box(&hoard);
+                grown
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [RunawayKind::SpinCpu, RunawayKind::AllocBomb] {
+            assert_eq!(RunawayKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(RunawayKind::parse("well_behaved"), None);
+    }
+
+    #[test]
+    fn spin_cpu_stops_on_cancellation() {
+        let scenario = RunawayScenario::new(RunawayKind::SpinCpu);
+        let rounds = scenario.run(&|| true); // cancelled from the start
+        assert_eq!(rounds, 0, "a pre-cancelled scenario does no work");
+    }
+
+    #[test]
+    fn alloc_bomb_respects_the_allocation_cap() {
+        let scenario =
+            RunawayScenario { kind: RunawayKind::AllocBomb, cap_millis: 10_000, cap_alloc_mib: 3 };
+        let grown = scenario.run(&|| false);
+        assert_eq!(grown, 3, "the safety cap bounds an unenforced run");
+    }
+
+    #[test]
+    fn spin_cpu_burns_cpu_until_the_wall_cap() {
+        let scenario =
+            RunawayScenario { kind: RunawayKind::SpinCpu, cap_millis: 50, cap_alloc_mib: 0 };
+        let start = std::time::Instant::now();
+        let rounds = scenario.run(&|| false);
+        assert!(rounds > 0, "an uncancelled spin does real work");
+        assert!(start.elapsed().as_millis() >= 50, "runs until the cap");
+    }
+}

@@ -4,8 +4,9 @@
 # Usage: scripts/check.sh [--bench] [--chaos] [--cluster]
 #   --bench    also regenerate BENCH_control_plane.json / BENCH_data_plane.json /
 #              BENCH_overload.json / BENCH_http_scale.json / BENCH_analytics.json /
-#              BENCH_cluster.json / BENCH_adaptive.json at full scale via the
-#              E8, E9, E11, E12, E13, E14 and E15 experiments
+#              BENCH_cluster.json / BENCH_adaptive.json / BENCH_isolation.json at
+#              full scale via the E8, E9, E11, E12, E13, E14, E15 and E16
+#              experiments
 #   --chaos    also run the fault-injection suites (torture + chaos) with
 #              --features failpoints under a fixed seed, and verify that the
 #              default release build carries zero failpoint overhead
@@ -27,9 +28,10 @@ echo "== clippy: wire-contract crate (deny warnings) =="
 # strictest bar even if the workspace-wide lint set ever loosens.
 cargo clippy -p chronos-api --all-targets --offline -- -D warnings
 
-echo "== clippy: overload-protection crates (deny warnings) =="
-# The admission/drain/retry path cuts across these crates; keep them
-# individually warning-clean like the contract crate.
+echo "== clippy: overload-protection + budget-enforcement crates (deny warnings) =="
+# The admission/drain/retry path cuts across these crates, and the agent
+# additionally carries the budget watchdog / cgroup containment modules;
+# keep them individually warning-clean like the contract crate.
 cargo clippy -p chronos-http -p chronos-agent -p chronos-server --all-targets --offline -- -D warnings
 
 echo "== clippy: result-analytics crate (deny warnings) =="
@@ -56,21 +58,24 @@ if ! cargo test -q --offline --test wire_compat; then
     exit 1
 fi
 
-echo "== chronos-bench smoke (E8 E9 E11 E12 E13 E15, quick sizes) =="
+echo "== chronos-bench smoke (E8 E9 E11 E12 E13 E15 E16, quick sizes) =="
 # Runs in a temp directory so the quick-size numbers don't clobber the
 # committed full-scale BENCH_*.json files. E15 also asserts the adaptive
 # invariants (budget <= 30% of the grid, deterministic replay, survivor
-# == sampled argmax), so the smoke doubles as a scheduling gate.
+# == sampled argmax), and E16 asserts the budget-watchdog invariants
+# (<=2% overhead on compliant work, typed kills on runaway work), so the
+# smoke doubles as a scheduling + isolation gate.
 cargo build --release -p chronos-bench --offline
 bench_bin="$PWD/target/release/chronos-bench"
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 E13 E15 --quick --json)
+(cd "$smoke_dir" && "$bench_bin" E8 E9 E11 E12 E13 E15 E16 --quick --json)
 test -s "$smoke_dir/BENCH_control_plane.json"
 test -s "$smoke_dir/BENCH_data_plane.json"
 test -s "$smoke_dir/BENCH_overload.json"
 test -s "$smoke_dir/BENCH_http_scale.json"
 test -s "$smoke_dir/BENCH_analytics.json"
 test -s "$smoke_dir/BENCH_adaptive.json"
+test -s "$smoke_dir/BENCH_isolation.json"
 rm -rf "$smoke_dir"
 
 echo "== overload protection gate (tests/overload.rs, both network cores) =="
@@ -81,11 +86,19 @@ echo "== overload protection gate (tests/overload.rs, both network cores) =="
 CHRONOS_HTTP_CORE=reactor cargo test -q --offline --test overload
 CHRONOS_HTTP_CORE=threaded cargo test -q --offline --test overload
 
+echo "== budget + quarantine gate (tests/quarantine.rs) =="
+# Per-job resource budgets end to end: the watchdog kills a runaway with a
+# typed budget_exceeded failure, max_attempts breaches land in Quarantined
+# (never rescheduled, never re-claimed), compliant siblings finish exactly
+# once, and unbudgeted experiments never arm the watchdog. Pinned
+# explicitly like the overload gate — this is the containment contract.
+cargo test -q --offline --test quarantine
+
 for arg in "$@"; do
     case "$arg" in
     --bench)
-        echo "== full-scale E8 + E9 + E11 + E12 + E13 + E14 + E15 -> BENCH_*.json =="
-        ./target/release/chronos-bench E8 E9 E11 E12 E13 E14 E15 --json
+        echo "== full-scale E8 + E9 + E11 + E12 + E13 + E14 + E15 + E16 -> BENCH_*.json =="
+        ./target/release/chronos-bench E8 E9 E11 E12 E13 E14 E15 E16 --json
         ;;
     --chaos)
         echo "== fault injection: torture + chaos (--features failpoints) =="

@@ -44,6 +44,15 @@ fn replay() -> String {
     format!("(replay with CHRONOS_FAIL_SEED={})", fail::seed())
 }
 
+/// How many jobs an evaluation will run in total. Lazy evaluations create
+/// job documents on the claim path, so at creation time the count lives in
+/// `total_points`, not in the (still empty) `job_ids` list.
+fn expected_jobs(evaluation: &Value) -> usize {
+    evaluation.get("total_points").and_then(Value::as_i64).map(|n| n as usize).unwrap_or_else(
+        || evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap(),
+    )
+}
+
 /// An agent driver that keeps going through injected failures: a failed
 /// claim or a failed run is exactly what the storm is supposed to produce;
 /// the scheduler's reschedule + fencing machinery has to absorb it. Runs
@@ -95,8 +104,7 @@ fn chaos_storm_every_job_finishes_exactly_once() {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    let job_count =
-        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap() as usize;
+    let job_count = expected_jobs(&evaluation);
     assert_eq!(job_count, 4);
 
     // The storm: every boundary of the claim → run → upload protocol
@@ -107,6 +115,10 @@ fn chaos_storm_every_job_finishes_exactly_once() {
     fail::arm("agent.heartbeat", Policy::ErrorProb(0.15));
     fail::arm("agent.upload", Policy::ErrorProb(0.15));
     fail::arm("http.server.drop_response", Policy::ErrorProb(0.05));
+    // Synthetic budget breaches ride along: each one costs an attempt and
+    // re-runs the job, and with max_attempts=12 the storm still must end
+    // with every job *finished* — breaches only delay, never lose work.
+    fail::arm("agent.budget.breach", Policy::ErrorProb(0.10));
     // The reactor core (the default transport under this storm) takes its
     // own faults: accepts that die before admission, sockets that fail
     // mid-read or mid-write (including after the server committed), and
@@ -139,7 +151,8 @@ fn chaos_storm_every_job_finishes_exactly_once() {
     let evaluation = Id::parse_base32(&evaluation_id).unwrap();
     while Instant::now() < deadline {
         let jobs = control.list_jobs(evaluation).unwrap();
-        if jobs.iter().all(|j| j.state == JobState::Finished)
+        if jobs.len() == job_count
+            && jobs.iter().all(|j| j.state == JobState::Finished)
             && control.count_results() == job_count
         {
             break;
@@ -178,6 +191,122 @@ fn chaos_storm_every_job_finishes_exactly_once() {
     // upload response was eaten still finishes server-side, so this can
     // undercount — it must never overcount past one success per attempt.
     assert!(completed >= 1, "no agent ever completed a job {}", replay());
+}
+
+/// A breach storm against a *tight* attempt limit: jobs whose seeded
+/// budget breaches exhaust `max_attempts` must land in quarantine, the
+/// rest must finish exactly once, and the two sets together must account
+/// for every job — no limbo states, no resurrections, no lost results.
+#[test]
+fn chaos_breach_storm_quarantines_poison_jobs_and_finishes_the_rest() {
+    let _guard = serial();
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 2,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    // 2 engines × 3 thread counts — 6 jobs, enough for the seeded draws to
+    // produce both quarantines and clean finishes.
+    let (_project_id, experiment_id) = env.create_demo_experiment(
+        &system_id,
+        obj! {
+            "engine" => obj! {"sweep" => "all"},
+            "threads" => obj! {"sweep" => arr![1, 2, 3]},
+            "record_count" => 40,
+            "operation_count" => 80,
+        },
+    );
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job_count = expected_jobs(&evaluation);
+    assert_eq!(job_count, 6);
+
+    // Only the breach site is armed: attempt accounting must be driven by
+    // budget kills alone, so `attempts` on a quarantined job is exactly
+    // the number of breaches it took.
+    fail::arm("agent.budget.breach", Policy::ErrorProb(0.70));
+
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let deployment = Id::parse_base32(&deployment_id).unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    let agent = {
+        let base_url = env.server.base_url();
+        let token = env.admin_token.clone();
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name("breach-agent".into())
+            .spawn(move || storm_agent(&base_url, &token, deployment, &done, deadline))
+            .unwrap()
+    };
+
+    let control = env.server.control();
+    let evaluation = Id::parse_base32(&evaluation_id).unwrap();
+    while Instant::now() < deadline {
+        let jobs = control.list_jobs(evaluation).unwrap();
+        if jobs.len() == job_count
+            && jobs.iter().all(|j| matches!(j.state, JobState::Finished | JobState::Quarantined))
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    done.store(true, Ordering::SeqCst);
+    let _ = agent.join().unwrap();
+    fail::reset();
+
+    let jobs = control.list_jobs(evaluation).unwrap();
+    assert_eq!(jobs.len(), job_count, "jobs vanished {}", replay());
+    let finished = jobs.iter().filter(|j| j.state == JobState::Finished).count();
+    let quarantined = jobs.iter().filter(|j| j.state == JobState::Quarantined).count();
+    assert_eq!(
+        finished + quarantined,
+        job_count,
+        "every job must settle as finished or quarantined {}",
+        replay()
+    );
+    for job in &jobs {
+        match job.state {
+            JobState::Finished => {
+                assert!(job.result_id.is_some(), "finished {} has no result {}", job.id, replay())
+            }
+            JobState::Quarantined => {
+                assert_eq!(job.attempts, 2, "quarantine fires at max_attempts {}", replay());
+                assert!(
+                    job.result_id.is_none(),
+                    "quarantined {} has a result {}",
+                    job.id,
+                    replay()
+                );
+                let failure = job.failure.clone().unwrap_or_default();
+                assert!(
+                    failure.starts_with("budget_exceeded:"),
+                    "quarantine cause is the typed breach: {failure} {}",
+                    replay()
+                );
+                // Terminal means terminal: no manual resurrection...
+                assert!(
+                    control.reschedule_job(job.id).is_err(),
+                    "quarantined job {} was rescheduled {}",
+                    job.id,
+                    replay()
+                );
+            }
+            other => panic!("job {} in limbo state {:?} {}", job.id, other, replay()),
+        }
+    }
+    // ...and no agent-side resurrection: the queue is permanently empty.
+    let probe = ControlClient::new(&env.server.base_url(), &env.admin_token);
+    assert!(probe.claim(deployment).unwrap().is_none(), "quarantined job resurfaced {}", replay());
+    // Exactly-once on the success side: stored results == finished jobs.
+    assert_eq!(control.count_results(), finished, "duplicate or lost uploads {}", replay());
+    // Under the default seed the draws produce both outcomes; a custom
+    // replay seed may legitimately produce all-finished or all-quarantined.
+    if chaos_seed() == 0xBADCAB {
+        assert!(quarantined >= 1, "default seed produced no quarantine");
+        assert!(finished >= 1, "default seed finished nothing");
+    }
 }
 
 #[test]
@@ -358,8 +487,7 @@ fn overload_storm_every_accepted_job_finishes_and_drain_is_clean() {
     let evaluation =
         env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
     let evaluation_id = evaluation.get("id").and_then(Value::as_str).unwrap().to_string();
-    let job_count =
-        evaluation.get("job_ids").and_then(Value::as_array).map(Vec::len).unwrap() as usize;
+    let job_count = expected_jobs(&evaluation);
     assert_eq!(job_count, 2);
 
     fail::arm("agent.heartbeat", Policy::ErrorProb(0.10));
@@ -405,7 +533,8 @@ fn overload_storm_every_accepted_job_finishes_and_drain_is_clean() {
     let evaluation = Id::parse_base32(&evaluation_id).unwrap();
     while Instant::now() < deadline {
         let jobs = control.list_jobs(evaluation).unwrap();
-        if jobs.iter().all(|j| j.state == JobState::Finished)
+        if jobs.len() == job_count
+            && jobs.iter().all(|j| j.state == JobState::Finished)
             && control.count_results() == job_count
         {
             break;

@@ -48,8 +48,9 @@ fn abort_scheduled_job_via_api() {
 }
 
 #[test]
-fn agent_failure_reports_and_reschedules() {
-    // max_attempts=2: first failure auto-reschedules, second sticks.
+fn agent_failure_reports_reschedules_then_quarantines() {
+    // max_attempts=2 under auto-reschedule: first failure auto-reschedules,
+    // second exhausts the attempt budget and quarantines the job.
     let env = TestEnv::start_with_config(SchedulerConfig {
         heartbeat_timeout_millis: 30_000,
         max_attempts: 2,
@@ -79,20 +80,22 @@ fn agent_failure_reports_and_reschedules() {
     assert_eq!(failed.get("state").and_then(Value::as_str), Some("scheduled"));
     assert_eq!(failed.get("attempts").and_then(Value::as_i64), Some(1));
 
-    // Attempt 2 fails -> stays failed.
+    // Attempt 2 fails -> the attempt budget is spent; the job is poison
+    // and lands in the terminal quarantine instead of thrashing forever.
     env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
     let failed =
         env.post(&format!("/api/v1/agent/jobs/{job_id}/fail"), &obj! {"reason" => "crashed again"});
-    assert_eq!(failed.get("state").and_then(Value::as_str), Some("failed"));
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("quarantined"));
     assert_eq!(failed.get("failure").and_then(Value::as_str), Some("crashed again"));
 
-    // Manual reschedule via the UI endpoint (Fig. 3c) and a healthy run.
-    let rescheduled = env.post(&format!("/api/v1/jobs/{job_id}/reschedule"), &obj! {});
-    assert_eq!(rescheduled.get("state").and_then(Value::as_str), Some("scheduled"));
-    assert_eq!(env.run_agent(&deployment_id), 1);
-    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
-    assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"));
+    // Quarantine is terminal: the UI reschedule endpoint (Fig. 3c)
+    // refuses, and an agent finds nothing to claim.
+    let refused =
+        env.http.post_json(&format!("/api/v1/jobs/{job_id}/reschedule"), &obj! {}).unwrap();
+    assert_eq!(refused.status.0, 409);
+    assert_eq!(env.run_agent(&deployment_id), 0);
     // The timeline tells the whole story.
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
     let kinds: Vec<String> = job
         .get("timeline")
         .and_then(Value::as_array)
@@ -101,7 +104,49 @@ fn agent_failure_reports_and_reschedules() {
         .filter_map(|e| e.get("kind").and_then(Value::as_str).map(str::to_string))
         .collect();
     assert_eq!(kinds.iter().filter(|k| *k == "failed").count(), 2);
+    assert!(kinds.contains(&"quarantined".to_string()));
+}
+
+#[test]
+fn manual_mode_failure_sticks_and_reschedules() {
+    // auto_reschedule=false: a failure sticks as `failed` (reschedulable,
+    // never quarantined) until an operator intervenes via Fig. 3c.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 2,
+        auto_reschedule: false,
+    });
+    let (system_id, deployment_id) = env.register_demo_system();
+    let (_project, experiment_id) = env
+        .create_demo_experiment(&system_id, obj! {"record_count" => 20, "operation_count" => 10});
+    env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+
+    let claimed =
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
+    let failed = env.post(
+        &format!("/api/v1/agent/jobs/{job_id}/fail"),
+        &obj! {"reason" => "benchmark binary crashed"},
+    );
+    assert_eq!(failed.get("state").and_then(Value::as_str), Some("failed"));
+    assert_eq!(failed.get("failure").and_then(Value::as_str), Some("benchmark binary crashed"));
+
+    // Manual reschedule via the UI endpoint and a healthy run.
+    let rescheduled = env.post(&format!("/api/v1/jobs/{job_id}/reschedule"), &obj! {});
+    assert_eq!(rescheduled.get("state").and_then(Value::as_str), Some("scheduled"));
+    assert_eq!(env.run_agent(&deployment_id), 1);
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("finished"));
+    let kinds: Vec<String> = job
+        .get("timeline")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str).map(str::to_string))
+        .collect();
+    assert_eq!(kinds.iter().filter(|k| *k == "failed").count(), 1);
     assert!(kinds.contains(&"finished".to_string()));
+    assert!(!kinds.contains(&"quarantined".to_string()));
 }
 
 #[test]

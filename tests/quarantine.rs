@@ -1,0 +1,252 @@
+//! Budget enforcement end to end: a runaway job is killed by the agent's
+//! budget watchdog with a typed `budget_exceeded` failure, retried up to
+//! `max_attempts`, and finally quarantined — while compliant jobs in the
+//! same queue finish exactly once.
+
+mod common;
+
+use std::time::Duration;
+
+use chronos::agent::{
+    AgentConfig, ChronosAgent, ControlClient, EvaluationClient, JobContext, BUDGET_EXCEEDED_PREFIX,
+};
+use chronos::core::scheduler::SchedulerConfig;
+use chronos::json::{arr, obj, Value};
+use chronos::workload::{RunawayKind, RunawayScenario};
+use common::TestEnv;
+
+/// A harness client: `scenario=well_behaved` returns a quick result,
+/// `spin_cpu` / `alloc_bomb` abuse that resource until cancelled (the
+/// bounded [`RunawayScenario`] loops poll the context, as any well-
+/// integrated evaluation client does).
+struct RunawayClient;
+
+impl EvaluationClient for RunawayClient {
+    fn name(&self) -> &str {
+        "runaway-harness"
+    }
+
+    fn set_up(&mut self, _ctx: &JobContext) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn execute(&mut self, ctx: &JobContext) -> Result<Value, String> {
+        let scenario = ctx.param_str("scenario").unwrap_or_default();
+        match RunawayKind::parse(&scenario) {
+            Some(kind) => {
+                RunawayScenario::new(kind).run(&|| ctx.is_cancelled());
+                // Only reached when cancelled (or the safety cap saved the
+                // host): the watchdog's breach report supersedes this.
+                Err(format!("runaway scenario stopped: {}", ctx.cancel_reason()))
+            }
+            None => Ok(obj! {"throughput_ops_per_sec" => 1234}),
+        }
+    }
+}
+
+/// The harness system: one parameter selecting the behavior.
+fn register_runaway_system(env: &TestEnv) -> (String, String) {
+    let system = env.post(
+        "/api/v1/systems",
+        &obj! {
+            "name" => "runaway-harness",
+            "description" => "budget enforcement test harness",
+            "parameters" => arr![
+                obj! {
+                    "name" => "scenario",
+                    "description" => "how the job behaves",
+                    "type" => "checkbox",
+                    "options" => arr!["well_behaved", "spin_cpu", "alloc_bomb"],
+                    "default" => "well_behaved",
+                },
+            ],
+            "charts" => arr![],
+        },
+    );
+    let system_id = system.get("id").and_then(Value::as_str).unwrap().to_string();
+    let deployment = env.post(
+        &format!("/api/v1/systems/{system_id}/deployments"),
+        &obj! {"environment" => "test-node", "version" => "0.1.0"},
+    );
+    let deployment_id = deployment.get("id").and_then(Value::as_str).unwrap().to_string();
+    (system_id, deployment_id)
+}
+
+/// Creates a budgeted experiment over the given scenario sweep; returns the
+/// evaluation id.
+fn budgeted_evaluation(env: &TestEnv, system_id: &str, scenarios: Value, budget: Value) -> String {
+    let project = env
+        .post("/api/v1/projects", &obj! {"name" => "containment", "description" => "budget tests"});
+    let project_id = project.get("id").and_then(Value::as_str).unwrap().to_string();
+    let experiment = env.post(
+        &format!("/api/v1/projects/{project_id}/experiments"),
+        &obj! {
+            "name" => "budgeted run",
+            "system_id" => system_id,
+            "parameters" => obj! {"scenario" => obj! {"sweep" => scenarios}},
+            "budget" => budget,
+        },
+    );
+    let experiment_id = experiment.get("id").and_then(Value::as_str).unwrap().to_string();
+    let evaluation =
+        env.post(&format!("/api/v1/experiments/{experiment_id}/evaluations"), &obj! {});
+    evaluation.get("id").and_then(Value::as_str).unwrap().to_string()
+}
+
+fn run_harness_agent(env: &TestEnv, deployment_id: &str) -> u64 {
+    let client = ControlClient::new(&env.server.base_url(), &env.admin_token);
+    let deployment = chronos::util::Id::parse_base32(deployment_id).unwrap();
+    let mut config = AgentConfig::new(deployment);
+    config.heartbeat_interval = Duration::from_millis(100);
+    config.poll_interval = Duration::from_millis(50);
+    config.budget_poll_interval = Duration::from_millis(10);
+    let mut agent = ChronosAgent::new(client, config, RunawayClient);
+    agent.run_until_idle(Duration::from_millis(400)).unwrap()
+}
+
+#[test]
+fn runaway_cpu_job_is_killed_and_quarantined_while_others_finish() {
+    // max_attempts=2: the runaway breaches twice, then is quarantined.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 2,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = register_runaway_system(&env);
+    let evaluation_id = budgeted_evaluation(
+        &env,
+        &system_id,
+        arr!["well_behaved", "spin_cpu"],
+        // Generous wall ceiling; the spin loop trips the cpu budget long
+        // before the runaway scenario's own 10 s safety cap.
+        obj! {"cpu_millis" => 250, "wall_millis" => 5_000},
+    );
+
+    run_harness_agent(&env, &deployment_id);
+
+    // Roll-up: one finished, one quarantined, nothing left open.
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let status = evaluation.get("status").unwrap();
+    assert_eq!(status.get("finished").and_then(Value::as_i64), Some(1), "{status}");
+    assert_eq!(status.get("quarantined").and_then(Value::as_i64), Some(1), "{status}");
+    assert_eq!(status.get("scheduled").and_then(Value::as_i64), Some(0), "{status}");
+    assert_eq!(status.get("running").and_then(Value::as_i64), Some(0), "{status}");
+    assert_eq!(status.get("progress_percent").and_then(Value::as_i64), Some(100), "{status}");
+
+    // The quarantined job carries the typed failure naming the dimension.
+    let jobs = env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs"));
+    let jobs = jobs.as_array().unwrap();
+    assert_eq!(jobs.len(), 2, "results + quarantined account for every job");
+    let quarantined = jobs
+        .iter()
+        .find(|j| j.get("state").and_then(Value::as_str) == Some("quarantined"))
+        .expect("one job must be quarantined");
+    let job_id = quarantined.get("id").and_then(Value::as_str).unwrap();
+    let job = env.get(&format!("/api/v1/jobs/{job_id}"));
+    let failure = job.get("failure").and_then(Value::as_str).unwrap_or_default();
+    assert!(
+        failure.starts_with(BUDGET_EXCEEDED_PREFIX) && failure.contains("cpu_millis"),
+        "typed failure names the violated dimension: {failure}"
+    );
+    assert_eq!(job.get("attempts").and_then(Value::as_i64), Some(2), "{job}");
+    let kinds: Vec<&str> = job
+        .get("timeline")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str))
+        .collect();
+    assert_eq!(kinds.iter().filter(|k| **k == "failed").count(), 2, "{kinds:?}");
+    assert!(kinds.contains(&"quarantined"), "{kinds:?}");
+
+    // Quarantine is terminal: no manual resurrection, no re-claim.
+    let reschedule = env.post_raw(&format!("/api/v1/jobs/{job_id}/reschedule"), &obj! {});
+    assert_eq!(reschedule.status.0, 409, "quarantined jobs cannot be rescheduled");
+    assert_eq!(run_harness_agent(&env, &deployment_id), 0, "nothing left to claim");
+
+    // The well-behaved job finished exactly once with a result.
+    let finished = jobs
+        .iter()
+        .find(|j| j.get("state").and_then(Value::as_str) == Some("finished"))
+        .expect("the compliant job must finish");
+    assert_eq!(finished.get("attempts").and_then(Value::as_i64), Some(1));
+    assert!(finished.get("result_id").and_then(Value::as_str).is_some());
+
+    // The frozen v0 shape folds quarantined into `closed`.
+    let v0 = env.get(&format!("/api/v0/evaluations/{evaluation_id}/status"));
+    assert_eq!(v0.get("open").and_then(Value::as_i64), Some(0), "{v0}");
+    assert_eq!(v0.get("closed").and_then(Value::as_i64), Some(2), "{v0}");
+    assert_eq!(v0.get("percent").and_then(Value::as_i64), Some(100), "{v0}");
+}
+
+#[test]
+fn alloc_bomb_breaches_the_rss_budget() {
+    // max_attempts=1: a single breach quarantines immediately.
+    let env = TestEnv::start_with_config(SchedulerConfig {
+        heartbeat_timeout_millis: 30_000,
+        max_attempts: 1,
+        auto_reschedule: true,
+    });
+    let (system_id, deployment_id) = register_runaway_system(&env);
+    // Budget = current resident set + 40 MiB: the 1-MiB-per-step alloc
+    // bomb must cross it long before its own 256 MiB safety cap.
+    let rss_now = chronos::agent::current_rss_kib().expect("procfs on linux");
+    let evaluation_id = budgeted_evaluation(
+        &env,
+        &system_id,
+        arr!["alloc_bomb"],
+        obj! {"max_rss_kib" => rss_now + 40 * 1024},
+    );
+
+    run_harness_agent(&env, &deployment_id);
+
+    let evaluation = env.get(&format!("/api/v1/evaluations/{evaluation_id}"));
+    let status = evaluation.get("status").unwrap();
+    assert_eq!(status.get("quarantined").and_then(Value::as_i64), Some(1), "{status}");
+    let jobs = env.get(&format!("/api/v1/evaluations/{evaluation_id}/jobs"));
+    let job = &jobs.as_array().unwrap()[0];
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("quarantined"));
+    let job_id = job.get("id").and_then(Value::as_str).unwrap();
+    let failure = env
+        .get(&format!("/api/v1/jobs/{job_id}"))
+        .get("failure")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    assert!(
+        failure.starts_with(BUDGET_EXCEEDED_PREFIX) && failure.contains("max_rss_kib"),
+        "typed failure names the violated dimension: {failure}"
+    );
+}
+
+#[test]
+fn budget_rides_the_claim_response() {
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = register_runaway_system(&env);
+    budgeted_evaluation(
+        &env,
+        &system_id,
+        arr!["well_behaved"],
+        obj! {"cpu_millis" => 9000, "io_bytes" => 123456},
+    );
+    let claimed =
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    assert_eq!(claimed.pointer("/budget/cpu_millis").and_then(Value::as_i64), Some(9000));
+    assert_eq!(claimed.pointer("/budget/io_bytes").and_then(Value::as_i64), Some(123456));
+    assert!(claimed.pointer("/budget/wall_millis").is_none(), "absent dimensions stay absent");
+}
+
+#[test]
+fn unbudgeted_experiments_never_arm_the_watchdog() {
+    // An empty budget object normalizes away entirely: the claim carries
+    // no budget and the runaway-capable agent runs the job unconstrained.
+    let env = TestEnv::start();
+    let (system_id, deployment_id) = register_runaway_system(&env);
+    budgeted_evaluation(&env, &system_id, arr!["well_behaved"], obj! {});
+    let claimed =
+        env.post("/api/v1/agent/claim", &obj! {"deployment_id" => deployment_id.as_str()});
+    assert!(claimed.get("budget").is_none(), "empty budgets are dropped at creation");
+    let job_id = claimed.get("id").and_then(Value::as_str).unwrap().to_string();
+    env.post(&format!("/api/v1/agent/jobs/{job_id}/fail"), &obj! {"reason" => "released for test"});
+    assert_eq!(run_harness_agent(&env, &deployment_id), 1);
+}

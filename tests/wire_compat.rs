@@ -128,6 +128,7 @@ fn fixture_experiment() -> Experiment {
         archived: false,
         created_at: T1,
         strategy: Strategy::Grid,
+        budget: None,
     }
 }
 
@@ -168,6 +169,7 @@ fn fixture_job() -> Job {
         failure: None,
         created_at: T0,
         point_index: None,
+        budget: None,
     }
 }
 
@@ -188,6 +190,7 @@ fn fixture_status() -> EvaluationStatus {
         finished: 3,
         aborted: 0,
         failed: 1,
+        quarantined: 0,
         remaining: None,
     }
 }
@@ -351,6 +354,7 @@ fn request_bodies() {
         description: "".into(),
         parameters: Some(fixture_experiment().assignments.to_json()),
         strategy: None,
+        budget: None,
     };
     golden("create_experiment_request.json", &experiment.encode());
 }
@@ -414,6 +418,7 @@ fn lazy_and_adaptive_bodies() {
         finished: 3,
         aborted: 0,
         failed: 1,
+        quarantined: 0,
         remaining: Some(5),
     };
     golden("evaluation_status_lazy.json", &status.to_json().to_string());
@@ -431,6 +436,7 @@ fn lazy_and_adaptive_bodies() {
         description: "".into(),
         parameters: Some(fixture_experiment().assignments.to_json()),
         strategy: Some(fixture_adaptive().dto()),
+        budget: None,
     };
     golden("create_experiment_adaptive_request.json", &request.encode());
     let decoded = v1::CreateExperimentRequest::decode(&request.to_value()).unwrap();
@@ -443,6 +449,7 @@ fn lazy_and_adaptive_bodies() {
         finished: 3,
         aborted: 0,
         failed: 1,
+        quarantined: 0,
         remaining_space: 7,
         systems: 1,
         projects: 1,
@@ -488,6 +495,79 @@ fn agent_protocol_bodies() {
 }
 
 // ---------------------------------------------------------------------------
+// Per-job resource budgets + quarantine
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_and_quarantine_bodies() {
+    let budget = v1::JobBudget {
+        cpu_millis: Some(60_000),
+        max_rss_kib: Some(262_144),
+        io_bytes: None,
+        wall_millis: Some(120_000),
+    };
+
+    // An experiment declaring a budget: the document grows a conditional
+    // trailing `budget` object (absent on unbudgeted experiments, which is
+    // what keeps the pre-budget fixtures byte-identical).
+    let mut experiment = fixture_experiment();
+    experiment.budget = Some(budget);
+    let body = experiment.to_json().to_string();
+    golden("experiment_budgeted.json", &body);
+    assert_eq!(Experiment::from_json(&chronos::json::parse(&body).unwrap()).unwrap(), experiment);
+
+    // The budget rides each materialized job — and therefore the claim
+    // response, which returns the full job document to the agent.
+    let mut job = fixture_job();
+    job.budget = Some(budget);
+    let body = job.to_json().to_string();
+    golden("job_budgeted.json", &body);
+    assert_eq!(Job::from_json(&chronos::json::parse(&body).unwrap()).unwrap(), job);
+
+    // A poison job after max_attempts typed budget failures: terminal
+    // Quarantined state with the typed failure reason.
+    let mut job = fixture_job();
+    job.state = JobState::Quarantined;
+    job.attempts = 3;
+    job.claim_key = None;
+    job.failure = Some("budget_exceeded:cpu_millis: measured 75000 > budget 60000".into());
+    job.timeline.push(TimelineEvent {
+        at: T2,
+        kind: "quarantined".into(),
+        message: "failed 3 of 3 attempts; quarantined".into(),
+    });
+    let body = job.to_json().to_string();
+    golden("job_quarantined.json", &body);
+    assert_eq!(Job::from_json(&chronos::json::parse(&body).unwrap()).unwrap(), job);
+
+    // Status roll-up with quarantined jobs: the count is a conditional
+    // trailing field, omitted while zero.
+    let status = EvaluationStatus {
+        scheduled: 0,
+        running: 0,
+        finished: 3,
+        aborted: 0,
+        failed: 0,
+        quarantined: 2,
+        remaining: Some(0),
+    };
+    golden("evaluation_status_quarantined.json", &status.to_json().to_string());
+
+    // The create-experiment request declaring the budget.
+    let request = v1::CreateExperimentRequest {
+        name: "engine comparison".into(),
+        system_id: id(2),
+        description: "".into(),
+        parameters: Some(fixture_experiment().assignments.to_json()),
+        strategy: None,
+        budget: Some(budget),
+    };
+    golden("create_experiment_budgeted_request.json", &request.encode());
+    let decoded = v1::CreateExperimentRequest::decode(&request.to_value()).unwrap();
+    assert_eq!(decoded.budget, request.budget);
+}
+
+// ---------------------------------------------------------------------------
 // Integration hooks + stats
 // ---------------------------------------------------------------------------
 
@@ -508,6 +588,7 @@ fn trigger_and_stats_bodies() {
         finished: 3,
         aborted: 0,
         failed: 1,
+        quarantined: 0,
         remaining_space: 0,
         systems: 1,
         projects: 1,
